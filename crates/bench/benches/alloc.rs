@@ -1,0 +1,48 @@
+//! E4: arena/pool allocation vs pointer-per-object allocation.
+//!
+//! The paper: "a buffered sbrk scheme for allocation, with no attempt
+//! to re-use freed space, gives superior performance in both time and
+//! space". The pooled `Graph` is the arena discipline; `BoxedGraph`
+//! replicates the malloc-per-node layout. Space numbers come from the
+//! experiments binary (counting allocator); this bench measures time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathalias_bench::map_text;
+use pathalias_graph::boxed::BoxedGraph;
+use std::hint::black_box;
+
+fn bench_builds(c: &mut Criterion) {
+    let text = map_text(2_000, 11);
+    let parsed = pathalias_parser::parse(&text).unwrap();
+    let mut group = c.benchmark_group("alloc");
+
+    // Parse-and-build into the pooled representation (the pipeline's
+    // allocation pattern: everything allocated forward, nothing freed).
+    group.bench_function(BenchmarkId::new("pooled-build", parsed.node_count()), |b| {
+        b.iter(|| black_box(pathalias_parser::parse(&text).unwrap().link_count()));
+    });
+    // Clone the same graph into one-allocation-per-link boxes.
+    group.bench_function(BenchmarkId::new("boxed-build", parsed.node_count()), |b| {
+        b.iter(|| black_box(BoxedGraph::from_graph(&parsed).link_count()));
+    });
+    // Traversal locality: walk all adjacency lists in each layout.
+    group.bench_function(BenchmarkId::new("pooled-walk", parsed.node_count()), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for id in parsed.node_ids() {
+                for (_, l) in parsed.links_from(id) {
+                    acc = acc.wrapping_add(l.cost);
+                }
+            }
+            black_box(acc)
+        });
+    });
+    let boxed = BoxedGraph::from_graph(&parsed);
+    group.bench_function(BenchmarkId::new("boxed-walk", parsed.node_count()), |b| {
+        b.iter(|| black_box(boxed.checksum()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_builds);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E8: the clique-as-star network representation.
+//!
+//! The paper: "A clique with n vertices contains about n² edges, so
+//! with over 2,000 hosts in the ARPANET we are faced with millions of
+//! edges. To avoid a quadratic explosion in time and space complexity,
+//! we represent a network as a single node."
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathalias_bench::clique_world;
+use pathalias_mapper::{map_readonly, MapOptions};
+use std::hint::black_box;
+
+fn bench_clique(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clique");
+    group.sample_size(10);
+    let opts = MapOptions::default();
+    for &n in &[250usize, 500, 1_000, 2_000] {
+        group.bench_with_input(BenchmarkId::new("star-map", n), &n, |b, &n| {
+            let (g, src) = clique_world(n, true);
+            b.iter(|| black_box(map_readonly(&g, src, &opts).unwrap().mapped_count()));
+        });
+        // The explicit clique at 2,000 members is exactly the paper's
+        // "millions of edges" scenario.
+        group.bench_with_input(BenchmarkId::new("clique-map", n), &n, |b, &n| {
+            let (g, src) = clique_world(n, false);
+            b.iter(|| black_box(map_readonly(&g, src, &opts).unwrap().mapped_count()));
+        });
+        group.bench_with_input(BenchmarkId::new("star-build", n), &n, |b, &n| {
+            b.iter(|| black_box(clique_world(n, true).0.link_count()));
+        });
+        group.bench_with_input(BenchmarkId::new("clique-build", n), &n, |b, &n| {
+            b.iter(|| black_box(clique_world(n, false).0.link_count()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clique);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E9: the full pipeline at the paper's 1986 scale.
+//!
+//! "USENET maps contain over 5,700 nodes and 20,000 links, while
+//! ARPANET, CSNET, and BITNET add another 2,800 nodes and 8,000 links."
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pathalias_bench::paper_scale_text;
+use pathalias_mapper::{map_readonly, MapOptions};
+use pathalias_printer::{compute_routes, render, PrintOptions};
+use std::hint::black_box;
+
+fn bench_phases(c: &mut Criterion) {
+    let text = paper_scale_text(1986);
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+
+    group.bench_function("parse", |b| {
+        b.iter(|| black_box(pathalias_parser::parse(&text).unwrap().node_count()));
+    });
+
+    let g = pathalias_parser::parse(&text).unwrap();
+    let home = g.try_node("uncvax").expect("home hub");
+    let opts = MapOptions::default();
+    group.bench_function("map", |b| {
+        b.iter(|| black_box(map_readonly(&g, home, &opts).unwrap().mapped_count()));
+    });
+
+    let tree = map_readonly(&g, home, &opts).unwrap();
+    group.bench_function("print", |b| {
+        b.iter(|| {
+            let table = compute_routes(&g, &tree);
+            black_box(render(&table, &PrintOptions::default()).len())
+        });
+    });
+
+    group.bench_function("whole-pipeline", |b| {
+        b.iter(|| {
+            let g = pathalias_parser::parse(&text).unwrap();
+            let home = g.try_node("uncvax").unwrap();
+            let tree = map_readonly(&g, home, &opts).unwrap();
+            let table = compute_routes(&g, &tree);
+            black_box(render(&table, &PrintOptions::default()).len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

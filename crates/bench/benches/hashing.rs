@@ -1,0 +1,70 @@
+//! E5/E6/E13: the host-name hash table.
+//!
+//! E5 compares the paper's inverse secondary hash with the textbook
+//! `1+(k mod T-2)` it found anomalous; E6 compares the three growth
+//! schedules; probe-count tables come from the experiments binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathalias_bench::host_names;
+use pathalias_hash::{GrowthPolicy, HostTable, SecondaryHash, TableConfig, ALPHA_LOW};
+use std::hint::black_box;
+
+fn fill(config: TableConfig, names: &[String]) -> HostTable<u32> {
+    let mut t = HostTable::with_config(config);
+    for (i, n) in names.iter().enumerate() {
+        t.insert(n, i as u32);
+    }
+    t
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let names = host_names(8_500); // The paper's host count.
+    let mut group = c.benchmark_group("hashing");
+
+    for (label, secondary) in [
+        ("inverse", SecondaryHash::Inverse),
+        ("plus-one", SecondaryHash::PlusOne),
+    ] {
+        let config = TableConfig {
+            secondary,
+            ..TableConfig::default()
+        };
+        group.bench_function(BenchmarkId::new("insert", label), |b| {
+            b.iter(|| black_box(fill(config, &names).len()));
+        });
+        let mut table = fill(config, &names);
+        group.bench_function(BenchmarkId::new("lookup", label), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for n in &names {
+                    hits += usize::from(table.get(n).is_some());
+                }
+                black_box(hits)
+            });
+        });
+    }
+
+    for (label, growth) in [
+        ("fibonacci", GrowthPolicy::FibonacciPrimes),
+        ("geometric-2", GrowthPolicy::Geometric(2.0)),
+        (
+            "arithmetic",
+            GrowthPolicy::ArithmeticLowWater {
+                step: 512,
+                alpha_low: ALPHA_LOW,
+            },
+        ),
+    ] {
+        let config = TableConfig {
+            growth,
+            ..TableConfig::default()
+        };
+        group.bench_function(BenchmarkId::new("grow", label), |b| {
+            b.iter(|| black_box(fill(config, &names).capacity()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E3: the hand-built scanner against the lex-style baseline.
+//!
+//! The paper: "we built a simple scanner and cut the overall run time
+//! by 40%" (half the original run time had been spent in lex).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pathalias_bench::map_text;
+use std::hint::black_box;
+
+fn bench_scanners(c: &mut Criterion) {
+    let text = map_text(2_000, 7);
+    let mut group = c.benchmark_group("scanner");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+
+    group.bench_with_input(BenchmarkId::new("hand-built", text.len()), &text, |b, t| {
+        b.iter(|| black_box(pathalias_parser::scan::tokenize("map", t).unwrap().len()));
+    });
+    group.bench_with_input(BenchmarkId::new("lex-style", text.len()), &text, |b, t| {
+        b.iter(|| black_box(pathalias_parser::slow::tokenize("map", t).unwrap().len()));
+    });
+    // The whole parse with the fast scanner, to put the scanner share
+    // of total run time in context (the paper's 40 % claim is about
+    // total run time).
+    group.bench_with_input(BenchmarkId::new("full-parse", text.len()), &text, |b, t| {
+        b.iter(|| black_box(pathalias_parser::parse(t).unwrap().node_count()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scanners);
+criterion_main!(benches);

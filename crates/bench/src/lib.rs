@@ -1,0 +1,152 @@
+//! Shared fixtures for the benchmark and experiment harness.
+//!
+//! DESIGN.md §3 maps every table and figure in the paper to a bench
+//! target; this crate holds the workload builders they share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pathalias_graph::{Graph, NodeId, RouteOp};
+use pathalias_mapgen::{generate, MapSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's worked-example map (OUTPUT section).
+pub const PAPER_1981_MAP: &str = "\
+unc\tduke(HOURLY), phs(HOURLY*4)
+duke\tunc(DEMAND), research(DAILY/2), phs(DEMAND)
+phs\tunc(HOURLY*4), duke(HOURLY)
+research\tduke(DEMAND), ucbvax(DEMAND)
+ucbvax\tresearch(DAILY)
+ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)
+";
+
+/// The PROBLEMS-section motown graph.
+pub const MOTOWN_MAP: &str = "\
+princeton caip(200), topaz(300)
+caip .rutgers.edu(200)
+.rutgers.edu motown(25)
+topaz motown(200)
+";
+
+/// Parses a small synthetic map and returns it with its home hub.
+pub fn sparse_world(hosts: usize, seed: u64) -> (Graph, NodeId) {
+    let map = generate(&MapSpec::small(hosts, seed));
+    let g = map.parse().expect("generated maps parse");
+    let home = g.try_node(&map.home).expect("home exists");
+    (g, home)
+}
+
+/// Generates the concatenated text of a synthetic map (for scanner and
+/// parser benchmarks).
+pub fn map_text(hosts: usize, seed: u64) -> String {
+    generate(&MapSpec::small(hosts, seed)).concatenated()
+}
+
+/// Paper-scale text (5,700 + 2,800 hosts).
+pub fn paper_scale_text(seed: u64) -> String {
+    generate(&MapSpec::usenet_1986(seed)).concatenated()
+}
+
+/// A purely random sparse digraph built directly (no parsing), for the
+/// Dijkstra scaling experiment: `v` nodes, about `deg * v` edges.
+pub fn random_sparse(v: usize, deg: f64, seed: u64) -> (Graph, NodeId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new();
+    let ids: Vec<NodeId> = (0..v).map(|i| g.node(&format!("n{i}"))).collect();
+    let e = (v as f64 * deg) as usize;
+    for _ in 0..e {
+        let a = rng.random_range(0..v);
+        let b = rng.random_range(0..v);
+        if a != b {
+            g.add_raw_link(
+                ids[a],
+                ids[b],
+                rng.random_range(1..10_000),
+                RouteOp::UUCP,
+                pathalias_graph::LinkFlags::empty(),
+            );
+        }
+    }
+    // A ring guarantees connectivity so both variants map everything.
+    for i in 0..v {
+        g.add_raw_link(
+            ids[i],
+            ids[(i + 1) % v],
+            10_000,
+            RouteOp::UUCP,
+            pathalias_graph::LinkFlags::empty(),
+        );
+    }
+    (g, ids[0])
+}
+
+/// An ARPANET-style network with `n` members: either the paper's
+/// star representation (one net node, 2n edges) or the naive explicit
+/// clique (n² − n edges). Returns the graph and the entry host.
+pub fn clique_world(n: usize, star: bool) -> (Graph, NodeId) {
+    let mut g = Graph::new();
+    let entry = g.node("gatewayhost");
+    let members: Vec<NodeId> = (0..n).map(|i| g.node(&format!("m{i}"))).collect();
+    if star {
+        let net = g.node("BIGNET");
+        let pairs: Vec<(NodeId, u64)> = members.iter().map(|&m| (m, 95)).collect();
+        g.declare_network(net, &pairs, RouteOp::ARPA);
+        g.declare_link(entry, net, 95, RouteOp::ARPA);
+    } else {
+        for (i, &a) in members.iter().enumerate() {
+            for (j, &b) in members.iter().enumerate() {
+                if i != j {
+                    g.add_raw_link(a, b, 95, RouteOp::ARPA, pathalias_graph::LinkFlags::empty());
+                }
+            }
+        }
+        g.declare_link(entry, members[0], 95, RouteOp::ARPA);
+    }
+    (g, entry)
+}
+
+/// Rebuilds a graph's structure into a fresh pooled [`Graph`] — the
+/// arena-discipline counterpart of [`pathalias_graph::boxed::BoxedGraph`]
+/// for the allocator experiment (same nodes, names and live links).
+pub fn rebuild_pooled(src: &Graph) -> Graph {
+    let mut g = Graph::new();
+    let ids: Vec<NodeId> = src.node_ids().map(|id| g.node(src.name(id))).collect();
+    for from in src.node_ids() {
+        for (_, l) in src.links_from(from) {
+            if !l.flags.contains(pathalias_graph::LinkFlags::DELETED) {
+                g.add_raw_link(ids[from.index()], ids[l.to.index()], l.cost, l.op, l.flags);
+            }
+        }
+    }
+    g
+}
+
+/// Deterministic host names for the hashing experiments (a mix of
+/// real-ish and sequential names, like the UUCP map).
+pub fn host_names(n: usize) -> Vec<String> {
+    (0..n).map(pathalias_mapgen::HostNamer::name_at).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let (g, home) = sparse_world(120, 1);
+        assert!(g.node_count() >= 120);
+        assert_eq!(g.name(home), "uncvax");
+
+        let (g, _) = random_sparse(100, 4.0, 2);
+        assert!(g.link_count() >= 400);
+
+        let (star, _) = clique_world(50, true);
+        let (full, _) = clique_world(50, false);
+        assert!(star.link_count() < 120);
+        assert_eq!(full.link_count(), 50 * 49 + 1);
+
+        assert_eq!(host_names(3).len(), 3);
+        assert!(map_text(100, 3).contains("file {"));
+    }
+}

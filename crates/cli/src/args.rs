@@ -1,0 +1,272 @@
+//! Hand-rolled argument parsing (the original predates getopt_long,
+//! and the grammar is small enough not to warrant a dependency).
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: pathalias [-l host] [-c] [-i] [-v] [-n] [-s] [-t host]... [file ...]
+       pathalias mapgen [--hosts N] [--seed N] [--paper-scale]
+       pathalias query -d route-file destination [user]
+
+options:
+  -l host   local host (mapping source); default: first host in input
+  -c        print costs
+  -i        ignore case in host names
+  -v        verbose statistics on stderr
+  -n        sort output by name instead of cost
+  -s        also compute second-best (domain-free) routes
+  -t host   trace routing decisions for host (repeatable)
+  -h        this help
+";
+
+/// Parsed command line.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Run the pipeline.
+    Run(RunArgs),
+    /// Generate a synthetic map.
+    Mapgen(MapgenArgs),
+    /// Query a route database.
+    Query(QueryArgs),
+    /// Print usage.
+    Help,
+}
+
+/// Arguments for the main pipeline.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct RunArgs {
+    /// `-l`.
+    pub local: Option<String>,
+    /// `-c`.
+    pub with_costs: bool,
+    /// `-i`.
+    pub ignore_case: bool,
+    /// `-v`.
+    pub verbose: bool,
+    /// `-n`.
+    pub sort_by_name: bool,
+    /// `-s`.
+    pub second_best: bool,
+    /// `-t`, repeatable.
+    pub trace: Vec<String>,
+    /// Input files; empty means stdin.
+    pub files: Vec<String>,
+}
+
+/// Arguments for `mapgen`.
+#[derive(Debug, PartialEq, Eq)]
+pub struct MapgenArgs {
+    /// `--hosts`.
+    pub hosts: usize,
+    /// `--seed`.
+    pub seed: u64,
+    /// `--paper-scale`.
+    pub paper_scale: bool,
+}
+
+impl Default for MapgenArgs {
+    fn default() -> Self {
+        MapgenArgs {
+            hosts: 500,
+            seed: 1986,
+            paper_scale: false,
+        }
+    }
+}
+
+/// Arguments for `query`.
+#[derive(Debug, PartialEq, Eq)]
+pub struct QueryArgs {
+    /// `-d` route file.
+    pub db: String,
+    /// Destination host or domain name.
+    pub dest: String,
+    /// Optional user (default leaves the `%s` marker in place).
+    pub user: Option<String>,
+}
+
+/// Parses an argument vector (without argv[0]).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    match argv.first().map(String::as_str) {
+        Some("mapgen") => parse_mapgen(&argv[1..]),
+        Some("query") => parse_query(&argv[1..]),
+        Some("-h") | Some("--help") | Some("help") => Ok(Command::Help),
+        _ => parse_run(argv),
+    }
+}
+
+fn take_value<'a>(
+    flag: &str,
+    it: &mut std::slice::Iter<'a, String>,
+) -> Result<&'a String, String> {
+    it.next().ok_or_else(|| format!("{flag} requires a value"))
+}
+
+fn parse_run(argv: &[String]) -> Result<Command, String> {
+    let mut run = RunArgs::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-l" => run.local = Some(take_value("-l", &mut it)?.clone()),
+            "-c" => run.with_costs = true,
+            "-i" => run.ignore_case = true,
+            "-v" => run.verbose = true,
+            "-n" => run.sort_by_name = true,
+            "-s" => run.second_best = true,
+            "-t" => run.trace.push(take_value("-t", &mut it)?.clone()),
+            "-h" | "--help" => return Ok(Command::Help),
+            f if f.starts_with('-') && f.len() > 1 => {
+                return Err(format!("unknown flag {f}"));
+            }
+            file => run.files.push(file.to_string()),
+        }
+    }
+    Ok(Command::Run(run))
+}
+
+fn parse_mapgen(argv: &[String]) -> Result<Command, String> {
+    let mut mg = MapgenArgs::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--hosts" => {
+                mg.hosts = take_value("--hosts", &mut it)?
+                    .parse()
+                    .map_err(|_| "--hosts wants a number".to_string())?;
+            }
+            "--seed" => {
+                mg.seed = take_value("--seed", &mut it)?
+                    .parse()
+                    .map_err(|_| "--seed wants a number".to_string())?;
+            }
+            "--paper-scale" => mg.paper_scale = true,
+            other => return Err(format!("mapgen: unknown argument {other}")),
+        }
+    }
+    Ok(Command::Mapgen(mg))
+}
+
+fn parse_query(argv: &[String]) -> Result<Command, String> {
+    let mut db: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-d" => db = Some(take_value("-d", &mut it)?.clone()),
+            other if other.starts_with('-') => {
+                return Err(format!("query: unknown flag {other}"));
+            }
+            p => positional.push(p.to_string()),
+        }
+    }
+    let db = db.ok_or_else(|| "query requires -d route-file".to_string())?;
+    let mut pos = positional.into_iter();
+    let dest = pos
+        .next()
+        .ok_or_else(|| "query requires a destination".to_string())?;
+    let user = pos.next();
+    if pos.next().is_some() {
+        return Err("query takes at most destination and user".to_string());
+    }
+    Ok(Command::Query(QueryArgs { db, dest, user }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn default_run() {
+        let Command::Run(r) = parse(&v(&[])).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(r, RunArgs::default());
+    }
+
+    #[test]
+    fn full_run_flags() {
+        let Command::Run(r) = parse(&v(&[
+            "-l", "unc", "-c", "-i", "-v", "-n", "-s", "-t", "duke", "-t", "phs", "usenet.map",
+            "arpa.map",
+        ]))
+        .unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(r.local.as_deref(), Some("unc"));
+        assert!(r.with_costs && r.ignore_case && r.verbose && r.sort_by_name && r.second_best);
+        assert_eq!(r.trace, vec!["duke", "phs"]);
+        assert_eq!(r.files, vec!["usenet.map", "arpa.map"]);
+    }
+
+    #[test]
+    fn missing_value() {
+        assert!(parse(&v(&["-l"])).is_err());
+        assert!(parse(&v(&["-t"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flag() {
+        assert!(parse(&v(&["-q"])).is_err());
+    }
+
+    #[test]
+    fn mapgen_args() {
+        let Command::Mapgen(m) =
+            parse(&v(&["mapgen", "--hosts", "800", "--seed", "7"])).unwrap()
+        else {
+            panic!("expected mapgen");
+        };
+        assert_eq!(m.hosts, 800);
+        assert_eq!(m.seed, 7);
+        assert!(!m.paper_scale);
+
+        let Command::Mapgen(m) = parse(&v(&["mapgen", "--paper-scale"])).unwrap() else {
+            panic!("expected mapgen");
+        };
+        assert!(m.paper_scale);
+    }
+
+    #[test]
+    fn mapgen_bad_number() {
+        assert!(parse(&v(&["mapgen", "--hosts", "many"])).is_err());
+    }
+
+    #[test]
+    fn query_args() {
+        let Command::Query(q) =
+            parse(&v(&["query", "-d", "routes.txt", "caip.rutgers.edu", "pleasant"])).unwrap()
+        else {
+            panic!("expected query");
+        };
+        assert_eq!(q.db, "routes.txt");
+        assert_eq!(q.dest, "caip.rutgers.edu");
+        assert_eq!(q.user.as_deref(), Some("pleasant"));
+    }
+
+    #[test]
+    fn query_requires_db_and_dest() {
+        assert!(parse(&v(&["query", "dest"])).is_err());
+        assert!(parse(&v(&["query", "-d", "f"])).is_err());
+        assert!(parse(&v(&["query", "-d", "f", "a", "b", "c"])).is_err());
+    }
+
+    #[test]
+    fn help_variants() {
+        assert_eq!(parse(&v(&["-h"])).unwrap(), Command::Help);
+        assert_eq!(parse(&v(&["--help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&v(&["help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn single_dash_is_a_file() {
+        // "-" conventionally means stdin; we treat it as a file name
+        // and let the caller decide.
+        let Command::Run(r) = parse(&v(&["-"])).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(r.files, vec!["-"]);
+    }
+}

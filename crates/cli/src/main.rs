@@ -1,0 +1,174 @@
+//! The `pathalias` command-line tool.
+//!
+//! Flag-compatible with the original where the paper describes
+//! behaviour, plus two modern subcommands:
+//!
+//! ```text
+//! pathalias [-l host] [-c] [-i] [-v] [-n] [-s] [-t host]... [file ...]
+//! pathalias mapgen [--hosts N] [--seed N] [--paper-scale]
+//! pathalias query -d route-file destination [user]
+//! ```
+//!
+//! With no input files, the map is read from standard input. Routes go
+//! to standard output; warnings, unreachable hosts and statistics go to
+//! standard error.
+
+use pathalias_core::{Options, Pathalias, Sort};
+use pathalias_mailer::RouteDb;
+use pathalias_mapgen::{generate, MapSpec};
+use std::io::Read;
+use std::process::ExitCode;
+
+mod args;
+
+use args::{Command, MapgenArgs, QueryArgs, RunArgs};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(Command::Run(run)) => cmd_run(run),
+        Ok(Command::Mapgen(mg)) => cmd_mapgen(mg),
+        Ok(Command::Query(q)) => cmd_query(q),
+        Ok(Command::Help) => {
+            print!("{}", args::USAGE);
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("pathalias: {msg}");
+            eprint!("{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_run(run: RunArgs) -> ExitCode {
+    let options = Options {
+        local: run.local,
+        ignore_case: run.ignore_case,
+        with_costs: run.with_costs,
+        sort: if run.sort_by_name {
+            Sort::ByName
+        } else {
+            Sort::ByCost
+        },
+        trace: run.trace,
+        second_best: run.second_best,
+        ..Options::default()
+    };
+    let verbose = run.verbose;
+    let mut pa = Pathalias::with_options(options);
+
+    if run.files.is_empty() {
+        let mut text = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+            eprintln!("pathalias: reading stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = pa.parse_str("<stdin>", &text) {
+            eprintln!("pathalias: {e}");
+            return ExitCode::FAILURE;
+        }
+    } else {
+        for f in &run.files {
+            if let Err(e) = pa.parse_file(f) {
+                eprintln!("pathalias: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    match pa.run() {
+        Ok(out) => {
+            print!("{}", out.rendered);
+            for w in &out.warnings {
+                eprintln!("pathalias: warning: {w}");
+            }
+            if !out.tree.trace.is_empty() {
+                eprint!(
+                    "{}",
+                    pathalias_core::format_trace(pa.graph(), &out.tree.trace)
+                );
+            }
+            if !out.unreachable.is_empty() {
+                eprintln!(
+                    "pathalias: {} unreachable host(s): {}",
+                    out.unreachable.len(),
+                    out.unreachable.join(", ")
+                );
+            }
+            if verbose {
+                let s = out.tree.stats;
+                eprintln!(
+                    "pathalias: {} nodes, {} links, {} mapped",
+                    pa.graph().node_count(),
+                    pa.graph().link_count(),
+                    s.mapped
+                );
+                eprintln!(
+                    "pathalias: heap: {} pushes, {} pops, {} decreases; {} relaxations",
+                    s.pushes, s.pops, s.decreases, s.relaxations
+                );
+                eprintln!(
+                    "pathalias: penalties: {} gate, {} relay, {} mixed; back links: {} in {} rounds",
+                    s.gate_penalties,
+                    s.relay_penalties,
+                    s.mixed_penalties,
+                    s.invented_links,
+                    s.backlink_rounds
+                );
+                eprintln!(
+                    "pathalias: timings: parse {:?}, map {:?}, print {:?}",
+                    out.timings.parse, out.timings.map, out.timings.print
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("pathalias: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_mapgen(mg: MapgenArgs) -> ExitCode {
+    let spec = if mg.paper_scale {
+        MapSpec::usenet_1986(mg.seed)
+    } else {
+        MapSpec::small(mg.hosts, mg.seed)
+    };
+    let map = generate(&spec);
+    print!("{}", map.concatenated());
+    eprintln!(
+        "mapgen: {} hosts, {} links, {} networks, {} domains; home hub: {}",
+        map.stats.hosts, map.stats.links, map.stats.networks, map.stats.domains, map.home
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_query(q: QueryArgs) -> ExitCode {
+    let text = match std::fs::read_to_string(&q.db) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("pathalias: reading {}: {e}", q.db);
+            return ExitCode::FAILURE;
+        }
+    };
+    let db = match RouteDb::from_output(&text) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("pathalias: {}: {e}", q.db);
+            return ExitCode::FAILURE;
+        }
+    };
+    let user = q.user.as_deref().unwrap_or("%s");
+    match db.route_to(&q.dest, user) {
+        Some(route) => {
+            println!("{route}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("pathalias: no route to {}", q.dest);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Black-box tests of the `pathalias` binary.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_pathalias");
+
+const PAPER_MAP: &str = "\
+unc\tduke(HOURLY), phs(HOURLY*4)
+duke\tunc(DEMAND), research(DAILY/2), phs(DEMAND)
+phs\tunc(HOURLY*4), duke(HOURLY)
+research\tduke(DEMAND), ucbvax(DEMAND)
+ucbvax\tresearch(DAILY)
+ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)
+";
+
+fn run_with_stdin(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = Command::new(BIN)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn paper_example_from_stdin() {
+    let (stdout, _, ok) = run_with_stdin(&["-l", "unc", "-c"], PAPER_MAP);
+    assert!(ok);
+    assert!(stdout.contains("0\tunc\t%s"));
+    assert!(stdout.contains("3395\tmit-ai\tduke!research!ucbvax!%s@mit-ai"));
+}
+
+#[test]
+fn default_output_has_no_costs() {
+    let (stdout, _, ok) = run_with_stdin(&["-l", "unc"], PAPER_MAP);
+    assert!(ok);
+    assert!(stdout.contains("duke\tduke!%s"));
+    assert!(!stdout.contains("500\t"));
+}
+
+#[test]
+fn verbose_stats_on_stderr() {
+    let (_, stderr, ok) = run_with_stdin(&["-l", "unc", "-v"], PAPER_MAP);
+    assert!(ok);
+    assert!(stderr.contains("nodes"), "{stderr}");
+    assert!(stderr.contains("heap:"), "{stderr}");
+}
+
+#[test]
+fn trace_prints_decisions() {
+    let (_, stderr, ok) = run_with_stdin(&["-l", "unc", "-t", "phs"], PAPER_MAP);
+    assert!(ok);
+    assert!(stderr.contains("trace:"), "{stderr}");
+    assert!(stderr.contains("phs"), "{stderr}");
+}
+
+#[test]
+fn unknown_local_fails() {
+    let (_, stderr, ok) = run_with_stdin(&["-l", "nowhere"], PAPER_MAP);
+    assert!(!ok);
+    assert!(stderr.contains("nowhere"), "{stderr}");
+}
+
+#[test]
+fn parse_error_reports_location() {
+    let (_, stderr, ok) = run_with_stdin(&[], "a $bad\n");
+    assert!(!ok);
+    assert!(stderr.contains("<stdin>:1:"), "{stderr}");
+}
+
+#[test]
+fn bad_flag_shows_usage() {
+    let (_, stderr, ok) = run_with_stdin(&["-q"], "");
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn files_from_disk() {
+    let dir = std::env::temp_dir();
+    let p1 = dir.join(format!("pa-cli-a-{}.map", std::process::id()));
+    let p2 = dir.join(format!("pa-cli-b-{}.map", std::process::id()));
+    std::fs::write(&p1, "a b(10)\n").unwrap();
+    std::fs::write(&p2, "b c(10)\n").unwrap();
+    let out = Command::new(BIN)
+        .args(["-l", "a", p1.to_str().unwrap(), p2.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("c\tb!c!%s"), "{stdout}");
+    std::fs::remove_file(p1).unwrap();
+    std::fs::remove_file(p2).unwrap();
+}
+
+#[test]
+fn mapgen_subcommand_roundtrips() {
+    let out = Command::new(BIN)
+        .args(["mapgen", "--hosts", "120", "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let map_text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(map_text.contains("file {"));
+
+    // Generated output feeds straight back into the router.
+    let (stdout, _, ok) = run_with_stdin(&["-l", "uncvax"], &map_text);
+    assert!(ok);
+    assert!(stdout.lines().count() > 100);
+}
+
+#[test]
+fn query_subcommand() {
+    let dir = std::env::temp_dir();
+    let db = dir.join(format!("pa-cli-db-{}.txt", std::process::id()));
+    std::fs::write(&db, "seismo\tseismo!%s\n.edu\tseismo!%s\n").unwrap();
+
+    let out = Command::new(BIN)
+        .args(["query", "-d", db.to_str().unwrap(), "caip.rutgers.edu", "pleasant"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        "seismo!caip.rutgers.edu!pleasant"
+    );
+
+    let out = Command::new(BIN)
+        .args(["query", "-d", db.to_str().unwrap(), "unknownhost"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_file(db).unwrap();
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = Command::new(BIN).arg("-h").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+}

@@ -1,0 +1,46 @@
+//! The pathalias pipeline: parse → map → print.
+//!
+//! "Pathalias runs in three phases: parse the input, build a shortest
+//! path tree, and print the routes." [`Pathalias`] wires the component
+//! crates into that pipeline behind one builder-style API, with the
+//! original tool's options (`-l` local host, `-i` ignore case, `-c`
+//! print costs, `-t` trace) plus the reproduction's extras (heuristic
+//! configuration, second-best mapping, phase timings).
+//!
+//! # Examples
+//!
+//! ```
+//! use pathalias_core::Pathalias;
+//!
+//! let mut pa = Pathalias::new();
+//! pa.options_mut().local = Some("unc".to_string());
+//! pa.options_mut().with_costs = true;
+//! pa.parse_str("map", "unc duke(500)\nduke phs(300)\n").unwrap();
+//! let out = pa.run().unwrap();
+//! assert!(out.rendered.contains("800\tphs\tduke!phs!%s"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod options;
+mod pipeline;
+
+pub use options::Options;
+pub use pipeline::{Error, Output, Pathalias, PhaseTimings};
+
+// Re-export the component crates' vocabulary so downstream users need
+// only this crate.
+pub use pathalias_graph::{
+    dot, stats, symbol_cost, symbol_table, unparse, Cost, Dir, Graph, LinkFlags, NodeFlags,
+    NodeId, RouteOp, Warning, DEFAULT_COST, INF,
+};
+pub use pathalias_mapper::{
+    format_trace, map, map_dual, map_quadratic_readonly, map_readonly, parallel, CostModel,
+    DualTree, Label, MapError, MapOptions, MapStats, ShortestPathTree,
+};
+pub use pathalias_parser::{parse, parse_files, parse_into, ParseError};
+pub use pathalias_printer::{
+    compute_routes, render, write_routes, PrintOptions, Route, RouteKind, RouteTable, Sort,
+};
+pub use pathalias_printer::diff::{diff as diff_routes, RouteChange};

@@ -1,0 +1,375 @@
+//! The three-phase pipeline driver.
+
+use crate::options::Options;
+use pathalias_graph::{Graph, NodeId, Warning};
+use pathalias_mapper::{map, map_dual, DualTree, MapError, MapOptions, ShortestPathTree};
+use pathalias_parser::{parse_into, ParseError};
+use pathalias_printer::{compute_routes, render, PrintOptions, RouteTable};
+use std::fmt;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// A fatal pipeline error.
+#[derive(Debug)]
+pub enum Error {
+    /// Scanning or parsing failed.
+    Parse(ParseError),
+    /// Mapping failed.
+    Map(MapError),
+    /// The `-l` host does not appear in the input.
+    UnknownLocal(String),
+    /// `run` was called with no parsed input.
+    NoInput,
+    /// Reading an input file failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "parse error: {e}"),
+            Error::Map(e) => write!(f, "mapping error: {e}"),
+            Error::UnknownLocal(h) => write!(f, "local host `{h}` not found in the input"),
+            Error::NoInput => write!(f, "no input parsed"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Self {
+        Error::Parse(e)
+    }
+}
+
+impl From<MapError> for Error {
+    fn from(e: MapError) -> Self {
+        Error::Map(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Wall-clock time spent in each phase (experiment E9 reports these).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Time spent parsing input.
+    pub parse: Duration,
+    /// Time spent building the shortest-path tree.
+    pub map: Duration,
+    /// Time spent computing and rendering routes.
+    pub print: Duration,
+}
+
+/// Everything a pipeline run produces.
+#[derive(Debug)]
+pub struct Output {
+    /// Every computed route (hidden entries included).
+    pub routes: RouteTable,
+    /// The rendered route list.
+    pub rendered: String,
+    /// The shortest-path tree.
+    pub tree: ShortestPathTree,
+    /// The dual (second-best) result, when requested.
+    pub dual: Option<DualTree>,
+    /// Warnings accumulated while building the graph.
+    pub warnings: Vec<Warning>,
+    /// Hosts that stayed unreachable even after back links ("before
+    /// reporting these hosts on the error output").
+    pub unreachable: Vec<String>,
+    /// Phase timings.
+    pub timings: PhaseTimings,
+}
+
+/// The pipeline driver. Parse one or more inputs, then [`run`].
+///
+/// [`run`]: Pathalias::run
+#[derive(Debug)]
+pub struct Pathalias {
+    options: Options,
+    graph: Graph,
+    parsed_any: bool,
+    first_host: Option<NodeId>,
+    parse_time: Duration,
+}
+
+impl Default for Pathalias {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pathalias {
+    /// Creates a pipeline with default options.
+    pub fn new() -> Self {
+        Self::with_options(Options::default())
+    }
+
+    /// Creates a pipeline with the given options.
+    pub fn with_options(options: Options) -> Self {
+        let graph = Graph::with_ignore_case(options.ignore_case);
+        Pathalias {
+            options,
+            graph,
+            parsed_any: false,
+            first_host: None,
+            parse_time: Duration::ZERO,
+        }
+    }
+
+    /// The options (mutable, so callers can adjust between parses; note
+    /// `ignore_case` only takes effect when set before the first
+    /// parse).
+    pub fn options_mut(&mut self) -> &mut Options {
+        &mut self.options
+    }
+
+    /// Shared access to the options.
+    pub fn options(&self) -> &Options {
+        &self.options
+    }
+
+    /// The graph built so far.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Parses one named input.
+    pub fn parse_str(&mut self, file: &str, text: &str) -> Result<(), ParseError> {
+        let t0 = Instant::now();
+        let before = self.graph.node_count();
+        parse_into(&mut self.graph, file, text)?;
+        if self.first_host.is_none() && self.graph.node_count() > before {
+            self.first_host = Some(
+                self.graph
+                    .node_ids()
+                    .nth(before)
+                    .expect("a node was just created"),
+            );
+        }
+        self.parsed_any = true;
+        self.parse_time += t0.elapsed();
+        Ok(())
+    }
+
+    /// Reads and parses an input file from disk.
+    pub fn parse_file(&mut self, path: impl AsRef<Path>) -> Result<(), Error> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)?;
+        let name = path.to_string_lossy().into_owned();
+        self.parse_str(&name, &text)?;
+        Ok(())
+    }
+
+    fn resolve_local(&self) -> Result<NodeId, Error> {
+        match &self.options.local {
+            Some(name) => self
+                .graph
+                .try_node(name)
+                .ok_or_else(|| Error::UnknownLocal(name.clone())),
+            None => self.first_host.ok_or(Error::NoInput),
+        }
+    }
+
+    /// Runs the map and print phases, consuming nothing: `run` may be
+    /// called repeatedly (e.g. with different options).
+    pub fn run(&mut self) -> Result<Output, Error> {
+        if !self.parsed_any {
+            return Err(Error::NoInput);
+        }
+        self.graph.validate();
+        let source = self.resolve_local()?;
+
+        let map_opts = MapOptions {
+            model: self.options.cost_model,
+            trace: self
+                .options
+                .trace
+                .iter()
+                .filter_map(|n| self.graph.try_node(n))
+                .collect(),
+            exclude_domains: false,
+            no_backlinks: self.options.no_backlinks,
+        };
+
+        let t_map = Instant::now();
+        let (tree, dual) = if self.options.second_best {
+            let dual = map_dual(&mut self.graph, source, &map_opts)?;
+            (dual.primary.clone(), Some(dual))
+        } else {
+            (map(&mut self.graph, source, &map_opts)?, None)
+        };
+        let map_time = t_map.elapsed();
+
+        let t_print = Instant::now();
+        let routes = compute_routes(&self.graph, &tree);
+        let rendered = render(
+            &routes,
+            &PrintOptions {
+                with_costs: self.options.with_costs,
+                sort: self.options.sort,
+                include_hidden: self.options.include_hidden,
+            },
+        );
+        let print_time = t_print.elapsed();
+
+        let unreachable = tree
+            .unreachable(&self.graph)
+            .into_iter()
+            .map(|id| self.graph.name(id).to_string())
+            .collect();
+
+        Ok(Output {
+            routes,
+            rendered,
+            tree,
+            dual,
+            warnings: self.graph.warnings().to_vec(),
+            unreachable,
+            timings: PhaseTimings {
+                parse: self.parse_time,
+                map: map_time,
+                print: print_time,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's worked example input (OUTPUT section).
+    const PAPER_1981: &str = "\
+unc\tduke(HOURLY), phs(HOURLY*4)
+duke\tunc(DEMAND), research(DAILY/2), phs(DEMAND)
+phs\tunc(HOURLY*4), duke(HOURLY)
+research\tduke(DEMAND), ucbvax(DEMAND)
+ucbvax\tresearch(DAILY)
+ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)
+";
+
+    #[test]
+    fn paper_output_reproduced_exactly() {
+        let mut pa = Pathalias::new();
+        pa.options_mut().local = Some("unc".into());
+        pa.options_mut().with_costs = true;
+        pa.parse_str("1981-map", PAPER_1981).unwrap();
+        let out = pa.run().unwrap();
+        let expected = "\
+0\tunc\t%s
+500\tduke\tduke!%s
+800\tphs\tduke!phs!%s
+3000\tresearch\tduke!research!%s
+3300\tucbvax\tduke!research!ucbvax!%s
+3395\tmit-ai\tduke!research!ucbvax!%s@mit-ai
+3395\tstanford\tduke!research!ucbvax!%s@stanford
+";
+        assert_eq!(out.rendered, expected);
+    }
+
+    #[test]
+    fn default_local_is_first_host() {
+        let mut pa = Pathalias::new();
+        pa.parse_str("m", "alpha beta(10)\n").unwrap();
+        let out = pa.run().unwrap();
+        let root = out.routes.find("alpha").unwrap();
+        assert_eq!(root.route, "%s");
+    }
+
+    #[test]
+    fn unknown_local_is_error() {
+        let mut pa = Pathalias::new();
+        pa.options_mut().local = Some("nosuch".into());
+        pa.parse_str("m", "a b(1)\n").unwrap();
+        assert!(matches!(pa.run(), Err(Error::UnknownLocal(_))));
+    }
+
+    #[test]
+    fn no_input_is_error() {
+        let mut pa = Pathalias::new();
+        assert!(matches!(pa.run(), Err(Error::NoInput)));
+    }
+
+    #[test]
+    fn ignore_case_merges_names() {
+        let mut pa = Pathalias::with_options(Options {
+            ignore_case: true,
+            ..Options::default()
+        });
+        pa.parse_str("m", "Alpha beta(10)\nALPHA gamma(20)\n").unwrap();
+        let out = pa.run().unwrap();
+        assert!(out.routes.find("gamma").is_some());
+        assert_eq!(pa.graph().node_count(), 3);
+    }
+
+    #[test]
+    fn unreachable_reported() {
+        let mut pa = Pathalias::new();
+        pa.options_mut().no_backlinks = true;
+        pa.parse_str("m", "a b(1)\nisland remote(5)\n").unwrap();
+        let out = pa.run().unwrap();
+        assert!(out.unreachable.contains(&"island".to_string()));
+        assert!(out.unreachable.contains(&"remote".to_string()));
+    }
+
+    #[test]
+    fn warnings_surface() {
+        let mut pa = Pathalias::new();
+        pa.parse_str("m", "a b(10)\na b(20)\n").unwrap();
+        let out = pa.run().unwrap();
+        assert!(!out.warnings.is_empty());
+    }
+
+    #[test]
+    fn second_best_included_when_requested() {
+        let mut pa = Pathalias::new();
+        pa.options_mut().second_best = true;
+        pa.options_mut().cost_model.relay_penalty = 0;
+        pa.parse_str(
+            "m",
+            "p caip(200), topaz(300)\ncaip .r.edu(200)\n.r.edu motown(25)\ntopaz motown(200)\n",
+        )
+        .unwrap();
+        let out = pa.run().unwrap();
+        let dual = out.dual.expect("dual requested");
+        let motown = pa.graph().try_node("motown").unwrap();
+        assert_eq!(dual.second_best(motown).unwrap().cost, 500);
+    }
+
+    #[test]
+    fn run_twice_is_stable() {
+        let mut pa = Pathalias::new();
+        pa.options_mut().with_costs = true;
+        pa.parse_str("m", PAPER_1981).unwrap();
+        pa.options_mut().local = Some("unc".into());
+        let a = pa.run().unwrap().rendered;
+        let b = pa.run().unwrap().rendered;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multiple_files_accumulate() {
+        let mut pa = Pathalias::new();
+        pa.parse_str("one", "a b(10)\n").unwrap();
+        pa.parse_str("two", "b c(10)\n").unwrap();
+        pa.options_mut().local = Some("a".into());
+        let out = pa.run().unwrap();
+        assert_eq!(out.routes.find("c").unwrap().route, "b!c!%s");
+    }
+
+    #[test]
+    fn timings_populated() {
+        let mut pa = Pathalias::new();
+        pa.parse_str("m", PAPER_1981).unwrap();
+        pa.options_mut().local = Some("unc".into());
+        let out = pa.run().unwrap();
+        assert!(out.timings.parse > Duration::ZERO);
+    }
+}

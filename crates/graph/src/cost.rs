@@ -1,0 +1,98 @@
+//! Link costs and the paper's symbolic cost table.
+//!
+//! Costs are pragmatic, not physical: the paper tuned symbolic values
+//! "until, in the estimation of experienced users, the paths produced
+//! were reasonable", and deliberately made per-hop overhead dominate
+//! (DAILY is 10 × HOURLY instead of 24 ×, "to keep paths short").
+
+/// A link or path cost. Arithmetic on costs saturates, so heuristic
+/// penalties can be stacked without overflow.
+pub type Cost = u64;
+
+/// "Essentially infinite": the penalty attached to routes pathalias must
+/// avoid whenever any alternative exists (entering a gatewayed network
+/// without a gateway, relaying out of a domain, traversing an invented
+/// back link).
+pub const INF: Cost = 30_000_000;
+
+/// Cost of a link declared without an explicit cost.
+pub const DEFAULT_COST: Cost = 4_000;
+
+/// The paper's symbolic cost table (OUTPUT section).
+///
+/// `DEAD` is our one documented extension: input data uses it to mark a
+/// last-resort link, exactly as later pathalias releases did.
+pub const SYMBOLS: &[(&str, Cost)] = &[
+    ("LOCAL", 25),
+    ("DEDICATED", 95),
+    ("DIRECT", 200),
+    ("DEMAND", 300),
+    ("HOURLY", 500),
+    ("EVENING", 1_800),
+    ("POLLED", 5_000),
+    ("DAILY", 5_000),
+    ("WEEKLY", 30_000),
+    ("DEAD", INF),
+];
+
+/// Looks up a symbolic cost name (case-sensitive, as in the original).
+///
+/// # Examples
+///
+/// ```
+/// use pathalias_graph::symbol_cost;
+///
+/// assert_eq!(symbol_cost("HOURLY"), Some(500));
+/// assert_eq!(symbol_cost("hourly"), None);
+/// ```
+pub fn symbol_cost(name: &str) -> Option<Cost> {
+    SYMBOLS
+        .iter()
+        .find(|(sym, _)| *sym == name)
+        .map(|&(_, v)| v)
+}
+
+/// The full symbol table, for diagnostics and the experiments harness.
+pub fn symbol_table() -> &'static [(&'static str, Cost)] {
+    SYMBOLS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        // The exact table from the paper.
+        assert_eq!(symbol_cost("LOCAL"), Some(25));
+        assert_eq!(symbol_cost("DEDICATED"), Some(95));
+        assert_eq!(symbol_cost("DIRECT"), Some(200));
+        assert_eq!(symbol_cost("DEMAND"), Some(300));
+        assert_eq!(symbol_cost("HOURLY"), Some(500));
+        assert_eq!(symbol_cost("EVENING"), Some(1800));
+        assert_eq!(symbol_cost("POLLED"), Some(5000));
+        assert_eq!(symbol_cost("DAILY"), Some(5000));
+        assert_eq!(symbol_cost("WEEKLY"), Some(30000));
+    }
+
+    #[test]
+    fn daily_is_ten_hourlies() {
+        // The paper's point about per-hop overhead: DAILY is 10 ×
+        // HOURLY, not 24 ×.
+        assert_eq!(
+            symbol_cost("DAILY").unwrap(),
+            10 * symbol_cost("HOURLY").unwrap()
+        );
+    }
+
+    #[test]
+    fn unknown_symbol() {
+        assert_eq!(symbol_cost("FORTNIGHTLY"), None);
+        assert_eq!(symbol_cost(""), None);
+    }
+
+    #[test]
+    fn dead_is_infinite() {
+        assert_eq!(symbol_cost("DEAD"), Some(INF));
+    }
+}

@@ -1,0 +1,117 @@
+//! Diagnostics produced while building the graph.
+//!
+//! The paper stresses that map data "were often contradictory and
+//! error-filled", so the builder records everything questionable it
+//! tolerates rather than failing.
+
+use std::fmt;
+
+/// A non-fatal condition noticed while building the graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Warning {
+    /// The same link was declared more than once; the cheapest
+    /// declaration wins.
+    DuplicateLink {
+        /// Source host name.
+        from: String,
+        /// Destination host name.
+        to: String,
+        /// Cost kept (the minimum).
+        kept: u64,
+        /// Cost discarded.
+        dropped: u64,
+    },
+    /// A host declared a link to itself; ignored.
+    SelfLink {
+        /// The host in question.
+        host: String,
+    },
+    /// A network was declared twice; memberships merge.
+    RedeclaredNet {
+        /// The network name.
+        net: String,
+    },
+    /// `gateway` named a network that is not gatewayed; the declaration
+    /// is honoured but probably a mistake.
+    GatewayIntoUngated {
+        /// The network name.
+        net: String,
+        /// The would-be gateway host.
+        host: String,
+    },
+    /// An alias declaration paired a name with itself; ignored.
+    SelfAlias {
+        /// The host in question.
+        host: String,
+    },
+    /// `delete` or `dead` named a link that does not exist.
+    NoSuchLink {
+        /// Source host name.
+        from: String,
+        /// Destination host name.
+        to: String,
+    },
+    /// A `private` declaration shadows a host already linked in this
+    /// file; earlier references keep their global meaning.
+    PrivateAfterUse {
+        /// The host in question.
+        host: String,
+    },
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Warning::DuplicateLink {
+                from,
+                to,
+                kept,
+                dropped,
+            } => write!(
+                f,
+                "duplicate link {from} -> {to}: keeping cost {kept}, dropping {dropped}"
+            ),
+            Warning::SelfLink { host } => write!(f, "ignoring link from {host} to itself"),
+            Warning::RedeclaredNet { net } => {
+                write!(f, "network {net} redeclared; merging members")
+            }
+            Warning::GatewayIntoUngated { net, host } => {
+                write!(f, "gateway {host} declared for ungated network {net}")
+            }
+            Warning::SelfAlias { host } => write!(f, "ignoring alias of {host} to itself"),
+            Warning::NoSuchLink { from, to } => {
+                write!(f, "no such link {from} -> {to}")
+            }
+            Warning::PrivateAfterUse { host } => write!(
+                f,
+                "{host} declared private after use in the same file; earlier references stay global"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let w = Warning::DuplicateLink {
+            from: "a".into(),
+            to: "b".into(),
+            kept: 10,
+            dropped: 20,
+        };
+        let s = w.to_string();
+        assert!(s.contains("a -> b") && s.contains("10") && s.contains("20"));
+
+        let w = Warning::SelfLink { host: "x".into() };
+        assert!(w.to_string().contains('x'));
+
+        let w = Warning::GatewayIntoUngated {
+            net: "ARPA".into(),
+            host: "seismo".into(),
+        };
+        assert!(w.to_string().contains("ARPA") && w.to_string().contains("seismo"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Graphviz DOT export for debugging and documentation.
+//!
+//! Not part of the 1986 tool, but invaluable for inspecting parsed maps
+//! and shortest-path trees; the examples use it to visualize the paper's
+//! figures.
+
+use crate::flags::{LinkFlags, NodeFlags};
+use crate::graph::Graph;
+use std::fmt::Write as _;
+
+/// Renders the graph in DOT format.
+///
+/// Networks are drawn as boxes, domains as octagons, private hosts
+/// dashed. Implicit edges (network membership, aliases) are styled
+/// distinctly from explicit links.
+///
+/// # Examples
+///
+/// ```
+/// use pathalias_graph::{Graph, RouteOp};
+///
+/// let mut g = Graph::new();
+/// let a = g.node("a");
+/// let b = g.node("b");
+/// g.declare_link(a, b, 10, RouteOp::UUCP);
+/// let dot = pathalias_graph::dot::to_dot(&g);
+/// assert!(dot.starts_with("digraph pathalias {"));
+/// assert!(dot.contains("\"a\" -> \"b\""));
+/// ```
+pub fn to_dot(g: &Graph) -> String {
+    let mut out = String::from("digraph pathalias {\n");
+    out.push_str("  rankdir=LR;\n");
+    for (id, node) in g.iter_nodes() {
+        if node.flags.contains(NodeFlags::DELETED) {
+            continue;
+        }
+        let name = g.name(id);
+        let mut attrs: Vec<String> = Vec::new();
+        if node.is_domain() {
+            attrs.push("shape=octagon".to_string());
+        } else if node.is_net() {
+            attrs.push("shape=box".to_string());
+        }
+        if node.flags.contains(NodeFlags::PRIVATE) {
+            attrs.push("style=dashed".to_string());
+        }
+        if node.flags.contains(NodeFlags::DEAD) {
+            attrs.push("color=red".to_string());
+        }
+        if attrs.is_empty() {
+            let _ = writeln!(out, "  \"{}\";", escape(name));
+        } else {
+            let _ = writeln!(out, "  \"{}\" [{}];", escape(name), attrs.join(", "));
+        }
+    }
+    for (id, node) in g.iter_nodes() {
+        if node.flags.contains(NodeFlags::DELETED) {
+            continue;
+        }
+        let from = g.name(id);
+        for (_, link) in g.links_from(id) {
+            if link.flags.contains(LinkFlags::DELETED) {
+                continue;
+            }
+            let to = g.name(link.to);
+            let mut attrs = vec![format!("label=\"{}\"", link.cost)];
+            if link.flags.contains(LinkFlags::ALIAS) {
+                attrs.push("style=dotted".to_string());
+                attrs.push("dir=both".to_string());
+            } else if link
+                .flags
+                .intersects(LinkFlags::NET_IN | LinkFlags::NET_OUT)
+            {
+                attrs.push("style=dashed".to_string());
+            }
+            if link.flags.contains(LinkFlags::GATEWAY) {
+                attrs.push("color=blue".to_string());
+            }
+            if link.flags.contains(LinkFlags::DEAD) {
+                attrs.push("color=red".to_string());
+            }
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\" [{}];",
+                escape(from),
+                escape(to),
+                attrs.join(", ")
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Graph, RouteOp};
+
+    #[test]
+    fn styles_by_kind() {
+        let mut g = Graph::new();
+        let h = g.node("host");
+        let net = g.node("NET");
+        let dom = g.node(".edu");
+        g.declare_network(net, &[(h, 10)], RouteOp::UUCP);
+        g.declare_link(h, dom, 20, RouteOp::UUCP);
+        let dot = to_dot(&g);
+        assert!(dot.contains("\"NET\" [shape=box]"));
+        assert!(dot.contains("\".edu\" [shape=octagon]"));
+        assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn deleted_items_hidden() {
+        let mut g = Graph::new();
+        let a = g.node("a");
+        let b = g.node("b");
+        g.declare_link(a, b, 5, RouteOp::UUCP);
+        g.delete_link(a, b);
+        g.delete_node(b);
+        let dot = to_dot(&g);
+        assert!(!dot.contains("\"a\" -> \"b\""));
+        assert!(!dot.contains("\"b\";"));
+    }
+
+    #[test]
+    fn escapes_quotes() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+    }
+}

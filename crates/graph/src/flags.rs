@@ -1,0 +1,189 @@
+//! Node and link flag sets.
+//!
+//! The original packed these into C bitfields; we hand-roll small
+//! transparent bitsets (no external bitflags dependency) with the same
+//! vocabulary the paper uses.
+
+use std::fmt;
+
+macro_rules! flagset {
+    (
+        $(#[$meta:meta])*
+        $name:ident : $repr:ty { $( $(#[$fmeta:meta])* $flag:ident = $bit:expr ),+ $(,)? }
+    ) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]
+        pub struct $name($repr);
+
+        impl $name {
+            $(
+                $(#[$fmeta])*
+                pub const $flag: $name = $name(1 << $bit);
+            )+
+
+            /// The empty flag set.
+            pub const fn empty() -> Self {
+                $name(0)
+            }
+
+            /// Whether every flag in `other` is set in `self`.
+            #[inline]
+            pub const fn contains(self, other: $name) -> bool {
+                self.0 & other.0 == other.0
+            }
+
+            /// Whether any flag in `other` is set in `self`.
+            #[inline]
+            pub const fn intersects(self, other: $name) -> bool {
+                self.0 & other.0 != 0
+            }
+
+            /// Sets the flags in `other`.
+            #[inline]
+            pub fn insert(&mut self, other: $name) {
+                self.0 |= other.0;
+            }
+
+            /// Clears the flags in `other`.
+            #[inline]
+            pub fn remove(&mut self, other: $name) {
+                self.0 &= !other.0;
+            }
+
+            /// Whether no flags are set.
+            #[inline]
+            pub const fn is_empty(self) -> bool {
+                self.0 == 0
+            }
+        }
+
+        impl std::ops::BitOr for $name {
+            type Output = $name;
+            fn bitor(self, rhs: $name) -> $name {
+                $name(self.0 | rhs.0)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let mut first = true;
+                $(
+                    if self.contains($name::$flag) {
+                        if !first { write!(f, "|")?; }
+                        write!(f, stringify!($flag))?;
+                        first = false;
+                    }
+                )+
+                if first {
+                    write!(f, "(none)")?;
+                }
+                Ok(())
+            }
+        }
+    };
+}
+
+flagset! {
+    /// Per-node flags.
+    NodeFlags: u16 {
+        /// The node is a network placeholder (declared with `name = {...}`).
+        NET = 0,
+        /// The node is a domain (name begins with `.`). Domains are
+        /// networks that are always gatewayed and print specially.
+        DOMAIN = 1,
+        /// Declared `private`: file-scoped, suppressed from output.
+        PRIVATE = 2,
+        /// Declared `dead`: may be a destination, never a relay.
+        DEAD = 3,
+        /// Declared `delete`: removed from mapping and output entirely.
+        DELETED = 4,
+        /// Declared `gated`: entering requires a gateway (domains are
+        /// implicitly gated without this flag).
+        GATED = 5,
+        /// Has a cost adjustment from an `adjust` declaration.
+        ADJUSTED = 6,
+    }
+}
+
+flagset! {
+    /// Per-link flags.
+    LinkFlags: u16 {
+        /// Zero-cost alias pairing edge ("aliases are a property of
+        /// edges, not vertices").
+        ALIAS = 0,
+        /// Member-to-network entry edge created by a `net = {...}`
+        /// declaration; carries the declared cost.
+        NET_IN = 1,
+        /// Network-to-member exit edge created by a `net = {...}`
+        /// declaration; costs zero ("you pay to get onto a network, but
+        /// you get off for free").
+        NET_OUT = 2,
+        /// Declared a gateway by the `gateway` command.
+        GATEWAY = 3,
+        /// Declared `dead`: last-resort, costed at INF extra.
+        DEAD = 4,
+        /// Declared `delete`: ignored by mapping and printing.
+        DELETED = 5,
+        /// Invented reverse edge from the back-link pass for otherwise
+        /// unreachable hosts.
+        BACK = 6,
+    }
+}
+
+impl LinkFlags {
+    /// Whether the link was written explicitly in the input, as opposed
+    /// to being implied by a network declaration, an alias, or the
+    /// back-link pass. Explicit links into a gatewayed network make the
+    /// writer a gateway (this is how `seismo .edu(DEDICATED)` declares
+    /// seismo a gateway in the paper's figure).
+    pub fn is_explicit(self) -> bool {
+        !self.intersects(
+            LinkFlags::ALIAS | LinkFlags::NET_IN | LinkFlags::NET_OUT | LinkFlags::BACK,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_insert() {
+        let mut f = NodeFlags::empty();
+        assert!(f.is_empty());
+        f.insert(NodeFlags::NET);
+        assert!(f.contains(NodeFlags::NET));
+        assert!(!f.contains(NodeFlags::DOMAIN));
+        f.insert(NodeFlags::DOMAIN);
+        assert!(f.contains(NodeFlags::NET | NodeFlags::DOMAIN));
+        f.remove(NodeFlags::NET);
+        assert!(!f.contains(NodeFlags::NET));
+        assert!(f.contains(NodeFlags::DOMAIN));
+    }
+
+    #[test]
+    fn intersects_vs_contains() {
+        let f = NodeFlags::NET | NodeFlags::PRIVATE;
+        assert!(f.intersects(NodeFlags::PRIVATE | NodeFlags::DEAD));
+        assert!(!f.contains(NodeFlags::PRIVATE | NodeFlags::DEAD));
+    }
+
+    #[test]
+    fn explicitness() {
+        assert!(LinkFlags::empty().is_explicit());
+        assert!(LinkFlags::GATEWAY.is_explicit());
+        assert!((LinkFlags::DEAD | LinkFlags::GATEWAY).is_explicit());
+        assert!(!LinkFlags::ALIAS.is_explicit());
+        assert!(!LinkFlags::NET_IN.is_explicit());
+        assert!(!LinkFlags::NET_OUT.is_explicit());
+        assert!(!LinkFlags::BACK.is_explicit());
+    }
+
+    #[test]
+    fn debug_output() {
+        let f = LinkFlags::ALIAS | LinkFlags::DEAD;
+        let s = format!("{f:?}");
+        assert!(s.contains("ALIAS") && s.contains("DEAD"));
+        assert_eq!(format!("{:?}", NodeFlags::empty()), "(none)");
+    }
+}

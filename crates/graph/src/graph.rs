@@ -1,0 +1,754 @@
+//! The connectivity graph: pools, name resolution, and declaration
+//! semantics (duplicate links, networks, aliases, private scoping).
+
+use crate::cost::Cost;
+use crate::diag::Warning;
+use crate::flags::{LinkFlags, NodeFlags};
+use crate::link::{Link, RouteOp};
+use crate::node::Node;
+use pathalias_arena::{Bump, Handle, Pool};
+use pathalias_hash::HostTable;
+use std::collections::{HashMap, HashSet};
+
+/// Identifies a node in the graph.
+pub type NodeId = Handle<Node>;
+
+/// Identifies a link in the graph.
+pub type LinkId = Handle<Link>;
+
+/// Identifies an input file (for private scoping and diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct FileId(u32);
+
+impl FileId {
+    /// Raw index of the file.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The in-memory connectivity graph built by the parsing phase and
+/// consumed by the mapping and printing phases.
+///
+/// # Name resolution
+///
+/// Host names normally have global scope across all input files. A
+/// `private` declaration narrows the scope of a name "to the end of the
+/// file in which it is declared": between the declaration and end of
+/// file, the name resolves to a fresh, file-local node.
+///
+/// # Examples
+///
+/// ```
+/// use pathalias_graph::{Graph, RouteOp};
+///
+/// let mut g = Graph::new();
+/// g.begin_file("site-a");
+/// let a = g.node("bilbo");
+/// g.begin_file("site-b");
+/// let b = g.declare_private("bilbo");
+/// assert_ne!(a, b);
+/// assert_eq!(g.node("bilbo"), b); // Still inside site-b.
+/// g.begin_file("site-c");
+/// assert_eq!(g.node("bilbo"), a); // Scope ended with the file.
+/// ```
+#[derive(Debug)]
+pub struct Graph {
+    names: Bump,
+    nodes: Pool<Node>,
+    links: Pool<Link>,
+    table: HostTable<NodeId>,
+    /// `private` bindings for the current file only.
+    private_scope: HashMap<Box<str>, NodeId>,
+    /// Names mentioned so far in the current file (private-after-use
+    /// diagnostics).
+    file_mentions: HashSet<Box<str>>,
+    files: Vec<String>,
+    ignore_case: bool,
+    warnings: Vec<Warning>,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    /// Creates an empty, case-sensitive graph.
+    pub fn new() -> Self {
+        Self::with_ignore_case(false)
+    }
+
+    /// Creates an empty graph; with `ignore_case` set, host names fold
+    /// to lower case on every lookup (pathalias `-i`).
+    pub fn with_ignore_case(ignore_case: bool) -> Self {
+        Graph {
+            names: Bump::new(),
+            nodes: Pool::new(),
+            links: Pool::new(),
+            table: HostTable::new(),
+            private_scope: HashMap::new(),
+            file_mentions: HashSet::new(),
+            files: vec!["<input>".to_string()],
+            ignore_case,
+            warnings: Vec::new(),
+        }
+    }
+
+    /// Whether lookups fold case.
+    pub fn ignore_case(&self) -> bool {
+        self.ignore_case
+    }
+
+    /// Starts a new input file: private scope and mention tracking from
+    /// the previous file end here.
+    pub fn begin_file(&mut self, name: &str) -> FileId {
+        self.private_scope.clear();
+        self.file_mentions.clear();
+        self.files.push(name.to_string());
+        FileId((self.files.len() - 1) as u32)
+    }
+
+    /// The current file id.
+    pub fn current_file(&self) -> FileId {
+        FileId((self.files.len() - 1) as u32)
+    }
+
+    /// The name of an input file.
+    pub fn file_name(&self, f: FileId) -> &str {
+        &self.files[f.index()]
+    }
+
+    fn key_of(&self, name: &str) -> String {
+        if self.ignore_case {
+            name.to_ascii_lowercase()
+        } else {
+            name.to_string()
+        }
+    }
+
+    fn new_node(&mut self, name: &str, extra: NodeFlags) -> NodeId {
+        let span = self.names.push_str(name);
+        let mut flags = extra;
+        if name.starts_with('.') {
+            flags.insert(NodeFlags::DOMAIN);
+        }
+        let file = self.current_file();
+        self.nodes.alloc(Node {
+            name: span,
+            flags,
+            first_link: None,
+            file,
+            adjust: 0,
+        })
+    }
+
+    /// Resolves `name` to a node, creating it if unknown. Private
+    /// bindings in the current file take precedence over the global
+    /// name space.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        assert!(!name.is_empty(), "host names cannot be empty");
+        let key = self.key_of(name);
+        self.file_mentions.insert(key.as_str().into());
+        if let Some(&id) = self.private_scope.get(key.as_str()) {
+            return id;
+        }
+        if let Some(&id) = self.table.peek(&key) {
+            return id;
+        }
+        let id = self.new_node(name, NodeFlags::empty());
+        self.table.insert(&key, id);
+        id
+    }
+
+    /// Looks `name` up without creating it.
+    pub fn try_node(&self, name: &str) -> Option<NodeId> {
+        let key = self.key_of(name);
+        if let Some(&id) = self.private_scope.get(key.as_str()) {
+            return Some(id);
+        }
+        self.table.peek(&key).copied()
+    }
+
+    /// Declares `name` private: a fresh node scoped from here to the end
+    /// of the current file. Repeating the declaration in the same file
+    /// returns the same node.
+    pub fn declare_private(&mut self, name: &str) -> NodeId {
+        let key = self.key_of(name);
+        if let Some(&id) = self.private_scope.get(key.as_str()) {
+            return id;
+        }
+        if self.file_mentions.contains(key.as_str()) {
+            self.warnings.push(Warning::PrivateAfterUse {
+                host: name.to_string(),
+            });
+        }
+        let id = self.new_node(name, NodeFlags::PRIVATE);
+        self.private_scope.insert(key.into(), id);
+        id
+    }
+
+    /// The node's display name.
+    pub fn name(&self, id: NodeId) -> &str {
+        self.names.str(self.nodes[id].name)
+    }
+
+    /// Shared node access.
+    pub fn node_ref(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Mutable node access.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id]
+    }
+
+    /// Shared link access.
+    pub fn link_ref(&self, id: LinkId) -> &Link {
+        &self.links[id]
+    }
+
+    /// Mutable link access.
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id]
+    }
+
+    /// Number of nodes (including private, deleted and network nodes).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links (including implicit and deleted ones).
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Iterates over all nodes in creation order.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter()
+    }
+
+    /// Iterates over all node ids in creation order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + use<> {
+        self.nodes.handles()
+    }
+
+    /// Iterates over the adjacency list of `from` in list order.
+    pub fn links_from(&self, from: NodeId) -> LinkIter<'_> {
+        LinkIter {
+            links: &self.links,
+            cur: self.nodes[from].first_link,
+        }
+    }
+
+    /// Adds a link unconditionally (no duplicate handling), prepending
+    /// it to the adjacency list exactly as the original did.
+    pub fn add_raw_link(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        cost: Cost,
+        op: RouteOp,
+        flags: LinkFlags,
+    ) -> LinkId {
+        let head = self.nodes[from].first_link;
+        let id = self.links.alloc(Link {
+            to,
+            cost,
+            op,
+            flags,
+            next: head,
+        });
+        self.nodes[from].first_link = Some(id);
+        id
+    }
+
+    /// Finds the first explicit (hand-written) link `from -> to`.
+    pub fn find_explicit_link(&self, from: NodeId, to: NodeId) -> Option<LinkId> {
+        self.links_from(from)
+            .find(|(_, l)| l.to == to && l.flags.is_explicit())
+            .map(|(id, _)| id)
+    }
+
+    /// Finds any live (non-deleted) link `from -> to`.
+    pub fn find_link(&self, from: NodeId, to: NodeId) -> Option<LinkId> {
+        self.links_from(from)
+            .find(|(_, l)| l.to == to && !l.flags.contains(LinkFlags::DELETED))
+            .map(|(id, _)| id)
+    }
+
+    /// Declares an explicit link, applying the duplicate rule: if the
+    /// link already exists, the cheapest declaration wins (a warning is
+    /// recorded). Self links are ignored with a warning.
+    pub fn declare_link(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        cost: Cost,
+        op: RouteOp,
+    ) -> Option<LinkId> {
+        if from == to {
+            let host = self.name(from).to_string();
+            self.warnings.push(Warning::SelfLink { host });
+            return None;
+        }
+        if let Some(existing) = self.find_explicit_link(from, to) {
+            let old = self.links[existing].cost;
+            let (kept, dropped) = if cost < old {
+                let l = &mut self.links[existing];
+                l.cost = cost;
+                l.op = op;
+                (cost, old)
+            } else {
+                (old, cost)
+            };
+            self.warnings.push(Warning::DuplicateLink {
+                from: self.name(from).to_string(),
+                to: self.name(to).to_string(),
+                kept,
+                dropped,
+            });
+            return Some(existing);
+        }
+        Some(self.add_raw_link(from, to, cost, op, LinkFlags::empty()))
+    }
+
+    /// Declares `net` as a network with the given members and per-member
+    /// entry costs: each member gets an entry edge member→net at its
+    /// cost and a free exit edge net→member ("you pay to get onto a
+    /// network, but you get off for free").
+    pub fn declare_network(&mut self, net: NodeId, members: &[(NodeId, Cost)], op: RouteOp) {
+        if self.nodes[net].is_net() && self.has_members(net) {
+            self.warnings.push(Warning::RedeclaredNet {
+                net: self.name(net).to_string(),
+            });
+        }
+        self.nodes[net].flags.insert(NodeFlags::NET);
+        for &(m, cost) in members {
+            if m == net {
+                let host = self.name(net).to_string();
+                self.warnings.push(Warning::SelfLink { host });
+                continue;
+            }
+            // Merge duplicate membership, keeping the cheaper entry.
+            let dup_in = self
+                .links_from(m)
+                .find(|(_, l)| l.to == net && l.flags.contains(LinkFlags::NET_IN))
+                .map(|(id, _)| id);
+            match dup_in {
+                Some(id) => {
+                    if cost < self.links[id].cost {
+                        self.links[id].cost = cost;
+                        self.links[id].op = op;
+                    }
+                }
+                None => {
+                    self.add_raw_link(m, net, cost, op, LinkFlags::NET_IN);
+                }
+            }
+            let has_out = self
+                .links_from(net)
+                .any(|(_, l)| l.to == m && l.flags.contains(LinkFlags::NET_OUT));
+            if !has_out {
+                self.add_raw_link(net, m, 0, op, LinkFlags::NET_OUT);
+            }
+        }
+    }
+
+    fn has_members(&self, net: NodeId) -> bool {
+        self.links_from(net)
+            .any(|(_, l)| l.flags.contains(LinkFlags::NET_OUT))
+    }
+
+    /// Declares `a` and `b` aliases of one another: a pair of zero-cost
+    /// alias edges. Idempotent; self-aliases are ignored with a warning.
+    pub fn declare_alias(&mut self, a: NodeId, b: NodeId) {
+        if a == b {
+            let host = self.name(a).to_string();
+            self.warnings.push(Warning::SelfAlias { host });
+            return;
+        }
+        let have_ab = self
+            .links_from(a)
+            .any(|(_, l)| l.to == b && l.flags.contains(LinkFlags::ALIAS));
+        if !have_ab {
+            self.add_raw_link(a, b, 0, RouteOp::UUCP, LinkFlags::ALIAS);
+        }
+        let have_ba = self
+            .links_from(b)
+            .any(|(_, l)| l.to == a && l.flags.contains(LinkFlags::ALIAS));
+        if !have_ba {
+            self.add_raw_link(b, a, 0, RouteOp::UUCP, LinkFlags::ALIAS);
+        }
+    }
+
+    /// Marks a host dead: a legal destination that must never relay.
+    pub fn mark_dead(&mut self, id: NodeId) {
+        self.nodes[id].flags.insert(NodeFlags::DEAD);
+    }
+
+    /// Marks the link `from -> to` dead (last resort). Returns false,
+    /// with a warning, if no such link exists.
+    pub fn mark_dead_link(&mut self, from: NodeId, to: NodeId) -> bool {
+        match self.find_link(from, to) {
+            Some(l) => {
+                self.links[l].flags.insert(LinkFlags::DEAD);
+                true
+            }
+            None => {
+                self.warnings.push(Warning::NoSuchLink {
+                    from: self.name(from).to_string(),
+                    to: self.name(to).to_string(),
+                });
+                false
+            }
+        }
+    }
+
+    /// Deletes a host outright: it disappears from mapping and output.
+    pub fn delete_node(&mut self, id: NodeId) {
+        self.nodes[id].flags.insert(NodeFlags::DELETED);
+    }
+
+    /// Deletes the link `from -> to`. Returns false, with a warning, if
+    /// no such link exists.
+    pub fn delete_link(&mut self, from: NodeId, to: NodeId) -> bool {
+        match self.find_link(from, to) {
+            Some(l) => {
+                self.links[l].flags.insert(LinkFlags::DELETED);
+                true
+            }
+            None => {
+                self.warnings.push(Warning::NoSuchLink {
+                    from: self.name(from).to_string(),
+                    to: self.name(to).to_string(),
+                });
+                false
+            }
+        }
+    }
+
+    /// Applies an `adjust` bias to a node (added to every path that
+    /// transits it).
+    pub fn adjust_node(&mut self, id: NodeId, bias: i64) {
+        let n = &mut self.nodes[id];
+        n.adjust = n.adjust.saturating_add(bias);
+        n.flags.insert(NodeFlags::ADJUSTED);
+    }
+
+    /// Marks a network as requiring explicit gateways.
+    pub fn mark_gated(&mut self, id: NodeId) {
+        self.nodes[id].flags.insert(NodeFlags::GATED | NodeFlags::NET);
+    }
+
+    /// Declares `host` a gateway into `net`: every live link host→net
+    /// becomes a gateway link. Returns false, with a warning, if no such
+    /// link exists.
+    pub fn declare_gateway(&mut self, net: NodeId, host: NodeId) -> bool {
+        let ids: Vec<LinkId> = self
+            .links_from(host)
+            .filter(|(_, l)| l.to == net && !l.flags.contains(LinkFlags::DELETED))
+            .map(|(id, _)| id)
+            .collect();
+        if ids.is_empty() {
+            self.warnings.push(Warning::NoSuchLink {
+                from: self.name(host).to_string(),
+                to: self.name(net).to_string(),
+            });
+            return false;
+        }
+        for id in ids {
+            self.links[id].flags.insert(LinkFlags::GATEWAY);
+        }
+        true
+    }
+
+    /// Post-parse validation: records warnings for suspicious but legal
+    /// constructs (currently: `gateway` links into ungated networks).
+    pub fn validate(&mut self) {
+        let mut found = Vec::new();
+        for (from, node) in self.nodes.iter() {
+            let mut cur = node.first_link;
+            while let Some(lid) = cur {
+                let link = &self.links[lid];
+                if link.flags.contains(LinkFlags::GATEWAY) && !self.nodes[link.to].is_gated() {
+                    found.push(Warning::GatewayIntoUngated {
+                        net: self.names.str(self.nodes[link.to].name).to_string(),
+                        host: self.names.str(self.nodes[from].name).to_string(),
+                    });
+                }
+                cur = link.next;
+            }
+        }
+        self.warnings.extend(found);
+    }
+
+    /// Warnings recorded so far.
+    pub fn warnings(&self) -> &[Warning] {
+        &self.warnings
+    }
+
+    /// Takes ownership of the recorded warnings, clearing the list.
+    pub fn take_warnings(&mut self) -> Vec<Warning> {
+        std::mem::take(&mut self.warnings)
+    }
+
+    /// Records an externally generated warning (used by the parser).
+    pub fn push_warning(&mut self, w: Warning) {
+        self.warnings.push(w);
+    }
+}
+
+/// Iterator over a node's adjacency list.
+pub struct LinkIter<'a> {
+    links: &'a Pool<Link>,
+    cur: Option<LinkId>,
+}
+
+impl<'a> Iterator for LinkIter<'a> {
+    type Item = (LinkId, &'a Link);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let id = self.cur?;
+        let link = &self.links[id];
+        self.cur = link.next;
+        Some((id, link))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::DEFAULT_COST;
+
+    #[test]
+    fn node_interning() {
+        let mut g = Graph::new();
+        let a = g.node("seismo");
+        let b = g.node("seismo");
+        assert_eq!(a, b);
+        assert_eq!(g.name(a), "seismo");
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn case_folding_optional() {
+        let mut g = Graph::new();
+        assert_ne!(g.node("UNC"), g.node("unc"));
+
+        let mut g = Graph::with_ignore_case(true);
+        assert_eq!(g.node("UNC"), g.node("unc"));
+        // The first-seen spelling is kept for display.
+        let id = g.node("unc");
+        assert_eq!(g.name(id), "UNC");
+    }
+
+    #[test]
+    fn domain_flag_automatic() {
+        let mut g = Graph::new();
+        let d = g.node(".edu");
+        assert!(g.node_ref(d).is_domain());
+        assert!(g.node_ref(d).is_gated());
+        let h = g.node("edu");
+        assert!(!g.node_ref(h).is_domain());
+    }
+
+    #[test]
+    fn links_prepend_like_the_original() {
+        let mut g = Graph::new();
+        let a = g.node("a");
+        let b = g.node("b");
+        let c = g.node("c");
+        g.declare_link(a, b, 10, RouteOp::UUCP);
+        g.declare_link(a, c, 20, RouteOp::UUCP);
+        let tos: Vec<NodeId> = g.links_from(a).map(|(_, l)| l.to).collect();
+        assert_eq!(tos, vec![c, b], "newest link first");
+    }
+
+    #[test]
+    fn duplicate_link_keeps_cheapest() {
+        let mut g = Graph::new();
+        let a = g.node("a");
+        let b = g.node("b");
+        g.declare_link(a, b, 300, RouteOp::UUCP);
+        g.declare_link(a, b, 100, RouteOp::ARPA);
+        g.declare_link(a, b, 200, RouteOp::UUCP);
+        assert_eq!(g.links_from(a).count(), 1);
+        let (_, l) = g.links_from(a).next().unwrap();
+        assert_eq!(l.cost, 100);
+        assert_eq!(l.op, RouteOp::ARPA);
+        assert_eq!(g.warnings().len(), 2);
+    }
+
+    #[test]
+    fn self_link_ignored() {
+        let mut g = Graph::new();
+        let a = g.node("a");
+        assert!(g.declare_link(a, a, 10, RouteOp::UUCP).is_none());
+        assert_eq!(g.links_from(a).count(), 0);
+        assert!(matches!(g.warnings()[0], Warning::SelfLink { .. }));
+    }
+
+    #[test]
+    fn network_creates_paired_edges() {
+        let mut g = Graph::new();
+        let net = g.node("ARPA");
+        let m1 = g.node("mit-ai");
+        let m2 = g.node("ucbvax");
+        g.declare_network(net, &[(m1, 95), (m2, 95)], RouteOp::ARPA);
+
+        assert!(g.node_ref(net).is_net());
+        // Entry edges carry the cost.
+        let (_, l) = g
+            .links_from(m1)
+            .find(|(_, l)| l.to == net)
+            .expect("entry edge");
+        assert_eq!(l.cost, 95);
+        assert!(l.flags.contains(LinkFlags::NET_IN));
+        // Exit edges are free.
+        let outs: Vec<&Link> = g.links_from(net).map(|(_, l)| l).collect();
+        assert_eq!(outs.len(), 2);
+        assert!(outs.iter().all(|l| l.cost == 0));
+        assert!(outs
+            .iter()
+            .all(|l| l.flags.contains(LinkFlags::NET_OUT)));
+    }
+
+    #[test]
+    fn network_membership_merges_on_redeclaration() {
+        let mut g = Graph::new();
+        let net = g.node("N");
+        let m = g.node("m");
+        g.declare_network(net, &[(m, 100)], RouteOp::UUCP);
+        g.declare_network(net, &[(m, 50)], RouteOp::UUCP);
+        // Cheaper entry wins; no duplicate edges.
+        let entries: Vec<&Link> = g
+            .links_from(m)
+            .filter(|(_, l)| l.to == net)
+            .map(|(_, l)| l)
+            .collect();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].cost, 50);
+        assert_eq!(g.links_from(net).count(), 1);
+        assert!(g
+            .warnings()
+            .iter()
+            .any(|w| matches!(w, Warning::RedeclaredNet { .. })));
+    }
+
+    #[test]
+    fn alias_edges_are_paired_zero_cost() {
+        let mut g = Graph::new();
+        let p = g.node("princeton");
+        let f = g.node("fun");
+        g.declare_alias(p, f);
+        g.declare_alias(p, f); // Idempotent.
+        let (_, ab) = g.links_from(p).next().unwrap();
+        let (_, ba) = g.links_from(f).next().unwrap();
+        assert_eq!(ab.to, f);
+        assert_eq!(ba.to, p);
+        assert_eq!(ab.cost, 0);
+        assert!(ab.flags.contains(LinkFlags::ALIAS));
+        assert_eq!(g.links_from(p).count(), 1);
+        assert_eq!(g.links_from(f).count(), 1);
+    }
+
+    #[test]
+    fn private_scoping_follows_files() {
+        let mut g = Graph::new();
+        g.begin_file("one");
+        let global = g.node("bilbo");
+        let princeton = g.node("princeton");
+        g.declare_link(global, princeton, DEFAULT_COST, RouteOp::UUCP);
+
+        g.begin_file("two");
+        let private = g.declare_private("bilbo");
+        assert_ne!(global, private);
+        assert!(g.node_ref(private).flags.contains(NodeFlags::PRIVATE));
+        // Inside file two, "bilbo" means the private node.
+        assert_eq!(g.node("bilbo"), private);
+        // Repeated declaration: same node.
+        assert_eq!(g.declare_private("bilbo"), private);
+
+        g.begin_file("three");
+        assert_eq!(g.node("bilbo"), global);
+        assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn private_after_use_warns() {
+        let mut g = Graph::new();
+        g.begin_file("f");
+        let _ = g.node("bilbo");
+        let _ = g.declare_private("bilbo");
+        assert!(g
+            .warnings()
+            .iter()
+            .any(|w| matches!(w, Warning::PrivateAfterUse { .. })));
+    }
+
+    #[test]
+    fn dead_and_delete() {
+        let mut g = Graph::new();
+        let a = g.node("a");
+        let b = g.node("b");
+        g.declare_link(a, b, 10, RouteOp::UUCP);
+        assert!(g.mark_dead_link(a, b));
+        assert!(!g.mark_dead_link(b, a));
+        g.mark_dead(a);
+        assert!(g.node_ref(a).flags.contains(NodeFlags::DEAD));
+        assert!(g.delete_link(a, b));
+        assert!(g.find_link(a, b).is_none());
+        g.delete_node(b);
+        assert!(!g.node_ref(b).is_mappable());
+    }
+
+    #[test]
+    fn gateway_declaration() {
+        let mut g = Graph::new();
+        let net = g.node("CSNET");
+        let host = g.node("relay");
+        g.mark_gated(net);
+        // Before any link exists the declaration fails.
+        assert!(!g.declare_gateway(net, host));
+        g.declare_link(host, net, 10, RouteOp::UUCP);
+        assert!(g.declare_gateway(net, host));
+        let (_, l) = g.links_from(host).next().unwrap();
+        assert!(l.flags.contains(LinkFlags::GATEWAY));
+    }
+
+    #[test]
+    fn validate_flags_gateway_into_ungated() {
+        let mut g = Graph::new();
+        let net = g.node("OPEN");
+        let host = g.node("h");
+        g.node_mut(net).flags.insert(NodeFlags::NET);
+        g.declare_link(host, net, 10, RouteOp::UUCP);
+        g.declare_gateway(net, host);
+        g.validate();
+        assert!(g
+            .warnings()
+            .iter()
+            .any(|w| matches!(w, Warning::GatewayIntoUngated { .. })));
+    }
+
+    #[test]
+    fn adjust_accumulates() {
+        let mut g = Graph::new();
+        let a = g.node("a");
+        g.adjust_node(a, 100);
+        g.adjust_node(a, -30);
+        assert_eq!(g.node_ref(a).adjust, 70);
+        assert!(g.node_ref(a).flags.contains(NodeFlags::ADJUSTED));
+    }
+
+    #[test]
+    fn take_warnings_clears() {
+        let mut g = Graph::new();
+        let a = g.node("a");
+        g.declare_link(a, a, 1, RouteOp::UUCP);
+        assert_eq!(g.take_warnings().len(), 1);
+        assert!(g.warnings().is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! Connectivity-graph representation for the pathalias reproduction.
+//!
+//! The paper models "a set of hosts and networks, called *nodes*, with
+//! communication links among them" as a directed graph held in an
+//! adjacency-list representation: each node points at a singly-linked
+//! list of *links*, and each link carries a destination, a non-negative
+//! cost, a routing operator, and flags. This crate reproduces that
+//! layout with index-based pools (the safe Rust idiom for the original's
+//! pointer soup) plus everything the input semantics need:
+//!
+//! * [`Graph`] — node/link pools, the host-name table, and file-scoped
+//!   `private` name resolution;
+//! * [`Node`] / [`Link`] with [`NodeFlags`] / [`LinkFlags`];
+//! * networks as single nodes with paired member edges (the "clique as
+//!   star" representation that avoids the ARPANET's "millions of
+//!   edges");
+//! * aliases as paired zero-cost flagged edges ("aliases are a property
+//!   of edges, not vertices");
+//! * domains (names beginning with `.`), which are always gatewayed;
+//! * [`Warning`] diagnostics for duplicate links, self links, collisions
+//!   and the rest;
+//! * [`dot`] (Graphviz export), [`unparse`] (write a graph back out as
+//!   pathalias input) and [`boxed`] (a pointer-per-object replica of the
+//!   1986 memory layout for the allocator experiment).
+//!
+//! # Examples
+//!
+//! ```
+//! use pathalias_graph::{Graph, RouteOp};
+//!
+//! let mut g = Graph::new();
+//! let unc = g.node("unc");
+//! let duke = g.node("duke");
+//! g.declare_link(unc, duke, 500, RouteOp::UUCP);
+//! assert_eq!(g.name(unc), "unc");
+//! assert_eq!(g.links_from(unc).count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boxed;
+mod cost;
+mod diag;
+pub mod dot;
+mod flags;
+#[allow(clippy::module_inception)]
+mod graph;
+pub mod stats;
+mod link;
+mod node;
+pub mod unparse;
+
+pub use cost::{symbol_cost, symbol_table, Cost, DEFAULT_COST, INF};
+pub use diag::Warning;
+pub use flags::{LinkFlags, NodeFlags};
+pub use graph::{FileId, Graph, LinkId, NodeId};
+pub use link::{Dir, Link, RouteOp};
+pub use node::Node;

@@ -1,0 +1,149 @@
+//! Links: weighted, labelled directed edges.
+
+use crate::flags::LinkFlags;
+use crate::graph::{LinkId, NodeId};
+use crate::Cost;
+use std::fmt;
+
+/// Which side of the routing operator the host name appears on when an
+/// address is built across this link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Host on the left: `host!%s` (UUCP convention).
+    Left,
+    /// Host on the right: `%s@host` (ARPANET convention).
+    Right,
+}
+
+/// A routing operator: the character used to splice a host into an
+/// address, and which side of it the host name goes.
+///
+/// In the input language the operator is written adjacent to the
+/// destination: a *prefix* operator (`@b`) puts the host on the right of
+/// the character (`%s@b`), a *suffix* operator (`b!`) puts it on the
+/// left (`b!%s`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RouteOp {
+    /// Operator character (one of `! @ : %`).
+    pub ch: char,
+    /// Side the host name appears on.
+    pub dir: Dir,
+}
+
+impl RouteOp {
+    /// The default UUCP operator: `host!%s`.
+    pub const UUCP: RouteOp = RouteOp {
+        ch: '!',
+        dir: Dir::Left,
+    };
+
+    /// The ARPANET operator: `%s@host`.
+    pub const ARPA: RouteOp = RouteOp {
+        ch: '@',
+        dir: Dir::Right,
+    };
+
+    /// The set of characters accepted as routing operators.
+    pub const OPERATOR_CHARS: &'static [char] = &['!', '@', ':', '%'];
+
+    /// Whether `ch` may serve as a routing operator.
+    pub fn is_operator_char(ch: char) -> bool {
+        Self::OPERATOR_CHARS.contains(&ch)
+    }
+
+    /// Splices `host` into the format-string `route` across this
+    /// operator: `duke!%s` + `phs` under `!`/Left gives `duke!phs!%s`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pathalias_graph::RouteOp;
+    ///
+    /// assert_eq!(RouteOp::UUCP.splice("%s", "duke"), "duke!%s");
+    /// assert_eq!(RouteOp::ARPA.splice("a!%s", "mit-ai"), "a!%s@mit-ai");
+    /// ```
+    pub fn splice(&self, route: &str, host: &str) -> String {
+        let insert = match self.dir {
+            Dir::Left => format!("{host}{}%s", self.ch),
+            Dir::Right => format!("%s{}{host}", self.ch),
+        };
+        route.replacen("%s", &insert, 1)
+    }
+}
+
+impl Default for RouteOp {
+    fn default() -> Self {
+        RouteOp::UUCP
+    }
+}
+
+impl fmt::Display for RouteOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.dir {
+            Dir::Left => write!(f, "host{}", self.ch),
+            Dir::Right => write!(f, "{}host", self.ch),
+        }
+    }
+}
+
+/// A directed edge in the connectivity graph.
+///
+/// Mirrors the paper's `link` struct: "a pointer to the next link on the
+/// list, a pointer to the destination host on the edge it represents, a
+/// non-negative cost, and some flags".
+#[derive(Debug, Clone, Copy)]
+pub struct Link {
+    /// Destination node.
+    pub to: NodeId,
+    /// Link weight.
+    pub cost: Cost,
+    /// Routing operator used to build addresses across this link.
+    pub op: RouteOp,
+    /// Flags.
+    pub flags: LinkFlags,
+    /// Next link in the source node's adjacency list (singly linked, as
+    /// in the original).
+    pub next: Option<LinkId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splice_left() {
+        assert_eq!(RouteOp::UUCP.splice("%s", "duke"), "duke!%s");
+        assert_eq!(RouteOp::UUCP.splice("duke!%s", "phs"), "duke!phs!%s");
+    }
+
+    #[test]
+    fn splice_right() {
+        assert_eq!(RouteOp::ARPA.splice("%s", "mit-ai"), "%s@mit-ai");
+        assert_eq!(
+            RouteOp::ARPA.splice("duke!research!ucbvax!%s", "mit-ai"),
+            "duke!research!ucbvax!%s@mit-ai"
+        );
+    }
+
+    #[test]
+    fn splice_replaces_only_first_marker() {
+        // Routes contain exactly one %s, but be defensive about it.
+        let op = RouteOp::UUCP;
+        assert_eq!(op.splice("%s and %s", "x"), "x!%s and %s");
+    }
+
+    #[test]
+    fn operator_chars() {
+        for ch in ['!', '@', ':', '%'] {
+            assert!(RouteOp::is_operator_char(ch));
+        }
+        assert!(!RouteOp::is_operator_char('$'));
+        assert!(!RouteOp::is_operator_char('a'));
+    }
+
+    #[test]
+    fn display_shows_side() {
+        assert_eq!(RouteOp::UUCP.to_string(), "host!");
+        assert_eq!(RouteOp::ARPA.to_string(), "@host");
+    }
+}

@@ -1,0 +1,199 @@
+//! Prime table-size schedules.
+//!
+//! Pathalias cannot know the host count in advance, so it grows its
+//! table through a schedule of primes. The paper discusses three
+//! schedules, all implemented here:
+//!
+//! * geometric with δ = 2 (rejected: wastes space when the host count
+//!   lands just past a threshold),
+//! * an arithmetic candidate list searched for the first prime giving
+//!   load below α_L = 0.49 (δ ≈ α_H/α_L ≈ golden ratio),
+//! * "a Fibonacci sequence of primes (more or less)", the current
+//!   scheme, which follows the golden ratio by construction.
+
+/// Safety bound on candidate-list searches in growth policies; a table
+/// would need billions of hosts to get anywhere near it.
+pub const ALPHA_SEARCH_LIMIT: u64 = 1 << 20;
+
+/// Deterministic primality test by trial division.
+///
+/// Table sizes stay far below the range where this is slow.
+///
+/// # Examples
+///
+/// ```
+/// use pathalias_hash::primes::is_prime;
+///
+/// assert!(is_prime(1021));
+/// assert!(!is_prime(1023));
+/// ```
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n % 2 == 0 {
+        return n == 2;
+    }
+    if n % 3 == 0 {
+        return n == 3;
+    }
+    let mut d = 5u64;
+    while d.saturating_mul(d) <= n {
+        if n % d == 0 || n % (d + 2) == 0 {
+            return false;
+        }
+        d += 6;
+    }
+    true
+}
+
+/// The smallest prime greater than or equal to `n`.
+///
+/// # Examples
+///
+/// ```
+/// use pathalias_hash::primes::next_prime;
+///
+/// assert_eq!(next_prime(100), 101);
+/// assert_eq!(next_prime(13), 13);
+/// ```
+pub fn next_prime(mut n: u64) -> u64 {
+    if n <= 2 {
+        return 2;
+    }
+    if n % 2 == 0 {
+        n += 1;
+    }
+    while !is_prime(n) {
+        n += 2;
+    }
+    n
+}
+
+/// The "Fibonacci sequence of primes (more or less)" used by the current
+/// pathalias implementation: each size is the smallest prime at least
+/// the sum of the previous two, which tracks the golden ratio.
+///
+/// # Examples
+///
+/// ```
+/// use pathalias_hash::primes::fibonacci_primes;
+///
+/// let sizes: Vec<u64> = fibonacci_primes().take(5).collect();
+/// assert_eq!(sizes[0], 13);
+/// assert!(sizes.windows(2).all(|w| w[1] > w[0]));
+/// ```
+pub fn fibonacci_primes() -> impl Iterator<Item = u64> {
+    let mut a = 7u64;
+    let mut b = 13u64;
+    std::iter::from_fn(move || {
+        let out = b;
+        let next = next_prime(a + b);
+        a = b;
+        b = next;
+        Some(out)
+    })
+}
+
+/// Geometric schedule: each size is the smallest prime at least `delta`
+/// times the previous, starting at 13. The paper cites δ = 2 (after Aho,
+/// Hopcroft & Ullman) as wasting "an excessive amount of space".
+pub fn geometric_primes(delta: f64) -> impl Iterator<Item = u64> {
+    assert!(delta > 1.0, "geometric growth requires delta > 1");
+    let mut t = 13u64;
+    std::iter::from_fn(move || {
+        let out = t;
+        let scaled = (t as f64 * delta).ceil() as u64;
+        t = next_prime(scaled.max(t + 1));
+        Some(out)
+    })
+}
+
+/// Arithmetic candidate list: primes at (or just above) multiples of
+/// `step`. The growth policy searches this list for the first size whose
+/// load factor falls below α_L.
+pub fn arithmetic_primes(step: u64) -> impl Iterator<Item = u64> {
+    assert!(step >= 2, "arithmetic step must be at least 2");
+    let mut k = 1u64;
+    std::iter::from_fn(move || {
+        let mut candidate = next_prime(k * step);
+        // Ensure strict monotonicity even when two multiples round to
+        // the same prime.
+        while k > 1 && candidate <= next_prime((k - 1) * step) {
+            k += 1;
+            candidate = next_prime(k * step);
+        }
+        k += 1;
+        Some(candidate)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let known = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31];
+        for p in known {
+            assert!(is_prime(p), "{p} is prime");
+        }
+        for c in [0u64, 1, 4, 6, 8, 9, 10, 12, 15, 21, 25, 27, 33, 35, 49] {
+            assert!(!is_prime(c), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn next_prime_basics() {
+        assert_eq!(next_prime(0), 2);
+        assert_eq!(next_prime(2), 2);
+        assert_eq!(next_prime(3), 3);
+        assert_eq!(next_prime(4), 5);
+        assert_eq!(next_prime(90), 97);
+    }
+
+    #[test]
+    fn fibonacci_tracks_golden_ratio() {
+        let sizes: Vec<u64> = fibonacci_primes().take(15).collect();
+        for w in sizes.windows(2) {
+            let ratio = w[1] as f64 / w[0] as f64;
+            assert!(
+                (1.3..2.2).contains(&ratio),
+                "ratio {ratio} out of range for {w:?}"
+            );
+        }
+        // The long-run ratio should settle near φ ≈ 1.618.
+        let tail = sizes[13] as f64 / sizes[12] as f64;
+        assert!((1.5..1.75).contains(&tail), "tail ratio {tail}");
+    }
+
+    #[test]
+    fn geometric_doubles() {
+        let sizes: Vec<u64> = geometric_primes(2.0).take(8).collect();
+        for w in sizes.windows(2) {
+            assert!(w[1] as f64 >= w[0] as f64 * 2.0);
+            assert!(is_prime(w[1]));
+        }
+    }
+
+    #[test]
+    fn arithmetic_is_strictly_increasing_primes() {
+        let sizes: Vec<u64> = arithmetic_primes(512).take(20).collect();
+        for w in sizes.windows(2) {
+            assert!(w[1] > w[0], "not increasing: {w:?}");
+        }
+        for s in sizes {
+            assert!(is_prime(s));
+        }
+    }
+
+    #[test]
+    fn all_schedules_yield_primes() {
+        for s in fibonacci_primes().take(20) {
+            assert!(is_prime(s));
+        }
+        for s in geometric_primes(1.5).take(20) {
+            assert!(is_prime(s));
+        }
+    }
+}

@@ -1,0 +1,569 @@
+//! The open-addressing, double-hashing host table.
+
+use crate::fold::fold;
+use crate::primes::{next_prime, ALPHA_SEARCH_LIMIT};
+
+/// High-water load factor: rehash past this point. The paper chose 0.79
+/// "as this gives a predicted ratio of 2 probes per access when the
+/// table is full".
+pub const ALPHA_HIGH: f64 = 0.79;
+
+/// Low-water load factor for the arithmetic growth policy: δ = α_H/α_L
+/// was chosen "close to the golden ratio", with α_L = 0.49.
+pub const ALPHA_LOW: f64 = 0.49;
+
+/// Choice of secondary hash function for double hashing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SecondaryHash {
+    /// `T-2-(k mod T-2)` — the inverse form pathalias uses.
+    Inverse,
+    /// `1+(k mod T-2)` — the textbook form, which the authors observed
+    /// to behave anomalously (kept for the E5 comparison).
+    PlusOne,
+}
+
+impl SecondaryHash {
+    /// Computes the probe step for key `k` in a table of prime size `t`.
+    ///
+    /// The result is always in `1..=t-2`, hence coprime to the prime
+    /// table size, so the probe sequence visits every slot.
+    #[inline]
+    pub fn step(self, k: u64, t: u64) -> u64 {
+        debug_assert!(t > 3);
+        match self {
+            SecondaryHash::Inverse => t - 2 - (k % (t - 2)),
+            SecondaryHash::PlusOne => 1 + (k % (t - 2)),
+        }
+    }
+}
+
+/// Table growth schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GrowthPolicy {
+    /// Smallest prime at least the sum of the previous two sizes — the
+    /// current pathalias scheme, following the golden ratio.
+    FibonacciPrimes,
+    /// Smallest prime at least δ times the current size.
+    Geometric(f64),
+    /// Search primes at multiples of `step` for the first size whose
+    /// load falls below `alpha_low`.
+    ArithmeticLowWater {
+        /// Spacing of the arithmetic candidate list.
+        step: u64,
+        /// Target load factor after growth.
+        alpha_low: f64,
+    },
+}
+
+/// Configuration for a [`HostTable`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableConfig {
+    /// Secondary hash choice.
+    pub secondary: SecondaryHash,
+    /// Growth schedule.
+    pub growth: GrowthPolicy,
+    /// High-water load factor triggering a rehash.
+    pub alpha_high: f64,
+}
+
+impl Default for TableConfig {
+    fn default() -> Self {
+        TableConfig {
+            secondary: SecondaryHash::Inverse,
+            growth: GrowthPolicy::FibonacciPrimes,
+            alpha_high: ALPHA_HIGH,
+        }
+    }
+}
+
+/// Probe and rehash statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProbeStats {
+    /// Slots examined across all lookups (hits and misses).
+    pub lookup_probes: u64,
+    /// Number of lookups.
+    pub lookups: u64,
+    /// Slots examined across all insert placements.
+    pub insert_probes: u64,
+    /// Number of inserts that placed a new key.
+    pub inserts: u64,
+    /// Slots examined while reinserting during rehashes.
+    pub rehash_probes: u64,
+    /// Number of rehashes performed.
+    pub rehashes: u64,
+    /// Tables discarded by rehashing (paper: kept on a list for reuse).
+    pub tables_discarded: u64,
+    /// Total slot capacity of discarded tables.
+    pub discarded_slots: u64,
+}
+
+impl ProbeStats {
+    /// Mean probes per lookup, or 0.0 if none were made.
+    pub fn mean_lookup_probes(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.lookup_probes as f64 / self.lookups as f64
+        }
+    }
+
+    /// Mean probes per fresh insert, or 0.0 if none were made.
+    pub fn mean_insert_probes(&self) -> f64 {
+        if self.inserts == 0 {
+            0.0
+        } else {
+            self.insert_probes as f64 / self.inserts as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry<V> {
+    key: Box<str>,
+    khash: u64,
+    value: V,
+}
+
+/// Open-addressing, double-hashing table keyed by host name.
+///
+/// Deletion is deliberately unsupported: pathalias never removes a host
+/// name from the table (the `delete` input command marks graph nodes
+/// dead instead), and open addressing without tombstones stays simple
+/// and fast. Growth follows the configured [`GrowthPolicy`].
+///
+/// # Examples
+///
+/// ```
+/// use pathalias_hash::{HostTable, TableConfig};
+///
+/// let mut t = HostTable::with_config(TableConfig::default());
+/// assert!(t.insert("ulysses", 7).is_none());
+/// assert_eq!(t.insert("ulysses", 8), Some(7));
+/// assert_eq!(t.get("ulysses"), Some(&8));
+/// assert_eq!(t.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HostTable<V> {
+    slots: Vec<Option<Entry<V>>>,
+    len: usize,
+    prev_size: u64,
+    config: TableConfig,
+    stats: ProbeStats,
+}
+
+const INITIAL_SIZE: u64 = 13;
+const INITIAL_PREV: u64 = 7;
+
+impl<V> Default for HostTable<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> HostTable<V> {
+    /// Creates a table with pathalias's configuration (inverse secondary
+    /// hash, Fibonacci-prime growth, α_H = 0.79).
+    pub fn new() -> Self {
+        Self::with_config(TableConfig::default())
+    }
+
+    /// Creates a table with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha_high` is not in `(0, 1)`.
+    pub fn with_config(config: TableConfig) -> Self {
+        assert!(
+            config.alpha_high > 0.0 && config.alpha_high < 1.0,
+            "alpha_high must be in (0, 1)"
+        );
+        let mut slots = Vec::new();
+        slots.resize_with(INITIAL_SIZE as usize, || None);
+        HostTable {
+            slots,
+            len: 0,
+            prev_size: INITIAL_PREV,
+            config,
+            stats: ProbeStats::default(),
+        }
+    }
+
+    /// Number of keys stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current slot capacity `T`.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current load factor α = n/T.
+    pub fn load_factor(&self) -> f64 {
+        self.len as f64 / self.slots.len() as f64
+    }
+
+    /// Accumulated probe statistics.
+    pub fn stats(&self) -> ProbeStats {
+        self.stats
+    }
+
+    /// Clears the probe statistics (capacity and contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = ProbeStats::default();
+    }
+
+    /// Probes for `key`, returning the slot index where it lives or
+    /// would be placed, plus the number of slots examined.
+    fn probe(&self, key: &str, khash: u64) -> (usize, u64) {
+        let t = self.slots.len() as u64;
+        let h1 = khash % t;
+        let step = self.config.secondary.step(khash, t);
+        let mut idx = h1;
+        let mut probes = 1u64;
+        loop {
+            match &self.slots[idx as usize] {
+                None => return (idx as usize, probes),
+                Some(e) if e.khash == khash && *e.key == *key => {
+                    return (idx as usize, probes);
+                }
+                Some(_) => {
+                    idx = (idx + step) % t;
+                    probes += 1;
+                    debug_assert!(probes <= t, "probe sequence failed to terminate");
+                }
+            }
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get(&mut self, key: &str) -> Option<&V> {
+        let (idx, probes) = self.probe(key, fold(key));
+        self.stats.lookup_probes += probes;
+        self.stats.lookups += 1;
+        self.slots[idx].as_ref().map(|e| &e.value)
+    }
+
+    /// Looks up `key` without touching statistics (usable through `&self`).
+    pub fn peek(&self, key: &str) -> Option<&V> {
+        let (idx, _) = self.probe(key, fold(key));
+        self.slots[idx].as_ref().map(|e| &e.value)
+    }
+
+    /// Looks up `key` for mutation.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut V> {
+        let (idx, probes) = self.probe(key, fold(key));
+        self.stats.lookup_probes += probes;
+        self.stats.lookups += 1;
+        self.slots[idx].as_mut().map(|e| &mut e.value)
+    }
+
+    /// Inserts `key` → `value`, returning the previous value if the key
+    /// was already present.
+    pub fn insert(&mut self, key: &str, value: V) -> Option<V> {
+        self.grow_if_needed();
+        let khash = fold(key);
+        let (idx, probes) = self.probe(key, khash);
+        match &mut self.slots[idx] {
+            Some(e) => Some(std::mem::replace(&mut e.value, value)),
+            empty @ None => {
+                *empty = Some(Entry {
+                    key: key.into(),
+                    khash,
+                    value,
+                });
+                self.len += 1;
+                self.stats.insert_probes += probes;
+                self.stats.inserts += 1;
+                None
+            }
+        }
+    }
+
+    /// Returns the value for `key`, inserting `make()` first if absent.
+    /// The boolean is true when an insertion happened.
+    pub fn get_or_insert_with(&mut self, key: &str, make: impl FnOnce() -> V) -> (&mut V, bool) {
+        self.grow_if_needed();
+        let khash = fold(key);
+        let (idx, probes) = self.probe(key, khash);
+        let inserted = self.slots[idx].is_none();
+        if inserted {
+            self.slots[idx] = Some(Entry {
+                key: key.into(),
+                khash,
+                value: make(),
+            });
+            self.len += 1;
+            self.stats.insert_probes += probes;
+            self.stats.inserts += 1;
+        } else {
+            self.stats.lookup_probes += probes;
+            self.stats.lookups += 1;
+        }
+        let value = &mut self.slots[idx].as_mut().expect("slot just filled").value;
+        (value, inserted)
+    }
+
+    /// Iterates over `(key, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &V)> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|e| (&*e.key, &e.value)))
+    }
+
+    fn grow_if_needed(&mut self) {
+        // Grow when the *next* insertion could push load past α_H, i.e.
+        // test (n+1)/T like the original tested n/T after inserting.
+        let t = self.slots.len() as f64;
+        if (self.len as f64 + 1.0) / t <= self.config.alpha_high {
+            return;
+        }
+        let (new_size, new_prev) = self.next_size();
+        let old = std::mem::take(&mut self.slots);
+        self.stats.tables_discarded += 1;
+        self.stats.discarded_slots += old.len() as u64;
+        self.stats.rehashes += 1;
+        self.prev_size = new_prev;
+        self.slots.resize_with(new_size as usize, || None);
+        for entry in old.into_iter().flatten() {
+            let t = self.slots.len() as u64;
+            let h1 = entry.khash % t;
+            let step = self.config.secondary.step(entry.khash, t);
+            let mut idx = h1;
+            let mut probes = 1u64;
+            while self.slots[idx as usize].is_some() {
+                idx = (idx + step) % t;
+                probes += 1;
+            }
+            self.slots[idx as usize] = Some(entry);
+            self.stats.rehash_probes += probes;
+        }
+    }
+
+    /// Computes the next table size (and the "previous" size to retain
+    /// for the Fibonacci schedule) that accommodates `len + 1` keys.
+    fn next_size(&self) -> (u64, u64) {
+        let need = self.len as u64 + 1;
+        let cur = self.slots.len() as u64;
+        match self.config.growth {
+            GrowthPolicy::FibonacciPrimes => {
+                let mut a = self.prev_size;
+                let mut b = cur;
+                loop {
+                    let next = next_prime(a + b);
+                    a = b;
+                    b = next;
+                    if (need as f64) / (b as f64) <= self.config.alpha_high {
+                        return (b, a);
+                    }
+                }
+            }
+            GrowthPolicy::Geometric(delta) => {
+                assert!(delta > 1.0, "geometric growth requires delta > 1");
+                let mut t = cur;
+                loop {
+                    t = next_prime(((t as f64 * delta).ceil() as u64).max(t + 1));
+                    if (need as f64) / (t as f64) <= self.config.alpha_high {
+                        return (t, cur);
+                    }
+                }
+            }
+            GrowthPolicy::ArithmeticLowWater { step, alpha_low } => {
+                assert!(step >= 2, "arithmetic step must be at least 2");
+                assert!(
+                    alpha_low > 0.0 && alpha_low < self.config.alpha_high,
+                    "alpha_low must be below alpha_high"
+                );
+                let mut k = 1u64;
+                loop {
+                    let candidate = next_prime(k * step);
+                    if candidate > cur && (need as f64) / (candidate as f64) < alpha_low {
+                        return (candidate, cur);
+                    }
+                    k += 1;
+                    assert!(
+                        k < ALPHA_SEARCH_LIMIT,
+                        "arithmetic candidate search ran away"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("host-{i}")).collect()
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = HostTable::new();
+        for (i, name) in names(500).iter().enumerate() {
+            assert!(t.insert(name, i).is_none());
+        }
+        for (i, name) in names(500).iter().enumerate() {
+            assert_eq!(t.get(name), Some(&i), "lost {name}");
+        }
+        assert_eq!(t.len(), 500);
+        assert!(t.get("absent").is_none());
+    }
+
+    #[test]
+    fn replace_returns_old() {
+        let mut t = HostTable::new();
+        assert_eq!(t.insert("x", 1), None);
+        assert_eq!(t.insert("x", 2), Some(1));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn load_stays_below_alpha_high() {
+        let mut t = HostTable::new();
+        for name in names(5000) {
+            t.insert(&name, 0u8);
+            assert!(
+                t.load_factor() <= ALPHA_HIGH + 1e-9,
+                "load {} exceeded high water",
+                t.load_factor()
+            );
+        }
+    }
+
+    #[test]
+    fn get_or_insert_with_semantics() {
+        let mut t = HostTable::new();
+        let (v, inserted) = t.get_or_insert_with("a", || 1);
+        assert!(inserted);
+        assert_eq!(*v, 1);
+        let (v, inserted) = t.get_or_insert_with("a", || 99);
+        assert!(!inserted);
+        assert_eq!(*v, 1);
+    }
+
+    #[test]
+    fn all_policies_hold_contents() {
+        let configs = [
+            TableConfig::default(),
+            TableConfig {
+                growth: GrowthPolicy::Geometric(2.0),
+                ..TableConfig::default()
+            },
+            TableConfig {
+                growth: GrowthPolicy::ArithmeticLowWater {
+                    step: 512,
+                    alpha_low: ALPHA_LOW,
+                },
+                ..TableConfig::default()
+            },
+            TableConfig {
+                secondary: SecondaryHash::PlusOne,
+                ..TableConfig::default()
+            },
+        ];
+        for config in configs {
+            let mut t = HostTable::with_config(config);
+            for (i, name) in names(3000).iter().enumerate() {
+                t.insert(name, i);
+            }
+            for (i, name) in names(3000).iter().enumerate() {
+                assert_eq!(t.peek(name), Some(&i), "{config:?} lost {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn fibonacci_growth_rehashes_geometrically_often() {
+        let mut t: HostTable<u8> = HostTable::new();
+        for name in names(10_000) {
+            t.insert(&name, 0);
+        }
+        let st = t.stats();
+        // ~φ growth from 13 to >12658 is about 15 rehashes; allow slack.
+        assert!(st.rehashes >= 10 && st.rehashes <= 25, "{}", st.rehashes);
+        assert_eq!(st.tables_discarded, st.rehashes);
+        assert!(st.discarded_slots > 0);
+    }
+
+    #[test]
+    fn secondary_step_ranges() {
+        for t in [13u64, 101, 1021] {
+            for k in 0..2000u64 {
+                let inv = SecondaryHash::Inverse.step(k, t);
+                let plus = SecondaryHash::PlusOne.step(k, t);
+                assert!((1..=t - 2).contains(&inv));
+                assert!((1..=t - 2).contains(&plus));
+            }
+        }
+    }
+
+    #[test]
+    fn mean_probes_near_theory_at_high_water() {
+        // Knuth/Gonnet: successful search with double hashing costs
+        // about (1/α) ln(1/(1-α)) probes ≈ 1.97 at α = 0.79.
+        let mut t = HostTable::new();
+        let hosts = names(12_000);
+        for name in &hosts {
+            t.insert(name, 0u8);
+        }
+        // Top up to just under the high-water mark to measure "full".
+        let mut extra = 12_000usize;
+        while (t.len() as f64 + 1.0) / t.capacity() as f64 <= ALPHA_HIGH {
+            t.insert(&format!("host-{extra}"), 0);
+            extra += 1;
+        }
+        assert!(t.load_factor() > 0.77, "table not near high water");
+        // Average successful-search cost over *all* keys is what the
+        // theory predicts; early keys alone sit on shorter chains.
+        let all: Vec<String> = t.iter().map(|(k, _)| k.to_string()).collect();
+        t.reset_stats();
+        for name in &all {
+            assert!(t.get(name).is_some());
+        }
+        let mean = t.stats().mean_lookup_probes();
+        assert!(
+            (1.6..2.4).contains(&mean),
+            "mean probes {mean} far from theory 1.97"
+        );
+    }
+
+    #[test]
+    fn peek_does_not_touch_stats() {
+        let mut t = HostTable::new();
+        t.insert("a", 1);
+        t.reset_stats();
+        assert_eq!(t.peek("a"), Some(&1));
+        assert_eq!(t.stats().lookups, 0);
+    }
+
+    #[test]
+    fn empty_lookup() {
+        let mut t: HostTable<u8> = HostTable::new();
+        assert!(t.get("nothing").is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn iter_sees_everything_once() {
+        let mut t = HostTable::new();
+        for (i, name) in names(100).iter().enumerate() {
+            t.insert(name, i);
+        }
+        let mut seen: Vec<_> = t.iter().map(|(k, _)| k.to_string()).collect();
+        seen.sort();
+        let mut expect = names(100);
+        expect.sort();
+        assert_eq!(seen, expect);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests: the host table against a `HashMap` model, across
+//! every configuration combination.
+
+use pathalias_hash::{GrowthPolicy, HostTable, SecondaryHash, TableConfig, ALPHA_LOW};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(String, u32),
+    Get(String),
+    GetOrInsert(String, u32),
+}
+
+fn key() -> impl Strategy<Value = String> {
+    // A small key space forces collisions and replacements.
+    prop_oneof![
+        "[a-e]{1,3}",
+        "[a-z][a-z0-9.-]{0,10}",
+    ]
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (key(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        key().prop_map(Op::Get),
+        (key(), any::<u32>()).prop_map(|(k, v)| Op::GetOrInsert(k, v)),
+    ]
+}
+
+fn configs() -> Vec<TableConfig> {
+    let mut out = Vec::new();
+    for secondary in [SecondaryHash::Inverse, SecondaryHash::PlusOne] {
+        for growth in [
+            GrowthPolicy::FibonacciPrimes,
+            GrowthPolicy::Geometric(2.0),
+            GrowthPolicy::ArithmeticLowWater {
+                step: 64,
+                alpha_low: ALPHA_LOW,
+            },
+        ] {
+            out.push(TableConfig {
+                secondary,
+                growth,
+                alpha_high: 0.79,
+            });
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn behaves_like_hashmap(ops in proptest::collection::vec(op(), 1..300)) {
+        for config in configs() {
+            let mut table = HostTable::with_config(config);
+            let mut model: HashMap<String, u32> = HashMap::new();
+            for op in &ops {
+                match op {
+                    Op::Insert(k, v) => {
+                        prop_assert_eq!(
+                            table.insert(k, *v),
+                            model.insert(k.clone(), *v),
+                            "insert {} under {:?}", k, config
+                        );
+                    }
+                    Op::Get(k) => {
+                        prop_assert_eq!(table.get(k), model.get(k));
+                        prop_assert_eq!(table.peek(k), model.get(k));
+                    }
+                    Op::GetOrInsert(k, v) => {
+                        let expected_new = !model.contains_key(k);
+                        let expected_val = *model.entry(k.clone()).or_insert(*v);
+                        let (got, inserted) = table.get_or_insert_with(k, || *v);
+                        prop_assert_eq!(*got, expected_val);
+                        prop_assert_eq!(inserted, expected_new);
+                    }
+                }
+                prop_assert_eq!(table.len(), model.len());
+                prop_assert!(table.load_factor() <= 0.79 + 1e-9);
+            }
+            // Everything the model holds must be in the table.
+            for (k, v) in &model {
+                prop_assert_eq!(table.peek(k), Some(v));
+            }
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! Relative-address parsing.
+//!
+//! "It is widely acknowledged that no simple measures suffice for
+//! disambiguating a route that contains both '@' and '!'. ... most
+//! mailers rigidly adhere to 'UUCP syntax' or to 'RFC822 syntax'. As
+//! such, they consistently make the wrong choice on selected inputs."
+//!
+//! An [`Address`] is normalized to *travel order*: the hosts the message
+//! visits, in order, plus the user name delivered at the final hop.
+//! The three [`SyntaxStyle`]s reproduce the mailer behaviours the paper
+//! contrasts, including the Honeyman–Parseghian-style heuristic the
+//! footnotes reference.
+
+use std::fmt;
+
+/// Which grammar wins when `!` and `@` are mixed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyntaxStyle {
+    /// `!` binds first, left to right; `a!b!u@h` travels a, b, h.
+    /// This is what the classic form `seismo!postel@f.isi.usc.edu`
+    /// intends.
+    UucpFirst,
+    /// `@` binds first; `a!b!u@h` travels h, then a, then b — the
+    /// RFC822-rigid reading the paper calls "the wrong choice on
+    /// selected inputs".
+    Rfc822First,
+    /// Resolve like a gateway that has seen both worlds: a single
+    /// rightmost `@` with a bang path on its left reads UUCP-first (the
+    /// classic form); `%` in the local part routes right-to-left; pure
+    /// forms parse as themselves.
+    #[default]
+    Heuristic,
+}
+
+/// An address parsing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddrError {
+    /// The address was empty or had an empty component.
+    Empty,
+    /// More than one `@` (outside the `%` convention).
+    MultipleAt(String),
+    /// The host side of `@` contained further routing the style cannot
+    /// honour.
+    HostSideRouting(String),
+    /// The local side contained routing the style cannot honour.
+    Unroutable(String),
+}
+
+impl fmt::Display for AddrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddrError::Empty => write!(f, "empty address or component"),
+            AddrError::MultipleAt(a) => write!(f, "multiple `@` in `{a}`"),
+            AddrError::HostSideRouting(a) => {
+                write!(f, "routing on the host side of `@` in `{a}`")
+            }
+            AddrError::Unroutable(a) => write!(f, "cannot resolve routing in `{a}`"),
+        }
+    }
+}
+
+impl std::error::Error for AddrError {}
+
+/// A parsed relative address in travel order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Address {
+    /// Hosts visited, in order. The last hop is where `user` is
+    /// delivered; an empty list means local delivery.
+    pub hops: Vec<String>,
+    /// The user (local part) delivered at the final hop.
+    pub user: String,
+}
+
+impl Address {
+    /// Parses `text` under the given precedence style.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pathalias_mailer::{Address, SyntaxStyle};
+    ///
+    /// let a = Address::parse("seismo!mcvax!piet", SyntaxStyle::Heuristic).unwrap();
+    /// assert_eq!(a.hops, vec!["seismo", "mcvax"]);
+    /// assert_eq!(a.user, "piet");
+    ///
+    /// let classic = Address::parse("seismo!postel@f.isi.usc.edu", SyntaxStyle::UucpFirst).unwrap();
+    /// assert_eq!(classic.hops, vec!["seismo", "f.isi.usc.edu"]);
+    /// assert_eq!(classic.user, "postel");
+    /// ```
+    pub fn parse(text: &str, style: SyntaxStyle) -> Result<Address, AddrError> {
+        if text.is_empty() {
+            return Err(AddrError::Empty);
+        }
+        let at_count = text.matches('@').count();
+        match style {
+            SyntaxStyle::UucpFirst => Self::parse_uucp_first(text, at_count),
+            SyntaxStyle::Rfc822First => Self::parse_rfc_first(text, at_count),
+            SyntaxStyle::Heuristic => {
+                // Pure forms parse as themselves; the mixed classic form
+                // reads UUCP-first, which is what its writers meant.
+                if at_count == 0 {
+                    Self::parse_uucp_first(text, 0)
+                } else {
+                    Self::parse_rfc_like(text, true)
+                }
+            }
+        }
+    }
+
+    /// Pure bang-path split; with `@` present, the `@`-segment must be
+    /// the final one (`a!b!u@h`).
+    fn parse_uucp_first(text: &str, at_count: usize) -> Result<Address, AddrError> {
+        let parts: Vec<&str> = text.split('!').collect();
+        if parts.iter().any(|p| p.is_empty()) {
+            return Err(AddrError::Empty);
+        }
+        let (last, relays) = parts.split_last().expect("split never yields empty");
+        if relays.iter().any(|r| r.contains('@')) {
+            // `u@a!b`: a bang after an at is exactly the ambiguity the
+            // mixed-syntax penalty avoids creating.
+            return Err(AddrError::Unroutable(text.to_string()));
+        }
+        let mut hops: Vec<String> = relays.iter().map(|s| s.to_string()).collect();
+        if at_count == 0 {
+            if hops.is_empty() {
+                // A bare word is a local user.
+                return Ok(Address {
+                    hops,
+                    user: last.to_string(),
+                });
+            }
+            return Ok(Address {
+                hops,
+                user: last.to_string(),
+            });
+        }
+        // Final segment `u@h` (possibly with %-relays).
+        let tail = Self::parse_rfc_like(last, false)?;
+        hops.extend(tail.hops);
+        Ok(Address {
+            hops,
+            user: tail.user,
+        })
+    }
+
+    /// RFC822-first: the rightmost `@` binds; the local part may use
+    /// `%` (right-to-left) or, when `allow_bang_local`, a bang path
+    /// (travelled *after* the `@` host — the "wrong choice" reading
+    /// only when the whole address came from a UUCP writer).
+    fn parse_rfc_first(text: &str, at_count: usize) -> Result<Address, AddrError> {
+        if at_count == 0 {
+            // Rigid RFC822 mailers treat a bang path as an opaque local
+            // part for the local host; that loses mail, so we parse the
+            // bangs rather than reproduce the bug.
+            return Self::parse_uucp_first(text, 0);
+        }
+        let (local, host) = text.rsplit_once('@').expect("at_count > 0");
+        if local.is_empty() || host.is_empty() {
+            return Err(AddrError::Empty);
+        }
+        if host.contains('!') || host.contains('%') {
+            return Err(AddrError::HostSideRouting(text.to_string()));
+        }
+        if local.contains('@') {
+            return Err(AddrError::MultipleAt(text.to_string()));
+        }
+        let mut hops = vec![host.to_string()];
+        if local.contains('!') {
+            // @ bound first: the bang path is travelled after host.
+            let inner = Self::parse_uucp_first(local, 0)?;
+            hops.extend(inner.hops);
+            return Ok(Address {
+                hops,
+                user: inner.user,
+            });
+        }
+        let mut percents: Vec<&str> = local.split('%').collect();
+        if percents.iter().any(|p| p.is_empty()) {
+            return Err(AddrError::Empty);
+        }
+        let user = percents.remove(0).to_string();
+        // u%b%c@a travels a, then c, then b.
+        hops.extend(percents.iter().rev().map(|s| s.to_string()));
+        Ok(Address { hops, user })
+    }
+
+    /// Shared tail parser: `u@h`, `u%x@h`, or (heuristic) `a!b!u@h`.
+    fn parse_rfc_like(text: &str, allow_bang_prefix: bool) -> Result<Address, AddrError> {
+        let at_count = text.matches('@').count();
+        if at_count == 0 {
+            return Self::parse_uucp_first(text, 0);
+        }
+        if at_count > 1 {
+            return Err(AddrError::MultipleAt(text.to_string()));
+        }
+        let (local, host) = text.rsplit_once('@').expect("one @");
+        if local.is_empty() || host.is_empty() {
+            return Err(AddrError::Empty);
+        }
+        if host.contains('!') || host.contains('%') {
+            return Err(AddrError::HostSideRouting(text.to_string()));
+        }
+        if local.contains('!') {
+            if !allow_bang_prefix {
+                return Err(AddrError::Unroutable(text.to_string()));
+            }
+            // The classic form: bang path first, @ host last.
+            let inner = Self::parse_uucp_first(local, 0)?;
+            let mut hops = inner.hops;
+            hops.push(host.to_string());
+            return Ok(Address {
+                hops,
+                user: inner.user,
+            });
+        }
+        let mut percents: Vec<&str> = local.split('%').collect();
+        if percents.iter().any(|p| p.is_empty()) {
+            return Err(AddrError::Empty);
+        }
+        let user = percents.remove(0).to_string();
+        let mut hops = vec![host.to_string()];
+        hops.extend(percents.iter().rev().map(|s| s.to_string()));
+        Ok(Address { hops, user })
+    }
+
+    /// The host that finally delivers to the user, if any hop exists.
+    pub fn final_host(&self) -> Option<&str> {
+        self.hops.last().map(|s| s.as_str())
+    }
+
+    /// Renders as a pure UUCP bang path (`a!b!user`) — the relative
+    /// form every UUCP host accepts.
+    pub fn to_bang_path(&self) -> String {
+        if self.hops.is_empty() {
+            return self.user.clone();
+        }
+        format!("{}!{}", self.hops.join("!"), self.user)
+    }
+
+    /// Renders in gateway style: bang path to the final hop, user on
+    /// the right of `@` (`a!b!%s@h` without the marker) — how a gateway
+    /// "translates between addressing styles".
+    pub fn to_mixed(&self) -> String {
+        match self.hops.split_last() {
+            None => self.user.clone(),
+            Some((host, [])) => format!("{}@{}", self.user, host),
+            Some((host, relays)) => {
+                format!("{}!{}@{}", relays.join("!"), self.user, host)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_bang_path())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str, st: SyntaxStyle) -> Address {
+        Address::parse(s, st).unwrap()
+    }
+
+    #[test]
+    fn pure_bang_path() {
+        for st in [
+            SyntaxStyle::UucpFirst,
+            SyntaxStyle::Rfc822First,
+            SyntaxStyle::Heuristic,
+        ] {
+            let a = parse("hosta!hostb!user", st);
+            assert_eq!(a.hops, vec!["hosta", "hostb"]);
+            assert_eq!(a.user, "user");
+        }
+    }
+
+    #[test]
+    fn pure_rfc822() {
+        for st in [
+            SyntaxStyle::UucpFirst,
+            SyntaxStyle::Rfc822First,
+            SyntaxStyle::Heuristic,
+        ] {
+            let a = parse("user@host", st);
+            assert_eq!(a.hops, vec!["host"]);
+            assert_eq!(a.user, "user");
+        }
+    }
+
+    #[test]
+    fn bare_user_is_local() {
+        let a = parse("honey", SyntaxStyle::Heuristic);
+        assert!(a.hops.is_empty());
+        assert_eq!(a.user, "honey");
+        assert!(a.final_host().is_none());
+    }
+
+    #[test]
+    fn underground_percent_syntax() {
+        // "member hosts stretch the rules with underground syntax:
+        // user%host@relay"
+        let a = parse("user%host@relay", SyntaxStyle::Heuristic);
+        assert_eq!(a.hops, vec!["relay", "host"]);
+        assert_eq!(a.user, "user");
+
+        let a = parse("u%b%c@a", SyntaxStyle::Rfc822First);
+        assert_eq!(a.hops, vec!["a", "c", "b"], "percent routes right to left");
+    }
+
+    #[test]
+    fn classic_mixed_form_diverges_by_style() {
+        let s = "seismo!postel@f.isi.usc.edu";
+        let uucp = parse(s, SyntaxStyle::UucpFirst);
+        assert_eq!(uucp.hops, vec!["seismo", "f.isi.usc.edu"]);
+        assert_eq!(uucp.user, "postel");
+
+        let rfc = parse(s, SyntaxStyle::Rfc822First);
+        assert_eq!(
+            rfc.hops,
+            vec!["f.isi.usc.edu", "seismo"],
+            "the rigid RFC822 reading travels the @ host first — the wrong choice"
+        );
+
+        let heur = parse(s, SyntaxStyle::Heuristic);
+        assert_eq!(heur, uucp, "the heuristic honours the writer's intent");
+    }
+
+    #[test]
+    fn merged_domain_form() {
+        // "it is now permissible to use seismo!f.isi.usc.edu!postel"
+        let a = parse("seismo!f.isi.usc.edu!postel", SyntaxStyle::Heuristic);
+        assert_eq!(a.hops, vec!["seismo", "f.isi.usc.edu"]);
+        assert_eq!(a.user, "postel");
+    }
+
+    #[test]
+    fn renderings() {
+        let a = parse("a!b!u@h", SyntaxStyle::Heuristic);
+        assert_eq!(a.to_bang_path(), "a!b!h!u");
+        assert_eq!(a.to_mixed(), "a!b!u@h");
+        assert_eq!(a.to_string(), "a!b!h!u");
+        let local = parse("just-user", SyntaxStyle::Heuristic);
+        assert_eq!(local.to_bang_path(), "just-user");
+        assert_eq!(local.to_mixed(), "just-user");
+        let one = parse("u@h", SyntaxStyle::Heuristic);
+        assert_eq!(one.to_mixed(), "u@h");
+        assert_eq!(one.to_bang_path(), "h!u");
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            Address::parse("", SyntaxStyle::Heuristic),
+            Err(AddrError::Empty)
+        );
+        assert!(Address::parse("a!!b", SyntaxStyle::Heuristic).is_err());
+        assert!(Address::parse("u@@h", SyntaxStyle::Heuristic).is_err());
+        assert!(matches!(
+            Address::parse("u@a!b", SyntaxStyle::Rfc822First),
+            Err(AddrError::HostSideRouting(_))
+        ));
+        assert!(matches!(
+            Address::parse("a!u@h@g", SyntaxStyle::Heuristic),
+            Err(AddrError::MultipleAt(_))
+        ));
+        assert!(matches!(
+            Address::parse("u@a!b!c", SyntaxStyle::UucpFirst),
+            Err(AddrError::Unroutable(_))
+        ));
+    }
+
+    #[test]
+    fn roundtrip_bang_path() {
+        let a = parse("a!b!c!user", SyntaxStyle::Heuristic);
+        let b = parse(&a.to_bang_path(), SyntaxStyle::Heuristic);
+        assert_eq!(a, b);
+    }
+}

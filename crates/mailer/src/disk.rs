@@ -1,0 +1,306 @@
+//! The on-disk route database.
+//!
+//! The paper: "output from pathalias is a simple linear file, in the
+//! UNIX tradition. If desired, a separate program may be used to
+//! convert this file into a format appropriate for rapid database
+//! retrieval." On V7 that program fed dbm; here the same role is played
+//! by a small sorted-table file format with binary-search lookups that
+//! read only the index and the matching entry:
+//!
+//! ```text
+//! magic  "PADB1\n"
+//! count  <n>\n
+//! index  n lines of: <name-offset> <name-len> <route-offset> <route-len>\n
+//! blob   names then routes, back to back, sorted by name
+//! ```
+//!
+//! Everything is text offsets into one blob, so the file is portable,
+//! inspectable with a pager, and immune to endianness.
+
+use crate::routedb::{DbEntry, RouteDb};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+const MAGIC: &str = "PADB1";
+
+/// Errors from reading or writing the disk format.
+#[derive(Debug)]
+pub enum DiskError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a PADB1 database or is structurally broken.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for DiskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskError::Io(e) => write!(f, "i/o error: {e}"),
+            DiskError::Corrupt(why) => write!(f, "corrupt route database: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+impl From<io::Error> for DiskError {
+    fn from(e: io::Error) -> Self {
+        DiskError::Io(e)
+    }
+}
+
+/// Writes a [`RouteDb`] to `path` in the PADB1 format.
+pub fn write_db(db: &RouteDb, path: impl AsRef<Path>) -> Result<(), DiskError> {
+    let mut entries: Vec<&DbEntry> = db.iter().collect();
+    entries.sort_by(|a, b| a.name.cmp(&b.name));
+
+    let mut index_lines = Vec::with_capacity(entries.len());
+    let mut blob = String::new();
+    for e in &entries {
+        let name_off = blob.len();
+        blob.push_str(&e.name);
+        let route_off = blob.len();
+        blob.push_str(&e.route);
+        index_lines.push(format!(
+            "{name_off} {} {route_off} {}\n",
+            e.name.len(),
+            e.route.len()
+        ));
+    }
+
+    let mut out = BufWriter::new(File::create(path)?);
+    writeln!(out, "{MAGIC}")?;
+    writeln!(out, "{}", entries.len())?;
+    for line in &index_lines {
+        out.write_all(line.as_bytes())?;
+    }
+    out.write_all(blob.as_bytes())?;
+    out.flush()?;
+    Ok(())
+}
+
+/// A reader over a PADB1 file. The index is held in memory (a few
+/// numbers per host); names and routes are fetched from disk on demand
+/// with binary search — "rapid database retrieval".
+#[derive(Debug)]
+pub struct DiskDb {
+    file: File,
+    /// (name_off, name_len, route_off, route_len) sorted by name.
+    index: Vec<(u64, u32, u64, u32)>,
+    /// Offset of the blob within the file.
+    blob_start: u64,
+}
+
+impl DiskDb {
+    /// Opens a PADB1 file and loads its index.
+    pub fn open(path: impl AsRef<Path>) -> Result<DiskDb, DiskError> {
+        let file = File::open(path)?;
+        let mut reader = BufReader::new(file);
+        let mut line = String::new();
+
+        reader.read_line(&mut line)?;
+        if line.trim_end() != MAGIC {
+            return Err(DiskError::Corrupt(format!(
+                "bad magic `{}`",
+                line.trim_end()
+            )));
+        }
+        line.clear();
+        reader.read_line(&mut line)?;
+        let count: usize = line
+            .trim_end()
+            .parse()
+            .map_err(|_| DiskError::Corrupt(format!("bad count `{}`", line.trim_end())))?;
+
+        let mut index = Vec::with_capacity(count);
+        for i in 0..count {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(DiskError::Corrupt(format!("index truncated at {i}")));
+            }
+            let mut parts = line.split_whitespace();
+            let parse_u64 = |p: Option<&str>| -> Result<u64, DiskError> {
+                p.and_then(|s| s.parse().ok())
+                    .ok_or_else(|| DiskError::Corrupt(format!("bad index line {i}")))
+            };
+            let name_off = parse_u64(parts.next())?;
+            let name_len = parse_u64(parts.next())? as u32;
+            let route_off = parse_u64(parts.next())?;
+            let route_len = parse_u64(parts.next())? as u32;
+            index.push((name_off, name_len, route_off, route_len));
+        }
+        let blob_start = reader.stream_position()?;
+        Ok(DiskDb {
+            file: reader.into_inner(),
+            index,
+            blob_start,
+        })
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    fn read_span(&mut self, off: u64, len: u32) -> Result<String, DiskError> {
+        self.file.seek(SeekFrom::Start(self.blob_start + off))?;
+        let mut buf = vec![0u8; len as usize];
+        self.file.read_exact(&mut buf)?;
+        String::from_utf8(buf).map_err(|_| DiskError::Corrupt("non-UTF-8 entry".to_string()))
+    }
+
+    fn name_at(&mut self, i: usize) -> Result<String, DiskError> {
+        let (off, len, _, _) = self.index[i];
+        self.read_span(off, len)
+    }
+
+    fn route_at(&mut self, i: usize) -> Result<String, DiskError> {
+        let (_, _, off, len) = self.index[i];
+        self.read_span(off, len)
+    }
+
+    /// Binary-searches for an exact host name, returning its route
+    /// format string.
+    pub fn get(&mut self, name: &str) -> Result<Option<String>, DiskError> {
+        let mut lo = 0usize;
+        let mut hi = self.index.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let mid_name = self.name_at(mid)?;
+            match mid_name.as_str().cmp(name) {
+                std::cmp::Ordering::Equal => return Ok(Some(self.route_at(mid)?)),
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        Ok(None)
+    }
+
+    /// The paper's full mailer lookup against the disk file: exact
+    /// match first, then domain suffixes; the suffix argument carries
+    /// the whole destination.
+    pub fn route_to(&mut self, dest: &str, user: &str) -> Result<Option<String>, DiskError> {
+        if let Some(route) = self.get(dest)? {
+            return Ok(Some(route.replacen("%s", user, 1)));
+        }
+        let mut rest = dest;
+        while let Some(dot) = rest.find('.') {
+            let suffix = &rest[dot..];
+            if let Some(route) = self.get(suffix)? {
+                let arg = format!("{dest}!{user}");
+                return Ok(Some(route.replacen("%s", &arg, 1)));
+            }
+            rest = &rest[dot + 1..];
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pathalias-diskdb-{tag}-{}", std::process::id()));
+        p
+    }
+
+    fn sample_db() -> RouteDb {
+        RouteDb::from_output(
+            "seismo\tseismo!%s\nduke\tduke!%s\n.edu\tseismo!%s\nmit-ai\ta!%s@mit-ai\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_and_lookup() {
+        let path = temp_path("roundtrip");
+        write_db(&sample_db(), &path).unwrap();
+        let mut db = DiskDb::open(&path).unwrap();
+        assert_eq!(db.len(), 4);
+        assert_eq!(db.get("duke").unwrap().as_deref(), Some("duke!%s"));
+        assert_eq!(db.get("seismo").unwrap().as_deref(), Some("seismo!%s"));
+        assert_eq!(db.get("mit-ai").unwrap().as_deref(), Some("a!%s@mit-ai"));
+        assert_eq!(db.get("absent").unwrap(), None);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn suffix_lookup_matches_in_memory() {
+        let path = temp_path("suffix");
+        write_db(&sample_db(), &path).unwrap();
+        let mut db = DiskDb::open(&path).unwrap();
+        assert_eq!(
+            db.route_to("caip.rutgers.edu", "pleasant").unwrap().unwrap(),
+            "seismo!caip.rutgers.edu!pleasant"
+        );
+        assert_eq!(db.route_to("duke", "fred").unwrap().unwrap(), "duke!fred");
+        assert_eq!(db.route_to("nowhere", "u").unwrap(), None);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn every_entry_findable() {
+        let mut entries = String::new();
+        for i in 0..500 {
+            entries.push_str(&format!("host{i:03}\trelay!host{i:03}!%s\n"));
+        }
+        let db = RouteDb::from_output(&entries).unwrap();
+        let path = temp_path("many");
+        write_db(&db, &path).unwrap();
+        let mut disk = DiskDb::open(&path).unwrap();
+        for i in 0..500 {
+            let name = format!("host{i:03}");
+            assert_eq!(
+                disk.get(&name).unwrap().unwrap(),
+                format!("relay!host{i:03}!%s")
+            );
+        }
+        assert!(disk.get("host999").unwrap().is_none());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn empty_db() {
+        let path = temp_path("empty");
+        write_db(&RouteDb::from_output("").unwrap(), &path).unwrap();
+        let mut db = DiskDb::open(&path).unwrap();
+        assert!(db.is_empty());
+        assert!(db.get("anything").unwrap().is_none());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let path = temp_path("magic");
+        std::fs::write(&path, "NOTADB\n0\n").unwrap();
+        assert!(matches!(
+            DiskDb::open(&path),
+            Err(DiskError::Corrupt(_))
+        ));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rejects_truncated_index() {
+        let path = temp_path("trunc");
+        std::fs::write(&path, "PADB1\n3\n0 4 4 6\n").unwrap();
+        assert!(matches!(DiskDb::open(&path), Err(DiskError::Corrupt(_))));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rejects_garbage_count() {
+        let path = temp_path("count");
+        std::fs::write(&path, "PADB1\nmany\n").unwrap();
+        assert!(matches!(DiskDb::open(&path), Err(DiskError::Corrupt(_))));
+        std::fs::remove_file(path).unwrap();
+    }
+}

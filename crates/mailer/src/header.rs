@@ -1,0 +1,279 @@
+//! Message-header processing.
+//!
+//! The paper closes with principles for keeping headers useful:
+//!
+//! 1. "Message headers should be modified only as necessary to conform
+//!    to network standards."
+//! 2. "Other message data should not be modified at all."
+//! 3. "A host must not generate a return path that would be rejected if
+//!    used."
+//! 4. "Hosts that re-route mail from local users should show the
+//!    modified routes in message headers."
+//! 5. "Relays within a network should not modify routes, nor translate
+//!    to foreign addressing styles."
+//! 6. "Gateways should translate between addressing styles when
+//!    providing gateway services."
+//!
+//! [`HeaderRewriter`] applies a [`Rewriter`] to the address-bearing
+//! header fields only (1, 4), leaves everything else alone (2, 5), and
+//! refuses to emit an address it cannot route (3). Style translation
+//! for gateways (6) is [`crate::Address::to_mixed`] /
+//! [`crate::Address::to_bang_path`].
+
+use crate::rewrite::{RewriteError, Rewriter};
+use std::fmt;
+
+/// Header fields that carry addresses.
+const ADDRESS_FIELDS: &[&str] = &["to", "cc", "bcc", "from", "reply-to"];
+
+/// A parsed RFC822-shaped message: headers then a blank line then body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// `(field, value)` pairs in order of appearance.
+    pub headers: Vec<(String, String)>,
+    /// Everything after the first blank line, verbatim.
+    pub body: String,
+}
+
+/// A malformed message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeaderError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for HeaderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "header line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for HeaderError {}
+
+impl Message {
+    /// Parses headers (with simple continuation-line folding) and body.
+    pub fn parse(text: &str) -> Result<Message, HeaderError> {
+        let mut headers: Vec<(String, String)> = Vec::new();
+        let mut lines = text.lines().enumerate();
+        let mut body_start: Option<usize> = None;
+        for (i, line) in lines.by_ref() {
+            if line.is_empty() {
+                body_start = Some(i + 1);
+                break;
+            }
+            if line.starts_with(' ') || line.starts_with('\t') {
+                match headers.last_mut() {
+                    Some((_, v)) => {
+                        v.push(' ');
+                        v.push_str(line.trim());
+                    }
+                    None => {
+                        return Err(HeaderError {
+                            line: i + 1,
+                            msg: "continuation before any header".to_string(),
+                        })
+                    }
+                }
+                continue;
+            }
+            // The traditional `From ` envelope line.
+            if i == 0 && line.starts_with("From ") {
+                headers.push(("From ".to_string(), line[5..].to_string()));
+                continue;
+            }
+            match line.split_once(':') {
+                Some((field, value)) => {
+                    headers.push((field.trim().to_string(), value.trim().to_string()))
+                }
+                None => {
+                    return Err(HeaderError {
+                        line: i + 1,
+                        msg: format!("not a header field: `{line}`"),
+                    })
+                }
+            }
+        }
+        let body = match body_start {
+            Some(n) => text.lines().skip(n).collect::<Vec<_>>().join("\n"),
+            None => String::new(),
+        };
+        Ok(Message { headers, body })
+    }
+
+    /// Renders the message back to text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (field, value) in &self.headers {
+            if field == "From " {
+                out.push_str(&format!("From {value}\n"));
+            } else {
+                out.push_str(&format!("{field}: {value}\n"));
+            }
+        }
+        out.push('\n');
+        out.push_str(&self.body);
+        if !self.body.is_empty() && !self.body.ends_with('\n') {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The first value of a (case-insensitive) header field.
+    pub fn get(&self, field: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(f, _)| f.eq_ignore_ascii_case(field))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Applies a [`Rewriter`] to a message's address fields.
+#[derive(Debug, Clone)]
+pub struct HeaderRewriter<'db> {
+    rewriter: Rewriter<'db>,
+}
+
+impl<'db> HeaderRewriter<'db> {
+    /// Wraps a rewriter.
+    pub fn new(rewriter: Rewriter<'db>) -> Self {
+        HeaderRewriter { rewriter }
+    }
+
+    /// Rewrites the address-bearing headers of `msg`, leaving all other
+    /// headers and the body untouched. Addresses that fail to rewrite
+    /// are left as they were (principle 3 favours the original over a
+    /// route we cannot stand behind); the error list reports them.
+    pub fn rewrite_message(&self, msg: &Message) -> (Message, Vec<RewriteError>) {
+        let mut errors = Vec::new();
+        let headers = msg
+            .headers
+            .iter()
+            .map(|(field, value)| {
+                if ADDRESS_FIELDS.contains(&field.to_ascii_lowercase().as_str()) {
+                    let rewritten = value
+                        .split(',')
+                        .map(|addr| {
+                            let a = addr.trim();
+                            match self.rewriter.rewrite(a) {
+                                Ok(r) => r,
+                                Err(e) => {
+                                    errors.push(e);
+                                    a.to_string()
+                                }
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    (field.clone(), rewritten)
+                } else {
+                    (field.clone(), value.clone())
+                }
+            })
+            .collect();
+        (
+            Message {
+                headers,
+                body: msg.body.clone(),
+            },
+            errors,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewrite::Policy;
+    use crate::routedb::RouteDb;
+
+    /// The paper's header example, as received on princeton.
+    const PAPER_MESSAGE: &str = "\
+From cbosgd!mark Sun Feb 9 13:14:58 EST 1986
+To: princeton!honey
+Cc: seismo!mcvax!piet
+Subject: pathalias
+
+nice work, guys.
+";
+
+    #[test]
+    fn parse_and_render_roundtrip() {
+        let m = Message::parse(PAPER_MESSAGE).unwrap();
+        assert_eq!(m.get("To"), Some("princeton!honey"));
+        assert_eq!(m.get("cc"), Some("seismo!mcvax!piet"));
+        assert_eq!(m.get("From "), Some("cbosgd!mark Sun Feb 9 13:14:58 EST 1986"));
+        assert_eq!(m.body, "nice work, guys.");
+        assert_eq!(m.render(), PAPER_MESSAGE);
+    }
+
+    #[test]
+    fn continuation_lines_fold() {
+        let m = Message::parse("To: a!b,\n\tc!d\n\nbody\n").unwrap();
+        assert_eq!(m.get("To"), Some("a!b, c!d"));
+    }
+
+    #[test]
+    fn malformed_header_errors() {
+        assert!(Message::parse("not a header\n\n").is_err());
+        assert!(Message::parse("\tcontinuation first\n").is_err());
+    }
+
+    #[test]
+    fn rewrites_only_address_fields() {
+        let db = RouteDb::from_output(
+            "princeton\tprinceton!%s\nseismo\tseismo!%s\ncbosgd\tcbosgd!%s\n",
+        )
+        .unwrap();
+        let hw = HeaderRewriter::new(Rewriter::new(&db).policy(Policy::FirstHop));
+        let m = Message::parse(PAPER_MESSAGE).unwrap();
+        let (out, errors) = hw.rewrite_message(&m);
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(out.get("To"), Some("princeton!honey"));
+        assert_eq!(out.get("Cc"), Some("seismo!mcvax!piet"));
+        // Subject and body untouched (principles 1 and 2).
+        assert_eq!(out.get("Subject"), Some("pathalias"));
+        assert_eq!(out.body, m.body);
+    }
+
+    #[test]
+    fn failed_rewrites_keep_original_and_report() {
+        let db = RouteDb::from_output("princeton\tprinceton!%s\n").unwrap();
+        let hw = HeaderRewriter::new(Rewriter::new(&db).policy(Policy::FirstHop));
+        let m = Message::parse("To: unknownhost!u\n\nhi\n").unwrap();
+        let (out, errors) = hw.rewrite_message(&m);
+        assert_eq!(out.get("To"), Some("unknownhost!u"));
+        assert_eq!(errors.len(), 1);
+    }
+
+    #[test]
+    fn address_lists_rewrite_element_wise() {
+        let db = RouteDb::from_output("a\ta!%s\nb\tx!b!%s\n").unwrap();
+        let hw = HeaderRewriter::new(Rewriter::new(&db).policy(Policy::FirstHop));
+        let m = Message::parse("To: a!u, b!v\n\n.\n").unwrap();
+        let (out, errors) = hw.rewrite_message(&m);
+        assert!(errors.is_empty());
+        assert_eq!(out.get("To"), Some("a!u, x!b!v"));
+    }
+
+    #[test]
+    fn cbosgd_abbreviation_hazard() {
+        // If cbosgd runs an aggressive optimizer, the Cc is abbreviated
+        // to mcvax!piet; princeton then sees cbosgd!mcvax!piet, which
+        // "cannot be safely transformed without making assumptions
+        // about host name uniqueness".
+        let cbosgd_db = RouteDb::from_output("seismo\tseismo!%s\nmcvax\tmcvax!%s\n").unwrap();
+        let aggressive = Rewriter::new(&cbosgd_db).policy(Policy::RightmostKnown);
+        let abbreviated = aggressive.rewrite("seismo!mcvax!piet").unwrap();
+        assert_eq!(abbreviated, "mcvax!piet", "cbosgd knows mcvax directly");
+
+        // princeton prepends the origin to build the reply path:
+        let reply = format!("cbosgd!{abbreviated}");
+        let princeton_db = RouteDb::from_output("cbosgd\tcbosgd!%s\nseismo\tseismo!%s\n").unwrap();
+        let careful = Rewriter::new(&princeton_db);
+        // The shortener must keep the cbosgd prefix: princeton cannot
+        // assume its own mcvax (if any) is cbosgd's mcvax.
+        assert_eq!(careful.shorten(&reply).unwrap(), "cbosgd!mcvax!piet");
+    }
+}

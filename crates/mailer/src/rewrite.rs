@@ -1,0 +1,311 @@
+//! Address rewriting policies.
+//!
+//! "Another issue that must be settled is the extent to which pathalias
+//! data is allowed to override a user's selection of a path. In
+//! particular, given a hideously long UUCP path (such as one generated
+//! by a USENET reply), should the mailer simply find a route to the
+//! first site in the string, or should it search for the rightmost host
+//! known to its database?"
+
+use crate::address::{AddrError, Address, SyntaxStyle};
+use crate::routedb::RouteDb;
+use std::fmt;
+
+/// How aggressively the route database overrides a user's path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Policy {
+    /// "it may be desirable to turn off optimization entirely" — the
+    /// address passes through untouched.
+    Off,
+    /// Route to the first site in the string; the rest rides along as
+    /// the argument. The safe choice.
+    #[default]
+    FirstHop,
+    /// Search for the rightmost host known to the database and route
+    /// to it directly. "Can result in significant savings;
+    /// unfortunately, it can backfire if the user wants to use a
+    /// circuitous route for some reason."
+    RightmostKnown,
+}
+
+/// A rewriting failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteError {
+    /// The address did not parse.
+    Addr(AddrError),
+    /// No host in the path is known to the database.
+    NoRoute(String),
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::Addr(e) => write!(f, "bad address: {e}"),
+            RewriteError::NoRoute(a) => write!(f, "no route for `{a}`"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+impl From<AddrError> for RewriteError {
+    fn from(e: AddrError) -> Self {
+        RewriteError::Addr(e)
+    }
+}
+
+/// Rewrites user-supplied addresses against a route database.
+#[derive(Debug, Clone)]
+pub struct Rewriter<'db> {
+    db: &'db RouteDb,
+    style: SyntaxStyle,
+    policy: Policy,
+    preserve_loops: bool,
+}
+
+impl<'db> Rewriter<'db> {
+    /// A rewriter with default style (heuristic), policy (first hop)
+    /// and loop preservation on.
+    pub fn new(db: &'db RouteDb) -> Self {
+        Rewriter {
+            db,
+            style: SyntaxStyle::default(),
+            policy: Policy::default(),
+            preserve_loops: true,
+        }
+    }
+
+    /// Sets the parsing style.
+    pub fn style(mut self, style: SyntaxStyle) -> Self {
+        self.style = style;
+        self
+    }
+
+    /// Sets the rewriting policy.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Controls loop preservation: "Loop tests are a time-honored UUCP
+    /// tradition, and an overly-enthusiastic optimizer can eliminate
+    /// them altogether." When on (the default), paths that visit a host
+    /// twice are never optimized.
+    pub fn preserve_loops(mut self, on: bool) -> Self {
+        self.preserve_loops = on;
+        self
+    }
+
+    fn has_loop(addr: &Address) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        addr.hops.iter().any(|h| !seen.insert(h))
+    }
+
+    /// Rewrites one address into a concrete bang-path route.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pathalias_mailer::{Policy, RouteDb, Rewriter};
+    ///
+    /// let db = RouteDb::from_output("b\ta!b!%s\n").unwrap();
+    /// let rw = Rewriter::new(&db).policy(Policy::RightmostKnown);
+    /// // b is the rightmost known host: route there, keep the tail.
+    /// assert_eq!(rw.rewrite("x!y!b!z!user").unwrap(), "a!b!z!user");
+    /// ```
+    pub fn rewrite(&self, text: &str) -> Result<String, RewriteError> {
+        let addr = Address::parse(text, self.style)?;
+        if addr.hops.is_empty() {
+            // Local delivery; nothing to route.
+            return Ok(addr.user);
+        }
+        if self.policy == Policy::Off || (self.preserve_loops && Self::has_loop(&addr)) {
+            return Ok(addr.to_bang_path());
+        }
+        match self.policy {
+            Policy::Off => unreachable!("handled above"),
+            Policy::FirstHop => {
+                let first = &addr.hops[0];
+                let rest = tail_argument(&addr.hops[1..], &addr.user);
+                self.db
+                    .route_to(first, &rest)
+                    .ok_or_else(|| RewriteError::NoRoute(text.to_string()))
+            }
+            Policy::RightmostKnown => {
+                // Scan right to left for a host we can route to.
+                for i in (0..addr.hops.len()).rev() {
+                    if self.db.lookup(&addr.hops[i]).is_some() {
+                        let rest = tail_argument(&addr.hops[i + 1..], &addr.user);
+                        return self
+                            .db
+                            .route_to(&addr.hops[i], &rest)
+                            .ok_or_else(|| RewriteError::NoRoute(text.to_string()));
+                    }
+                }
+                Err(RewriteError::NoRoute(text.to_string()))
+            }
+        }
+    }
+
+    /// Whether mail to `host` goes straight there (a one-hop route).
+    fn is_direct_neighbor(&self, host: &str) -> bool {
+        self.db.get(host).is_some_and(|e| {
+            e.route == format!("{host}!%s") || e.route == format!("%s@{host}")
+        })
+    }
+
+    /// The cbosgd-example shortening: drop a leading hop only while the
+    /// *next* hop is a direct neighbor, because then the mail reaches
+    /// it first either way and the rest of the path stays relative to
+    /// the same host. Anything more aggressive "cannot be safely
+    /// transformed without making assumptions about host name
+    /// uniqueness" — shortening `cbosgd!mcvax!piet` to `mcvax!piet`
+    /// would re-resolve `mcvax` in the local name space.
+    pub fn shorten(&self, text: &str) -> Result<String, RewriteError> {
+        let addr = Address::parse(text, self.style)?;
+        if self.preserve_loops && Self::has_loop(&addr) {
+            return Ok(addr.to_bang_path());
+        }
+        let mut hops = addr.hops.as_slice();
+        while hops.len() > 1 && self.is_direct_neighbor(&hops[1]) {
+            hops = &hops[1..];
+        }
+        Ok(Address {
+            hops: hops.to_vec(),
+            user: addr.user.clone(),
+        }
+        .to_bang_path())
+    }
+}
+
+fn tail_argument(hops: &[String], user: &str) -> String {
+    if hops.is_empty() {
+        user.to_string()
+    } else {
+        format!("{}!{}", hops.join("!"), user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> RouteDb {
+        RouteDb::from_output(
+            "seismo\tseismo!%s\nduke\tduke!%s\nmcvax\tseismo!mcvax!%s\ncbosgd\tcbosgd!%s\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn first_hop_routes_and_keeps_tail() {
+        let db = db();
+        let rw = Rewriter::new(&db).policy(Policy::FirstHop);
+        assert_eq!(
+            rw.rewrite("seismo!mcvax!piet").unwrap(),
+            "seismo!mcvax!piet"
+        );
+        assert_eq!(rw.rewrite("duke!fred").unwrap(), "duke!fred");
+    }
+
+    #[test]
+    fn first_hop_unknown_fails() {
+        let db = db();
+        let rw = Rewriter::new(&db).policy(Policy::FirstHop);
+        assert!(matches!(
+            rw.rewrite("unknown!duke!u"),
+            Err(RewriteError::NoRoute(_))
+        ));
+    }
+
+    #[test]
+    fn rightmost_known_saves_hops() {
+        let db = db();
+        let rw = Rewriter::new(&db).policy(Policy::RightmostKnown);
+        // mcvax is known directly: skip the long prefix entirely.
+        assert_eq!(
+            rw.rewrite("a!b!c!mcvax!piet").unwrap(),
+            "seismo!mcvax!piet"
+        );
+    }
+
+    #[test]
+    fn rightmost_known_falls_back_leftward() {
+        let db = db();
+        let rw = Rewriter::new(&db).policy(Policy::RightmostKnown);
+        assert_eq!(
+            rw.rewrite("duke!nowhere!u").unwrap(),
+            "duke!nowhere!u",
+            "duke is the rightmost known host"
+        );
+    }
+
+    #[test]
+    fn off_passes_through() {
+        let db = db();
+        let rw = Rewriter::new(&db).policy(Policy::Off);
+        assert_eq!(rw.rewrite("a!b!c!u").unwrap(), "a!b!c!u");
+    }
+
+    #[test]
+    fn loop_tests_preserved() {
+        let db = db();
+        let rw = Rewriter::new(&db).policy(Policy::RightmostKnown);
+        // seismo!duke!seismo!u is a loop test: hands off.
+        assert_eq!(
+            rw.rewrite("seismo!duke!seismo!u").unwrap(),
+            "seismo!duke!seismo!u"
+        );
+        // Turning preservation off lets the optimizer collapse it.
+        let aggressive = rw.preserve_loops(false);
+        assert_eq!(
+            aggressive.rewrite("seismo!duke!seismo!u").unwrap(),
+            "seismo!u"
+        );
+    }
+
+    #[test]
+    fn local_user_untouched() {
+        let db = db();
+        let rw = Rewriter::new(&db);
+        assert_eq!(rw.rewrite("honey").unwrap(), "honey");
+    }
+
+    #[test]
+    fn domain_destination_via_suffix() {
+        let db =
+            RouteDb::from_output("seismo\tseismo!%s\n.edu\tseismo!%s\n").unwrap();
+        let rw = Rewriter::new(&db).policy(Policy::RightmostKnown);
+        assert_eq!(
+            rw.rewrite("pleasant@caip.rutgers.edu").unwrap(),
+            "seismo!caip.rutgers.edu!pleasant"
+        );
+    }
+
+    #[test]
+    fn shorten_strips_known_prefix_only() {
+        let db = db();
+        let rw = Rewriter::new(&db);
+        // The paper's example: relative to cbosgd the copy recipient is
+        // cbosgd!seismo!mcvax!piet; seismo is a direct neighbor, so the
+        // cbosgd hop can be dropped safely...
+        assert_eq!(
+            rw.shorten("cbosgd!seismo!mcvax!piet").unwrap(),
+            "seismo!mcvax!piet"
+        );
+        // ...but no further: mcvax is known only *via seismo*, so
+        // stripping seismo would re-resolve mcvax in the local name
+        // space (the unsafe transformation the paper warns about).
+        assert_eq!(
+            rw.shorten("seismo!mcvax!piet").unwrap(),
+            "seismo!mcvax!piet"
+        );
+        // cbosgd!mcvax!piet also keeps its prefix: mcvax is not a
+        // direct neighbor here.
+        assert_eq!(
+            rw.shorten("cbosgd!mcvax!piet").unwrap(),
+            "cbosgd!mcvax!piet",
+            "cannot assume mcvax is globally unique"
+        );
+    }
+}

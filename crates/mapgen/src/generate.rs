@@ -1,0 +1,420 @@
+//! The generator proper.
+
+use crate::names::HostNamer;
+use crate::spec::MapSpec;
+use pathalias_graph::Graph;
+use pathalias_parser::{parse_files, ParseError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Counters describing a generated map.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GenStats {
+    /// Hosts named (UUCP + network-only + aliases + collisions).
+    pub hosts: usize,
+    /// Explicit link declarations emitted.
+    pub links: usize,
+    /// Network declarations.
+    pub networks: usize,
+    /// Domain nodes (top-level + subdomains).
+    pub domains: usize,
+    /// Alias declarations.
+    pub aliases: usize,
+    /// Private name collisions.
+    pub collisions: usize,
+    /// Hosts marked dead.
+    pub dead_hosts: usize,
+    /// Links marked dead.
+    pub dead_links: usize,
+    /// Leaf hosts whose only links point outward (back-link fodder).
+    pub one_way_leaves: usize,
+}
+
+/// A generated map: named input files plus statistics.
+#[derive(Debug, Clone)]
+pub struct GeneratedMap {
+    /// `(file name, contents)` pairs, parseable with
+    /// [`pathalias_parser::parse_files`].
+    pub files: Vec<(String, String)>,
+    /// Generation counters.
+    pub stats: GenStats,
+    /// A well-connected hub suitable as the mapping source.
+    pub home: String,
+}
+
+impl GeneratedMap {
+    /// Parses the generated files into a graph.
+    pub fn parse(&self) -> Result<Graph, ParseError> {
+        let refs: Vec<(&str, &str)> = self
+            .files
+            .iter()
+            .map(|(n, t)| (n.as_str(), t.as_str()))
+            .collect();
+        parse_files(&refs)
+    }
+
+    /// All files concatenated (for scanner benchmarks). `file { ... }`
+    /// markers preserve private scoping in the single stream.
+    pub fn concatenated(&self) -> String {
+        let mut out = String::new();
+        for (name, text) in &self.files {
+            let _ = writeln!(out, "file {{{name}}}");
+            out.push_str(text);
+        }
+        out
+    }
+
+    /// Total size in bytes of the generated text.
+    pub fn byte_size(&self) -> usize {
+        self.files.iter().map(|(_, t)| t.len()).sum()
+    }
+}
+
+/// Samples an era-plausible cost expression.
+fn sample_cost(rng: &mut StdRng) -> String {
+    match rng.random_range(0..10) {
+        0 | 1 => "HOURLY".into(),
+        2 | 3 => "EVENING".into(),
+        4 | 5 | 6 => "DAILY".into(),
+        7 => "POLLED".into(),
+        8 => format!("HOURLY*{}", rng.random_range(2..6)),
+        _ => "DEMAND".into(),
+    }
+}
+
+fn backbone_cost(rng: &mut StdRng) -> &'static str {
+    match rng.random_range(0..3) {
+        0 => "DEDICATED",
+        1 => "DIRECT",
+        _ => "DEMAND",
+    }
+}
+
+/// Preferentially samples an attachment point among hosts `0..limit`,
+/// biased strongly toward low indices (the hubs), giving the power-law
+/// degree shape of the real maps.
+fn preferential(rng: &mut StdRng, limit: usize) -> usize {
+    let u: f64 = rng.random();
+    ((u * u * u) * limit as f64) as usize
+}
+
+const TLDS: &[&str] = &[".edu", ".com", ".gov", ".mil", ".org", ".arpa"];
+const BIG_NETS: &[&str] = &["ARPA", "CSNET", "BITNET"];
+
+/// Generates a synthetic map from `spec`. Deterministic in the seed.
+pub fn generate(spec: &MapSpec) -> GeneratedMap {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut stats = GenStats::default();
+    let mut namer = HostNamer::new();
+
+    let uucp: Vec<String> = (0..spec.uucp_hosts).map(|_| namer.next_name()).collect();
+    let netonly: Vec<String> = (0..spec.net_hosts).map(|_| namer.next_name()).collect();
+    stats.hosts = uucp.len() + netonly.len();
+
+    let hubs = ((spec.uucp_hosts as f64 * spec.hub_fraction) as usize).max(2);
+
+    // Per-host link targets: (target name, cost expr, prefix-op).
+    let mut targets: Vec<Vec<(String, String, &'static str)>> = vec![Vec::new(); uucp.len()];
+    let push_link = |targets: &mut Vec<Vec<(String, String, &'static str)>>,
+                         stats: &mut GenStats,
+                         from: usize,
+                         to: &str,
+                         cost: String| {
+        targets[from].push((to.to_string(), cost, ""));
+        stats.links += 1;
+    };
+
+    // Hub backbone: a ring plus random chords, all bidirectional.
+    for h in 0..hubs {
+        let next = (h + 1) % hubs;
+        if next != h {
+            push_link(&mut targets, &mut stats, h, &uucp[next], backbone_cost(&mut rng).into());
+            push_link(&mut targets, &mut stats, next, &uucp[h], backbone_cost(&mut rng).into());
+        }
+        for _ in 0..rng.random_range(1..4usize) {
+            let other = rng.random_range(0..hubs);
+            if other != h {
+                push_link(&mut targets, &mut stats, h, &uucp[other], backbone_cost(&mut rng).into());
+                push_link(&mut targets, &mut stats, other, &uucp[h], backbone_cost(&mut rng).into());
+            }
+        }
+    }
+
+    // Leaves attach preferentially to earlier hosts.
+    for i in hubs..uucp.len() {
+        let k = match rng.random_range(0..10) {
+            0..=3 => 1,
+            4..=7 => 2,
+            _ => 3,
+        };
+        let mut any_return = false;
+        for _ in 0..k {
+            let relay = preferential(&mut rng, i);
+            if relay == i {
+                continue;
+            }
+            push_link(&mut targets, &mut stats, i, &uucp[relay], sample_cost(&mut rng));
+            if rng.random_bool(spec.bidir_probability) {
+                push_link(&mut targets, &mut stats, relay, &uucp[i], sample_cost(&mut rng));
+                any_return = true;
+            }
+        }
+        if !any_return {
+            stats.one_way_leaves += 1;
+        }
+    }
+
+    // Regional host files.
+    let mut files: Vec<(String, String)> = Vec::new();
+    let nfiles = spec.files.max(1);
+    for f in 0..nfiles {
+        let lo = f * uucp.len() / nfiles;
+        let hi = (f + 1) * uucp.len() / nfiles;
+        let mut text = format!("# synthetic usenet map, region {f}\n");
+        for i in lo..hi {
+            if targets[i].is_empty() {
+                let _ = writeln!(text, "{}", uucp[i]);
+                continue;
+            }
+            let list: Vec<String> = targets[i]
+                .iter()
+                .map(|(to, cost, op)| format!("{op}{to}({cost})"))
+                .collect();
+            let _ = writeln!(text, "{}\t{}", uucp[i], list.join(", "));
+        }
+        files.push((format!("region-{f:02}.map"), text));
+    }
+
+    // Networks. The first few are the "big" nets holding the
+    // network-only hosts; the rest are regional cliques of UUCP hosts.
+    let mut net_text = String::from("# networks\n");
+    let mut big_members = netonly.iter().peekable();
+    for n in 0..spec.networks {
+        let name = if n < BIG_NETS.len() {
+            BIG_NETS[n].to_string()
+        } else {
+            format!("NET-{n}")
+        };
+        let arpa_style = rng.random_bool(spec.arpa_net_fraction) || name == "ARPA";
+        let mut members: Vec<String> = Vec::new();
+        if n < BIG_NETS.len() && !netonly.is_empty() {
+            // Split the network-only hosts across the big nets.
+            let share = spec.net_hosts / BIG_NETS.len().min(spec.networks);
+            for _ in 0..share {
+                if let Some(m) = big_members.next() {
+                    members.push(m.clone());
+                }
+            }
+        }
+        // Sprinkle UUCP hosts into every net.
+        for _ in 0..rng.random_range(4..16usize) {
+            members.push(uucp[rng.random_range(0..uucp.len())].clone());
+        }
+        members.dedup();
+        let opc = if arpa_style { "@" } else { "" };
+        let cost = if arpa_style { "DEDICATED" } else { "LOCAL" };
+        let _ = writeln!(net_text, "{name} = {opc}{{{}}}({cost})", members.join(", "));
+        stats.networks += 1;
+        stats.links += 2 * members.len();
+
+        if n < 2 {
+            // Big nets demand gateways; a couple of hubs provide them.
+            let _ = writeln!(net_text, "gated {{{name}}}");
+            let gw_count = rng.random_range(2..4usize);
+            let mut gws = Vec::new();
+            for _ in 0..gw_count {
+                let hub = rng.random_range(0..hubs);
+                let _ = writeln!(net_text, "{} {name}(DEMAND)", uucp[hub]);
+                stats.links += 1;
+                gws.push(uucp[hub].clone());
+            }
+            // Also exercise the explicit gateway command on one of them.
+            let _ = writeln!(net_text, "gateway {{{name}!{}}}", gws[0]);
+        }
+    }
+    // Any big-net members not yet placed go to ARPA.
+    let leftovers: Vec<String> = big_members.cloned().collect();
+    if !leftovers.is_empty() {
+        let _ = writeln!(net_text, "ARPA = @{{{}}}(DEDICATED)", leftovers.join(", "));
+        stats.links += 2 * leftovers.len();
+    }
+    files.push(("networks.map".to_string(), net_text));
+
+    // Domains: a tree per TLD with gateway hubs.
+    let mut dom_text = String::from("# domain trees\n");
+    let mut used_sub = std::collections::HashSet::new();
+    for d in 0..spec.domains.min(TLDS.len()) {
+        let tld = TLDS[d];
+        let sub_count = rng.random_range(1..4usize);
+        let mut subs = Vec::new();
+        for _ in 0..sub_count {
+            // Unique subdomain labels across all TLDs.
+            let mut label;
+            loop {
+                label = format!(".{}", HostNamer::name_at(rng.random_range(0..4000) + 90_000));
+                if used_sub.insert(label.clone()) {
+                    break;
+                }
+            }
+            subs.push(label);
+        }
+        let _ = writeln!(dom_text, "{tld} = {{{}}}(0)", subs.join(", "));
+        stats.domains += 1 + subs.len();
+        stats.links += 2 * subs.len();
+        for sub in &subs {
+            let m = rng.random_range(2..8usize);
+            let members: Vec<String> = (0..m)
+                .map(|_| uucp[rng.random_range(0..uucp.len())].clone())
+                .collect();
+            let _ = writeln!(dom_text, "{sub} = {{{}}}(0)", members.join(", "));
+            stats.links += 2 * members.len();
+        }
+        // One or two hub gateways per TLD.
+        for _ in 0..rng.random_range(1..3usize) {
+            let hub = rng.random_range(0..hubs);
+            let _ = writeln!(dom_text, "{} {tld}(DEDICATED)", uucp[hub]);
+            stats.links += 1;
+        }
+    }
+    files.push(("domains.map".to_string(), dom_text));
+
+    // Aliases.
+    let mut admin_text = String::from("# aliases and administrivia\n");
+    for host in &uucp {
+        if rng.random_bool(spec.alias_fraction) {
+            let _ = writeln!(admin_text, "{host} = {host}-aka");
+            stats.aliases += 1;
+            stats.hosts += 1;
+        }
+    }
+
+    // Dead hosts and links, adjustments.
+    for (i, host) in uucp.iter().enumerate().skip(hubs) {
+        if rng.random_bool(spec.dead_fraction) {
+            let _ = writeln!(admin_text, "dead {{{host}}}");
+            stats.dead_hosts += 1;
+        } else if rng.random_bool(spec.dead_fraction) {
+            if let Some((to, _, _)) = targets[i].first() {
+                let _ = writeln!(admin_text, "dead {{{host}!{to}}}");
+                stats.dead_links += 1;
+            }
+        }
+    }
+    for _ in 0..(spec.uucp_hosts / 500).max(1) {
+        let host = &uucp[rng.random_range(0..uucp.len())];
+        let bias = rng.random_range(-200..400i64);
+        let _ = writeln!(admin_text, "adjust {{{host}({bias})}}");
+    }
+    files.push(("admin.map".to_string(), admin_text));
+
+    // Private collisions: reuse existing names in dedicated files.
+    for c in 0..spec.collisions {
+        let victim = &uucp[rng.random_range(0..uucp.len())];
+        let neighbor = &uucp[rng.random_range(0..hubs.max(1))];
+        let text = format!(
+            "# local map with a colliding name\nprivate {{{victim}}}\n{victim}\t{neighbor}({})\n{neighbor}\t{victim}({})\n",
+            sample_cost(&mut rng),
+            sample_cost(&mut rng),
+        );
+        files.push((format!("site-{c:02}.map"), text));
+        stats.collisions += 1;
+        stats.hosts += 1;
+        stats.links += 2;
+    }
+
+    GeneratedMap {
+        files,
+        stats,
+        home: uucp[0].clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathalias_mapper::{map, MapOptions};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate(&MapSpec::small(300, 11));
+        let b = generate(&MapSpec::small(300, 11));
+        assert_eq!(a.files, b.files);
+        assert_eq!(a.stats, b.stats);
+        let c = generate(&MapSpec::small(300, 12));
+        assert_ne!(a.files, c.files, "different seeds differ");
+    }
+
+    #[test]
+    fn parses_cleanly() {
+        let m = generate(&MapSpec::small(400, 5));
+        let g = m.parse().expect("generated map must parse");
+        assert!(g.node_count() >= 400);
+        assert!(g.link_count() as f64 >= 400.0 * 2.0);
+    }
+
+    #[test]
+    fn scale_matches_spec_roughly() {
+        let spec = MapSpec::small(1000, 3);
+        let m = generate(&spec);
+        let g = m.parse().unwrap();
+        // Node count: hosts + nets + domains + aliases + collisions.
+        assert!(g.node_count() >= spec.total_hosts());
+        // Sparse: e within a factor of two of v * mean_degree.
+        let e = g.link_count() as f64;
+        let target = spec.uucp_hosts as f64 * spec.mean_degree;
+        assert!(
+            e > target * 0.5 && e < target * 3.0,
+            "links {e} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn mostly_connected_from_home() {
+        let m = generate(&MapSpec::small(500, 9));
+        let mut g = m.parse().unwrap();
+        let home = g.try_node(&m.home).unwrap();
+        let tree = map(&mut g, home, &MapOptions::default()).unwrap();
+        let mappable = g.iter_nodes().filter(|(_, n)| n.is_mappable()).count();
+        let mapped = tree.mapped_count();
+        assert!(
+            mapped as f64 >= mappable as f64 * 0.9,
+            "only {mapped}/{mappable} reachable"
+        );
+    }
+
+    #[test]
+    fn exercises_backlinks_and_commands() {
+        let m = generate(&MapSpec::small(800, 21));
+        assert!(m.stats.one_way_leaves > 0, "want back-link fodder");
+        assert!(m.stats.aliases > 0);
+        assert!(m.stats.collisions > 0);
+        assert!(m.stats.networks > 0);
+        assert!(m.stats.domains > 0);
+        let text = m.concatenated();
+        assert!(text.contains("gated {"));
+        assert!(text.contains("gateway {"));
+        assert!(text.contains("adjust {"));
+        assert!(text.contains("private {"));
+    }
+
+    #[test]
+    fn concatenated_stream_parses_with_file_markers() {
+        let m = generate(&MapSpec::small(200, 2));
+        let text = m.concatenated();
+        let g = pathalias_parser::parse(&text).expect("concatenated stream parses");
+        assert!(g.node_count() >= 200);
+    }
+
+    #[test]
+    fn paper_scale_generates() {
+        let spec = MapSpec::usenet_1986(1986);
+        let m = generate(&spec);
+        let g = m.parse().unwrap();
+        assert!(g.node_count() >= 8_500, "nodes: {}", g.node_count());
+        // The paper: ~28,000 links total across both map sets.
+        let e = g.link_count();
+        assert!(e >= 18_000 && e <= 60_000, "links: {e}");
+        assert!(m.byte_size() > 100_000, "a real map is hundreds of kb");
+    }
+}

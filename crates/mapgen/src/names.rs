@@ -1,0 +1,100 @@
+//! Era-plausible host-name generation.
+//!
+//! Real 1986 names were short, lower case, and frequently built from an
+//! institution plus a machine flavour: `ucbvax`, `seismo`, `mcvax`,
+//! `psuvax1`, `ihnp4`. The namer composes the same way and guarantees
+//! uniqueness by numbering overflow.
+
+/// Deterministic host-name generator.
+#[derive(Debug, Clone)]
+pub struct HostNamer {
+    issued: usize,
+}
+
+const SITES: &[&str] = &[
+    "unc", "duke", "psu", "ucb", "mit", "cmu", "osu", "nyu", "gatech", "utexas", "wisc", "umn",
+    "uw", "ucla", "rice", "cornell", "rutgers", "ihn", "att", "bell", "dec", "sun", "hp", "ibm",
+    "tek", "inter", "amd", "xerox", "rand", "sri", "bbn", "mc", "cwi", "kth", "inria", "ukc",
+    "sydney", "waterloo", "toronto", "ubc", "yale", "brown", "uiuc", "purdue", "iastate", "ksu",
+];
+
+const FLAVOURS: &[&str] = &[
+    "vax", "cad", "gvax", "uxa", "sun", "pyr", "dsp", "cs", "ee", "phys", "astro", "math", "lab",
+    "eng", "sys", "net", "gw", "relay", "hub", "news", "mail",
+];
+
+impl HostNamer {
+    /// A fresh namer.
+    pub fn new() -> Self {
+        HostNamer { issued: 0 }
+    }
+
+    /// The `i`-th name in the deterministic sequence.
+    pub fn name_at(i: usize) -> String {
+        let site = SITES[i % SITES.len()];
+        let flavour = FLAVOURS[(i / SITES.len()) % FLAVOURS.len()];
+        let round = i / (SITES.len() * FLAVOURS.len());
+        if round == 0 {
+            format!("{site}{flavour}")
+        } else {
+            format!("{site}{flavour}{round}")
+        }
+    }
+
+    /// Issues the next unique host name.
+    pub fn next_name(&mut self) -> String {
+        let n = Self::name_at(self.issued);
+        self.issued += 1;
+        n
+    }
+
+    /// How many names have been issued.
+    pub fn issued(&self) -> usize {
+        self.issued
+    }
+}
+
+impl Default for HostNamer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn names_are_unique_and_legal() {
+        let mut namer = HostNamer::new();
+        let mut seen = HashSet::new();
+        for _ in 0..10_000 {
+            let n = namer.next_name();
+            assert!(seen.insert(n.clone()), "duplicate name {n}");
+            assert!(n
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_'));
+            assert!(!n.starts_with('.'), "host must not look like a domain");
+            assert!(n.len() <= 14, "era names were short: {n}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(HostNamer::name_at(0), HostNamer::name_at(0));
+        let mut a = HostNamer::new();
+        let mut b = HostNamer::new();
+        for _ in 0..100 {
+            assert_eq!(a.next_name(), b.next_name());
+        }
+    }
+
+    #[test]
+    fn first_names_look_like_1986() {
+        assert_eq!(HostNamer::name_at(0), "uncvax");
+        let mut namer = HostNamer::new();
+        let first: Vec<String> = (0..5).map(|_| namer.next_name()).collect();
+        assert!(first.iter().all(|n| !n.contains(char::is_uppercase)));
+    }
+}

@@ -1,0 +1,103 @@
+//! Generation parameters.
+
+/// Parameters for a synthetic map.
+#[derive(Debug, Clone)]
+pub struct MapSpec {
+    /// RNG seed; equal specs generate byte-identical maps.
+    pub seed: u64,
+    /// UUCP hosts (the USENET map proper).
+    pub uucp_hosts: usize,
+    /// Hosts that exist mainly as members of the big networks
+    /// (ARPANET / CSNET / BITNET in the paper).
+    pub net_hosts: usize,
+    /// Mean explicit links per UUCP host (the paper's maps ran at
+    /// roughly 20,000 links over 5,700 hosts ≈ 3.5).
+    pub mean_degree: f64,
+    /// Fraction of UUCP hosts that act as hubs (ihnp4, seismo, ...).
+    pub hub_fraction: f64,
+    /// Probability that a leaf's uplink has a matching return link;
+    /// the remainder exercises the back-link pass.
+    pub bidir_probability: f64,
+    /// Number of fully connected networks (cliques as stars).
+    pub networks: usize,
+    /// Fraction of networks declared with ARPANET `@` syntax.
+    pub arpa_net_fraction: f64,
+    /// Number of top-level domains (each grows 1–3 subdomains).
+    pub domains: usize,
+    /// Fraction of hosts given an alias.
+    pub alias_fraction: f64,
+    /// Host-name collisions resolved with `private`.
+    pub collisions: usize,
+    /// Fraction of hosts marked `dead`.
+    pub dead_fraction: f64,
+    /// Number of regional map files to emit.
+    pub files: usize,
+}
+
+impl MapSpec {
+    /// The paper's 1986 scale: 5,700 + 2,800 hosts, ~28,000 links.
+    pub fn usenet_1986(seed: u64) -> Self {
+        MapSpec {
+            seed,
+            uucp_hosts: 5_700,
+            net_hosts: 2_800,
+            mean_degree: 3.5,
+            hub_fraction: 0.02,
+            bidir_probability: 0.85,
+            networks: 24,
+            arpa_net_fraction: 0.25,
+            domains: 6,
+            alias_fraction: 0.03,
+            collisions: 12,
+            dead_fraction: 0.01,
+            files: 40,
+        }
+    }
+
+    /// A small map for tests: `hosts` UUCP hosts plus a proportional
+    /// everything-else.
+    pub fn small(hosts: usize, seed: u64) -> Self {
+        MapSpec {
+            seed,
+            uucp_hosts: hosts,
+            net_hosts: hosts / 4,
+            mean_degree: 3.0,
+            hub_fraction: 0.05,
+            bidir_probability: 0.85,
+            networks: (hosts / 60).max(1),
+            arpa_net_fraction: 0.25,
+            domains: (hosts / 150).clamp(1, 6),
+            alias_fraction: 0.05,
+            collisions: (hosts / 100).min(8),
+            dead_fraction: 0.01,
+            files: (hosts / 50).clamp(1, 20),
+        }
+    }
+
+    /// Expected total host count.
+    pub fn total_hosts(&self) -> usize {
+        self.uucp_hosts + self.net_hosts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale() {
+        let s = MapSpec::usenet_1986(1);
+        assert_eq!(s.total_hosts(), 8_500);
+        // Mean degree matches 20,000 links over 5,700 hosts.
+        assert!((s.mean_degree - 20_000.0 / 5_700.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn small_is_proportional() {
+        let s = MapSpec::small(200, 7);
+        assert_eq!(s.uucp_hosts, 200);
+        assert!(s.networks >= 1);
+        assert!(s.domains >= 1);
+        assert!(s.files >= 1);
+    }
+}

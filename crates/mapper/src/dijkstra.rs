@@ -1,0 +1,759 @@
+//! The mapping algorithms: heap Dijkstra, the quadratic baseline, and
+//! the back-link pass.
+
+use crate::cost_model::CostModel;
+use crate::heap::IndexedHeap;
+use crate::tree::{Label, MapStats, ShortestPathTree, TraceDecision, TraceEvent};
+use pathalias_graph::{
+    Cost, Dir, Graph, Link, LinkFlags, LinkId, NodeId,
+};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Options for a mapping run.
+#[derive(Debug, Clone, Default)]
+pub struct MapOptions {
+    /// Penalty configuration.
+    pub model: CostModel,
+    /// Trace relaxations whose head or tail is one of these nodes
+    /// (pathalias `-t`).
+    pub trace: Vec<NodeId>,
+    /// Skip domain nodes entirely (used by the second-best pass).
+    pub exclude_domains: bool,
+    /// Disable the back-link pass in [`map`].
+    pub no_backlinks: bool,
+}
+
+/// Errors from mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapError {
+    /// The source node has been `delete`d.
+    DeletedSource,
+    /// The source is a domain but domains are excluded from this run.
+    ExcludedSource,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::DeletedSource => write!(f, "mapping source has been deleted"),
+            MapError::ExcludedSource => {
+                write!(f, "mapping source is a domain but domains are excluded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// The heap key: (cost, visible hops, node id) — totally ordered, so
+/// extraction order and therefore output are deterministic.
+type Key = (Cost, u32, u32);
+
+fn key_of(node: NodeId, l: &Label) -> Key {
+    (l.cost, l.hops, node.raw())
+}
+
+/// Shared relaxation state for both algorithm variants.
+struct Run<'g> {
+    g: &'g Graph,
+    model: CostModel,
+    exclude_domains: bool,
+    source: NodeId,
+    labels: Vec<Option<Label>>,
+    mapped: Vec<bool>,
+    stats: MapStats,
+    trace_set: HashSet<NodeId>,
+    trace: Vec<TraceEvent>,
+}
+
+/// Outcome of relaxing one edge.
+enum Relaxed {
+    /// New label with a strictly smaller key: heap must push or
+    /// decrease.
+    Improved(Key),
+    /// Label rewritten on an exact tie (no key change) or not improved.
+    NoKeyChange,
+    /// Edge skipped entirely.
+    Skipped,
+}
+
+impl<'g> Run<'g> {
+    fn new(g: &'g Graph, source: NodeId, opts: &MapOptions) -> Result<Self, MapError> {
+        let src = g.node_ref(source);
+        if !src.is_mappable() {
+            return Err(MapError::DeletedSource);
+        }
+        if opts.exclude_domains && src.is_domain() {
+            return Err(MapError::ExcludedSource);
+        }
+        let n = g.node_count();
+        let mut labels = vec![None; n];
+        labels[source.index()] = Some(Label {
+            cost: 0,
+            hops: 0,
+            pred: None,
+            has_left: false,
+            has_right: false,
+            tainted: src.is_domain(),
+            via_backlink: false,
+            ambiguous: false,
+        });
+        Ok(Run {
+            g,
+            model: opts.model,
+            exclude_domains: opts.exclude_domains,
+            source,
+            labels,
+            mapped: vec![false; n],
+            stats: MapStats::default(),
+            trace_set: opts.trace.iter().copied().collect(),
+            trace: Vec::new(),
+        })
+    }
+
+    /// Whether entering gated node `v` over `link` from `u` counts as
+    /// going through a gateway. See DESIGN.md §4 for the rule table.
+    fn gateway_exempt(&self, u: NodeId, link: &Link, v: NodeId) -> bool {
+        let u_node = self.g.node_ref(u);
+        let _ = v;
+        link.flags.contains(LinkFlags::GATEWAY)
+            || link.flags.contains(LinkFlags::ALIAS)
+            // Parent network/domain exiting into a gated member: the
+            // parent is the member's gateway.
+            || link.flags.contains(LinkFlags::NET_OUT)
+            // A (non-domain) host member entering its own domain.
+            || (link.flags.contains(LinkFlags::NET_IN)
+                && self.g.node_ref(link.to).is_domain()
+                && !u_node.is_domain())
+            // An explicitly written link into a gated net declares its
+            // writer a gateway (how `seismo .edu(DEDICATED)` works).
+            || (link.flags.is_explicit() && !u_node.is_domain())
+    }
+
+    /// The routing operator of the *visible hop* this edge appends, if
+    /// any. Alias and network-entry edges append nothing; network-exit
+    /// edges use "the ones encountered when entering the network".
+    fn visible_op(&self, u_label: &Label, link: &Link) -> Option<pathalias_graph::RouteOp> {
+        if link
+            .flags
+            .intersects(LinkFlags::ALIAS | LinkFlags::NET_IN)
+        {
+            return None;
+        }
+        if link.flags.contains(LinkFlags::NET_OUT) {
+            let entering = u_label
+                .pred
+                .map(|(_, plid)| self.g.link_ref(plid).op)
+                .unwrap_or(link.op);
+            return Some(entering);
+        }
+        Some(link.op)
+    }
+
+    /// Relaxes `link` out of `u` (whose final label is `u_label`).
+    fn relax(&mut self, u: NodeId, u_label: Label, lid: LinkId, link: &Link) -> Relaxed {
+        self.stats.relaxations += 1;
+        let v = link.to;
+        let v_node = self.g.node_ref(v);
+        if link.flags.contains(LinkFlags::DELETED)
+            || !v_node.is_mappable()
+            || (self.exclude_domains && v_node.is_domain())
+            || self.mapped[v.index()]
+        {
+            return Relaxed::Skipped;
+        }
+
+        // Base weight, with the tail's `adjust` bias when transiting.
+        let mut base = link.cost;
+        let u_node = self.g.node_ref(u);
+        if u != self.source && u_node.adjust != 0 {
+            let biased = (base as i128) + (u_node.adjust as i128);
+            base = biased.clamp(0, Cost::MAX as i128) as Cost;
+        }
+
+        // Heuristic penalties.
+        let mut gate = 0;
+        let mut relay = 0;
+        let mut mixed = 0;
+        let mut extra = 0;
+        if link.flags.contains(LinkFlags::DEAD) {
+            extra += self.model.dead_link_penalty;
+        }
+        if u != self.source && u_node.flags.contains(pathalias_graph::NodeFlags::DEAD) {
+            extra += self.model.dead_penalty;
+        }
+        if v_node.is_gated() && !self.gateway_exempt(u, link, v) {
+            gate = self.model.gate_penalty;
+            self.stats.gate_penalties += 1;
+        }
+        if u_label.tainted
+            && !link
+                .flags
+                .intersects(LinkFlags::ALIAS | LinkFlags::NET_OUT)
+        {
+            relay = self.model.relay_penalty;
+            self.stats.relay_penalties += 1;
+        }
+
+        let vis = self.visible_op(&u_label, link);
+        let mut has_left = u_label.has_left;
+        let mut has_right = u_label.has_right;
+        let mut hop_ambiguous = false;
+        if let Some(op) = vis {
+            match op.dir {
+                Dir::Left => {
+                    // `!` applied after `@` builds an address UUCP
+                    // mailers misparse: always penalized, and recorded
+                    // even when the penalty is configured to zero.
+                    if u_label.has_right {
+                        mixed = self.model.mixed_penalty;
+                        hop_ambiguous = true;
+                        self.stats.ambiguous_hops += 1;
+                    }
+                    has_left = true;
+                }
+                Dir::Right => {
+                    // The classic `bang!path!%s@host` form is tolerated
+                    // unless strict mode penalizes all mixing.
+                    if self.model.strict_mixed && u_label.has_left {
+                        mixed = self.model.mixed_penalty;
+                    }
+                    has_right = true;
+                }
+            }
+            if mixed > 0 {
+                self.stats.mixed_penalties += 1;
+            }
+        }
+
+        let cost = u_label
+            .cost
+            .saturating_add(base)
+            .saturating_add(gate)
+            .saturating_add(relay)
+            .saturating_add(mixed)
+            .saturating_add(extra);
+        let hops = u_label.hops + u32::from(vis.is_some());
+        let cand = Label {
+            cost,
+            hops,
+            pred: Some((u, lid)),
+            has_left,
+            has_right,
+            tainted: u_label.tainted || v_node.is_domain(),
+            via_backlink: u_label.via_backlink || link.flags.contains(LinkFlags::BACK),
+            ambiguous: u_label.ambiguous || hop_ambiguous,
+        };
+
+        let slot = &mut self.labels[v.index()];
+        let (outcome, decision) = match slot {
+            None => {
+                *slot = Some(cand);
+                (Relaxed::Improved(key_of(v, &cand)), TraceDecision::Accepted)
+            }
+            Some(old) => {
+                if (cand.cost, cand.hops) < (old.cost, old.hops) {
+                    *old = cand;
+                    (Relaxed::Improved(key_of(v, &cand)), TraceDecision::Accepted)
+                } else if (cand.cost, cand.hops) == (old.cost, old.hops) {
+                    // Deterministic tie break independent of visit
+                    // order: smaller (pred id, link id) wins.
+                    let old_pred = old.pred.map(|(p, l)| (p.raw(), l.raw()));
+                    let new_pred = cand.pred.map(|(p, l)| (p.raw(), l.raw()));
+                    if new_pred < old_pred {
+                        *old = cand;
+                        (Relaxed::NoKeyChange, TraceDecision::Accepted)
+                    } else {
+                        (Relaxed::NoKeyChange, TraceDecision::TieKept)
+                    }
+                } else {
+                    (Relaxed::NoKeyChange, TraceDecision::Worse)
+                }
+            }
+        };
+        if self.trace_set.contains(&v) || self.trace_set.contains(&u) {
+            self.trace.push(TraceEvent {
+                from: u,
+                to: v,
+                link: lid,
+                base,
+                gate,
+                relay,
+                mixed,
+                candidate: cost,
+                decision,
+            });
+        }
+        outcome
+    }
+
+    fn finish(self) -> ShortestPathTree {
+        ShortestPathTree {
+            source: self.source,
+            labels: self.labels,
+            stats: self.stats,
+            trace: self.trace,
+        }
+    }
+}
+
+/// Maps the graph from `source` with the priority-queue variant of
+/// Dijkstra's algorithm (O(e log v) on the sparse maps pathalias sees),
+/// without mutating the graph (no back links).
+pub fn map_readonly(
+    g: &Graph,
+    source: NodeId,
+    opts: &MapOptions,
+) -> Result<ShortestPathTree, MapError> {
+    let mut run = Run::new(g, source, opts)?;
+    let mut heap: IndexedHeap<Key> = IndexedHeap::new(g.node_count());
+    heap.push(
+        source.raw(),
+        key_of(source, run.labels[source.index()].as_ref().expect("source")),
+    );
+    run.stats.pushes += 1;
+
+    while let Some((u_raw, _)) = heap.pop() {
+        run.stats.pops += 1;
+        let u = NodeId::from_raw(u_raw);
+        run.mapped[u.index()] = true;
+        run.stats.mapped += 1;
+        let u_label = run.labels[u.index()].expect("queued node has a label");
+        for (lid, _) in run.g.links_from(u) {
+            // Re-borrow the link each iteration to keep the borrow
+            // checker happy about `run` mutations.
+            let link = *run.g.link_ref(lid);
+            if let Relaxed::Improved(key) = run.relax(u, u_label, lid, &link) {
+                let v_raw = link.to.raw();
+                if heap.contains(v_raw) {
+                    heap.decrease(v_raw, key);
+                    run.stats.decreases += 1;
+                } else {
+                    heap.push(v_raw, key);
+                    run.stats.pushes += 1;
+                }
+            }
+        }
+    }
+    Ok(run.finish())
+}
+
+/// Maps with the standard O(v²) array-scan Dijkstra the paper compares
+/// against. Produces labels identical to [`map_readonly`].
+pub fn map_quadratic_readonly(
+    g: &Graph,
+    source: NodeId,
+    opts: &MapOptions,
+) -> Result<ShortestPathTree, MapError> {
+    let mut run = Run::new(g, source, opts)?;
+    loop {
+        // Select the unmapped labelled node with the smallest key by
+        // scanning the whole array — the v² part.
+        let mut best: Option<(Key, NodeId)> = None;
+        for i in 0..run.labels.len() {
+            run.stats.scan_steps += 1;
+            if run.mapped[i] {
+                continue;
+            }
+            if let Some(l) = &run.labels[i] {
+                let id = NodeId::from_raw(i as u32);
+                let k = key_of(id, l);
+                if best.map_or(true, |(bk, _)| k < bk) {
+                    best = Some((k, id));
+                }
+            }
+        }
+        let Some((_, u)) = best else { break };
+        run.mapped[u.index()] = true;
+        run.stats.mapped += 1;
+        let u_label = run.labels[u.index()].expect("selected node has a label");
+        for (lid, _) in run.g.links_from(u) {
+            let link = *run.g.link_ref(lid);
+            let _ = run.relax(u, u_label, lid, &link);
+        }
+    }
+    Ok(run.finish())
+}
+
+/// Maps from `source`, then runs the back-link pass to fixpoint: "we
+/// examine the connections out of each unreachable host, invent links
+/// from its neighbors back to the host, and continue with Dijkstra's
+/// algorithm." Invented links are added to the graph with
+/// [`LinkFlags::BACK`] and the back-link penalty.
+pub fn map(
+    g: &mut Graph,
+    source: NodeId,
+    opts: &MapOptions,
+) -> Result<ShortestPathTree, MapError> {
+    let mut rounds = 0u32;
+    let mut invented_total = 0u64;
+    loop {
+        let mut tree = map_readonly(g, source, opts)?;
+        tree.stats.backlink_rounds = rounds;
+        tree.stats.invented_links = invented_total;
+        if opts.no_backlinks {
+            return Ok(tree);
+        }
+        // Invent reverse links for unreachable hosts that declare a
+        // connection out to a mapped host.
+        let mut inventions: Vec<(NodeId, NodeId, Cost, pathalias_graph::RouteOp)> = Vec::new();
+        for u in tree.unreachable(g) {
+            if opts.exclude_domains && g.node_ref(u).is_domain() {
+                continue;
+            }
+            for (_, l) in g.links_from(u) {
+                if l.flags.contains(LinkFlags::DELETED) || l.flags.contains(LinkFlags::BACK) {
+                    continue;
+                }
+                if tree.is_mapped(l.to) {
+                    let cost = l.cost.saturating_add(opts.model.backlink_penalty);
+                    inventions.push((l.to, u, cost, l.op));
+                }
+            }
+        }
+        if inventions.is_empty() {
+            return Ok(tree);
+        }
+        for (from, to, cost, op) in inventions {
+            // Only invent a given reverse link once across rounds.
+            let exists = g
+                .links_from(from)
+                .any(|(_, l)| l.to == to && l.flags.contains(LinkFlags::BACK));
+            if !exists {
+                g.add_raw_link(from, to, cost, op, LinkFlags::BACK);
+                invented_total += 1;
+            }
+        }
+        rounds += 1;
+        assert!(
+            (rounds as usize) <= g.node_count() + 1,
+            "back-link pass failed to converge"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathalias_graph::{NodeFlags, INF};
+    use pathalias_parser::parse;
+
+    fn ids(g: &Graph, names: &[&str]) -> Vec<NodeId> {
+        names.iter().map(|n| g.try_node(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn straight_line_costs() {
+        let mut g = parse("a b(10)\nb c(20)\nc d(5)\n").unwrap();
+        let v = ids(&g, &["a", "b", "c", "d"]);
+        let t = map(&mut g, v[0], &MapOptions::default()).unwrap();
+        assert_eq!(t.cost(v[0]), Some(0));
+        assert_eq!(t.cost(v[1]), Some(10));
+        assert_eq!(t.cost(v[2]), Some(30));
+        assert_eq!(t.cost(v[3]), Some(35));
+        assert_eq!(t.path_to(v[3]).unwrap(), v);
+    }
+
+    #[test]
+    fn picks_cheaper_indirect_route() {
+        // The paper's observation: unc->phs direct (2000) loses to
+        // unc->duke->phs (500+300).
+        let mut g = parse("unc duke(500), phs(2000)\nduke phs(300)\n").unwrap();
+        let v = ids(&g, &["unc", "duke", "phs"]);
+        let t = map(&mut g, v[0], &MapOptions::default()).unwrap();
+        assert_eq!(t.cost(v[2]), Some(800));
+        assert_eq!(t.path_to(v[2]).unwrap(), v);
+    }
+
+    #[test]
+    fn quadratic_matches_heap_exactly() {
+        let text = "\
+a b(10), c(200), @d(40)
+b c(20), e(100)
+c d(5)
+d e(1)
+e a(1)
+N = {b, d, f}(30)
+g h(10)
+";
+        let g = parse(text).unwrap();
+        let a = g.try_node("a").unwrap();
+        let opts = MapOptions::default();
+        let t1 = map_readonly(&g, a, &opts).unwrap();
+        let t2 = map_quadratic_readonly(&g, a, &opts).unwrap();
+        for id in g.node_ids() {
+            assert_eq!(t1.label(id), t2.label(id), "node {}", g.name(id));
+        }
+        assert!(t1.stats.pushes > 0);
+        assert_eq!(t2.stats.pushes, 0);
+        assert!(t2.stats.scan_steps > 0);
+    }
+
+    #[test]
+    fn network_membership_costs() {
+        // Pay to enter, exit for free.
+        let mut g = parse("a NET(50)\nNET = {x, y}(75)\n").unwrap();
+        let v = ids(&g, &["a", "NET", "x", "y"]);
+        let t = map(&mut g, v[0], &MapOptions::default()).unwrap();
+        assert_eq!(t.cost(v[1]), Some(50));
+        assert_eq!(t.cost(v[2]), Some(50), "exit is free");
+        assert_eq!(t.cost(v[3]), Some(50));
+    }
+
+    #[test]
+    fn alias_edges_are_free_and_invisible() {
+        let mut g = parse("a princeton(100)\nprinceton = fun\nfun z(10)\n").unwrap();
+        let v = ids(&g, &["a", "princeton", "fun", "z"]);
+        let t = map(&mut g, v[0], &MapOptions::default()).unwrap();
+        assert_eq!(t.cost(v[2]), Some(100), "alias costs nothing");
+        assert_eq!(
+            t.label(v[2]).unwrap().hops,
+            t.label(v[1]).unwrap().hops,
+            "alias adds no visible hop"
+        );
+        assert_eq!(t.cost(v[3]), Some(110), "links from the alias work");
+    }
+
+    #[test]
+    fn dead_host_never_relays() {
+        let mut g = parse("a b(10)\nb c(10)\na c(1000)\ndead {b}\n").unwrap();
+        let v = ids(&g, &["a", "b", "c"]);
+        let t = map(&mut g, v[0], &MapOptions::default()).unwrap();
+        assert_eq!(t.cost(v[1]), Some(10), "dead host is reachable");
+        assert_eq!(t.cost(v[2]), Some(1000), "but never relays");
+    }
+
+    #[test]
+    fn dead_link_is_last_resort() {
+        let mut g = parse("a b(10)\ndead {a!b}\na c(50)\nc b(50)\n").unwrap();
+        let v = ids(&g, &["a", "b", "c"]);
+        let t = map(&mut g, v[0], &MapOptions::default()).unwrap();
+        assert_eq!(t.cost(v[1]), Some(100), "detour beats dead link");
+    }
+
+    #[test]
+    fn deleted_nodes_and_links_ignored() {
+        let mut g = parse("a b(10)\nb c(10)\ndelete {b}\na c(500)\n").unwrap();
+        let v = ids(&g, &["a", "b", "c"]);
+        let t = map(&mut g, v[0], &MapOptions::default()).unwrap();
+        assert_eq!(t.cost(v[1]), None);
+        assert_eq!(t.cost(v[2]), Some(500));
+    }
+
+    #[test]
+    fn adjust_bias_applies_in_transit_only() {
+        let mut g = parse("a b(10)\nb c(10)\nadjust {b(100)}\na c(50)\n").unwrap();
+        let v = ids(&g, &["a", "b", "c"]);
+        let t = map(&mut g, v[0], &MapOptions::default()).unwrap();
+        assert_eq!(t.cost(v[1]), Some(10), "bias not charged to reach b");
+        assert_eq!(t.cost(v[2]), Some(50), "transit through b costs 120");
+    }
+
+    #[test]
+    fn negative_adjust_clamps_at_zero() {
+        let mut g = parse("a b(10)\nb c(5)\nadjust {b(-100)}\n").unwrap();
+        let v = ids(&g, &["a", "b", "c"]);
+        let t = map(&mut g, v[0], &MapOptions::default()).unwrap();
+        assert_eq!(t.cost(v[2]), Some(10), "edge cost clamps at zero");
+    }
+
+    #[test]
+    fn gated_network_penalty_and_gateway() {
+        let text = "\
+GNET = {x, y}(10)
+gated {GNET}
+a x(10), g(10)
+g GNET(20)
+gateway {GNET!g}
+";
+        let mut g = parse(text).unwrap();
+        let v = ids(&g, &["a", "x", "g", "GNET", "y"]);
+        let t = map(&mut g, v[0], &MapOptions::default()).unwrap();
+        // Entering via member x is penalized; via gateway g is not.
+        assert_eq!(t.cost(v[3]), Some(30), "a->g->GNET");
+        assert_eq!(t.cost(v[4]), Some(30), "y via the gateway");
+        assert!(t.stats.gate_penalties > 0);
+    }
+
+    #[test]
+    fn explicit_link_into_gated_net_is_gateway() {
+        // No `gateway` command: the explicit link itself qualifies.
+        let text = "GNET = {x}(10)\ngated {GNET}\na s(10)\ns GNET(5)\n";
+        let mut g = parse(text).unwrap();
+        let v = ids(&g, &["a", "s", "GNET", "x"]);
+        let t = map(&mut g, v[0], &MapOptions::default()).unwrap();
+        assert_eq!(t.cost(v[2]), Some(15));
+        assert_eq!(t.cost(v[3]), Some(15));
+    }
+
+    #[test]
+    fn domain_up_edge_essentially_infinite() {
+        // .edu has member .rutgers; going up .rutgers -> .edu must cost
+        // about INF (the membership entry edge is not exempt for a
+        // domain member).
+        let text = ".edu = {.rutgers}(0)\n.rutgers = {caip}(0)\nstart caip(10)\n";
+        let mut g = parse(text).unwrap();
+        let v = ids(&g, &["start", "caip", ".rutgers", ".edu"]);
+        let t = map(&mut g, v[0], &MapOptions::default()).unwrap();
+        // caip is a member of .rutgers: entering is exempt; but its
+        // path then went through a domain, so further links from .edu
+        // are relay-penalized; the up edge gets the gate penalty too.
+        let up = t.cost(v[3]).unwrap();
+        assert!(up >= INF, "up-tree cost {up} should be essentially infinite");
+        assert!(t.cost(v[2]).unwrap() < INF);
+    }
+
+    #[test]
+    fn relay_restriction_after_domain() {
+        // Once through a domain, further links are penalized.
+        let text = "a caip(10)\ncaip .rutgers.edu(20)\n.rutgers.edu = {blue}(0)\nblue far(10)\n";
+        let mut g = parse(text).unwrap();
+        let v = ids(&g, &["a", "blue", "far"]);
+        let t = map(&mut g, v[0], &MapOptions::default()).unwrap();
+        assert_eq!(t.cost(v[1]), Some(30), "blue via the domain is fine");
+        assert!(
+            t.cost(v[2]).unwrap() >= INF,
+            "onward relaying from a domain-reached host is penalized"
+        );
+        assert!(t.label(v[1]).unwrap().tainted);
+    }
+
+    #[test]
+    fn mixed_syntax_bang_after_at_penalized() {
+        // a -@-> b -!-> c: the ! hop lands after an @ hop.
+        let mut g = parse("a @b(10)\nb c(10)\n").unwrap();
+        let v = ids(&g, &["a", "b", "c"]);
+        let t = map(&mut g, v[0], &MapOptions::default()).unwrap();
+        let m = MapOptions::default().model;
+        assert_eq!(t.cost(v[2]), Some(20 + m.mixed_penalty));
+        assert_eq!(t.stats.mixed_penalties, 1);
+    }
+
+    #[test]
+    fn classic_at_after_bang_free() {
+        // The paper's own example form: pure ! prefix then a final @.
+        let mut g = parse("a b(10)\nb @c(10)\n").unwrap();
+        let v = ids(&g, &["a", "b", "c"]);
+        let t = map(&mut g, v[0], &MapOptions::default()).unwrap();
+        assert_eq!(t.cost(v[2]), Some(20), "no penalty by default");
+
+        let strict = MapOptions {
+            model: CostModel {
+                strict_mixed: true,
+                ..CostModel::default()
+            },
+            ..MapOptions::default()
+        };
+        let t = map(&mut g, v[0], &strict).unwrap();
+        assert_eq!(
+            t.cost(v[2]),
+            Some(20 + strict.model.mixed_penalty),
+            "strict mode penalizes any mixing"
+        );
+    }
+
+    #[test]
+    fn backlinks_reach_leaf_hosts() {
+        // leaf declares a link out but nobody links back to it.
+        let mut g = parse("a b(10)\nleaf b(25)\n").unwrap();
+        let v = ids(&g, &["a", "b", "leaf"]);
+        let t = map(&mut g, v[0], &MapOptions::default()).unwrap();
+        let m = MapOptions::default().model;
+        assert_eq!(
+            t.cost(v[2]),
+            Some(10 + 25 + m.backlink_penalty),
+            "b gets an invented link back to leaf"
+        );
+        assert!(t.label(v[2]).unwrap().via_backlink);
+        assert_eq!(t.stats.invented_links, 1);
+        assert_eq!(t.stats.backlink_rounds, 1);
+    }
+
+    #[test]
+    fn backlinks_iterate_to_fixpoint() {
+        // A whole chain pointing the wrong way: leaf2 -> leaf1 -> b.
+        let mut g = parse("a b(10)\nleaf1 b(20)\nleaf2 leaf1(30)\n").unwrap();
+        let v = ids(&g, &["a", "leaf1", "leaf2"]);
+        let t = map(&mut g, v[0], &MapOptions::default()).unwrap();
+        assert!(t.is_mapped(v[1]));
+        assert!(t.is_mapped(v[2]), "second round reaches leaf2");
+        assert_eq!(t.stats.backlink_rounds, 2);
+    }
+
+    #[test]
+    fn no_backlinks_option() {
+        let mut g = parse("a b(10)\nleaf b(25)\n").unwrap();
+        let v = ids(&g, &["a", "leaf"]);
+        let opts = MapOptions {
+            no_backlinks: true,
+            ..MapOptions::default()
+        };
+        let t = map(&mut g, v[0], &opts).unwrap();
+        assert!(!t.is_mapped(v[1]));
+        assert_eq!(t.unreachable(&g), vec![v[1]]);
+    }
+
+    #[test]
+    fn deleted_source_errors() {
+        let mut g = parse("a b(10)\ndelete {a}\n").unwrap();
+        let a = g.try_node("a").unwrap();
+        assert_eq!(
+            map(&mut g, a, &MapOptions::default()).unwrap_err(),
+            MapError::DeletedSource
+        );
+    }
+
+    #[test]
+    fn trace_records_decisions() {
+        let mut g = parse("a b(10), c(5)\nc b(1)\n").unwrap();
+        let v = ids(&g, &["a", "b", "c"]);
+        let opts = MapOptions {
+            trace: vec![v[1]],
+            ..MapOptions::default()
+        };
+        let t = map(&mut g, v[0], &opts).unwrap();
+        assert!(t.trace.len() >= 2, "both relaxations into b traced");
+        assert!(t
+            .trace
+            .iter()
+            .any(|e| e.decision == TraceDecision::Accepted));
+        assert_eq!(t.cost(v[1]), Some(6));
+    }
+
+    #[test]
+    fn determinism_across_variants_and_runs() {
+        let text = "\
+hub a(10), b(10), c(10)
+a x(10)
+b x(10)
+c x(10)
+x y(1)
+";
+        let g = parse(text).unwrap();
+        let hub = g.try_node("hub").unwrap();
+        let opts = MapOptions::default();
+        let t1 = map_readonly(&g, hub, &opts).unwrap();
+        let t2 = map_readonly(&g, hub, &opts).unwrap();
+        let t3 = map_quadratic_readonly(&g, hub, &opts).unwrap();
+        let x = g.try_node("x").unwrap();
+        // Three equal-cost preds for x: the smallest node id (a) wins
+        // in every variant.
+        let a = g.try_node("a").unwrap();
+        assert_eq!(t1.label(x).unwrap().pred.unwrap().0, a);
+        assert_eq!(t1.label(x), t2.label(x));
+        assert_eq!(t1.label(x), t3.label(x));
+    }
+
+    #[test]
+    fn private_hosts_map_normally() {
+        let mut g = Graph::new();
+        g.begin_file("f");
+        let a = g.node("a");
+        let p = g.declare_private("bilbo");
+        g.declare_link(a, p, 10, pathalias_graph::RouteOp::UUCP);
+        let t = map(&mut g, a, &MapOptions::default()).unwrap();
+        assert_eq!(t.cost(p), Some(10));
+        assert!(g.node_ref(p).flags.contains(NodeFlags::PRIVATE));
+    }
+}

@@ -1,0 +1,53 @@
+//! Shortest-path mapping: the second phase of pathalias.
+//!
+//! "We perform a modified breadth-first search of the graph, starting at
+//! the source ... we use a priority queue and extract vertices in
+//! increasing order of path cost." This crate implements:
+//!
+//! * [`heap`] — the implicit binary heap with decrease-key the paper
+//!   describes ("if some neighbor of v is already queued, but the path
+//!   through v is shorter, we reduce the cost to this neighbor ... and
+//!   restore the heap property");
+//! * [`map`] / [`map_readonly`] — the sparse-graph Dijkstra variant,
+//!   running in O(e log v);
+//! * [`map_quadratic_readonly`] — the textbook O(v²) Dijkstra the paper
+//!   compares against ("both asymptotically and pragmatically, the
+//!   priority queue variant is a clear winner"), kept for experiment E7;
+//! * [`CostModel`] — the routing heuristics layered on edge weights:
+//!   the mixed-syntax penalty, gatewayed networks and domains, and the
+//!   domain relay restriction;
+//! * back links: "we examine the connections out of each unreachable
+//!   host, invent links from its neighbors back to the host, and
+//!   continue";
+//! * [`map_dual`] — the PROBLEMS-section experiment: "a modified
+//!   algorithm that maintains the 'second-best' path when the shortest
+//!   path to a host goes by way of a domain";
+//! * [`parallel`] — multi-source mapping on scoped threads (a modern
+//!   convenience used by the benchmark harness).
+//!
+//! # Examples
+//!
+//! ```
+//! use pathalias_mapper::{map, MapOptions};
+//!
+//! let mut g = pathalias_parser::parse("a b(10)\nb c(20)\n").unwrap();
+//! let a = g.try_node("a").unwrap();
+//! let c = g.try_node("c").unwrap();
+//! let tree = map(&mut g, a, &MapOptions::default()).unwrap();
+//! assert_eq!(tree.cost(c), Some(30));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost_model;
+mod dijkstra;
+mod dual;
+pub mod heap;
+pub mod parallel;
+mod tree;
+
+pub use cost_model::CostModel;
+pub use dijkstra::{map, map_quadratic_readonly, map_readonly, MapError, MapOptions};
+pub use dual::{map_dual, DualTree};
+pub use tree::{format_trace, Label, MapStats, ShortestPathTree, TraceEvent};

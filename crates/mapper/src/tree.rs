@@ -1,0 +1,292 @@
+//! The shortest-path tree produced by mapping.
+
+use pathalias_graph::{Cost, Graph, LinkId, NodeId};
+
+/// The best path found to one node.
+///
+/// Besides cost, a label carries the path state the heuristics need:
+/// visible-hop count, which routing-syntax classes appear on the path,
+/// and whether the path has passed through a domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label {
+    /// Total path cost including heuristic penalties.
+    pub cost: Cost,
+    /// Number of *visible* hops (alias and network-entry edges add no
+    /// hop to the printed route).
+    pub hops: u32,
+    /// Predecessor node and the link that reached this node; `None`
+    /// only for the source.
+    pub pred: Option<(NodeId, LinkId)>,
+    /// The path contains a host-on-left (`!`-style) hop.
+    pub has_left: bool,
+    /// The path contains a host-on-right (`@`-style) hop.
+    pub has_right: bool,
+    /// The path has passed through a domain node.
+    pub tainted: bool,
+    /// The path uses at least one invented back link.
+    pub via_backlink: bool,
+    /// The path splices a `!` hop after an `@` hop — the address form
+    /// UUCP mailers misparse (what the mixed-syntax penalty exists to
+    /// avoid). Tracked regardless of the penalty setting so ablations
+    /// can count ambiguous routes.
+    pub ambiguous: bool,
+}
+
+/// Counters from a mapping run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MapStats {
+    /// Nodes mapped (extracted with final labels).
+    pub mapped: usize,
+    /// Heap insertions (0 for the quadratic variant).
+    pub pushes: u64,
+    /// Heap extractions (0 for the quadratic variant).
+    pub pops: u64,
+    /// Decrease-key operations (0 for the quadratic variant).
+    pub decreases: u64,
+    /// Edge relaxations attempted.
+    pub relaxations: u64,
+    /// Candidate-selection scan steps (quadratic variant only).
+    pub scan_steps: u64,
+    /// Gate penalties applied.
+    pub gate_penalties: u64,
+    /// Relay penalties applied.
+    pub relay_penalties: u64,
+    /// Mixed-syntax penalties applied.
+    pub mixed_penalties: u64,
+    /// Relaxations that would create an ambiguous (`!`-after-`@`)
+    /// address, counted independently of the penalty setting.
+    pub ambiguous_hops: u64,
+    /// Back-link rounds run (the "continue with Dijkstra" passes).
+    pub backlink_rounds: u32,
+    /// Back links invented.
+    pub invented_links: u64,
+}
+
+/// Why a relaxation did or did not improve a label (trace output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceDecision {
+    /// The candidate became the node's label.
+    Accepted,
+    /// The candidate lost to the existing label.
+    Worse,
+    /// Equal cost and hops; the tie broke on predecessor identity.
+    TieKept,
+}
+
+/// One traced relaxation (pathalias `-t`-style debugging).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Edge tail.
+    pub from: NodeId,
+    /// Edge head.
+    pub to: NodeId,
+    /// The link relaxed.
+    pub link: LinkId,
+    /// Raw edge weight (after `adjust`).
+    pub base: Cost,
+    /// Gate penalty applied.
+    pub gate: Cost,
+    /// Relay penalty applied.
+    pub relay: Cost,
+    /// Mixed-syntax penalty applied.
+    pub mixed: Cost,
+    /// Resulting candidate path cost.
+    pub candidate: Cost,
+    /// Outcome.
+    pub decision: TraceDecision,
+}
+
+/// The result of a mapping run: a directed tree rooted at the source
+/// ("the marked edges form a directed tree, rooted at the source
+/// vertex").
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    /// The mapping source (the local host).
+    pub source: NodeId,
+    pub(crate) labels: Vec<Option<Label>>,
+    /// Counters from the run.
+    pub stats: MapStats,
+    /// Traced relaxations for hosts requested in the options.
+    pub trace: Vec<TraceEvent>,
+}
+
+impl ShortestPathTree {
+    /// The label for `node`, if it was reached.
+    pub fn label(&self, node: NodeId) -> Option<&Label> {
+        self.labels.get(node.index()).and_then(|l| l.as_ref())
+    }
+
+    /// The path cost to `node`, if reached.
+    pub fn cost(&self, node: NodeId) -> Option<Cost> {
+        self.label(node).map(|l| l.cost)
+    }
+
+    /// Whether `node` was reached.
+    pub fn is_mapped(&self, node: NodeId) -> bool {
+        self.label(node).is_some()
+    }
+
+    /// Number of reached nodes.
+    pub fn mapped_count(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// The tree path from the source to `node` (inclusive), or `None`
+    /// if unreached.
+    pub fn path_to(&self, node: NodeId) -> Option<Vec<NodeId>> {
+        self.label(node)?;
+        let mut path = vec![node];
+        let mut cur = node;
+        while let Some(l) = self.label(cur) {
+            match l.pred {
+                Some((p, _)) => {
+                    path.push(p);
+                    cur = p;
+                }
+                None => break,
+            }
+            assert!(
+                path.len() <= self.labels.len(),
+                "predecessor chain contains a cycle"
+            );
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Builds dense children lists (indexed by node), each sorted by
+    /// node id for deterministic traversal.
+    pub fn children(&self) -> Vec<Vec<NodeId>> {
+        let mut kids: Vec<Vec<NodeId>> = vec![Vec::new(); self.labels.len()];
+        for (i, l) in self.labels.iter().enumerate() {
+            if let Some(Label {
+                pred: Some((p, _)), ..
+            }) = l
+            {
+                kids[p.index()].push(NodeId::from_raw(i as u32));
+            }
+        }
+        for k in &mut kids {
+            k.sort();
+        }
+        kids
+    }
+
+    /// Hosts that remain unreachable: mappable nodes without labels.
+    pub fn unreachable(&self, g: &Graph) -> Vec<NodeId> {
+        g.iter_nodes()
+            .filter(|(id, n)| n.is_mappable() && self.label(*id).is_none())
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+/// Renders traced relaxations as human-readable lines (the pathalias
+/// `-t` debugging output: why a route was or was not chosen).
+pub fn format_trace(g: &Graph, events: &[TraceEvent]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for e in events {
+        let penalties = {
+            let mut parts = Vec::new();
+            if e.gate > 0 {
+                parts.push(format!("gate+{}", e.gate));
+            }
+            if e.relay > 0 {
+                parts.push(format!("relay+{}", e.relay));
+            }
+            if e.mixed > 0 {
+                parts.push(format!("mixed+{}", e.mixed));
+            }
+            if parts.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", parts.join(" "))
+            }
+        };
+        let verdict = match e.decision {
+            TraceDecision::Accepted => "accepted",
+            TraceDecision::Worse => "worse",
+            TraceDecision::TieKept => "tie-kept",
+        };
+        let _ = writeln!(
+            out,
+            "trace: {} -> {} base {}{} => candidate {} ({verdict})",
+            g.name(e.from),
+            g.name(e.to),
+            e.base,
+            penalties,
+            e.candidate,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(i: u32) -> NodeId {
+        NodeId::from_raw(i)
+    }
+
+    fn tree_with(labels: Vec<Option<Label>>) -> ShortestPathTree {
+        ShortestPathTree {
+            source: node(0),
+            labels,
+            stats: MapStats::default(),
+            trace: Vec::new(),
+        }
+    }
+
+    fn lbl(cost: Cost, pred: Option<u32>) -> Label {
+        Label {
+            cost,
+            hops: 0,
+            pred: pred.map(|p| (node(p), LinkId::from_raw(0))),
+            has_left: false,
+            has_right: false,
+            tainted: false,
+            via_backlink: false,
+            ambiguous: false,
+        }
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        // 0 -> 1 -> 2, 3 unreachable.
+        let t = tree_with(vec![
+            Some(lbl(0, None)),
+            Some(lbl(5, Some(0))),
+            Some(lbl(9, Some(1))),
+            None,
+        ]);
+        assert_eq!(t.path_to(node(2)), Some(vec![node(0), node(1), node(2)]));
+        assert_eq!(t.path_to(node(0)), Some(vec![node(0)]));
+        assert_eq!(t.path_to(node(3)), None);
+        assert_eq!(t.mapped_count(), 3);
+        assert!(t.is_mapped(node(1)));
+        assert!(!t.is_mapped(node(3)));
+    }
+
+    #[test]
+    fn children_sorted() {
+        let t = tree_with(vec![
+            Some(lbl(0, None)),
+            Some(lbl(5, Some(0))),
+            Some(lbl(6, Some(0))),
+            Some(lbl(7, Some(2))),
+        ]);
+        let kids = t.children();
+        assert_eq!(kids[0], vec![node(1), node(2)]);
+        assert_eq!(kids[2], vec![node(3)]);
+        assert!(kids[1].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cyclic_pred_detected() {
+        let t = tree_with(vec![Some(lbl(1, Some(1))), Some(lbl(1, Some(0)))]);
+        let _ = t.path_to(node(0));
+    }
+}

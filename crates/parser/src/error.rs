@@ -1,0 +1,47 @@
+//! Parse errors with source locations.
+
+use std::fmt;
+
+/// A fatal error encountered while scanning or parsing input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Input file name (as given to the parser).
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl ParseError {
+    /// Builds an error at a location.
+    pub fn new(file: impl Into<String>, line: u32, col: u32, msg: impl Into<String>) -> Self {
+        ParseError {
+            file: file.into(),
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}: {}", self.file, self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_grep_friendly() {
+        let e = ParseError::new("usenet.map", 12, 3, "expected `)`");
+        assert_eq!(e.to_string(), "usenet.map:12:3: expected `)`");
+    }
+}

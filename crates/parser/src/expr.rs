@@ -1,0 +1,225 @@
+//! Cost-expression evaluation.
+//!
+//! "Costs can be expressed as arbitrary arithmetic expressions, mixing
+//! numbers and symbolic values. For example, HOURLY*3 describes a
+//! connection that is completed once every three hours."
+//!
+//! Grammar (standard precedence, left associative):
+//!
+//! ```text
+//! expr   := term  (('+' | '-') term)*
+//! term   := unary (('*' | '/') unary)*
+//! unary  := ('-' | '+')* factor
+//! factor := NUMBER | SYMBOL | '(' expr ')'
+//! ```
+//!
+//! Link costs must be non-negative (Dijkstra's requirement); `adjust`
+//! biases may be negative. Both are evaluated in `i128` internally so
+//! intermediate negatives like `5 - 10 + 20` work, with range checks at
+//! the edges.
+
+use crate::error::ParseError;
+use crate::scan::Lexer;
+use crate::token::Tok;
+use pathalias_graph::{symbol_cost, Cost};
+
+/// Largest accepted cost value; far above INF, far below overflow.
+const COST_LIMIT: i128 = u32::MAX as i128;
+
+fn factor(lx: &mut Lexer<'_>) -> Result<i128, ParseError> {
+    let t = lx.next_token()?;
+    match t.tok {
+        Tok::Number(n) => Ok(n as i128),
+        Tok::Name(sym) => match symbol_cost(sym) {
+            Some(v) => Ok(v as i128),
+            None => Err(lx.error_at_token(
+                &t,
+                format!("unknown cost symbol `{sym}` (note: `-` inside a word is part of the name; space it for subtraction)"),
+            )),
+        },
+        Tok::LParen => {
+            let v = expr(lx)?;
+            let close = lx.next_token()?;
+            if close.tok != Tok::RParen {
+                return Err(lx.error_at_token(&close, format!("expected `)`, found {}", close.tok)));
+            }
+            Ok(v)
+        }
+        other => Err(lx.error_at_token(&t, format!("expected a cost, found {other}"))),
+    }
+}
+
+fn unary(lx: &mut Lexer<'_>) -> Result<i128, ParseError> {
+    let t = lx.peek()?;
+    match t.tok {
+        Tok::Minus => {
+            lx.next_token()?;
+            Ok(-unary(lx)?)
+        }
+        Tok::Plus => {
+            lx.next_token()?;
+            unary(lx)
+        }
+        _ => factor(lx),
+    }
+}
+
+fn term(lx: &mut Lexer<'_>) -> Result<i128, ParseError> {
+    let mut acc = unary(lx)?;
+    loop {
+        let t = lx.peek()?;
+        match t.tok {
+            Tok::Star => {
+                lx.next_token()?;
+                let rhs = unary(lx)?;
+                acc = acc.checked_mul(rhs).ok_or_else(|| {
+                    lx.error_at_token(&t, "cost expression overflow".to_string())
+                })?;
+            }
+            Tok::Slash => {
+                lx.next_token()?;
+                let rhs = unary(lx)?;
+                if rhs == 0 {
+                    return Err(lx.error_at_token(&t, "division by zero in cost".to_string()));
+                }
+                acc /= rhs;
+            }
+            _ => return Ok(acc),
+        }
+    }
+}
+
+/// Evaluates an expression (no surrounding parentheses consumed).
+pub(crate) fn expr(lx: &mut Lexer<'_>) -> Result<i128, ParseError> {
+    let mut acc = term(lx)?;
+    loop {
+        let t = lx.peek()?;
+        match t.tok {
+            Tok::Plus => {
+                lx.next_token()?;
+                acc = acc.saturating_add(term(lx)?);
+            }
+            Tok::Minus => {
+                lx.next_token()?;
+                acc = acc.saturating_sub(term(lx)?);
+            }
+            _ => return Ok(acc),
+        }
+    }
+}
+
+/// Parses a parenthesized non-negative cost: `( expr )`.
+pub(crate) fn parse_cost(lx: &mut Lexer<'_>) -> Result<Cost, ParseError> {
+    let open = lx.next_token()?;
+    debug_assert_eq!(open.tok, Tok::LParen, "caller checks for `(`");
+    let v = expr(lx)?;
+    let close = lx.next_token()?;
+    if close.tok != Tok::RParen {
+        return Err(lx.error_at_token(&close, format!("expected `)`, found {}", close.tok)));
+    }
+    if v < 0 {
+        return Err(lx.error_at_token(&open, format!("link cost must be non-negative, got {v}")));
+    }
+    if v > COST_LIMIT {
+        return Err(lx.error_at_token(&open, format!("cost {v} out of range")));
+    }
+    Ok(v as Cost)
+}
+
+/// Parses a parenthesized signed bias for `adjust`: `( expr )`.
+pub(crate) fn parse_signed(lx: &mut Lexer<'_>) -> Result<i64, ParseError> {
+    let open = lx.next_token()?;
+    debug_assert_eq!(open.tok, Tok::LParen, "caller checks for `(`");
+    let v = expr(lx)?;
+    let close = lx.next_token()?;
+    if close.tok != Tok::RParen {
+        return Err(lx.error_at_token(&close, format!("expected `)`, found {}", close.tok)));
+    }
+    if v.abs() > COST_LIMIT {
+        return Err(lx.error_at_token(&open, format!("adjustment {v} out of range")));
+    }
+    Ok(v as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(text: &str) -> Result<Cost, ParseError> {
+        let mut lx = Lexer::new("t", text);
+        parse_cost(&mut lx)
+    }
+
+    fn eval_signed(text: &str) -> Result<i64, ParseError> {
+        let mut lx = Lexer::new("t", text);
+        parse_signed(&mut lx)
+    }
+
+    #[test]
+    fn paper_expressions() {
+        assert_eq!(eval("(HOURLY*3)").unwrap(), 1500);
+        assert_eq!(eval("(DAILY/2)").unwrap(), 2500);
+        assert_eq!(eval("(HOURLY*4)").unwrap(), 2000);
+        assert_eq!(eval("(DEDICATED)").unwrap(), 95);
+        assert_eq!(eval("(10)").unwrap(), 10);
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        assert_eq!(eval("(2+3*4)").unwrap(), 14);
+        assert_eq!(eval("((2+3)*4)").unwrap(), 20);
+        assert_eq!(eval("(20/2/5)").unwrap(), 2, "division left-associates");
+        assert_eq!(eval("(10 - 3 - 2)").unwrap(), 5);
+    }
+
+    #[test]
+    fn unary_signs() {
+        assert_eq!(eval_signed("(-200)").unwrap(), -200);
+        assert_eq!(eval_signed("(+35)").unwrap(), 35);
+        assert_eq!(eval_signed("(- -5)").unwrap(), 5);
+        assert_eq!(eval_signed("(HOURLY - DAILY)").unwrap(), -4500);
+    }
+
+    #[test]
+    fn negative_intermediate_ok_if_result_nonnegative() {
+        assert_eq!(eval("(5 - 10 + 20)").unwrap(), 15);
+    }
+
+    #[test]
+    fn negative_cost_rejected() {
+        let e = eval("(5 - 10)").unwrap_err();
+        assert!(e.msg.contains("non-negative"), "{e}");
+    }
+
+    #[test]
+    fn division_by_zero_rejected() {
+        let e = eval("(5/0)").unwrap_err();
+        assert!(e.msg.contains("zero"), "{e}");
+        let e = eval("(5/(3 - 3))").unwrap_err();
+        assert!(e.msg.contains("zero"), "{e}");
+    }
+
+    #[test]
+    fn unknown_symbol_mentions_hyphen_rule() {
+        let e = eval("(HOURLY-5)").unwrap_err();
+        assert!(e.msg.contains("HOURLY-5"), "{e}");
+        assert!(e.msg.contains("space"), "{e}");
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        assert!(eval("(4294967295 * 4294967295 * 4294967295)").is_err());
+        assert!(eval("(4294967296)").is_err(), "beyond COST_LIMIT");
+    }
+
+    #[test]
+    fn missing_close_paren() {
+        let e = eval("(5").unwrap_err();
+        assert!(e.msg.contains("expected `)`"), "{e}");
+    }
+
+    #[test]
+    fn dead_symbol() {
+        assert_eq!(eval("(DEAD)").unwrap(), pathalias_graph::INF);
+    }
+}

@@ -1,0 +1,111 @@
+//! Lexical tokens.
+
+use std::fmt;
+
+/// A lexical token of the pathalias input language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tok<'a> {
+    /// A host, network, domain or cost-symbol name.
+    Name(&'a str),
+    /// An unsigned integer literal.
+    Number(u64),
+    /// A routing-operator character: one of `! @ : %`.
+    Op(char),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `=`
+    Equals,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// End of line (statement terminator outside braces).
+    Eol,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Name(s) => write!(f, "name `{s}`"),
+            Tok::Number(n) => write!(f, "number {n}"),
+            Tok::Op(c) => write!(f, "operator `{c}`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::Equals => write!(f, "`=`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Eol => write!(f, "end of line"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token plus its source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The token itself.
+    pub tok: Tok<'a>,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+}
+
+/// Whether `b` may appear in a host name. Names cover letters, digits,
+/// dot (domains), underscore and hyphen (`mit-ai`, `UNC-dwarf`).
+#[inline]
+pub(crate) fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-'
+}
+
+/// Whether `b` may *start* a host name (hyphen may not: it is the minus
+/// operator in cost expressions).
+#[inline]
+pub(crate) fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'.' || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Tok::Name("unc").to_string(), "name `unc`");
+        assert_eq!(Tok::Number(5).to_string(), "number 5");
+        assert_eq!(Tok::Op('@').to_string(), "operator `@`");
+        assert_eq!(Tok::Eol.to_string(), "end of line");
+    }
+
+    #[test]
+    fn name_byte_classes() {
+        for b in [b'a', b'Z', b'0', b'.', b'_', b'-'] {
+            assert!(is_name_byte(b));
+        }
+        for b in [b' ', b'!', b'@', b'(', b'#', b'\\'] {
+            assert!(!is_name_byte(b));
+        }
+        assert!(is_name_start(b'a'));
+        assert!(is_name_start(b'.'));
+        assert!(!is_name_start(b'-'));
+    }
+}

@@ -1,0 +1,144 @@
+//! Rendering route tables as text.
+//!
+//! "Output from pathalias is a simple linear file, in the UNIX
+//! tradition." One line per visible route: optionally the cost, then
+//! the host name, then the format string, tab separated — exactly the
+//! layout of the paper's worked example.
+
+use crate::route::RouteTable;
+use std::io::{self, Write};
+
+/// Output ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sort {
+    /// Ascending cost, ties by name — the order of the paper's example.
+    #[default]
+    ByCost,
+    /// Lexicographic by host name (handy for diffing maps).
+    ByName,
+}
+
+/// Output options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrintOptions {
+    /// Prefix each line with the path cost (the paper's example shows
+    /// costs; the production tool's default omitted them).
+    pub with_costs: bool,
+    /// Line ordering.
+    pub sort: Sort,
+    /// Include hidden entries (networks, subdomains, private hosts),
+    /// marked with a leading `#` — a debugging aid.
+    pub include_hidden: bool,
+}
+
+/// Renders the table to a string.
+pub fn render(table: &RouteTable, opts: &PrintOptions) -> String {
+    let mut buf = Vec::new();
+    write_routes(&mut buf, table, opts).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("output is UTF-8")
+}
+
+/// Writes the table to any [`Write`] sink.
+pub fn write_routes(
+    out: &mut dyn Write,
+    table: &RouteTable,
+    opts: &PrintOptions,
+) -> io::Result<()> {
+    let mut rows: Vec<&crate::route::Route> = if opts.include_hidden {
+        table.entries.iter().collect()
+    } else {
+        table.visible().collect()
+    };
+    match opts.sort {
+        Sort::ByCost => rows.sort_by(|a, b| a.cost.cmp(&b.cost).then_with(|| a.name.cmp(&b.name))),
+        Sort::ByName => rows.sort_by(|a, b| a.name.cmp(&b.name)),
+    }
+    for r in rows {
+        let hidden_marker = if !r.kind.is_visible() { "# " } else { "" };
+        if opts.with_costs {
+            writeln!(out, "{hidden_marker}{}\t{}\t{}", r.cost, r.name, r.route)?;
+        } else {
+            writeln!(out, "{hidden_marker}{}\t{}", r.name, r.route)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute_routes;
+    use pathalias_mapper::{map, MapOptions};
+    use pathalias_parser::parse;
+
+    fn table(text: &str, source: &str) -> RouteTable {
+        let mut g = parse(text).unwrap();
+        let s = g.try_node(source).unwrap();
+        let tree = map(&mut g, s, &MapOptions::default()).unwrap();
+        compute_routes(&g, &tree)
+    }
+
+    #[test]
+    fn cost_sorted_with_costs() {
+        let t = table("a b(20)\na c(10)\n", "a");
+        let s = render(
+            &t,
+            &PrintOptions {
+                with_costs: true,
+                ..PrintOptions::default()
+            },
+        );
+        assert_eq!(s, "0\ta\t%s\n10\tc\tc!%s\n20\tb\tb!%s\n");
+    }
+
+    #[test]
+    fn name_sorted_without_costs() {
+        let t = table("a b(20)\na c(10)\n", "a");
+        let s = render(
+            &t,
+            &PrintOptions {
+                sort: Sort::ByName,
+                ..PrintOptions::default()
+            },
+        );
+        assert_eq!(s, "a\t%s\nb\tb!%s\nc\tc!%s\n");
+    }
+
+    #[test]
+    fn equal_costs_tie_by_name() {
+        let t = table("a x(10), m(10)\n", "a");
+        let s = render(
+            &t,
+            &PrintOptions {
+                with_costs: true,
+                ..PrintOptions::default()
+            },
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].contains("\tm\t"));
+        assert!(lines[2].contains("\tx\t"));
+    }
+
+    #[test]
+    fn hidden_entries_marked() {
+        let t = table("a NET(5)\nNET = {x}(5)\n", "a");
+        let normal = render(&t, &PrintOptions::default());
+        assert!(!normal.contains("NET\t"), "{normal}");
+        let debug = render(
+            &t,
+            &PrintOptions {
+                include_hidden: true,
+                ..PrintOptions::default()
+            },
+        );
+        assert!(debug.contains("# NET\t"), "{debug}");
+    }
+
+    #[test]
+    fn writer_interface() {
+        let t = table("a b(1)\n", "a");
+        let mut buf = Vec::new();
+        write_routes(&mut buf, &t, &PrintOptions::default()).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("b\tb!%s"));
+    }
+}

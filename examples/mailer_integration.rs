@@ -1,0 +1,100 @@
+//! Integrating pathalias with a mailer.
+//!
+//! Walks through the paper's INTEGRATING PATHALIAS WITH MAILERS section:
+//! loading the route database, the domain-suffix lookup (both of the
+//! paper's `caip.rutgers.edu!pleasant` resolution paths), first-hop vs
+//! rightmost-known rewriting, loop-test preservation, and the cbosgd
+//! header-abbreviation hazard from the PERSPECTIVES section.
+//!
+//! Run with: `cargo run --example mailer_integration`
+
+use pathalias::{HeaderRewriter, Message, Pathalias, Policy, Rewriter, RouteDb, SyntaxStyle};
+
+fn main() {
+    // A small world seen from princeton: seismo gateways .edu.
+    let map = "\
+princeton seismo(DEMAND), cbosgd(EVENING)
+seismo .edu(DEDICATED), mcvax(DAILY)
+.edu = {.rutgers}(0)
+.rutgers = {caip}(0)
+";
+    let mut pa = Pathalias::new();
+    pa.options_mut().local = Some("princeton".to_string());
+    pa.parse_str("world", map).unwrap();
+    let out = pa.run().unwrap();
+    println!("# route list as seen from princeton:");
+    print!("{}", out.rendered);
+
+    let db = RouteDb::from_output(&out.rendered).unwrap();
+
+    // The paper's lookup walkthrough: "a mailer first searches the
+    // route list for caip.rutgers.edu; if found, the mailer uses
+    // argument pleasant ... Otherwise, a search for .rutgers.edu,
+    // followed by a search for .edu, produces the route to the .edu
+    // gateway. The argument here is ... caip.rutgers.edu!pleasant."
+    let direct = db.route_to("caip.rutgers.edu", "pleasant").unwrap();
+    println!("\n# exact entry: {direct}");
+
+    let suffix_db = RouteDb::from_output(
+        &out.rendered
+            .lines()
+            .filter(|l| !l.contains("caip"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+    )
+    .unwrap();
+    let via_gateway = suffix_db.route_to("caip.rutgers.edu", "pleasant").unwrap();
+    println!("# via .edu suffix: {via_gateway}");
+    assert_eq!(direct, via_gateway, "both searches produce the same route");
+
+    // Rewriting policies.
+    let first_hop = Rewriter::new(&db).policy(Policy::FirstHop);
+    let rightmost = Rewriter::new(&db).policy(Policy::RightmostKnown);
+    let reply_path = "cbosgd!seismo!mcvax!piet";
+    println!("\n# USENET reply path: {reply_path}");
+    println!(
+        "first-hop routing:  {}",
+        first_hop.rewrite(reply_path).unwrap()
+    );
+    println!(
+        "rightmost-known:    {}",
+        rightmost.rewrite(reply_path).unwrap()
+    );
+
+    // "Loop tests are a time-honored UUCP tradition, and an
+    // overly-enthusiastic optimizer can eliminate them altogether."
+    let loop_test = "seismo!princeton!seismo!loopcheck";
+    println!("\n# loop test: {loop_test}");
+    println!(
+        "preserved:          {}",
+        rightmost.rewrite(loop_test).unwrap()
+    );
+
+    // Header processing: the paper's message, received at princeton.
+    let msg = Message::parse(
+        "From cbosgd!mark Sun Feb 9 13:14:58 EST 1986\n\
+         To: princeton!honey\n\
+         Cc: seismo!mcvax!piet\n\
+         Subject: pathalias\n\n\
+         nice work, guys.\n",
+    )
+    .unwrap();
+    let hw = HeaderRewriter::new(
+        Rewriter::new(&db)
+            .policy(Policy::FirstHop)
+            .style(SyntaxStyle::Heuristic),
+    );
+    let (rewritten, errors) = hw.rewrite_message(&msg);
+    println!("\n# message after header rewriting (body untouched):");
+    print!("{}", rewritten.render());
+    assert!(errors.is_empty());
+
+    // The hazard: cbosgd's aggressive optimizer abbreviates the Cc to
+    // mcvax!piet; prefixing the origin gives cbosgd!mcvax!piet, which
+    // must NOT be shortened further at princeton.
+    let careful = Rewriter::new(&db);
+    let kept = careful.shorten("cbosgd!mcvax!piet").unwrap();
+    println!("\n# cbosgd!mcvax!piet shortens to: {kept}");
+    assert_eq!(kept, "cbosgd!mcvax!piet");
+    println!("# (unchanged: princeton cannot assume mcvax is unique)");
+}

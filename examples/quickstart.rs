@@ -1,0 +1,48 @@
+//! Quick start: run pathalias on the paper's 1981 map fragment.
+//!
+//! Reproduces the worked example from the paper's OUTPUT section,
+//! printing the same seven routes it shows, then demonstrates the
+//! `printf`-format-string contract by expanding one route for a user.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use pathalias::{Pathalias, RouteDb};
+
+/// "Consider the following input data (a simplified portion of the map
+/// from 1981)".
+const PAPER_MAP: &str = "\
+unc\tduke(HOURLY), phs(HOURLY*4)
+duke\tunc(DEMAND), research(DAILY/2), phs(DEMAND)
+phs\tunc(HOURLY*4), duke(HOURLY)
+research\tduke(DEMAND), ucbvax(DEMAND)
+ucbvax\tresearch(DAILY)
+ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)
+";
+
+fn main() {
+    let mut pa = Pathalias::new();
+    pa.options_mut().local = Some("unc".to_string());
+    pa.options_mut().with_costs = true;
+
+    pa.parse_str("map-1981", PAPER_MAP)
+        .expect("the paper's map parses");
+    let out = pa.run().expect("mapping from unc succeeds");
+
+    println!("# routes from unc (compare with the paper's OUTPUT section):");
+    print!("{}", out.rendered);
+
+    // "A mail user or delivery agent combines this route with a user
+    // name, producing a complete route."
+    let db = RouteDb::from_output(&out.rendered).expect("own output loads");
+    let full = db
+        .route_to("mit-ai", "minsky")
+        .expect("mit-ai is routable");
+    println!("\n# mail for minsky at mit-ai travels:");
+    println!("{full}");
+
+    // The paper's first observation about this output.
+    let phs = db.route_to("phs", "user").unwrap();
+    assert_eq!(phs, "duke!phs!user");
+    println!("\n# note: phs is routed via duke despite the direct link");
+    println!("# (500 + 300 beats the direct HOURLY*4 = 2000).");
+}
