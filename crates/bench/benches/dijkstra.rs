@@ -23,7 +23,11 @@ fn bench_variants(c: &mut Criterion) {
         if v <= 4_000 {
             group.bench_with_input(BenchmarkId::new("quadratic", v), &v, |b, _| {
                 b.iter(|| {
-                    black_box(map_quadratic_readonly(&g, src, &opts).unwrap().mapped_count())
+                    black_box(
+                        map_quadratic_readonly(&g, src, &opts)
+                            .unwrap()
+                            .mapped_count(),
+                    )
                 });
             });
         }

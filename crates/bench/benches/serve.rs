@@ -1,0 +1,115 @@
+//! Daemon lookup throughput against a 10k-host synthetic map.
+//!
+//! Three altitudes, so a regression can be localized: the bare
+//! in-memory resolve path (no socket), one client's request/response
+//! round trip over loopback TCP, and 8 concurrent clients hammering
+//! the daemon at once. Numbers are checked in to `BENCH_serve.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pathalias_core::{Options, Pathalias};
+use pathalias_mailer::RouteDb;
+use pathalias_mapgen::{generate, MapSpec};
+use pathalias_server::cache::ShardedCache;
+use pathalias_server::metrics::Metrics;
+use pathalias_server::{resolve, Client, MapSource, RouteIndex, Server, ServerConfig};
+use std::hint::black_box;
+
+/// Routes a 10k-host synthetic map; returns the table and some
+/// known-routable destination names.
+fn ten_k_table() -> (RouteDb, Vec<String>) {
+    let map = generate(&MapSpec::small(10_000, 1986));
+    let mut pa = Pathalias::with_options(Options {
+        local: Some(map.home.clone()),
+        ..Options::default()
+    });
+    pa.parse_str("bench-map", &map.concatenated()).unwrap();
+    let out = pa.run().unwrap();
+    let db = RouteDb::from_table(&out.routes);
+    let mut hosts: Vec<String> = db.iter().map(|e| e.name.clone()).collect();
+    hosts.sort();
+    hosts.truncate(2_048);
+    (db, hosts)
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let (db, hosts) = ten_k_table();
+    let mut group = c.benchmark_group("serve");
+
+    // Altitude 1: the resolve path alone (snapshot + cache + metrics).
+    let index = RouteIndex::new(db.clone(), 0);
+    let cache = ShardedCache::new(4096, 8);
+    let metrics = Metrics::default();
+    let mut i = 0usize;
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("resolve-in-memory", |b| {
+        b.iter(|| {
+            let host = &hosts[i % hosts.len()];
+            i = i.wrapping_add(1);
+            black_box(resolve(&index, &cache, &metrics, host, "user"))
+        });
+    });
+
+    // A live daemon for the socket benchmarks, serving the same table.
+    let dir = std::env::temp_dir();
+    let routes_path = dir.join(format!(
+        "pathalias-bench-serve-{}.routes",
+        std::process::id()
+    ));
+    let rendered: String = db
+        .iter()
+        .map(|e| format!("{}\t{}\n", e.name, e.route))
+        .collect();
+    std::fs::write(&routes_path, rendered).unwrap();
+    let handle = Server::start(ServerConfig::ephemeral(MapSource::Routes(
+        routes_path.clone(),
+    )))
+    .expect("bench server starts");
+    let addr = handle.tcp_addr().unwrap();
+
+    // Altitude 2: one client, one round trip per iteration.
+    let mut client = Client::connect(addr).unwrap();
+    let mut i = 0usize;
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("query-round-trip", |b| {
+        b.iter(|| {
+            let host = &hosts[i % hosts.len()];
+            i = i.wrapping_add(1);
+            black_box(client.query(host, Some("user")).unwrap())
+        });
+    });
+
+    // Altitude 3: 8 concurrent clients, 200 queries each per iteration.
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 200;
+    group.throughput(Throughput::Elements((CLIENTS * PER_CLIENT) as u64));
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("query-concurrent", CLIENTS),
+        &CLIENTS,
+        |b, &clients| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for t in 0..clients {
+                        let hosts = &hosts;
+                        s.spawn(move || {
+                            let mut c = Client::connect(addr).unwrap();
+                            for q in 0..PER_CLIENT {
+                                let host = &hosts[(t * 997 + q) % hosts.len()];
+                                black_box(c.query(host, Some("user")).unwrap());
+                            }
+                            c.quit().unwrap();
+                        });
+                    }
+                });
+            });
+        },
+    );
+
+    group.finish();
+    client.quit().unwrap();
+    handle.shutdown();
+    std::fs::remove_file(routes_path).unwrap();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -6,6 +6,10 @@ pub const USAGE: &str = "\
 usage: pathalias [-l host] [-c] [-i] [-v] [-n] [-s] [-t host]... [file ...]
        pathalias mapgen [--hosts N] [--seed N] [--paper-scale]
        pathalias query -d route-file destination [user]
+       pathalias serve (--padb F | --routes F | --map F...) [--listen addr]
+                 [--unix path] [--cache N] [--shards N] [-l host] [-i]
+       pathalias serve (--connect addr | --unix path)
+                 (--query host [--user u] | --stats | --reload | --health)
 
 options:
   -l host   local host (mapping source); default: first host in input
@@ -16,6 +20,21 @@ options:
   -s        also compute second-best (domain-free) routes
   -t host   trace routing decisions for host (repeatable)
   -h        this help
+
+serve (daemon mode; default listen 127.0.0.1:4175):
+  --padb F      serve a PADB1 disk database
+  --routes F    serve a linear route file (pathalias output)
+  --map F...    run the full pipeline on map file(s); RELOAD re-runs it
+  --listen A    TCP listen address (port 0 = ephemeral, printed on start)
+  --unix P      also (or only) listen on a Unix socket
+  --cache N     suffix-cache capacity in entries (default 4096)
+  --shards N    suffix-cache shard count (default 8)
+
+serve (client mode):
+  --connect A   talk to a daemon over TCP
+  --unix P      talk to a daemon over a Unix socket
+  --query HOST  print the route to HOST (with --user substituted)
+  --stats | --reload | --health   the other protocol verbs
 ";
 
 /// Parsed command line.
@@ -27,6 +46,8 @@ pub enum Command {
     Mapgen(MapgenArgs),
     /// Query a route database.
     Query(QueryArgs),
+    /// Run (or talk to) the route-query daemon.
+    Serve(ServeArgs),
     /// Print usage.
     Help,
 }
@@ -84,20 +105,79 @@ pub struct QueryArgs {
     pub user: Option<String>,
 }
 
+/// What the `serve` subcommand should do.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ServeArgs {
+    /// Run the daemon.
+    Daemon(DaemonArgs),
+    /// Talk to a running daemon.
+    Client(ClientArgs),
+}
+
+/// Daemon-mode arguments.
+#[derive(Debug, PartialEq, Eq)]
+pub struct DaemonArgs {
+    /// `--padb`: serve a PADB1 disk database.
+    pub padb: Option<String>,
+    /// `--routes`: serve a linear route file.
+    pub routes: Option<String>,
+    /// `--map`: map files for the full pipeline (repeatable).
+    pub map_files: Vec<String>,
+    /// `--listen` TCP address; `None` with a Unix socket disables TCP.
+    pub listen: Option<String>,
+    /// `--unix` socket path.
+    pub unix: Option<String>,
+    /// `--cache`: suffix-cache capacity.
+    pub cache: usize,
+    /// `--shards`: suffix-cache shards.
+    pub shards: usize,
+    /// `-l`: local host for the map pipeline.
+    pub local: Option<String>,
+    /// `-i`: ignore case in the map pipeline.
+    pub ignore_case: bool,
+}
+
+/// Client-mode arguments.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ClientArgs {
+    /// `--connect` TCP address (exclusive with `unix`).
+    pub connect: Option<String>,
+    /// `--unix` socket path.
+    pub unix: Option<String>,
+    /// The protocol action to run.
+    pub action: ClientAction,
+}
+
+/// The one protocol verb a client invocation runs.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ClientAction {
+    /// `--query HOST [--user U]`.
+    Query {
+        /// Destination host.
+        host: String,
+        /// `--user`; `None` keeps the `%s` marker.
+        user: Option<String>,
+    },
+    /// `--stats`.
+    Stats,
+    /// `--reload`.
+    Reload,
+    /// `--health`.
+    Health,
+}
+
 /// Parses an argument vector (without argv[0]).
 pub fn parse(argv: &[String]) -> Result<Command, String> {
     match argv.first().map(String::as_str) {
         Some("mapgen") => parse_mapgen(&argv[1..]),
         Some("query") => parse_query(&argv[1..]),
+        Some("serve") => parse_serve(&argv[1..]),
         Some("-h") | Some("--help") | Some("help") => Ok(Command::Help),
         _ => parse_run(argv),
     }
 }
 
-fn take_value<'a>(
-    flag: &str,
-    it: &mut std::slice::Iter<'a, String>,
-) -> Result<&'a String, String> {
+fn take_value<'a>(flag: &str, it: &mut std::slice::Iter<'a, String>) -> Result<&'a String, String> {
     it.next().ok_or_else(|| format!("{flag} requires a value"))
 }
 
@@ -170,6 +250,137 @@ fn parse_query(argv: &[String]) -> Result<Command, String> {
     Ok(Command::Query(QueryArgs { db, dest, user }))
 }
 
+fn parse_serve(argv: &[String]) -> Result<Command, String> {
+    let mut padb = None;
+    let mut routes = None;
+    let mut map_files = Vec::new();
+    let mut listen = None;
+    let mut unix = None;
+    let mut cache: Option<usize> = None;
+    let mut shards: Option<usize> = None;
+    let mut local = None;
+    let mut ignore_case = false;
+    let mut connect = None;
+    let mut query = None;
+    let mut user = None;
+    let mut stats = false;
+    let mut reload = false;
+    let mut health = false;
+
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--padb" => padb = Some(take_value("--padb", &mut it)?.clone()),
+            "--routes" => routes = Some(take_value("--routes", &mut it)?.clone()),
+            "--map" => map_files.push(take_value("--map", &mut it)?.clone()),
+            "--listen" => listen = Some(take_value("--listen", &mut it)?.clone()),
+            "--unix" => unix = Some(take_value("--unix", &mut it)?.clone()),
+            "--cache" => {
+                cache = Some(
+                    take_value("--cache", &mut it)?
+                        .parse()
+                        .map_err(|_| "--cache wants a number".to_string())?,
+                );
+            }
+            "--shards" => {
+                shards = Some(
+                    take_value("--shards", &mut it)?
+                        .parse()
+                        .map_err(|_| "--shards wants a number".to_string())?,
+                );
+            }
+            "-l" => local = Some(take_value("-l", &mut it)?.clone()),
+            "-i" => ignore_case = true,
+            "--connect" => connect = Some(take_value("--connect", &mut it)?.clone()),
+            "--query" => query = Some(take_value("--query", &mut it)?.clone()),
+            "--user" => user = Some(take_value("--user", &mut it)?.clone()),
+            "--stats" => stats = true,
+            "--reload" => reload = true,
+            "--health" => health = true,
+            other => return Err(format!("serve: unknown argument {other}")),
+        }
+    }
+
+    let verb_count = usize::from(query.is_some())
+        + usize::from(stats)
+        + usize::from(reload)
+        + usize::from(health);
+    let client_mode = verb_count > 0 || connect.is_some();
+
+    if client_mode {
+        if verb_count != 1 {
+            return Err(
+                "serve client mode wants exactly one of --query/--stats/--reload/--health"
+                    .to_string(),
+            );
+        }
+        if padb.is_some() || routes.is_some() || !map_files.is_empty() {
+            return Err(
+                "serve: client mode (--connect/--query/--stats/...) conflicts with \
+                 table sources (--padb/--routes/--map)"
+                    .to_string(),
+            );
+        }
+        // Daemon-only flags must not be silently dropped.
+        for (given, flag) in [
+            (listen.is_some(), "--listen"),
+            (cache.is_some(), "--cache"),
+            (shards.is_some(), "--shards"),
+            (local.is_some(), "-l"),
+            (ignore_case, "-i"),
+        ] {
+            if given {
+                return Err(format!("serve: {flag} only makes sense in daemon mode"));
+            }
+        }
+        if connect.is_some() == unix.is_some() {
+            return Err("serve client mode wants exactly one of --connect/--unix".to_string());
+        }
+        let action = if let Some(host) = query {
+            ClientAction::Query { host, user }
+        } else if user.is_some() {
+            return Err("serve: --user only makes sense with --query".to_string());
+        } else if stats {
+            ClientAction::Stats
+        } else if reload {
+            ClientAction::Reload
+        } else {
+            ClientAction::Health
+        };
+        return Ok(Command::Serve(ServeArgs::Client(ClientArgs {
+            connect,
+            unix,
+            action,
+        })));
+    }
+
+    let sources = usize::from(padb.is_some())
+        + usize::from(routes.is_some())
+        + usize::from(!map_files.is_empty());
+    if sources != 1 {
+        return Err("serve wants exactly one of --padb/--routes/--map".to_string());
+    }
+    if user.is_some() {
+        return Err("serve: --user only makes sense with --query".to_string());
+    }
+    // With no listener at all, default to loopback TCP.
+    let listen = match (listen, &unix) {
+        (None, None) => Some("127.0.0.1:4175".to_string()),
+        (listen, _) => listen,
+    };
+    Ok(Command::Serve(ServeArgs::Daemon(DaemonArgs {
+        padb,
+        routes,
+        map_files,
+        listen,
+        unix,
+        cache: cache.unwrap_or(4096),
+        shards: shards.unwrap_or(8),
+        local,
+        ignore_case,
+    })))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,7 +400,18 @@ mod tests {
     #[test]
     fn full_run_flags() {
         let Command::Run(r) = parse(&v(&[
-            "-l", "unc", "-c", "-i", "-v", "-n", "-s", "-t", "duke", "-t", "phs", "usenet.map",
+            "-l",
+            "unc",
+            "-c",
+            "-i",
+            "-v",
+            "-n",
+            "-s",
+            "-t",
+            "duke",
+            "-t",
+            "phs",
+            "usenet.map",
             "arpa.map",
         ]))
         .unwrap() else {
@@ -214,8 +436,7 @@ mod tests {
 
     #[test]
     fn mapgen_args() {
-        let Command::Mapgen(m) =
-            parse(&v(&["mapgen", "--hosts", "800", "--seed", "7"])).unwrap()
+        let Command::Mapgen(m) = parse(&v(&["mapgen", "--hosts", "800", "--seed", "7"])).unwrap()
         else {
             panic!("expected mapgen");
         };
@@ -236,9 +457,14 @@ mod tests {
 
     #[test]
     fn query_args() {
-        let Command::Query(q) =
-            parse(&v(&["query", "-d", "routes.txt", "caip.rutgers.edu", "pleasant"])).unwrap()
-        else {
+        let Command::Query(q) = parse(&v(&[
+            "query",
+            "-d",
+            "routes.txt",
+            "caip.rutgers.edu",
+            "pleasant",
+        ]))
+        .unwrap() else {
             panic!("expected query");
         };
         assert_eq!(q.db, "routes.txt");
@@ -251,6 +477,119 @@ mod tests {
         assert!(parse(&v(&["query", "dest"])).is_err());
         assert!(parse(&v(&["query", "-d", "f"])).is_err());
         assert!(parse(&v(&["query", "-d", "f", "a", "b", "c"])).is_err());
+    }
+
+    #[test]
+    fn serve_daemon_args() {
+        let Command::Serve(ServeArgs::Daemon(d)) = parse(&v(&[
+            "serve",
+            "--routes",
+            "r.txt",
+            "--listen",
+            "0.0.0.0:9999",
+            "--cache",
+            "128",
+            "--shards",
+            "4",
+        ]))
+        .unwrap() else {
+            panic!("expected daemon");
+        };
+        assert_eq!(d.routes.as_deref(), Some("r.txt"));
+        assert_eq!(d.listen.as_deref(), Some("0.0.0.0:9999"));
+        assert_eq!((d.cache, d.shards), (128, 4));
+
+        // Default listen address when nothing is specified.
+        let Command::Serve(ServeArgs::Daemon(d)) =
+            parse(&v(&["serve", "--padb", "db.padb"])).unwrap()
+        else {
+            panic!("expected daemon");
+        };
+        assert_eq!(d.listen.as_deref(), Some("127.0.0.1:4175"));
+
+        // Unix-only: no TCP default.
+        let Command::Serve(ServeArgs::Daemon(d)) =
+            parse(&v(&["serve", "--padb", "db.padb", "--unix", "/tmp/s.sock"])).unwrap()
+        else {
+            panic!("expected daemon");
+        };
+        assert_eq!(d.listen, None);
+        assert_eq!(d.unix.as_deref(), Some("/tmp/s.sock"));
+
+        // Repeatable --map with pipeline flags.
+        let Command::Serve(ServeArgs::Daemon(d)) = parse(&v(&[
+            "serve", "--map", "a.map", "--map", "b.map", "-l", "unc", "-i",
+        ]))
+        .unwrap() else {
+            panic!("expected daemon");
+        };
+        assert_eq!(d.map_files, vec!["a.map", "b.map"]);
+        assert_eq!(d.local.as_deref(), Some("unc"));
+        assert!(d.ignore_case);
+    }
+
+    #[test]
+    fn serve_client_args() {
+        let Command::Serve(ServeArgs::Client(c)) = parse(&v(&[
+            "serve",
+            "--connect",
+            "127.0.0.1:4175",
+            "--query",
+            "seismo",
+            "--user",
+            "rick",
+        ]))
+        .unwrap() else {
+            panic!("expected client");
+        };
+        assert_eq!(c.connect.as_deref(), Some("127.0.0.1:4175"));
+        assert_eq!(
+            c.action,
+            ClientAction::Query {
+                host: "seismo".into(),
+                user: Some("rick".into())
+            }
+        );
+
+        let Command::Serve(ServeArgs::Client(c)) =
+            parse(&v(&["serve", "--unix", "/tmp/s.sock", "--stats"])).unwrap()
+        else {
+            panic!("expected client");
+        };
+        assert_eq!(c.unix.as_deref(), Some("/tmp/s.sock"));
+        assert_eq!(c.action, ClientAction::Stats);
+    }
+
+    #[test]
+    fn serve_rejects_ambiguity() {
+        // No source.
+        assert!(parse(&v(&["serve"])).is_err());
+        // Two sources.
+        assert!(parse(&v(&["serve", "--padb", "a", "--routes", "b"])).is_err());
+        // Client mode with a source.
+        assert!(parse(&v(&["serve", "--connect", "a:1", "--stats", "--padb", "f"])).is_err());
+        // Client mode with no verb.
+        assert!(parse(&v(&["serve", "--connect", "a:1"])).is_err());
+        // Client mode with two verbs.
+        assert!(parse(&v(&["serve", "--connect", "a:1", "--stats", "--reload"])).is_err());
+        // Client mode with neither --connect nor --unix.
+        assert!(parse(&v(&["serve", "--stats"])).is_err());
+        // --user without --query.
+        assert!(parse(&v(&["serve", "--routes", "r", "--user", "u"])).is_err());
+        assert!(parse(&v(&["serve", "--connect", "a:1", "--stats", "--user", "u"])).is_err());
+        // Daemon-only flags are rejected, not silently dropped, in
+        // client mode.
+        for flag in [
+            &["--listen", "a:2"][..],
+            &["--cache", "9"],
+            &["--shards", "2"],
+            &["-l", "h"],
+            &["-i"],
+        ] {
+            let mut argv = vec!["serve", "--connect", "a:1", "--query", "h"];
+            argv.extend_from_slice(flag);
+            assert!(parse(&v(&argv)).is_err(), "{flag:?} should be rejected");
+        }
     }
 
     #[test]

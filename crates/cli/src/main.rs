@@ -7,6 +7,8 @@
 //! pathalias [-l host] [-c] [-i] [-v] [-n] [-s] [-t host]... [file ...]
 //! pathalias mapgen [--hosts N] [--seed N] [--paper-scale]
 //! pathalias query -d route-file destination [user]
+//! pathalias serve (--padb F | --routes F | --map F...) [--listen addr] [--unix path]
+//! pathalias serve (--connect addr | --unix path) (--query host | --stats | ...)
 //! ```
 //!
 //! With no input files, the map is read from standard input. Routes go
@@ -16,12 +18,15 @@
 use pathalias_core::{Options, Pathalias, Sort};
 use pathalias_mailer::RouteDb;
 use pathalias_mapgen::{generate, MapSpec};
-use std::io::Read;
+use pathalias_server::{Client, MapSource, Server, ServerConfig};
+use std::io::{Read, Write};
 use std::process::ExitCode;
 
 mod args;
 
-use args::{Command, MapgenArgs, QueryArgs, RunArgs};
+use args::{
+    ClientAction, ClientArgs, Command, DaemonArgs, MapgenArgs, QueryArgs, RunArgs, ServeArgs,
+};
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +34,8 @@ fn main() -> ExitCode {
         Ok(Command::Run(run)) => cmd_run(run),
         Ok(Command::Mapgen(mg)) => cmd_mapgen(mg),
         Ok(Command::Query(q)) => cmd_query(q),
+        Ok(Command::Serve(ServeArgs::Daemon(d))) => cmd_serve_daemon(d),
+        Ok(Command::Serve(ServeArgs::Client(c))) => cmd_serve_client(c),
         Ok(Command::Help) => {
             print!("{}", args::USAGE);
             ExitCode::SUCCESS
@@ -143,6 +150,98 @@ fn cmd_mapgen(mg: MapgenArgs) -> ExitCode {
         map.stats.hosts, map.stats.links, map.stats.networks, map.stats.domains, map.home
     );
     ExitCode::SUCCESS
+}
+
+fn cmd_serve_daemon(d: DaemonArgs) -> ExitCode {
+    let source = if let Some(path) = d.padb {
+        MapSource::Padb(path.into())
+    } else if let Some(path) = d.routes {
+        MapSource::Routes(path.into())
+    } else {
+        let options = Options {
+            local: d.local,
+            ignore_case: d.ignore_case,
+            ..Options::default()
+        };
+        MapSource::map_files(d.map_files.into_iter().map(Into::into).collect(), options)
+    };
+    let config = ServerConfig {
+        source,
+        tcp: d.listen,
+        unix: d.unix.map(Into::into),
+        cache_capacity: d.cache,
+        cache_shards: d.shards,
+    };
+    let handle = match Server::start(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("pathalias: serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (generation, entries) = handle.table_info();
+    if let Some(addr) = handle.tcp_addr() {
+        println!("pathalias-server listening on tcp {addr}");
+    }
+    if let Some(path) = handle.unix_path() {
+        println!("pathalias-server listening on unix {}", path.display());
+    }
+    println!("pathalias-server serving {entries} entries (generation {generation})");
+    // Scripts scrape the ephemeral port from the lines above.
+    let _ = std::io::stdout().flush();
+    handle.wait();
+    ExitCode::SUCCESS
+}
+
+fn cmd_serve_client(c: ClientArgs) -> ExitCode {
+    let client = if let Some(addr) = &c.connect {
+        Client::connect(addr.as_str())
+    } else {
+        #[cfg(unix)]
+        {
+            Client::connect_unix(c.unix.as_deref().expect("parser enforces --unix"))
+        }
+        #[cfg(not(unix))]
+        {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "unix sockets are not available on this platform",
+            ))
+        }
+    };
+    let mut client = match client {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("pathalias: serve: connecting: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match &c.action {
+        ClientAction::Query { host, user } => match client.query(host, user.as_deref()) {
+            Ok(Some(route)) => {
+                println!("{route}");
+                Ok(())
+            }
+            Ok(None) => {
+                eprintln!("pathalias: no route to {host}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => Err(e),
+        },
+        ClientAction::Stats => client.stats().map(|s| println!("{s}")),
+        ClientAction::Reload => client.reload().map(|s| println!("{s}")),
+        ClientAction::Health => client.health().map(|s| println!("{s}")),
+    };
+    match outcome {
+        Ok(()) => {
+            let _ = client.quit();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("pathalias: serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_query(q: QueryArgs) -> ExitCode {

@@ -130,7 +130,13 @@ fn query_subcommand() {
     std::fs::write(&db, "seismo\tseismo!%s\n.edu\tseismo!%s\n").unwrap();
 
     let out = Command::new(BIN)
-        .args(["query", "-d", db.to_str().unwrap(), "caip.rutgers.edu", "pleasant"])
+        .args([
+            "query",
+            "-d",
+            db.to_str().unwrap(),
+            "caip.rutgers.edu",
+            "pleasant",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -152,4 +158,79 @@ fn help_exits_zero() {
     let out = Command::new(BIN).arg("-h").output().unwrap();
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+}
+
+#[test]
+fn serve_daemon_and_client_round_trip() {
+    use std::io::BufRead as _;
+
+    let dir = std::env::temp_dir();
+    let routes = dir.join(format!("pa-cli-serve-{}.routes", std::process::id()));
+    std::fs::write(
+        &routes,
+        "seismo\tseismo!%s\nduke\tduke!%s\n.edu\tseismo!%s\n",
+    )
+    .unwrap();
+
+    // Daemon on an ephemeral port; the bound address is announced on
+    // stdout for scripts (and this test) to scrape.
+    let mut daemon = Command::new(BIN)
+        .args([
+            "serve",
+            "--routes",
+            routes.to_str().unwrap(),
+            "--listen",
+            "127.0.0.1:0",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon starts");
+    let stdout = daemon.stdout.take().unwrap();
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let first = lines.next().expect("announce line").unwrap();
+    let addr = first
+        .strip_prefix("pathalias-server listening on tcp ")
+        .unwrap_or_else(|| panic!("unexpected announce line `{first}`"))
+        .to_string();
+
+    let client = |args: &[&str]| {
+        Command::new(BIN)
+            .args(["serve", "--connect", &addr])
+            .args(args)
+            .output()
+            .unwrap()
+    };
+
+    let out = client(&["--query", "caip.rutgers.edu", "--user", "pleasant"]);
+    assert!(out.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        "seismo!caip.rutgers.edu!pleasant"
+    );
+
+    let out = client(&["--query", "unknown.host"]);
+    assert!(!out.status.success());
+
+    let out = client(&["--health"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("entries=3"));
+
+    // Hot reload through the CLI: edit the file, --reload, re-query.
+    std::fs::write(&routes, "seismo\tnewrelay!seismo!%s\n").unwrap();
+    let out = client(&["--reload"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("generation=1"));
+    let out = client(&["--query", "seismo", "--user", "rick"]);
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        "newrelay!seismo!rick"
+    );
+
+    let out = client(&["--stats"]);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("queries=3"));
+
+    daemon.kill().unwrap();
+    daemon.wait().unwrap();
+    std::fs::remove_file(routes).unwrap();
 }

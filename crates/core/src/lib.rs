@@ -32,15 +32,15 @@ pub use pipeline::{Error, Output, Pathalias, PhaseTimings};
 // Re-export the component crates' vocabulary so downstream users need
 // only this crate.
 pub use pathalias_graph::{
-    dot, stats, symbol_cost, symbol_table, unparse, Cost, Dir, Graph, LinkFlags, NodeFlags,
-    NodeId, RouteOp, Warning, DEFAULT_COST, INF,
+    dot, stats, symbol_cost, symbol_table, unparse, Cost, Dir, Graph, LinkFlags, NodeFlags, NodeId,
+    RouteOp, Warning, DEFAULT_COST, INF,
 };
 pub use pathalias_mapper::{
     format_trace, map, map_dual, map_quadratic_readonly, map_readonly, parallel, CostModel,
     DualTree, Label, MapError, MapOptions, MapStats, ShortestPathTree,
 };
 pub use pathalias_parser::{parse, parse_files, parse_into, ParseError};
+pub use pathalias_printer::diff::{diff as diff_routes, RouteChange};
 pub use pathalias_printer::{
     compute_routes, render, write_routes, PrintOptions, Route, RouteKind, RouteTable, Sort,
 };
-pub use pathalias_printer::diff::{diff as diff_routes, RouteChange};

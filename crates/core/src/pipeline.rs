@@ -303,7 +303,8 @@ ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)
             ignore_case: true,
             ..Options::default()
         });
-        pa.parse_str("m", "Alpha beta(10)\nALPHA gamma(20)\n").unwrap();
+        pa.parse_str("m", "Alpha beta(10)\nALPHA gamma(20)\n")
+            .unwrap();
         let out = pa.run().unwrap();
         assert!(out.routes.find("gamma").is_some());
         assert_eq!(pa.graph().node_count(), 3);

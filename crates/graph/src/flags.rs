@@ -137,9 +137,8 @@ impl LinkFlags {
     /// writer a gateway (this is how `seismo .edu(DEDICATED)` declares
     /// seismo a gateway in the paper's figure).
     pub fn is_explicit(self) -> bool {
-        !self.intersects(
-            LinkFlags::ALIAS | LinkFlags::NET_IN | LinkFlags::NET_OUT | LinkFlags::BACK,
-        )
+        !self
+            .intersects(LinkFlags::ALIAS | LinkFlags::NET_IN | LinkFlags::NET_OUT | LinkFlags::BACK)
     }
 }
 

@@ -439,7 +439,9 @@ impl Graph {
 
     /// Marks a network as requiring explicit gateways.
     pub fn mark_gated(&mut self, id: NodeId) {
-        self.nodes[id].flags.insert(NodeFlags::GATED | NodeFlags::NET);
+        self.nodes[id]
+            .flags
+            .insert(NodeFlags::GATED | NodeFlags::NET);
     }
 
     /// Declares `host` a gateway into `net`: every live link host→net
@@ -610,9 +612,7 @@ mod tests {
         let outs: Vec<&Link> = g.links_from(net).map(|(_, l)| l).collect();
         assert_eq!(outs.len(), 2);
         assert!(outs.iter().all(|l| l.cost == 0));
-        assert!(outs
-            .iter()
-            .all(|l| l.flags.contains(LinkFlags::NET_OUT)));
+        assert!(outs.iter().all(|l| l.flags.contains(LinkFlags::NET_OUT)));
     }
 
     #[test]

@@ -46,9 +46,9 @@ pub mod dot;
 mod flags;
 #[allow(clippy::module_inception)]
 mod graph;
-pub mod stats;
 mod link;
 mod node;
+pub mod stats;
 pub mod unparse;
 
 pub use cost::{symbol_cost, symbol_table, Cost, DEFAULT_COST, INF};

@@ -27,13 +27,7 @@ fn op_suffix(op: RouteOp) -> String {
 /// Renders one link target in input syntax, e.g. `duke(500)` or
 /// `@mit-ai(95)`.
 fn render_target(g: &Graph, to: NodeId, cost: u64, op: RouteOp) -> String {
-    format!(
-        "{}{}{}({})",
-        op_prefix(op),
-        g.name(to),
-        op_suffix(op),
-        cost
-    )
+    format!("{}{}{}({})", op_prefix(op), g.name(to), op_suffix(op), cost)
 }
 
 /// Writes the graph as pathalias input text.
@@ -65,27 +59,21 @@ pub fn unparse(g: &Graph) -> String {
     // Deleted nodes and private nodes are handled separately.
     let is_plain = |id: NodeId| {
         let n = g.node_ref(id);
-        !n.flags
-            .intersects(NodeFlags::DELETED | NodeFlags::PRIVATE)
+        !n.flags.intersects(NodeFlags::DELETED | NodeFlags::PRIVATE)
     };
 
     // Explicit links, grouped by source. Sources are emitted sorted by
     // name (so output is stable however the graph was built); each
     // source's targets keep declaration order (the adjacency list is
     // newest-first, so reverse it).
-    let mut sorted_ids: Vec<NodeId> = g
-        .node_ids()
-        .filter(|&id| is_plain(id))
-        .collect();
+    let mut sorted_ids: Vec<NodeId> = g.node_ids().filter(|&id| is_plain(id)).collect();
     sorted_ids.sort_by(|&a, &b| g.name(a).cmp(g.name(b)));
     for &id in &sorted_ids {
         let targets: Vec<String> = {
             let mut v: Vec<String> = g
                 .links_from(id)
                 .filter(|(_, l)| {
-                    l.flags.is_explicit()
-                        && !l.flags.contains(LinkFlags::DELETED)
-                        && is_plain(l.to)
+                    l.flags.is_explicit() && !l.flags.contains(LinkFlags::DELETED) && is_plain(l.to)
                 })
                 .map(|(_, l)| render_target(g, l.to, l.cost, l.op))
                 .collect();
@@ -231,9 +219,7 @@ pub fn unparse(g: &Graph) -> String {
     // same text.
     let mut section = 0usize;
     for (id, node) in g.iter_nodes() {
-        if !node.flags.contains(NodeFlags::PRIVATE)
-            || node.flags.contains(NodeFlags::DELETED)
-        {
+        if !node.flags.contains(NodeFlags::PRIVATE) || node.flags.contains(NodeFlags::DELETED) {
             continue;
         }
         let _ = writeln!(out, "file {{private-{section}}}");

@@ -14,10 +14,7 @@ enum Op {
 
 fn key() -> impl Strategy<Value = String> {
     // A small key space forces collisions and replacements.
-    prop_oneof![
-        "[a-e]{1,3}",
-        "[a-z][a-z0-9.-]{0,10}",
-    ]
+    prop_oneof!["[a-e]{1,3}", "[a-z][a-z0-9.-]{0,10}",]
 }
 
 fn op() -> impl Strategy<Value = Op> {

@@ -113,6 +113,16 @@ impl DiskDb {
             .parse()
             .map_err(|_| DiskError::Corrupt(format!("bad count `{}`", line.trim_end())))?;
 
+        // Each index line is at least 8 bytes ("0 0 0 0\n"), so a count
+        // exceeding the file size is corrupt — and would otherwise ask
+        // for an absurd allocation below.
+        let file_len = reader.get_ref().metadata()?.len();
+        if count as u64 > file_len / 8 {
+            return Err(DiskError::Corrupt(format!(
+                "count {count} impossible for a {file_len}-byte file"
+            )));
+        }
+
         let mut index = Vec::with_capacity(count);
         for i in 0..count {
             line.clear();
@@ -131,6 +141,24 @@ impl DiskDb {
             index.push((name_off, name_len, route_off, route_len));
         }
         let blob_start = reader.stream_position()?;
+
+        // Every span the index names must land inside the blob;
+        // otherwise lookups would read garbage (or, before this check,
+        // fail with a misleading I/O error on a truncated file).
+        let blob_len = file_len.saturating_sub(blob_start);
+        for (i, &(name_off, name_len, route_off, route_len)) in index.iter().enumerate() {
+            let name_end = name_off.checked_add(name_len as u64);
+            let route_end = route_off.checked_add(route_len as u64);
+            match (name_end, route_end) {
+                (Some(n), Some(r)) if n <= blob_len && r <= blob_len => {}
+                _ => {
+                    return Err(DiskError::Corrupt(format!(
+                        "index entry {i} points outside the {blob_len}-byte blob"
+                    )));
+                }
+            }
+        }
+
         Ok(DiskDb {
             file: reader.into_inner(),
             index,
@@ -151,7 +179,15 @@ impl DiskDb {
     fn read_span(&mut self, off: u64, len: u32) -> Result<String, DiskError> {
         self.file.seek(SeekFrom::Start(self.blob_start + off))?;
         let mut buf = vec![0u8; len as usize];
-        self.file.read_exact(&mut buf)?;
+        self.file.read_exact(&mut buf).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                // The file shrank after open (or open-time validation
+                // was bypassed): structural, not environmental.
+                DiskError::Corrupt("blob truncated".to_string())
+            } else {
+                DiskError::Io(e)
+            }
+        })?;
         String::from_utf8(buf).map_err(|_| DiskError::Corrupt("non-UTF-8 entry".to_string()))
     }
 
@@ -180,6 +216,33 @@ impl DiskDb {
             }
         }
         Ok(None)
+    }
+
+    /// Reads every entry into memory (blob read once, sequentially),
+    /// e.g. to seed an in-memory [`RouteDb`] for a serving process.
+    ///
+    /// Costs are not stored in PADB1, so entries come back costless.
+    pub fn read_all(&mut self) -> Result<Vec<DbEntry>, DiskError> {
+        self.file.seek(SeekFrom::Start(self.blob_start))?;
+        let mut blob = Vec::new();
+        self.file.read_to_end(&mut blob)?;
+        let blob = String::from_utf8(blob)
+            .map_err(|_| DiskError::Corrupt("non-UTF-8 blob".to_string()))?;
+        let span = |off: u64, len: u32, what: &str| -> Result<String, DiskError> {
+            blob.get(off as usize..off as usize + len as usize)
+                .map(str::to_string)
+                .ok_or_else(|| DiskError::Corrupt(format!("{what} span splits a UTF-8 character")))
+        };
+        self.index
+            .iter()
+            .map(|&(name_off, name_len, route_off, route_len)| {
+                Ok(DbEntry {
+                    name: span(name_off, name_len, "name")?,
+                    route: span(route_off, route_len, "route")?,
+                    cost: None,
+                })
+            })
+            .collect()
     }
 
     /// The paper's full mailer lookup against the disk file: exact
@@ -238,7 +301,9 @@ mod tests {
         write_db(&sample_db(), &path).unwrap();
         let mut db = DiskDb::open(&path).unwrap();
         assert_eq!(
-            db.route_to("caip.rutgers.edu", "pleasant").unwrap().unwrap(),
+            db.route_to("caip.rutgers.edu", "pleasant")
+                .unwrap()
+                .unwrap(),
             "seismo!caip.rutgers.edu!pleasant"
         );
         assert_eq!(db.route_to("duke", "fred").unwrap().unwrap(), "duke!fred");
@@ -281,10 +346,7 @@ mod tests {
     fn rejects_bad_magic() {
         let path = temp_path("magic");
         std::fs::write(&path, "NOTADB\n0\n").unwrap();
-        assert!(matches!(
-            DiskDb::open(&path),
-            Err(DiskError::Corrupt(_))
-        ));
+        assert!(matches!(DiskDb::open(&path), Err(DiskError::Corrupt(_))));
         std::fs::remove_file(path).unwrap();
     }
 
@@ -301,6 +363,108 @@ mod tests {
         let path = temp_path("count");
         std::fs::write(&path, "PADB1\nmany\n").unwrap();
         assert!(matches!(DiskDb::open(&path), Err(DiskError::Corrupt(_))));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rejects_absurd_count_without_allocating() {
+        let path = temp_path("absurd-count");
+        std::fs::write(&path, "PADB1\n18446744073709551615\n").unwrap();
+        assert!(matches!(DiskDb::open(&path), Err(DiskError::Corrupt(_))));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rejects_truncated_blob_at_open() {
+        // Write a valid file, then chop bytes off the blob. Every
+        // truncation length must yield Corrupt at open — never a panic,
+        // a bare I/O error, or a silently short database.
+        let path = temp_path("trunc-blob");
+        write_db(&sample_db(), &path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        let blob_len: usize = sample_db()
+            .iter()
+            .map(|e| e.name.len() + e.route.len())
+            .sum();
+        for cut in 1..=blob_len {
+            std::fs::write(&path, &full[..full.len() - cut]).unwrap();
+            match DiskDb::open(&path) {
+                Err(DiskError::Corrupt(_)) => {}
+                other => panic!("cut {cut}: expected Corrupt, got {other:?}"),
+            }
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rejects_index_pointing_outside_blob() {
+        let path = temp_path("oob-index");
+        // Offsets far beyond the 8-byte blob ("abcx!%s" + 1).
+        std::fs::write(&path, "PADB1\n1\n500 4 504 6\nabcdefgh").unwrap();
+        assert!(matches!(DiskDb::open(&path), Err(DiskError::Corrupt(_))));
+        // Offset+len overflowing u64 must not wrap around the check.
+        let path2 = temp_path("oob-overflow");
+        std::fs::write(&path2, "PADB1\n1\n18446744073709551615 4 0 4\nabcdefgh").unwrap();
+        assert!(matches!(DiskDb::open(&path2), Err(DiskError::Corrupt(_))));
+        std::fs::remove_file(path).unwrap();
+        std::fs::remove_file(path2).unwrap();
+    }
+
+    #[test]
+    fn rejects_non_utf8_blob() {
+        let path = temp_path("non-utf8");
+        let mut bytes = b"PADB1\n1\n0 4 4 6\n".to_vec();
+        bytes.extend_from_slice(&[0xff, 0xfe, 0xfd, 0xfc, b'a', b'!', b'%', b's', b'x', b'y']);
+        std::fs::write(&path, &bytes).unwrap();
+        let mut db = DiskDb::open(&path).unwrap();
+        assert!(matches!(db.get("anything"), Err(DiskError::Corrupt(_))));
+        assert!(matches!(db.read_all(), Err(DiskError::Corrupt(_))));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn read_all_round_trips() {
+        let path = temp_path("read-all");
+        let original = sample_db();
+        write_db(&original, &path).unwrap();
+        let mut disk = DiskDb::open(&path).unwrap();
+        let entries = disk.read_all().unwrap();
+        assert_eq!(entries.len(), original.len());
+        let rebuilt = RouteDb::from_entries(entries);
+        for e in original.iter() {
+            assert_eq!(rebuilt.get(&e.name).unwrap().route, e.route);
+        }
+        assert_eq!(
+            rebuilt.route_to("caip.rutgers.edu", "pleasant").unwrap(),
+            "seismo!caip.rutgers.edu!pleasant"
+        );
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn random_garbage_never_panics() {
+        // A deterministic splatter of junk files: open() must always
+        // return Ok or Err, never panic or over-allocate.
+        let path = temp_path("garbage");
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for case in 0..200 {
+            let len = (next() % 200) as usize;
+            let mut bytes: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+            if case % 3 == 0 {
+                // Bias toward a valid header so the index parser runs.
+                let mut with_magic = b"PADB1\n3\n".to_vec();
+                with_magic.append(&mut bytes);
+                bytes = with_magic;
+            }
+            std::fs::write(&path, &bytes).unwrap();
+            let _ = DiskDb::open(&path);
+        }
         std::fs::remove_file(path).unwrap();
     }
 }

@@ -203,7 +203,10 @@ nice work, guys.
         let m = Message::parse(PAPER_MESSAGE).unwrap();
         assert_eq!(m.get("To"), Some("princeton!honey"));
         assert_eq!(m.get("cc"), Some("seismo!mcvax!piet"));
-        assert_eq!(m.get("From "), Some("cbosgd!mark Sun Feb 9 13:14:58 EST 1986"));
+        assert_eq!(
+            m.get("From "),
+            Some("cbosgd!mark Sun Feb 9 13:14:58 EST 1986")
+        );
         assert_eq!(m.body, "nice work, guys.");
         assert_eq!(m.render(), PAPER_MESSAGE);
     }
@@ -222,10 +225,9 @@ nice work, guys.
 
     #[test]
     fn rewrites_only_address_fields() {
-        let db = RouteDb::from_output(
-            "princeton\tprinceton!%s\nseismo\tseismo!%s\ncbosgd\tcbosgd!%s\n",
-        )
-        .unwrap();
+        let db =
+            RouteDb::from_output("princeton\tprinceton!%s\nseismo\tseismo!%s\ncbosgd\tcbosgd!%s\n")
+                .unwrap();
         let hw = HeaderRewriter::new(Rewriter::new(&db).policy(Policy::FirstHop));
         let m = Message::parse(PAPER_MESSAGE).unwrap();
         let (out, errors) = hw.rewrite_message(&m);

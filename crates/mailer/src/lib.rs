@@ -39,10 +39,12 @@
 mod address;
 pub mod disk;
 mod header;
-mod routedb;
 mod rewrite;
+mod routedb;
+mod shared;
 
-pub use address::{Address, AddrError, SyntaxStyle};
+pub use address::{AddrError, Address, SyntaxStyle};
 pub use header::{HeaderRewriter, Message};
 pub use rewrite::{Policy, RewriteError, Rewriter};
 pub use routedb::{DbEntry, DbError, Lookup, MatchKind, RouteDb};
+pub use shared::SharedRouteDb;

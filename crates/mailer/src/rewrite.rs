@@ -149,9 +149,9 @@ impl<'db> Rewriter<'db> {
 
     /// Whether mail to `host` goes straight there (a one-hop route).
     fn is_direct_neighbor(&self, host: &str) -> bool {
-        self.db.get(host).is_some_and(|e| {
-            e.route == format!("{host}!%s") || e.route == format!("%s@{host}")
-        })
+        self.db
+            .get(host)
+            .is_some_and(|e| e.route == format!("{host}!%s") || e.route == format!("%s@{host}"))
     }
 
     /// The cbosgd-example shortening: drop a leading hop only while the
@@ -223,10 +223,7 @@ mod tests {
         let db = db();
         let rw = Rewriter::new(&db).policy(Policy::RightmostKnown);
         // mcvax is known directly: skip the long prefix entirely.
-        assert_eq!(
-            rw.rewrite("a!b!c!mcvax!piet").unwrap(),
-            "seismo!mcvax!piet"
-        );
+        assert_eq!(rw.rewrite("a!b!c!mcvax!piet").unwrap(), "seismo!mcvax!piet");
     }
 
     #[test]
@@ -273,8 +270,7 @@ mod tests {
 
     #[test]
     fn domain_destination_via_suffix() {
-        let db =
-            RouteDb::from_output("seismo\tseismo!%s\n.edu\tseismo!%s\n").unwrap();
+        let db = RouteDb::from_output("seismo\tseismo!%s\n.edu\tseismo!%s\n").unwrap();
         let rw = Rewriter::new(&db).policy(Policy::RightmostKnown);
         assert_eq!(
             rw.rewrite("pleasant@caip.rutgers.edu").unwrap(),

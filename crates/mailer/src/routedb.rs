@@ -129,6 +129,15 @@ impl RouteDb {
         Ok(RouteDb { entries })
     }
 
+    /// Builds a database from already-parsed entries (used by the disk
+    /// reader and the serving layer). Later duplicates win, as in
+    /// [`RouteDb::from_output`].
+    pub fn from_entries(entries: impl IntoIterator<Item = DbEntry>) -> RouteDb {
+        RouteDb {
+            entries: entries.into_iter().map(|e| (e.name.clone(), e)).collect(),
+        }
+    }
+
     /// Builds a database straight from the printer's route table
     /// (visible entries only, as in the output file).
     pub fn from_table(table: &RouteTable) -> RouteDb {
@@ -244,10 +253,7 @@ mod tests {
 
     #[test]
     fn suffix_search_prefers_longest() {
-        let db = RouteDb::from_output(
-            ".edu\tgw1!%s\n.rutgers.edu\tgw2!%s\n",
-        )
-        .unwrap();
+        let db = RouteDb::from_output(".edu\tgw1!%s\n.rutgers.edu\tgw2!%s\n").unwrap();
         let hit = db.lookup("caip.rutgers.edu").unwrap();
         assert_eq!(hit.kind, MatchKind::DomainSuffix(".rutgers.edu".into()));
         assert_eq!(hit.entry.route, "gw2!%s");

@@ -1,0 +1,98 @@
+//! A cheaply-cloneable handle over a [`RouteDb`].
+//!
+//! Long-lived services — the route-query daemon in `pathalias-server`,
+//! or a mailer embedded in a delivery agent — want many readers over
+//! one immutable route table, with the whole table swapped atomically
+//! on reload. [`SharedRouteDb`] is that handle: an `Arc` around a
+//! frozen [`RouteDb`], so cloning is a reference-count bump and every
+//! clone sees one consistent table. Derefs to [`RouteDb`], so the full
+//! lookup API ([`RouteDb::lookup`], [`RouteDb::route_to`], ...) is
+//! available on the handle.
+
+use crate::routedb::RouteDb;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A shared, immutable route database.
+///
+/// # Examples
+///
+/// ```
+/// use pathalias_mailer::{RouteDb, SharedRouteDb};
+///
+/// let db = RouteDb::from_output("seismo\tseismo!%s\n").unwrap();
+/// let shared = SharedRouteDb::new(db);
+/// let clone = shared.clone(); // reference-count bump, not a copy
+/// assert_eq!(clone.route_to("seismo", "rick").unwrap(), "seismo!rick");
+/// assert_eq!(shared.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharedRouteDb {
+    inner: Arc<RouteDb>,
+}
+
+impl SharedRouteDb {
+    /// Freezes `db` into a shareable handle.
+    pub fn new(db: RouteDb) -> SharedRouteDb {
+        SharedRouteDb {
+            inner: Arc::new(db),
+        }
+    }
+
+    /// How many handles (including this one) share the table.
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+}
+
+impl From<RouteDb> for SharedRouteDb {
+    fn from(db: RouteDb) -> SharedRouteDb {
+        SharedRouteDb::new(db)
+    }
+}
+
+impl Deref for SharedRouteDb {
+    type Target = RouteDb;
+    fn deref(&self) -> &RouteDb {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_one_table() {
+        let db = RouteDb::from_output("a\ta!%s\nb\tb!%s\n").unwrap();
+        let shared = SharedRouteDb::new(db);
+        let clones: Vec<SharedRouteDb> = (0..10).map(|_| shared.clone()).collect();
+        assert_eq!(shared.handle_count(), 11);
+        for c in &clones {
+            assert_eq!(c.len(), 2);
+            assert_eq!(c.route_to("a", "u").unwrap(), "a!u");
+        }
+        drop(clones);
+        assert_eq!(shared.handle_count(), 1);
+    }
+
+    #[test]
+    fn usable_across_threads() {
+        let shared =
+            SharedRouteDb::new(RouteDb::from_output("hub\thub!%s\n.edu\thub!%s\n").unwrap());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let handle = shared.clone();
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        assert_eq!(handle.route_to("hub", "u").unwrap(), "hub!u");
+                        assert_eq!(
+                            handle.route_to("caip.rutgers.edu", "u").unwrap(),
+                            "hub!caip.rutgers.edu!u"
+                        );
+                    }
+                });
+            }
+        });
+    }
+}

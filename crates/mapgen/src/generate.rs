@@ -76,7 +76,7 @@ fn sample_cost(rng: &mut StdRng) -> String {
     match rng.random_range(0..10) {
         0 | 1 => "HOURLY".into(),
         2 | 3 => "EVENING".into(),
-        4 | 5 | 6 => "DAILY".into(),
+        4..=6 => "DAILY".into(),
         7 => "POLLED".into(),
         8 => format!("HOURLY*{}", rng.random_range(2..6)),
         _ => "DEMAND".into(),
@@ -117,10 +117,10 @@ pub fn generate(spec: &MapSpec) -> GeneratedMap {
     // Per-host link targets: (target name, cost expr, prefix-op).
     let mut targets: Vec<Vec<(String, String, &'static str)>> = vec![Vec::new(); uucp.len()];
     let push_link = |targets: &mut Vec<Vec<(String, String, &'static str)>>,
-                         stats: &mut GenStats,
-                         from: usize,
-                         to: &str,
-                         cost: String| {
+                     stats: &mut GenStats,
+                     from: usize,
+                     to: &str,
+                     cost: String| {
         targets[from].push((to.to_string(), cost, ""));
         stats.links += 1;
     };
@@ -129,14 +129,38 @@ pub fn generate(spec: &MapSpec) -> GeneratedMap {
     for h in 0..hubs {
         let next = (h + 1) % hubs;
         if next != h {
-            push_link(&mut targets, &mut stats, h, &uucp[next], backbone_cost(&mut rng).into());
-            push_link(&mut targets, &mut stats, next, &uucp[h], backbone_cost(&mut rng).into());
+            push_link(
+                &mut targets,
+                &mut stats,
+                h,
+                &uucp[next],
+                backbone_cost(&mut rng).into(),
+            );
+            push_link(
+                &mut targets,
+                &mut stats,
+                next,
+                &uucp[h],
+                backbone_cost(&mut rng).into(),
+            );
         }
         for _ in 0..rng.random_range(1..4usize) {
             let other = rng.random_range(0..hubs);
             if other != h {
-                push_link(&mut targets, &mut stats, h, &uucp[other], backbone_cost(&mut rng).into());
-                push_link(&mut targets, &mut stats, other, &uucp[h], backbone_cost(&mut rng).into());
+                push_link(
+                    &mut targets,
+                    &mut stats,
+                    h,
+                    &uucp[other],
+                    backbone_cost(&mut rng).into(),
+                );
+                push_link(
+                    &mut targets,
+                    &mut stats,
+                    other,
+                    &uucp[h],
+                    backbone_cost(&mut rng).into(),
+                );
             }
         }
     }
@@ -154,9 +178,21 @@ pub fn generate(spec: &MapSpec) -> GeneratedMap {
             if relay == i {
                 continue;
             }
-            push_link(&mut targets, &mut stats, i, &uucp[relay], sample_cost(&mut rng));
+            push_link(
+                &mut targets,
+                &mut stats,
+                i,
+                &uucp[relay],
+                sample_cost(&mut rng),
+            );
             if rng.random_bool(spec.bidir_probability) {
-                push_link(&mut targets, &mut stats, relay, &uucp[i], sample_cost(&mut rng));
+                push_link(
+                    &mut targets,
+                    &mut stats,
+                    relay,
+                    &uucp[i],
+                    sample_cost(&mut rng),
+                );
                 any_return = true;
             }
         }
@@ -190,6 +226,7 @@ pub fn generate(spec: &MapSpec) -> GeneratedMap {
     // network-only hosts; the rest are regional cliques of UUCP hosts.
     let mut net_text = String::from("# networks\n");
     let mut big_members = netonly.iter().peekable();
+    #[allow(clippy::needless_range_loop)] // `n` also names nets past BIG_NETS
     for n in 0..spec.networks {
         let name = if n < BIG_NETS.len() {
             BIG_NETS[n].to_string()
@@ -244,6 +281,7 @@ pub fn generate(spec: &MapSpec) -> GeneratedMap {
     // Domains: a tree per TLD with gateway hubs.
     let mut dom_text = String::from("# domain trees\n");
     let mut used_sub = std::collections::HashSet::new();
+    #[allow(clippy::needless_range_loop)] // symmetry with the network loop above
     for d in 0..spec.domains.min(TLDS.len()) {
         let tld = TLDS[d];
         let sub_count = rng.random_range(1..4usize);
@@ -252,7 +290,10 @@ pub fn generate(spec: &MapSpec) -> GeneratedMap {
             // Unique subdomain labels across all TLDs.
             let mut label;
             loop {
-                label = format!(".{}", HostNamer::name_at(rng.random_range(0..4000) + 90_000));
+                label = format!(
+                    ".{}",
+                    HostNamer::name_at(rng.random_range(0..4000usize) + 90_000)
+                );
                 if used_sub.insert(label.clone()) {
                     break;
                 }
@@ -414,7 +455,7 @@ mod tests {
         assert!(g.node_count() >= 8_500, "nodes: {}", g.node_count());
         // The paper: ~28,000 links total across both map sets.
         let e = g.link_count();
-        assert!(e >= 18_000 && e <= 60_000, "links: {e}");
+        assert!((18_000..=60_000).contains(&e), "links: {e}");
         assert!(m.byte_size() > 100_000, "a real map is hundreds of kb");
     }
 }

@@ -4,9 +4,7 @@
 use crate::cost_model::CostModel;
 use crate::heap::IndexedHeap;
 use crate::tree::{Label, MapStats, ShortestPathTree, TraceDecision, TraceEvent};
-use pathalias_graph::{
-    Cost, Dir, Graph, Link, LinkFlags, LinkId, NodeId,
-};
+use pathalias_graph::{Cost, Dir, Graph, Link, LinkFlags, LinkId, NodeId};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -135,10 +133,7 @@ impl<'g> Run<'g> {
     /// any. Alias and network-entry edges append nothing; network-exit
     /// edges use "the ones encountered when entering the network".
     fn visible_op(&self, u_label: &Label, link: &Link) -> Option<pathalias_graph::RouteOp> {
-        if link
-            .flags
-            .intersects(LinkFlags::ALIAS | LinkFlags::NET_IN)
-        {
+        if link.flags.intersects(LinkFlags::ALIAS | LinkFlags::NET_IN) {
             return None;
         }
         if link.flags.contains(LinkFlags::NET_OUT) {
@@ -187,11 +182,7 @@ impl<'g> Run<'g> {
             gate = self.model.gate_penalty;
             self.stats.gate_penalties += 1;
         }
-        if u_label.tainted
-            && !link
-                .flags
-                .intersects(LinkFlags::ALIAS | LinkFlags::NET_OUT)
-        {
+        if u_label.tainted && !link.flags.intersects(LinkFlags::ALIAS | LinkFlags::NET_OUT) {
             relay = self.model.relay_penalty;
             self.stats.relay_penalties += 1;
         }
@@ -359,7 +350,7 @@ pub fn map_quadratic_readonly(
             if let Some(l) = &run.labels[i] {
                 let id = NodeId::from_raw(i as u32);
                 let k = key_of(id, l);
-                if best.map_or(true, |(bk, _)| k < bk) {
+                if best.is_none_or(|(bk, _)| k < bk) {
                     best = Some((k, id));
                 }
             }
@@ -381,11 +372,7 @@ pub fn map_quadratic_readonly(
 /// from its neighbors back to the host, and continue with Dijkstra's
 /// algorithm." Invented links are added to the graph with
 /// [`LinkFlags::BACK`] and the back-link penalty.
-pub fn map(
-    g: &mut Graph,
-    source: NodeId,
-    opts: &MapOptions,
-) -> Result<ShortestPathTree, MapError> {
+pub fn map(g: &mut Graph, source: NodeId, opts: &MapOptions) -> Result<ShortestPathTree, MapError> {
     let mut rounds = 0u32;
     let mut invented_total = 0u64;
     loop {
@@ -600,7 +587,10 @@ gateway {GNET!g}
         // path then went through a domain, so further links from .edu
         // are relay-penalized; the up edge gets the gate penalty too.
         let up = t.cost(v[3]).unwrap();
-        assert!(up >= INF, "up-tree cost {up} should be essentially infinite");
+        assert!(
+            up >= INF,
+            "up-tree cost {up} should be essentially infinite"
+        );
         assert!(t.cost(v[2]).unwrap() < INF);
     }
 

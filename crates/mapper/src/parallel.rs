@@ -3,8 +3,8 @@
 //! Pathalias maps from one source — the local host. Site administrators
 //! of the era ran it once per machine they administered; the benchmark
 //! harness (and the `mapgen` validation suite) maps from many sources,
-//! so this module fans the read-only mapper out over threads with
-//! `crossbeam::scope`. The graph is shared immutably; back links are
+//! so this module fans the read-only mapper out over
+//! `std::thread::scope`. The graph is shared immutably; back links are
 //! not invented (use [`crate::map`] once beforehand if they matter).
 
 use crate::dijkstra::{map_readonly, MapError, MapOptions};
@@ -33,24 +33,21 @@ pub fn map_many(
 ) -> Vec<Result<ShortestPathTree, MapError>> {
     let threads = threads.max(1).min(sources.len().max(1));
     if threads <= 1 || sources.len() <= 1 {
-        return sources
-            .iter()
-            .map(|&s| map_readonly(g, s, opts))
-            .collect();
+        return sources.iter().map(|&s| map_readonly(g, s, opts)).collect();
     }
 
     let mut results: Vec<Option<Result<ShortestPathTree, MapError>>> =
         (0..sources.len()).map(|_| None).collect();
     let chunk = sources.len().div_ceil(threads);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut rest: &mut [Option<Result<ShortestPathTree, MapError>>] = &mut results;
         let mut offset = 0;
         while !rest.is_empty() {
             let take = chunk.min(rest.len());
             let (head, tail) = rest.split_at_mut(take);
             let slice_sources = &sources[offset..offset + take];
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (slot, &src) in head.iter_mut().zip(slice_sources) {
                     *slot = Some(map_readonly(g, src, opts));
                 }
@@ -58,8 +55,7 @@ pub fn map_many(
             rest = tail;
             offset += take;
         }
-    })
-    .expect("mapping workers do not panic");
+    });
 
     results
         .into_iter()

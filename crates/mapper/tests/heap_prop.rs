@@ -30,10 +30,10 @@ proptest! {
         for op in ops {
             match op {
                 Op::Push(node, key) => {
-                    if !model.contains_key(&node) {
+                    model.entry(node).or_insert_with(|| {
                         heap.push(node, (key, node));
-                        model.insert(node, key);
-                    }
+                        key
+                    });
                 }
                 Op::DecreaseToHalf(node) => {
                     if let Some(k) = model.get_mut(&node) {

@@ -72,9 +72,9 @@ fn term(lx: &mut Lexer<'_>) -> Result<i128, ParseError> {
             Tok::Star => {
                 lx.next_token()?;
                 let rhs = unary(lx)?;
-                acc = acc.checked_mul(rhs).ok_or_else(|| {
-                    lx.error_at_token(&t, "cost expression overflow".to_string())
-                })?;
+                acc = acc
+                    .checked_mul(rhs)
+                    .ok_or_else(|| lx.error_at_token(&t, "cost expression overflow".to_string()))?;
             }
             Tok::Slash => {
                 lx.next_token()?;

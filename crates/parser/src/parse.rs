@@ -148,8 +148,14 @@ impl<'a> Parser<'_, 'a> {
                     format!("host `{name}` has routing operators on both sides"),
                 ))
             }
-            (Some(c), None) => RouteOp { ch: c, dir: Dir::Right },
-            (None, Some(c)) => RouteOp { ch: c, dir: Dir::Left },
+            (Some(c), None) => RouteOp {
+                ch: c,
+                dir: Dir::Right,
+            },
+            (None, Some(c)) => RouteOp {
+                ch: c,
+                dir: Dir::Left,
+            },
             (None, None) => RouteOp::UUCP,
         };
         let cost = if self.lx.peek()?.tok == Tok::LParen {
@@ -179,7 +185,13 @@ impl<'a> Parser<'_, 'a> {
                         format!("expected `{{` after network operator, found {}", open.tok),
                     ));
                 }
-                self.network(first, RouteOp { ch: c, dir: Dir::Right })
+                self.network(
+                    first,
+                    RouteOp {
+                        ch: c,
+                        dir: Dir::Right,
+                    },
+                )
             }
             Tok::LBrace => self.network(first, RouteOp::UUCP),
             other => Err(self.lx.error_at_token(
@@ -266,9 +278,10 @@ impl<'a> Parser<'_, 'a> {
                     }
                 }
                 other => {
-                    return Err(self
-                        .lx
-                        .error_at_token(&t, format!("expected a name in {kw} list, found {other}")))
+                    return Err(self.lx.error_at_token(
+                        &t,
+                        format!("expected a name in {kw} list, found {other}"),
+                    ))
                 }
             }
         }
@@ -384,7 +397,9 @@ mod tests {
     fn link_cost(g: &Graph, from: &str, to: &str) -> Option<Cost> {
         let f = g.try_node(from)?;
         let t = g.try_node(to)?;
-        g.links_from(f).find(|(_, l)| l.to == t).map(|(_, l)| l.cost)
+        g.links_from(f)
+            .find(|(_, l)| l.to == t)
+            .map(|(_, l)| l.cost)
     }
 
     #[test]

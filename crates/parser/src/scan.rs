@@ -151,10 +151,7 @@ impl<'a> Lexer<'a> {
                 (tok, end - at)
             }
             _ => {
-                return Err(self.error_at(
-                    at,
-                    format!("unexpected character `{}`", char::from(b)),
-                ));
+                return Err(self.error_at(at, format!("unexpected character `{}`", char::from(b))));
             }
         };
         let t = self.make(tok, at);
@@ -191,7 +188,11 @@ mod tests {
     use super::*;
 
     fn toks(text: &str) -> Vec<Tok<'_>> {
-        tokenize("t", text).unwrap().into_iter().map(|t| t.tok).collect()
+        tokenize("t", text)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.tok)
+            .collect()
     }
 
     #[test]

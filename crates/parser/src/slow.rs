@@ -153,7 +153,7 @@ pub fn tokenize(file: &str, text: &str) -> Result<Vec<OwnedTok>, ParseError> {
                     .iter()
                     .map(|s| s.to_string())
                     .collect();
-                    let _screened = keywords.iter().any(|k| *k == yytext);
+                    let _screened = keywords.contains(&yytext);
                     out.push(OwnedTok::Name(yytext));
                 }
             }

@@ -146,12 +146,12 @@ mod tests {
         // costs more.
         let new = table("a b(25)\na c(12)\na fresh(7)\n", "a");
         let changes = diff(&old, &new);
-        assert!(changes.iter().any(
-            |c| matches!(c, RouteChange::Added { name, .. } if name == "fresh")
-        ));
-        assert!(changes.iter().any(
-            |c| matches!(c, RouteChange::Removed { name, .. } if name == "gone")
-        ));
+        assert!(changes
+            .iter()
+            .any(|c| matches!(c, RouteChange::Added { name, .. } if name == "fresh")));
+        assert!(changes
+            .iter()
+            .any(|c| matches!(c, RouteChange::Removed { name, .. } if name == "gone")));
         assert!(changes.iter().any(|c| matches!(
             c,
             RouteChange::Rerouted { name, new, .. } if name == "c" && new == "c!%s"

@@ -23,7 +23,10 @@ pub enum RouteKind {
 impl RouteKind {
     /// Whether entries of this kind appear in normal output.
     pub fn is_visible(self) -> bool {
-        matches!(self, RouteKind::Host | RouteKind::Alias | RouteKind::TopDomain)
+        matches!(
+            self,
+            RouteKind::Host | RouteKind::Alias | RouteKind::TopDomain
+        )
     }
 }
 

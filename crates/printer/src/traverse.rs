@@ -18,9 +18,7 @@ pub fn compute_routes(g: &Graph, tree: &ShortestPathTree) -> RouteTable {
 
     // Iterative preorder: (node, route, name) — the route/name strings
     // are exactly what the original passed as recursion parameters.
-    let src_label = tree
-        .label(tree.source)
-        .expect("source is always labelled");
+    let src_label = tree.label(tree.source).expect("source is always labelled");
     let mut stack: Vec<(NodeId, String, String)> = vec![(
         tree.source,
         "%s".to_string(),
@@ -58,9 +56,11 @@ pub fn compute_routes(g: &Graph, tree: &ShortestPathTree) -> RouteTable {
 
         // Children in reverse so the stack pops them in sorted order.
         for &child in children[node.index()].iter().rev() {
-            let (_, lid) = tree.label(child).expect("child is labelled").pred.expect(
-                "non-source labelled nodes have predecessors",
-            );
+            let (_, lid) = tree
+                .label(child)
+                .expect("child is labelled")
+                .pred
+                .expect("non-source labelled nodes have predecessors");
             let link = g.link_ref(lid);
 
             // Domain-name synthesis: "the name of the domain is
@@ -174,10 +174,7 @@ mod tests {
 
     #[test]
     fn network_entry_via_member_uses_declared_op() {
-        let (_, t) = routes_for(
-            "u ucbvax(300)\nARPA = @{mit-ai, ucbvax}(95)\n",
-            "u",
-        );
+        let (_, t) = routes_for("u ucbvax(300)\nARPA = @{mit-ai, ucbvax}(95)\n", "u");
         // ucbvax enters ARPA over its member edge declared with `@`, so
         // mit-ai is spliced host-on-right.
         assert_eq!(route_of(&t, "mit-ai").route, "ucbvax!%s@mit-ai");
@@ -213,11 +210,7 @@ seismo .edu(95)
         assert_eq!(edu.route, "seismo!%s");
         assert_eq!(edu.kind, RouteKind::TopDomain);
         // Subdomain hidden.
-        let rutgers = t
-            .entries
-            .iter()
-            .find(|r| r.name == ".rutgers.edu")
-            .unwrap();
+        let rutgers = t.entries.iter().find(|r| r.name == ".rutgers.edu").unwrap();
         assert_eq!(rutgers.kind, RouteKind::SubDomain);
     }
 

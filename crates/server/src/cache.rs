@@ -1,0 +1,304 @@
+//! A sharded, bounded LRU cache for domain-suffix lookups.
+//!
+//! Exact-name queries are a single hash probe against the snapshot and
+//! need no cache. Suffix queries (`caip.rutgers.edu` through `.edu`)
+//! walk the domain chain, one probe per label — and mailer traffic is
+//! heavily repetitive, so the daemon remembers resolved suffixes (and
+//! confirmed misses; an LRU bounds the damage an attacker's junk names
+//! can do) in a cache sharded by host-name hash to keep lock
+//! contention off the query path.
+//!
+//! Entries are stamped with the table generation they were computed
+//! against. A hot reload bumps the generation, which invalidates every
+//! cached entry lazily — no stop-the-world clear, and a stale entry can
+//! never be served against a new table.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::Mutex;
+
+const NIL: usize = usize::MAX;
+
+/// A cached suffix resolution: the route format string, or a confirmed
+/// miss.
+pub type CachedRoute = Option<Arc<str>>;
+
+struct Node {
+    key: String,
+    generation: u64,
+    value: CachedRoute,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: a classic doubly-linked LRU over a slab.
+struct Lru {
+    map: HashMap<String, usize>,
+    slab: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl Lru {
+    fn new(capacity: usize) -> Lru {
+        Lru {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn remove(&mut self, i: usize) {
+        self.unlink(i);
+        self.map.remove(&self.slab[i].key);
+        self.slab[i].key.clear();
+        self.slab[i].value = None;
+        self.free.push(i);
+    }
+
+    fn get(&mut self, generation: u64, key: &str) -> Option<CachedRoute> {
+        let i = *self.map.get(key)?;
+        match self.slab[i].generation.cmp(&generation) {
+            std::cmp::Ordering::Less => {
+                // Computed against a previous table: drop, report miss.
+                self.remove(i);
+                None
+            }
+            std::cmp::Ordering::Greater => {
+                // Entry is newer than the caller's snapshot (reload
+                // landed mid-query). Don't serve it — the caller must
+                // stay consistent with its snapshot — and don't evict
+                // what current readers are using.
+                None
+            }
+            std::cmp::Ordering::Equal => {
+                self.unlink(i);
+                self.push_front(i);
+                Some(self.slab[i].value.clone())
+            }
+        }
+    }
+
+    fn insert(&mut self, generation: u64, key: &str, value: CachedRoute) {
+        if let Some(&i) = self.map.get(key) {
+            self.slab[i].generation = generation;
+            self.slab[i].value = value;
+            self.unlink(i);
+            self.push_front(i);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let evict = self.tail;
+            debug_assert_ne!(evict, NIL);
+            self.remove(evict);
+        }
+        let node = Node {
+            key: key.to_string(),
+            generation,
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = node;
+                i
+            }
+            None => {
+                self.slab.push(node);
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key.to_string(), i);
+        self.push_front(i);
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// The shared cache: N independent LRU shards selected by key hash.
+pub struct ShardedCache {
+    shards: Box<[Mutex<Lru>]>,
+    /// The generation current entries must carry; bumped on reload.
+    generation: AtomicU64,
+}
+
+impl ShardedCache {
+    /// A cache holding at most `capacity` entries across `shards`
+    /// shards (both rounded up to at least 1).
+    pub fn new(capacity: usize, shards: usize) -> ShardedCache {
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards).max(1);
+        ShardedCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Lru::new(per_shard)))
+                .collect(),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<Lru> {
+        // FNV-1a; the host-name distribution is friendly.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in key.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Marks every existing entry stale. Cheap: stale entries are
+    /// dropped lazily on their next touch or by LRU pressure.
+    pub fn invalidate_to(&self, generation: u64) {
+        self.generation.store(generation, Ordering::SeqCst);
+    }
+
+    /// The cached resolution for `key` as computed against table
+    /// generation `generation` (the caller's snapshot — never the
+    /// cache's own notion of "current", so a query pinned to an old
+    /// snapshot cannot see entries from a newer table or vice versa).
+    /// `Some(Some(route))` — cached suffix route; `Some(None)` — cached
+    /// miss; `None` — not cached (or wrong generation).
+    pub fn get(&self, generation: u64, key: &str) -> Option<CachedRoute> {
+        self.shard(key).lock().unwrap().get(generation, key)
+    }
+
+    /// Caches a resolution computed against generation `generation`.
+    /// Ignored if a reload has already moved past that generation, so a
+    /// slow writer can never resurrect a stale route.
+    pub fn insert(&self, generation: u64, key: &str, value: CachedRoute) {
+        if self.generation.load(Ordering::SeqCst) != generation {
+            return;
+        }
+        self.shard(key)
+            .lock()
+            .unwrap()
+            .insert(generation, key, value);
+    }
+
+    /// Entries currently held (stale ones included).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route(s: &str) -> CachedRoute {
+        Some(Arc::from(s))
+    }
+
+    #[test]
+    fn hit_miss_and_negative() {
+        let c = ShardedCache::new(16, 2);
+        assert_eq!(c.get(0, "a.edu"), None);
+        c.insert(0, "a.edu", route("gw!%s"));
+        c.insert(0, "b.gov", None);
+        assert_eq!(c.get(0, "a.edu").unwrap().unwrap().as_ref(), "gw!%s");
+        assert_eq!(c.get(0, "b.gov"), Some(None));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_capacity() {
+        let c = ShardedCache::new(4, 1);
+        for i in 0..4 {
+            c.insert(0, &format!("h{i}"), route("r!%s"));
+        }
+        // Touch h0 so h1 is the LRU victim.
+        assert!(c.get(0, "h0").is_some());
+        c.insert(0, "h4", route("r!%s"));
+        assert_eq!(c.len(), 4);
+        assert!(c.get(0, "h1").is_none(), "LRU entry should be evicted");
+        assert!(c.get(0, "h0").is_some());
+        assert!(c.get(0, "h4").is_some());
+    }
+
+    #[test]
+    fn generation_bump_invalidates_lazily() {
+        let c = ShardedCache::new(8, 1);
+        c.insert(0, "old.edu", route("old!%s"));
+        c.invalidate_to(1);
+        assert_eq!(c.get(1, "old.edu"), None, "stale entry must not serve");
+        c.insert(1, "new.edu", route("new!%s"));
+        assert_eq!(c.get(1, "new.edu").unwrap().unwrap().as_ref(), "new!%s");
+    }
+
+    #[test]
+    fn stale_writer_cannot_resurrect_old_route() {
+        let c = ShardedCache::new(8, 1);
+        c.invalidate_to(5);
+        c.insert(4, "late.edu", route("stale!%s"));
+        assert_eq!(c.get(5, "late.edu"), None);
+    }
+
+    #[test]
+    fn reinsert_updates_value() {
+        let c = ShardedCache::new(8, 1);
+        c.insert(0, "x.edu", route("a!%s"));
+        c.insert(0, "x.edu", route("b!%s"));
+        assert_eq!(c.get(0, "x.edu").unwrap().unwrap().as_ref(), "b!%s");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_hammer() {
+        let c = std::sync::Arc::new(ShardedCache::new(64, 8));
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for i in 0..2_000 {
+                        let key = format!("h{}.net", (t * 31 + i) % 100);
+                        match c.get(0, &key) {
+                            Some(Some(r)) => assert_eq!(r.as_ref(), "gw!%s"),
+                            Some(None) => {}
+                            None => c.insert(0, &key, route("gw!%s")),
+                        }
+                    }
+                });
+            }
+        });
+        assert!(c.len() <= 64);
+    }
+}

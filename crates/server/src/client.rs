@@ -1,0 +1,151 @@
+//! A tiny synchronous client for the query protocol.
+//!
+//! Used by `pathalias serve --query`, the integration tests, and the
+//! `route_server` example. One connection, requests answered in order.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Either transport, behind one type.
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+impl Conn {
+    fn split(&self) -> io::Result<Conn> {
+        Ok(match self {
+            Conn::Tcp(s) => Conn::Tcp(s.try_clone()?),
+            #[cfg(unix)]
+            Conn::Unix(s) => Conn::Unix(s.try_clone()?),
+        })
+    }
+}
+
+/// A connected protocol client.
+///
+/// Writes are buffered and flushed once per request: a request is one
+/// TCP segment, which keeps Nagle's algorithm and delayed ACKs from
+/// inserting a round-trip-scale stall into every query.
+pub struct Client {
+    reader: BufReader<Conn>,
+    writer: BufWriter<Conn>,
+}
+
+/// A `QUERY` outcome: the route, or a confirmed "no route".
+pub type QueryResult = io::Result<Option<String>>;
+
+impl Client {
+    /// Connects over TCP.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Client::from_conn(Conn::Tcp(stream))
+    }
+
+    /// Connects over a Unix socket.
+    #[cfg(unix)]
+    pub fn connect_unix(path: impl AsRef<Path>) -> io::Result<Client> {
+        Client::from_conn(Conn::Unix(UnixStream::connect(path)?))
+    }
+
+    fn from_conn(conn: Conn) -> io::Result<Client> {
+        Ok(Client {
+            reader: BufReader::new(conn.split()?),
+            writer: BufWriter::new(conn),
+        })
+    }
+
+    /// Sends one raw request line, returns the raw response line
+    /// (`<code> <text>`, no newline).
+    pub fn send(&mut self, request: &str) -> io::Result<String> {
+        writeln!(self.writer, "{request}")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end_matches(['\r', '\n']).to_string())
+    }
+
+    /// `QUERY host [user]` → `Ok(Some(route))`, `Ok(None)` for 404, or
+    /// an error for anything else.
+    pub fn query(&mut self, host: &str, user: Option<&str>) -> QueryResult {
+        let request = match user {
+            Some(u) => format!("QUERY {host} {u}"),
+            None => format!("QUERY {host}"),
+        };
+        let line = self.send(&request)?;
+        match line.split_once(' ') {
+            Some(("200", route)) => Ok(Some(route.to_string())),
+            Some(("404", _)) => Ok(None),
+            _ => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response `{line}`"),
+            )),
+        }
+    }
+
+    /// `STATS` → the key=value payload.
+    pub fn stats(&mut self) -> io::Result<String> {
+        self.expect_200("STATS")
+    }
+
+    /// `RELOAD` → the `reloaded generation=N entries=N` payload.
+    pub fn reload(&mut self) -> io::Result<String> {
+        self.expect_200("RELOAD")
+    }
+
+    /// `HEALTH` → the `ok generation=N entries=N` payload.
+    pub fn health(&mut self) -> io::Result<String> {
+        self.expect_200("HEALTH")
+    }
+
+    /// `QUIT`: tells the server to close this connection.
+    pub fn quit(mut self) -> io::Result<()> {
+        self.send("QUIT")?;
+        Ok(())
+    }
+
+    fn expect_200(&mut self, verb: &str) -> io::Result<String> {
+        let line = self.send(verb)?;
+        match line.split_once(' ') {
+            Some(("200", payload)) => Ok(payload.to_string()),
+            _ => Err(io::Error::other(format!("{verb} failed: `{line}`"))),
+        }
+    }
+}

@@ -1,0 +1,542 @@
+//! The daemon: listeners, connection threads, and request dispatch.
+//!
+//! One thread per connection, which is the right shape for this
+//! protocol: mailers hold a connection open and stream queries down
+//! it, so the thread count tracks the number of *clients*, not the
+//! query rate, and each query is a hash probe against an immutable
+//! snapshot — microseconds of work between blocking reads.
+//!
+//! `RELOAD` runs on the requesting connection's thread under a lock
+//! (one rebuild at a time). Every other connection keeps answering
+//! queries from the old snapshot until the atomic swap, so a reload
+//! never drops or delays in-flight traffic.
+
+use crate::cache::ShardedCache;
+use crate::index::{resolve, RouteIndex, SwapCell};
+use crate::metrics::{bump, drop_one, Metrics};
+use crate::protocol::{parse_request, Request, Response, MAX_LINE};
+use crate::reload::MapSource;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// What to serve and where to listen.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Where the route table comes from (initial load and `RELOAD`).
+    pub source: MapSource,
+    /// TCP listen address, e.g. `127.0.0.1:4175` (port 0 = ephemeral).
+    /// `None` disables TCP.
+    pub tcp: Option<String>,
+    /// Unix socket path. `None` disables the Unix listener.
+    pub unix: Option<PathBuf>,
+    /// Total entries across the suffix-cache shards.
+    pub cache_capacity: usize,
+    /// Number of cache shards.
+    pub cache_shards: usize,
+}
+
+impl ServerConfig {
+    /// A TCP-only config on an ephemeral loopback port with default
+    /// cache sizing — what tests and examples want.
+    pub fn ephemeral(source: MapSource) -> ServerConfig {
+        ServerConfig {
+            source,
+            tcp: Some("127.0.0.1:0".to_string()),
+            unix: None,
+            cache_capacity: 4096,
+            cache_shards: 8,
+        }
+    }
+}
+
+/// Shared daemon state.
+pub(crate) struct State {
+    swap: SwapCell,
+    cache: ShardedCache,
+    metrics: Metrics,
+    source: MapSource,
+    /// Serializes rebuilds; queries never take it.
+    reload_lock: Mutex<()>,
+    /// The generation the next successful reload will publish.
+    next_generation: AtomicU64,
+    shutting_down: AtomicBool,
+}
+
+impl State {
+    /// Handles one parsed request. Protocol-level; transport-agnostic.
+    fn respond(self: &Arc<Self>, req: Request) -> Response {
+        match req {
+            Request::Query { host, user } => {
+                let snapshot = self.swap.load();
+                let user = user.as_deref().unwrap_or("%s");
+                match resolve(&snapshot, &self.cache, &self.metrics, &host, user) {
+                    Some(route) => Response::Route(route),
+                    None => Response::NoRoute(host),
+                }
+            }
+            Request::Stats => {
+                let snapshot = self.swap.load();
+                Response::Stats(
+                    self.metrics
+                        .render(snapshot.generation(), snapshot.entries()),
+                )
+            }
+            Request::Health => {
+                let snapshot = self.swap.load();
+                Response::Health {
+                    generation: snapshot.generation(),
+                    entries: snapshot.entries(),
+                }
+            }
+            Request::Reload => self.reload(),
+            Request::Quit => Response::Bye,
+        }
+    }
+
+    /// Rebuilds from the source and swaps the table in. Runs on the
+    /// requesting connection's thread; other connections keep serving
+    /// the old snapshot throughout.
+    fn reload(self: &Arc<Self>) -> Response {
+        let _guard = self.reload_lock.lock().expect("reload lock poisoned");
+        match self.source.load() {
+            Ok(db) => {
+                let generation = self.next_generation.fetch_add(1, Ordering::SeqCst);
+                let index = RouteIndex::new(db, generation);
+                let entries = index.entries();
+                // Order matters: moving the cache's floor first means a
+                // cache entry can never outlive its table.
+                self.cache.invalidate_to(generation);
+                self.swap.store(index);
+                bump(&self.metrics.reloads);
+                Response::Reloaded {
+                    generation,
+                    entries,
+                }
+            }
+            Err(e) => {
+                bump(&self.metrics.reload_failures);
+                Response::Failure(format!("reload failed: {e}"))
+            }
+        }
+    }
+}
+
+/// Reads one `\n`-terminated line with a hard length cap. Returns
+/// `Ok(None)` on clean EOF, `Err` with `InvalidData` when a peer sends
+/// an over-long line.
+fn read_bounded_line(reader: &mut impl BufRead, line: &mut String) -> io::Result<Option<()>> {
+    line.clear();
+    // Raw bytes, decoded once at the end: a multi-byte UTF-8 character
+    // split across two buffer refills must not be mangled
+    // chunk-by-chunk.
+    let mut bytes = Vec::new();
+    let mut terminated = false;
+    loop {
+        let (chunk_len, found_newline) = {
+            let buf = reader.fill_buf()?;
+            if buf.is_empty() {
+                break; // EOF
+            }
+            let (chunk, found_newline) = match buf.iter().position(|&b| b == b'\n') {
+                Some(i) => (&buf[..i], true),
+                None => (buf, false),
+            };
+            if bytes.len() + chunk.len() > MAX_LINE {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "request line too long",
+                ));
+            }
+            bytes.extend_from_slice(chunk);
+            (chunk.len(), found_newline)
+        };
+        reader.consume(chunk_len + usize::from(found_newline));
+        if found_newline {
+            terminated = true;
+            break;
+        }
+    }
+    if bytes.is_empty() && !terminated {
+        return Ok(None); // clean EOF (a bare newline is a blank line, not EOF)
+    }
+    line.push_str(&String::from_utf8_lossy(&bytes));
+    Ok(Some(()))
+}
+
+/// Streams that can be split into an independent reader and writer —
+/// the shape both `TcpStream` and `UnixStream` share.
+pub(crate) trait SplitStream: Read + Write + Send + Sized + 'static {
+    /// A second handle to the same underlying socket.
+    fn split(&self) -> io::Result<Self>;
+}
+
+impl SplitStream for TcpStream {
+    fn split(&self) -> io::Result<TcpStream> {
+        self.try_clone()
+    }
+}
+
+#[cfg(unix)]
+impl SplitStream for UnixStream {
+    fn split(&self) -> io::Result<UnixStream> {
+        self.try_clone()
+    }
+}
+
+/// Serves one connection until QUIT, EOF, error, or shutdown. The
+/// reader is buffered across requests, so pipelined lines are never
+/// dropped; every response is flushed before the next read.
+fn serve_connection(state: Arc<State>, stream: impl SplitStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.split()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        if state.shutting_down.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match read_bounded_line(&mut reader, &mut line) {
+            Ok(Some(())) => {}
+            Ok(None) => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                writeln!(writer, "{}", Response::BadRequest(e.to_string()))?;
+                writer.flush()?;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, quitting) = match parse_request(line.trim_end_matches(['\r', '\n'])) {
+            Ok(req) => {
+                let quitting = req == Request::Quit;
+                (state.respond(req), quitting)
+            }
+            Err(why) => {
+                bump(&state.metrics.bad_requests);
+                (Response::BadRequest(why), false)
+            }
+        };
+        writeln!(writer, "{response}")?;
+        writer.flush()?;
+        if quitting {
+            return Ok(());
+        }
+    }
+}
+
+/// The daemon entry point.
+pub struct Server;
+
+/// A running daemon. Dropping the handle does **not** stop the daemon;
+/// call [`ServerHandle::shutdown`] (tests) or [`ServerHandle::wait`]
+/// (the CLI) explicitly.
+pub struct ServerHandle {
+    state: Arc<State>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+    accept_threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Loads the table (failing fast if the source is broken), binds
+    /// the listeners, and starts accepting.
+    pub fn start(config: ServerConfig) -> Result<ServerHandle, StartError> {
+        let db = config.source.load().map_err(StartError::Load)?;
+        let state = Arc::new(State {
+            swap: SwapCell::new(RouteIndex::new(db, 0)),
+            cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
+            metrics: Metrics::default(),
+            source: config.source,
+            reload_lock: Mutex::new(()),
+            next_generation: AtomicU64::new(1),
+            shutting_down: AtomicBool::new(false),
+        });
+
+        let mut accept_threads = Vec::new();
+        let mut tcp_addr = None;
+        if let Some(addr) = &config.tcp {
+            let listener = TcpListener::bind(addr.as_str()).map_err(StartError::Bind)?;
+            tcp_addr = Some(listener.local_addr().map_err(StartError::Bind)?);
+            let state = state.clone();
+            accept_threads.push(std::thread::spawn(move || accept_tcp(state, listener)));
+        }
+
+        let mut unix_path = None;
+        #[cfg(unix)]
+        if let Some(path) = &config.unix {
+            // A previous daemon's socket file would make bind fail.
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path).map_err(StartError::Bind)?;
+            unix_path = Some(path.clone());
+            let state = state.clone();
+            accept_threads.push(std::thread::spawn(move || accept_unix(state, listener)));
+        }
+        #[cfg(not(unix))]
+        if config.unix.is_some() {
+            return Err(StartError::Bind(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix sockets are not available on this platform",
+            )));
+        }
+
+        if tcp_addr.is_none() && unix_path.is_none() {
+            return Err(StartError::Bind(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "no listener configured (need tcp and/or unix)",
+            )));
+        }
+
+        Ok(ServerHandle {
+            state,
+            tcp_addr,
+            unix_path,
+            accept_threads,
+        })
+    }
+}
+
+fn accept_tcp(state: Arc<State>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if state.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream {
+            Ok(stream) => {
+                // One buffered write per response = one segment; with
+                // nodelay set, neither Nagle nor delayed ACKs can
+                // stall the request/response ping-pong.
+                let _ = stream.set_nodelay(true);
+                spawn_connection(state.clone(), stream);
+            }
+            Err(_) => continue,
+        }
+    }
+}
+
+#[cfg(unix)]
+fn accept_unix(state: Arc<State>, listener: UnixListener) {
+    for stream in listener.incoming() {
+        if state.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream {
+            Ok(stream) => spawn_connection(state.clone(), stream),
+            Err(_) => continue,
+        }
+    }
+}
+
+fn spawn_connection(state: Arc<State>, stream: impl SplitStream) {
+    bump(&state.metrics.connections);
+    bump(&state.metrics.active_connections);
+    std::thread::spawn(move || {
+        let _ = serve_connection(state.clone(), stream);
+        drop_one(&state.metrics.active_connections);
+    });
+}
+
+/// Why the daemon failed to start.
+#[derive(Debug)]
+pub enum StartError {
+    /// The initial table load failed.
+    Load(crate::reload::LoadError),
+    /// Binding a listener failed.
+    Bind(io::Error),
+}
+
+impl std::fmt::Display for StartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StartError::Load(e) => write!(f, "loading route table: {e}"),
+            StartError::Bind(e) => write!(f, "binding listener: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StartError {}
+
+impl ServerHandle {
+    /// The bound TCP address (the actual port when 0 was requested).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The bound Unix socket path.
+    pub fn unix_path(&self) -> Option<&PathBuf> {
+        self.unix_path.as_ref()
+    }
+
+    /// The serving generation and entry count, for status lines.
+    pub fn table_info(&self) -> (u64, usize) {
+        let snapshot = self.state.swap.load();
+        (snapshot.generation(), snapshot.entries())
+    }
+
+    /// Blocks until the daemon stops accepting (i.e. forever, in
+    /// daemon mode).
+    pub fn wait(mut self) {
+        for t in self.accept_threads.drain(..) {
+            let _ = t.join();
+        }
+        self.cleanup_socket();
+    }
+
+    /// Stops accepting, wakes the accept loops, and joins them.
+    /// Established connections finish their current request and close
+    /// on their next read.
+    pub fn shutdown(mut self) {
+        self.state.shutting_down.store(true, Ordering::SeqCst);
+        // Wake the blocking accept calls with a throwaway connection.
+        if let Some(addr) = self.tcp_addr {
+            let _ = TcpStream::connect(addr);
+        }
+        #[cfg(unix)]
+        if let Some(path) = &self.unix_path {
+            let _ = UnixStream::connect(path);
+        }
+        for t in self.accept_threads.drain(..) {
+            let _ = t.join();
+        }
+        self.cleanup_socket();
+    }
+
+    fn cleanup_socket(&self) {
+        #[cfg(unix)]
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn state_for(text: &str) -> Arc<State> {
+        let path = std::env::temp_dir().join(format!(
+            "pathalias-daemon-test-{}-{:?}.routes",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        std::fs::write(&path, text).unwrap();
+        let db = pathalias_mailer::RouteDb::from_output(text).unwrap();
+        Arc::new(State {
+            swap: SwapCell::new(RouteIndex::new(db, 0)),
+            cache: ShardedCache::new(64, 2),
+            metrics: Metrics::default(),
+            source: MapSource::Routes(path),
+            reload_lock: Mutex::new(()),
+            next_generation: AtomicU64::new(1),
+            shutting_down: AtomicBool::new(false),
+        })
+    }
+
+    #[test]
+    fn respond_covers_every_verb() {
+        let state = state_for("seismo\tseismo!%s\n.edu\tseismo!%s\n");
+        let q = |host: &str, user: Option<&str>| {
+            state.respond(Request::Query {
+                host: host.into(),
+                user: user.map(str::to_string),
+            })
+        };
+        assert_eq!(
+            q("seismo", Some("rick")),
+            Response::Route("seismo!rick".into())
+        );
+        assert_eq!(
+            q("caip.rutgers.edu", Some("pleasant")),
+            Response::Route("seismo!caip.rutgers.edu!pleasant".into())
+        );
+        assert_eq!(q("seismo", None), Response::Route("seismo!%s".into()));
+        assert_eq!(q("nowhere", Some("u")), Response::NoRoute("nowhere".into()));
+        assert!(matches!(state.respond(Request::Stats), Response::Stats(_)));
+        assert_eq!(
+            state.respond(Request::Health),
+            Response::Health {
+                generation: 0,
+                entries: 2
+            }
+        );
+        assert_eq!(state.respond(Request::Quit), Response::Bye);
+        let reloaded = state.respond(Request::Reload);
+        assert_eq!(
+            reloaded,
+            Response::Reloaded {
+                generation: 1,
+                entries: 2
+            }
+        );
+    }
+
+    #[test]
+    fn reload_failure_keeps_old_table() {
+        let state = state_for("a\ta!%s\n");
+        // Sabotage the source file.
+        if let MapSource::Routes(path) = &state.source {
+            std::fs::write(path, "garbage-without-a-route\n").unwrap();
+        }
+        let resp = state.respond(Request::Reload);
+        assert_eq!(resp.code(), 500);
+        // Old table still serves.
+        assert_eq!(
+            state.respond(Request::Query {
+                host: "a".into(),
+                user: Some("u".into())
+            }),
+            Response::Route("a!u".into())
+        );
+        let snapshot = state.swap.load();
+        assert_eq!(snapshot.generation(), 0);
+    }
+
+    #[test]
+    fn bounded_line_reader() {
+        let mut ok = BufReader::new(Cursor::new(b"QUERY a\n".to_vec()));
+        let mut line = String::new();
+        assert!(read_bounded_line(&mut ok, &mut line).unwrap().is_some());
+        assert_eq!(line, "QUERY a");
+
+        let mut eof = BufReader::new(Cursor::new(Vec::new()));
+        assert!(read_bounded_line(&mut eof, &mut line).unwrap().is_none());
+
+        // No trailing newline: still delivered at EOF.
+        let mut tail = BufReader::new(Cursor::new(b"HEALTH".to_vec()));
+        assert!(read_bounded_line(&mut tail, &mut line).unwrap().is_some());
+        assert_eq!(line, "HEALTH");
+
+        let mut long = BufReader::new(Cursor::new(vec![b'x'; MAX_LINE + 10]));
+        let err = read_bounded_line(&mut long, &mut line).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // A blank line is a line, not EOF.
+        let mut blank = BufReader::new(Cursor::new(b"\nHEALTH\n".to_vec()));
+        assert!(read_bounded_line(&mut blank, &mut line).unwrap().is_some());
+        assert_eq!(line, "");
+        assert!(read_bounded_line(&mut blank, &mut line).unwrap().is_some());
+        assert_eq!(line, "HEALTH");
+    }
+
+    #[test]
+    fn multibyte_utf8_survives_buffer_refills() {
+        // A 1-byte BufReader forces every UTF-8 character to straddle
+        // a refill boundary; the line must still decode intact.
+        let text = "QUERY zürich.üñî.example häns\n";
+        let mut tiny = BufReader::with_capacity(1, Cursor::new(text.as_bytes().to_vec()));
+        let mut line = String::new();
+        assert!(read_bounded_line(&mut tiny, &mut line).unwrap().is_some());
+        assert_eq!(line, text.trim_end());
+        assert!(
+            !line.contains('\u{FFFD}'),
+            "no replacement characters: {line}"
+        );
+    }
+}

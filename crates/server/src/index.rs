@@ -1,0 +1,218 @@
+//! The read-mostly serving index: an immutable snapshot per table
+//! generation, swapped atomically on reload.
+//!
+//! Queries clone an `Arc` out of a [`SwapCell`] (one brief read-lock,
+//! no contention with other readers) and then run entirely against
+//! that snapshot: a reload mid-query can never produce a response that
+//! mixes the old and new tables. In-flight queries on the old
+//! generation finish against the old `Arc`, which frees itself when the
+//! last of them drops.
+
+use crate::cache::ShardedCache;
+use crate::metrics::{bump, Metrics};
+use pathalias_mailer::{MatchKind, RouteDb, SharedRouteDb};
+use std::sync::{Arc, RwLock};
+
+/// One immutable table generation.
+#[derive(Debug, Clone)]
+pub struct RouteIndex {
+    db: SharedRouteDb,
+    generation: u64,
+}
+
+impl RouteIndex {
+    /// Freezes `db` as generation `generation`.
+    pub fn new(db: RouteDb, generation: u64) -> RouteIndex {
+        RouteIndex {
+            db: SharedRouteDb::new(db),
+            generation,
+        }
+    }
+
+    /// The table generation (0 = the initial load).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Entries in the table.
+    pub fn entries(&self) -> usize {
+        self.db.len()
+    }
+
+    /// The underlying shared database handle.
+    pub fn db(&self) -> &SharedRouteDb {
+        &self.db
+    }
+}
+
+/// The swap point: readers clone the current `Arc`, a reload stores a
+/// new one. This is the `arc-swap` idiom on std primitives — the write
+/// lock is held only for the pointer store, so readers never block each
+/// other and a reload never blocks an in-flight query.
+#[derive(Debug)]
+pub struct SwapCell {
+    current: RwLock<Arc<RouteIndex>>,
+}
+
+impl SwapCell {
+    /// A cell initially serving `index`.
+    pub fn new(index: RouteIndex) -> SwapCell {
+        SwapCell {
+            current: RwLock::new(Arc::new(index)),
+        }
+    }
+
+    /// The current snapshot. Cheap: a read-lock around one `Arc` clone.
+    pub fn load(&self) -> Arc<RouteIndex> {
+        self.current.read().expect("swap cell poisoned").clone()
+    }
+
+    /// Atomically replaces the snapshot; in-flight readers keep the old
+    /// one alive until they finish.
+    pub fn store(&self, index: RouteIndex) {
+        *self.current.write().expect("swap cell poisoned") = Arc::new(index);
+    }
+}
+
+/// Resolves one query against one snapshot, consulting (and feeding)
+/// the suffix cache. Returns the complete route with the user argument
+/// substituted, or `None` if the table has no route.
+pub fn resolve(
+    index: &RouteIndex,
+    cache: &ShardedCache,
+    metrics: &Metrics,
+    host: &str,
+    user: &str,
+) -> Option<String> {
+    bump(&metrics.queries);
+
+    // Exact match: one hash probe, no cache needed.
+    if let Some(entry) = index.db().get(host) {
+        bump(&metrics.hits);
+        return Some(entry.route.replacen("%s", user, 1));
+    }
+
+    // Suffix path: try the cache, keyed by this snapshot's generation.
+    let generation = index.generation();
+    if let Some(cached) = cache.get(generation, host) {
+        bump(&metrics.cache_hits);
+        return match cached {
+            Some(route) => {
+                bump(&metrics.hits);
+                // "The argument here is not [the user], it is
+                // caip.rutgers.edu!pleasant": suffix routes carry the
+                // full destination.
+                Some(route.replacen("%s", &format!("{host}!{user}"), 1))
+            }
+            None => {
+                bump(&metrics.misses);
+                None
+            }
+        };
+    }
+
+    bump(&metrics.cache_misses);
+    match index.db().lookup(host) {
+        Some(hit) => match hit.kind {
+            // Exact was already ruled out above, but stay defensive.
+            MatchKind::Exact => {
+                bump(&metrics.hits);
+                Some(hit.entry.route.replacen("%s", user, 1))
+            }
+            MatchKind::DomainSuffix(_) => {
+                bump(&metrics.hits);
+                let route: Arc<str> = Arc::from(hit.entry.route.as_str());
+                let full = route.replacen("%s", &format!("{host}!{user}"), 1);
+                cache.insert(generation, host, Some(route));
+                Some(full)
+            }
+        },
+        None => {
+            bump(&metrics.misses);
+            cache.insert(generation, host, None);
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    fn index(text: &str, generation: u64) -> RouteIndex {
+        RouteIndex::new(RouteDb::from_output(text).unwrap(), generation)
+    }
+
+    #[test]
+    fn exact_and_suffix_and_miss() {
+        let idx = index("seismo\tseismo!%s\n.edu\tseismo!%s\n", 0);
+        let cache = ShardedCache::new(16, 2);
+        let metrics = Metrics::default();
+        assert_eq!(
+            resolve(&idx, &cache, &metrics, "seismo", "rick").unwrap(),
+            "seismo!rick"
+        );
+        assert_eq!(
+            resolve(&idx, &cache, &metrics, "caip.rutgers.edu", "pleasant").unwrap(),
+            "seismo!caip.rutgers.edu!pleasant"
+        );
+        assert_eq!(resolve(&idx, &cache, &metrics, "nowhere", "u"), None);
+        assert_eq!(metrics.queries.load(Ordering::Relaxed), 3);
+        assert_eq!(metrics.hits.load(Ordering::Relaxed), 2);
+        assert_eq!(metrics.misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn second_suffix_lookup_hits_cache() {
+        let idx = index(".edu\tgw!%s\n", 0);
+        let cache = ShardedCache::new(16, 2);
+        let metrics = Metrics::default();
+        let a = resolve(&idx, &cache, &metrics, "x.rutgers.edu", "u").unwrap();
+        let b = resolve(&idx, &cache, &metrics, "x.rutgers.edu", "v").unwrap();
+        assert_eq!(a, "gw!x.rutgers.edu!u");
+        assert_eq!(b, "gw!x.rutgers.edu!v");
+        assert_eq!(metrics.cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.cache_misses.load(Ordering::Relaxed), 1);
+        // Negative results are cached too.
+        assert_eq!(resolve(&idx, &cache, &metrics, "a.b.nowhere", "u"), None);
+        assert_eq!(resolve(&idx, &cache, &metrics, "a.b.nowhere", "u"), None);
+        assert_eq!(metrics.cache_hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn swap_is_atomic_for_readers() {
+        let cell = SwapCell::new(index("a\ta!%s\n", 0));
+        let old = cell.load();
+        cell.store(index("a\tb!a!%s\n", 1));
+        // The old snapshot stays valid for readers that grabbed it.
+        assert_eq!(old.generation(), 0);
+        assert_eq!(old.db().route_to("a", "u").unwrap(), "a!u");
+        assert_eq!(cell.load().generation(), 1);
+        assert_eq!(cell.load().db().route_to("a", "u").unwrap(), "b!a!u");
+    }
+
+    #[test]
+    fn cache_does_not_leak_across_generations() {
+        let cache = ShardedCache::new(16, 2);
+        let metrics = Metrics::default();
+        let old = index(".edu\told-gw!%s\n", 0);
+        let new = index(".edu\tnew-gw!%s\n", 1);
+        assert_eq!(
+            resolve(&old, &cache, &metrics, "h.edu", "u").unwrap(),
+            "old-gw!h.edu!u"
+        );
+        cache.invalidate_to(1);
+        assert_eq!(
+            resolve(&new, &cache, &metrics, "h.edu", "u").unwrap(),
+            "new-gw!h.edu!u",
+            "new snapshot must not see the old cached route"
+        );
+        // And a straggler still holding the old snapshot re-resolves
+        // against its own table rather than seeing generation-1 data.
+        assert_eq!(
+            resolve(&old, &cache, &metrics, "h.edu", "u").unwrap(),
+            "old-gw!h.edu!u"
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! The pathalias route-query daemon.
+//!
+//! The paper stops at a file: "output from pathalias is a simple
+//! linear file ... a separate program may be used to convert this file
+//! into a format appropriate for rapid database retrieval." This crate
+//! is the step after that program — a long-lived process that *serves*
+//! those lookups to many concurrent clients, with the table hot-swapped
+//! in place when the map changes:
+//!
+//! * [`protocol`] — the line-oriented wire format: `QUERY`, `STATS`,
+//!   `RELOAD`, `HEALTH`, `QUIT`, one response line per request;
+//! * [`index`] — immutable per-generation snapshots behind an atomic
+//!   swap cell; a query runs entirely against one snapshot, so a reload
+//!   can never tear a response;
+//! * [`cache`] — a sharded, bounded, generation-stamped LRU for
+//!   domain-suffix lookups (the multi-probe part of the paper's mailer
+//!   algorithm);
+//! * [`reload`] — the three table sources (PADB1, linear route file,
+//!   full map pipeline) and multi-source validation of rebuilt maps;
+//! * [`daemon`] — TCP and Unix-socket listeners, a thread per client
+//!   connection;
+//! * [`client`] — the tiny synchronous client the CLI, tests, and
+//!   examples use;
+//! * [`metrics`] — relaxed atomic counters rendered by `STATS`.
+//!
+//! # Examples
+//!
+//! ```
+//! use pathalias_server::{Client, MapSource, Server, ServerConfig};
+//!
+//! // A route file (pathalias output) to serve.
+//! let path = std::env::temp_dir().join(format!("doc-ex-{}.routes", std::process::id()));
+//! std::fs::write(&path, "seismo\tseismo!%s\n.edu\tseismo!%s\n").unwrap();
+//!
+//! let handle = Server::start(ServerConfig::ephemeral(MapSource::Routes(path.clone()))).unwrap();
+//! let mut client = Client::connect(handle.tcp_addr().unwrap()).unwrap();
+//! assert_eq!(
+//!     client.query("caip.rutgers.edu", Some("pleasant")).unwrap().unwrap(),
+//!     "seismo!caip.rutgers.edu!pleasant",
+//! );
+//! client.quit().unwrap();
+//! handle.shutdown();
+//! std::fs::remove_file(path).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod daemon;
+pub mod index;
+pub mod metrics;
+pub mod protocol;
+pub mod reload;
+
+pub use cache::ShardedCache;
+pub use client::Client;
+pub use daemon::{Server, ServerConfig, ServerHandle, StartError};
+pub use index::{resolve, RouteIndex, SwapCell};
+pub use metrics::Metrics;
+pub use protocol::{parse_request, Request, Response};
+pub use reload::{LoadError, MapSource};

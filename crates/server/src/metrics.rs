@@ -1,0 +1,120 @@
+//! Lock-free serving counters.
+//!
+//! Every counter is a relaxed [`AtomicU64`]: the numbers feed `STATS`
+//! output and capacity planning, where cross-counter consistency does
+//! not matter but query-path overhead does.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counters shared by every connection thread.
+#[derive(Debug)]
+pub struct Metrics {
+    /// `QUERY` requests served.
+    pub queries: AtomicU64,
+    /// Queries that found a route (exact or suffix).
+    pub hits: AtomicU64,
+    /// Queries with no route.
+    pub misses: AtomicU64,
+    /// Suffix lookups answered from the LRU cache.
+    pub cache_hits: AtomicU64,
+    /// Suffix lookups that had to walk the domain chain.
+    pub cache_misses: AtomicU64,
+    /// Successful `RELOAD`s.
+    pub reloads: AtomicU64,
+    /// Failed `RELOAD`s (old table kept serving).
+    pub reload_failures: AtomicU64,
+    /// Lines that did not parse as a request.
+    pub bad_requests: AtomicU64,
+    /// Connections accepted over the daemon's lifetime.
+    pub connections: AtomicU64,
+    /// Connections currently open.
+    pub active_connections: AtomicU64,
+    started: Instant,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            queries: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            reload_failures: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            active_connections: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+}
+
+/// `metrics.bump(&metrics.queries)` reads poorly; free functions keep
+/// call sites short.
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Decrements `counter` (used for the active-connection gauge).
+pub fn drop_one(counter: &AtomicU64) {
+    counter.fetch_sub(1, Ordering::Relaxed);
+}
+
+impl Metrics {
+    /// Milliseconds since the daemon started.
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// One consistent-enough reading of every counter, rendered as the
+    /// `STATS` payload: sorted `key=value` pairs.
+    pub fn render(&self, generation: u64, entries: usize) -> String {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        format!(
+            "queries={} hits={} misses={} cache_hits={} cache_misses={} \
+             reloads={} reload_failures={} bad_requests={} connections={} \
+             active_connections={} generation={generation} entries={entries} uptime_ms={}",
+            g(&self.queries),
+            g(&self.hits),
+            g(&self.misses),
+            g(&self.cache_hits),
+            g(&self.cache_misses),
+            g(&self.reloads),
+            g(&self.reload_failures),
+            g(&self.bad_requests),
+            g(&self.connections),
+            g(&self.active_connections),
+            self.uptime_ms(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_every_counter() {
+        let m = Metrics::default();
+        bump(&m.queries);
+        bump(&m.queries);
+        bump(&m.hits);
+        let s = m.render(7, 42);
+        assert!(s.contains("queries=2"), "{s}");
+        assert!(s.contains("hits=1"), "{s}");
+        assert!(s.contains("generation=7"), "{s}");
+        assert!(s.contains("entries=42"), "{s}");
+        assert!(s.contains("uptime_ms="), "{s}");
+    }
+
+    #[test]
+    fn gauge_up_and_down() {
+        let m = Metrics::default();
+        bump(&m.active_connections);
+        bump(&m.active_connections);
+        drop_one(&m.active_connections);
+        assert!(m.render(0, 0).contains("active_connections=1"));
+    }
+}

@@ -1,0 +1,240 @@
+//! The line-oriented query protocol.
+//!
+//! One request per line, one response line per request, always in
+//! order — "a simple linear file, in the UNIX tradition" turned into a
+//! simple linear wire format. Requests:
+//!
+//! ```text
+//! QUERY <host> [user]    route mail for <host> (user defaults to %s)
+//! STATS                  counters as key=value pairs
+//! RELOAD                 rebuild the table from the source, swap it in
+//! HEALTH                 liveness probe
+//! QUIT                   close this connection
+//! ```
+//!
+//! Responses are `<code> <text>`: `200` success, `404` no route, `400`
+//! bad request, `500` server-side failure. Verbs are case-insensitive;
+//! host names pass through verbatim (the table's case rules were
+//! decided at map time by `-i`).
+
+use std::fmt;
+
+/// The maximum request line the daemon will read, including the
+/// newline. Longer lines get `400` and the connection is dropped —
+/// nothing in the input language needs more, and it bounds what a
+/// hostile peer can make us buffer.
+pub const MAX_LINE: usize = 8 * 1024;
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `QUERY <host> [user]`.
+    Query {
+        /// Destination host or domain name.
+        host: String,
+        /// Mail user; `None` leaves the `%s` marker in place.
+        user: Option<String>,
+    },
+    /// `STATS`.
+    Stats,
+    /// `RELOAD`.
+    Reload,
+    /// `HEALTH`.
+    Health,
+    /// `QUIT`.
+    Quit,
+}
+
+/// Parses one request line (without its newline).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut words = line.split_whitespace();
+    let verb = words.next().ok_or_else(|| "empty request".to_string())?;
+    let req = match verb.to_ascii_uppercase().as_str() {
+        "QUERY" => {
+            let host = words
+                .next()
+                .ok_or_else(|| "QUERY needs a host".to_string())?
+                .to_string();
+            let user = words.next().map(str::to_string);
+            Request::Query { host, user }
+        }
+        "STATS" => Request::Stats,
+        "RELOAD" => Request::Reload,
+        "HEALTH" => Request::Health,
+        "QUIT" => Request::Quit,
+        other => return Err(format!("unknown verb `{other}`")),
+    };
+    if let Some(extra) = words.next() {
+        return Err(format!("trailing argument `{extra}`"));
+    }
+    Ok(req)
+}
+
+/// A response line (without its newline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// `200` — a route for a successful `QUERY`.
+    Route(String),
+    /// `404` — the table has no route to the host.
+    NoRoute(String),
+    /// `200` — `STATS` payload.
+    Stats(String),
+    /// `200` — `RELOAD` swapped in a new table.
+    Reloaded {
+        /// Generation now serving.
+        generation: u64,
+        /// Entries in the new table.
+        entries: usize,
+    },
+    /// `200` — `HEALTH` payload.
+    Health {
+        /// Generation now serving.
+        generation: u64,
+        /// Entries in the serving table.
+        entries: usize,
+    },
+    /// `200` — answer to `QUIT`.
+    Bye,
+    /// `400` — the request line did not parse.
+    BadRequest(String),
+    /// `500` — a server-side failure (reload error, ...).
+    Failure(String),
+}
+
+impl Response {
+    /// The numeric status code.
+    pub fn code(&self) -> u16 {
+        match self {
+            Response::Route(_)
+            | Response::Stats(_)
+            | Response::Reloaded { .. }
+            | Response::Health { .. }
+            | Response::Bye => 200,
+            Response::NoRoute(_) => 404,
+            Response::BadRequest(_) => 400,
+            Response::Failure(_) => 500,
+        }
+    }
+}
+
+/// Keeps protocol framing intact whatever ends up in a payload: one
+/// response is always exactly one line.
+fn one_line(s: &str) -> String {
+    if s.contains('\n') || s.contains('\r') {
+        s.replace(['\n', '\r'], " ")
+    } else {
+        s.to_string()
+    }
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Response::Route(route) => write!(f, "200 {}", one_line(route)),
+            Response::NoRoute(host) => write!(f, "404 no route to {}", one_line(host)),
+            Response::Stats(body) => write!(f, "200 {}", one_line(body)),
+            Response::Reloaded {
+                generation,
+                entries,
+            } => {
+                write!(f, "200 reloaded generation={generation} entries={entries}")
+            }
+            Response::Health {
+                generation,
+                entries,
+            } => {
+                write!(f, "200 ok generation={generation} entries={entries}")
+            }
+            Response::Bye => write!(f, "200 bye"),
+            Response::BadRequest(why) => write!(f, "400 {}", one_line(why)),
+            Response::Failure(why) => write!(f, "500 {}", one_line(why)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_forms() {
+        assert_eq!(
+            parse_request("QUERY seismo").unwrap(),
+            Request::Query {
+                host: "seismo".into(),
+                user: None
+            }
+        );
+        assert_eq!(
+            parse_request("query caip.rutgers.edu pleasant").unwrap(),
+            Request::Query {
+                host: "caip.rutgers.edu".into(),
+                user: Some("pleasant".into())
+            }
+        );
+        // Leading/trailing whitespace is tolerated.
+        assert_eq!(
+            parse_request("  QUERY  seismo  honey  ").unwrap(),
+            Request::Query {
+                host: "seismo".into(),
+                user: Some("honey".into())
+            }
+        );
+    }
+
+    #[test]
+    fn bare_verbs() {
+        assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request("reload").unwrap(), Request::Reload);
+        assert_eq!(parse_request("Health").unwrap(), Request::Health);
+        assert_eq!(parse_request("quit").unwrap(), Request::Quit);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("   ").is_err());
+        assert!(parse_request("QUERY").is_err());
+        assert!(parse_request("QUERY a b c").is_err());
+        assert!(parse_request("STATS now").is_err());
+        assert!(parse_request("EHLO example.org").is_err());
+    }
+
+    #[test]
+    fn response_lines() {
+        assert_eq!(
+            Response::Route("duke!research!%s".into()).to_string(),
+            "200 duke!research!%s"
+        );
+        assert_eq!(
+            Response::NoRoute("nowhere".into()).to_string(),
+            "404 no route to nowhere"
+        );
+        assert_eq!(
+            Response::Reloaded {
+                generation: 3,
+                entries: 17
+            }
+            .to_string(),
+            "200 reloaded generation=3 entries=17"
+        );
+        assert_eq!(
+            Response::Health {
+                generation: 0,
+                entries: 2
+            }
+            .to_string(),
+            "200 ok generation=0 entries=2"
+        );
+        assert_eq!(Response::Bye.to_string(), "200 bye");
+        assert_eq!(Response::BadRequest("why".into()).code(), 400);
+        assert_eq!(Response::Failure("why".into()).code(), 500);
+    }
+
+    #[test]
+    fn payload_newlines_cannot_break_framing() {
+        let r = Response::Failure("two\nlines\r\nhere".into()).to_string();
+        assert!(!r.contains('\n'));
+        assert!(!r.contains('\r'));
+    }
+}

@@ -1,0 +1,252 @@
+//! Table sources and hot reload.
+//!
+//! The daemon can be pointed at any of the three shapes route data
+//! takes in this project: a PADB1 disk database, a linear route file
+//! (pathalias output), or raw map files that get run through the full
+//! parse → map → print pipeline. `RELOAD` re-runs the same source and
+//! swaps the result in atomically; while the rebuild runs, every query
+//! keeps being served from the old snapshot, and a failed rebuild
+//! leaves the old table serving untouched.
+
+use pathalias_core::{parallel, MapOptions, Options, Pathalias};
+use pathalias_mailer::{disk::DiskDb, disk::DiskError, DbError, RouteDb};
+use std::fmt;
+use std::path::PathBuf;
+
+/// Where the route table comes from.
+#[derive(Debug, Clone)]
+pub enum MapSource {
+    /// A PADB1 file written by [`pathalias_mailer::disk::write_db`].
+    Padb(PathBuf),
+    /// A linear route file: pathalias output, `name\troute` lines.
+    Routes(PathBuf),
+    /// Map files run through the full pipeline on every (re)load.
+    Map {
+        /// Input map files, parsed in order.
+        files: Vec<PathBuf>,
+        /// Pipeline options (`-l`, `-i`, ...).
+        options: Options,
+        /// Validate the rebuilt graph by mapping from this many extra
+        /// sources (0 disables validation).
+        validate_sources: usize,
+        /// Worker threads for the validation fan-out.
+        validate_threads: usize,
+    },
+}
+
+/// Why a (re)load failed. The old table keeps serving afterwards.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Reading a source file failed.
+    Io(std::io::Error),
+    /// The PADB1 file was corrupt.
+    Disk(DiskError),
+    /// The linear route file did not parse.
+    Db(DbError),
+    /// The map pipeline failed (parse or map error).
+    Pipeline(pathalias_core::Error),
+    /// Multi-source validation found an unmappable source.
+    Validation(String),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o: {e}"),
+            LoadError::Disk(e) => write!(f, "{e}"),
+            LoadError::Db(e) => write!(f, "route file: {e}"),
+            LoadError::Pipeline(e) => write!(f, "pipeline: {e}"),
+            LoadError::Validation(why) => write!(f, "validation: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+impl From<DiskError> for LoadError {
+    fn from(e: DiskError) -> Self {
+        LoadError::Disk(e)
+    }
+}
+
+impl MapSource {
+    /// A map-file source with validation defaults: a handful of extra
+    /// mapping sources checked on the machine's cores.
+    pub fn map_files(files: Vec<PathBuf>, options: Options) -> MapSource {
+        MapSource::Map {
+            files,
+            options,
+            validate_sources: 4,
+            validate_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2),
+        }
+    }
+
+    /// Builds a fresh [`RouteDb`] from the source. Pure with respect to
+    /// serving state: the caller decides when (and whether) to swap.
+    pub fn load(&self) -> Result<RouteDb, LoadError> {
+        match self {
+            MapSource::Padb(path) => {
+                let mut disk = DiskDb::open(path)?;
+                Ok(RouteDb::from_entries(disk.read_all()?))
+            }
+            MapSource::Routes(path) => {
+                let text = std::fs::read_to_string(path)?;
+                RouteDb::from_output(&text).map_err(LoadError::Db)
+            }
+            MapSource::Map {
+                files,
+                options,
+                validate_sources,
+                validate_threads,
+            } => {
+                let mut pa = Pathalias::with_options(options.clone());
+                for f in files {
+                    pa.parse_file(f).map_err(LoadError::Pipeline)?;
+                }
+                let out = pa.run().map_err(LoadError::Pipeline)?;
+                if *validate_sources > 0 {
+                    validate(&pa, *validate_sources, *validate_threads)?;
+                }
+                Ok(RouteDb::from_table(&out.routes))
+            }
+        }
+    }
+}
+
+/// The rebuilt graph must be mappable from more vantage points than
+/// just the local host: fan the read-only mapper out over a sample of
+/// sources (the multi-source machinery from `pathalias_mapper::
+/// parallel`) and refuse the swap if any of them fails outright.
+fn validate(pa: &Pathalias, sources: usize, threads: usize) -> Result<(), LoadError> {
+    let g = pa.graph();
+    // Only plain, live hosts make sense as mapping sources: `delete`d
+    // nodes are defined to fail, and nets/domains are not places mail
+    // originates.
+    let sample: Vec<_> = g
+        .node_ids()
+        .filter(|&id| {
+            let n = g.node_ref(id);
+            n.is_mappable() && !n.is_net()
+        })
+        .take(sources)
+        .collect();
+    if sample.is_empty() {
+        return Err(LoadError::Validation("rebuilt map has no hosts".into()));
+    }
+    let results = parallel::map_many(g, &sample, &MapOptions::default(), threads);
+    for (id, result) in sample.iter().zip(&results) {
+        if let Err(e) = result {
+            return Err(LoadError::Validation(format!(
+                "mapping from sample source {} failed: {e}",
+                g.name(*id),
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathalias_mailer::disk::write_db;
+
+    fn temp(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pathalias-reload-{tag}-{}", std::process::id()));
+        p
+    }
+
+    const MAP: &str = "unc\tduke(100), phs(400)\nduke\tunc(100), research(200)\n\
+                       phs\tunc(400)\nresearch\tduke(200)\n";
+
+    #[test]
+    fn loads_all_three_source_shapes() {
+        // Map pipeline.
+        let map_path = temp("map.src");
+        std::fs::write(&map_path, MAP).unwrap();
+        let options = Options {
+            local: Some("unc".into()),
+            ..Default::default()
+        };
+        let source = MapSource::map_files(vec![map_path.clone()], options);
+        let db = source.load().unwrap();
+        assert_eq!(db.route_to("research", "u").unwrap(), "duke!research!u");
+
+        // Linear route file (the rendered output of the same map).
+        let routes_path = temp("map.routes");
+        let rendered: String = {
+            let mut out = String::new();
+            for e in db.iter() {
+                out.push_str(&format!("{}\t{}\n", e.name, e.route));
+            }
+            out
+        };
+        std::fs::write(&routes_path, &rendered).unwrap();
+        let db2 = MapSource::Routes(routes_path.clone()).load().unwrap();
+        assert_eq!(db2.route_to("research", "u").unwrap(), "duke!research!u");
+
+        // PADB1.
+        let padb_path = temp("map.padb");
+        write_db(&db, &padb_path).unwrap();
+        let db3 = MapSource::Padb(padb_path.clone()).load().unwrap();
+        assert_eq!(db3.route_to("research", "u").unwrap(), "duke!research!u");
+
+        for p in [map_path, routes_path, padb_path] {
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn load_failure_reports_not_panics() {
+        let missing = MapSource::Routes(temp("definitely-missing"));
+        assert!(matches!(missing.load(), Err(LoadError::Io(_))));
+
+        let bad = temp("bad.routes");
+        std::fs::write(&bad, "one-field-only\n").unwrap();
+        assert!(matches!(
+            MapSource::Routes(bad.clone()).load(),
+            Err(LoadError::Db(_))
+        ));
+        std::fs::remove_file(bad).unwrap();
+    }
+
+    #[test]
+    fn validation_skips_deleted_and_network_nodes() {
+        // `delete`d hosts and network pseudo-nodes sit in the node
+        // pool but must not be picked as validation sources — this map
+        // is perfectly valid and has to load.
+        let path = temp("deleted.map");
+        std::fs::write(
+            &path,
+            "oldhost\thub(100)\nhub\toldhost(100), leaf(50)\nleaf\thub(50)\n\
+             NETX = {hub, leaf}(200)\ndelete {oldhost}\n",
+        )
+        .unwrap();
+        let options = Options {
+            local: Some("hub".into()),
+            ..Default::default()
+        };
+        let db = MapSource::map_files(vec![path.clone()], options)
+            .load()
+            .expect("maps with delete statements are valid");
+        assert_eq!(db.route_to("leaf", "u").unwrap(), "leaf!u");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn empty_map_fails_validation() {
+        let path = temp("empty.map");
+        std::fs::write(&path, "# nothing but a comment\n").unwrap();
+        let source = MapSource::map_files(vec![path.clone()], Options::default());
+        assert!(source.load().is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,278 @@
+//! The acceptance gauntlet: ≥ 100k queries across 8 concurrent
+//! clients with a hot reload swapping the table mid-load. Zero errors
+//! allowed; no client may observe a dropped connection, and every
+//! response must be *entirely* from the old table or *entirely* from
+//! the new one — never a mix, never a torn line.
+
+use pathalias_server::{Client, MapSource, Server, ServerConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const HOSTS: usize = 200;
+const CLIENTS: usize = 8;
+const QUERIES_PER_CLIENT: usize = 12_500; // 8 × 12,500 = 100,000
+
+fn temp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "pathalias-acc-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+/// The serving table, parameterized by relay so the old and new
+/// generations give visibly different answers for every host.
+fn routes(relay: &str) -> String {
+    let mut out = String::new();
+    for i in 0..HOSTS {
+        out.push_str(&format!("h{i}\t{relay}!h{i}!%s\n"));
+    }
+    out.push_str(&format!(".edu\t{relay}!edu-gw!%s\n"));
+    out
+}
+
+#[test]
+fn hundred_thousand_queries_with_hot_reload() {
+    let path = temp("main.routes");
+    std::fs::write(&path, routes("relayA")).unwrap();
+
+    let handle = Server::start(ServerConfig::ephemeral(MapSource::Routes(path.clone())))
+        .expect("server starts");
+    let addr = handle.tcp_addr().unwrap();
+
+    let old_seen = Arc::new(AtomicU64::new(0));
+    let new_seen = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        // 8 query clients, each on one persistent connection.
+        for client_id in 0..CLIENTS {
+            let old_seen = old_seen.clone();
+            let new_seen = new_seen.clone();
+            let path = path.clone();
+            s.spawn(move || {
+                let _ = &path;
+                let mut client = Client::connect(addr).expect("client connects");
+                for i in 0..QUERIES_PER_CLIENT {
+                    let user = format!("u{client_id}");
+                    match i % 13 {
+                        // A name no table has: must be a clean 404,
+                        // before and after the reload.
+                        5 => {
+                            let got = client
+                                .query("no.such.host.example", Some(&user))
+                                .expect("connection must not drop");
+                            assert_eq!(got, None, "client {client_id} query {i}");
+                        }
+                        // A domain-suffix query (exercises the cache).
+                        7 => {
+                            let got = client
+                                .query("caip.rutgers.edu", Some(&user))
+                                .expect("connection must not drop")
+                                .expect("suffix route exists in both tables");
+                            let old = format!("relayA!edu-gw!caip.rutgers.edu!{user}");
+                            let new = format!("relayB!edu-gw!caip.rutgers.edu!{user}");
+                            if got == old {
+                                old_seen.fetch_add(1, Ordering::Relaxed);
+                            } else if got == new {
+                                new_seen.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                panic!("torn/mixed suffix response: `{got}`");
+                            }
+                        }
+                        // Exact host queries over the whole table.
+                        _ => {
+                            let host = format!("h{}", (client_id * 37 + i) % HOSTS);
+                            let got = client
+                                .query(&host, Some(&user))
+                                .expect("connection must not drop")
+                                .expect("host exists in both tables");
+                            let old = format!("relayA!{host}!{user}");
+                            let new = format!("relayB!{host}!{user}");
+                            if got == old {
+                                old_seen.fetch_add(1, Ordering::Relaxed);
+                            } else if got == new {
+                                new_seen.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                panic!("torn/mixed response: `{got}` (want `{old}` or `{new}`)");
+                            }
+                        }
+                    }
+                }
+                client.quit().expect("clean quit");
+            });
+        }
+
+        // The reloader: swap the table while the clients are loading.
+        let reload_path = path.clone();
+        s.spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(80));
+            std::fs::write(&reload_path, routes("relayB")).unwrap();
+            let mut client = Client::connect(addr).expect("reloader connects");
+            let payload = client.reload().expect("reload succeeds");
+            assert!(
+                payload.contains("generation=1"),
+                "first reload publishes generation 1: {payload}"
+            );
+            client.quit().unwrap();
+        });
+    });
+
+    // Both generations must actually have served traffic, or the
+    // "mid-load" claim is vacuous. The sleep above sits well inside the
+    // multi-second query run.
+    let old = old_seen.load(Ordering::Relaxed);
+    let new = new_seen.load(Ordering::Relaxed);
+    assert!(
+        old > 0,
+        "no queries hit the old table (reload fired too early)"
+    );
+    assert!(
+        new > 0,
+        "no queries hit the new table (reload never landed)"
+    );
+
+    // The daemon's own accounting: every query arrived, none errored.
+    let mut stats_client = Client::connect(addr).unwrap();
+    let stats = stats_client.stats().unwrap();
+    let field = |k: &str| -> u64 {
+        stats
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix(&format!("{k}=")))
+            .unwrap_or_else(|| panic!("missing {k} in `{stats}`"))
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(
+        field("queries"),
+        (CLIENTS * QUERIES_PER_CLIENT) as u64,
+        "every query must be accounted for"
+    );
+    assert_eq!(field("reloads"), 1);
+    assert_eq!(field("reload_failures"), 0);
+    assert_eq!(field("bad_requests"), 0);
+    assert_eq!(field("generation"), 1);
+    stats_client.quit().unwrap();
+
+    handle.shutdown();
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn reload_from_full_map_pipeline() {
+    // The daemon pointed at *map input*, not pre-rendered routes: every
+    // reload re-runs parse → map → print and multi-source validation.
+    let map_path = temp("pipeline.map");
+    std::fs::write(
+        &map_path,
+        "unc\tduke(100), phs(400)\nduke\tunc(100), research(200)\n\
+         phs\tunc(400)\nresearch\tduke(200)\n",
+    )
+    .unwrap();
+    let options = pathalias_core::Options {
+        local: Some("unc".into()),
+        ..Default::default()
+    };
+    let source = MapSource::map_files(vec![map_path.clone()], options);
+    let handle = Server::start(ServerConfig::ephemeral(source)).unwrap();
+    let addr = handle.tcp_addr().unwrap();
+
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(
+        client.query("research", Some("honey")).unwrap().unwrap(),
+        "duke!research!honey"
+    );
+
+    // Cheapen the duke→research link's alternative: route flips after
+    // a map edit plus RELOAD.
+    std::fs::write(
+        &map_path,
+        "unc\tduke(100), phs(400), research(150)\nduke\tunc(100), research(200)\n\
+         phs\tunc(400)\nresearch\tunc(150), duke(200)\n",
+    )
+    .unwrap();
+    client.reload().unwrap();
+    assert_eq!(
+        client.query("research", Some("honey")).unwrap().unwrap(),
+        "research!honey",
+        "reload must re-map the edited graph"
+    );
+
+    // A broken map must fail the reload and keep the last good table.
+    std::fs::write(&map_path, "this is ( not a map\n").unwrap();
+    let err = client.send("RELOAD").unwrap();
+    assert!(err.starts_with("500 "), "broken map: {err}");
+    assert_eq!(
+        client.query("research", Some("honey")).unwrap().unwrap(),
+        "research!honey",
+        "failed reload must leave the old table serving"
+    );
+
+    client.quit().unwrap();
+    handle.shutdown();
+    std::fs::remove_file(map_path).unwrap();
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_transport() {
+    let routes_path = temp("unix.routes");
+    std::fs::write(&routes_path, "seismo\tseismo!%s\n").unwrap();
+    let sock = temp("unix.sock");
+    let config = ServerConfig {
+        source: MapSource::Routes(routes_path.clone()),
+        tcp: None,
+        unix: Some(sock.clone()),
+        cache_capacity: 64,
+        cache_shards: 2,
+    };
+    let handle = Server::start(config).unwrap();
+    assert!(handle.tcp_addr().is_none());
+
+    let mut client = Client::connect_unix(&sock).unwrap();
+    assert_eq!(
+        client.query("seismo", Some("rick")).unwrap().unwrap(),
+        "seismo!rick"
+    );
+    assert!(client.health().unwrap().contains("entries=1"));
+    client.quit().unwrap();
+
+    handle.shutdown();
+    assert!(!sock.exists(), "socket file cleaned up on shutdown");
+    std::fs::remove_file(routes_path).unwrap();
+}
+
+#[test]
+fn protocol_abuse_is_survivable() {
+    let routes_path = temp("abuse.routes");
+    std::fs::write(&routes_path, "a\ta!%s\n").unwrap();
+    let handle = Server::start(ServerConfig::ephemeral(MapSource::Routes(
+        routes_path.clone(),
+    )))
+    .unwrap();
+    let addr = handle.tcp_addr().unwrap();
+
+    // Unknown verbs and malformed lines get 400s, connection survives.
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client
+        .send("EHLO mail.example")
+        .unwrap()
+        .starts_with("400 "));
+    assert!(client.send("QUERY").unwrap().starts_with("400 "));
+    assert!(client.send("QUERY a b c").unwrap().starts_with("400 "));
+    assert_eq!(client.send("QUERY a rick").unwrap(), "200 a!rick");
+
+    // An over-long line gets a 400 and the connection is dropped —
+    // but the server survives for everyone else.
+    let long = format!("QUERY {}", "x".repeat(64 * 1024));
+    if let Ok(resp) = client.send(&long) {
+        assert!(resp.starts_with("400 "), "{resp}");
+    } // an Err is fine too: the server may drop mid-write
+
+    let mut fresh = Client::connect(addr).unwrap();
+    assert_eq!(fresh.send("QUERY a rick").unwrap(), "200 a!rick");
+    fresh.quit().unwrap();
+
+    handle.shutdown();
+    std::fs::remove_file(routes_path).unwrap();
+}

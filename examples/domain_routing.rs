@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --example domain_routing`
 
-use pathalias::core::{
-    compute_routes, map, map_dual, render, CostModel, MapOptions, Sort,
-};
+use pathalias::core::{compute_routes, map, map_dual, render, CostModel, MapOptions, Sort};
 use pathalias::parse;
 
 fn main() {

@@ -34,9 +34,7 @@ fn main() {
     // "A mail user or delivery agent combines this route with a user
     // name, producing a complete route."
     let db = RouteDb::from_output(&out.rendered).expect("own output loads");
-    let full = db
-        .route_to("mit-ai", "minsky")
-        .expect("mit-ai is routable");
+    let full = db.route_to("mit-ai", "minsky").expect("mit-ai is routable");
     println!("\n# mail for minsky at mit-ai travels:");
     println!("{full}");
 

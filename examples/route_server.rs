@@ -1,0 +1,88 @@
+//! The serving layer end to end: map → daemon → concurrent clients →
+//! hot reload.
+//!
+//! The paper stops at the route file; production starts at the daemon.
+//! This example runs the full arc in one process: generate a synthetic
+//! map, serve it with `pathalias_server`, hammer it from several
+//! client threads, then edit the map and hot-reload without dropping a
+//! single in-flight query.
+//!
+//! Run with: `cargo run --release --example route_server`
+
+use pathalias::server::{Client, MapSource, Server, ServerConfig};
+use pathalias::{generate, MapSpec};
+
+fn main() {
+    // A synthetic 400-host map, written out as pathalias *input*.
+    let spec = MapSpec::small(400, 1986);
+    let map = generate(&spec);
+    let dir = std::env::temp_dir();
+    let map_path = dir.join(format!("route-server-example-{}.map", std::process::id()));
+    std::fs::write(&map_path, map.concatenated()).unwrap();
+
+    // Serve it straight from map input: the daemon runs the whole
+    // parse → map → print pipeline itself, and RELOAD re-runs it.
+    let options = pathalias::core::Options {
+        local: Some(map.home.clone()),
+        ..Default::default()
+    };
+    let source = MapSource::map_files(vec![map_path.clone()], options);
+    let handle = Server::start(ServerConfig::ephemeral(source)).expect("daemon starts");
+    let addr = handle.tcp_addr().unwrap();
+    let (generation, entries) = handle.table_info();
+    println!("daemon on {addr}: {entries} routes at generation {generation}");
+
+    // A few concurrent clients, each on its own persistent connection.
+    let hosts: Vec<String> = {
+        let mut c = Client::connect(addr).unwrap();
+        // Pick some known-routable names by asking the daemon itself.
+        let sample = ["aaa", "aab", "aac", "aba", "baa"];
+        let found: Vec<String> = sample
+            .iter()
+            .filter(|h| c.query(h, Some("user")).unwrap().is_some())
+            .map(|h| h.to_string())
+            .collect();
+        c.quit().unwrap();
+        if found.is_empty() {
+            vec![map.home.clone()]
+        } else {
+            found
+        }
+    };
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let hosts = &hosts;
+            s.spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                for i in 0..2_000 {
+                    let host = &hosts[(t + i) % hosts.len()];
+                    c.query(host, Some("postmaster"))
+                        .expect("no dropped connections")
+                        .expect("host routes");
+                }
+                c.quit().unwrap();
+            });
+        }
+    });
+
+    let mut c = Client::connect(addr).unwrap();
+    println!("after 8k queries: {}", c.stats().unwrap());
+
+    // Hot reload: append a brand-new host to the map and swap it in.
+    let mut text = std::fs::read_to_string(&map_path).unwrap();
+    text.push_str(&format!(
+        "{} examplehost(DAILY)\nexamplehost {}(DAILY)\n",
+        map.home, map.home
+    ));
+    std::fs::write(&map_path, text).unwrap();
+    println!("reload: {}", c.reload().unwrap());
+    let route = c
+        .query("examplehost", Some("honey"))
+        .unwrap()
+        .expect("new host routable after reload");
+    println!("route to the host added by the reload: {route}");
+
+    c.quit().unwrap();
+    handle.shutdown();
+    std::fs::remove_file(map_path).unwrap();
+}

@@ -17,6 +17,7 @@
 //! | [`pathalias_core`] (re-exported as [`core`]) | the parse → map → print pipeline, options, diagnostics |
 //! | [`pathalias_mailer`] (re-exported as [`mailer`]) | route database, address parsing/rewriting, headers |
 //! | [`pathalias_mapgen`] (re-exported as [`mapgen`]) | synthetic 1986-scale map generation |
+//! | [`pathalias_server`] (re-exported as [`server`]) | the concurrent route-query daemon with hot reload |
 //!
 //! The most common entry points are also re-exported at the top level.
 //!
@@ -54,12 +55,15 @@
 pub use pathalias_core as core;
 pub use pathalias_mailer as mailer;
 pub use pathalias_mapgen as mapgen;
+pub use pathalias_server as server;
 
 pub use pathalias_core::{
     parse, parse_files, symbol_cost, symbol_table, CostModel, Error, Graph, MapOptions, Options,
     Output, Pathalias, Route, RouteTable, ShortestPathTree, Sort, DEFAULT_COST, INF,
 };
 pub use pathalias_mailer::{
-    Address, HeaderRewriter, Message, Policy, RewriteError, Rewriter, RouteDb, SyntaxStyle,
+    Address, HeaderRewriter, Message, Policy, RewriteError, Rewriter, RouteDb, SharedRouteDb,
+    SyntaxStyle,
 };
 pub use pathalias_mapgen::{generate, GeneratedMap, MapSpec};
+pub use pathalias_server::{MapSource, Server, ServerConfig};

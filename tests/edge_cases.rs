@@ -35,21 +35,21 @@ fn parser_error_catalogue() {
 #[test]
 fn parser_accepts_unusual_but_legal() {
     let good_inputs = [
-        "dead alive(10)\n",             // keyword as host name
-        "gateway relay(10)\n",          // ditto
-        "a b\n",                        // costless link
-        "x\n",                          // bare host
-        "a b(0)\n",                     // zero cost
-        "a b((((5))))\n",               // nested parens
-        "a b(2 * 3 + 4 / 2 - 1)\n",     // full expression grammar
-        "N = {m}(0)\n",                 // zero-cost network
-        "N = {a, }(5)\n",               // trailing comma tolerated, as in real maps
-        "a .lone-domain(5)\n",          // link into a fresh domain
-        "private {p}\nprivate {p}\n",   // repeated private
-        "private {}\n",                 // empty command list is a no-op
+        "dead alive(10)\n",           // keyword as host name
+        "gateway relay(10)\n",        // ditto
+        "a b\n",                      // costless link
+        "x\n",                        // bare host
+        "a b(0)\n",                   // zero cost
+        "a b((((5))))\n",             // nested parens
+        "a b(2 * 3 + 4 / 2 - 1)\n",   // full expression grammar
+        "N = {m}(0)\n",               // zero-cost network
+        "N = {a, }(5)\n",             // trailing comma tolerated, as in real maps
+        "a .lone-domain(5)\n",        // link into a fresh domain
+        "private {p}\nprivate {p}\n", // repeated private
+        "private {}\n",               // empty command list is a no-op
         "# only a comment\n",
         "\n\n\n",
-        "a\tb(5),\tc(6)\n",             // tabs everywhere
+        "a\tb(5),\tc(6)\n", // tabs everywhere
     ];
     for text in good_inputs {
         parse(text).unwrap_or_else(|e| panic!("{text:?} should parse: {e}"));
@@ -144,7 +144,8 @@ fn self_contained_island_reports_unreachable() {
 fn backlinks_cannot_cross_deleted_hosts() {
     // leaf's only outward link goes to a deleted host: stays dark.
     let mut pa = Pathalias::new();
-    pa.parse_str("m", "a b(1)\nleaf gone(5)\ndelete {gone}\n").unwrap();
+    pa.parse_str("m", "a b(1)\nleaf gone(5)\ndelete {gone}\n")
+        .unwrap();
     pa.options_mut().local = Some("a".into());
     let out = pa.run().unwrap();
     assert!(out.unreachable.contains(&"leaf".to_string()));

@@ -1,8 +1,7 @@
 //! E15: mailer integration against real pipeline output, end to end.
 
 use pathalias::{
-    generate, HeaderRewriter, MapSpec, Message, Pathalias, Policy, Rewriter, RouteDb,
-    SyntaxStyle,
+    generate, HeaderRewriter, MapSpec, Message, Pathalias, Policy, Rewriter, RouteDb, SyntaxStyle,
 };
 
 fn run_world() -> (Pathalias, String) {
@@ -110,8 +109,7 @@ fn e15_cbosgd_story() {
 fn gateway_translates_styles() {
     let addr = pathalias::Address::parse("seismo!mcvax!piet", SyntaxStyle::Heuristic).unwrap();
     assert_eq!(addr.to_mixed(), "seismo!piet@mcvax");
-    let back =
-        pathalias::Address::parse(&addr.to_mixed(), SyntaxStyle::UucpFirst).unwrap();
+    let back = pathalias::Address::parse(&addr.to_mixed(), SyntaxStyle::UucpFirst).unwrap();
     assert_eq!(back, addr, "translation round-trips");
 }
 

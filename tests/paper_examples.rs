@@ -126,10 +126,9 @@ topaz motown(200)
 /// top-level domains shown with the gateway's route.
 #[test]
 fn e14_domain_tree_figure() {
-    let mut g = parse(
-        "u seismo(100)\nseismo .edu(95)\n.edu = {.rutgers}(0)\n.rutgers = {caip}(0)\n",
-    )
-    .unwrap();
+    let mut g =
+        parse("u seismo(100)\nseismo .edu(95)\n.edu = {.rutgers}(0)\n.rutgers = {caip}(0)\n")
+            .unwrap();
     let u = g.try_node("u").unwrap();
     let tree = map(&mut g, u, &MapOptions::default()).unwrap();
     let table = compute_routes(&g, &tree);

@@ -34,11 +34,7 @@ fn private_collision_end_to_end() {
     assert_eq!(bilbo.cost, 25);
 
     // The private bilbo never appears in output under its own line...
-    let bilbo_count = out
-        .routes
-        .visible()
-        .filter(|r| r.name == "bilbo")
-        .count();
+    let bilbo_count = out.routes.visible().filter(|r| r.name == "bilbo").count();
     assert_eq!(bilbo_count, 1);
 
     // ...but it may relay: wiretap is reached through it.
@@ -52,15 +48,8 @@ fn private_collision_end_to_end() {
 
 #[test]
 fn file_scoping_via_parse_files() {
-    let g = parse_files(&[
-        ("a", "private {x}\nx one(10)\n"),
-        ("b", "x two(10)\n"),
-    ])
-    .unwrap();
-    let xs = g
-        .iter_nodes()
-        .filter(|(id, _)| g.name(*id) == "x")
-        .count();
+    let g = parse_files(&[("a", "private {x}\nx one(10)\n"), ("b", "x two(10)\n")]).unwrap();
+    let xs = g.iter_nodes().filter(|(id, _)| g.name(*id) == "x").count();
     assert_eq!(xs, 2, "private x and global x");
 }
 
@@ -82,7 +71,8 @@ adjust {relay(500)}
     // Deleting slow forces the adjusted relay.
     let mut pa = Pathalias::new();
     pa.options_mut().local = Some("home".into());
-    pa.parse_str("m", &format!("{input}delete {{slow}}\n")).unwrap();
+    pa.parse_str("m", &format!("{input}delete {{slow}}\n"))
+        .unwrap();
     let out = pa.run().unwrap();
     assert_eq!(out.routes.find("target").unwrap().route, "relay!target!%s");
     assert!(out.routes.find("slow").is_none());
@@ -90,7 +80,8 @@ adjust {relay(500)}
     // A dead host still gets a route but stops relaying.
     let mut pa = Pathalias::new();
     pa.options_mut().local = Some("home".into());
-    pa.parse_str("m", &format!("{input}dead {{slow}}\n")).unwrap();
+    pa.parse_str("m", &format!("{input}dead {{slow}}\n"))
+        .unwrap();
     let out = pa.run().unwrap();
     assert!(out.routes.find("slow").is_some());
     assert_eq!(out.routes.find("target").unwrap().route, "relay!target!%s");
@@ -103,7 +94,8 @@ fn ignore_case_pipeline() {
         local: Some("HOME".into()),
         ..Options::default()
     });
-    pa.parse_str("m", "home Relay(10)\nRELAY far(10)\n").unwrap();
+    pa.parse_str("m", "home Relay(10)\nRELAY far(10)\n")
+        .unwrap();
     let out = pa.run().unwrap();
     // One relay node; far reachable through it.
     let far = out.routes.find("far").unwrap();

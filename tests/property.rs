@@ -38,7 +38,7 @@ fn bellman_ford(n: usize, edges: &[(usize, usize, u64)], src: usize) -> Vec<Opti
         for &(u, v, c) in edges {
             if let Some(du) = dist[u] {
                 let cand = du + c;
-                if dist[v].map_or(true, |dv| cand < dv) {
+                if dist[v].is_none_or(|dv| cand < dv) {
                     dist[v] = Some(cand);
                     changed = true;
                 }
@@ -67,9 +67,9 @@ proptest! {
         };
         let tree = map_readonly(&g, src, &opts).unwrap();
         let oracle = bellman_ford(n, &edges, 0);
-        for i in 0..n {
+        for (i, expected) in oracle.iter().enumerate() {
             let id = g.try_node(&format!("n{i}")).unwrap();
-            prop_assert_eq!(tree.cost(id), oracle[i], "node n{}", i);
+            prop_assert_eq!(tree.cost(id), *expected, "node n{}", i);
         }
     }
 
@@ -108,16 +108,15 @@ proptest! {
 
 /// Random statement soup exercising nets, aliases and operators.
 fn map_text_strategy() -> impl Strategy<Value = String> {
-    let link_line = (0usize..8, proptest::collection::vec((0usize..8, 1u64..999), 1..4)
-        ).prop_map(|(from, tos)| {
-            let list: Vec<String> = tos
-                .iter()
-                .map(|(t, c)| format!("h{t}({c})"))
-                .collect();
+    let link_line = (
+        0usize..8,
+        proptest::collection::vec((0usize..8, 1u64..999), 1..4),
+    )
+        .prop_map(|(from, tos)| {
+            let list: Vec<String> = tos.iter().map(|(t, c)| format!("h{t}({c})")).collect();
             format!("h{from}\t{}\n", list.join(", "))
         });
-    let arpa_line = (0usize..8, 0u64..500)
-        .prop_map(|(t, c)| format!("h9\t@h{t}({c})\n"));
+    let arpa_line = (0usize..8, 0u64..500).prop_map(|(t, c)| format!("h9\t@h{t}({c})\n"));
     let net_line = proptest::collection::vec(0usize..8, 1..4).prop_map(|ms| {
         let members: Vec<String> = ms.iter().map(|m| format!("h{m}")).collect();
         format!("NETX = {{{}}}(25)\n", members.join(", "))

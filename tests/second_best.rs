@@ -22,8 +22,10 @@ fn alternatives_found_per_host() {
     let inner = g.try_node("inner").unwrap();
     let deep = g.try_node("deep").unwrap();
 
-    let mut opts = MapOptions::default();
-    opts.model = CostModel::plain();
+    let opts = MapOptions {
+        model: CostModel::plain(),
+        ..MapOptions::default()
+    };
     let dual = map_dual(&mut g, src, &opts).unwrap();
 
     // Primary routes go through the domain (cheaper).
@@ -75,8 +77,10 @@ fn heuristics_make_second_best_redundant_here() {
 fn preferred_is_total_over_mapped_hosts() {
     let mut g = parse(WORLD).unwrap();
     let src = g.try_node("src").unwrap();
-    let mut opts = MapOptions::default();
-    opts.model = CostModel::plain();
+    let opts = MapOptions {
+        model: CostModel::plain(),
+        ..MapOptions::default()
+    };
     let dual = map_dual(&mut g, src, &opts).unwrap();
     for id in g.node_ids() {
         if dual.primary.is_mapped(id) && !g.node_ref(id).is_domain() {

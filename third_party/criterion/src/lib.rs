@@ -1,0 +1,230 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the bench harness uses — groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! [`BenchmarkId`], [`Throughput`] — with a simple fixed-budget
+//! measurement loop instead of criterion's statistics engine. Each
+//! benchmark warms up briefly, then runs timed batches for a small
+//! wall-clock budget and reports the best mean nanoseconds per
+//! iteration (the classic "fastest observed batch" estimator, which is
+//! robust to scheduler noise).
+//!
+//! Output is one line per benchmark:
+//!
+//! ```text
+//! bench   hashing/insert/inverse          523041 ns/iter   (#iters 96)
+//! ```
+//!
+//! Set `CRITERION_QUICK=1` to shrink the budget (used by CI smoke runs).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement budget per benchmark.
+fn budget() -> Duration {
+    if std::env::var_os("CRITERION_QUICK").is_some() {
+        Duration::from_millis(50)
+    } else {
+        Duration::from_millis(300)
+    }
+}
+
+/// A benchmark identifier: function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as in criterion.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{parameter}", name.into()),
+        }
+    }
+}
+
+/// Accepted by the `bench_function` family: a plain string or a
+/// [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The display form.
+    fn into_text(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_text(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_text(self) -> String {
+        self.to_string()
+    }
+}
+
+/// Throughput annotation (recorded, reported alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The per-benchmark timing driver.
+pub struct Bencher {
+    /// (mean ns per iter, iters measured) for the best batch.
+    result: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    /// Times `f`, storing the best observed mean ns/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one call, also used to size the batches.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+
+        let budget = budget();
+        let batch = (budget.as_nanos() / 10 / once.as_nanos()).clamp(1, 10_000) as u64;
+        let mut best = f64::INFINITY;
+        let mut iters_total = 0u64;
+        let started = Instant::now();
+        while started.elapsed() < budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let mean = t.elapsed().as_nanos() as f64 / batch as f64;
+            if mean < best {
+                best = mean;
+            }
+            iters_total += batch;
+        }
+        self.result = Some((best, iters_total));
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion API compatibility; the stand-in's budget is fixed, so
+    /// the requested sample count is accepted and ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_text());
+        run_one(&label, self.throughput, &mut f);
+        self.criterion.ran += 1;
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_text());
+        run_one(&label, self.throughput, &mut |b| f(b, input));
+        self.criterion.ran += 1;
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { result: None };
+    f(&mut b);
+    match b.result {
+        Some((ns, iters)) => {
+            let extra = match throughput {
+                Some(Throughput::Bytes(n)) => {
+                    format!("   {:.1} MiB/s", n as f64 / ns * 1e9 / (1 << 20) as f64)
+                }
+                Some(Throughput::Elements(n)) => {
+                    format!("   {:.0} elem/s", n as f64 / ns * 1e9)
+                }
+                None => String::new(),
+            };
+            println!("bench   {label:<44} {ns:>12.0} ns/iter   (#iters {iters}){extra}");
+        }
+        None => println!("bench   {label:<44} (no measurement)"),
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    ran: usize,
+}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into_text(), None, &mut f);
+        self.ran += 1;
+        self
+    }
+}
+
+/// Declares a group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}

@@ -1,0 +1,26 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A strategy for `Vec`s whose length is drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        assert!(self.size.start < self.size.end, "empty size range");
+        let n = rng.between(self.size.start as u64, self.size.end as u64 - 1) as usize;
+        (0..n).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+/// A `Vec` of values from `element`, with length in `size`
+/// (half-open, as in `proptest::collection::vec(s, 0..60)`).
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}

@@ -1,0 +1,277 @@
+//! Generation from a regex subset: literals, escapes, character
+//! classes with ranges, `{m,n}` / `{n}` repetition, and `\PC` (any
+//! non-control Unicode scalar). This covers every pattern the
+//! workspace's property tests use; anything else is a panic at compile
+//! time so unsupported syntax fails loudly, not silently.
+
+use crate::test_runner::TestRng;
+
+/// One generatable unit of the pattern.
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A fixed character.
+    Lit(char),
+    /// A character class as inclusive ranges.
+    Class(Vec<(char, char)>),
+    /// `\PC`: any scalar outside the control category.
+    NonControl,
+}
+
+/// An atom plus its repetition bounds.
+#[derive(Debug, Clone)]
+struct Term {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// A compiled pattern.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    terms: Vec<Term>,
+}
+
+impl Pattern {
+    /// Compiles `pattern`, panicking on syntax outside the subset.
+    pub fn compile(pattern: &str) -> Pattern {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0usize;
+        let mut terms = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let (class, next) = parse_class(&chars, i + 1, pattern);
+                    i = next;
+                    Atom::Class(class)
+                }
+                '\\' => {
+                    let (atom, next) = parse_escape(&chars, i + 1, pattern);
+                    i = next;
+                    atom
+                }
+                c => {
+                    assert!(
+                        !matches!(c, '(' | ')' | '|' | '*' | '+' | '?' | '.' | '^' | '$'),
+                        "unsupported regex syntax `{c}` in `{pattern}`"
+                    );
+                    i += 1;
+                    Atom::Lit(c)
+                }
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let (lo, hi, next) = parse_counts(&chars, i + 1, pattern);
+                i = next;
+                (lo, hi)
+            } else {
+                (1, 1)
+            };
+            terms.push(Term { atom, min, max });
+        }
+        Pattern { terms }
+    }
+
+    /// Draws one string matching the pattern.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for term in &self.terms {
+            let n = rng.between(term.min as u64, term.max as u64);
+            for _ in 0..n {
+                out.push(sample_atom(&term.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Lit(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|&(lo, hi)| (hi as u64) - (lo as u64) + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for &(lo, hi) in ranges {
+                let span = (hi as u64) - (lo as u64) + 1;
+                if pick < span {
+                    // Skip the surrogate gap if a wide range crosses it.
+                    let v = lo as u32 + pick as u32;
+                    return char::from_u32(v).unwrap_or('?');
+                }
+                pick -= span;
+            }
+            unreachable!("pick within total")
+        }
+        Atom::NonControl => loop {
+            // Mostly printable ASCII, occasionally wider scalars, never
+            // control characters — matching proptest's \PC intent.
+            let c = if rng.below(20) > 0 {
+                char::from_u32(rng.between(0x20, 0x7e) as u32).unwrap()
+            } else {
+                match char::from_u32(rng.between(0xa0, 0x2fff) as u32) {
+                    Some(c) => c,
+                    None => continue,
+                }
+            };
+            if !c.is_control() {
+                return c;
+            }
+        },
+    }
+}
+
+/// Parses the inside of `[...]` starting at `i`; returns the ranges and
+/// the index just past `]`.
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<(char, char)>, usize) {
+    let mut ranges = Vec::new();
+    loop {
+        assert!(i < chars.len(), "unterminated class in `{pattern}`");
+        if chars[i] == ']' {
+            assert!(!ranges.is_empty(), "empty class in `{pattern}`");
+            return (ranges, i + 1);
+        }
+        let lo = if chars[i] == '\\' {
+            let (atom, next) = parse_escape(chars, i + 1, pattern);
+            i = next;
+            match atom {
+                Atom::Lit(c) => c,
+                _ => panic!("unsupported class escape in `{pattern}`"),
+            }
+        } else {
+            let c = chars[i];
+            i += 1;
+            c
+        };
+        // `lo-hi` is a range unless the `-` is last in the class.
+        if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+            i += 1;
+            let hi = if chars[i] == '\\' {
+                let (atom, next) = parse_escape(chars, i + 1, pattern);
+                i = next;
+                match atom {
+                    Atom::Lit(c) => c,
+                    _ => panic!("unsupported class escape in `{pattern}`"),
+                }
+            } else {
+                let c = chars[i];
+                i += 1;
+                c
+            };
+            assert!(lo <= hi, "inverted range {lo}-{hi} in `{pattern}`");
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+}
+
+/// Parses one escape starting after the backslash; returns the atom and
+/// the next index.
+fn parse_escape(chars: &[char], i: usize, pattern: &str) -> (Atom, usize) {
+    assert!(i < chars.len(), "dangling backslash in `{pattern}`");
+    match chars[i] {
+        'n' => (Atom::Lit('\n'), i + 1),
+        't' => (Atom::Lit('\t'), i + 1),
+        'r' => (Atom::Lit('\r'), i + 1),
+        'P' => {
+            // Only the negated-control category is supported.
+            assert!(
+                i + 1 < chars.len() && chars[i + 1] == 'C',
+                "unsupported \\P category in `{pattern}`"
+            );
+            (Atom::NonControl, i + 2)
+        }
+        c @ ('\\' | '.' | '-' | '[' | ']' | '(' | ')' | '{' | '}' | '*' | '+' | '?' | '|' | '^'
+        | '$' | '/') => (Atom::Lit(c), i + 1),
+        other => panic!("unsupported escape \\{other} in `{pattern}`"),
+    }
+}
+
+/// Parses `m,n}` or `n}` starting at `i`; returns (min, max, next).
+fn parse_counts(chars: &[char], mut i: usize, pattern: &str) -> (u32, u32, usize) {
+    let read_num = |i: &mut usize| -> u32 {
+        let start = *i;
+        while *i < chars.len() && chars[*i].is_ascii_digit() {
+            *i += 1;
+        }
+        assert!(*i > start, "bad repetition count in `{pattern}`");
+        chars[start..*i].iter().collect::<String>().parse().unwrap()
+    };
+    let lo = read_num(&mut i);
+    let hi = if i < chars.len() && chars[i] == ',' {
+        i += 1;
+        read_num(&mut i)
+    } else {
+        lo
+    };
+    assert!(
+        i < chars.len() && chars[i] == '}',
+        "unterminated repetition in `{pattern}`"
+    );
+    assert!(lo <= hi, "inverted repetition in `{pattern}`");
+    (lo, hi, i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn gen(pattern: &str, case: u32) -> String {
+        Pattern::compile(pattern).generate(&mut TestRng::for_case("regex_gen", case))
+    }
+
+    #[test]
+    fn class_range_and_counts() {
+        for case in 0..200 {
+            let s = gen("[a-e]{1,3}", case);
+            assert!((1..=3).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='e').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        for case in 0..200 {
+            let s = gen("[ -~]{0,40}", case);
+            assert!(s.chars().count() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn concatenation_and_trailing_hyphen() {
+        for case in 0..200 {
+            let s = gen("[a-z][a-z0-9.-]{0,10}", case);
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .skip(1)
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn escapes_in_classes() {
+        for case in 0..100 {
+            let s = gen("[ \\t\\na-z0-9.!@:%,(){}=+*/#_-]{0,200}", case);
+            assert!(s.chars().all(|c| c == ' '
+                || c == '\t'
+                || c == '\n'
+                || c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || ".!@:%,(){}=+*/#_-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn non_control() {
+        for case in 0..100 {
+            let s = gen("\\PC{0,300}", case);
+            assert!(s.chars().count() <= 300);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+}
