@@ -1,28 +1,36 @@
 //! Daemon lookup throughput against a 10k-host synthetic map.
 //!
-//! Three altitudes, so a regression can be localized: the bare
-//! in-memory resolve path (no socket), one client's request/response
-//! round trip over loopback TCP, and 8 concurrent clients hammering
-//! the daemon at once. Numbers are checked in to `BENCH_serve.json`.
+//! Altitudes, so a regression can be localized: the bare in-memory
+//! resolve path (snapshot + cache + metrics, no socket), the same path
+//! over a page-cache-backed PADB1 file (`MappedDb`), one client's
+//! request/response round trip over loopback TCP (in-memory and mmap
+//! backends), the v2 batched `MQUERY` path (64 queries per round
+//! trip — the number that must beat single-query by ≥ 3×), and 8
+//! concurrent clients hammering the daemon at once. Numbers are
+//! checked in to `BENCH_serve.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pathalias_core::{Options, Pathalias};
-use pathalias_mailer::RouteDb;
-use pathalias_mapgen::{generate, MapSpec};
-use pathalias_server::cache::ShardedCache;
+use pathalias_mailer::disk::{write_db, MappedDb};
+use pathalias_mailer::{Resolver, RouteDb, SharedRouteDb};
+use pathalias_server::index::Cached;
 use pathalias_server::metrics::Metrics;
-use pathalias_server::{resolve, Client, MapSource, RouteIndex, Server, ServerConfig};
+use pathalias_server::{Client, MapSource, Server, ServerConfig};
 use std::hint::black_box;
+use std::sync::Arc;
+
+/// Queries per `MQUERY` batch in the batched benchmarks.
+const BATCH: usize = 64;
 
 /// Routes a 10k-host synthetic map; returns the table and some
 /// known-routable destination names.
 fn ten_k_table() -> (RouteDb, Vec<String>) {
-    let map = generate(&MapSpec::small(10_000, 1986));
+    let map = generate_map();
     let mut pa = Pathalias::with_options(Options {
-        local: Some(map.home.clone()),
+        local: Some(map.1.clone()),
         ..Options::default()
     });
-    pa.parse_str("bench-map", &map.concatenated()).unwrap();
+    pa.parse_str("bench-map", &map.0).unwrap();
     let out = pa.run().unwrap();
     let db = RouteDb::from_table(&out.routes);
     let mut hosts: Vec<String> = db.iter().map(|e| e.name.clone()).collect();
@@ -31,26 +39,58 @@ fn ten_k_table() -> (RouteDb, Vec<String>) {
     (db, hosts)
 }
 
+fn generate_map() -> (String, String) {
+    use pathalias_mapgen::{generate, MapSpec};
+    let map = generate(&MapSpec::small(10_000, 1986));
+    (map.concatenated(), map.home.clone())
+}
+
 fn bench_serve(c: &mut Criterion) {
     let (db, hosts) = ten_k_table();
     let mut group = c.benchmark_group("serve");
 
-    // Altitude 1: the resolve path alone (snapshot + cache + metrics).
-    let index = RouteIndex::new(db.clone(), 0);
-    let cache = ShardedCache::new(4096, 8);
-    let metrics = Metrics::default();
+    // Altitude 1: the resolve path alone (snapshot + cache + metrics),
+    // in-memory backend.
+    let cached = Cached::new(
+        SharedRouteDb::new(db.clone()),
+        4096,
+        8,
+        Arc::new(Metrics::default()),
+    );
     let mut i = 0usize;
     group.throughput(Throughput::Elements(1));
     group.bench_function("resolve-in-memory", |b| {
         b.iter(|| {
             let host = &hosts[i % hosts.len()];
             i = i.wrapping_add(1);
-            black_box(resolve(&index, &cache, &metrics, host, "user"))
+            black_box(cached.resolve(host, "user"))
+        });
+    });
+
+    // The same table as a PADB1 file, for the mapped benchmarks.
+    let dir = std::env::temp_dir();
+    let padb_path = dir.join(format!("pathalias-bench-serve-{}.padb", std::process::id()));
+    write_db(&db, &padb_path).unwrap();
+
+    // Altitude 1b: resolve path over the page-cache-backed file —
+    // same decorator, disk-backed resolver.
+    let mapped = Cached::new(
+        MappedDb::open(&padb_path).unwrap(),
+        4096,
+        8,
+        Arc::new(Metrics::default()),
+    );
+    let mut i = 0usize;
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("resolve-mmap", |b| {
+        b.iter(|| {
+            let host = &hosts[i % hosts.len()];
+            i = i.wrapping_add(1);
+            black_box(mapped.resolve(host, "user"))
         });
     });
 
     // A live daemon for the socket benchmarks, serving the same table.
-    let dir = std::env::temp_dir();
     let routes_path = dir.join(format!(
         "pathalias-bench-serve-{}.routes",
         std::process::id()
@@ -66,7 +106,7 @@ fn bench_serve(c: &mut Criterion) {
     .expect("bench server starts");
     let addr = handle.tcp_addr().unwrap();
 
-    // Altitude 2: one client, one round trip per iteration.
+    // Altitude 2: one client, one round trip per query.
     let mut client = Client::connect(addr).unwrap();
     let mut i = 0usize;
     group.throughput(Throughput::Elements(1));
@@ -77,6 +117,27 @@ fn bench_serve(c: &mut Criterion) {
             black_box(client.query(host, Some("user")).unwrap())
         });
     });
+
+    // Altitude 2b: the v2 batched path — BATCH queries per round trip.
+    // This is the number the acceptance bar compares against
+    // query-round-trip (per-query cost must be ≥ 3× better).
+    let mut batch_client = Client::connect(addr).unwrap();
+    batch_client.negotiate().unwrap();
+    let mut i = 0usize;
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_with_input(
+        BenchmarkId::new("query-batched", BATCH),
+        &BATCH,
+        |b, &batch| {
+            b.iter(|| {
+                let queries: Vec<(&str, Option<&str>)> = (0..batch)
+                    .map(|k| (hosts[(i + k) % hosts.len()].as_str(), Some("user")))
+                    .collect();
+                i = i.wrapping_add(batch);
+                black_box(batch_client.query_batch(&queries).unwrap())
+            });
+        },
+    );
 
     // Altitude 3: 8 concurrent clients, 200 queries each per iteration.
     const CLIENTS: usize = 8;
@@ -105,10 +166,33 @@ fn bench_serve(c: &mut Criterion) {
         },
     );
 
-    group.finish();
     client.quit().unwrap();
+    batch_client.quit().unwrap();
     handle.shutdown();
+
+    // Altitude 2c: the mmap-backed serve path end to end — a daemon
+    // whose backend never loads the blob, one query per round trip.
+    let mmap_handle = Server::start(ServerConfig::ephemeral(MapSource::PadbMmap(
+        padb_path.clone(),
+    )))
+    .expect("mmap bench server starts");
+    let mmap_addr = mmap_handle.tcp_addr().unwrap();
+    let mut mmap_client = Client::connect(mmap_addr).unwrap();
+    let mut i = 0usize;
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("query-round-trip-mmap", |b| {
+        b.iter(|| {
+            let host = &hosts[i % hosts.len()];
+            i = i.wrapping_add(1);
+            black_box(mmap_client.query(host, Some("user")).unwrap())
+        });
+    });
+    mmap_client.quit().unwrap();
+    mmap_handle.shutdown();
+
+    group.finish();
     std::fs::remove_file(routes_path).unwrap();
+    std::fs::remove_file(padb_path).unwrap();
 }
 
 criterion_group!(benches, bench_serve);

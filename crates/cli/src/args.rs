@@ -6,10 +6,12 @@ pub const USAGE: &str = "\
 usage: pathalias [-l host] [-c] [-i] [-v] [-n] [-s] [-t host]... [file ...]
        pathalias mapgen [--hosts N] [--seed N] [--paper-scale]
        pathalias query -d route-file destination [user]
-       pathalias serve (--padb F | --routes F | --map F...) [--listen addr]
-                 [--unix path] [--cache N] [--shards N] [-l host] [-i]
+       pathalias serve (--padb F | --routes F | --map F...) [--backend B]
+                 [--listen addr] [--unix path] [--cache N] [--shards N]
+                 [-l host] [-i]
        pathalias serve (--connect addr | --unix path)
-                 (--query host [--user u] | --stats | --reload | --health)
+                 (--query host... [--user u] | --stats | --reload
+                  | --health | --shutdown)
 
 options:
   -l host   local host (mapping source); default: first host in input
@@ -25,16 +27,20 @@ serve (daemon mode; default listen 127.0.0.1:4175):
   --padb F      serve a PADB1 disk database
   --routes F    serve a linear route file (pathalias output)
   --map F...    run the full pipeline on map file(s); RELOAD re-runs it
+  --backend B   memory (default: load the table) or padb-mmap (serve
+                the PADB1 file in place through the page cache;
+                requires --padb)
   --listen A    TCP listen address (port 0 = ephemeral, printed on start)
   --unix P      also (or only) listen on a Unix socket
-  --cache N     suffix-cache capacity in entries (default 4096)
-  --shards N    suffix-cache shard count (default 8)
+  --cache N     lookup-cache capacity in entries (default 4096)
+  --shards N    lookup-cache shard count (default 8)
 
 serve (client mode):
   --connect A   talk to a daemon over TCP
   --unix P      talk to a daemon over a Unix socket
-  --query HOST  print the route to HOST (with --user substituted)
-  --stats | --reload | --health   the other protocol verbs
+  --query HOST  print the route to HOST (with --user substituted);
+                repeatable: several hosts go as one batched round trip
+  --stats | --reload | --health | --shutdown   the other protocol verbs
 ";
 
 /// Parsed command line.
@@ -114,11 +120,24 @@ pub enum ServeArgs {
     Client(ClientArgs),
 }
 
+/// How the daemon holds its table.
+#[derive(Debug, Default, PartialEq, Eq, Clone, Copy)]
+pub enum Backend {
+    /// Load the table into memory (every source shape).
+    #[default]
+    Memory,
+    /// Serve the PADB1 file in place through the kernel page cache —
+    /// tables larger than memory work; requires `--padb`.
+    PadbMmap,
+}
+
 /// Daemon-mode arguments.
 #[derive(Debug, PartialEq, Eq)]
 pub struct DaemonArgs {
     /// `--padb`: serve a PADB1 disk database.
     pub padb: Option<String>,
+    /// `--backend`: how the table is held.
+    pub backend: Backend,
     /// `--routes`: serve a linear route file.
     pub routes: Option<String>,
     /// `--map`: map files for the full pipeline (repeatable).
@@ -151,10 +170,11 @@ pub struct ClientArgs {
 /// The one protocol verb a client invocation runs.
 #[derive(Debug, PartialEq, Eq)]
 pub enum ClientAction {
-    /// `--query HOST [--user U]`.
+    /// `--query HOST... [--user U]`; several hosts become one batched
+    /// round trip (`MQUERY` against a v2 daemon).
     Query {
-        /// Destination host.
-        host: String,
+        /// Destination hosts, in order.
+        hosts: Vec<String>,
         /// `--user`; `None` keeps the `%s` marker.
         user: Option<String>,
     },
@@ -164,9 +184,11 @@ pub enum ClientAction {
     Reload,
     /// `--health`.
     Health,
+    /// `--shutdown`: ask the daemon to drain and exit (protocol v2).
+    Shutdown,
 }
 
-/// Parses an argument vector (without argv[0]).
+/// Parses an argument vector (without `argv[0]`).
 pub fn parse(argv: &[String]) -> Result<Command, String> {
     match argv.first().map(String::as_str) {
         Some("mapgen") => parse_mapgen(&argv[1..]),
@@ -252,6 +274,7 @@ fn parse_query(argv: &[String]) -> Result<Command, String> {
 
 fn parse_serve(argv: &[String]) -> Result<Command, String> {
     let mut padb = None;
+    let mut backend: Option<Backend> = None;
     let mut routes = None;
     let mut map_files = Vec::new();
     let mut listen = None;
@@ -261,16 +284,26 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
     let mut local = None;
     let mut ignore_case = false;
     let mut connect = None;
-    let mut query = None;
+    let mut query_hosts: Vec<String> = Vec::new();
     let mut user = None;
     let mut stats = false;
     let mut reload = false;
     let mut health = false;
+    let mut shutdown = false;
 
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--padb" => padb = Some(take_value("--padb", &mut it)?.clone()),
+            "--backend" => {
+                backend = Some(match take_value("--backend", &mut it)?.as_str() {
+                    "memory" => Backend::Memory,
+                    "padb-mmap" => Backend::PadbMmap,
+                    other => {
+                        return Err(format!("--backend wants memory or padb-mmap, not {other}"))
+                    }
+                });
+            }
             "--routes" => routes = Some(take_value("--routes", &mut it)?.clone()),
             "--map" => map_files.push(take_value("--map", &mut it)?.clone()),
             "--listen" => listen = Some(take_value("--listen", &mut it)?.clone()),
@@ -292,25 +325,28 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
             "-l" => local = Some(take_value("-l", &mut it)?.clone()),
             "-i" => ignore_case = true,
             "--connect" => connect = Some(take_value("--connect", &mut it)?.clone()),
-            "--query" => query = Some(take_value("--query", &mut it)?.clone()),
+            "--query" => query_hosts.push(take_value("--query", &mut it)?.clone()),
             "--user" => user = Some(take_value("--user", &mut it)?.clone()),
             "--stats" => stats = true,
             "--reload" => reload = true,
             "--health" => health = true,
+            "--shutdown" => shutdown = true,
             other => return Err(format!("serve: unknown argument {other}")),
         }
     }
 
-    let verb_count = usize::from(query.is_some())
+    let verb_count = usize::from(!query_hosts.is_empty())
         + usize::from(stats)
         + usize::from(reload)
-        + usize::from(health);
+        + usize::from(health)
+        + usize::from(shutdown);
     let client_mode = verb_count > 0 || connect.is_some();
 
     if client_mode {
         if verb_count != 1 {
             return Err(
-                "serve client mode wants exactly one of --query/--stats/--reload/--health"
+                "serve client mode wants exactly one of --query/--stats/--reload/--health/\
+                 --shutdown"
                     .to_string(),
             );
         }
@@ -324,6 +360,7 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
         // Daemon-only flags must not be silently dropped.
         for (given, flag) in [
             (listen.is_some(), "--listen"),
+            (backend.is_some(), "--backend"),
             (cache.is_some(), "--cache"),
             (shards.is_some(), "--shards"),
             (local.is_some(), "-l"),
@@ -336,14 +373,19 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
         if connect.is_some() == unix.is_some() {
             return Err("serve client mode wants exactly one of --connect/--unix".to_string());
         }
-        let action = if let Some(host) = query {
-            ClientAction::Query { host, user }
+        let action = if !query_hosts.is_empty() {
+            ClientAction::Query {
+                hosts: query_hosts,
+                user,
+            }
         } else if user.is_some() {
             return Err("serve: --user only makes sense with --query".to_string());
         } else if stats {
             ClientAction::Stats
         } else if reload {
             ClientAction::Reload
+        } else if shutdown {
+            ClientAction::Shutdown
         } else {
             ClientAction::Health
         };
@@ -360,6 +402,10 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
     if sources != 1 {
         return Err("serve wants exactly one of --padb/--routes/--map".to_string());
     }
+    let backend = backend.unwrap_or_default();
+    if backend == Backend::PadbMmap && padb.is_none() {
+        return Err("serve: --backend padb-mmap requires --padb".to_string());
+    }
     if user.is_some() {
         return Err("serve: --user only makes sense with --query".to_string());
     }
@@ -370,6 +416,7 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
     };
     Ok(Command::Serve(ServeArgs::Daemon(DaemonArgs {
         padb,
+        backend,
         routes,
         map_files,
         listen,
@@ -546,7 +593,7 @@ mod tests {
         assert_eq!(
             c.action,
             ClientAction::Query {
-                host: "seismo".into(),
+                hosts: vec!["seismo".into()],
                 user: Some("rick".into())
             }
         );
@@ -558,6 +605,79 @@ mod tests {
         };
         assert_eq!(c.unix.as_deref(), Some("/tmp/s.sock"));
         assert_eq!(c.action, ClientAction::Stats);
+    }
+
+    #[test]
+    fn serve_client_batch_and_shutdown() {
+        // Repeatable --query batches hosts in order.
+        let Command::Serve(ServeArgs::Client(c)) = parse(&v(&[
+            "serve",
+            "--connect",
+            "a:1",
+            "--query",
+            "h1",
+            "--query",
+            "h2",
+            "--query",
+            "h3",
+        ]))
+        .unwrap() else {
+            panic!("expected client");
+        };
+        assert_eq!(
+            c.action,
+            ClientAction::Query {
+                hosts: vec!["h1".into(), "h2".into(), "h3".into()],
+                user: None
+            }
+        );
+
+        let Command::Serve(ServeArgs::Client(c)) =
+            parse(&v(&["serve", "--connect", "a:1", "--shutdown"])).unwrap()
+        else {
+            panic!("expected client");
+        };
+        assert_eq!(c.action, ClientAction::Shutdown);
+        // --shutdown is a verb like the others: exclusive.
+        assert!(parse(&v(&["serve", "--connect", "a:1", "--shutdown", "--stats"])).is_err());
+    }
+
+    #[test]
+    fn serve_backend_flag() {
+        let Command::Serve(ServeArgs::Daemon(d)) = parse(&v(&[
+            "serve",
+            "--padb",
+            "db.padb",
+            "--backend",
+            "padb-mmap",
+        ]))
+        .unwrap() else {
+            panic!("expected daemon");
+        };
+        assert_eq!(d.backend, Backend::PadbMmap);
+
+        // Default is memory.
+        let Command::Serve(ServeArgs::Daemon(d)) =
+            parse(&v(&["serve", "--padb", "db.padb"])).unwrap()
+        else {
+            panic!("expected daemon");
+        };
+        assert_eq!(d.backend, Backend::Memory);
+
+        // padb-mmap without --padb, or a junk backend name, is an error.
+        assert!(parse(&v(&["serve", "--routes", "r", "--backend", "padb-mmap"])).is_err());
+        assert!(parse(&v(&["serve", "--padb", "f", "--backend", "turbo"])).is_err());
+        // Client mode rejects it rather than silently dropping it.
+        assert!(parse(&v(&[
+            "serve",
+            "--connect",
+            "a:1",
+            "--query",
+            "h",
+            "--backend",
+            "padb-mmap"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -25,7 +25,8 @@ use std::process::ExitCode;
 mod args;
 
 use args::{
-    ClientAction, ClientArgs, Command, DaemonArgs, MapgenArgs, QueryArgs, RunArgs, ServeArgs,
+    Backend, ClientAction, ClientArgs, Command, DaemonArgs, MapgenArgs, QueryArgs, RunArgs,
+    ServeArgs,
 };
 
 fn main() -> ExitCode {
@@ -154,7 +155,10 @@ fn cmd_mapgen(mg: MapgenArgs) -> ExitCode {
 
 fn cmd_serve_daemon(d: DaemonArgs) -> ExitCode {
     let source = if let Some(path) = d.padb {
-        MapSource::Padb(path.into())
+        match d.backend {
+            Backend::PadbMmap => MapSource::PadbMmap(path.into()),
+            Backend::Memory => MapSource::Padb(path.into()),
+        }
     } else if let Some(path) = d.routes {
         MapSource::Routes(path.into())
     } else {
@@ -217,20 +221,64 @@ fn cmd_serve_client(c: ClientArgs) -> ExitCode {
         }
     };
     let outcome = match &c.action {
-        ClientAction::Query { host, user } => match client.query(host, user.as_deref()) {
-            Ok(Some(route)) => {
-                println!("{route}");
-                Ok(())
+        ClientAction::Query { hosts, user } if hosts.len() == 1 => {
+            match client.query(&hosts[0], user.as_deref()) {
+                Ok(Some(route)) => {
+                    println!("{route}");
+                    Ok(())
+                }
+                Ok(None) => {
+                    eprintln!("pathalias: no route to {}", hosts[0]);
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => Err(e),
             }
-            Ok(None) => {
-                eprintln!("pathalias: no route to {host}");
-                return ExitCode::FAILURE;
+        }
+        // Several --query flags: one batched round trip (MQUERY when
+        // the daemon speaks v2, pipelined v1 otherwise). One line per
+        // host, in order; missing routes fail the exit code.
+        ClientAction::Query { hosts, user } => {
+            let queries: Vec<(&str, Option<&str>)> = hosts
+                .iter()
+                .map(|h| (h.as_str(), user.as_deref()))
+                .collect();
+            match client.query_batch(&queries) {
+                Ok(results) => {
+                    let mut missing = false;
+                    for (host, result) in hosts.iter().zip(results) {
+                        match result {
+                            Some(route) => println!("{route}"),
+                            None => {
+                                eprintln!("pathalias: no route to {host}");
+                                missing = true;
+                            }
+                        }
+                    }
+                    if missing {
+                        return ExitCode::FAILURE;
+                    }
+                    Ok(())
+                }
+                Err(e) => Err(e),
             }
-            Err(e) => Err(e),
-        },
+        }
         ClientAction::Stats => client.stats().map(|s| println!("{s}")),
         ClientAction::Reload => client.reload().map(|s| println!("{s}")),
         ClientAction::Health => client.health().map(|s| println!("{s}")),
+        ClientAction::Shutdown => {
+            // shutdown() consumes the client (the server closes the
+            // connection after answering).
+            return match client.shutdown() {
+                Ok(payload) => {
+                    println!("{payload}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("pathalias: serve: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
     };
     match outcome {
         Ok(()) => {

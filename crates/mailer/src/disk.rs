@@ -17,6 +17,7 @@
 //! Everything is text offsets into one blob, so the file is portable,
 //! inspectable with a pager, and immune to endianness.
 
+use crate::resolver::{Resolution, ResolveError, ResolvedVia, Resolver};
 use crate::routedb::{DbEntry, RouteDb};
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
@@ -92,75 +93,86 @@ pub struct DiskDb {
     blob_start: u64,
 }
 
+/// One index entry: (name_off, name_len, route_off, route_len).
+type IndexEntry = (u64, u32, u64, u32);
+
+/// The parsed skeleton of a PADB1 file: the open handle, the in-memory
+/// index, and where the blob begins. Shared by the seekable
+/// [`DiskDb`] and the shared-handle [`MappedDb`].
+fn open_index(path: &Path) -> Result<(File, Vec<IndexEntry>, u64), DiskError> {
+    let file = File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let mut line = String::new();
+
+    reader.read_line(&mut line)?;
+    if line.trim_end() != MAGIC {
+        return Err(DiskError::Corrupt(format!(
+            "bad magic `{}`",
+            line.trim_end()
+        )));
+    }
+    line.clear();
+    reader.read_line(&mut line)?;
+    let count: usize = line
+        .trim_end()
+        .parse()
+        .map_err(|_| DiskError::Corrupt(format!("bad count `{}`", line.trim_end())))?;
+
+    // Each index line is at least 8 bytes ("0 0 0 0\n"), so a count
+    // exceeding the file size is corrupt — and would otherwise ask
+    // for an absurd allocation below.
+    let file_len = reader.get_ref().metadata()?.len();
+    if count as u64 > file_len / 8 {
+        return Err(DiskError::Corrupt(format!(
+            "count {count} impossible for a {file_len}-byte file"
+        )));
+    }
+
+    let mut index = Vec::with_capacity(count);
+    for i in 0..count {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(DiskError::Corrupt(format!("index truncated at {i}")));
+        }
+        let mut parts = line.split_whitespace();
+        let parse_u64 = |p: Option<&str>| -> Result<u64, DiskError> {
+            p.and_then(|s| s.parse().ok())
+                .ok_or_else(|| DiskError::Corrupt(format!("bad index line {i}")))
+        };
+        let name_off = parse_u64(parts.next())?;
+        let name_len = parse_u64(parts.next())? as u32;
+        let route_off = parse_u64(parts.next())?;
+        let route_len = parse_u64(parts.next())? as u32;
+        index.push((name_off, name_len, route_off, route_len));
+    }
+    let blob_start = reader.stream_position()?;
+
+    // Every span the index names must land inside the blob;
+    // otherwise lookups would read garbage (or, before this check,
+    // fail with a misleading I/O error on a truncated file).
+    let blob_len = file_len.saturating_sub(blob_start);
+    for (i, &(name_off, name_len, route_off, route_len)) in index.iter().enumerate() {
+        let name_end = name_off.checked_add(name_len as u64);
+        let route_end = route_off.checked_add(route_len as u64);
+        match (name_end, route_end) {
+            (Some(n), Some(r)) if n <= blob_len && r <= blob_len => {}
+            _ => {
+                return Err(DiskError::Corrupt(format!(
+                    "index entry {i} points outside the {blob_len}-byte blob"
+                )));
+            }
+        }
+    }
+
+    Ok((reader.into_inner(), index, blob_start))
+}
+
 impl DiskDb {
     /// Opens a PADB1 file and loads its index.
     pub fn open(path: impl AsRef<Path>) -> Result<DiskDb, DiskError> {
-        let file = File::open(path)?;
-        let mut reader = BufReader::new(file);
-        let mut line = String::new();
-
-        reader.read_line(&mut line)?;
-        if line.trim_end() != MAGIC {
-            return Err(DiskError::Corrupt(format!(
-                "bad magic `{}`",
-                line.trim_end()
-            )));
-        }
-        line.clear();
-        reader.read_line(&mut line)?;
-        let count: usize = line
-            .trim_end()
-            .parse()
-            .map_err(|_| DiskError::Corrupt(format!("bad count `{}`", line.trim_end())))?;
-
-        // Each index line is at least 8 bytes ("0 0 0 0\n"), so a count
-        // exceeding the file size is corrupt — and would otherwise ask
-        // for an absurd allocation below.
-        let file_len = reader.get_ref().metadata()?.len();
-        if count as u64 > file_len / 8 {
-            return Err(DiskError::Corrupt(format!(
-                "count {count} impossible for a {file_len}-byte file"
-            )));
-        }
-
-        let mut index = Vec::with_capacity(count);
-        for i in 0..count {
-            line.clear();
-            if reader.read_line(&mut line)? == 0 {
-                return Err(DiskError::Corrupt(format!("index truncated at {i}")));
-            }
-            let mut parts = line.split_whitespace();
-            let parse_u64 = |p: Option<&str>| -> Result<u64, DiskError> {
-                p.and_then(|s| s.parse().ok())
-                    .ok_or_else(|| DiskError::Corrupt(format!("bad index line {i}")))
-            };
-            let name_off = parse_u64(parts.next())?;
-            let name_len = parse_u64(parts.next())? as u32;
-            let route_off = parse_u64(parts.next())?;
-            let route_len = parse_u64(parts.next())? as u32;
-            index.push((name_off, name_len, route_off, route_len));
-        }
-        let blob_start = reader.stream_position()?;
-
-        // Every span the index names must land inside the blob;
-        // otherwise lookups would read garbage (or, before this check,
-        // fail with a misleading I/O error on a truncated file).
-        let blob_len = file_len.saturating_sub(blob_start);
-        for (i, &(name_off, name_len, route_off, route_len)) in index.iter().enumerate() {
-            let name_end = name_off.checked_add(name_len as u64);
-            let route_end = route_off.checked_add(route_len as u64);
-            match (name_end, route_end) {
-                (Some(n), Some(r)) if n <= blob_len && r <= blob_len => {}
-                _ => {
-                    return Err(DiskError::Corrupt(format!(
-                        "index entry {i} points outside the {blob_len}-byte blob"
-                    )));
-                }
-            }
-        }
-
+        let (file, index, blob_start) = open_index(path.as_ref())?;
         Ok(DiskDb {
-            file: reader.into_inner(),
+            file,
             index,
             blob_start,
         })
@@ -246,8 +258,8 @@ impl DiskDb {
     }
 
     /// The paper's full mailer lookup against the disk file: exact
-    /// match first, then domain suffixes; the suffix argument carries
-    /// the whole destination.
+    /// match first, then domain suffixes, then the `.` default route;
+    /// suffix and default arguments carry the whole destination.
     pub fn route_to(&mut self, dest: &str, user: &str) -> Result<Option<String>, DiskError> {
         if let Some(route) = self.get(dest)? {
             return Ok(Some(route.replacen("%s", user, 1)));
@@ -255,13 +267,188 @@ impl DiskDb {
         let mut rest = dest;
         while let Some(dot) = rest.find('.') {
             let suffix = &rest[dot..];
-            if let Some(route) = self.get(suffix)? {
-                let arg = format!("{dest}!{user}");
-                return Ok(Some(route.replacen("%s", &arg, 1)));
+            if suffix.len() > 1 {
+                if let Some(route) = self.get(suffix)? {
+                    let arg = format!("{dest}!{user}");
+                    return Ok(Some(route.replacen("%s", &arg, 1)));
+                }
             }
             rest = &rest[dot + 1..];
         }
+        if let Some(route) = self.get(".")? {
+            let arg = format!("{dest}!{user}");
+            return Ok(Some(route.replacen("%s", &arg, 1)));
+        }
         Ok(None)
+    }
+}
+
+/// The shared, read-only serving mode over a PADB1 file: the disk
+/// equivalent of mmap, built entirely on safe std.
+///
+/// Where [`DiskDb`] owns a seek position (and therefore needs `&mut
+/// self`), `MappedDb` issues *positioned* reads (`pread` on Unix,
+/// `seek_read` on Windows) against a shared file handle, so any number
+/// of threads can resolve concurrently through one `&MappedDb` with no
+/// lock and no full table load. The kernel's page cache plays the role
+/// the mapped pages would: only the index (a few numbers per host) is
+/// held in memory, the blob pages fault in on demand and stay cached,
+/// and a table larger than memory serves fine — exactly the "rapid
+/// database retrieval" the paper delegates to "a separate program",
+/// grown to serving scale.
+///
+/// This type is `Send + Sync` and implements [`Resolver`], so the
+/// serving layer can put it behind the same cache decorator as the
+/// in-memory backends.
+///
+/// # Examples
+///
+/// ```
+/// use pathalias_mailer::{disk, Resolver, RouteDb};
+///
+/// let path = std::env::temp_dir().join(format!("mapped-doc-{}.padb", std::process::id()));
+/// let db = RouteDb::from_output("seismo\tseismo!%s\n.edu\tseismo!%s\n").unwrap();
+/// disk::write_db(&db, &path).unwrap();
+///
+/// let mapped = disk::MappedDb::open(&path).unwrap();
+/// assert_eq!(
+///     mapped.resolve("caip.rutgers.edu", "pleasant").unwrap().route,
+///     "seismo!caip.rutgers.edu!pleasant",
+/// );
+/// std::fs::remove_file(path).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct MappedDb {
+    file: File,
+    /// (name_off, name_len, route_off, route_len) sorted by name.
+    index: Vec<(u64, u32, u64, u32)>,
+    /// Offset of the blob within the file.
+    blob_start: u64,
+}
+
+/// One positioned read, leaving the handle's seek position alone so
+/// concurrent readers never race. Unix `pread` / Windows `seek_read`;
+/// both are `&File` operations.
+fn read_exact_at(file: &File, mut buf: &mut [u8], mut off: u64) -> io::Result<()> {
+    while !buf.is_empty() {
+        #[cfg(unix)]
+        let n = std::os::unix::fs::FileExt::read_at(file, buf, off)?;
+        #[cfg(windows)]
+        let n = std::os::windows::fs::FileExt::seek_read(file, buf, off)?;
+        #[cfg(not(any(unix, windows)))]
+        compile_error!("MappedDb needs positioned reads (unix pread / windows seek_read)");
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "blob truncated",
+            ));
+        }
+        buf = &mut buf[n..];
+        off += n as u64;
+    }
+    Ok(())
+}
+
+impl MappedDb {
+    /// Opens a PADB1 file for shared read-only serving. Validation is
+    /// identical to [`DiskDb::open`].
+    pub fn open(path: impl AsRef<Path>) -> Result<MappedDb, DiskError> {
+        let (file, index, blob_start) = open_index(path.as_ref())?;
+        Ok(MappedDb {
+            file,
+            index,
+            blob_start,
+        })
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    fn read_span(&self, off: u64, len: u32) -> Result<String, DiskError> {
+        let mut buf = vec![0u8; len as usize];
+        read_exact_at(&self.file, &mut buf, self.blob_start + off).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                // The file shrank after open (open-time validation
+                // covered the original length): structural, not
+                // environmental.
+                DiskError::Corrupt("blob truncated".to_string())
+            } else {
+                DiskError::Io(e)
+            }
+        })?;
+        String::from_utf8(buf).map_err(|_| DiskError::Corrupt("non-UTF-8 entry".to_string()))
+    }
+
+    /// Binary-searches for an exact name, returning its route format
+    /// string. `&self`: safe to call from many threads at once.
+    pub fn get(&self, name: &str) -> Result<Option<String>, DiskError> {
+        let mut lo = 0usize;
+        let mut hi = self.index.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let (off, len, _, _) = self.index[mid];
+            let mid_name = self.read_span(off, len)?;
+            match mid_name.as_str().cmp(name) {
+                std::cmp::Ordering::Equal => {
+                    let (_, _, route_off, route_len) = self.index[mid];
+                    return Ok(Some(self.read_span(route_off, route_len)?));
+                }
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl Resolver for MappedDb {
+    /// The full three-tier lookup — exact, domain suffixes, `.`
+    /// default — each tier one binary search over the on-disk table.
+    fn resolve(&self, host: &str, user: &str) -> Result<Resolution, ResolveError> {
+        let to_resolve_err = |e: DiskError| match e {
+            DiskError::Io(e) => ResolveError::Io(e),
+            DiskError::Corrupt(why) => ResolveError::Corrupt(why),
+        };
+        if let Some(format) = self.get(host).map_err(to_resolve_err)? {
+            return Ok(Resolution::render(&format, ResolvedVia::Exact, host, user));
+        }
+        let mut rest = host;
+        while let Some(dot) = rest.find('.') {
+            let suffix = &rest[dot..];
+            if suffix.len() > 1 {
+                if let Some(format) = self.get(suffix).map_err(to_resolve_err)? {
+                    return Ok(Resolution::render(
+                        &format,
+                        ResolvedVia::DomainSuffix {
+                            suffix: suffix.to_string(),
+                        },
+                        host,
+                        user,
+                    ));
+                }
+            }
+            rest = &rest[dot + 1..];
+        }
+        if let Some(format) = self.get(".").map_err(to_resolve_err)? {
+            return Ok(Resolution::render(
+                &format,
+                ResolvedVia::DefaultRoute,
+                host,
+                user,
+            ));
+        }
+        Err(ResolveError::NoRoute)
+    }
+
+    fn entries(&self) -> usize {
+        self.index.len()
     }
 }
 
@@ -438,6 +625,96 @@ mod tests {
             rebuilt.route_to("caip.rutgers.edu", "pleasant").unwrap(),
             "seismo!caip.rutgers.edu!pleasant"
         );
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn mapped_db_matches_diskdb_and_routedb() {
+        let path = temp_path("mapped-parity");
+        let db = sample_db();
+        write_db(&db, &path).unwrap();
+        let mapped = MappedDb::open(&path).unwrap();
+        let mut disk = DiskDb::open(&path).unwrap();
+        assert_eq!(mapped.len(), disk.len());
+        // Every name the in-memory lookup answers, the mapped reader
+        // must answer identically — including suffix hits and misses.
+        for dest in [
+            "seismo",
+            "duke",
+            "mit-ai",
+            "caip.rutgers.edu",
+            "x.y.edu",
+            "nowhere",
+        ] {
+            let want = db.route_to(dest, "u");
+            let via_disk = disk.route_to(dest, "u").unwrap();
+            let via_mapped = match mapped.resolve(dest, "u") {
+                Ok(r) => Some(r.route),
+                Err(ResolveError::NoRoute) => None,
+                Err(e) => panic!("mapped resolve failed on {dest}: {e}"),
+            };
+            assert_eq!(via_mapped, want, "mapped vs routedb on {dest}");
+            assert_eq!(via_disk, want, "diskdb vs routedb on {dest}");
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn mapped_db_serves_default_route() {
+        let path = temp_path("mapped-default");
+        let db = RouteDb::from_output(".edu\tgw!%s\n.\tsmart!%s\nhub\thub!%s\n").unwrap();
+        write_db(&db, &path).unwrap();
+        let mapped = MappedDb::open(&path).unwrap();
+        let hit = mapped.resolve("unknown-host", "u").unwrap();
+        assert_eq!(hit.via, ResolvedVia::DefaultRoute);
+        assert_eq!(hit.route, "smart!unknown-host!u");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn mapped_db_concurrent_readers() {
+        // The whole point of MappedDb: many threads, one handle, no
+        // locks, no &mut. 8 threads × 1000 lookups with full parity.
+        let mut entries = String::new();
+        for i in 0..300 {
+            entries.push_str(&format!("host{i:03}\trelay!host{i:03}!%s\n"));
+        }
+        entries.push_str(".edu\tgw!%s\n");
+        let db = RouteDb::from_output(&entries).unwrap();
+        let path = temp_path("mapped-concurrent");
+        write_db(&db, &path).unwrap();
+        let mapped = MappedDb::open(&path).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let mapped = &mapped;
+                s.spawn(move || {
+                    for i in 0..1_000 {
+                        let n = (t * 131 + i) % 300;
+                        let host = format!("host{n:03}");
+                        let got = mapped.resolve(&host, "u").unwrap();
+                        assert_eq!(got.route, format!("relay!host{n:03}!u"));
+                        assert_eq!(
+                            mapped.resolve("a.b.edu", "u").unwrap().route,
+                            "gw!a.b.edu!u"
+                        );
+                        assert!(matches!(
+                            mapped.resolve("missing", "u"),
+                            Err(ResolveError::NoRoute)
+                        ));
+                    }
+                });
+            }
+        });
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn mapped_db_rejects_corrupt_files() {
+        let path = temp_path("mapped-corrupt");
+        std::fs::write(&path, "NOTADB\n0\n").unwrap();
+        assert!(matches!(MappedDb::open(&path), Err(DiskError::Corrupt(_))));
+        std::fs::write(&path, "PADB1\n1\n500 4 504 6\nabcdefgh").unwrap();
+        assert!(matches!(MappedDb::open(&path), Err(DiskError::Corrupt(_))));
         std::fs::remove_file(path).unwrap();
     }
 

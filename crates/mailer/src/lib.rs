@@ -19,7 +19,11 @@
 //!   of the cbosgd example;
 //! * [`Message`] / [`HeaderRewriter`] — header processing following the
 //!   paper's six principles (modify only as necessary, never touch the
-//!   body, never emit a return path you would reject, ...).
+//!   body, never emit a return path you would reject, ...);
+//! * [`Resolver`] — the one lookup API every backend implements:
+//!   exact / domain-suffix / default-route resolution over [`RouteDb`],
+//!   [`SharedRouteDb`], and the page-cache-backed
+//!   [`disk::MappedDb`] (PADB1 served without a full load).
 //!
 //! # Examples
 //!
@@ -39,12 +43,14 @@
 mod address;
 pub mod disk;
 mod header;
+mod resolver;
 mod rewrite;
 mod routedb;
 mod shared;
 
 pub use address::{AddrError, Address, SyntaxStyle};
 pub use header::{HeaderRewriter, Message};
+pub use resolver::{BoxedResolver, ExactOutcome, Resolution, ResolveError, ResolvedVia, Resolver};
 pub use rewrite::{Policy, RewriteError, Rewriter};
 pub use routedb::{DbEntry, DbError, Lookup, MatchKind, RouteDb};
 pub use shared::SharedRouteDb;

@@ -1,0 +1,326 @@
+//! One lookup API over every backend.
+//!
+//! This repo grew three divergent ways to answer "route to host X":
+//! [`RouteDb::lookup`] in memory, the PADB1 disk reader, and the
+//! server's cached snapshot — each with its own signature and error
+//! shape. [`Resolver`] is the one semantics they all implement: exact
+//! name first, then progressively broader domain suffixes, then the
+//! default route (the `.` entry, smail's "smart path" convention),
+//! rendered with the paper's argument rule — an exact hit substitutes
+//! the user, while suffix and default hits carry the full destination
+//! ("the argument here is not [the user], it is
+//! `caip.rutgers.edu!pleasant`").
+//!
+//! Backends in this crate: [`RouteDb`], [`SharedRouteDb`], and the
+//! page-cache-backed [`MappedDb`](crate::disk::MappedDb). The serving
+//! layer (`pathalias-server`) wraps any of them in a generation-stamped
+//! cache that is itself a `Resolver`.
+
+use crate::routedb::{MatchKind, RouteDb};
+use crate::shared::SharedRouteDb;
+use std::fmt;
+use std::io;
+
+/// How a resolution matched, in lookup-precedence order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolvedVia {
+    /// The host name matched an entry exactly.
+    Exact,
+    /// A domain suffix matched (`caip.rutgers.edu` found via `.edu`).
+    DomainSuffix {
+        /// The matching suffix entry name (with its leading dot).
+        suffix: String,
+    },
+    /// The `.` default-route entry matched (nothing else did).
+    DefaultRoute,
+}
+
+/// A successful resolution: the rendered route plus how it was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resolution {
+    /// The complete route with the user argument substituted.
+    pub route: String,
+    /// The raw `printf`-style format string from the table (`%s`
+    /// marker intact) — what a cache should keep, since it serves any
+    /// user.
+    pub format: String,
+    /// How the match was found.
+    pub via: ResolvedVia,
+}
+
+impl Resolution {
+    /// Renders a resolution from a table format string: exact hits
+    /// substitute the user; suffix and default hits carry the whole
+    /// destination as `host!user`.
+    pub fn render(format: &str, via: ResolvedVia, host: &str, user: &str) -> Resolution {
+        let route = match via {
+            ResolvedVia::Exact => format.replacen("%s", user, 1),
+            ResolvedVia::DomainSuffix { .. } | ResolvedVia::DefaultRoute => {
+                format.replacen("%s", &format!("{host}!{user}"), 1)
+            }
+        };
+        Resolution {
+            route,
+            format: format.to_string(),
+            via,
+        }
+    }
+}
+
+/// Why a resolution failed.
+#[derive(Debug)]
+pub enum ResolveError {
+    /// The table has no route to the host — no exact entry, no domain
+    /// suffix, no default route. The ordinary negative answer.
+    NoRoute,
+    /// A disk-backed table could not be read.
+    Io(io::Error),
+    /// A disk-backed table is structurally broken.
+    Corrupt(String),
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::NoRoute => write!(f, "no route"),
+            ResolveError::Io(e) => write!(f, "i/o error: {e}"),
+            ResolveError::Corrupt(why) => write!(f, "corrupt route database: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+impl From<io::Error> for ResolveError {
+    fn from(e: io::Error) -> Self {
+        ResolveError::Io(e)
+    }
+}
+
+/// Outcome of [`Resolver::resolve_exact`], the optional cheap
+/// exact-name-only probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExactOutcome {
+    /// The host matched an exact entry; here is the full resolution.
+    Hit(Resolution),
+    /// The backend cheaply determined there is no *exact* entry (a
+    /// suffix or default route may still apply — the caller continues
+    /// with the full lookup).
+    MissExact,
+    /// The backend has no probe cheaper than a full
+    /// [`resolve`](Resolver::resolve) (e.g. disk-backed tables, where
+    /// even an exact probe is a binary search worth caching).
+    Unsupported,
+}
+
+/// The one lookup API over every backend.
+///
+/// # Examples
+///
+/// ```
+/// use pathalias_mailer::{Resolution, ResolvedVia, Resolver, RouteDb};
+///
+/// let db = RouteDb::from_output(
+///     "seismo\tseismo!%s\n.edu\tseismo!%s\n.\tgateway!%s\n",
+/// ).unwrap();
+///
+/// // Exact hit: the argument is the user.
+/// let hit = db.resolve("seismo", "rick").unwrap();
+/// assert_eq!(hit.route, "seismo!rick");
+/// assert_eq!(hit.via, ResolvedVia::Exact);
+///
+/// // Suffix hit: the argument carries the full destination.
+/// let hit = db.resolve("caip.rutgers.edu", "pleasant").unwrap();
+/// assert_eq!(hit.route, "seismo!caip.rutgers.edu!pleasant");
+/// assert_eq!(hit.via, ResolvedVia::DomainSuffix { suffix: ".edu".into() });
+///
+/// // Default route: the `.` entry catches everything else.
+/// let hit = db.resolve("mystery-host", "u").unwrap();
+/// assert_eq!(hit.route, "gateway!mystery-host!u");
+/// assert_eq!(hit.via, ResolvedVia::DefaultRoute);
+/// ```
+pub trait Resolver {
+    /// Resolves mail for `user` at `host` to a complete route.
+    ///
+    /// Pass `"%s"` as `user` to get the format string back in rendered
+    /// form (`replacen("%s", "%s", 1)` is the identity for exact hits).
+    fn resolve(&self, host: &str, user: &str) -> Result<Resolution, ResolveError>;
+
+    /// Number of entries in the backing table (for health lines).
+    fn entries(&self) -> usize;
+
+    /// An exact-name-only probe for backends where that is cheaper
+    /// than anything a caching layer could do — one lock-free hash
+    /// probe for the in-memory tables. Decorators use it to keep
+    /// exact-match traffic off their caches entirely. The default is
+    /// [`ExactOutcome::Unsupported`]: "just do the full resolve".
+    fn resolve_exact(&self, _host: &str, _user: &str) -> ExactOutcome {
+        ExactOutcome::Unsupported
+    }
+}
+
+impl<R: Resolver + ?Sized> Resolver for &R {
+    fn resolve(&self, host: &str, user: &str) -> Result<Resolution, ResolveError> {
+        (**self).resolve(host, user)
+    }
+    fn entries(&self) -> usize {
+        (**self).entries()
+    }
+    fn resolve_exact(&self, host: &str, user: &str) -> ExactOutcome {
+        (**self).resolve_exact(host, user)
+    }
+}
+
+impl<R: Resolver + ?Sized> Resolver for Box<R> {
+    fn resolve(&self, host: &str, user: &str) -> Result<Resolution, ResolveError> {
+        (**self).resolve(host, user)
+    }
+    fn entries(&self) -> usize {
+        (**self).entries()
+    }
+    fn resolve_exact(&self, host: &str, user: &str) -> ExactOutcome {
+        (**self).resolve_exact(host, user)
+    }
+}
+
+impl<R: Resolver + ?Sized> Resolver for std::sync::Arc<R> {
+    fn resolve(&self, host: &str, user: &str) -> Result<Resolution, ResolveError> {
+        (**self).resolve(host, user)
+    }
+    fn entries(&self) -> usize {
+        (**self).entries()
+    }
+    fn resolve_exact(&self, host: &str, user: &str) -> ExactOutcome {
+        (**self).resolve_exact(host, user)
+    }
+}
+
+/// A resolver any thread can hold: the type the serving layer boxes
+/// its backends into.
+pub type BoxedResolver = Box<dyn Resolver + Send + Sync>;
+
+impl Resolver for RouteDb {
+    fn resolve(&self, host: &str, user: &str) -> Result<Resolution, ResolveError> {
+        let hit = self.lookup(host).ok_or(ResolveError::NoRoute)?;
+        let via = match hit.kind {
+            MatchKind::Exact => ResolvedVia::Exact,
+            MatchKind::DomainSuffix(suffix) => ResolvedVia::DomainSuffix { suffix },
+            MatchKind::Default => ResolvedVia::DefaultRoute,
+        };
+        Ok(Resolution::render(&hit.entry.route, via, host, user))
+    }
+
+    fn entries(&self) -> usize {
+        self.len()
+    }
+
+    fn resolve_exact(&self, host: &str, user: &str) -> ExactOutcome {
+        match self.get(host) {
+            Some(entry) => ExactOutcome::Hit(Resolution::render(
+                &entry.route,
+                ResolvedVia::Exact,
+                host,
+                user,
+            )),
+            None => ExactOutcome::MissExact,
+        }
+    }
+}
+
+impl Resolver for SharedRouteDb {
+    fn resolve(&self, host: &str, user: &str) -> Result<Resolution, ResolveError> {
+        (**self).resolve(host, user)
+    }
+    fn entries(&self) -> usize {
+        self.len()
+    }
+    fn resolve_exact(&self, host: &str, user: &str) -> ExactOutcome {
+        (**self).resolve_exact(host, user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> RouteDb {
+        RouteDb::from_output(
+            "seismo\tseismo!%s\n.edu\tseismo!%s\n\
+             caip.rutgers.edu\tseismo!caip.rutgers.edu!%s\n.\tsmart!%s\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn routedb_resolves_all_three_tiers() {
+        let db = db();
+        let exact = db.resolve("caip.rutgers.edu", "pleasant").unwrap();
+        assert_eq!(exact.via, ResolvedVia::Exact);
+        assert_eq!(exact.route, "seismo!caip.rutgers.edu!pleasant");
+        assert_eq!(exact.format, "seismo!caip.rutgers.edu!%s");
+
+        let suffix = db.resolve("princeton.edu", "honey").unwrap();
+        assert_eq!(
+            suffix.via,
+            ResolvedVia::DomainSuffix {
+                suffix: ".edu".into()
+            }
+        );
+        assert_eq!(suffix.route, "seismo!princeton.edu!honey");
+
+        let default = db.resolve("mystery", "u").unwrap();
+        assert_eq!(default.via, ResolvedVia::DefaultRoute);
+        assert_eq!(default.route, "smart!mystery!u");
+    }
+
+    #[test]
+    fn no_route_without_default() {
+        let db = RouteDb::from_output("a\ta!%s\n").unwrap();
+        assert!(matches!(
+            db.resolve("nowhere", "u"),
+            Err(ResolveError::NoRoute)
+        ));
+    }
+
+    #[test]
+    fn shared_and_boxed_delegate() {
+        let shared = SharedRouteDb::new(db());
+        assert_eq!(
+            shared.resolve("seismo", "rick").unwrap().route,
+            "seismo!rick"
+        );
+        assert_eq!(Resolver::entries(&shared), 4);
+
+        let boxed: BoxedResolver = Box::new(shared.clone());
+        assert_eq!(
+            boxed.resolve("seismo", "rick").unwrap().route,
+            "seismo!rick"
+        );
+        assert_eq!(boxed.entries(), 4);
+
+        let arced = std::sync::Arc::new(db());
+        assert_eq!(
+            arced.resolve("seismo", "rick").unwrap().route,
+            "seismo!rick"
+        );
+    }
+
+    #[test]
+    fn percent_s_user_round_trips_format() {
+        let db = db();
+        let hit = db.resolve("seismo", "%s").unwrap();
+        assert_eq!(hit.route, hit.format);
+    }
+
+    #[test]
+    fn resolution_matches_route_to() {
+        // The trait must agree with the legacy RouteDb::route_to on
+        // every name the old API answers.
+        let db = db();
+        for dest in ["seismo", "caip.rutgers.edu", "x.y.edu", "plainhost"] {
+            let old = db.route_to(dest, "u").unwrap();
+            let new = db.resolve(dest, "u").unwrap().route;
+            assert_eq!(old, new, "divergence on {dest}");
+        }
+    }
+}

@@ -33,6 +33,10 @@ pub enum MatchKind {
     /// A domain suffix matched (`caip.rutgers.edu` found via `.edu`);
     /// the argument must carry the full destination.
     DomainSuffix(String),
+    /// The `.` default-route entry matched (smail's "smart path"
+    /// convention: a bare-dot entry catches everything the table does
+    /// not know); the argument carries the full destination.
+    Default,
 }
 
 /// A successful lookup.
@@ -179,7 +183,8 @@ impl RouteDb {
 
     /// The paper's mailer lookup: exact name first; for dotted names,
     /// progressively broader domain suffixes (`caip.rutgers.edu`, then
-    /// `.rutgers.edu`, then `.edu`).
+    /// `.rutgers.edu`, then `.edu`); finally the `.` default-route
+    /// entry, if the table has one.
     pub fn lookup(&self, dest: &str) -> Option<Lookup<'_>> {
         if let Some(entry) = self.entries.get(dest) {
             return Some(Lookup {
@@ -187,19 +192,26 @@ impl RouteDb {
                 kind: MatchKind::Exact,
             });
         }
-        // Successive suffixes: strip one label at a time.
+        // Successive suffixes: strip one label at a time. A suffix is
+        // always at least `.x`, so the bare-dot default entry can never
+        // shadow a real domain match.
         let mut rest = dest;
         while let Some(dot) = rest.find('.') {
             let suffix = &rest[dot..];
-            if let Some(entry) = self.entries.get(suffix) {
-                return Some(Lookup {
-                    entry,
-                    kind: MatchKind::DomainSuffix(suffix.to_string()),
-                });
+            if suffix.len() > 1 {
+                if let Some(entry) = self.entries.get(suffix) {
+                    return Some(Lookup {
+                        entry,
+                        kind: MatchKind::DomainSuffix(suffix.to_string()),
+                    });
+                }
             }
             rest = &rest[dot + 1..];
         }
-        None
+        self.entries.get(".").map(|entry| Lookup {
+            entry,
+            kind: MatchKind::Default,
+        })
     }
 
     /// Produces the complete route for mail to `user` at `dest`,
@@ -210,7 +222,7 @@ impl RouteDb {
         let hit = self.lookup(dest)?;
         let arg = match &hit.kind {
             MatchKind::Exact => user.to_string(),
-            MatchKind::DomainSuffix(_) => format!("{dest}!{user}"),
+            MatchKind::DomainSuffix(_) | MatchKind::Default => format!("{dest}!{user}"),
         };
         Some(hit.entry.route.replacen("%s", &arg, 1))
     }
@@ -257,6 +269,30 @@ mod tests {
         let hit = db.lookup("caip.rutgers.edu").unwrap();
         assert_eq!(hit.kind, MatchKind::DomainSuffix(".rutgers.edu".into()));
         assert_eq!(hit.entry.route, "gw2!%s");
+    }
+
+    #[test]
+    fn default_route_is_the_last_resort() {
+        let db = RouteDb::from_output(".edu\tgw!%s\n.\tsmart!%s\n").unwrap();
+        // Suffix still wins for names it covers.
+        let hit = db.lookup("x.edu").unwrap();
+        assert_eq!(hit.kind, MatchKind::DomainSuffix(".edu".into()));
+        // Everything else falls through to the bare-dot entry, with
+        // the argument carrying the full destination (as for suffixes).
+        let hit = db.lookup("unknown-host").unwrap();
+        assert_eq!(hit.kind, MatchKind::Default);
+        assert_eq!(
+            db.route_to("unknown-host", "u").unwrap(),
+            "smart!unknown-host!u"
+        );
+        assert_eq!(
+            db.route_to("deep.x.gov", "u").unwrap(),
+            "smart!deep.x.gov!u"
+        );
+        // A trailing-dot name must not let the default entry pose as a
+        // domain suffix.
+        let hit = db.lookup("oddname.").unwrap();
+        assert_eq!(hit.kind, MatchKind::Default);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 /// An indexed min-heap over dense `u32` node indices.
 ///
 /// Each node may appear at most once; [`decrease`] updates a queued
-/// node's key. All operations are O(log n); [`contains`] and key lookup
+/// node's key. All operations are O(log n); [`contains`](IndexedHeap::contains) and key lookup
 /// are O(1) via the position index.
 ///
 /// [`decrease`]: IndexedHeap::decrease

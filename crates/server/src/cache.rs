@@ -1,18 +1,22 @@
-//! A sharded, bounded LRU cache for domain-suffix lookups.
+//! A sharded, bounded LRU cache for resolved lookups.
 //!
-//! Exact-name queries are a single hash probe against the snapshot and
-//! need no cache. Suffix queries (`caip.rutgers.edu` through `.edu`)
-//! walk the domain chain, one probe per label — and mailer traffic is
-//! heavily repetitive, so the daemon remembers resolved suffixes (and
-//! confirmed misses; an LRU bounds the damage an attacker's junk names
-//! can do) in a cache sharded by host-name hash to keep lock
-//! contention off the query path.
+//! Mailer traffic is heavily repetitive, so the daemon remembers
+//! resolutions — the route format string plus how it matched — and
+//! confirmed misses (an LRU bounds the damage an attacker's junk names
+//! can do), in a cache sharded by host-name hash to keep lock
+//! contention off the query path. With a disk-backed table behind the
+//! cache, a hit also saves the binary-search reads entirely.
 //!
 //! Entries are stamped with the table generation they were computed
 //! against. A hot reload bumps the generation, which invalidates every
 //! cached entry lazily — no stop-the-world clear, and a stale entry can
 //! never be served against a new table.
+//!
+//! Each shard keeps its own hit/miss/eviction counters (under the
+//! shard lock it already holds, so they cost nothing extra); `STATS`
+//! reports them as `cache_shard<N>_{hits,misses,evictions}`.
 
+use pathalias_mailer::ResolvedVia;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -20,9 +24,30 @@ use std::sync::Mutex;
 
 const NIL: usize = usize::MAX;
 
-/// A cached suffix resolution: the route format string, or a confirmed
-/// miss.
-pub type CachedRoute = Option<Arc<str>>;
+/// A cached positive resolution: the table's format string (serves any
+/// user) and how it matched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedHit {
+    /// The `printf`-style route with its `%s` marker intact.
+    pub format: Arc<str>,
+    /// How the lookup matched (exact / suffix / default).
+    pub via: ResolvedVia,
+}
+
+/// A cached resolution: a hit, or a confirmed miss.
+pub type CachedRoute = Option<CachedHit>;
+
+/// One shard's counters, as sampled by [`ShardedCache::shard_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Lookups answered from this shard (current generation).
+    pub hits: u64,
+    /// Lookups this shard could not answer (absent or stale).
+    pub misses: u64,
+    /// Entries evicted by capacity pressure (stale drops count as
+    /// misses, not evictions).
+    pub evictions: u64,
+}
 
 struct Node {
     key: String,
@@ -40,6 +65,7 @@ struct Lru {
     head: usize,
     tail: usize,
     capacity: usize,
+    stats: ShardStats,
 }
 
 impl Lru {
@@ -51,6 +77,7 @@ impl Lru {
             head: NIL,
             tail: NIL,
             capacity: capacity.max(1),
+            stats: ShardStats::default(),
         }
     }
 
@@ -89,11 +116,15 @@ impl Lru {
     }
 
     fn get(&mut self, generation: u64, key: &str) -> Option<CachedRoute> {
-        let i = *self.map.get(key)?;
+        let Some(&i) = self.map.get(key) else {
+            self.stats.misses += 1;
+            return None;
+        };
         match self.slab[i].generation.cmp(&generation) {
             std::cmp::Ordering::Less => {
                 // Computed against a previous table: drop, report miss.
                 self.remove(i);
+                self.stats.misses += 1;
                 None
             }
             std::cmp::Ordering::Greater => {
@@ -101,11 +132,13 @@ impl Lru {
                 // landed mid-query). Don't serve it — the caller must
                 // stay consistent with its snapshot — and don't evict
                 // what current readers are using.
+                self.stats.misses += 1;
                 None
             }
             std::cmp::Ordering::Equal => {
                 self.unlink(i);
                 self.push_front(i);
+                self.stats.hits += 1;
                 Some(self.slab[i].value.clone())
             }
         }
@@ -123,6 +156,7 @@ impl Lru {
             let evict = self.tail;
             debug_assert_ne!(evict, NIL);
             self.remove(evict);
+            self.stats.evictions += 1;
         }
         let node = Node {
             key: key.to_string(),
@@ -191,7 +225,7 @@ impl ShardedCache {
     /// generation `generation` (the caller's snapshot — never the
     /// cache's own notion of "current", so a query pinned to an old
     /// snapshot cannot see entries from a newer table or vice versa).
-    /// `Some(Some(route))` — cached suffix route; `Some(None)` — cached
+    /// `Some(Some(hit))` — cached resolution; `Some(None)` — cached
     /// miss; `None` — not cached (or wrong generation).
     pub fn get(&self, generation: u64, key: &str) -> Option<CachedRoute> {
         self.shard(key).lock().unwrap().get(generation, key)
@@ -219,6 +253,36 @@ impl ShardedCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One snapshot of every shard's counters, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().stats)
+            .collect()
+    }
+
+    /// The per-shard counters rendered for `STATS`:
+    /// `cache_shard0_hits=… cache_shard0_misses=… cache_shard0_evictions=… …`
+    /// on one space-separated line, shards in order.
+    pub fn render_shard_stats(&self) -> String {
+        let mut out = String::new();
+        for (i, st) in self.shard_stats().iter().enumerate() {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(&format!(
+                "cache_shard{i}_hits={} cache_shard{i}_misses={} cache_shard{i}_evictions={}",
+                st.hits, st.misses, st.evictions
+            ));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -226,7 +290,16 @@ mod tests {
     use super::*;
 
     fn route(s: &str) -> CachedRoute {
-        Some(Arc::from(s))
+        Some(CachedHit {
+            format: Arc::from(s),
+            via: ResolvedVia::DomainSuffix {
+                suffix: ".edu".into(),
+            },
+        })
+    }
+
+    fn format_of(v: CachedRoute) -> String {
+        v.unwrap().format.as_ref().to_string()
     }
 
     #[test]
@@ -235,7 +308,7 @@ mod tests {
         assert_eq!(c.get(0, "a.edu"), None);
         c.insert(0, "a.edu", route("gw!%s"));
         c.insert(0, "b.gov", None);
-        assert_eq!(c.get(0, "a.edu").unwrap().unwrap().as_ref(), "gw!%s");
+        assert_eq!(format_of(c.get(0, "a.edu").unwrap()), "gw!%s");
         assert_eq!(c.get(0, "b.gov"), Some(None));
     }
 
@@ -261,7 +334,7 @@ mod tests {
         c.invalidate_to(1);
         assert_eq!(c.get(1, "old.edu"), None, "stale entry must not serve");
         c.insert(1, "new.edu", route("new!%s"));
-        assert_eq!(c.get(1, "new.edu").unwrap().unwrap().as_ref(), "new!%s");
+        assert_eq!(format_of(c.get(1, "new.edu").unwrap()), "new!%s");
     }
 
     #[test]
@@ -277,8 +350,39 @@ mod tests {
         let c = ShardedCache::new(8, 1);
         c.insert(0, "x.edu", route("a!%s"));
         c.insert(0, "x.edu", route("b!%s"));
-        assert_eq!(c.get(0, "x.edu").unwrap().unwrap().as_ref(), "b!%s");
+        assert_eq!(format_of(c.get(0, "x.edu").unwrap()), "b!%s");
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn shard_stats_count_hits_misses_evictions() {
+        let c = ShardedCache::new(2, 1);
+        assert!(c.get(0, "a").is_none()); // miss
+        c.insert(0, "a", route("r!%s"));
+        assert!(c.get(0, "a").is_some()); // hit
+        c.insert(0, "b", route("r!%s"));
+        c.insert(0, "c", route("r!%s")); // evicts the LRU entry
+        let stats = c.shard_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].hits, 1);
+        assert_eq!(stats[0].misses, 1);
+        assert_eq!(stats[0].evictions, 1);
+        let rendered = c.render_shard_stats();
+        assert!(rendered.contains("cache_shard0_hits=1"), "{rendered}");
+        assert!(rendered.contains("cache_shard0_misses=1"), "{rendered}");
+        assert!(rendered.contains("cache_shard0_evictions=1"), "{rendered}");
+        assert!(!rendered.contains('\n'));
+    }
+
+    #[test]
+    fn stale_drop_is_a_miss_not_an_eviction() {
+        let c = ShardedCache::new(8, 1);
+        c.insert(0, "x.edu", route("a!%s"));
+        c.invalidate_to(1);
+        assert!(c.get(1, "x.edu").is_none());
+        let st = c.shard_stats()[0];
+        assert_eq!(st.misses, 1);
+        assert_eq!(st.evictions, 0);
     }
 
     #[test]
@@ -291,7 +395,7 @@ mod tests {
                     for i in 0..2_000 {
                         let key = format!("h{}.net", (t * 31 + i) % 100);
                         match c.get(0, &key) {
-                            Some(Some(r)) => assert_eq!(r.as_ref(), "gw!%s"),
+                            Some(Some(hit)) => assert_eq!(hit.format.as_ref(), "gw!%s"),
                             Some(None) => {}
                             None => c.insert(0, &key, route("gw!%s")),
                         }
@@ -300,5 +404,8 @@ mod tests {
             }
         });
         assert!(c.len() <= 64);
+        let totals = c.shard_stats();
+        let touched: u64 = totals.iter().map(|s| s.hits + s.misses).sum();
+        assert_eq!(touched, 8 * 2_000);
     }
 }

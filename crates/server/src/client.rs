@@ -1,8 +1,25 @@
-//! A tiny synchronous client for the query protocol.
+//! A synchronous client for the query protocol, v1 and v2.
 //!
 //! Used by `pathalias serve --query`, the integration tests, and the
 //! `route_server` example. One connection, requests answered in order.
+//!
+//! Three altitudes of API:
+//!
+//! * one-shot helpers — [`Client::query`], [`Client::stats`], ... one
+//!   request, one flush, one response;
+//! * batched — [`Client::query_batch`] sends N queries in **one round
+//!   trip**: a v2 `MQUERY` line when the server negotiates `PROTO 2`,
+//!   or N pipelined v1 `QUERY` lines (single flush) against an old
+//!   server — callers get the same answers either way;
+//! * split — [`Client::send_request`] / [`Client::flush`] /
+//!   [`Client::recv_response`] expose the raw halves so a caller can
+//!   keep M requests in flight on one connection.
+//!
+//! Server-reported failures surface as [`ClientError::Server`] with
+//! the status code and the server's own text, not a generic I/O error.
 
+use crate::protocol::ProtoVersion;
+use std::fmt;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 #[cfg(unix)]
@@ -53,18 +70,65 @@ impl Conn {
     }
 }
 
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connection dropped, reset, ...).
+    Io(io::Error),
+    /// The server answered with an error status (`400`/`500`); the
+    /// message is the server's own text.
+    Server {
+        /// The numeric status code.
+        code: u16,
+        /// The text after the code, verbatim.
+        message: String,
+    },
+    /// The response did not parse as `<code> <text>` — a protocol bug
+    /// or a non-pathalias peer.
+    Protocol(String),
+    /// The caller's input cannot be framed on the wire (empty host,
+    /// whitespace, a `:` in a batched host). Nothing was sent; the
+    /// connection is still usable.
+    InvalidQuery(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Server { code, message } => write!(f, "server said {code}: {message}"),
+            ClientError::Protocol(why) => write!(f, "protocol violation: {why}"),
+            ClientError::InvalidQuery(why) => write!(f, "invalid query: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
 /// A connected protocol client.
 ///
-/// Writes are buffered and flushed once per request: a request is one
-/// TCP segment, which keeps Nagle's algorithm and delayed ACKs from
-/// inserting a round-trip-scale stall into every query.
+/// Writes are buffered and flushed once per call: a one-shot request
+/// is one TCP segment, and a batch is as few segments as it fits in,
+/// which keeps Nagle's algorithm and delayed ACKs from inserting a
+/// round-trip-scale stall into every query.
 pub struct Client {
     reader: BufReader<Conn>,
     writer: BufWriter<Conn>,
+    /// The protocol version negotiated on this connection; `None`
+    /// until the first [`Client::negotiate`] (or the first batch,
+    /// which negotiates lazily).
+    proto: Option<ProtoVersion>,
 }
 
-/// A `QUERY` outcome: the route, or a confirmed "no route".
-pub type QueryResult = io::Result<Option<String>>;
+/// A `QUERY` outcome: the route, `None` for a confirmed "no route",
+/// or a typed error.
+pub type QueryResult = Result<Option<String>, ClientError>;
 
 impl Client {
     /// Connects over TCP.
@@ -84,68 +148,214 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(conn.split()?),
             writer: BufWriter::new(conn),
+            proto: None,
         })
     }
 
-    /// Sends one raw request line, returns the raw response line
-    /// (`<code> <text>`, no newline).
-    pub fn send(&mut self, request: &str) -> io::Result<String> {
+    // ---- the split halves ------------------------------------------
+
+    /// Buffers one raw request line without flushing — the "send" half.
+    /// Pair with [`Client::flush`] and [`Client::recv_response`] to
+    /// keep several requests in flight on this connection; the server
+    /// answers strictly in order.
+    pub fn send_request(&mut self, request: &str) -> Result<(), ClientError> {
         writeln!(self.writer, "{request}")?;
+        Ok(())
+    }
+
+    /// Flushes all buffered request lines to the socket.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
         self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads one raw response line (`<code> <text>`, no newline) — the
+    /// "recv" half. Blocks until the server answers.
+    pub fn recv_response(&mut self) -> Result<String, ClientError> {
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
-            return Err(io::Error::new(
+            return Err(ClientError::Io(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
-            ));
+            )));
         }
         Ok(line.trim_end_matches(['\r', '\n']).to_string())
     }
 
+    /// Parses a response line as a query answer: `200 route`,
+    /// `404 …` → `None`, `400`/`500` → [`ClientError::Server`].
+    fn parse_query_response(line: &str) -> QueryResult {
+        match line.split_once(' ') {
+            Some(("200", route)) => Ok(Some(route.to_string())),
+            Some(("404", _)) => Ok(None),
+            Some((code @ ("400" | "500"), message)) => Err(ClientError::Server {
+                code: code.parse().expect("literal code"),
+                message: message.to_string(),
+            }),
+            _ => Err(ClientError::Protocol(format!(
+                "unexpected response `{line}`"
+            ))),
+        }
+    }
+
+    /// Sends one raw request line and returns the raw response line —
+    /// one full round trip, composed from the split halves.
+    pub fn send(&mut self, request: &str) -> Result<String, ClientError> {
+        self.send_request(request)?;
+        self.flush()?;
+        self.recv_response()
+    }
+
+    // ---- negotiation -----------------------------------------------
+
+    /// Negotiates protocol v2, falling back to v1 when the server does
+    /// not know `PROTO` (any PR-1 daemon). Returns the version this
+    /// connection now speaks; cached, so repeat calls are free.
+    pub fn negotiate(&mut self) -> Result<ProtoVersion, ClientError> {
+        if let Some(proto) = self.proto {
+            return Ok(proto);
+        }
+        let line = self.send("PROTO 2")?;
+        let proto = match line.split_once(' ') {
+            Some(("200", payload)) if payload.trim() == "proto=2" => ProtoVersion::V2,
+            // A v1 server answers `400 unknown verb …` — fall back.
+            Some(("400", _)) => ProtoVersion::V1,
+            _ => {
+                return Err(ClientError::Protocol(format!(
+                    "unexpected PROTO response `{line}`"
+                )))
+            }
+        };
+        self.proto = Some(proto);
+        Ok(proto)
+    }
+
+    // ---- typed verbs -----------------------------------------------
+
     /// `QUERY host [user]` → `Ok(Some(route))`, `Ok(None)` for 404, or
-    /// an error for anything else.
+    /// a typed error (`400`/`500` carry the server's text).
     pub fn query(&mut self, host: &str, user: Option<&str>) -> QueryResult {
         let request = match user {
             Some(u) => format!("QUERY {host} {u}"),
             None => format!("QUERY {host}"),
         };
         let line = self.send(&request)?;
-        match line.split_once(' ') {
-            Some(("200", route)) => Ok(Some(route.to_string())),
-            Some(("404", _)) => Ok(None),
-            _ => Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unexpected response `{line}`"),
-            )),
+        Self::parse_query_response(&line)
+    }
+
+    /// Answers N queries in one round trip, preserving order.
+    ///
+    /// Against a v2 server this is one `MQUERY` line; against a v1
+    /// server it pipelines N `QUERY` lines with a single flush.
+    /// Negotiation happens lazily on the first batch. Hosts must be
+    /// non-empty and free of whitespace and `:` (the v2 host:user
+    /// separator — real host names never contain either); users must
+    /// be non-empty and whitespace-free. Violations fail with
+    /// [`ClientError::InvalidQuery`] *before* anything is written, so
+    /// the connection stays usable.
+    ///
+    /// Each slot answers like [`Client::query`]: `Some(route)`,
+    /// `None` for no-route. A server-reported error (`400`/`500`) in
+    /// any slot fails the whole batch — but only after every response
+    /// line has been consumed, so the connection is never left
+    /// desynchronized.
+    pub fn query_batch(
+        &mut self,
+        queries: &[(&str, Option<&str>)],
+    ) -> Result<Vec<Option<String>>, ClientError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
         }
+        for (host, user) in queries {
+            if host.is_empty() || host.contains(char::is_whitespace) || host.contains(':') {
+                return Err(ClientError::InvalidQuery(format!(
+                    "host `{host}` cannot be framed in a batch"
+                )));
+            }
+            if let Some(u) = user {
+                if u.is_empty() || u.contains(char::is_whitespace) {
+                    return Err(ClientError::InvalidQuery(format!(
+                        "user `{u}` cannot be framed in a batch"
+                    )));
+                }
+            }
+        }
+        match self.negotiate()? {
+            ProtoVersion::V2 => {
+                let mut line = String::from("MQUERY");
+                for (host, user) in queries {
+                    line.push(' ');
+                    line.push_str(host);
+                    if let Some(u) = user {
+                        line.push(':');
+                        line.push_str(u);
+                    }
+                }
+                self.send_request(&line)?;
+            }
+            ProtoVersion::V1 => {
+                for (host, user) in queries {
+                    match user {
+                        Some(u) => self.send_request(&format!("QUERY {host} {u}"))?,
+                        None => self.send_request(&format!("QUERY {host}"))?,
+                    }
+                }
+            }
+        }
+        self.flush()?;
+        // Drain every response line first: an error in slot k must not
+        // leave slots k+1..N buffered, or the next call on this client
+        // would read a stale answer.
+        let mut lines = Vec::with_capacity(queries.len());
+        for _ in queries {
+            lines.push(self.recv_response()?);
+        }
+        lines
+            .iter()
+            .map(|line| Self::parse_query_response(line))
+            .collect()
     }
 
     /// `STATS` → the key=value payload.
-    pub fn stats(&mut self) -> io::Result<String> {
+    pub fn stats(&mut self) -> Result<String, ClientError> {
         self.expect_200("STATS")
     }
 
     /// `RELOAD` → the `reloaded generation=N entries=N` payload.
-    pub fn reload(&mut self) -> io::Result<String> {
+    pub fn reload(&mut self) -> Result<String, ClientError> {
         self.expect_200("RELOAD")
     }
 
     /// `HEALTH` → the `ok generation=N entries=N` payload.
-    pub fn health(&mut self) -> io::Result<String> {
+    pub fn health(&mut self) -> Result<String, ClientError> {
         self.expect_200("HEALTH")
     }
 
+    /// `SHUTDOWN` (v2): asks the daemon to stop accepting and drain.
+    /// Negotiates v2 first; fails with [`ClientError::Server`] against
+    /// a v1-only daemon.
+    pub fn shutdown(mut self) -> Result<String, ClientError> {
+        self.negotiate()?;
+        self.expect_200("SHUTDOWN")
+    }
+
     /// `QUIT`: tells the server to close this connection.
-    pub fn quit(mut self) -> io::Result<()> {
+    pub fn quit(mut self) -> Result<(), ClientError> {
         self.send("QUIT")?;
         Ok(())
     }
 
-    fn expect_200(&mut self, verb: &str) -> io::Result<String> {
+    fn expect_200(&mut self, verb: &str) -> Result<String, ClientError> {
         let line = self.send(verb)?;
         match line.split_once(' ') {
             Some(("200", payload)) => Ok(payload.to_string()),
-            _ => Err(io::Error::other(format!("{verb} failed: `{line}`"))),
+            Some((code @ ("400" | "404" | "500"), message)) => Err(ClientError::Server {
+                code: code.parse().expect("literal code"),
+                message: message.to_string(),
+            }),
+            _ => Err(ClientError::Protocol(format!(
+                "{verb} got unexpected response `{line}`"
+            ))),
         }
     }
 }

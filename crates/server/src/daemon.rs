@@ -3,27 +3,41 @@
 //! One thread per connection, which is the right shape for this
 //! protocol: mailers hold a connection open and stream queries down
 //! it, so the thread count tracks the number of *clients*, not the
-//! query rate, and each query is a hash probe against an immutable
+//! query rate, and each query is a probe against an immutable
 //! snapshot — microseconds of work between blocking reads.
 //!
-//! `RELOAD` runs on the requesting connection's thread under a lock
-//! (one rebuild at a time). Every other connection keeps answering
-//! queries from the old snapshot until the atomic swap, so a reload
-//! never drops or delays in-flight traffic.
+//! The table sits behind a [`Cached<BoxedResolver>`]: any backend that
+//! implements [`pathalias_mailer::Resolver`] — the in-memory
+//! `SharedRouteDb`, the page-cache-backed `MappedDb` — serves through
+//! the same generation-stamped cache. `RELOAD` runs on the requesting
+//! connection's thread under a lock (one rebuild at a time); every
+//! other connection keeps answering queries from the old snapshot
+//! until the atomic swap, so a reload never drops or delays in-flight
+//! traffic.
+//!
+//! Each connection starts in protocol v1 and may negotiate v2 with
+//! `PROTO 2`, unlocking `MQUERY` (batched queries, one flush per
+//! batch) and `SHUTDOWN` (drain and exit). A v1 session is
+//! byte-for-byte the PR-1 protocol.
 
-use crate::cache::ShardedCache;
-use crate::index::{resolve, RouteIndex, SwapCell};
+use crate::index::Cached;
 use crate::metrics::{bump, drop_one, Metrics};
-use crate::protocol::{parse_request, Request, Response, MAX_LINE};
+use crate::protocol::{parse_request, ProtoVersion, Request, Response, MAX_LINE};
 use crate::reload::MapSource;
+use pathalias_mailer::{BoxedResolver, ResolveError, Resolver};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often an idle connection thread wakes to check for shutdown.
+/// Bounds how long a drain waits on a completely quiet connection.
+const IDLE_POLL: Duration = Duration::from_millis(200);
 
 /// What to serve and where to listen.
 #[derive(Debug, Clone)]
@@ -35,7 +49,7 @@ pub struct ServerConfig {
     pub tcp: Option<String>,
     /// Unix socket path. `None` disables the Unix listener.
     pub unix: Option<PathBuf>,
-    /// Total entries across the suffix-cache shards.
+    /// Total entries across the lookup-cache shards.
     pub cache_capacity: usize,
     /// Number of cache shards.
     pub cache_shards: usize,
@@ -57,45 +71,78 @@ impl ServerConfig {
 
 /// Shared daemon state.
 pub(crate) struct State {
-    swap: SwapCell,
-    cache: ShardedCache,
-    metrics: Metrics,
+    cached: Cached<BoxedResolver>,
+    metrics: Arc<Metrics>,
     source: MapSource,
     /// Serializes rebuilds; queries never take it.
     reload_lock: Mutex<()>,
-    /// The generation the next successful reload will publish.
-    next_generation: AtomicU64,
     shutting_down: AtomicBool,
+    /// Where to poke throwaway connections to wake blocking accepts
+    /// (filled in by `Server::start` once the listeners are bound).
+    wake_tcp: Mutex<Option<SocketAddr>>,
+    #[cfg(unix)]
+    wake_unix: Mutex<Option<PathBuf>>,
 }
 
 impl State {
-    /// Handles one parsed request. Protocol-level; transport-agnostic.
-    fn respond(self: &Arc<Self>, req: Request) -> Response {
+    /// Resolves one query to its wire response.
+    fn respond_query(&self, host: &str, user: Option<&str>) -> Response {
+        let user = user.unwrap_or("%s");
+        match self.cached.resolve(host, user) {
+            Ok(resolution) => Response::Route(resolution.route),
+            Err(ResolveError::NoRoute) => Response::NoRoute(host.to_string()),
+            Err(e) => Response::Failure(format!("resolve failed: {e}")),
+        }
+    }
+
+    /// Handles one parsed request, producing the ordered response
+    /// lines (one for most verbs, N for `MQUERY`). Protocol-level;
+    /// transport-agnostic.
+    fn respond(self: &Arc<Self>, req: Request) -> Vec<Response> {
         match req {
             Request::Query { host, user } => {
-                let snapshot = self.swap.load();
-                let user = user.as_deref().unwrap_or("%s");
-                match resolve(&snapshot, &self.cache, &self.metrics, &host, user) {
-                    Some(route) => Response::Route(route),
-                    None => Response::NoRoute(host),
-                }
+                vec![self.respond_query(&host, user.as_deref())]
             }
+            Request::MultiQuery { queries } => {
+                // Pin one snapshot for the whole batch: a reload
+                // mid-batch must not make line 7 answer from a newer
+                // table than line 3.
+                let snapshot = self.cached.snapshot();
+                queries
+                    .iter()
+                    .map(|(host, user)| {
+                        let user = user.as_deref().unwrap_or("%s");
+                        match self.cached.resolve_at(&snapshot, host, user) {
+                            Ok(resolution) => Response::Route(resolution.route),
+                            Err(ResolveError::NoRoute) => Response::NoRoute(host.clone()),
+                            Err(e) => Response::Failure(format!("resolve failed: {e}")),
+                        }
+                    })
+                    .collect()
+            }
+            Request::Proto { version } => vec![Response::Proto { version }],
             Request::Stats => {
-                let snapshot = self.swap.load();
-                Response::Stats(
-                    self.metrics
-                        .render(snapshot.generation(), snapshot.entries()),
-                )
+                let snapshot = self.cached.snapshot();
+                let mut body = self
+                    .metrics
+                    .render(snapshot.generation(), snapshot.entries());
+                body.push(' ');
+                body.push_str(&self.cached.cache().render_shard_stats());
+                vec![Response::Stats(body)]
             }
             Request::Health => {
-                let snapshot = self.swap.load();
-                Response::Health {
+                let snapshot = self.cached.snapshot();
+                vec![Response::Health {
                     generation: snapshot.generation(),
                     entries: snapshot.entries(),
-                }
+                }]
             }
-            Request::Reload => self.reload(),
-            Request::Quit => Response::Bye,
+            Request::Reload => vec![self.reload()],
+            Request::Shutdown => {
+                self.begin_shutdown();
+                vec![Response::ShuttingDown]
+            }
+            Request::Quit => vec![Response::Bye],
         }
     }
 
@@ -104,15 +151,10 @@ impl State {
     /// the old snapshot throughout.
     fn reload(self: &Arc<Self>) -> Response {
         let _guard = self.reload_lock.lock().expect("reload lock poisoned");
-        match self.source.load() {
-            Ok(db) => {
-                let generation = self.next_generation.fetch_add(1, Ordering::SeqCst);
-                let index = RouteIndex::new(db, generation);
-                let entries = index.entries();
-                // Order matters: moving the cache's floor first means a
-                // cache entry can never outlive its table.
-                self.cache.invalidate_to(generation);
-                self.swap.store(index);
+        match self.source.load_resolver() {
+            Ok(resolver) => {
+                let entries = resolver.entries();
+                let generation = self.cached.replace(resolver);
                 bump(&self.metrics.reloads);
                 Response::Reloaded {
                     generation,
@@ -125,21 +167,62 @@ impl State {
             }
         }
     }
+
+    /// Flags shutdown and wakes the blocking accept loops so they can
+    /// observe it. Idempotent; callable from any connection thread
+    /// (the `SHUTDOWN` verb) or from the handle.
+    fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        if let Some(addr) = *self.wake_tcp.lock().expect("wake lock poisoned") {
+            let _ = TcpStream::connect(addr);
+        }
+        #[cfg(unix)]
+        if let Some(path) = self.wake_unix.lock().expect("wake lock poisoned").clone() {
+            let _ = UnixStream::connect(path);
+        }
+    }
 }
 
-/// Reads one `\n`-terminated line with a hard length cap. Returns
-/// `Ok(None)` on clean EOF, `Err` with `InvalidData` when a peer sends
-/// an over-long line.
-fn read_bounded_line(reader: &mut impl BufRead, line: &mut String) -> io::Result<Option<()>> {
+/// How one attempt to read a line ended.
+#[derive(Debug)]
+enum LineRead {
+    /// A complete line was delivered.
+    Line,
+    /// Clean end of stream.
+    Eof,
+    /// The read timed out with no complete line yet; any partial bytes
+    /// stay in `partial` and the caller may retry after checking for
+    /// shutdown.
+    Idle,
+}
+
+/// Reads one `\n`-terminated line with a hard length cap. Partial
+/// bytes accumulate in `partial` across `Idle` returns (read
+/// timeouts), so a slow sender is never corrupted by the shutdown
+/// poll. `Err` with `InvalidData` means the peer sent an over-long
+/// line.
+fn read_bounded_line(
+    reader: &mut impl BufRead,
+    partial: &mut Vec<u8>,
+    line: &mut String,
+) -> io::Result<LineRead> {
     line.clear();
     // Raw bytes, decoded once at the end: a multi-byte UTF-8 character
     // split across two buffer refills must not be mangled
     // chunk-by-chunk.
-    let mut bytes = Vec::new();
     let mut terminated = false;
     loop {
         let (chunk_len, found_newline) = {
-            let buf = reader.fill_buf()?;
+            let buf = match reader.fill_buf() {
+                Ok(buf) => buf,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(LineRead::Idle);
+                }
+                Err(e) => return Err(e),
+            };
             if buf.is_empty() {
                 break; // EOF
             }
@@ -147,13 +230,13 @@ fn read_bounded_line(reader: &mut impl BufRead, line: &mut String) -> io::Result
                 Some(i) => (&buf[..i], true),
                 None => (buf, false),
             };
-            if bytes.len() + chunk.len() > MAX_LINE {
+            if partial.len() + chunk.len() > MAX_LINE {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     "request line too long",
                 ));
             }
-            bytes.extend_from_slice(chunk);
+            partial.extend_from_slice(chunk);
             (chunk.len(), found_newline)
         };
         reader.consume(chunk_len + usize::from(found_newline));
@@ -162,11 +245,12 @@ fn read_bounded_line(reader: &mut impl BufRead, line: &mut String) -> io::Result
             break;
         }
     }
-    if bytes.is_empty() && !terminated {
-        return Ok(None); // clean EOF (a bare newline is a blank line, not EOF)
+    if partial.is_empty() && !terminated {
+        return Ok(LineRead::Eof); // clean EOF (a bare newline is a blank line, not EOF)
     }
-    line.push_str(&String::from_utf8_lossy(&bytes));
-    Ok(Some(()))
+    line.push_str(&String::from_utf8_lossy(partial));
+    partial.clear();
+    Ok(LineRead::Line)
 }
 
 /// Streams that can be split into an independent reader and writer —
@@ -174,11 +258,16 @@ fn read_bounded_line(reader: &mut impl BufRead, line: &mut String) -> io::Result
 pub(crate) trait SplitStream: Read + Write + Send + Sized + 'static {
     /// A second handle to the same underlying socket.
     fn split(&self) -> io::Result<Self>;
+    /// Bounds each blocking read so the thread can poll for shutdown.
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
 }
 
 impl SplitStream for TcpStream {
     fn split(&self) -> io::Result<TcpStream> {
         self.try_clone()
+    }
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, timeout)
     }
 }
 
@@ -187,22 +276,36 @@ impl SplitStream for UnixStream {
     fn split(&self) -> io::Result<UnixStream> {
         self.try_clone()
     }
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        UnixStream::set_read_timeout(self, timeout)
+    }
 }
 
 /// Serves one connection until QUIT, EOF, error, or shutdown. The
 /// reader is buffered across requests, so pipelined lines are never
-/// dropped; every response is flushed before the next read.
+/// dropped; responses for one request line (one for most verbs, N for
+/// `MQUERY`) are written together and flushed once.
 fn serve_connection(state: Arc<State>, stream: impl SplitStream) -> io::Result<()> {
+    // Bounded reads let an idle connection notice a drain without a
+    // request arriving; partial request bytes survive the poll.
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
     let mut reader = BufReader::new(stream.split()?);
     let mut writer = BufWriter::new(stream);
+    let mut partial = Vec::new();
     let mut line = String::new();
+    let mut proto = ProtoVersion::V1;
     loop {
-        if state.shutting_down.load(Ordering::SeqCst) {
-            return Ok(());
-        }
-        match read_bounded_line(&mut reader, &mut line) {
-            Ok(Some(())) => {}
-            Ok(None) => return Ok(()),
+        match read_bounded_line(&mut reader, &mut partial, &mut line) {
+            Ok(LineRead::Line) => {}
+            Ok(LineRead::Eof) => return Ok(()),
+            Ok(LineRead::Idle) => {
+                // Only drop an *idle* connection on drain; one with a
+                // request in flight gets to finish sending it.
+                if state.shutting_down.load(Ordering::SeqCst) && partial.is_empty() {
+                    return Ok(());
+                }
+                continue;
+            }
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 writeln!(writer, "{}", Response::BadRequest(e.to_string()))?;
                 writer.flush()?;
@@ -213,19 +316,24 @@ fn serve_connection(state: Arc<State>, stream: impl SplitStream) -> io::Result<(
         if line.trim().is_empty() {
             continue;
         }
-        let (response, quitting) = match parse_request(line.trim_end_matches(['\r', '\n'])) {
+        let (responses, closing) = match parse_request(line.trim_end_matches(['\r', '\n']), proto) {
             Ok(req) => {
-                let quitting = req == Request::Quit;
-                (state.respond(req), quitting)
+                let closing = matches!(req, Request::Quit | Request::Shutdown);
+                if let Request::Proto { version } = req {
+                    proto = version;
+                }
+                (state.respond(req), closing)
             }
             Err(why) => {
                 bump(&state.metrics.bad_requests);
-                (Response::BadRequest(why), false)
+                (vec![Response::BadRequest(why)], false)
             }
         };
-        writeln!(writer, "{response}")?;
+        for response in &responses {
+            writeln!(writer, "{response}")?;
+        }
         writer.flush()?;
-        if quitting {
+        if closing {
             return Ok(());
         }
     }
@@ -235,8 +343,8 @@ fn serve_connection(state: Arc<State>, stream: impl SplitStream) -> io::Result<(
 pub struct Server;
 
 /// A running daemon. Dropping the handle does **not** stop the daemon;
-/// call [`ServerHandle::shutdown`] (tests) or [`ServerHandle::wait`]
-/// (the CLI) explicitly.
+/// call [`ServerHandle::shutdown`] / [`ServerHandle::drain`] (tests)
+/// or [`ServerHandle::wait`] (the CLI) explicitly.
 pub struct ServerHandle {
     state: Arc<State>,
     tcp_addr: Option<SocketAddr>,
@@ -248,22 +356,31 @@ impl Server {
     /// Loads the table (failing fast if the source is broken), binds
     /// the listeners, and starts accepting.
     pub fn start(config: ServerConfig) -> Result<ServerHandle, StartError> {
-        let db = config.source.load().map_err(StartError::Load)?;
+        let resolver = config.source.load_resolver().map_err(StartError::Load)?;
+        let metrics = Arc::new(Metrics::default());
         let state = Arc::new(State {
-            swap: SwapCell::new(RouteIndex::new(db, 0)),
-            cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
-            metrics: Metrics::default(),
+            cached: Cached::new(
+                resolver,
+                config.cache_capacity,
+                config.cache_shards,
+                metrics.clone(),
+            ),
+            metrics,
             source: config.source,
             reload_lock: Mutex::new(()),
-            next_generation: AtomicU64::new(1),
             shutting_down: AtomicBool::new(false),
+            wake_tcp: Mutex::new(None),
+            #[cfg(unix)]
+            wake_unix: Mutex::new(None),
         });
 
         let mut accept_threads = Vec::new();
         let mut tcp_addr = None;
         if let Some(addr) = &config.tcp {
             let listener = TcpListener::bind(addr.as_str()).map_err(StartError::Bind)?;
-            tcp_addr = Some(listener.local_addr().map_err(StartError::Bind)?);
+            let bound = listener.local_addr().map_err(StartError::Bind)?;
+            tcp_addr = Some(bound);
+            *state.wake_tcp.lock().expect("wake lock poisoned") = Some(bound);
             let state = state.clone();
             accept_threads.push(std::thread::spawn(move || accept_tcp(state, listener)));
         }
@@ -275,6 +392,7 @@ impl Server {
             let _ = std::fs::remove_file(path);
             let listener = UnixListener::bind(path).map_err(StartError::Bind)?;
             unix_path = Some(path.clone());
+            *state.wake_unix.lock().expect("wake lock poisoned") = Some(path.clone());
             let state = state.clone();
             accept_threads.push(std::thread::spawn(move || accept_unix(state, listener)));
         }
@@ -309,8 +427,8 @@ fn accept_tcp(state: Arc<State>, listener: TcpListener) {
         }
         match stream {
             Ok(stream) => {
-                // One buffered write per response = one segment; with
-                // nodelay set, neither Nagle nor delayed ACKs can
+                // One buffered write per request line = one segment;
+                // with nodelay set, neither Nagle nor delayed ACKs can
                 // stall the request/response ping-pong.
                 let _ = stream.set_nodelay(true);
                 spawn_connection(state.clone(), stream);
@@ -375,36 +493,70 @@ impl ServerHandle {
 
     /// The serving generation and entry count, for status lines.
     pub fn table_info(&self) -> (u64, usize) {
-        let snapshot = self.state.swap.load();
+        let snapshot = self.state.cached.snapshot();
         (snapshot.generation(), snapshot.entries())
     }
 
-    /// Blocks until the daemon stops accepting (i.e. forever, in
-    /// daemon mode).
+    /// Blocks until the daemon stops accepting — forever in daemon
+    /// mode, or until a client issues `SHUTDOWN`, after which
+    /// connections are drained (with a generous deadline) before
+    /// returning.
     pub fn wait(mut self) {
         for t in self.accept_threads.drain(..) {
             let _ = t.join();
         }
+        // Accept loops only exit on shutdown; give in-flight
+        // connections their drain window.
+        self.await_connections(Duration::from_secs(5));
         self.cleanup_socket();
     }
 
     /// Stops accepting, wakes the accept loops, and joins them.
     /// Established connections finish their current request and close
-    /// on their next read.
+    /// on their next read. Does not wait for them; see
+    /// [`ServerHandle::drain`].
     pub fn shutdown(mut self) {
-        self.state.shutting_down.store(true, Ordering::SeqCst);
-        // Wake the blocking accept calls with a throwaway connection.
-        if let Some(addr) = self.tcp_addr {
-            let _ = TcpStream::connect(addr);
-        }
-        #[cfg(unix)]
-        if let Some(path) = &self.unix_path {
-            let _ = UnixStream::connect(path);
-        }
+        self.state.begin_shutdown();
         for t in self.accept_threads.drain(..) {
             let _ = t.join();
         }
         self.cleanup_socket();
+    }
+
+    /// Graceful shutdown: stops accepting, then lets in-flight
+    /// connections finish until `deadline` elapses. Returns `true` if
+    /// every connection closed in time, `false` if the deadline struck
+    /// with stragglers still open (which are then abandoned to process
+    /// exit, as [`shutdown`](ServerHandle::shutdown) would).
+    pub fn drain(mut self, deadline: Duration) -> bool {
+        self.state.begin_shutdown();
+        for t in self.accept_threads.drain(..) {
+            let _ = t.join();
+        }
+        let drained = self.await_connections(deadline);
+        self.cleanup_socket();
+        drained
+    }
+
+    /// Polls the active-connection gauge until it reaches zero or the
+    /// deadline passes.
+    fn await_connections(&self, deadline: Duration) -> bool {
+        let start = Instant::now();
+        loop {
+            if self
+                .state
+                .metrics
+                .active_connections
+                .load(Ordering::Relaxed)
+                == 0
+            {
+                return true;
+            }
+            if start.elapsed() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
     }
 
     fn cleanup_socket(&self) {
@@ -427,26 +579,38 @@ mod tests {
             std::thread::current().id(),
         ));
         std::fs::write(&path, text).unwrap();
-        let db = pathalias_mailer::RouteDb::from_output(text).unwrap();
+        let source = MapSource::Routes(path);
+        let resolver = source.load_resolver().unwrap();
+        let metrics = Arc::new(Metrics::default());
         Arc::new(State {
-            swap: SwapCell::new(RouteIndex::new(db, 0)),
-            cache: ShardedCache::new(64, 2),
-            metrics: Metrics::default(),
-            source: MapSource::Routes(path),
+            cached: Cached::new(resolver, 64, 2, metrics.clone()),
+            metrics,
+            source,
             reload_lock: Mutex::new(()),
-            next_generation: AtomicU64::new(1),
             shutting_down: AtomicBool::new(false),
+            wake_tcp: Mutex::new(None),
+            #[cfg(unix)]
+            wake_unix: Mutex::new(None),
         })
+    }
+
+    fn one(state: &Arc<State>, req: Request) -> Response {
+        let mut responses = state.respond(req);
+        assert_eq!(responses.len(), 1);
+        responses.pop().unwrap()
     }
 
     #[test]
     fn respond_covers_every_verb() {
         let state = state_for("seismo\tseismo!%s\n.edu\tseismo!%s\n");
         let q = |host: &str, user: Option<&str>| {
-            state.respond(Request::Query {
-                host: host.into(),
-                user: user.map(str::to_string),
-            })
+            one(
+                &state,
+                Request::Query {
+                    host: host.into(),
+                    user: user.map(str::to_string),
+                },
+            )
         };
         assert_eq!(
             q("seismo", Some("rick")),
@@ -458,16 +622,27 @@ mod tests {
         );
         assert_eq!(q("seismo", None), Response::Route("seismo!%s".into()));
         assert_eq!(q("nowhere", Some("u")), Response::NoRoute("nowhere".into()));
-        assert!(matches!(state.respond(Request::Stats), Response::Stats(_)));
+        assert!(matches!(one(&state, Request::Stats), Response::Stats(_)));
         assert_eq!(
-            state.respond(Request::Health),
+            one(&state, Request::Health),
             Response::Health {
                 generation: 0,
                 entries: 2
             }
         );
-        assert_eq!(state.respond(Request::Quit), Response::Bye);
-        let reloaded = state.respond(Request::Reload);
+        assert_eq!(
+            one(
+                &state,
+                Request::Proto {
+                    version: ProtoVersion::V2
+                }
+            ),
+            Response::Proto {
+                version: ProtoVersion::V2
+            }
+        );
+        assert_eq!(one(&state, Request::Quit), Response::Bye);
+        let reloaded = one(&state, Request::Reload);
         assert_eq!(
             reloaded,
             Response::Reloaded {
@@ -478,51 +653,157 @@ mod tests {
     }
 
     #[test]
+    fn mquery_answers_in_order() {
+        let state = state_for("a\ta!%s\nb\tb!%s\n");
+        let responses = state.respond(Request::MultiQuery {
+            queries: vec![
+                ("b".into(), Some("u".into())),
+                ("missing".into(), None),
+                ("a".into(), Some("v".into())),
+            ],
+        });
+        assert_eq!(
+            responses,
+            vec![
+                Response::Route("b!u".into()),
+                Response::NoRoute("missing".into()),
+                Response::Route("a!v".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn stats_includes_per_shard_counters() {
+        let state = state_for("a\ta!%s\n");
+        let _ = one(
+            &state,
+            Request::Query {
+                host: "a".into(),
+                user: None,
+            },
+        );
+        let Response::Stats(body) = one(&state, Request::Stats) else {
+            panic!("expected stats");
+        };
+        assert!(body.contains("cache_shard0_hits="), "{body}");
+        assert!(body.contains("cache_shard1_misses="), "{body}");
+        assert!(body.contains("resolve_errors=0"), "{body}");
+    }
+
+    #[test]
+    fn shutdown_request_flags_drain() {
+        let state = state_for("a\ta!%s\n");
+        assert!(!state.shutting_down.load(Ordering::SeqCst));
+        assert_eq!(one(&state, Request::Shutdown), Response::ShuttingDown);
+        assert!(state.shutting_down.load(Ordering::SeqCst));
+    }
+
+    #[test]
     fn reload_failure_keeps_old_table() {
         let state = state_for("a\ta!%s\n");
         // Sabotage the source file.
         if let MapSource::Routes(path) = &state.source {
             std::fs::write(path, "garbage-without-a-route\n").unwrap();
         }
-        let resp = state.respond(Request::Reload);
+        let resp = one(&state, Request::Reload);
         assert_eq!(resp.code(), 500);
         // Old table still serves.
         assert_eq!(
-            state.respond(Request::Query {
-                host: "a".into(),
-                user: Some("u".into())
-            }),
+            one(
+                &state,
+                Request::Query {
+                    host: "a".into(),
+                    user: Some("u".into())
+                }
+            ),
             Response::Route("a!u".into())
         );
-        let snapshot = state.swap.load();
+        let snapshot = state.cached.snapshot();
         assert_eq!(snapshot.generation(), 0);
     }
 
     #[test]
     fn bounded_line_reader() {
+        let mut partial = Vec::new();
         let mut ok = BufReader::new(Cursor::new(b"QUERY a\n".to_vec()));
         let mut line = String::new();
-        assert!(read_bounded_line(&mut ok, &mut line).unwrap().is_some());
+        assert!(matches!(
+            read_bounded_line(&mut ok, &mut partial, &mut line).unwrap(),
+            LineRead::Line
+        ));
         assert_eq!(line, "QUERY a");
 
         let mut eof = BufReader::new(Cursor::new(Vec::new()));
-        assert!(read_bounded_line(&mut eof, &mut line).unwrap().is_none());
+        assert!(matches!(
+            read_bounded_line(&mut eof, &mut partial, &mut line).unwrap(),
+            LineRead::Eof
+        ));
 
         // No trailing newline: still delivered at EOF.
         let mut tail = BufReader::new(Cursor::new(b"HEALTH".to_vec()));
-        assert!(read_bounded_line(&mut tail, &mut line).unwrap().is_some());
+        assert!(matches!(
+            read_bounded_line(&mut tail, &mut partial, &mut line).unwrap(),
+            LineRead::Line
+        ));
         assert_eq!(line, "HEALTH");
 
         let mut long = BufReader::new(Cursor::new(vec![b'x'; MAX_LINE + 10]));
-        let err = read_bounded_line(&mut long, &mut line).unwrap_err();
+        let err = read_bounded_line(&mut long, &mut partial, &mut line).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        partial.clear();
 
         // A blank line is a line, not EOF.
         let mut blank = BufReader::new(Cursor::new(b"\nHEALTH\n".to_vec()));
-        assert!(read_bounded_line(&mut blank, &mut line).unwrap().is_some());
+        assert!(matches!(
+            read_bounded_line(&mut blank, &mut partial, &mut line).unwrap(),
+            LineRead::Line
+        ));
         assert_eq!(line, "");
-        assert!(read_bounded_line(&mut blank, &mut line).unwrap().is_some());
+        assert!(matches!(
+            read_bounded_line(&mut blank, &mut partial, &mut line).unwrap(),
+            LineRead::Line
+        ));
         assert_eq!(line, "HEALTH");
+    }
+
+    #[test]
+    fn partial_bytes_survive_idle_polls() {
+        // A reader that delivers half a request, then times out, then
+        // delivers the rest — the line must come out whole.
+        struct Stutter {
+            chunks: Vec<Result<Vec<u8>, io::ErrorKind>>,
+        }
+        impl Read for Stutter {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                match self.chunks.pop() {
+                    Some(Ok(bytes)) => {
+                        buf[..bytes.len()].copy_from_slice(&bytes);
+                        Ok(bytes.len())
+                    }
+                    Some(Err(kind)) => Err(io::Error::new(kind, "timeout")),
+                    None => Ok(0),
+                }
+            }
+        }
+        let mut reader = BufReader::new(Stutter {
+            chunks: vec![
+                Ok(b" rick\n".to_vec()),
+                Err(io::ErrorKind::WouldBlock),
+                Ok(b"QUERY seismo".to_vec()),
+            ],
+        });
+        let mut partial = Vec::new();
+        let mut line = String::new();
+        assert!(matches!(
+            read_bounded_line(&mut reader, &mut partial, &mut line).unwrap(),
+            LineRead::Idle
+        ));
+        assert!(!partial.is_empty(), "partial request retained");
+        assert!(matches!(
+            read_bounded_line(&mut reader, &mut partial, &mut line).unwrap(),
+            LineRead::Line
+        ));
+        assert_eq!(line, "QUERY seismo rick");
     }
 
     #[test]
@@ -531,8 +812,12 @@ mod tests {
         // a refill boundary; the line must still decode intact.
         let text = "QUERY zürich.üñî.example häns\n";
         let mut tiny = BufReader::with_capacity(1, Cursor::new(text.as_bytes().to_vec()));
+        let mut partial = Vec::new();
         let mut line = String::new();
-        assert!(read_bounded_line(&mut tiny, &mut line).unwrap().is_some());
+        assert!(matches!(
+            read_bounded_line(&mut tiny, &mut partial, &mut line).unwrap(),
+            LineRead::Line
+        ));
         assert_eq!(line, text.trim_end());
         assert!(
             !line.contains('\u{FFFD}'),

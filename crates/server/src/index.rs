@@ -1,5 +1,9 @@
 //! The read-mostly serving index: an immutable snapshot per table
-//! generation, swapped atomically on reload.
+//! generation behind an atomic swap, wrapped in a generation-stamped
+//! cache — all generic over [`Resolver`], so the same decorator serves
+//! an in-memory [`SharedRouteDb`], a page-cache-backed
+//! [`MappedDb`](pathalias_mailer::disk::MappedDb), or any future
+//! backend.
 //!
 //! Queries clone an `Arc` out of a [`SwapCell`] (one brief read-lock,
 //! no contention with other readers) and then run entirely against
@@ -8,23 +12,24 @@
 //! generation finish against the old `Arc`, which frees itself when the
 //! last of them drops.
 
-use crate::cache::ShardedCache;
+use crate::cache::{CachedHit, ShardedCache};
 use crate::metrics::{bump, Metrics};
-use pathalias_mailer::{MatchKind, RouteDb, SharedRouteDb};
+use pathalias_mailer::{ExactOutcome, Resolution, ResolveError, Resolver, RouteDb, SharedRouteDb};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-/// One immutable table generation.
+/// One immutable table generation over any [`Resolver`] backend.
 #[derive(Debug, Clone)]
-pub struct RouteIndex {
-    db: SharedRouteDb,
+pub struct RouteIndex<R = SharedRouteDb> {
+    resolver: R,
     generation: u64,
 }
 
-impl RouteIndex {
-    /// Freezes `db` as generation `generation`.
-    pub fn new(db: RouteDb, generation: u64) -> RouteIndex {
+impl<R: Resolver> RouteIndex<R> {
+    /// Freezes `resolver` as generation `generation`.
+    pub fn with_resolver(resolver: R, generation: u64) -> RouteIndex<R> {
         RouteIndex {
-            db: SharedRouteDb::new(db),
+            resolver,
             generation,
         }
     }
@@ -36,12 +41,27 @@ impl RouteIndex {
 
     /// Entries in the table.
     pub fn entries(&self) -> usize {
-        self.db.len()
+        self.resolver.entries()
+    }
+
+    /// The underlying backend.
+    pub fn resolver(&self) -> &R {
+        &self.resolver
+    }
+}
+
+impl RouteIndex<SharedRouteDb> {
+    /// Freezes an in-memory `db` as generation `generation`.
+    pub fn new(db: RouteDb, generation: u64) -> RouteIndex<SharedRouteDb> {
+        RouteIndex {
+            resolver: SharedRouteDb::new(db),
+            generation,
+        }
     }
 
     /// The underlying shared database handle.
     pub fn db(&self) -> &SharedRouteDb {
-        &self.db
+        &self.resolver
     }
 }
 
@@ -50,134 +70,249 @@ impl RouteIndex {
 /// lock is held only for the pointer store, so readers never block each
 /// other and a reload never blocks an in-flight query.
 #[derive(Debug)]
-pub struct SwapCell {
-    current: RwLock<Arc<RouteIndex>>,
+pub struct SwapCell<R = SharedRouteDb> {
+    current: RwLock<Arc<RouteIndex<R>>>,
 }
 
-impl SwapCell {
+impl<R: Resolver> SwapCell<R> {
     /// A cell initially serving `index`.
-    pub fn new(index: RouteIndex) -> SwapCell {
+    pub fn new(index: RouteIndex<R>) -> SwapCell<R> {
         SwapCell {
             current: RwLock::new(Arc::new(index)),
         }
     }
 
     /// The current snapshot. Cheap: a read-lock around one `Arc` clone.
-    pub fn load(&self) -> Arc<RouteIndex> {
+    pub fn load(&self) -> Arc<RouteIndex<R>> {
         self.current.read().expect("swap cell poisoned").clone()
     }
 
     /// Atomically replaces the snapshot; in-flight readers keep the old
     /// one alive until they finish.
-    pub fn store(&self, index: RouteIndex) {
+    pub fn store(&self, index: RouteIndex<R>) {
         *self.current.write().expect("swap cell poisoned") = Arc::new(index);
     }
 }
 
-/// Resolves one query against one snapshot, consulting (and feeding)
-/// the suffix cache. Returns the complete route with the user argument
-/// substituted, or `None` if the table has no route.
-pub fn resolve(
-    index: &RouteIndex,
-    cache: &ShardedCache,
-    metrics: &Metrics,
-    host: &str,
-    user: &str,
-) -> Option<String> {
-    bump(&metrics.queries);
+/// The serving decorator: a generation-stamped snapshot of any
+/// [`Resolver`] plus the sharded LRU cache and query counters — itself
+/// a `Resolver`, so backends and their cached form are interchangeable
+/// everywhere the trait is accepted.
+///
+/// Every resolution (exact, suffix, default, *and* confirmed miss) is
+/// cached under the generation it was computed against; a
+/// [`replace`](Cached::replace) bumps the generation, so a reload
+/// invalidates lazily and a pinned in-flight query can never see
+/// another generation's cache entries.
+///
+/// # Examples
+///
+/// ```
+/// use pathalias_mailer::{Resolver, RouteDb};
+/// use pathalias_server::index::Cached;
+/// use pathalias_server::Metrics;
+/// use std::sync::Arc;
+///
+/// let db = RouteDb::from_output("seismo\tseismo!%s\n.edu\tseismo!%s\n").unwrap();
+/// let cached = Cached::new(
+///     pathalias_mailer::SharedRouteDb::new(db),
+///     1024, // cache capacity
+///     4,    // shards
+///     Arc::new(Metrics::default()),
+/// );
+/// // First lookup walks the table; the repeat is a cache hit.
+/// assert_eq!(cached.resolve("x.mit.edu", "u").unwrap().route, "seismo!x.mit.edu!u");
+/// assert_eq!(cached.resolve("x.mit.edu", "v").unwrap().route, "seismo!x.mit.edu!v");
+/// ```
+pub struct Cached<R> {
+    swap: SwapCell<R>,
+    cache: ShardedCache,
+    metrics: Arc<Metrics>,
+    /// The generation the next successful [`Cached::replace`] will
+    /// publish.
+    next_generation: AtomicU64,
+}
 
-    // Exact match: one hash probe, no cache needed.
-    if let Some(entry) = index.db().get(host) {
-        bump(&metrics.hits);
-        return Some(entry.route.replacen("%s", user, 1));
-    }
-
-    // Suffix path: try the cache, keyed by this snapshot's generation.
-    let generation = index.generation();
-    if let Some(cached) = cache.get(generation, host) {
-        bump(&metrics.cache_hits);
-        return match cached {
-            Some(route) => {
-                bump(&metrics.hits);
-                // "The argument here is not [the user], it is
-                // caip.rutgers.edu!pleasant": suffix routes carry the
-                // full destination.
-                Some(route.replacen("%s", &format!("{host}!{user}"), 1))
-            }
-            None => {
-                bump(&metrics.misses);
-                None
-            }
-        };
-    }
-
-    bump(&metrics.cache_misses);
-    match index.db().lookup(host) {
-        Some(hit) => match hit.kind {
-            // Exact was already ruled out above, but stay defensive.
-            MatchKind::Exact => {
-                bump(&metrics.hits);
-                Some(hit.entry.route.replacen("%s", user, 1))
-            }
-            MatchKind::DomainSuffix(_) => {
-                bump(&metrics.hits);
-                let route: Arc<str> = Arc::from(hit.entry.route.as_str());
-                let full = route.replacen("%s", &format!("{host}!{user}"), 1);
-                cache.insert(generation, host, Some(route));
-                Some(full)
-            }
-        },
-        None => {
-            bump(&metrics.misses);
-            cache.insert(generation, host, None);
-            None
+impl<R: Resolver> Cached<R> {
+    /// Wraps `resolver` (as generation 0) with a cache of
+    /// `cache_capacity` entries across `cache_shards` shards.
+    pub fn new(
+        resolver: R,
+        cache_capacity: usize,
+        cache_shards: usize,
+        metrics: Arc<Metrics>,
+    ) -> Cached<R> {
+        Cached {
+            swap: SwapCell::new(RouteIndex::with_resolver(resolver, 0)),
+            cache: ShardedCache::new(cache_capacity, cache_shards),
+            metrics,
+            next_generation: AtomicU64::new(1),
         }
+    }
+
+    /// The current snapshot, for callers that need to pin one across
+    /// several operations (generation and entry counts for `HEALTH`,
+    /// a batch that must answer from one table, ...).
+    pub fn snapshot(&self) -> Arc<RouteIndex<R>> {
+        self.swap.load()
+    }
+
+    /// Swaps in a freshly-loaded backend. Returns the generation now
+    /// serving. In-flight queries pinned to the old snapshot finish
+    /// against it; the cache floor moves first, so a cache entry can
+    /// never outlive its table.
+    pub fn replace(&self, resolver: R) -> u64 {
+        let generation = self.next_generation.fetch_add(1, Ordering::SeqCst);
+        let index = RouteIndex::with_resolver(resolver, generation);
+        self.cache.invalidate_to(generation);
+        self.swap.store(index);
+        generation
+    }
+
+    /// Resolves against a pinned snapshot, consulting (and feeding) the
+    /// cache under that snapshot's generation.
+    pub fn resolve_at(
+        &self,
+        index: &RouteIndex<R>,
+        host: &str,
+        user: &str,
+    ) -> Result<Resolution, ResolveError> {
+        bump(&self.metrics.queries);
+        let generation = index.generation();
+
+        // Backends with a cheap exact probe (in-memory: one lock-free
+        // hash probe) answer exact-match traffic without ever touching
+        // the mutex-guarded LRU — the cache exists for the multi-probe
+        // suffix walk and for disk-backed tables, not for lookups the
+        // backend does faster itself.
+        match index.resolver().resolve_exact(host, user) {
+            ExactOutcome::Hit(resolution) => {
+                bump(&self.metrics.hits);
+                return Ok(resolution);
+            }
+            ExactOutcome::MissExact | ExactOutcome::Unsupported => {}
+        }
+
+        if let Some(cached) = self.cache.get(generation, host) {
+            bump(&self.metrics.cache_hits);
+            return match cached {
+                Some(hit) => {
+                    bump(&self.metrics.hits);
+                    Ok(Resolution::render(&hit.format, hit.via, host, user))
+                }
+                None => {
+                    bump(&self.metrics.misses);
+                    Err(ResolveError::NoRoute)
+                }
+            };
+        }
+
+        bump(&self.metrics.cache_misses);
+        match index.resolver().resolve(host, user) {
+            Ok(resolution) => {
+                bump(&self.metrics.hits);
+                self.cache.insert(
+                    generation,
+                    host,
+                    Some(CachedHit {
+                        format: Arc::from(resolution.format.as_str()),
+                        via: resolution.via.clone(),
+                    }),
+                );
+                Ok(resolution)
+            }
+            Err(ResolveError::NoRoute) => {
+                bump(&self.metrics.misses);
+                self.cache.insert(generation, host, None);
+                Err(ResolveError::NoRoute)
+            }
+            // Backend failures (disk I/O, corruption) are transient
+            // from the cache's point of view: never cached.
+            Err(e) => {
+                bump(&self.metrics.resolve_errors);
+                Err(e)
+            }
+        }
+    }
+
+    /// The sharded cache (for `STATS` and tests).
+    pub fn cache(&self) -> &ShardedCache {
+        &self.cache
+    }
+
+    /// The shared counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+}
+
+impl<R: Resolver> Resolver for Cached<R> {
+    fn resolve(&self, host: &str, user: &str) -> Result<Resolution, ResolveError> {
+        let snapshot = self.swap.load();
+        self.resolve_at(&snapshot, host, user)
+    }
+
+    fn entries(&self) -> usize {
+        self.swap.load().entries()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pathalias_mailer::ResolvedVia;
     use std::sync::atomic::Ordering;
 
     fn index(text: &str, generation: u64) -> RouteIndex {
         RouteIndex::new(RouteDb::from_output(text).unwrap(), generation)
     }
 
-    #[test]
-    fn exact_and_suffix_and_miss() {
-        let idx = index("seismo\tseismo!%s\n.edu\tseismo!%s\n", 0);
-        let cache = ShardedCache::new(16, 2);
-        let metrics = Metrics::default();
-        assert_eq!(
-            resolve(&idx, &cache, &metrics, "seismo", "rick").unwrap(),
-            "seismo!rick"
-        );
-        assert_eq!(
-            resolve(&idx, &cache, &metrics, "caip.rutgers.edu", "pleasant").unwrap(),
-            "seismo!caip.rutgers.edu!pleasant"
-        );
-        assert_eq!(resolve(&idx, &cache, &metrics, "nowhere", "u"), None);
-        assert_eq!(metrics.queries.load(Ordering::Relaxed), 3);
-        assert_eq!(metrics.hits.load(Ordering::Relaxed), 2);
-        assert_eq!(metrics.misses.load(Ordering::Relaxed), 1);
+    fn cached(text: &str) -> Cached<SharedRouteDb> {
+        let db = RouteDb::from_output(text).unwrap();
+        Cached::new(SharedRouteDb::new(db), 16, 2, Arc::new(Metrics::default()))
     }
 
     #[test]
-    fn second_suffix_lookup_hits_cache() {
-        let idx = index(".edu\tgw!%s\n", 0);
-        let cache = ShardedCache::new(16, 2);
-        let metrics = Metrics::default();
-        let a = resolve(&idx, &cache, &metrics, "x.rutgers.edu", "u").unwrap();
-        let b = resolve(&idx, &cache, &metrics, "x.rutgers.edu", "v").unwrap();
-        assert_eq!(a, "gw!x.rutgers.edu!u");
-        assert_eq!(b, "gw!x.rutgers.edu!v");
-        assert_eq!(metrics.cache_hits.load(Ordering::Relaxed), 1);
-        assert_eq!(metrics.cache_misses.load(Ordering::Relaxed), 1);
-        // Negative results are cached too.
-        assert_eq!(resolve(&idx, &cache, &metrics, "a.b.nowhere", "u"), None);
-        assert_eq!(resolve(&idx, &cache, &metrics, "a.b.nowhere", "u"), None);
-        assert_eq!(metrics.cache_hits.load(Ordering::Relaxed), 2);
+    fn exact_and_suffix_and_miss() {
+        let c = cached("seismo\tseismo!%s\n.edu\tseismo!%s\n");
+        assert_eq!(c.resolve("seismo", "rick").unwrap().route, "seismo!rick");
+        let suffix = c.resolve("caip.rutgers.edu", "pleasant").unwrap();
+        assert_eq!(suffix.route, "seismo!caip.rutgers.edu!pleasant");
+        assert_eq!(
+            suffix.via,
+            ResolvedVia::DomainSuffix {
+                suffix: ".edu".into()
+            }
+        );
+        assert!(matches!(
+            c.resolve("nowhere", "u"),
+            Err(ResolveError::NoRoute)
+        ));
+        let m = c.metrics();
+        assert_eq!(m.queries.load(Ordering::Relaxed), 3);
+        assert_eq!(m.hits.load(Ordering::Relaxed), 2);
+        assert_eq!(m.misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn repeat_lookup_hits_cache() {
+        let c = cached(".edu\tgw!%s\nhub\thub!%s\n");
+        let a = c.resolve("x.rutgers.edu", "u").unwrap();
+        let b = c.resolve("x.rutgers.edu", "v").unwrap();
+        assert_eq!(a.route, "gw!x.rutgers.edu!u");
+        assert_eq!(b.route, "gw!x.rutgers.edu!v");
+        // Exact hits on an in-memory backend take the lock-free fast
+        // path and never touch the cache.
+        let _ = c.resolve("hub", "u").unwrap();
+        let _ = c.resolve("hub", "v").unwrap();
+        let m = c.metrics();
+        assert_eq!(m.cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(m.cache_misses.load(Ordering::Relaxed), 1);
+        assert_eq!(m.hits.load(Ordering::Relaxed), 4);
+        // Negative results are cached as well.
+        assert!(c.resolve("a.b.nowhere", "u").is_err());
+        assert!(c.resolve("a.b.nowhere", "u").is_err());
+        assert_eq!(m.cache_hits.load(Ordering::Relaxed), 2);
     }
 
     #[test]
@@ -193,26 +328,55 @@ mod tests {
     }
 
     #[test]
-    fn cache_does_not_leak_across_generations() {
-        let cache = ShardedCache::new(16, 2);
-        let metrics = Metrics::default();
-        let old = index(".edu\told-gw!%s\n", 0);
-        let new = index(".edu\tnew-gw!%s\n", 1);
+    fn replace_does_not_leak_cache_across_generations() {
+        let c = cached(".edu\told-gw!%s\n");
+        let old = c.snapshot();
+        assert_eq!(c.resolve("h.edu", "u").unwrap().route, "old-gw!h.edu!u");
+
+        let new_db = RouteDb::from_output(".edu\tnew-gw!%s\n").unwrap();
+        let generation = c.replace(SharedRouteDb::new(new_db));
+        assert_eq!(generation, 1);
         assert_eq!(
-            resolve(&old, &cache, &metrics, "h.edu", "u").unwrap(),
-            "old-gw!h.edu!u"
-        );
-        cache.invalidate_to(1);
-        assert_eq!(
-            resolve(&new, &cache, &metrics, "h.edu", "u").unwrap(),
+            c.resolve("h.edu", "u").unwrap().route,
             "new-gw!h.edu!u",
             "new snapshot must not see the old cached route"
         );
         // And a straggler still holding the old snapshot re-resolves
         // against its own table rather than seeing generation-1 data.
         assert_eq!(
-            resolve(&old, &cache, &metrics, "h.edu", "u").unwrap(),
+            c.resolve_at(&old, "h.edu", "u").unwrap().route,
             "old-gw!h.edu!u"
         );
+    }
+
+    #[test]
+    fn cached_over_mapped_db() {
+        // The decorator is generic: here it serves a PADB1 file
+        // through MappedDb with identical semantics.
+        use pathalias_mailer::disk::{write_db, MappedDb};
+        let path = std::env::temp_dir().join(format!(
+            "pathalias-cached-mapped-{}.padb",
+            std::process::id()
+        ));
+        let db = RouteDb::from_output("seismo\tseismo!%s\n.edu\tseismo!%s\n").unwrap();
+        write_db(&db, &path).unwrap();
+        let c = Cached::new(
+            MappedDb::open(&path).unwrap(),
+            16,
+            2,
+            Arc::new(Metrics::default()),
+        );
+        assert_eq!(
+            c.resolve("caip.rutgers.edu", "pleasant").unwrap().route,
+            "seismo!caip.rutgers.edu!pleasant"
+        );
+        // Second hit comes from the cache, not the disk.
+        assert_eq!(
+            c.resolve("caip.rutgers.edu", "honey").unwrap().route,
+            "seismo!caip.rutgers.edu!honey"
+        );
+        assert_eq!(c.metrics().cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(Resolver::entries(&c), 2);
+        std::fs::remove_file(path).unwrap();
     }
 }

@@ -7,20 +7,25 @@
 //! those lookups to many concurrent clients, with the table hot-swapped
 //! in place when the map changes:
 //!
-//! * [`protocol`] — the line-oriented wire format: `QUERY`, `STATS`,
-//!   `RELOAD`, `HEALTH`, `QUIT`, one response line per request;
+//! * [`protocol`] — the line-oriented wire format, v1 (`QUERY`,
+//!   `STATS`, `RELOAD`, `HEALTH`, `QUIT`) and the negotiated v2
+//!   (`PROTO 2`, batched `MQUERY`, `SHUTDOWN`); a v1 session is
+//!   byte-for-byte what the PR-1 daemon spoke;
 //! * [`index`] — immutable per-generation snapshots behind an atomic
-//!   swap cell; a query runs entirely against one snapshot, so a reload
-//!   can never tear a response;
-//! * [`cache`] — a sharded, bounded, generation-stamped LRU for
-//!   domain-suffix lookups (the multi-probe part of the paper's mailer
-//!   algorithm);
-//! * [`reload`] — the three table sources (PADB1, linear route file,
-//!   full map pipeline) and multi-source validation of rebuilt maps;
+//!   swap cell, wrapped by [`Cached`]: a generation-stamped cache
+//!   generic over any [`Resolver`](pathalias_mailer::Resolver)
+//!   backend — in-memory tables and page-cache-backed PADB1 files
+//!   serve through the same decorator;
+//! * [`cache`] — a sharded, bounded, generation-stamped LRU with
+//!   per-shard hit/miss/eviction counters;
+//! * [`reload`] — the table sources (PADB1 in-memory or in-place,
+//!   linear route file, full map pipeline) and multi-source
+//!   validation of rebuilt maps;
 //! * [`daemon`] — TCP and Unix-socket listeners, a thread per client
-//!   connection;
-//! * [`client`] — the tiny synchronous client the CLI, tests, and
-//!   examples use;
+//!   connection, graceful [`drain`](ServerHandle::drain);
+//! * [`client`] — the synchronous client: one-shot queries, batched
+//!   [`query_batch`](Client::query_batch) (one round trip for N
+//!   queries), and a send/recv split for pipelining;
 //! * [`metrics`] — relaxed atomic counters rendered by `STATS`.
 //!
 //! # Examples
@@ -38,6 +43,15 @@
 //!     client.query("caip.rutgers.edu", Some("pleasant")).unwrap().unwrap(),
 //!     "seismo!caip.rutgers.edu!pleasant",
 //! );
+//! // Protocol v2: three answers in one round trip, order preserved.
+//! let batch = client.query_batch(&[
+//!     ("seismo", Some("rick")),
+//!     ("no.such.host", None),
+//!     ("x.mit.edu", Some("minsky")),
+//! ]).unwrap();
+//! assert_eq!(batch[0].as_deref(), Some("seismo!rick"));
+//! assert!(batch[1].is_none());
+//! assert_eq!(batch[2].as_deref(), Some("seismo!x.mit.edu!minsky"));
 //! client.quit().unwrap();
 //! handle.shutdown();
 //! std::fs::remove_file(path).unwrap();
@@ -54,10 +68,10 @@ pub mod metrics;
 pub mod protocol;
 pub mod reload;
 
-pub use cache::ShardedCache;
-pub use client::Client;
+pub use cache::{CachedHit, ShardStats, ShardedCache};
+pub use client::{Client, ClientError, QueryResult};
 pub use daemon::{Server, ServerConfig, ServerHandle, StartError};
-pub use index::{resolve, RouteIndex, SwapCell};
+pub use index::{Cached, RouteIndex, SwapCell};
 pub use metrics::Metrics;
-pub use protocol::{parse_request, Request, Response};
+pub use protocol::{parse_request, ProtoVersion, Request, Response, MAX_LINE};
 pub use reload::{LoadError, MapSource};

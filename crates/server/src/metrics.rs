@@ -16,10 +16,13 @@ pub struct Metrics {
     pub hits: AtomicU64,
     /// Queries with no route.
     pub misses: AtomicU64,
-    /// Suffix lookups answered from the LRU cache.
+    /// Lookups answered from the LRU cache.
     pub cache_hits: AtomicU64,
-    /// Suffix lookups that had to walk the domain chain.
+    /// Lookups that had to go to the backing table.
     pub cache_misses: AtomicU64,
+    /// Queries that failed with a backend error (disk I/O, corrupt
+    /// table) rather than a clean hit or miss.
+    pub resolve_errors: AtomicU64,
     /// Successful `RELOAD`s.
     pub reloads: AtomicU64,
     /// Failed `RELOAD`s (old table kept serving).
@@ -41,6 +44,7 @@ impl Default for Metrics {
             misses: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            resolve_errors: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
             reload_failures: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
@@ -73,7 +77,7 @@ impl Metrics {
     pub fn render(&self, generation: u64, entries: usize) -> String {
         let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
         format!(
-            "queries={} hits={} misses={} cache_hits={} cache_misses={} \
+            "queries={} hits={} misses={} cache_hits={} cache_misses={} resolve_errors={} \
              reloads={} reload_failures={} bad_requests={} connections={} \
              active_connections={} generation={generation} entries={entries} uptime_ms={}",
             g(&self.queries),
@@ -81,6 +85,7 @@ impl Metrics {
             g(&self.misses),
             g(&self.cache_hits),
             g(&self.cache_misses),
+            g(&self.resolve_errors),
             g(&self.reloads),
             g(&self.reload_failures),
             g(&self.bad_requests),

@@ -1,8 +1,8 @@
-//! The line-oriented query protocol.
+//! The line-oriented query protocol, versions 1 and 2.
 //!
-//! One request per line, one response line per request, always in
-//! order — "a simple linear file, in the UNIX tradition" turned into a
-//! simple linear wire format. Requests:
+//! One request per line, responses always in order — "a simple linear
+//! file, in the UNIX tradition" turned into a simple linear wire
+//! format. Version 1 (every connection starts here):
 //!
 //! ```text
 //! QUERY <host> [user]    route mail for <host> (user defaults to %s)
@@ -11,6 +11,22 @@
 //! HEALTH                 liveness probe
 //! QUIT                   close this connection
 //! ```
+//!
+//! Version 2 is negotiated in-band: the client sends `PROTO 2`, a v2
+//! server answers `200 proto=2`, a v1 server answers `400 unknown verb
+//! …` and the client falls back — old clients and old servers keep
+//! working byte-for-byte. After negotiation two verbs unlock:
+//!
+//! ```text
+//! PROTO <n>              negotiate protocol version (1 or 2)
+//! MQUERY <h[:u]>...      N hosts on one line -> N ordered response lines
+//! SHUTDOWN               stop accepting, drain connections, exit
+//! ```
+//!
+//! `MQUERY` is the batched hot path: one request line carries many
+//! hosts (each token `host` or `host:user`), and the server writes one
+//! response line per token, in token order, flushed once — a full
+//! round trip per *batch* instead of per query.
 //!
 //! Responses are `<code> <text>`: `200` success, `404` no route, `400`
 //! bad request, `500` server-side failure. Verbs are case-insensitive;
@@ -22,8 +38,38 @@ use std::fmt;
 /// The maximum request line the daemon will read, including the
 /// newline. Longer lines get `400` and the connection is dropped —
 /// nothing in the input language needs more, and it bounds what a
-/// hostile peer can make us buffer.
+/// hostile peer can make us buffer. (It also bounds an `MQUERY`
+/// batch: ~8 KB of host names per round trip.)
 pub const MAX_LINE: usize = 8 * 1024;
+
+/// A protocol version, as negotiated per connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum ProtoVersion {
+    /// The PR-1 wire format. Every connection starts here.
+    #[default]
+    V1,
+    /// Adds `MQUERY` and `SHUTDOWN`.
+    V2,
+}
+
+impl ProtoVersion {
+    /// The numeric form used on the wire.
+    pub fn number(self) -> u8 {
+        match self {
+            ProtoVersion::V1 => 1,
+            ProtoVersion::V2 => 2,
+        }
+    }
+
+    /// Parses the numeric wire form.
+    pub fn from_number(n: u8) -> Option<ProtoVersion> {
+        match n {
+            1 => Some(ProtoVersion::V1),
+            2 => Some(ProtoVersion::V2),
+            _ => None,
+        }
+    }
+}
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,21 +81,41 @@ pub enum Request {
         /// Mail user; `None` leaves the `%s` marker in place.
         user: Option<String>,
     },
+    /// `MQUERY <host[:user]>...` (v2): batched queries, answered with
+    /// one response line per entry, in order.
+    MultiQuery {
+        /// The (host, user) pairs, in wire order.
+        queries: Vec<(String, Option<String>)>,
+    },
+    /// `PROTO <n>`: negotiate the protocol version.
+    Proto {
+        /// The requested version.
+        version: ProtoVersion,
+    },
     /// `STATS`.
     Stats,
     /// `RELOAD`.
     Reload,
     /// `HEALTH`.
     Health,
+    /// `SHUTDOWN` (v2): drain and stop the daemon.
+    Shutdown,
     /// `QUIT`.
     Quit,
 }
 
-/// Parses one request line (without its newline).
-pub fn parse_request(line: &str) -> Result<Request, String> {
+/// Parses one request line (without its newline) under the
+/// connection's negotiated protocol version.
+///
+/// Version gating happens here so a v1 connection is byte-for-byte the
+/// PR-1 protocol: `MQUERY` on a v1 connection is `unknown verb
+/// \`MQUERY\``, exactly as the old daemon answered. `PROTO` itself is
+/// recognized at every version — it is how a connection leaves v1.
+pub fn parse_request(line: &str, proto: ProtoVersion) -> Result<Request, String> {
     let mut words = line.split_whitespace();
     let verb = words.next().ok_or_else(|| "empty request".to_string())?;
-    let req = match verb.to_ascii_uppercase().as_str() {
+    let upper = verb.to_ascii_uppercase();
+    let req = match upper.as_str() {
         "QUERY" => {
             let host = words
                 .next()
@@ -58,11 +124,43 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             let user = words.next().map(str::to_string);
             Request::Query { host, user }
         }
+        "MQUERY" if proto >= ProtoVersion::V2 => {
+            // v1 QUERY cannot express an empty host or user; v2 must
+            // not either, or `:u` would slip past validation and
+            // resolve `""` through a default route.
+            let queries: Vec<(String, Option<String>)> = words
+                .by_ref()
+                .map(|tok| match tok.split_once(':') {
+                    Some((host, user)) if !host.is_empty() && !user.is_empty() => {
+                        Ok((host.to_string(), Some(user.to_string())))
+                    }
+                    Some(_) => Err(format!("empty host or user in token `{tok}`")),
+                    None => Ok((tok.to_string(), None)),
+                })
+                .collect::<Result<_, String>>()?;
+            if queries.is_empty() {
+                return Err("MQUERY needs at least one host".to_string());
+            }
+            return Ok(Request::MultiQuery { queries });
+        }
+        "PROTO" => {
+            let n = words
+                .next()
+                .ok_or_else(|| "PROTO needs a version".to_string())?;
+            let version = n
+                .parse::<u8>()
+                .ok()
+                .and_then(ProtoVersion::from_number)
+                .ok_or_else(|| format!("unsupported protocol version `{n}`"))?;
+            Request::Proto { version }
+        }
         "STATS" => Request::Stats,
         "RELOAD" => Request::Reload,
         "HEALTH" => Request::Health,
+        "SHUTDOWN" if proto >= ProtoVersion::V2 => Request::Shutdown,
         "QUIT" => Request::Quit,
-        other => return Err(format!("unknown verb `{other}`")),
+        // The uppercased form, exactly as v1 always reported it.
+        _ => return Err(format!("unknown verb `{upper}`")),
     };
     if let Some(extra) = words.next() {
         return Err(format!("trailing argument `{extra}`"));
@@ -93,11 +191,18 @@ pub enum Response {
         /// Entries in the serving table.
         entries: usize,
     },
+    /// `200` — `PROTO` accepted; the connection now speaks `version`.
+    Proto {
+        /// The negotiated version.
+        version: ProtoVersion,
+    },
+    /// `200` — `SHUTDOWN` accepted; the daemon is draining.
+    ShuttingDown,
     /// `200` — answer to `QUIT`.
     Bye,
     /// `400` — the request line did not parse.
     BadRequest(String),
-    /// `500` — a server-side failure (reload error, ...).
+    /// `500` — a server-side failure (reload error, backend I/O, ...).
     Failure(String),
 }
 
@@ -109,6 +214,8 @@ impl Response {
             | Response::Stats(_)
             | Response::Reloaded { .. }
             | Response::Health { .. }
+            | Response::Proto { .. }
+            | Response::ShuttingDown
             | Response::Bye => 200,
             Response::NoRoute(_) => 404,
             Response::BadRequest(_) => 400,
@@ -145,6 +252,8 @@ impl fmt::Display for Response {
             } => {
                 write!(f, "200 ok generation={generation} entries={entries}")
             }
+            Response::Proto { version } => write!(f, "200 proto={}", version.number()),
+            Response::ShuttingDown => write!(f, "200 shutting down"),
             Response::Bye => write!(f, "200 bye"),
             Response::BadRequest(why) => write!(f, "400 {}", one_line(why)),
             Response::Failure(why) => write!(f, "500 {}", one_line(why)),
@@ -156,17 +265,25 @@ impl fmt::Display for Response {
 mod tests {
     use super::*;
 
+    fn v1(line: &str) -> Result<Request, String> {
+        parse_request(line, ProtoVersion::V1)
+    }
+
+    fn v2(line: &str) -> Result<Request, String> {
+        parse_request(line, ProtoVersion::V2)
+    }
+
     #[test]
     fn query_forms() {
         assert_eq!(
-            parse_request("QUERY seismo").unwrap(),
+            v1("QUERY seismo").unwrap(),
             Request::Query {
                 host: "seismo".into(),
                 user: None
             }
         );
         assert_eq!(
-            parse_request("query caip.rutgers.edu pleasant").unwrap(),
+            v1("query caip.rutgers.edu pleasant").unwrap(),
             Request::Query {
                 host: "caip.rutgers.edu".into(),
                 user: Some("pleasant".into())
@@ -174,7 +291,7 @@ mod tests {
         );
         // Leading/trailing whitespace is tolerated.
         assert_eq!(
-            parse_request("  QUERY  seismo  honey  ").unwrap(),
+            v1("  QUERY  seismo  honey  ").unwrap(),
             Request::Query {
                 host: "seismo".into(),
                 user: Some("honey".into())
@@ -184,20 +301,75 @@ mod tests {
 
     #[test]
     fn bare_verbs() {
-        assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
-        assert_eq!(parse_request("reload").unwrap(), Request::Reload);
-        assert_eq!(parse_request("Health").unwrap(), Request::Health);
-        assert_eq!(parse_request("quit").unwrap(), Request::Quit);
+        assert_eq!(v1("STATS").unwrap(), Request::Stats);
+        assert_eq!(v1("reload").unwrap(), Request::Reload);
+        assert_eq!(v1("Health").unwrap(), Request::Health);
+        assert_eq!(v1("quit").unwrap(), Request::Quit);
     }
 
     #[test]
     fn rejects_malformed() {
-        assert!(parse_request("").is_err());
-        assert!(parse_request("   ").is_err());
-        assert!(parse_request("QUERY").is_err());
-        assert!(parse_request("QUERY a b c").is_err());
-        assert!(parse_request("STATS now").is_err());
-        assert!(parse_request("EHLO example.org").is_err());
+        assert!(v1("").is_err());
+        assert!(v1("   ").is_err());
+        assert!(v1("QUERY").is_err());
+        assert!(v1("QUERY a b c").is_err());
+        assert!(v1("STATS now").is_err());
+        assert!(v1("EHLO example.org").is_err());
+    }
+
+    #[test]
+    fn proto_negotiation_is_available_at_v1() {
+        assert_eq!(
+            v1("PROTO 2").unwrap(),
+            Request::Proto {
+                version: ProtoVersion::V2
+            }
+        );
+        assert_eq!(
+            v1("proto 1").unwrap(),
+            Request::Proto {
+                version: ProtoVersion::V1
+            }
+        );
+        assert!(v1("PROTO").is_err());
+        assert!(v1("PROTO 3").is_err());
+        assert!(v1("PROTO two").is_err());
+        assert!(v1("PROTO 2 2").is_err());
+    }
+
+    #[test]
+    fn v2_verbs_are_unknown_at_v1() {
+        // Byte-compat with the PR-1 daemon: same 400 text.
+        assert_eq!(
+            v1("MQUERY a b").unwrap_err(),
+            "unknown verb `MQUERY`".to_string()
+        );
+        assert_eq!(
+            v1("SHUTDOWN").unwrap_err(),
+            "unknown verb `SHUTDOWN`".to_string()
+        );
+    }
+
+    #[test]
+    fn mquery_parses_hosts_and_users() {
+        assert_eq!(
+            v2("MQUERY seismo duke:fred .edu").unwrap(),
+            Request::MultiQuery {
+                queries: vec![
+                    ("seismo".into(), None),
+                    ("duke".into(), Some("fred".into())),
+                    (".edu".into(), None),
+                ]
+            }
+        );
+        assert!(v2("MQUERY").is_err());
+        // Empty host or user tokens are rejected, matching what v1
+        // QUERY can express.
+        assert!(v2("MQUERY :alice").is_err());
+        assert!(v2("MQUERY host:").is_err());
+        assert!(v2("MQUERY ok :alice ok2").is_err());
+        assert_eq!(v2("SHUTDOWN").unwrap(), Request::Shutdown);
+        assert!(v2("SHUTDOWN now").is_err());
     }
 
     #[test]
@@ -226,6 +398,14 @@ mod tests {
             .to_string(),
             "200 ok generation=0 entries=2"
         );
+        assert_eq!(
+            Response::Proto {
+                version: ProtoVersion::V2
+            }
+            .to_string(),
+            "200 proto=2"
+        );
+        assert_eq!(Response::ShuttingDown.to_string(), "200 shutting down");
         assert_eq!(Response::Bye.to_string(), "200 bye");
         assert_eq!(Response::BadRequest("why".into()).code(), 400);
         assert_eq!(Response::Failure("why".into()).code(), 500);

@@ -9,15 +9,24 @@
 //! leaves the old table serving untouched.
 
 use pathalias_core::{parallel, MapOptions, Options, Pathalias};
-use pathalias_mailer::{disk::DiskDb, disk::DiskError, DbError, RouteDb};
+use pathalias_mailer::{
+    disk::DiskDb, disk::DiskError, disk::MappedDb, BoxedResolver, DbError, RouteDb, SharedRouteDb,
+};
 use std::fmt;
 use std::path::PathBuf;
 
 /// Where the route table comes from.
 #[derive(Debug, Clone)]
 pub enum MapSource {
-    /// A PADB1 file written by [`pathalias_mailer::disk::write_db`].
+    /// A PADB1 file written by [`pathalias_mailer::disk::write_db`],
+    /// loaded fully into memory.
     Padb(PathBuf),
+    /// A PADB1 file served *in place* through
+    /// [`MappedDb`]: only the index
+    /// is loaded; names and routes stay on disk behind the kernel page
+    /// cache, so tables larger than memory serve fine. `RELOAD`
+    /// re-opens (and re-validates) the file.
+    PadbMmap(PathBuf),
     /// A linear route file: pathalias output, `name\troute` lines.
     Routes(PathBuf),
     /// Map files run through the full pipeline on every (re)load.
@@ -89,11 +98,26 @@ impl MapSource {
         }
     }
 
-    /// Builds a fresh [`RouteDb`] from the source. Pure with respect to
+    /// Builds the serving backend from the source, as a boxed
+    /// [`Resolver`](pathalias_mailer::Resolver). Pure with respect to
     /// serving state: the caller decides when (and whether) to swap.
+    ///
+    /// Every source except [`MapSource::PadbMmap`] materializes an
+    /// in-memory table; `PadbMmap` opens the file for in-place serving
+    /// without loading the blob at all.
+    pub fn load_resolver(&self) -> Result<BoxedResolver, LoadError> {
+        match self {
+            MapSource::PadbMmap(path) => Ok(Box::new(MappedDb::open(path)?)),
+            other => Ok(Box::new(SharedRouteDb::new(other.load()?))),
+        }
+    }
+
+    /// Builds a fresh [`RouteDb`] from the source. For
+    /// [`MapSource::PadbMmap`] this reads the whole table into memory
+    /// (use [`MapSource::load_resolver`] to serve in place).
     pub fn load(&self) -> Result<RouteDb, LoadError> {
         match self {
-            MapSource::Padb(path) => {
+            MapSource::Padb(path) | MapSource::PadbMmap(path) => {
                 let mut disk = DiskDb::open(path)?;
                 Ok(RouteDb::from_entries(disk.read_all()?))
             }
@@ -202,6 +226,33 @@ mod tests {
         for p in [map_path, routes_path, padb_path] {
             std::fs::remove_file(p).unwrap();
         }
+    }
+
+    #[test]
+    fn mmap_resolver_serves_without_full_load() {
+        use pathalias_mailer::Resolver;
+        let db = RouteDb::from_output("seismo\tseismo!%s\n.edu\tseismo!%s\n").unwrap();
+        let padb_path = temp("mmap.padb");
+        write_db(&db, &padb_path).unwrap();
+        let resolver = MapSource::PadbMmap(padb_path.clone())
+            .load_resolver()
+            .unwrap();
+        assert_eq!(resolver.entries(), 2);
+        assert_eq!(
+            resolver
+                .resolve("caip.rutgers.edu", "pleasant")
+                .unwrap()
+                .route,
+            "seismo!caip.rutgers.edu!pleasant"
+        );
+        // Every source shape loads through load_resolver too.
+        let in_memory = MapSource::Padb(padb_path.clone()).load_resolver().unwrap();
+        assert_eq!(in_memory.entries(), 2);
+        assert_eq!(
+            in_memory.resolve("seismo", "rick").unwrap().route,
+            "seismo!rick"
+        );
+        std::fs::remove_file(padb_path).unwrap();
     }
 
     #[test]

@@ -159,6 +159,167 @@ fn hundred_thousand_queries_with_hot_reload() {
 }
 
 #[test]
+fn batched_queries_across_hot_reload() {
+    // The v2 counterpart of the gauntlet above: 8 clients stream
+    // MQUERY batches while a reload swaps the table mid-load. Zero
+    // errors, every batch answered in order, every answer entirely
+    // from one table or the other.
+    const BATCH: usize = 32;
+    const BATCHES_PER_CLIENT: usize = 400; // 8 × 400 × 32 = 102,400
+
+    let path = temp("batched.routes");
+    std::fs::write(&path, routes("relayA")).unwrap();
+    let handle = Server::start(ServerConfig::ephemeral(MapSource::Routes(path.clone())))
+        .expect("server starts");
+    let addr = handle.tcp_addr().unwrap();
+
+    let old_seen = Arc::new(AtomicU64::new(0));
+    let new_seen = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        for client_id in 0..CLIENTS {
+            let old_seen = old_seen.clone();
+            let new_seen = new_seen.clone();
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                let user = format!("u{client_id}");
+                for b in 0..BATCHES_PER_CLIENT {
+                    let hosts: Vec<String> = (0..BATCH)
+                        .map(|k| format!("h{}", (client_id * 37 + b * BATCH + k) % HOSTS))
+                        .collect();
+                    let queries: Vec<(&str, Option<&str>)> = hosts
+                        .iter()
+                        .map(|h| (h.as_str(), Some(user.as_str())))
+                        .collect();
+                    let results = client
+                        .query_batch(&queries)
+                        .expect("batch must not error across a reload");
+                    assert_eq!(results.len(), BATCH);
+                    for (host, got) in hosts.iter().zip(results) {
+                        let got = got.expect("host exists in both tables");
+                        let old = format!("relayA!{host}!{user}");
+                        let new = format!("relayB!{host}!{user}");
+                        if got == old {
+                            old_seen.fetch_add(1, Ordering::Relaxed);
+                        } else if got == new {
+                            new_seen.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            panic!("torn/mixed batched response: `{got}`");
+                        }
+                    }
+                }
+                client.quit().expect("clean quit");
+            });
+        }
+
+        // The reloader: swap the table while the batches are flowing.
+        let reload_path = path.clone();
+        s.spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(80));
+            std::fs::write(&reload_path, routes("relayB")).unwrap();
+            let mut client = Client::connect(addr).expect("reloader connects");
+            client.reload().expect("reload succeeds");
+            client.quit().unwrap();
+        });
+    });
+
+    assert!(old_seen.load(Ordering::Relaxed) > 0, "old table served");
+    assert!(new_seen.load(Ordering::Relaxed) > 0, "new table served");
+
+    let mut stats_client = Client::connect(addr).unwrap();
+    let stats = stats_client.stats().unwrap();
+    let field = |k: &str| -> u64 {
+        stats
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix(&format!("{k}=")))
+            .unwrap_or_else(|| panic!("missing {k} in `{stats}`"))
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(
+        field("queries"),
+        (CLIENTS * BATCHES_PER_CLIENT * BATCH) as u64,
+        "every batched query must be accounted for"
+    );
+    assert_eq!(field("bad_requests"), 0);
+    assert_eq!(field("resolve_errors"), 0);
+    stats_client.quit().unwrap();
+
+    handle.shutdown();
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn mmap_backend_matches_in_memory_backend() {
+    // The acceptance bar: the mmap-backed PADB1 serve path answers the
+    // full integration-test query load with results identical to the
+    // in-memory backend — same hosts, same suffix queries, same
+    // misses, byte-for-byte equal responses.
+    use pathalias_mailer::disk::write_db;
+    use pathalias_mailer::RouteDb;
+
+    let table = {
+        let mut t = routes("relayZ");
+        t.push_str(".\tsmart-host!%s\n");
+        t
+    };
+    let db = RouteDb::from_output(&table).unwrap();
+    let padb_path = temp("parity.padb");
+    write_db(&db, &padb_path).unwrap();
+
+    let mem = Server::start(ServerConfig::ephemeral(MapSource::Padb(padb_path.clone())))
+        .expect("in-memory server starts");
+    let mmap = Server::start(ServerConfig::ephemeral(MapSource::PadbMmap(
+        padb_path.clone(),
+    )))
+    .expect("mmap server starts");
+    assert_eq!(mem.table_info().1, mmap.table_info().1, "same entry count");
+
+    let mut mem_client = Client::connect(mem.tcp_addr().unwrap()).unwrap();
+    let mut mmap_client = Client::connect(mmap.tcp_addr().unwrap()).unwrap();
+
+    // The same query mix the 100k gauntlet uses: exact hosts over the
+    // whole table, suffix queries, default-route fallbacks — compared
+    // via raw response lines so codes and text must both match.
+    let mut load: Vec<String> = Vec::new();
+    for i in 0..HOSTS {
+        load.push(format!("QUERY h{i} user{}", i % 7));
+    }
+    for host in ["caip.rutgers.edu", "x.y.edu", "not-in-table", "a.b.nowhere"] {
+        load.push(format!("QUERY {host} someone"));
+        load.push(format!("QUERY {host}"));
+    }
+    for request in &load {
+        let a = mem_client.send(request).unwrap();
+        let b = mmap_client.send(request).unwrap();
+        assert_eq!(a, b, "backends diverge on `{request}`");
+    }
+
+    // And the batched path agrees with itself across backends.
+    let batch: Vec<(&str, Option<&str>)> = (0..64)
+        .map(|i| {
+            if i % 9 == 0 {
+                ("deep.site.edu", Some("u"))
+            } else if i % 13 == 0 {
+                ("unknown-host", Some("u"))
+            } else {
+                ("h7", Some("u"))
+            }
+        })
+        .collect();
+    assert_eq!(
+        mem_client.query_batch(&batch).unwrap(),
+        mmap_client.query_batch(&batch).unwrap(),
+    );
+
+    mem_client.quit().unwrap();
+    mmap_client.quit().unwrap();
+    mem.shutdown();
+    mmap.shutdown();
+    std::fs::remove_file(padb_path).unwrap();
+}
+
+#[test]
 fn reload_from_full_map_pipeline() {
     // The daemon pointed at *map input*, not pre-rendered routes: every
     // reload re-runs parse → map → print and multi-source validation.

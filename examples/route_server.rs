@@ -1,11 +1,12 @@
 //! The serving layer end to end: map → daemon → concurrent clients →
-//! hot reload.
+//! hot reload → graceful shutdown.
 //!
 //! The paper stops at the route file; production starts at the daemon.
 //! This example runs the full arc in one process: generate a synthetic
 //! map, serve it with `pathalias_server`, hammer it from several
-//! client threads, then edit the map and hot-reload without dropping a
-//! single in-flight query.
+//! client threads — batched over protocol v2, so each round trip
+//! carries a whole batch of queries — then edit the map, hot-reload
+//! without dropping a single in-flight query, and drain cleanly.
 //!
 //! Run with: `cargo run --release --example route_server`
 
@@ -54,11 +55,19 @@ fn main() {
             let hosts = &hosts;
             s.spawn(move || {
                 let mut c = Client::connect(addr).unwrap();
-                for i in 0..2_000 {
-                    let host = &hosts[(t + i) % hosts.len()];
-                    c.query(host, Some("postmaster"))
-                        .expect("no dropped connections")
-                        .expect("host routes");
+                // Protocol v2: 25 batches of 80 queries, one round
+                // trip each, instead of 2,000 round trips.
+                for batch in 0..25 {
+                    let queries: Vec<(&str, Option<&str>)> = (0..80)
+                        .map(|i| {
+                            (
+                                hosts[(t + batch * 80 + i) % hosts.len()].as_str(),
+                                Some("postmaster"),
+                            )
+                        })
+                        .collect();
+                    let results = c.query_batch(&queries).expect("no dropped connections");
+                    assert!(results.iter().all(Option::is_some), "host routes");
                 }
                 c.quit().unwrap();
             });
@@ -83,6 +92,12 @@ fn main() {
     println!("route to the host added by the reload: {route}");
 
     c.quit().unwrap();
-    handle.shutdown();
+
+    // Graceful shutdown from the wire: a v2 client sends SHUTDOWN, the
+    // daemon stops accepting and drains in-flight connections.
+    let shutdown_client = Client::connect(addr).unwrap();
+    println!("shutdown: {}", shutdown_client.shutdown().unwrap());
+    let drained = handle.drain(std::time::Duration::from_secs(5));
+    println!("drained cleanly: {drained}");
     std::fs::remove_file(map_path).unwrap();
 }

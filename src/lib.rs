@@ -20,6 +20,24 @@
 //! | [`pathalias_server`] (re-exported as [`server`]) | the concurrent route-query daemon with hot reload |
 //!
 //! The most common entry points are also re-exported at the top level.
+//! One worth knowing by name: [`Resolver`] is the single lookup API
+//! every route backend implements — the in-memory [`RouteDb`], the
+//! shared [`SharedRouteDb`] handle, the page-cache-backed
+//! [`mailer::disk::MappedDb`] over a PADB1 file, and the server's
+//! cached snapshot ([`server::index::Cached`]) all answer
+//! `resolve(host, user)` identically.
+//!
+//! ```
+//! use pathalias::{Resolver, RouteDb, SharedRouteDb};
+//!
+//! let db = RouteDb::from_output("seismo\tseismo!%s\n.edu\tseismo!%s\n").unwrap();
+//! // Any backend, same call, same answer:
+//! let shared = SharedRouteDb::new(db.clone());
+//! for backend in [&db as &dyn Resolver, &shared as &dyn Resolver] {
+//!     let hit = backend.resolve("caip.rutgers.edu", "pleasant").unwrap();
+//!     assert_eq!(hit.route, "seismo!caip.rutgers.edu!pleasant");
+//! }
+//! ```
 //!
 //! # Quick start
 //!
@@ -62,8 +80,8 @@ pub use pathalias_core::{
     Output, Pathalias, Route, RouteTable, ShortestPathTree, Sort, DEFAULT_COST, INF,
 };
 pub use pathalias_mailer::{
-    Address, HeaderRewriter, Message, Policy, RewriteError, Rewriter, RouteDb, SharedRouteDb,
-    SyntaxStyle,
+    Address, BoxedResolver, HeaderRewriter, Message, Policy, Resolution, ResolveError, ResolvedVia,
+    Resolver, RewriteError, Rewriter, RouteDb, SharedRouteDb, SyntaxStyle,
 };
 pub use pathalias_mapgen::{generate, GeneratedMap, MapSpec};
-pub use pathalias_server::{MapSource, Server, ServerConfig};
+pub use pathalias_server::{Client, ClientError, MapSource, Server, ServerConfig};
