@@ -7,8 +7,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pathalias_bench::clique_world;
-use pathalias_mapper::{map_readonly, MapOptions};
+use pathalias_mapper::{map_frozen_readonly, MapOptions};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench_clique(c: &mut Criterion) {
     let mut group = c.benchmark_group("clique");
@@ -17,13 +18,27 @@ fn bench_clique(c: &mut Criterion) {
     for &n in &[250usize, 500, 1_000, 2_000] {
         group.bench_with_input(BenchmarkId::new("star-map", n), &n, |b, &n| {
             let (g, src) = clique_world(n, true);
-            b.iter(|| black_box(map_readonly(&g, src, &opts).unwrap().mapped_count()));
+            let frozen = Arc::new(g.freeze());
+            b.iter(|| {
+                black_box(
+                    map_frozen_readonly(&frozen, src, &opts)
+                        .unwrap()
+                        .mapped_count(),
+                )
+            });
         });
         // The explicit clique at 2,000 members is exactly the paper's
         // "millions of edges" scenario.
         group.bench_with_input(BenchmarkId::new("clique-map", n), &n, |b, &n| {
             let (g, src) = clique_world(n, false);
-            b.iter(|| black_box(map_readonly(&g, src, &opts).unwrap().mapped_count()));
+            let frozen = Arc::new(g.freeze());
+            b.iter(|| {
+                black_box(
+                    map_frozen_readonly(&frozen, src, &opts)
+                        .unwrap()
+                        .mapped_count(),
+                )
+            });
         });
         group.bench_with_input(BenchmarkId::new("star-build", n), &n, |b, &n| {
             b.iter(|| black_box(clique_world(n, true).0.link_count()));

@@ -1,22 +1,44 @@
-//! E7: the priority-queue Dijkstra against the textbook O(v²) scan.
+//! Mapping benchmarks: the frozen-CSR Dijkstra against the seed's
+//! linked-list implementation, and the O(v²) scan for scale.
 //!
-//! The paper: "Both asymptotically and pragmatically, the priority
-//! queue variant is a clear winner over the standard version of
-//! Dijkstra's algorithm, which runs in time proportional to v²."
-//! The sparse graphs here have e ≈ 4v, like the USENET maps.
+//! Two comparisons matter here (recorded in `BENCH_map.json`):
+//!
+//! * `csr` vs `linked` — the PR-3 freeze refactor: identical
+//!   algorithm, identical labels, different memory layout. `linked` is
+//!   the seed code preserved verbatim in `pathalias_bench::legacy`.
+//! * `heap` vs `quadratic` — the paper's E7: "Both asymptotically and
+//!   pragmatically, the priority queue variant is a clear winner over
+//!   the standard version of Dijkstra's algorithm, which runs in time
+//!   proportional to v²."
+//!
+//! The sparse graphs have e ≈ 4v, like the USENET maps; `large-map` is
+//! the full 1986-scale mapgen world (5,700 + 2,800 hosts).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathalias_bench::legacy::map_linked_readonly;
 use pathalias_bench::random_sparse;
-use pathalias_mapper::{map_quadratic_readonly, map_readonly, MapOptions};
+use pathalias_mapgen::{generate, MapSpec};
+use pathalias_mapper::{map_frozen_quadratic_readonly, map_frozen_readonly, MapOptions};
 use std::hint::black_box;
+use std::sync::Arc;
 
-fn bench_variants(c: &mut Criterion) {
+fn bench_layouts(c: &mut Criterion) {
     let mut group = c.benchmark_group("dijkstra");
     let opts = MapOptions::default();
     for &v in &[500usize, 1_000, 2_000, 4_000, 8_000] {
         let (g, src) = random_sparse(v, 4.0, 42);
-        group.bench_with_input(BenchmarkId::new("heap", v), &v, |b, _| {
-            b.iter(|| black_box(map_readonly(&g, src, &opts).unwrap().mapped_count()));
+        let frozen = Arc::new(g.freeze());
+        group.bench_with_input(BenchmarkId::new("csr", v), &v, |b, _| {
+            b.iter(|| {
+                black_box(
+                    map_frozen_readonly(&frozen, src, &opts)
+                        .unwrap()
+                        .mapped_count(),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("linked", v), &v, |b, _| {
+            b.iter(|| black_box(map_linked_readonly(&g, src, &opts).mapped_count()));
         });
         // The quadratic variant is capped at 4k nodes to keep the run
         // finite — which is itself the point of the experiment.
@@ -24,7 +46,7 @@ fn bench_variants(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new("quadratic", v), &v, |b, _| {
                 b.iter(|| {
                     black_box(
-                        map_quadratic_readonly(&g, src, &opts)
+                        map_frozen_quadratic_readonly(&frozen, src, &opts)
                             .unwrap()
                             .mapped_count(),
                     )
@@ -35,5 +57,33 @@ fn bench_variants(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_variants);
+fn bench_large_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dijkstra-large-map");
+    let opts = MapOptions::default();
+    let gen = generate(&MapSpec::usenet_1986(1986));
+    let g = gen.parse().expect("generated map parses");
+    let home = g.try_node(&gen.home).expect("home exists");
+
+    // Freezing is part of the new pipeline's cost: measure it too.
+    group.bench_function("freeze", |b| {
+        b.iter(|| black_box(g.freeze().edge_count()));
+    });
+
+    let frozen = Arc::new(g.freeze());
+    group.bench_function("csr", |b| {
+        b.iter(|| {
+            black_box(
+                map_frozen_readonly(&frozen, home, &opts)
+                    .unwrap()
+                    .mapped_count(),
+            )
+        });
+    });
+    group.bench_function("linked", |b| {
+        b.iter(|| black_box(map_linked_readonly(&g, home, &opts).mapped_count()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_layouts, bench_large_map);
 criterion_main!(benches);

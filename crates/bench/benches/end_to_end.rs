@@ -5,9 +5,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pathalias_bench::paper_scale_text;
-use pathalias_mapper::{map_readonly, MapOptions};
+use pathalias_mapper::{map_frozen_readonly, MapOptions};
 use pathalias_printer::{compute_routes, render, PrintOptions};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench_phases(c: &mut Criterion) {
     let text = paper_scale_text(1986);
@@ -21,14 +22,25 @@ fn bench_phases(c: &mut Criterion) {
     let g = pathalias_parser::parse(&text).unwrap();
     let home = g.try_node("uncvax").expect("home hub");
     let opts = MapOptions::default();
-    group.bench_function("map", |b| {
-        b.iter(|| black_box(map_readonly(&g, home, &opts).unwrap().mapped_count()));
+    group.bench_function("freeze", |b| {
+        b.iter(|| black_box(g.freeze().edge_count()));
     });
 
-    let tree = map_readonly(&g, home, &opts).unwrap();
+    let frozen = Arc::new(g.freeze());
+    group.bench_function("map", |b| {
+        b.iter(|| {
+            black_box(
+                map_frozen_readonly(&frozen, home, &opts)
+                    .unwrap()
+                    .mapped_count(),
+            )
+        });
+    });
+
+    let tree = map_frozen_readonly(&frozen, home, &opts).unwrap();
     group.bench_function("print", |b| {
         b.iter(|| {
-            let table = compute_routes(&g, &tree);
+            let table = compute_routes(&tree);
             black_box(render(&table, &PrintOptions::default()).len())
         });
     });
@@ -37,8 +49,9 @@ fn bench_phases(c: &mut Criterion) {
         b.iter(|| {
             let g = pathalias_parser::parse(&text).unwrap();
             let home = g.try_node("uncvax").unwrap();
-            let tree = map_readonly(&g, home, &opts).unwrap();
-            let table = compute_routes(&g, &tree);
+            let frozen = Arc::new(g.freeze());
+            let tree = map_frozen_readonly(&frozen, home, &opts).unwrap();
+            let table = compute_routes(&tree);
             black_box(render(&table, &PrintOptions::default()).len())
         });
     });

@@ -6,6 +6,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod legacy;
+
 use pathalias_graph::{Graph, NodeId, RouteOp};
 use pathalias_mapgen::{generate, MapSpec};
 use rand::rngs::StdRng;

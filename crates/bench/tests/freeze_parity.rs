@@ -1,0 +1,100 @@
+//! Freeze semantics: the frozen-CSR pipeline's routing output must be
+//! byte-identical to the seed's linked-list mapper.
+//!
+//! The oracle is `pathalias_bench::legacy` — the seed implementation
+//! kept verbatim (linked adjacency traversal, graph-mutating back-link
+//! pass, route traversal over the mutable graph). Each case parses the
+//! same input twice (the legacy pass mutates its graph), runs both
+//! pipelines, and compares the rendered text including hidden entries,
+//! so networks, subdomains, private hosts, aliases, `adjust` biases
+//! and `delete`d nodes are all covered.
+
+use pathalias_bench::legacy::{legacy_routes, map_linked};
+use pathalias_mapgen::{generate, MapSpec};
+use pathalias_mapper::{map, MapOptions};
+use pathalias_printer::{compute_routes, render, PrintOptions, Sort};
+use proptest::prelude::*;
+
+/// Renders a map through the frozen pipeline and through the seed
+/// oracle; both strings, byte for byte.
+fn both_renderings(text: &str, home: &str) -> (String, String) {
+    let print_opts = PrintOptions {
+        with_costs: true,
+        sort: Sort::ByCost,
+        include_hidden: true,
+    };
+    let map_opts = MapOptions::default();
+
+    let g_new = pathalias_parser::parse(text).expect("map parses");
+    let src = g_new.try_node(home).expect("home exists");
+    let tree = map(&g_new, src, &map_opts).expect("frozen mapping succeeds");
+    let new_text = render(&compute_routes(&tree), &print_opts);
+
+    let mut g_old = pathalias_parser::parse(text).expect("map parses twice");
+    let src = g_old.try_node(home).expect("home exists");
+    let old_tree = map_linked(&mut g_old, src, &map_opts);
+    let old_text = render(&legacy_routes(&g_old, &old_tree), &print_opts);
+
+    (new_text, old_text)
+}
+
+/// Deterministically appends `adjust` and `delete` statements over the
+/// generated hosts, so freeze-time bias folding and node dropping are
+/// exercised even where the generator is gentle.
+fn with_admin_statements(base: &str, home: &str, seed: u64) -> String {
+    let g = pathalias_parser::parse(base).expect("base parses");
+    let mut hosts: Vec<&str> = g
+        .node_ids()
+        .filter(|&id| {
+            let n = g.node_ref(id);
+            !n.is_net() && g.name(id) != home
+        })
+        .map(|id| g.name(id))
+        .collect();
+    hosts.sort_unstable();
+    let mut extra = String::from("file { admin }\n");
+    for (i, host) in hosts.iter().enumerate() {
+        match (i as u64 + seed) % 17 {
+            0 => extra.push_str(&format!(
+                "adjust {{{host}({})}}\n",
+                (seed % 900) as i64 - 300
+            )),
+            5 => extra.push_str(&format!("delete {{{host}}}\n")),
+            _ => {}
+        }
+    }
+    format!("{base}{extra}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Generated worlds — cliques (networks), chains, domains, dead
+    /// hosts, aliases, private collisions — plus injected `adjust` and
+    /// `delete` statements, render byte-identically through both
+    /// pipelines.
+    #[test]
+    fn frozen_pipeline_matches_seed_on_generated_maps(
+        hosts in 60usize..160,
+        seed in 0u64..10_000,
+    ) {
+        let map = generate(&MapSpec::small(hosts, seed));
+        let text = with_admin_statements(&map.concatenated(), &map.home, seed);
+        let (new_text, old_text) = both_renderings(&text, &map.home);
+        prop_assert_eq!(new_text, old_text);
+    }
+}
+
+/// The full 1986-scale world: byte-identical before/after the
+/// refactor (the acceptance check for PR 3).
+#[test]
+fn paper_scale_map_is_byte_identical() {
+    let map = generate(&MapSpec::usenet_1986(1986));
+    let (new_text, old_text) = both_renderings(&map.concatenated(), &map.home);
+    assert_eq!(new_text.len(), old_text.len());
+    assert_eq!(new_text, old_text);
+    assert!(
+        new_text.lines().count() > 5_000,
+        "the map is actually large"
+    );
+}

@@ -8,7 +8,7 @@ usage: pathalias [-l host] [-c] [-i] [-v] [-n] [-s] [-t host]... [file ...]
        pathalias query -d route-file destination [user]
        pathalias serve (--padb F | --routes F | --map F...) [--backend B]
                  [--listen addr] [--unix path] [--cache N] [--shards N]
-                 [-l host] [-i]
+                 [--watch [--watch-interval-ms N]] [-l host] [-i]
        pathalias serve (--connect addr | --unix path)
                  (--query host... [--user u] | --stats | --reload
                   | --health | --shutdown)
@@ -34,6 +34,8 @@ serve (daemon mode; default listen 127.0.0.1:4175):
   --unix P      also (or only) listen on a Unix socket
   --cache N     lookup-cache capacity in entries (default 4096)
   --shards N    lookup-cache shard count (default 8)
+  --watch       poll the source file(s) and hot-reload when they change
+  --watch-interval-ms N   watch poll interval (default 2000)
 
 serve (client mode):
   --connect A   talk to a daemon over TCP
@@ -154,6 +156,10 @@ pub struct DaemonArgs {
     pub local: Option<String>,
     /// `-i`: ignore case in the map pipeline.
     pub ignore_case: bool,
+    /// `--watch`: poll the source files and reload on change.
+    pub watch: bool,
+    /// `--watch-interval-ms`: poll interval for `--watch`.
+    pub watch_interval_ms: u64,
 }
 
 /// Client-mode arguments.
@@ -283,6 +289,8 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
     let mut shards: Option<usize> = None;
     let mut local = None;
     let mut ignore_case = false;
+    let mut watch = false;
+    let mut watch_interval_ms: Option<u64> = None;
     let mut connect = None;
     let mut query_hosts: Vec<String> = Vec::new();
     let mut user = None;
@@ -324,6 +332,16 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
             }
             "-l" => local = Some(take_value("-l", &mut it)?.clone()),
             "-i" => ignore_case = true,
+            "--watch" => watch = true,
+            "--watch-interval-ms" => {
+                let ms: u64 = take_value("--watch-interval-ms", &mut it)?
+                    .parse()
+                    .map_err(|_| "--watch-interval-ms wants a number".to_string())?;
+                if ms == 0 {
+                    return Err("--watch-interval-ms must be positive".to_string());
+                }
+                watch_interval_ms = Some(ms);
+            }
             "--connect" => connect = Some(take_value("--connect", &mut it)?.clone()),
             "--query" => query_hosts.push(take_value("--query", &mut it)?.clone()),
             "--user" => user = Some(take_value("--user", &mut it)?.clone()),
@@ -365,6 +383,8 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
             (shards.is_some(), "--shards"),
             (local.is_some(), "-l"),
             (ignore_case, "-i"),
+            (watch, "--watch"),
+            (watch_interval_ms.is_some(), "--watch-interval-ms"),
         ] {
             if given {
                 return Err(format!("serve: {flag} only makes sense in daemon mode"));
@@ -409,6 +429,9 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
     if user.is_some() {
         return Err("serve: --user only makes sense with --query".to_string());
     }
+    if watch_interval_ms.is_some() && !watch {
+        return Err("serve: --watch-interval-ms only makes sense with --watch".to_string());
+    }
     // With no listener at all, default to loopback TCP.
     let listen = match (listen, &unix) {
         (None, None) => Some("127.0.0.1:4175".to_string()),
@@ -425,6 +448,8 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
         shards: shards.unwrap_or(8),
         local,
         ignore_case,
+        watch,
+        watch_interval_ms: watch_interval_ms.unwrap_or(2000),
     })))
 }
 
@@ -573,6 +598,42 @@ mod tests {
         assert_eq!(d.map_files, vec!["a.map", "b.map"]);
         assert_eq!(d.local.as_deref(), Some("unc"));
         assert!(d.ignore_case);
+    }
+
+    #[test]
+    fn serve_watch_flags() {
+        let Command::Serve(ServeArgs::Daemon(d)) =
+            parse(&v(&["serve", "--routes", "r.txt", "--watch"])).unwrap()
+        else {
+            panic!("expected daemon");
+        };
+        assert!(d.watch);
+        assert_eq!(d.watch_interval_ms, 2000, "default interval");
+
+        let Command::Serve(ServeArgs::Daemon(d)) = parse(&v(&[
+            "serve",
+            "--map",
+            "a.map",
+            "--watch",
+            "--watch-interval-ms",
+            "250",
+        ]))
+        .unwrap() else {
+            panic!("expected daemon");
+        };
+        assert!(d.watch);
+        assert_eq!(d.watch_interval_ms, 250);
+
+        // Off by default; interval alone is rejected; client mode
+        // rejects both.
+        let Command::Serve(ServeArgs::Daemon(d)) =
+            parse(&v(&["serve", "--routes", "r.txt"])).unwrap()
+        else {
+            panic!("expected daemon");
+        };
+        assert!(!d.watch);
+        assert!(parse(&v(&["serve", "--routes", "r", "--watch-interval-ms", "5"])).is_err());
+        assert!(parse(&v(&["serve", "--connect", "a:1", "--stats", "--watch"])).is_err());
     }
 
     #[test]

@@ -94,7 +94,7 @@ fn cmd_run(run: RunArgs) -> ExitCode {
             if !out.tree.trace.is_empty() {
                 eprint!(
                     "{}",
-                    pathalias_core::format_trace(pa.graph(), &out.tree.trace)
+                    pathalias_core::format_trace(out.tree.frozen(), &out.tree.trace)
                 );
             }
             if !out.unreachable.is_empty() {
@@ -113,8 +113,8 @@ fn cmd_run(run: RunArgs) -> ExitCode {
                     s.mapped
                 );
                 eprintln!(
-                    "pathalias: heap: {} pushes, {} pops, {} decreases; {} relaxations",
-                    s.pushes, s.pops, s.decreases, s.relaxations
+                    "pathalias: heap: {} pushes, {} pops ({} stale); {} relaxations",
+                    s.pushes, s.pops, s.stale_pops, s.relaxations
                 );
                 eprintln!(
                     "pathalias: penalties: {} gate, {} relay, {} mixed; back links: {} in {} rounds",
@@ -125,8 +125,8 @@ fn cmd_run(run: RunArgs) -> ExitCode {
                     s.backlink_rounds
                 );
                 eprintln!(
-                    "pathalias: timings: parse {:?}, map {:?}, print {:?}",
-                    out.timings.parse, out.timings.map, out.timings.print
+                    "pathalias: timings: parse {:?}, freeze {:?}, map {:?}, print {:?}",
+                    out.timings.parse, out.timings.freeze, out.timings.map, out.timings.print
                 );
             }
             ExitCode::SUCCESS
@@ -175,6 +175,9 @@ fn cmd_serve_daemon(d: DaemonArgs) -> ExitCode {
         unix: d.unix.map(Into::into),
         cache_capacity: d.cache,
         cache_shards: d.shards,
+        watch: d
+            .watch
+            .then(|| std::time::Duration::from_millis(d.watch_interval_ms)),
     };
     let handle = match Server::start(config) {
         Ok(h) => h,

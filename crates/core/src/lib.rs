@@ -1,11 +1,15 @@
-//! The pathalias pipeline: parse → map → print.
+//! The pathalias pipeline: parse → build → freeze → map → print.
 //!
 //! "Pathalias runs in three phases: parse the input, build a shortest
-//! path tree, and print the routes." [`Pathalias`] wires the component
-//! crates into that pipeline behind one builder-style API, with the
-//! original tool's options (`-l` local host, `-i` ignore case, `-c`
-//! print costs, `-t` trace) plus the reproduction's extras (heuristic
-//! configuration, second-best mapping, phase timings).
+//! path tree, and print the routes." This reproduction splits the run
+//! into explicit [stages] — `Parsed → Built → Frozen → Mapped →
+//! Printed` — each a value you can keep, re-enter, and time; the
+//! freeze step snapshots the built graph into the immutable CSR form
+//! the mapper traverses. [`Pathalias`] wires the stages behind one
+//! builder-style API, with the original tool's options (`-l` local
+//! host, `-i` ignore case, `-c` print costs, `-t` trace) plus the
+//! reproduction's extras (heuristic configuration, second-best
+//! mapping, phase timings).
 //!
 //! # Examples
 //!
@@ -25,19 +29,22 @@
 
 mod options;
 mod pipeline;
+pub mod stages;
 
 pub use options::Options;
 pub use pipeline::{Error, Output, Pathalias, PhaseTimings};
+pub use stages::{Built, Frozen, Mapped, Parsed, Printed};
 
 // Re-export the component crates' vocabulary so downstream users need
 // only this crate.
 pub use pathalias_graph::{
-    dot, stats, symbol_cost, symbol_table, unparse, Cost, Dir, Graph, LinkFlags, NodeFlags, NodeId,
-    RouteOp, Warning, DEFAULT_COST, INF,
+    dot, stats, symbol_cost, symbol_table, unparse, Cost, Dir, EdgeId, FrozenGraph, Graph,
+    LinkFlags, NodeFlags, NodeId, RouteOp, Warning, DEFAULT_COST, INF,
 };
 pub use pathalias_mapper::{
-    format_trace, map, map_dual, map_quadratic_readonly, map_readonly, parallel, CostModel,
-    DualTree, Label, MapError, MapOptions, MapStats, ShortestPathTree,
+    format_trace, map, map_dual, map_dual_frozen, map_frozen, map_frozen_quadratic_readonly,
+    map_frozen_readonly, map_quadratic_readonly, map_readonly, parallel, CostModel, DualTree,
+    Label, MapError, MapOptions, MapStats, ShortestPathTree,
 };
 pub use pathalias_parser::{parse, parse_files, parse_into, ParseError};
 pub use pathalias_printer::diff::{diff as diff_routes, RouteChange};

@@ -1,12 +1,23 @@
-//! The three-phase pipeline driver.
+//! The pipeline driver: a thin convenience wrapper over the staged API.
+//!
+//! [`Pathalias`] accumulates parsed input incrementally (the CLI shape:
+//! parse files as they arrive, then run), drives the
+//! [stages](crate::stages) `Built → Frozen → Mapped → Printed`, and
+//! caches the [`Frozen`] stage between runs — calling [`run`] twice
+//! with different mapping or printing options re-enters the pipeline at
+//! the map stage without re-parsing or re-freezing.
+//!
+//! [`run`]: Pathalias::run
 
 use crate::options::Options;
+use crate::stages::{Frozen, Mapped, Printed};
 use pathalias_graph::{Graph, NodeId, Warning};
-use pathalias_mapper::{map, map_dual, DualTree, MapError, MapOptions, ShortestPathTree};
+use pathalias_mapper::{DualTree, MapError, ShortestPathTree};
 use pathalias_parser::{parse_into, ParseError};
-use pathalias_printer::{compute_routes, render, PrintOptions, RouteTable};
+use pathalias_printer::RouteTable;
 use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A fatal pipeline error.
@@ -61,6 +72,8 @@ impl From<std::io::Error> for Error {
 pub struct PhaseTimings {
     /// Time spent parsing input.
     pub parse: Duration,
+    /// Time spent freezing the built graph into its CSR snapshot.
+    pub freeze: Duration,
     /// Time spent building the shortest-path tree.
     pub map: Duration,
     /// Time spent computing and rendering routes.
@@ -97,6 +110,9 @@ pub struct Pathalias {
     parsed_any: bool,
     first_host: Option<NodeId>,
     parse_time: Duration,
+    validated: bool,
+    /// Cached frozen stage; dropped whenever new input arrives.
+    frozen: Option<Frozen>,
 }
 
 impl Default for Pathalias {
@@ -120,6 +136,8 @@ impl Pathalias {
             parsed_any: false,
             first_host: None,
             parse_time: Duration::ZERO,
+            validated: false,
+            frozen: None,
         }
     }
 
@@ -154,6 +172,9 @@ impl Pathalias {
             );
         }
         self.parsed_any = true;
+        // New input invalidates the snapshot and requires revalidation.
+        self.frozen = None;
+        self.validated = false;
         self.parse_time += t0.elapsed();
         Ok(())
     }
@@ -167,75 +188,53 @@ impl Pathalias {
         Ok(())
     }
 
-    fn resolve_local(&self) -> Result<NodeId, Error> {
-        match &self.options.local {
-            Some(name) => self
-                .graph
-                .try_node(name)
-                .ok_or_else(|| Error::UnknownLocal(name.clone())),
-            None => self.first_host.ok_or(Error::NoInput),
-        }
-    }
-
-    /// Runs the map and print phases, consuming nothing: `run` may be
-    /// called repeatedly (e.g. with different options).
-    pub fn run(&mut self) -> Result<Output, Error> {
+    /// The frozen stage for the input parsed so far, building (and
+    /// caching) it on first use. Lets callers re-enter the staged API
+    /// directly — e.g. to fan out multi-source mapping over the same
+    /// snapshot [`run`](Pathalias::run) uses.
+    pub fn frozen(&mut self) -> Result<&Frozen, Error> {
         if !self.parsed_any {
             return Err(Error::NoInput);
         }
-        self.graph.validate();
-        let source = self.resolve_local()?;
+        if self.frozen.is_none() {
+            if !self.validated {
+                self.graph.validate();
+                self.validated = true;
+            }
+            let t0 = Instant::now();
+            let snapshot = Arc::new(self.graph.freeze());
+            self.frozen = Some(Frozen::from_parts(
+                snapshot,
+                self.first_host,
+                self.graph.warnings().to_vec(),
+                t0.elapsed(),
+            ));
+        }
+        Ok(self.frozen.as_ref().expect("just built"))
+    }
 
-        let map_opts = MapOptions {
-            model: self.options.cost_model,
-            trace: self
-                .options
-                .trace
-                .iter()
-                .filter_map(|n| self.graph.try_node(n))
-                .collect(),
-            exclude_domains: false,
-            no_backlinks: self.options.no_backlinks,
-        };
-
-        let t_map = Instant::now();
-        let (tree, dual) = if self.options.second_best {
-            let dual = map_dual(&mut self.graph, source, &map_opts)?;
-            (dual.primary.clone(), Some(dual))
-        } else {
-            (map(&mut self.graph, source, &map_opts)?, None)
-        };
-        let map_time = t_map.elapsed();
-
-        let t_print = Instant::now();
-        let routes = compute_routes(&self.graph, &tree);
-        let rendered = render(
-            &routes,
-            &PrintOptions {
-                with_costs: self.options.with_costs,
-                sort: self.options.sort,
-                include_hidden: self.options.include_hidden,
-            },
-        );
-        let print_time = t_print.elapsed();
-
-        let unreachable = tree
-            .unreachable(&self.graph)
-            .into_iter()
-            .map(|id| self.graph.name(id).to_string())
-            .collect();
-
+    /// Runs the freeze, map and print stages, consuming nothing: `run`
+    /// may be called repeatedly (e.g. with different options), and only
+    /// the stages invalidated by intervening changes are redone —
+    /// repeat runs on unchanged input skip straight to mapping.
+    pub fn run(&mut self) -> Result<Output, Error> {
+        let options = self.options.clone();
+        let parse_time = self.parse_time;
+        let frozen = self.frozen()?;
+        let mapped: Mapped = frozen.map(&options)?;
+        let printed: Printed = mapped.print(&options);
         Ok(Output {
-            routes,
-            rendered,
-            tree,
-            dual,
-            warnings: self.graph.warnings().to_vec(),
-            unreachable,
+            routes: printed.routes,
+            rendered: printed.rendered,
+            tree: mapped.tree,
+            dual: mapped.dual,
+            warnings: frozen.warnings().to_vec(),
+            unreachable: printed.unreachable,
             timings: PhaseTimings {
-                parse: self.parse_time,
-                map: map_time,
-                print: print_time,
+                parse: parse_time,
+                freeze: frozen.freeze_time,
+                map: mapped.map_time,
+                print: printed.print_time,
             },
         })
     }
@@ -345,14 +344,60 @@ ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)
     }
 
     #[test]
-    fn run_twice_is_stable() {
+    fn run_twice_is_stable_and_reuses_the_snapshot() {
         let mut pa = Pathalias::new();
         pa.options_mut().with_costs = true;
         pa.parse_str("m", PAPER_1981).unwrap();
         pa.options_mut().local = Some("unc".into());
-        let a = pa.run().unwrap().rendered;
-        let b = pa.run().unwrap().rendered;
-        assert_eq!(a, b);
+        let a = pa.run().unwrap();
+        let b = pa.run().unwrap();
+        assert_eq!(a.rendered, b.rendered);
+        // The second run re-entered at the map stage: same Arc.
+        assert!(Arc::ptr_eq(a.tree.frozen(), b.tree.frozen()));
+    }
+
+    #[test]
+    fn new_input_invalidates_the_snapshot() {
+        let mut pa = Pathalias::new();
+        pa.options_mut().local = Some("a".into());
+        pa.parse_str("one", "a b(10)\n").unwrap();
+        let first = pa.run().unwrap();
+        assert!(first.routes.find("c").is_none());
+        pa.parse_str("two", "b c(10)\n").unwrap();
+        let second = pa.run().unwrap();
+        assert_eq!(second.routes.find("c").unwrap().route, "b!c!%s");
+        assert!(!Arc::ptr_eq(first.tree.frozen(), second.tree.frozen()));
+    }
+
+    #[test]
+    fn input_after_a_run_is_still_validated() {
+        // A run between two parses must not leave later input
+        // unvalidated: the second file's gateway-into-ungated construct
+        // has to produce its warning.
+        let mut pa = Pathalias::new();
+        pa.options_mut().local = Some("a".into());
+        pa.parse_str("one", "a b(10)\n").unwrap();
+        assert!(pa.run().unwrap().warnings.is_empty());
+        pa.parse_str("two", "OPEN = {x}\nh OPEN(10)\ngateway {OPEN!h}\na h(5)\n")
+            .unwrap();
+        let out = pa.run().unwrap();
+        assert!(
+            out.warnings
+                .iter()
+                .any(|w| matches!(w, Warning::GatewayIntoUngated { .. })),
+            "warnings: {:?}",
+            out.warnings
+        );
+    }
+
+    #[test]
+    fn local_may_name_a_private_only_host() {
+        let mut pa = Pathalias::new();
+        pa.options_mut().local = Some("bilbo".into());
+        pa.parse_str("site", "private {bilbo}\nbilbo wiretap(25)\n")
+            .unwrap();
+        let out = pa.run().unwrap();
+        assert_eq!(out.routes.find("wiretap").unwrap().route, "wiretap!%s");
     }
 
     #[test]
@@ -372,5 +417,6 @@ ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)
         pa.options_mut().local = Some("unc".into());
         let out = pa.run().unwrap();
         assert!(out.timings.parse > Duration::ZERO);
+        assert!(out.timings.freeze > Duration::ZERO);
     }
 }

@@ -1,0 +1,371 @@
+//! The staged pipeline: `Parsed → Built → Frozen → Mapped → Printed`.
+//!
+//! The original driver was a monolith: parse, map, print, all in one
+//! call. This module splits the run into *values* — each stage is a
+//! struct you can keep, re-enter, and time:
+//!
+//! * [`Parsed`] — the named input texts, before any graph exists;
+//! * [`Built`] — the mutable [`Graph`] produced by parsing (validated,
+//!   warnings recorded);
+//! * [`Frozen`] — the immutable CSR snapshot
+//!   ([`pathalias_graph::FrozenGraph`]) plus everything later stages
+//!   need from the build (first host, warnings). Cheap to share.
+//! * [`Mapped`] — the shortest-path tree (and optional second-best
+//!   dual) from one mapping run;
+//! * [`Printed`] — the route table and rendered text.
+//!
+//! Re-entry is the point: holding a [`Frozen`] stage, you can map with
+//! different options (a different `-l` host, other penalties, traces)
+//! without re-parsing or re-freezing — this is how the server's hot
+//! reload skips the expensive stages when only mapping options change,
+//! and how multi-source validation fans out over one snapshot.
+//!
+//! # Examples
+//!
+//! ```
+//! use pathalias_core::{Options, Parsed};
+//!
+//! let mut parsed = Parsed::new();
+//! parsed.push_str("map", "unc duke(500)\nduke phs(300)\n");
+//! let options = Options { local: Some("unc".into()), ..Options::default() };
+//! let frozen = parsed.build(&options).unwrap().freeze();
+//! // Map twice from the same snapshot — no re-parse, no re-freeze.
+//! let out1 = frozen.map(&options).unwrap().print(&options);
+//! let out2 = frozen.map(&options).unwrap().print(&options);
+//! assert_eq!(out1.rendered, out2.rendered);
+//! assert!(out1.rendered.contains("phs\tduke!phs!%s"));
+//! ```
+
+use crate::options::Options;
+use crate::pipeline::Error;
+use pathalias_graph::{FrozenGraph, Graph, NodeId, Warning};
+use pathalias_mapper::{map_dual_frozen, map_frozen, DualTree, MapOptions, ShortestPathTree};
+use pathalias_parser::parse_into;
+use pathalias_printer::{compute_routes, render, PrintOptions, RouteTable};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Stage 1: named input texts, not yet parsed.
+#[derive(Debug, Clone, Default)]
+pub struct Parsed {
+    inputs: Vec<(String, String)>,
+}
+
+impl Parsed {
+    /// No inputs yet.
+    pub fn new() -> Self {
+        Parsed::default()
+    }
+
+    /// Adds one named input.
+    pub fn push_str(&mut self, file: &str, text: &str) {
+        self.inputs.push((file.to_string(), text.to_string()));
+    }
+
+    /// Reads and adds an input file from disk.
+    pub fn push_file(&mut self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)?;
+        self.inputs
+            .push((path.to_string_lossy().into_owned(), text));
+        Ok(())
+    }
+
+    /// The inputs accumulated so far.
+    pub fn inputs(&self) -> &[(String, String)] {
+        &self.inputs
+    }
+
+    /// Whether any input was added.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Stage 2: parses every input into a fresh graph (only
+    /// `options.ignore_case` matters here) and validates it.
+    pub fn build(&self, options: &Options) -> Result<Built, Error> {
+        let t0 = Instant::now();
+        let mut graph = Graph::with_ignore_case(options.ignore_case);
+        let mut first_host = None;
+        for (file, text) in &self.inputs {
+            let before = graph.node_count();
+            parse_into(&mut graph, file, text)?;
+            if first_host.is_none() && graph.node_count() > before {
+                first_host = Some(
+                    graph
+                        .node_ids()
+                        .nth(before)
+                        .expect("a node was just created"),
+                );
+            }
+        }
+        graph.validate();
+        Ok(Built {
+            graph,
+            first_host,
+            build_time: t0.elapsed(),
+        })
+    }
+}
+
+/// Stage 2: the mutable graph built by parsing.
+#[derive(Debug)]
+pub struct Built {
+    graph: Graph,
+    first_host: Option<NodeId>,
+    /// Wall-clock time spent parsing and validating.
+    pub build_time: Duration,
+}
+
+impl Built {
+    /// The built graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The first host declared in the input (the default `-l`).
+    pub fn first_host(&self) -> Option<NodeId> {
+        self.first_host
+    }
+
+    /// Stage 3: freezes the graph into its immutable CSR snapshot.
+    /// The `Built` stage survives, so a caller can re-freeze after
+    /// further mutation.
+    pub fn freeze(&self) -> Frozen {
+        let t0 = Instant::now();
+        Frozen {
+            graph: Arc::new(self.graph.freeze()),
+            first_host: self.first_host,
+            warnings: self.graph.warnings().to_vec(),
+            freeze_time: t0.elapsed(),
+        }
+    }
+}
+
+/// Stage 3: the immutable snapshot every later stage works from.
+#[derive(Debug, Clone)]
+pub struct Frozen {
+    graph: Arc<FrozenGraph>,
+    first_host: Option<NodeId>,
+    warnings: Vec<Warning>,
+    /// Wall-clock time spent freezing.
+    pub freeze_time: Duration,
+}
+
+impl Frozen {
+    /// Assembles the stage from parts (for drivers that build the
+    /// graph incrementally rather than through [`Parsed::build`]).
+    pub fn from_parts(
+        graph: Arc<FrozenGraph>,
+        first_host: Option<NodeId>,
+        warnings: Vec<Warning>,
+        freeze_time: Duration,
+    ) -> Self {
+        Frozen {
+            graph,
+            first_host,
+            warnings,
+            freeze_time,
+        }
+    }
+
+    /// The frozen graph.
+    pub fn graph(&self) -> &Arc<FrozenGraph> {
+        &self.graph
+    }
+
+    /// Warnings recorded while building.
+    pub fn warnings(&self) -> &[Warning] {
+        &self.warnings
+    }
+
+    /// Resolves the mapping source: `options.local` by name, else the
+    /// first declared host.
+    pub fn resolve_local(&self, options: &Options) -> Result<NodeId, Error> {
+        match &options.local {
+            Some(name) => self
+                .graph
+                .id_of(name)
+                .ok_or_else(|| Error::UnknownLocal(name.clone())),
+            None => self.first_host.ok_or(Error::NoInput),
+        }
+    }
+
+    /// Stage 4: maps from the local host (with back links, and the
+    /// second-best dual when requested). Re-entrant: call as often as
+    /// you like with different options.
+    pub fn map(&self, options: &Options) -> Result<Mapped, Error> {
+        let source = self.resolve_local(options)?;
+        let map_opts = MapOptions {
+            model: options.cost_model,
+            trace: options
+                .trace
+                .iter()
+                .filter_map(|n| self.graph.id_of(n))
+                .collect(),
+            exclude_domains: false,
+            no_backlinks: options.no_backlinks,
+        };
+        let t0 = Instant::now();
+        let (tree, dual) = if options.second_best {
+            let dual = map_dual_frozen(&self.graph, source, &map_opts)?;
+            (dual.primary.clone(), Some(dual))
+        } else {
+            (map_frozen(&self.graph, source, &map_opts)?, None)
+        };
+        Ok(Mapped {
+            tree,
+            dual,
+            map_time: t0.elapsed(),
+        })
+    }
+}
+
+/// Stage 4: the result of one mapping run.
+#[derive(Debug, Clone)]
+pub struct Mapped {
+    /// The shortest-path tree (the dual's primary when `-s` was set).
+    pub tree: ShortestPathTree,
+    /// The second-best (domain-free) result, when requested.
+    pub dual: Option<DualTree>,
+    /// Wall-clock time spent mapping.
+    pub map_time: Duration,
+}
+
+impl Mapped {
+    /// Stage 5: computes and renders the routes.
+    pub fn print(&self, options: &Options) -> Printed {
+        let t0 = Instant::now();
+        let routes = compute_routes(&self.tree);
+        let rendered = render(
+            &routes,
+            &PrintOptions {
+                with_costs: options.with_costs,
+                sort: options.sort,
+                include_hidden: options.include_hidden,
+            },
+        );
+        let unreachable = self
+            .tree
+            .unreachable()
+            .into_iter()
+            .map(|id| self.tree.frozen().name(id).to_string())
+            .collect();
+        Printed {
+            routes,
+            rendered,
+            unreachable,
+            print_time: t0.elapsed(),
+        }
+    }
+}
+
+/// Stage 5: the printable output.
+#[derive(Debug, Clone)]
+pub struct Printed {
+    /// Every computed route (hidden entries included).
+    pub routes: RouteTable,
+    /// The rendered route list.
+    pub rendered: String,
+    /// Hosts that stayed unreachable even after back links.
+    pub unreachable: Vec<String>,
+    /// Wall-clock time spent printing.
+    pub print_time: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAP: &str = "unc duke(500)\nduke phs(300)\n";
+
+    fn parsed() -> Parsed {
+        let mut p = Parsed::new();
+        p.push_str("m", MAP);
+        p
+    }
+
+    #[test]
+    fn stages_compose() {
+        let options = Options {
+            local: Some("unc".into()),
+            with_costs: true,
+            ..Options::default()
+        };
+        let built = parsed().build(&options).unwrap();
+        assert_eq!(built.graph().node_count(), 3);
+        let frozen = built.freeze();
+        let mapped = frozen.map(&options).unwrap();
+        let printed = mapped.print(&options);
+        assert!(printed.rendered.contains("800\tphs\tduke!phs!%s"));
+    }
+
+    #[test]
+    fn frozen_stage_is_reentrant_with_new_options() {
+        let options = Options::default();
+        let frozen = parsed().build(&options).unwrap().freeze();
+        // Same snapshot, two different mapping sources.
+        let from_unc = Options {
+            local: Some("unc".into()),
+            ..Options::default()
+        };
+        let from_phs = Options {
+            local: Some("phs".into()),
+            ..Options::default()
+        };
+        let a = frozen.map(&from_unc).unwrap().print(&from_unc);
+        let b = frozen.map(&from_phs).unwrap().print(&from_phs);
+        assert!(a.routes.find("unc").unwrap().route == "%s");
+        assert!(b.routes.find("phs").unwrap().route == "%s");
+    }
+
+    #[test]
+    fn freezing_shares_not_copies() {
+        let options = Options::default();
+        let frozen = parsed().build(&options).unwrap().freeze();
+        let mapped = frozen.map(&options).unwrap();
+        assert!(
+            Arc::ptr_eq(frozen.graph(), mapped.tree.frozen()),
+            "no back links here, so the tree holds the same snapshot"
+        );
+    }
+
+    #[test]
+    fn unknown_local_and_no_input() {
+        let options = Options {
+            local: Some("nosuch".into()),
+            ..Options::default()
+        };
+        let frozen = parsed().build(&options).unwrap().freeze();
+        assert!(matches!(frozen.map(&options), Err(Error::UnknownLocal(_))));
+        let empty = Parsed::new().build(&Options::default()).unwrap().freeze();
+        assert!(matches!(
+            empty.map(&Options::default()),
+            Err(Error::NoInput)
+        ));
+    }
+
+    #[test]
+    fn built_survives_freezing_for_refreeze() {
+        let options = Options::default();
+        let built = parsed().build(&options).unwrap();
+        let f1 = built.freeze();
+        let f2 = built.freeze();
+        assert_eq!(f1.graph().node_count(), f2.graph().node_count());
+    }
+
+    #[test]
+    fn push_file_reads_disk() {
+        let path =
+            std::env::temp_dir().join(format!("pathalias-stages-{}.map", std::process::id()));
+        std::fs::write(&path, MAP).unwrap();
+        let mut p = Parsed::new();
+        p.push_file(&path).unwrap();
+        assert_eq!(p.inputs().len(), 1);
+        assert!(!p.is_empty());
+        let built = p.build(&Options::default()).unwrap();
+        assert_eq!(built.graph().node_count(), 3);
+        std::fs::remove_file(path).unwrap();
+    }
+}

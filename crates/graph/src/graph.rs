@@ -8,6 +8,7 @@ use crate::link::{Link, RouteOp};
 use crate::node::Node;
 use pathalias_arena::{Bump, Handle, Pool};
 use pathalias_hash::HostTable;
+use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
 
 /// Identifies a node in the graph.
@@ -120,11 +121,14 @@ impl Graph {
         &self.files[f.index()]
     }
 
-    fn key_of(&self, name: &str) -> String {
-        if self.ignore_case {
-            name.to_ascii_lowercase()
+    /// The lookup key for `name`: borrowed unless case folding has to
+    /// rewrite it, so the hot path (case-sensitive maps, and lowercase
+    /// names under `-i`) never allocates.
+    fn key_of<'a>(&self, name: &'a str) -> Cow<'a, str> {
+        if self.ignore_case && name.bytes().any(|b| b.is_ascii_uppercase()) {
+            Cow::Owned(name.to_ascii_lowercase())
         } else {
-            name.to_string()
+            Cow::Borrowed(name)
         }
     }
 
@@ -150,8 +154,8 @@ impl Graph {
     pub fn node(&mut self, name: &str) -> NodeId {
         assert!(!name.is_empty(), "host names cannot be empty");
         let key = self.key_of(name);
-        self.file_mentions.insert(key.as_str().into());
-        if let Some(&id) = self.private_scope.get(key.as_str()) {
+        self.file_mentions.insert(key.as_ref().into());
+        if let Some(&id) = self.private_scope.get(key.as_ref()) {
             return id;
         }
         if let Some(&id) = self.table.peek(&key) {
@@ -165,7 +169,7 @@ impl Graph {
     /// Looks `name` up without creating it.
     pub fn try_node(&self, name: &str) -> Option<NodeId> {
         let key = self.key_of(name);
-        if let Some(&id) = self.private_scope.get(key.as_str()) {
+        if let Some(&id) = self.private_scope.get(key.as_ref()) {
             return Some(id);
         }
         self.table.peek(&key).copied()
@@ -176,16 +180,16 @@ impl Graph {
     /// returns the same node.
     pub fn declare_private(&mut self, name: &str) -> NodeId {
         let key = self.key_of(name);
-        if let Some(&id) = self.private_scope.get(key.as_str()) {
+        if let Some(&id) = self.private_scope.get(key.as_ref()) {
             return id;
         }
-        if self.file_mentions.contains(key.as_str()) {
+        if self.file_mentions.contains(key.as_ref()) {
             self.warnings.push(Warning::PrivateAfterUse {
                 host: name.to_string(),
             });
         }
         let id = self.new_node(name, NodeFlags::PRIVATE);
-        self.private_scope.insert(key.into(), id);
+        self.private_scope.insert(key.into_owned().into(), id);
         id
     }
 

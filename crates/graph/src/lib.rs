@@ -10,6 +10,8 @@
 //!
 //! * [`Graph`] — node/link pools, the host-name table, and file-scoped
 //!   `private` name resolution;
+//! * [`FrozenGraph`] — the immutable compressed-sparse-row snapshot
+//!   ([`Graph::freeze`]) the mapping and printing phases traverse;
 //! * [`Node`] / [`Link`] with [`NodeFlags`] / [`LinkFlags`];
 //! * networks as single nodes with paired member edges (the "clique as
 //!   star" representation that avoids the ARPANET's "millions of
@@ -44,6 +46,7 @@ mod cost;
 mod diag;
 pub mod dot;
 mod flags;
+pub mod frozen;
 #[allow(clippy::module_inception)]
 mod graph;
 mod link;
@@ -54,6 +57,7 @@ pub mod unparse;
 pub use cost::{symbol_cost, symbol_table, Cost, DEFAULT_COST, INF};
 pub use diag::Warning;
 pub use flags::{LinkFlags, NodeFlags};
+pub use frozen::{EdgeId, FrozenEdge, FrozenGraph};
 pub use graph::{FileId, Graph, LinkId, NodeId};
 pub use link::{Dir, Link, RouteOp};
 pub use node::Node;

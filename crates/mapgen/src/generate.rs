@@ -413,9 +413,9 @@ mod tests {
     #[test]
     fn mostly_connected_from_home() {
         let m = generate(&MapSpec::small(500, 9));
-        let mut g = m.parse().unwrap();
+        let g = m.parse().unwrap();
         let home = g.try_node(&m.home).unwrap();
-        let tree = map(&mut g, home, &MapOptions::default()).unwrap();
+        let tree = map(&g, home, &MapOptions::default()).unwrap();
         let mappable = g.iter_nodes().filter(|(_, n)| n.is_mappable()).count();
         let mapped = tree.mapped_count();
         assert!(

@@ -13,9 +13,10 @@
 //! way of a domain (its label is tainted), the clean label is exactly
 //! the second-best path the paper wants to keep.
 
-use crate::dijkstra::{map, map_readonly, MapError, MapOptions};
+use crate::dijkstra::{map_frozen, map_frozen_readonly, MapError, MapOptions};
 use crate::tree::{Label, ShortestPathTree};
-use pathalias_graph::{Graph, NodeId};
+use pathalias_graph::{FrozenGraph, Graph, NodeId};
+use std::sync::Arc;
 
 /// The result of a dual (primary + domain-free) mapping.
 #[derive(Debug, Clone)]
@@ -50,18 +51,34 @@ impl DualTree {
     }
 }
 
-/// Runs the dual mapping: a normal [`map`] (with back links) plus a
-/// domain-free [`map_readonly`].
-pub fn map_dual(g: &mut Graph, source: NodeId, opts: &MapOptions) -> Result<DualTree, MapError> {
-    let primary = map(g, source, opts)?;
+/// Runs the dual mapping on a frozen graph: a normal [`map_frozen`]
+/// (with back links) plus a domain-free [`map_frozen_readonly`] over
+/// the primary run's final snapshot (so the clean pass may use the
+/// invented back links, as the original did).
+pub fn map_dual_frozen(
+    f: &Arc<FrozenGraph>,
+    source: NodeId,
+    opts: &MapOptions,
+) -> Result<DualTree, MapError> {
     let clean_opts = MapOptions {
         exclude_domains: true,
         no_backlinks: true,
         trace: Vec::new(),
         ..opts.clone()
     };
-    let clean = map_readonly(g, source, &clean_opts)?;
+    // Fail on an excluded source before doing the primary work, as the
+    // original did.
+    if f.is_mappable(source) && f.is_domain(source) {
+        return Err(MapError::ExcludedSource);
+    }
+    let primary = map_frozen(f, source, opts)?;
+    let clean = map_frozen_readonly(primary.frozen(), source, &clean_opts)?;
     Ok(DualTree { primary, clean })
+}
+
+/// Freezes `g` and runs the dual mapping (see [`map_dual_frozen`]).
+pub fn map_dual(g: &Graph, source: NodeId, opts: &MapOptions) -> Result<DualTree, MapError> {
+    map_dual_frozen(&Arc::new(g.freeze()), source, opts)
 }
 
 #[cfg(test)]
@@ -81,14 +98,14 @@ topaz motown(200)
 
     #[test]
     fn second_best_keeps_domain_free_route() {
-        let mut g = parse(MOTOWN).unwrap();
+        let g = parse(MOTOWN).unwrap();
         let princeton = g.try_node("princeton").unwrap();
         let motown = g.try_node("motown").unwrap();
         let topaz = g.try_node("topaz").unwrap();
 
         let mut opts = MapOptions::default();
         opts.model.relay_penalty = 0; // Pre-heuristic behaviour.
-        let dual = map_dual(&mut g, princeton, &opts).unwrap();
+        let dual = map_dual(&g, princeton, &opts).unwrap();
 
         // Primary: via the domain at 425.
         assert_eq!(dual.primary.cost(motown), Some(425));
@@ -104,10 +121,10 @@ topaz motown(200)
 
     #[test]
     fn hosts_not_via_domain_have_no_second_best() {
-        let mut g = parse(MOTOWN).unwrap();
+        let g = parse(MOTOWN).unwrap();
         let princeton = g.try_node("princeton").unwrap();
         let topaz = g.try_node("topaz").unwrap();
-        let dual = map_dual(&mut g, princeton, &MapOptions::default()).unwrap();
+        let dual = map_dual(&g, princeton, &MapOptions::default()).unwrap();
         assert!(!dual.via_domain(topaz));
         assert!(dual.second_best(topaz).is_none());
         assert_eq!(dual.preferred(topaz).unwrap().cost, 300);
@@ -121,13 +138,13 @@ princeton caip(200)
 caip .rutgers.edu(200)
 .rutgers.edu motown(25)
 ";
-        let mut g = parse(text).unwrap();
+        let g = parse(text).unwrap();
         let princeton = g.try_node("princeton").unwrap();
         let motown = g.try_node("motown").unwrap();
         let mut opts = MapOptions::default();
         opts.model.relay_penalty = 0;
         opts.no_backlinks = true;
-        let dual = map_dual(&mut g, princeton, &opts).unwrap();
+        let dual = map_dual(&g, princeton, &opts).unwrap();
         assert!(dual.via_domain(motown));
         assert!(dual.second_best(motown).is_none(), "no clean alternative");
         // preferred() falls back to the primary.
@@ -136,10 +153,10 @@ caip .rutgers.edu(200)
 
     #[test]
     fn domain_source_is_rejected_for_clean_run() {
-        let mut g = parse(".edu = {caip}(0)\n").unwrap();
+        let g = parse(".edu = {caip}(0)\n").unwrap();
         let edu = g.try_node(".edu").unwrap();
         assert_eq!(
-            map_dual(&mut g, edu, &MapOptions::default()).unwrap_err(),
+            map_dual(&g, edu, &MapOptions::default()).unwrap_err(),
             MapError::ExcludedSource
         );
     }

@@ -8,32 +8,38 @@
 //!   describes ("if some neighbor of v is already queued, but the path
 //!   through v is shorter, we reduce the cost to this neighbor ... and
 //!   restore the heap property");
-//! * [`map`] / [`map_readonly`] — the sparse-graph Dijkstra variant,
-//!   running in O(e log v);
-//! * [`map_quadratic_readonly`] — the textbook O(v²) Dijkstra the paper
-//!   compares against ("both asymptotically and pragmatically, the
-//!   priority queue variant is a clear winner"), kept for experiment E7;
+//! * [`map_frozen`] / [`map_frozen_readonly`] — the sparse-graph
+//!   Dijkstra variant over the frozen CSR snapshot
+//!   ([`pathalias_graph::FrozenGraph`]), running in O(e log v) with
+//!   contiguous edge slices and dense visit arrays;
+//! * [`map`] / [`map_readonly`] — one-shot wrappers that freeze a
+//!   built [`pathalias_graph::Graph`] and map it;
+//! * [`map_frozen_quadratic_readonly`] — the textbook O(v²) Dijkstra
+//!   the paper compares against ("both asymptotically and
+//!   pragmatically, the priority queue variant is a clear winner"),
+//!   kept for experiment E7;
 //! * [`CostModel`] — the routing heuristics layered on edge weights:
 //!   the mixed-syntax penalty, gatewayed networks and domains, and the
 //!   domain relay restriction;
 //! * back links: "we examine the connections out of each unreachable
 //!   host, invent links from its neighbors back to the host, and
-//!   continue";
+//!   continue" — realized as augmented frozen snapshots, so mapping
+//!   never mutates the caller's graph;
 //! * [`map_dual`] — the PROBLEMS-section experiment: "a modified
 //!   algorithm that maintains the 'second-best' path when the shortest
 //!   path to a host goes by way of a domain";
-//! * [`parallel`] — multi-source mapping on scoped threads (a modern
-//!   convenience used by the benchmark harness).
+//! * [`parallel`] — multi-source mapping on scoped threads over one
+//!   shared frozen snapshot.
 //!
 //! # Examples
 //!
 //! ```
 //! use pathalias_mapper::{map, MapOptions};
 //!
-//! let mut g = pathalias_parser::parse("a b(10)\nb c(20)\n").unwrap();
+//! let g = pathalias_parser::parse("a b(10)\nb c(20)\n").unwrap();
 //! let a = g.try_node("a").unwrap();
 //! let c = g.try_node("c").unwrap();
-//! let tree = map(&mut g, a, &MapOptions::default()).unwrap();
+//! let tree = map(&g, a, &MapOptions::default()).unwrap();
 //! assert_eq!(tree.cost(c), Some(30));
 //! ```
 
@@ -48,6 +54,9 @@ pub mod parallel;
 mod tree;
 
 pub use cost_model::CostModel;
-pub use dijkstra::{map, map_quadratic_readonly, map_readonly, MapError, MapOptions};
-pub use dual::{map_dual, DualTree};
+pub use dijkstra::{
+    map, map_frozen, map_frozen_quadratic_readonly, map_frozen_readonly, map_quadratic_readonly,
+    map_readonly, MapError, MapOptions,
+};
+pub use dual::{map_dual, map_dual_frozen, DualTree};
 pub use tree::{format_trace, Label, MapStats, ShortestPathTree, TraceEvent};

@@ -2,38 +2,48 @@
 //!
 //! Pathalias maps from one source — the local host. Site administrators
 //! of the era ran it once per machine they administered; the benchmark
-//! harness (and the `mapgen` validation suite) maps from many sources,
-//! so this module fans the read-only mapper out over
-//! `std::thread::scope`. The graph is shared immutably; back links are
-//! not invented (use [`crate::map`] once beforehand if they matter).
+//! harness, the `mapgen` validation suite and the server's reload
+//! validation map from many sources, so this module fans the read-only
+//! mapper out over `std::thread::scope`. Every worker traverses the
+//! same shared [`FrozenGraph`] — freezing happens exactly once, and the
+//! snapshot is immutable, so no synchronization is needed beyond the
+//! scope itself. Back links are not invented (use [`crate::map_frozen`]
+//! once beforehand if they matter).
 
-use crate::dijkstra::{map_readonly, MapError, MapOptions};
+use crate::dijkstra::{map_frozen_readonly, MapError, MapOptions};
 use crate::tree::ShortestPathTree;
-use pathalias_graph::{Graph, NodeId};
+use pathalias_graph::{FrozenGraph, Graph, NodeId};
+use std::sync::Arc;
 
-/// Maps from every source in `sources`, using up to `threads` worker
-/// threads. Results come back in `sources` order.
+/// Maps from every source in `sources` over one shared frozen graph,
+/// using up to `threads` worker threads. Results come back in
+/// `sources` order.
 ///
 /// # Examples
 ///
 /// ```
-/// use pathalias_mapper::{parallel::map_many, MapOptions};
+/// use pathalias_mapper::{parallel::map_many_frozen, MapOptions};
+/// use std::sync::Arc;
 ///
 /// let g = pathalias_parser::parse("a b(10)\nb a(10)\nb c(5)\n").unwrap();
 /// let sources = [g.try_node("a").unwrap(), g.try_node("b").unwrap()];
-/// let trees = map_many(&g, &sources, &MapOptions::default(), 2);
+/// let frozen = Arc::new(g.freeze());
+/// let trees = map_many_frozen(&frozen, &sources, &MapOptions::default(), 2);
 /// assert_eq!(trees.len(), 2);
 /// assert_eq!(trees[0].as_ref().unwrap().cost(sources[1]), Some(10));
 /// ```
-pub fn map_many(
-    g: &Graph,
+pub fn map_many_frozen(
+    f: &Arc<FrozenGraph>,
     sources: &[NodeId],
     opts: &MapOptions,
     threads: usize,
 ) -> Vec<Result<ShortestPathTree, MapError>> {
     let threads = threads.max(1).min(sources.len().max(1));
     if threads <= 1 || sources.len() <= 1 {
-        return sources.iter().map(|&s| map_readonly(g, s, opts)).collect();
+        return sources
+            .iter()
+            .map(|&s| map_frozen_readonly(f, s, opts))
+            .collect();
     }
 
     let mut results: Vec<Option<Result<ShortestPathTree, MapError>>> =
@@ -47,9 +57,10 @@ pub fn map_many(
             let take = chunk.min(rest.len());
             let (head, tail) = rest.split_at_mut(take);
             let slice_sources = &sources[offset..offset + take];
+            let f = &*f;
             scope.spawn(move || {
                 for (slot, &src) in head.iter_mut().zip(slice_sources) {
-                    *slot = Some(map_readonly(g, src, opts));
+                    *slot = Some(map_frozen_readonly(f, src, opts));
                 }
             });
             rest = tail;
@@ -63,9 +74,20 @@ pub fn map_many(
         .collect()
 }
 
+/// Freezes `g` once, then fans out like [`map_many_frozen`].
+pub fn map_many(
+    g: &Graph,
+    sources: &[NodeId],
+    opts: &MapOptions,
+    threads: usize,
+) -> Vec<Result<ShortestPathTree, MapError>> {
+    map_many_frozen(&Arc::new(g.freeze()), sources, opts, threads)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dijkstra::map_readonly;
     use pathalias_parser::parse;
 
     fn ring(n: usize) -> Graph {
@@ -88,6 +110,17 @@ mod tests {
             for id in g.node_ids() {
                 assert_eq!(seq.label(id), p.label(id));
             }
+        }
+    }
+
+    #[test]
+    fn workers_share_one_snapshot() {
+        let g = ring(12);
+        let sources: Vec<NodeId> = g.node_ids().collect();
+        let frozen = Arc::new(g.freeze());
+        let trees = map_many_frozen(&frozen, &sources, &MapOptions::default(), 4);
+        for t in trees.iter().map(|t| t.as_ref().unwrap()) {
+            assert!(Arc::ptr_eq(t.frozen(), &frozen), "no per-source refreeze");
         }
     }
 

@@ -1,6 +1,7 @@
 //! The shortest-path tree produced by mapping.
 
-use pathalias_graph::{Cost, Graph, LinkId, NodeId};
+use pathalias_graph::{Cost, EdgeId, FrozenGraph, NodeId};
+use std::sync::Arc;
 
 /// The best path found to one node.
 ///
@@ -14,9 +15,9 @@ pub struct Label {
     /// Number of *visible* hops (alias and network-entry edges add no
     /// hop to the printed route).
     pub hops: u32,
-    /// Predecessor node and the link that reached this node; `None`
-    /// only for the source.
-    pub pred: Option<(NodeId, LinkId)>,
+    /// Predecessor node and the frozen edge that reached this node;
+    /// `None` only for the source.
+    pub pred: Option<(NodeId, EdgeId)>,
     /// The path contains a host-on-left (`!`-style) hop.
     pub has_left: bool,
     /// The path contains a host-on-right (`@`-style) hop.
@@ -39,10 +40,13 @@ pub struct MapStats {
     pub mapped: usize,
     /// Heap insertions (0 for the quadratic variant).
     pub pushes: u64,
-    /// Heap extractions (0 for the quadratic variant).
+    /// Heap extractions that yielded a node (0 for the quadratic
+    /// variant).
     pub pops: u64,
-    /// Decrease-key operations (0 for the quadratic variant).
-    pub decreases: u64,
+    /// Lazy-deletion extractions skipped because the node's label had
+    /// improved after the entry was queued (0 for the quadratic
+    /// variant).
+    pub stale_pops: u64,
     /// Edge relaxations attempted.
     pub relaxations: u64,
     /// Candidate-selection scan steps (quadratic variant only).
@@ -80,8 +84,8 @@ pub struct TraceEvent {
     pub from: NodeId,
     /// Edge head.
     pub to: NodeId,
-    /// The link relaxed.
-    pub link: LinkId,
+    /// The frozen edge relaxed.
+    pub link: EdgeId,
     /// Raw edge weight (after `adjust`).
     pub base: Cost,
     /// Gate penalty applied.
@@ -99,10 +103,17 @@ pub struct TraceEvent {
 /// The result of a mapping run: a directed tree rooted at the source
 /// ("the marked edges form a directed tree, rooted at the source
 /// vertex").
+///
+/// The tree owns a handle to the [`FrozenGraph`] it was mapped on —
+/// which, after a back-link pass, may be an *augmented* copy of the
+/// graph the caller froze — so edge ids in the labels always resolve
+/// against the right snapshot and the printer needs nothing else.
 #[derive(Debug, Clone)]
 pub struct ShortestPathTree {
     /// The mapping source (the local host).
     pub source: NodeId,
+    /// The frozen graph the labels refer to.
+    pub(crate) frozen: Arc<FrozenGraph>,
     pub(crate) labels: Vec<Option<Label>>,
     /// Counters from the run.
     pub stats: MapStats,
@@ -111,6 +122,12 @@ pub struct ShortestPathTree {
 }
 
 impl ShortestPathTree {
+    /// The frozen graph this tree's labels (and their edge ids) refer
+    /// to. After a back-link pass this includes the invented edges.
+    pub fn frozen(&self) -> &Arc<FrozenGraph> {
+        &self.frozen
+    }
+
     /// The label for `node`, if it was reached.
     pub fn label(&self, node: NodeId) -> Option<&Label> {
         self.labels.get(node.index()).and_then(|l| l.as_ref())
@@ -173,17 +190,17 @@ impl ShortestPathTree {
     }
 
     /// Hosts that remain unreachable: mappable nodes without labels.
-    pub fn unreachable(&self, g: &Graph) -> Vec<NodeId> {
-        g.iter_nodes()
-            .filter(|(id, n)| n.is_mappable() && self.label(*id).is_none())
-            .map(|(id, _)| id)
+    pub fn unreachable(&self) -> Vec<NodeId> {
+        self.frozen
+            .node_ids()
+            .filter(|&id| self.frozen.is_mappable(id) && self.label(id).is_none())
             .collect()
     }
 }
 
 /// Renders traced relaxations as human-readable lines (the pathalias
 /// `-t` debugging output: why a route was or was not chosen).
-pub fn format_trace(g: &Graph, events: &[TraceEvent]) -> String {
+pub fn format_trace(f: &FrozenGraph, events: &[TraceEvent]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     for e in events {
@@ -212,8 +229,8 @@ pub fn format_trace(g: &Graph, events: &[TraceEvent]) -> String {
         let _ = writeln!(
             out,
             "trace: {} -> {} base {}{} => candidate {} ({verdict})",
-            g.name(e.from),
-            g.name(e.to),
+            f.name(e.from),
+            f.name(e.to),
             e.base,
             penalties,
             e.candidate,
@@ -225,14 +242,22 @@ pub fn format_trace(g: &Graph, events: &[TraceEvent]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pathalias_graph::Graph;
 
     fn node(i: u32) -> NodeId {
         NodeId::from_raw(i)
     }
 
     fn tree_with(labels: Vec<Option<Label>>) -> ShortestPathTree {
+        // A frozen graph with matching node count (edges irrelevant
+        // for these structural tests).
+        let mut g = Graph::new();
+        for i in 0..labels.len() {
+            g.node(&format!("n{i}"));
+        }
         ShortestPathTree {
             source: node(0),
+            frozen: Arc::new(g.freeze()),
             labels,
             stats: MapStats::default(),
             trace: Vec::new(),
@@ -243,7 +268,7 @@ mod tests {
         Label {
             cost,
             hops: 0,
-            pred: pred.map(|p| (node(p), LinkId::from_raw(0))),
+            pred: pred.map(|p| (node(p), EdgeId::from_raw(0))),
             has_left: false,
             has_right: false,
             tainted: false,
@@ -267,6 +292,7 @@ mod tests {
         assert_eq!(t.mapped_count(), 3);
         assert!(t.is_mapped(node(1)));
         assert!(!t.is_mapped(node(3)));
+        assert_eq!(t.unreachable(), vec![node(3)]);
     }
 
     #[test]

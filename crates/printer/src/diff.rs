@@ -126,10 +126,10 @@ mod tests {
     use pathalias_parser::parse;
 
     fn table(text: &str, source: &str) -> RouteTable {
-        let mut g = parse(text).unwrap();
+        let g = parse(text).unwrap();
         let s = g.try_node(source).unwrap();
-        let tree = map(&mut g, s, &MapOptions::default()).unwrap();
-        compute_routes(&g, &tree)
+        let tree = map(&g, s, &MapOptions::default()).unwrap();
+        compute_routes(&tree)
     }
 
     #[test]

@@ -23,19 +23,26 @@
 //!   unchanged, so "the name used in a path is the one understood to a
 //!   host's predecessor".
 //!
+//! The traversal works entirely off the [`ShortestPathTree`] — names,
+//! flags and edge operators come from the frozen snapshot the tree
+//! carries, so printing needs no access to the mutable build-time
+//! graph.
+//!
 //! # Examples
 //!
 //! ```
 //! use pathalias_mapper::{map, MapOptions};
 //! use pathalias_printer::{compute_routes, render, PrintOptions};
 //!
-//! let mut g = pathalias_parser::parse("unc duke(500)\nduke phs(300)\n").unwrap();
+//! let g = pathalias_parser::parse("unc duke(500)\nduke phs(300)\n").unwrap();
 //! let unc = g.try_node("unc").unwrap();
-//! let tree = map(&mut g, unc, &MapOptions::default()).unwrap();
-//! let table = compute_routes(&g, &tree);
+//! let tree = map(&g, unc, &MapOptions::default()).unwrap();
+//! let table = compute_routes(&tree);
 //! let text = render(&table, &PrintOptions::default());
 //! assert!(text.contains("phs\tduke!phs!%s"));
 //! ```
+//!
+//! [`ShortestPathTree`]: pathalias_mapper::ShortestPathTree
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

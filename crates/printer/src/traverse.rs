@@ -6,47 +6,47 @@
 //! calculate the route to a child node by combining the parent's route
 //! and the routing information in the parent-to-child edge." As in the
 //! original, routes live only on the traversal stack, not in the nodes.
+//!
+//! The traversal reads everything — names, node flags, edge operators —
+//! from the tree's frozen snapshot by id, so a [`ShortestPathTree`] is
+//! all it takes to print (and the snapshot is guaranteed to be the one
+//! the labels' edge ids refer to, back-link augmentations included).
 
 use crate::route::{Route, RouteKind, RouteTable};
-use pathalias_graph::{Graph, LinkFlags, NodeFlags, NodeId, RouteOp};
+use pathalias_graph::{FrozenGraph, LinkFlags, NodeFlags, NodeId, RouteOp};
 use pathalias_mapper::ShortestPathTree;
 
 /// Computes the route for every node the tree reached.
-pub fn compute_routes(g: &Graph, tree: &ShortestPathTree) -> RouteTable {
+pub fn compute_routes(tree: &ShortestPathTree) -> RouteTable {
+    let f: &FrozenGraph = tree.frozen();
     let children = tree.children();
     let mut entries: Vec<Route> = Vec::with_capacity(tree.mapped_count());
 
     // Iterative preorder: (node, route, name) — the route/name strings
     // are exactly what the original passed as recursion parameters.
-    let src_label = tree.label(tree.source).expect("source is always labelled");
     let mut stack: Vec<(NodeId, String, String)> = vec![(
         tree.source,
         "%s".to_string(),
-        g.name(tree.source).to_string(),
+        f.name(tree.source).to_string(),
     )];
-    let _ = src_label;
 
     while let Some((node, route, name)) = stack.pop() {
-        let n = g.node_ref(node);
         let label = tree.label(node).expect("traversal follows labels");
 
-        let kind = if n.flags.contains(NodeFlags::PRIVATE) {
+        let kind = if f.flags(node).contains(NodeFlags::PRIVATE) {
             RouteKind::Private
-        } else if n.is_domain() {
-            let parent_is_domain = label
-                .pred
-                .map(|(p, _)| g.node_ref(p).is_domain())
-                .unwrap_or(false);
+        } else if f.is_domain(node) {
+            let parent_is_domain = label.pred.map(|(p, _)| f.is_domain(p)).unwrap_or(false);
             if parent_is_domain {
                 RouteKind::SubDomain
             } else {
                 RouteKind::TopDomain
             }
-        } else if n.is_net() {
+        } else if f.is_net(node) {
             RouteKind::Network
         } else if label
             .pred
-            .map(|(_, l)| g.link_ref(l).flags.contains(LinkFlags::ALIAS))
+            .map(|(_, e)| f.edge_flags(e).contains(LinkFlags::ALIAS))
             .unwrap_or(false)
         {
             RouteKind::Alias
@@ -56,31 +56,37 @@ pub fn compute_routes(g: &Graph, tree: &ShortestPathTree) -> RouteTable {
 
         // Children in reverse so the stack pops them in sorted order.
         for &child in children[node.index()].iter().rev() {
-            let (_, lid) = tree
+            let (_, edge) = tree
                 .label(child)
                 .expect("child is labelled")
                 .pred
                 .expect("non-source labelled nodes have predecessors");
-            let link = g.link_ref(lid);
+            let eflags = f.edge_flags(edge);
 
             // Domain-name synthesis: "the name of the domain is
             // appended to the name of its successor".
-            let child_name = if n.is_domain() {
-                format!("{}{}", g.name(child), name)
+            let child_name = if f.is_domain(node) {
+                format!("{}{}", f.name(child), name)
             } else {
-                g.name(child).to_string()
+                f.name(child).to_string()
             };
 
-            let child_route = if link.flags.contains(LinkFlags::ALIAS) {
+            let child_route = if eflags.contains(LinkFlags::ALIAS) {
                 // Aliases splice nothing: the predecessor's name is the
                 // one on the wire.
                 route.clone()
-            } else if g.node_ref(child).is_net() {
+            } else if f.is_net(child) {
                 // "The route to a network is identical to the route to
                 // its parent."
                 route.clone()
             } else {
-                let op = effective_op(g, tree, node, link.op, lid_is_net_out(link));
+                let op = effective_op(
+                    f,
+                    tree,
+                    node,
+                    f.edge_op(edge),
+                    eflags.contains(LinkFlags::NET_OUT),
+                );
                 op.splice(&route, &child_name)
             };
             stack.push((child, child_route, child_name));
@@ -105,42 +111,37 @@ pub fn compute_routes(g: &Graph, tree: &ShortestPathTree) -> RouteTable {
     }
 }
 
-fn lid_is_net_out(link: &pathalias_graph::Link) -> bool {
-    link.flags.contains(LinkFlags::NET_OUT)
-}
-
 /// "When traversing a network-to-member edge, the routing character and
 /// direction are the ones encountered when entering the network." Also
 /// applies to any edge leaving a network or domain node, so different
 /// gateways can impose different syntax.
 fn effective_op(
-    g: &Graph,
+    f: &FrozenGraph,
     tree: &ShortestPathTree,
     parent: NodeId,
-    link_op: RouteOp,
+    edge_op: RouteOp,
     net_out: bool,
 ) -> RouteOp {
     if net_out {
         if let Some(Some((_, entering))) = tree.label(parent).map(|l| l.pred) {
-            return g.link_ref(entering).op;
+            return f.edge_op(entering);
         }
     }
-    let _ = g;
-    link_op
+    edge_op
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pathalias_graph::Graph;
     use pathalias_mapper::{map, MapOptions};
     use pathalias_parser::parse;
 
-    fn routes_for(text: &str, source: &str) -> (Graph, RouteTable) {
-        let mut g = parse(text).unwrap();
+    fn routes_for(text: &str, source: &str) -> RouteTable {
+        let g = parse(text).unwrap();
         let s = g.try_node(source).unwrap();
-        let tree = map(&mut g, s, &MapOptions::default()).unwrap();
-        let table = compute_routes(&g, &tree);
-        (g, table)
+        let tree = map(&g, s, &MapOptions::default()).unwrap();
+        compute_routes(&tree)
     }
 
     fn route_of<'t>(t: &'t RouteTable, name: &str) -> &'t Route {
@@ -150,7 +151,7 @@ mod tests {
 
     #[test]
     fn root_is_percent_s() {
-        let (_, t) = routes_for("unc duke(500)\n", "unc");
+        let t = routes_for("unc duke(500)\n", "unc");
         let r = route_of(&t, "unc");
         assert_eq!(r.route, "%s");
         assert_eq!(r.cost, 0);
@@ -158,14 +159,14 @@ mod tests {
 
     #[test]
     fn left_and_right_splicing() {
-        let (_, t) = routes_for("a b(10)\nb @c(10)\n", "a");
+        let t = routes_for("a b(10)\nb @c(10)\n", "a");
         assert_eq!(route_of(&t, "b").route, "b!%s");
         assert_eq!(route_of(&t, "c").route, "b!%s@c");
     }
 
     #[test]
     fn network_invisible_and_exit_op_follows_entry() {
-        let (_, t) = routes_for("u ARPA(95)\nARPA = @{mit-ai}(95)\n", "u");
+        let t = routes_for("u ARPA(95)\nARPA = @{mit-ai}(95)\n", "u");
         // Wait: entering op here comes from the explicit u->ARPA link,
         // which is plain UUCP; the member exit then uses `!`.
         assert_eq!(route_of(&t, "mit-ai").route, "mit-ai!%s");
@@ -174,7 +175,7 @@ mod tests {
 
     #[test]
     fn network_entry_via_member_uses_declared_op() {
-        let (_, t) = routes_for("u ucbvax(300)\nARPA = @{mit-ai, ucbvax}(95)\n", "u");
+        let t = routes_for("u ucbvax(300)\nARPA = @{mit-ai, ucbvax}(95)\n", "u");
         // ucbvax enters ARPA over its member edge declared with `@`, so
         // mit-ai is spliced host-on-right.
         assert_eq!(route_of(&t, "mit-ai").route, "ucbvax!%s@mit-ai");
@@ -182,7 +183,7 @@ mod tests {
 
     #[test]
     fn alias_inherits_route_unchanged() {
-        let (_, t) = routes_for("a princeton(100)\nprinceton = fun\nfun z(10)\n", "a");
+        let t = routes_for("a princeton(100)\nprinceton = fun\nfun z(10)\n", "a");
         assert_eq!(route_of(&t, "princeton").route, "princeton!%s");
         assert_eq!(route_of(&t, "fun").route, "princeton!%s");
         assert_eq!(route_of(&t, "fun").kind, RouteKind::Alias);
@@ -200,7 +201,7 @@ seismo .edu(95)
 .edu = {.rutgers}(0)
 .rutgers = {caip}(0)
 ";
-        let (_, t) = routes_for(text, "u");
+        let t = routes_for(text, "u");
         assert_eq!(
             route_of(&t, "caip.rutgers.edu").route,
             "seismo!caip.rutgers.edu!%s"
@@ -221,7 +222,7 @@ seismo .edu(95)
 host caip(200)
 .rutgers.edu = {caip(0), blue(0)}
 ";
-        let (_, t) = routes_for(text, "host");
+        let t = routes_for(text, "host");
         assert_eq!(route_of(&t, "caip").route, "caip!%s");
         assert_eq!(
             route_of(&t, "blue.rutgers.edu").route,
@@ -241,8 +242,8 @@ host caip(200)
         let z = g.node("z");
         g.declare_link(a, p, 10, RouteOp::UUCP);
         g.declare_link(p, z, 10, RouteOp::UUCP);
-        let tree = map(&mut g, a, &MapOptions::default()).unwrap();
-        let t = compute_routes(&g, &tree);
+        let tree = map(&g, a, &MapOptions::default()).unwrap();
+        let t = compute_routes(&tree);
         let bilbo = t.entries.iter().find(|r| r.name == "bilbo").unwrap();
         assert_eq!(bilbo.kind, RouteKind::Private);
         assert!(!bilbo.kind.is_visible());
@@ -252,7 +253,7 @@ host caip(200)
 
     #[test]
     fn backlink_and_domain_flags_carried() {
-        let (_, t) = routes_for("a b(10)\nleaf b(25)\n", "a");
+        let t = routes_for("a b(10)\nleaf b(25)\n", "a");
         assert!(route_of(&t, "leaf").via_backlink);
         assert!(!route_of(&t, "b").via_backlink);
     }
@@ -263,7 +264,7 @@ host caip(200)
         for i in 0..6_000 {
             text.push_str(&format!("h{} h{}(1)\n", i, i + 1));
         }
-        let (_, t) = routes_for(&text, "h0");
+        let t = routes_for(&text, "h0");
         let last = route_of(&t, "h6000");
         assert_eq!(last.cost, 6_000);
         assert!(last.route.starts_with("h1!h2!"));

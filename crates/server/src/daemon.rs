@@ -53,6 +53,10 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Number of cache shards.
     pub cache_shards: usize,
+    /// Poll the source files at this interval and reload when their
+    /// mtime or size changes (`serve --watch`). `None` disables the
+    /// watcher; `RELOAD` over the wire always works.
+    pub watch: Option<Duration>,
 }
 
 impl ServerConfig {
@@ -65,6 +69,7 @@ impl ServerConfig {
             unix: None,
             cache_capacity: 4096,
             cache_shards: 8,
+            watch: None,
         }
     }
 }
@@ -356,6 +361,12 @@ impl Server {
     /// Loads the table (failing fast if the source is broken), binds
     /// the listeners, and starts accepting.
     pub fn start(config: ServerConfig) -> Result<ServerHandle, StartError> {
+        // Fingerprint the watched files *before* the initial load: a
+        // rewrite racing the (possibly long) load must read as a
+        // change afterwards, not be absorbed into the baseline.
+        let watch_baseline = config
+            .watch
+            .map(|_| crate::reload::fingerprint(&config.source.watch_paths()).ok());
         let resolver = config.source.load_resolver().map_err(StartError::Load)?;
         let metrics = Arc::new(Metrics::default());
         let state = Arc::new(State {
@@ -411,6 +422,14 @@ impl Server {
             )));
         }
 
+        if let Some(interval) = config.watch {
+            let state = state.clone();
+            let baseline = watch_baseline.flatten();
+            accept_threads.push(std::thread::spawn(move || {
+                watch_source(state, interval, baseline)
+            }));
+        }
+
         Ok(ServerHandle {
             state,
             tcp_addr,
@@ -447,6 +466,49 @@ fn accept_unix(state: Arc<State>, listener: UnixListener) {
         match stream {
             Ok(stream) => spawn_connection(state.clone(), stream),
             Err(_) => continue,
+        }
+    }
+}
+
+/// The `--watch` loop: polls the source files' (mtime, size)
+/// fingerprint and runs the ordinary reload path when it changes. A
+/// fingerprint that cannot be read (a file mid-rewrite, say) skips the
+/// tick rather than reloading a half-written source; the next tick
+/// sees the settled state. Sleeps in short slices so a drain is never
+/// stuck behind a long interval.
+fn watch_source(
+    state: Arc<State>,
+    interval: Duration,
+    baseline: Option<crate::reload::Fingerprint>,
+) {
+    const SLICE: Duration = Duration::from_millis(25);
+    // A zero interval would busy-spin; poll no faster than the slice.
+    let interval = interval.max(SLICE);
+    let paths = state.source.watch_paths();
+    let mut last = baseline;
+    loop {
+        let mut slept = Duration::ZERO;
+        while slept < interval {
+            if state.shutting_down.load(Ordering::SeqCst) {
+                return;
+            }
+            let nap = SLICE.min(interval - slept);
+            std::thread::sleep(nap);
+            slept += nap;
+        }
+        if state.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(current) = crate::reload::fingerprint(&paths) else {
+            continue;
+        };
+        if last.as_ref() != Some(&current) {
+            // The ordinary reload path: atomic swap on success, old
+            // table keeps serving on failure. Either way the new
+            // fingerprint is remembered, so a broken rewrite is
+            // retried only when the file changes again.
+            let _ = state.reload();
+            last = Some(current);
         }
     }
 }

@@ -74,4 +74,4 @@ pub use daemon::{Server, ServerConfig, ServerHandle, StartError};
 pub use index::{Cached, RouteIndex, SwapCell};
 pub use metrics::Metrics;
 pub use protocol::{parse_request, ProtoVersion, Request, Response, MAX_LINE};
-pub use reload::{LoadError, MapSource};
+pub use reload::{LoadError, MapSource, StageCache};

@@ -2,18 +2,75 @@
 //!
 //! The daemon can be pointed at any of the three shapes route data
 //! takes in this project: a PADB1 disk database, a linear route file
-//! (pathalias output), or raw map files that get run through the full
-//! parse → map → print pipeline. `RELOAD` re-runs the same source and
-//! swaps the result in atomically; while the rebuild runs, every query
-//! keeps being served from the old snapshot, and a failed rebuild
-//! leaves the old table serving untouched.
+//! (pathalias output), or raw map files that get run through the
+//! staged parse → build → freeze → map → print pipeline. `RELOAD`
+//! re-runs the same source and swaps the result in atomically; while
+//! the rebuild runs, every query keeps being served from the old
+//! snapshot, and a failed rebuild leaves the old table serving
+//! untouched.
+//!
+//! Map-file sources go through the staged API and keep the expensive
+//! stages cached: the parsed/built/frozen snapshot is fingerprinted
+//! against the input files (path, mtime, size), so a `RELOAD` whose
+//! map files have not changed — because only mapping options changed,
+//! or because an operator hits reload twice — skips straight to the
+//! map stage instead of re-parsing the world.
 
-use pathalias_core::{parallel, MapOptions, Options, Pathalias};
+use pathalias_core::{parallel, Frozen, FrozenGraph, MapOptions, Options, Parsed};
 use pathalias_mailer::{
     disk::DiskDb, disk::DiskError, disk::MappedDb, BoxedResolver, DbError, RouteDb, SharedRouteDb,
 };
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::SystemTime;
+
+/// A change-detection fingerprint for a set of source files.
+pub(crate) type Fingerprint = Vec<(PathBuf, Option<SystemTime>, u64)>;
+
+/// Computes the (path, mtime, size) fingerprint of `paths`.
+pub(crate) fn fingerprint<'a>(
+    paths: impl IntoIterator<Item = &'a PathBuf>,
+) -> std::io::Result<Fingerprint> {
+    paths
+        .into_iter()
+        .map(|p| {
+            let meta = std::fs::metadata(p)?;
+            Ok((p.clone(), meta.modified().ok(), meta.len()))
+        })
+        .collect()
+}
+
+/// The cached expensive stages of a map-file source, shared across
+/// clones of the [`MapSource`] (the daemon clones its source into
+/// connection state).
+#[derive(Clone, Default)]
+pub struct StageCache(Arc<Mutex<Option<CachedStages>>>);
+
+struct CachedStages {
+    fingerprint: Fingerprint,
+    ignore_case: bool,
+    frozen: Frozen,
+}
+
+impl StageCache {
+    /// The cached frozen snapshot, if any (used by tests to observe
+    /// stage reuse).
+    pub fn snapshot(&self) -> Option<Arc<FrozenGraph>> {
+        self.0
+            .lock()
+            .expect("stage cache poisoned")
+            .as_ref()
+            .map(|c| c.frozen.graph().clone())
+    }
+}
+
+impl fmt::Debug for StageCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let filled = self.0.lock().map(|c| c.is_some()).unwrap_or(false);
+        write!(f, "StageCache({})", if filled { "warm" } else { "empty" })
+    }
+}
 
 /// Where the route table comes from.
 #[derive(Debug, Clone)]
@@ -29,7 +86,8 @@ pub enum MapSource {
     PadbMmap(PathBuf),
     /// A linear route file: pathalias output, `name\troute` lines.
     Routes(PathBuf),
-    /// Map files run through the full pipeline on every (re)load.
+    /// Map files run through the staged pipeline on every (re)load,
+    /// with the parse/build/freeze stages cached across reloads.
     Map {
         /// Input map files, parsed in order.
         files: Vec<PathBuf>,
@@ -40,6 +98,8 @@ pub enum MapSource {
         validate_sources: usize,
         /// Worker threads for the validation fan-out.
         validate_threads: usize,
+        /// Cached stages, keyed by the files' fingerprint.
+        cache: StageCache,
     },
 }
 
@@ -95,6 +155,16 @@ impl MapSource {
             validate_threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(2),
+            cache: StageCache::default(),
+        }
+    }
+
+    /// The files whose modification should trigger a reload (what
+    /// `serve --watch` polls).
+    pub fn watch_paths(&self) -> Vec<PathBuf> {
+        match self {
+            MapSource::Padb(p) | MapSource::PadbMmap(p) | MapSource::Routes(p) => vec![p.clone()],
+            MapSource::Map { files, .. } => files.clone(),
         }
     }
 
@@ -130,47 +200,72 @@ impl MapSource {
                 options,
                 validate_sources,
                 validate_threads,
+                cache,
             } => {
-                let mut pa = Pathalias::with_options(options.clone());
-                for f in files {
-                    pa.parse_file(f).map_err(LoadError::Pipeline)?;
-                }
-                let out = pa.run().map_err(LoadError::Pipeline)?;
+                let frozen = frozen_stage(files, options, cache)?;
+                let mapped = frozen.map(options).map_err(LoadError::Pipeline)?;
+                let printed = mapped.print(options);
                 if *validate_sources > 0 {
-                    validate(&pa, *validate_sources, *validate_threads)?;
+                    validate(frozen.graph(), *validate_sources, *validate_threads)?;
                 }
-                Ok(RouteDb::from_table(&out.routes))
+                Ok(RouteDb::from_table(&printed.routes))
             }
         }
     }
 }
 
+/// The parse/build/freeze stages for a map-file source, reusing the
+/// cached snapshot when the files' fingerprint is unchanged (the
+/// "reload with only mapping options changed" fast path).
+fn frozen_stage(
+    files: &[PathBuf],
+    options: &Options,
+    cache: &StageCache,
+) -> Result<Frozen, LoadError> {
+    let fp = fingerprint(files)?;
+    let mut slot = cache.0.lock().expect("stage cache poisoned");
+    if let Some(cached) = slot.as_ref() {
+        // `ignore_case` is the one option the build stage depends on.
+        if cached.fingerprint == fp && cached.ignore_case == options.ignore_case {
+            return Ok(cached.frozen.clone());
+        }
+    }
+    let mut parsed = Parsed::new();
+    for f in files {
+        parsed.push_file(f)?;
+    }
+    let built = parsed.build(options).map_err(LoadError::Pipeline)?;
+    let frozen = built.freeze();
+    *slot = Some(CachedStages {
+        fingerprint: fp,
+        ignore_case: options.ignore_case,
+        frozen: frozen.clone(),
+    });
+    Ok(frozen)
+}
+
 /// The rebuilt graph must be mappable from more vantage points than
 /// just the local host: fan the read-only mapper out over a sample of
-/// sources (the multi-source machinery from `pathalias_mapper::
-/// parallel`) and refuse the swap if any of them fails outright.
-fn validate(pa: &Pathalias, sources: usize, threads: usize) -> Result<(), LoadError> {
-    let g = pa.graph();
+/// sources — all sharing the one frozen snapshot — and refuse the swap
+/// if any of them fails outright.
+fn validate(frozen: &Arc<FrozenGraph>, sources: usize, threads: usize) -> Result<(), LoadError> {
     // Only plain, live hosts make sense as mapping sources: `delete`d
     // nodes are defined to fail, and nets/domains are not places mail
     // originates.
-    let sample: Vec<_> = g
+    let sample: Vec<_> = frozen
         .node_ids()
-        .filter(|&id| {
-            let n = g.node_ref(id);
-            n.is_mappable() && !n.is_net()
-        })
+        .filter(|&id| frozen.is_mappable(id) && !frozen.is_net(id))
         .take(sources)
         .collect();
     if sample.is_empty() {
         return Err(LoadError::Validation("rebuilt map has no hosts".into()));
     }
-    let results = parallel::map_many(g, &sample, &MapOptions::default(), threads);
+    let results = parallel::map_many_frozen(frozen, &sample, &MapOptions::default(), threads);
     for (id, result) in sample.iter().zip(&results) {
         if let Err(e) = result {
             return Err(LoadError::Validation(format!(
                 "mapping from sample source {} failed: {e}",
-                g.name(*id),
+                frozen.name(*id),
             )));
         }
     }
@@ -226,6 +321,73 @@ mod tests {
         for p in [map_path, routes_path, padb_path] {
             std::fs::remove_file(p).unwrap();
         }
+    }
+
+    #[test]
+    fn unchanged_files_reuse_the_frozen_stage() {
+        let path = temp("stage-reuse.map");
+        std::fs::write(&path, MAP).unwrap();
+        let options = Options {
+            local: Some("unc".into()),
+            ..Default::default()
+        };
+        let source = MapSource::map_files(vec![path.clone()], options);
+        let MapSource::Map { cache, .. } = &source else {
+            unreachable!()
+        };
+        assert!(cache.snapshot().is_none(), "cache starts cold");
+
+        let db1 = source.load().unwrap();
+        let snap1 = cache.snapshot().expect("cache warm after first load");
+        let db2 = source.load().unwrap();
+        let snap2 = cache.snapshot().unwrap();
+        assert!(
+            Arc::ptr_eq(&snap1, &snap2),
+            "second load skipped parse/build/freeze"
+        );
+        assert_eq!(db1.len(), db2.len());
+
+        // Touching the file (newer mtime) invalidates the stages.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        std::fs::write(&path, format!("{MAP}extra\tunc(50)\n")).unwrap();
+        let db3 = source.load().unwrap();
+        let snap3 = cache.snapshot().unwrap();
+        assert!(!Arc::ptr_eq(&snap1, &snap3), "changed file re-parses");
+        assert!(db3.get("extra").is_some());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn cached_stage_remaps_with_new_options() {
+        let path = temp("stage-remap.map");
+        std::fs::write(&path, MAP).unwrap();
+        let options = Options {
+            local: Some("unc".into()),
+            ..Default::default()
+        };
+        let source = MapSource::map_files(vec![path.clone()], options);
+        let db_unc = source.load().unwrap();
+        assert_eq!(db_unc.route_to("research", "u").unwrap(), "duke!research!u");
+
+        // Same files, different local host: the frozen stage is
+        // reused, only map/print re-run.
+        let MapSource::Map { cache, .. } = &source else {
+            unreachable!()
+        };
+        let snap_before = cache.snapshot().unwrap();
+        let mut source2 = source.clone();
+        let MapSource::Map { options, .. } = &mut source2 else {
+            unreachable!()
+        };
+        options.local = Some("phs".into());
+        let db_phs = source2.load().unwrap();
+        assert_eq!(db_phs.route_to("phs", "u").unwrap(), "u");
+        let snap_after = cache.snapshot().unwrap();
+        assert!(
+            Arc::ptr_eq(&snap_before, &snap_after),
+            "option change alone must not re-freeze"
+        );
+        std::fs::remove_file(path).unwrap();
     }
 
     #[test]
@@ -299,5 +461,18 @@ mod tests {
         let source = MapSource::map_files(vec![path.clone()], Options::default());
         assert!(source.load().is_err());
         std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn watch_paths_cover_every_shape() {
+        let p = PathBuf::from("/tmp/x");
+        assert_eq!(MapSource::Padb(p.clone()).watch_paths(), vec![p.clone()]);
+        assert_eq!(
+            MapSource::PadbMmap(p.clone()).watch_paths(),
+            vec![p.clone()]
+        );
+        assert_eq!(MapSource::Routes(p.clone()).watch_paths(), vec![p.clone()]);
+        let m = MapSource::map_files(vec![p.clone(), p.clone()], Options::default());
+        assert_eq!(m.watch_paths().len(), 2);
     }
 }

@@ -386,6 +386,7 @@ fn unix_socket_transport() {
         unix: Some(sock.clone()),
         cache_capacity: 64,
         cache_shards: 2,
+        watch: None,
     };
     let handle = Server::start(config).unwrap();
     assert!(handle.tcp_addr().is_none());

@@ -1,0 +1,98 @@
+//! `--watch`: the mtime-polling auto-reload thread.
+
+use pathalias_server::{Client, MapSource, Server, ServerConfig};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn temp(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "pathalias-watch-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id(),
+    ));
+    p
+}
+
+/// Polls the daemon's HEALTH line until the table generation advances
+/// past `from`, or the deadline strikes.
+fn wait_for_generation(client: &mut Client, from: u64, deadline: Duration) -> u64 {
+    let start = Instant::now();
+    loop {
+        let health = client.health().expect("health");
+        // "200 generation=N entries=M"
+        let generation: u64 = health
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix("generation="))
+            .expect("generation field")
+            .parse()
+            .expect("generation number");
+        if generation > from {
+            return generation;
+        }
+        assert!(
+            start.elapsed() < deadline,
+            "no auto-reload within {deadline:?} (still at generation {generation})"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn file_change_triggers_auto_reload() {
+    let routes_path = temp("auto.routes");
+    std::fs::write(&routes_path, "seismo\tseismo!%s\n").unwrap();
+
+    let mut config = ServerConfig::ephemeral(MapSource::Routes(routes_path.clone()));
+    config.watch = Some(Duration::from_millis(50));
+    let handle = Server::start(config).unwrap();
+    let addr = handle.tcp_addr().unwrap();
+
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(
+        client.query("seismo", Some("rick")).unwrap().unwrap(),
+        "seismo!rick"
+    );
+    assert_eq!(client.query("ihnp4", None).unwrap(), None);
+
+    // Rewrite the source file; the watcher must notice and swap the
+    // table in without any RELOAD request.
+    std::fs::write(&routes_path, "seismo\tseismo!%s\nihnp4\tihnp4!%s\n").unwrap();
+    wait_for_generation(&mut client, 0, Duration::from_secs(10));
+    assert_eq!(
+        client.query("ihnp4", Some("honey")).unwrap().unwrap(),
+        "ihnp4!honey"
+    );
+
+    // A broken rewrite must not take the old table down.
+    std::fs::write(&routes_path, "garbage-without-a-tab\n").unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    assert_eq!(
+        client.query("seismo", Some("rick")).unwrap().unwrap(),
+        "seismo!rick",
+        "failed auto-reload keeps the old table serving"
+    );
+
+    client.quit().unwrap();
+    handle.shutdown();
+    std::fs::remove_file(routes_path).unwrap();
+}
+
+#[test]
+fn watcher_exits_on_shutdown() {
+    let routes_path = temp("drain.routes");
+    std::fs::write(&routes_path, "a\ta!%s\n").unwrap();
+    let mut config = ServerConfig::ephemeral(MapSource::Routes(routes_path.clone()));
+    config.watch = Some(Duration::from_secs(3600)); // Far longer than the test.
+    let handle = Server::start(config).unwrap();
+    let start = Instant::now();
+    // shutdown() joins every background thread, including the watcher;
+    // it must return promptly despite the huge interval.
+    handle.shutdown();
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "watcher blocked shutdown for {:?}",
+        start.elapsed()
+    );
+    std::fs::remove_file(routes_path).unwrap();
+}

@@ -19,10 +19,10 @@ seismo .edu(DEDICATED)
 .edu = {.rutgers}(0)
 .rutgers = {caip}(0)
 ";
-    let mut g = parse(tree_map).unwrap();
+    let g = parse(tree_map).unwrap();
     let u = g.try_node("u").unwrap();
-    let tree = map(&mut g, u, &MapOptions::default()).unwrap();
-    let table = compute_routes(&g, &tree);
+    let tree = map(&g, u, &MapOptions::default()).unwrap();
+    let table = compute_routes(&tree);
     println!("# domain tree figure — routes from u:");
     print!(
         "{}",
@@ -41,10 +41,10 @@ seismo .edu(DEDICATED)
 u caip(DEMAND)
 .rutgers.edu = {caip(0), blue(0)}
 ";
-    let mut g = parse(masquerade).unwrap();
+    let g = parse(masquerade).unwrap();
     let u = g.try_node("u").unwrap();
-    let tree = map(&mut g, u, &MapOptions::default()).unwrap();
-    let table = compute_routes(&g, &tree);
+    let tree = map(&g, u, &MapOptions::default()).unwrap();
+    let table = compute_routes(&tree);
     println!("\n# masquerade figure — caip gateways .rutgers.edu only:");
     for name in ["caip", "blue.rutgers.edu", ".rutgers.edu"] {
         let r = table.find(name).expect(name);
@@ -63,36 +63,36 @@ topaz motown(200)
 
     // With the paper's heuristics, the relay penalty prices the left
     // branch out: the right branch (topaz, 500) wins.
-    let mut g = parse(motown_map).unwrap();
+    let g = parse(motown_map).unwrap();
     let princeton = g.try_node("princeton").unwrap();
     let motown = g.try_node("motown").unwrap();
-    let tree = map(&mut g, princeton, &MapOptions::default()).unwrap();
-    let table = compute_routes(&g, &tree);
+    let tree = map(&g, princeton, &MapOptions::default()).unwrap();
+    let table = compute_routes(&tree);
     let r = table.entries.iter().find(|r| r.node == motown).unwrap();
     println!("with heuristics:    cost {:>9}  {}", r.cost, r.route);
 
     // With heuristics off (early pathalias), the domain branch wins at
     // 425 — and "the mailer at Rutgers rejects the left branch route".
-    let mut g = parse(motown_map).unwrap();
+    let g = parse(motown_map).unwrap();
     let princeton = g.try_node("princeton").unwrap();
     let motown = g.try_node("motown").unwrap();
     let plain = MapOptions {
         model: CostModel::plain(),
         ..MapOptions::default()
     };
-    let tree = map(&mut g, princeton, &plain).unwrap();
-    let table = compute_routes(&g, &tree);
+    let tree = map(&g, princeton, &plain).unwrap();
+    let table = compute_routes(&tree);
     let r = table.entries.iter().find(|r| r.node == motown).unwrap();
     println!("without heuristics: cost {:>9}  {}", r.cost, r.route);
 
     // The modified algorithm from the PROBLEMS section: keep the
     // second-best path when the shortest goes by way of a domain.
-    let mut g = parse(motown_map).unwrap();
+    let g = parse(motown_map).unwrap();
     let princeton = g.try_node("princeton").unwrap();
     let motown = g.try_node("motown").unwrap();
     let mut opts = MapOptions::default();
     opts.model.relay_penalty = 0; // Pre-heuristic cost model.
-    let dual = map_dual(&mut g, princeton, &opts).unwrap();
+    let dual = map_dual(&g, princeton, &opts).unwrap();
     println!(
         "second-best:        primary {} via domain, clean alternative {}",
         dual.primary.cost(motown).unwrap(),

@@ -74,19 +74,19 @@ caip .rutgers.edu(DIRECT)
 .rutgers.edu motown(LOCAL)
 topaz motown(DIRECT)
 ";
-    let mut g = parse(world).unwrap();
+    let g = parse(world).unwrap();
     let home = g.try_node("home").unwrap();
-    let with = map(&mut g, home, &MapOptions::default()).unwrap();
-    let with_routes = compute_routes(&g, &with);
+    let with = map(&g, home, &MapOptions::default()).unwrap();
+    let with_routes = compute_routes(&with);
 
-    let mut g2 = parse(world).unwrap();
+    let g2 = parse(world).unwrap();
     let home2 = g2.try_node("home").unwrap();
     let plain = MapOptions {
         model: pathalias::CostModel::plain(),
         ..MapOptions::default()
     };
-    let without = map(&mut g2, home2, &plain).unwrap();
-    let without_routes = compute_routes(&g2, &without);
+    let without = map(&g2, home2, &plain).unwrap();
+    let without_routes = compute_routes(&without);
 
     println!("\n# effect of the domain heuristics on this world:");
     for change in diff_routes(&without_routes, &with_routes) {

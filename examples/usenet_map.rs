@@ -48,8 +48,8 @@ fn main() {
         out.routes.visible().count()
     );
     println!(
-        "heap: {} pushes, {} pops, {} decrease-keys over {} relaxations",
-        s.pushes, s.pops, s.decreases, s.relaxations
+        "heap: {} pushes, {} pops ({} stale) over {} relaxations",
+        s.pushes, s.pops, s.stale_pops, s.relaxations
     );
     println!(
         "penalties applied: {} gateway, {} domain-relay, {} mixed-syntax",

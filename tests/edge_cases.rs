@@ -59,9 +59,9 @@ fn parser_accepts_unusual_but_legal() {
 #[test]
 fn alias_chains_and_cycles_are_harmless() {
     // a = b, b = c, c = a: a cycle of zero-cost edges.
-    let mut g = parse("start a(10)\na = b\nb = c\nc = a\nc out(5)\n").unwrap();
+    let g = parse("start a(10)\na = b\nb = c\nc = a\nc out(5)\n").unwrap();
     let start = g.try_node("start").unwrap();
-    let tree = map(&mut g, start, &MapOptions::default()).unwrap();
+    let tree = map(&g, start, &MapOptions::default()).unwrap();
     for host in ["a", "b", "c"] {
         let id = g.try_node(host).unwrap();
         assert_eq!(tree.cost(id), Some(10), "{host}");
@@ -78,26 +78,26 @@ start OUTER(100)
 OUTER = {INNER}(50)
 INNER = {deep}(25)
 ";
-    let mut g = parse(text).unwrap();
+    let g = parse(text).unwrap();
     let start = g.try_node("start").unwrap();
     let deep = g.try_node("deep").unwrap();
-    let tree = map(&mut g, start, &MapOptions::default()).unwrap();
+    let tree = map(&g, start, &MapOptions::default()).unwrap();
     assert_eq!(tree.cost(deep), Some(100), "both exits are free");
 }
 
 #[test]
 fn dead_symbol_makes_link_last_resort() {
-    let mut g = parse("a b(DEAD)\na c(100)\nc b(100)\n").unwrap();
+    let g = parse("a b(DEAD)\na c(100)\nc b(100)\n").unwrap();
     let a = g.try_node("a").unwrap();
     let b = g.try_node("b").unwrap();
-    let tree = map(&mut g, a, &MapOptions::default()).unwrap();
+    let tree = map(&g, a, &MapOptions::default()).unwrap();
     assert_eq!(tree.cost(b), Some(200), "detour beats the DEAD link");
 
     // With no detour, the DEAD link still delivers.
-    let mut g = parse("a b(DEAD)\n").unwrap();
+    let g = parse("a b(DEAD)\n").unwrap();
     let a = g.try_node("a").unwrap();
     let b = g.try_node("b").unwrap();
-    let tree = map(&mut g, a, &MapOptions::default()).unwrap();
+    let tree = map(&g, a, &MapOptions::default()).unwrap();
     assert_eq!(tree.cost(b), Some(INF));
 }
 
@@ -120,10 +120,10 @@ fn saturating_costs_never_overflow() {
     for i in 1..40 {
         text.push_str(&format!("h{} h{}(DEAD)\n", i, i + 1));
     }
-    let mut g = parse(&text).unwrap();
+    let g = parse(&text).unwrap();
     let h0 = g.try_node("h0").unwrap();
     let last = g.try_node("h40").unwrap();
-    let tree = map(&mut g, h0, &MapOptions::default()).unwrap();
+    let tree = map(&g, h0, &MapOptions::default()).unwrap();
     let cost = tree.cost(last).unwrap();
     assert!(cost >= 40 * INF || cost == u64::MAX);
 }
@@ -153,10 +153,10 @@ fn backlinks_cannot_cross_deleted_hosts() {
 
 #[test]
 fn zero_cost_cycles_terminate() {
-    let mut g = parse("a b(0)\nb c(0)\nc a(0)\nc d(0)\n").unwrap();
+    let g = parse("a b(0)\nb c(0)\nc a(0)\nc d(0)\n").unwrap();
     let a = g.try_node("a").unwrap();
     let d = g.try_node("d").unwrap();
-    let tree = map(&mut g, a, &MapOptions::default()).unwrap();
+    let tree = map(&g, a, &MapOptions::default()).unwrap();
     assert_eq!(tree.cost(d), Some(0));
     assert_eq!(tree.stats.mapped, 4);
 }
@@ -184,8 +184,8 @@ fn huge_fanout_host() {
     for i in 0..5_000 {
         text.push_str(&format!("hub leaf{i}(10)\n"));
     }
-    let mut g = parse(&text).unwrap();
+    let g = parse(&text).unwrap();
     let hub = g.try_node("hub").unwrap();
-    let tree = map(&mut g, hub, &MapOptions::default()).unwrap();
+    let tree = map(&g, hub, &MapOptions::default()).unwrap();
     assert_eq!(tree.stats.mapped, 5_001);
 }

@@ -94,29 +94,29 @@ caip .rutgers.edu(200)
 topaz motown(200)
 ";
     // With the paper's heuristics: topaz branch, cost 500.
-    let mut g = parse(MOTOWN).unwrap();
+    let g = parse(MOTOWN).unwrap();
     let princeton = g.try_node("princeton").unwrap();
     let motown = g.try_node("motown").unwrap();
     let topaz = g.try_node("topaz").unwrap();
-    let tree = map(&mut g, princeton, &MapOptions::default()).unwrap();
+    let tree = map(&g, princeton, &MapOptions::default()).unwrap();
     assert_eq!(tree.label(motown).unwrap().pred.unwrap().0, topaz);
     assert_eq!(tree.cost(motown), Some(500));
-    let table = compute_routes(&g, &tree);
+    let table = compute_routes(&tree);
     let r = table.entries.iter().find(|r| r.node == motown).unwrap();
     assert_eq!(r.route, "topaz!motown!%s");
 
     // Without heuristics: the domain branch at 425 — the route the
     // mailer at Rutgers rejects.
-    let mut g = parse(MOTOWN).unwrap();
+    let g = parse(MOTOWN).unwrap();
     let princeton = g.try_node("princeton").unwrap();
     let motown = g.try_node("motown").unwrap();
     let plain = MapOptions {
         model: CostModel::plain(),
         ..MapOptions::default()
     };
-    let tree = map(&mut g, princeton, &plain).unwrap();
+    let tree = map(&g, princeton, &plain).unwrap();
     assert_eq!(tree.cost(motown), Some(425));
-    let table = compute_routes(&g, &tree);
+    let table = compute_routes(&tree);
     let r = table.entries.iter().find(|r| r.node == motown).unwrap();
     assert_eq!(r.route, "caip!motown.rutgers.edu!%s");
 }
@@ -126,12 +126,11 @@ topaz motown(200)
 /// top-level domains shown with the gateway's route.
 #[test]
 fn e14_domain_tree_figure() {
-    let mut g =
-        parse("u seismo(100)\nseismo .edu(95)\n.edu = {.rutgers}(0)\n.rutgers = {caip}(0)\n")
-            .unwrap();
+    let g = parse("u seismo(100)\nseismo .edu(95)\n.edu = {.rutgers}(0)\n.rutgers = {caip}(0)\n")
+        .unwrap();
     let u = g.try_node("u").unwrap();
-    let tree = map(&mut g, u, &MapOptions::default()).unwrap();
-    let table = compute_routes(&g, &tree);
+    let tree = map(&g, u, &MapOptions::default()).unwrap();
+    let table = compute_routes(&tree);
 
     let caip = table.find("caip.rutgers.edu").expect("synthesized name");
     assert_eq!(caip.route, "seismo!caip.rutgers.edu!%s");
@@ -153,10 +152,10 @@ fn e14_domain_tree_figure() {
 /// caip and blue become caip!%s and caip!blue.rutgers.edu!%s".
 #[test]
 fn e14_masquerade_figure() {
-    let mut g = parse("u caip(50)\n.rutgers.edu = {caip(0), blue(0)}\n").unwrap();
+    let g = parse("u caip(50)\n.rutgers.edu = {caip(0), blue(0)}\n").unwrap();
     let u = g.try_node("u").unwrap();
-    let tree = map(&mut g, u, &MapOptions::default()).unwrap();
-    let table = compute_routes(&g, &tree);
+    let tree = map(&g, u, &MapOptions::default()).unwrap();
+    let table = compute_routes(&tree);
 
     assert_eq!(table.find("caip").unwrap().route, "caip!%s");
     assert_eq!(
@@ -184,20 +183,20 @@ uucpside noscvax(HOURLY)
 arpaside @ARPANET(DEDICATED)
 ";
     // Via UUCP: the predecessor knows "noscvax".
-    let mut g = parse(WORLD).unwrap();
+    let g = parse(WORLD).unwrap();
     let uucp = g.try_node("uucpside").unwrap();
-    let tree = map(&mut g, uucp, &MapOptions::default()).unwrap();
-    let table = compute_routes(&g, &tree);
+    let tree = map(&g, uucp, &MapOptions::default()).unwrap();
+    let table = compute_routes(&tree);
     assert_eq!(table.find("noscvax").unwrap().route, "noscvax!%s");
     // The alias gets the same route string — the wire name stays
     // noscvax.
     assert_eq!(table.find("nosc").unwrap().route, "noscvax!%s");
 
     // Via the ARPANET: the name on the wire is nosc.
-    let mut g = parse(WORLD).unwrap();
+    let g = parse(WORLD).unwrap();
     let arpa = g.try_node("arpaside").unwrap();
-    let tree = map(&mut g, arpa, &MapOptions::default()).unwrap();
-    let table = compute_routes(&g, &tree);
+    let tree = map(&g, arpa, &MapOptions::default()).unwrap();
+    let table = compute_routes(&tree);
     assert_eq!(table.find("nosc").unwrap().route, "%s@nosc");
     assert_eq!(table.find("noscvax").unwrap().route, "%s@nosc");
 }
@@ -206,10 +205,10 @@ arpaside @ARPANET(DEDICATED)
 /// through an explicitly chosen relay.
 #[test]
 fn history_section_relative_address() {
-    let mut g = parse("here hosta(100)\nhosta hostb(100)\n").unwrap();
+    let g = parse("here hosta(100)\nhosta hostb(100)\n").unwrap();
     let here = g.try_node("here").unwrap();
-    let tree = map(&mut g, here, &MapOptions::default()).unwrap();
-    let table = compute_routes(&g, &tree);
+    let tree = map(&g, here, &MapOptions::default()).unwrap();
+    let table = compute_routes(&tree);
     let r = table.find("hostb").unwrap();
     assert_eq!(r.format("user"), "hosta!hostb!user");
 }

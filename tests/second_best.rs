@@ -17,7 +17,7 @@ side deep(350)
 
 #[test]
 fn alternatives_found_per_host() {
-    let mut g = parse(WORLD).unwrap();
+    let g = parse(WORLD).unwrap();
     let src = g.try_node("src").unwrap();
     let inner = g.try_node("inner").unwrap();
     let deep = g.try_node("deep").unwrap();
@@ -26,7 +26,7 @@ fn alternatives_found_per_host() {
         model: CostModel::plain(),
         ..MapOptions::default()
     };
-    let dual = map_dual(&mut g, src, &opts).unwrap();
+    let dual = map_dual(&g, src, &opts).unwrap();
 
     // Primary routes go through the domain (cheaper).
     assert_eq!(dual.primary.cost(inner), Some(150));
@@ -42,10 +42,10 @@ fn alternatives_found_per_host() {
 
 #[test]
 fn clean_tree_never_contains_domains() {
-    let mut g = parse(WORLD).unwrap();
+    let g = parse(WORLD).unwrap();
     let src = g.try_node("src").unwrap();
     let corp = g.try_node(".corp.com").unwrap();
-    let dual = map_dual(&mut g, src, &MapOptions::default()).unwrap();
+    let dual = map_dual(&g, src, &MapOptions::default()).unwrap();
     assert!(dual.primary.is_mapped(corp), "primary sees the domain");
     assert!(!dual.clean.is_mapped(corp), "clean tree must not");
     // Every clean label is untainted by construction.
@@ -61,10 +61,10 @@ fn heuristics_make_second_best_redundant_here() {
     // With the paper's relay penalty active, the primary tree already
     // avoids relaying beyond the domain, so hosts past it get their
     // routes via the side links and need no alternative.
-    let mut g = parse(WORLD).unwrap();
+    let g = parse(WORLD).unwrap();
     let src = g.try_node("src").unwrap();
     let deep = g.try_node("deep").unwrap();
-    let dual = map_dual(&mut g, src, &MapOptions::default()).unwrap();
+    let dual = map_dual(&g, src, &MapOptions::default()).unwrap();
     // inner is still cheapest via the domain (members may be reached
     // through their own domain), but the onward hop to deep is
     // penalized, so deep prefers the clean route even in the primary.
@@ -75,13 +75,13 @@ fn heuristics_make_second_best_redundant_here() {
 
 #[test]
 fn preferred_is_total_over_mapped_hosts() {
-    let mut g = parse(WORLD).unwrap();
+    let g = parse(WORLD).unwrap();
     let src = g.try_node("src").unwrap();
     let opts = MapOptions {
         model: CostModel::plain(),
         ..MapOptions::default()
     };
-    let dual = map_dual(&mut g, src, &opts).unwrap();
+    let dual = map_dual(&g, src, &opts).unwrap();
     for id in g.node_ids() {
         if dual.primary.is_mapped(id) && !g.node_ref(id).is_domain() {
             assert!(
