@@ -161,7 +161,7 @@ impl<T> Pool<T> {
     }
 
     /// Iterates over all handles in allocation order.
-    pub fn handles(&self) -> impl Iterator<Item = Handle<T>> + use<T> {
+    pub fn handles(&self) -> impl Iterator<Item = Handle<T>> {
         (0..self.items.len() as u32).map(Handle::from_raw)
     }
 

@@ -10,7 +10,7 @@
 //! checked in to `BENCH_serve.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pathalias_core::{Options, Pathalias};
+use pathalias_core::{Frozen, Options, Parsed, Pathalias};
 use pathalias_mailer::disk::{write_db, MappedDb};
 use pathalias_mailer::{Resolver, RouteDb, SharedRouteDb};
 use pathalias_server::index::Cached;
@@ -195,5 +195,56 @@ fn bench_serve(c: &mut Criterion) {
     std::fs::remove_file(padb_path).unwrap();
 }
 
-criterion_group!(benches, bench_serve);
+/// Daemon cold start on the paper-scale world: reaching a servable
+/// `Frozen` stage through the full parse/build/freeze pipeline vs
+/// loading the PAGF1 snapshot (the acceptance bar: the snapshot path
+/// must be ≥ 10× faster), plus the snapshot path all the way to a
+/// serveable route table for context.
+fn bench_cold_start(c: &mut Criterion) {
+    use pathalias_mapgen::{generate, MapSpec};
+
+    let world = generate(&MapSpec::usenet_1986(1986));
+    let text = world.concatenated();
+    let options = Options {
+        local: Some(world.home.clone()),
+        ..Options::default()
+    };
+
+    let pagf_path =
+        std::env::temp_dir().join(format!("pathalias-bench-cold-{}.pagf", std::process::id()));
+    {
+        let mut parsed = Parsed::new();
+        parsed.push_str("world", &text);
+        let frozen = parsed.build(&options).unwrap().freeze();
+        frozen.write_snapshot(&pagf_path).unwrap();
+    }
+
+    let mut group = c.benchmark_group("cold-start");
+    group.sample_size(10);
+
+    group.bench_function("parse-build-freeze", |b| {
+        b.iter(|| {
+            let mut parsed = Parsed::new();
+            parsed.push_str("world", black_box(&text));
+            black_box(parsed.build(&options).unwrap().freeze())
+        });
+    });
+
+    group.bench_function("pagf-load", |b| {
+        b.iter(|| black_box(Frozen::from_snapshot(&pagf_path).unwrap()));
+    });
+
+    group.bench_function("pagf-serve-ready", |b| {
+        b.iter(|| {
+            let frozen = Frozen::from_snapshot(&pagf_path).unwrap();
+            let mapped = frozen.map(&options).unwrap();
+            black_box(mapped.print(&options))
+        });
+    });
+
+    group.finish();
+    std::fs::remove_file(pagf_path).unwrap();
+}
+
+criterion_group!(benches, bench_serve, bench_cold_start);
 criterion_main!(benches);

@@ -1,0 +1,239 @@
+//! The CI bench regression gate.
+//!
+//! Compares headline numbers from a fresh `cargo bench` run (the
+//! stand-in criterion's `bench <name> <ns> ns/iter ...` lines)
+//! against the checked-in baselines (`BENCH_map.json` /
+//! `BENCH_serve.json`) and fails when a gated benchmark regressed
+//! beyond the allowed percentage. Quick-mode CI runners are noisy, so
+//! the default tolerance is deliberately wide (30%): this gate
+//! catches "accidentally made resolve 5× slower", not 2% drift.
+//!
+//! ```text
+//! bench_gate --baseline BENCH_serve.json --baseline BENCH_map.json \
+//!            --results serve.txt --results dijkstra.txt \
+//!            --gate serve/resolve-in-memory --gate dijkstra-large-map/csr \
+//!            [--max-regress-pct 30]
+//! ```
+//!
+//! The baselines are plain JSON written by hand alongside bench
+//! updates; rather than grow a JSON dependency, the tiny subset used
+//! here (`"name": "..."` / `"ns_per_iter": N` pairs, in order) is
+//! extracted textually.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// Extracts `(name, ns_per_iter)` pairs from a baseline JSON file.
+///
+/// The format is the repo's own `BENCH_*.json`: each result object
+/// lists `"name"` before `"ns_per_iter"`. Anything else is ignored.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut pending: Option<String> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"name\":") {
+            let name = rest.trim().trim_end_matches(',').trim_matches('"');
+            pending = Some(name.to_string());
+        } else if let Some(rest) = line.strip_prefix("\"ns_per_iter\":") {
+            let value = rest.trim().trim_end_matches(',');
+            if let (Some(name), Ok(ns)) = (pending.take(), value.parse::<f64>()) {
+                out.push((name, ns));
+            }
+        }
+    }
+    out
+}
+
+/// Extracts `(name, ns_per_iter)` pairs from stand-in criterion
+/// output lines: `bench   <name>   <ns> ns/iter   (#iters N) ...`.
+fn parse_results(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let mut fields = line.split_whitespace();
+        if fields.next() != Some("bench") {
+            continue;
+        }
+        let (Some(name), Some(ns), Some("ns/iter")) = (fields.next(), fields.next(), fields.next())
+        else {
+            continue;
+        };
+        if let Ok(ns) = ns.parse::<f64>() {
+            out.push((name.to_string(), ns));
+        }
+    }
+    out
+}
+
+struct Args {
+    baselines: Vec<String>,
+    results: Vec<String>,
+    gates: Vec<String>,
+    max_regress_pct: f64,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        baselines: Vec::new(),
+        results: Vec::new(),
+        gates: Vec::new(),
+        max_regress_pct: 30.0,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--baseline" => args.baselines.push(value("--baseline")?),
+            "--results" => args.results.push(value("--results")?),
+            "--gate" => args.gates.push(value("--gate")?),
+            "--max-regress-pct" => {
+                args.max_regress_pct = value("--max-regress-pct")?
+                    .parse()
+                    .map_err(|_| "--max-regress-pct wants a number".to_string())?;
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if args.baselines.is_empty() || args.results.is_empty() || args.gates.is_empty() {
+        return Err("need at least one --baseline, --results and --gate".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("bench_gate: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let load = |paths: &[String], parse: fn(&str) -> Vec<(String, f64)>| {
+        let mut map: HashMap<String, f64> = HashMap::new();
+        for path in paths {
+            match std::fs::read_to_string(path) {
+                Ok(text) => map.extend(parse(&text)),
+                Err(e) => {
+                    eprintln!("bench_gate: reading {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        map
+    };
+    let baseline = load(&args.baselines, parse_baseline);
+    let measured = load(&args.results, parse_results);
+
+    let mut failed = false;
+    for gate in &args.gates {
+        let (Some(&base), Some(&now)) = (baseline.get(gate), measured.get(gate)) else {
+            eprintln!(
+                "bench_gate: FAIL {gate}: missing from {}",
+                if baseline.contains_key(gate) {
+                    "the bench output"
+                } else {
+                    "the baseline"
+                }
+            );
+            failed = true;
+            continue;
+        };
+        let delta_pct = (now - base) / base * 100.0;
+        let ok = delta_pct <= args.max_regress_pct;
+        println!(
+            "bench_gate: {} {gate}: baseline {base:.0} ns, measured {now:.0} ns ({delta_pct:+.1}%, limit +{:.0}%)",
+            if ok { "ok" } else { "FAIL" },
+            args.max_regress_pct,
+        );
+        failed |= !ok;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_extraction() {
+        let json = r#"{
+  "results": [
+    {
+      "name": "serve/resolve-in-memory",
+      "ns_per_iter": 202,
+      "throughput_per_s": 4960717,
+      "note": "text with \"ns_per_iter\": inside is not on its own line"
+    },
+    { "other": 1 },
+    {
+      "name": "dijkstra-large-map/csr",
+      "ns_per_iter": 1013262
+    }
+  ]
+}"#;
+        assert_eq!(
+            parse_baseline(json),
+            vec![
+                ("serve/resolve-in-memory".to_string(), 202.0),
+                ("dijkstra-large-map/csr".to_string(), 1013262.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn results_extraction() {
+        let out = "\
+   Compiling pathalias-bench v0.1.0\n\
+bench   serve/resolve-in-memory                               189 ns/iter   (#iters 1430000)   5295424 elem/s\n\
+bench   cold-start/pagf-load                              1165372 ns/iter   (#iters 264)\n\
+benchmark not-a-real-line\n";
+        assert_eq!(
+            parse_results(out),
+            vec![
+                ("serve/resolve-in-memory".to_string(), 189.0),
+                ("cold-start/pagf-load".to_string(), 1165372.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn arg_validation() {
+        let v = |args: &[&str]| -> Vec<String> { args.iter().map(|s| s.to_string()).collect() };
+        assert!(parse_args(&v(&[])).is_err());
+        assert!(parse_args(&v(&["--baseline", "b.json"])).is_err());
+        assert!(parse_args(&v(&["--gate"])).is_err());
+        let a = parse_args(&v(&[
+            "--baseline",
+            "b.json",
+            "--results",
+            "r.txt",
+            "--gate",
+            "x/y",
+            "--max-regress-pct",
+            "50",
+        ]))
+        .unwrap();
+        assert_eq!(a.max_regress_pct, 50.0);
+        assert_eq!(a.gates, vec!["x/y"]);
+    }
+
+    #[test]
+    fn regression_math() {
+        // 30% over a 100ns baseline passes at exactly 130, fails at 131.
+        let base = 100.0f64;
+        for (now, ok) in [(130.0, true), (131.0, false), (90.0, true)] {
+            let delta_pct = (now - base) / base * 100.0;
+            assert_eq!(delta_pct <= 30.0, ok, "now={now}");
+        }
+    }
+}

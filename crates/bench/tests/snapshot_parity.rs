@@ -1,0 +1,73 @@
+//! PAGF1 round-trip parity: routes rendered from a frozen graph
+//! loaded off disk must be byte-identical to routes from the
+//! in-memory freeze — on generated worlds (proptest) and on the full
+//! paper-scale map (the acceptance check for the snapshot format).
+//!
+//! The comparison goes through the staged pipeline both ways, so it
+//! covers exactly what a daemon cold start runs: `Frozen::map` +
+//! `Mapped::print` over a snapshot that crossed the disk boundary.
+
+use pathalias_core::{Frozen, Options, Parsed};
+use pathalias_mapgen::{generate, MapSpec};
+use proptest::prelude::*;
+
+/// Renders `text` once from the in-memory freeze and once from a
+/// freeze that round-tripped through a PAGF1 file.
+fn both_renderings(text: &str, home: &str) -> (String, String) {
+    let options = Options {
+        local: Some(home.to_string()),
+        with_costs: true,
+        include_hidden: true,
+        ..Options::default()
+    };
+    let mut parsed = Parsed::new();
+    parsed.push_str("world", text);
+    let frozen = parsed.build(&options).expect("map builds").freeze();
+
+    let path = std::env::temp_dir().join(format!(
+        "pagf-parity-{}-{:x}.pagf",
+        std::process::id(),
+        pathalias_hash::fold(text) ^ pathalias_hash::fold(home),
+    ));
+    frozen.write_snapshot(&path).expect("snapshot writes");
+    let loaded = Frozen::from_snapshot(&path).expect("snapshot loads");
+    std::fs::remove_file(&path).expect("cleanup");
+
+    assert_eq!(
+        loaded.graph().as_ref(),
+        frozen.graph().as_ref(),
+        "loaded graph equals the freeze that wrote it"
+    );
+    let in_memory = frozen.map(&options).expect("maps").print(&options);
+    let cold = loaded.map(&options).expect("maps").print(&options);
+    (in_memory.rendered, cold.rendered)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Generated worlds — cliques, chains, domains, aliases, private
+    /// collisions — render byte-identically after the disk round trip.
+    #[test]
+    fn snapshot_routes_match_on_generated_maps(
+        hosts in 60usize..200,
+        seed in 0u64..10_000,
+    ) {
+        let map = generate(&MapSpec::small(hosts, seed));
+        let (in_memory, cold) = both_renderings(&map.concatenated(), &map.home);
+        prop_assert_eq!(in_memory, cold);
+    }
+}
+
+/// The full 1986-scale world: the headline acceptance check.
+#[test]
+fn paper_scale_snapshot_routes_are_byte_identical() {
+    let map = generate(&MapSpec::usenet_1986(1986));
+    let (in_memory, cold) = both_renderings(&map.concatenated(), &map.home);
+    assert_eq!(in_memory.len(), cold.len());
+    assert_eq!(in_memory, cold);
+    assert!(
+        in_memory.lines().count() > 5_000,
+        "the map is actually large"
+    );
+}

@@ -5,8 +5,10 @@
 pub const USAGE: &str = "\
 usage: pathalias [-l host] [-c] [-i] [-v] [-n] [-s] [-t host]... [file ...]
        pathalias mapgen [--hosts N] [--seed N] [--paper-scale]
+       pathalias freeze -o out.pagf [-i] [file ...]
        pathalias query -d route-file destination [user]
-       pathalias serve (--padb F | --routes F | --map F...) [--backend B]
+       pathalias serve (--padb F | --routes F | --map F... | --pagf F)
+                 [--backend B]
                  [--listen addr] [--unix path] [--cache N] [--shards N]
                  [--watch [--watch-interval-ms N]] [-l host] [-i]
        pathalias serve (--connect addr | --unix path)
@@ -23,13 +25,21 @@ options:
   -t host   trace routing decisions for host (repeatable)
   -h        this help
 
+freeze (write a PAGF1 frozen-graph snapshot):
+  -o F      output snapshot file (required)
+  -i        ignore case in host names (baked into the snapshot)
+  file ...  map files (standard input when omitted)
+
 serve (daemon mode; default listen 127.0.0.1:4175):
   --padb F      serve a PADB1 disk database
   --routes F    serve a linear route file (pathalias output)
   --map F...    run the full pipeline on map file(s); RELOAD re-runs it
-  --backend B   memory (default: load the table) or padb-mmap (serve
-                the PADB1 file in place through the page cache;
-                requires --padb)
+  --pagf F      cold-start from a PAGF1 snapshot (pathalias freeze
+                output): the pipeline re-enters at the frozen stage,
+                skipping parse/build/freeze
+  --backend B   memory (default: load the table), padb-mmap (serve the
+                PADB1 file in place through the page cache; requires
+                --padb), or pagf (requires --pagf)
   --listen A    TCP listen address (port 0 = ephemeral, printed on start)
   --unix P      also (or only) listen on a Unix socket
   --cache N     lookup-cache capacity in entries (default 4096)
@@ -52,6 +62,8 @@ pub enum Command {
     Run(RunArgs),
     /// Generate a synthetic map.
     Mapgen(MapgenArgs),
+    /// Freeze map files into a PAGF1 snapshot.
+    Freeze(FreezeArgs),
     /// Query a route database.
     Query(QueryArgs),
     /// Run (or talk to) the route-query daemon.
@@ -102,6 +114,17 @@ impl Default for MapgenArgs {
     }
 }
 
+/// Arguments for `freeze`.
+#[derive(Debug, PartialEq, Eq)]
+pub struct FreezeArgs {
+    /// `-o` output snapshot path.
+    pub out: String,
+    /// `-i`.
+    pub ignore_case: bool,
+    /// Input map files; empty means stdin.
+    pub files: Vec<String>,
+}
+
 /// Arguments for `query`.
 #[derive(Debug, PartialEq, Eq)]
 pub struct QueryArgs {
@@ -131,6 +154,9 @@ pub enum Backend {
     /// Serve the PADB1 file in place through the kernel page cache —
     /// tables larger than memory work; requires `--padb`.
     PadbMmap,
+    /// Cold-start from a PAGF1 frozen-graph snapshot, re-entering the
+    /// pipeline at the frozen stage; requires `--pagf`.
+    Pagf,
 }
 
 /// Daemon-mode arguments.
@@ -142,6 +168,8 @@ pub struct DaemonArgs {
     pub backend: Backend,
     /// `--routes`: serve a linear route file.
     pub routes: Option<String>,
+    /// `--pagf`: cold-start from a PAGF1 frozen-graph snapshot.
+    pub pagf: Option<String>,
     /// `--map`: map files for the full pipeline (repeatable).
     pub map_files: Vec<String>,
     /// `--listen` TCP address; `None` with a Unix socket disables TCP.
@@ -198,6 +226,7 @@ pub enum ClientAction {
 pub fn parse(argv: &[String]) -> Result<Command, String> {
     match argv.first().map(String::as_str) {
         Some("mapgen") => parse_mapgen(&argv[1..]),
+        Some("freeze") => parse_freeze(&argv[1..]),
         Some("query") => parse_query(&argv[1..]),
         Some("serve") => parse_serve(&argv[1..]),
         Some("-h") | Some("--help") | Some("help") => Ok(Command::Help),
@@ -253,6 +282,30 @@ fn parse_mapgen(argv: &[String]) -> Result<Command, String> {
     Ok(Command::Mapgen(mg))
 }
 
+fn parse_freeze(argv: &[String]) -> Result<Command, String> {
+    let mut out: Option<String> = None;
+    let mut ignore_case = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-o" => out = Some(take_value("-o", &mut it)?.clone()),
+            "-i" => ignore_case = true,
+            "-h" | "--help" => return Ok(Command::Help),
+            f if f.starts_with('-') && f.len() > 1 => {
+                return Err(format!("freeze: unknown flag {f}"));
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    let out = out.ok_or_else(|| "freeze requires -o out.pagf".to_string())?;
+    Ok(Command::Freeze(FreezeArgs {
+        out,
+        ignore_case,
+        files,
+    }))
+}
+
 fn parse_query(argv: &[String]) -> Result<Command, String> {
     let mut db: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
@@ -282,6 +335,7 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
     let mut padb = None;
     let mut backend: Option<Backend> = None;
     let mut routes = None;
+    let mut pagf = None;
     let mut map_files = Vec::new();
     let mut listen = None;
     let mut unix = None;
@@ -307,12 +361,16 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
                 backend = Some(match take_value("--backend", &mut it)?.as_str() {
                     "memory" => Backend::Memory,
                     "padb-mmap" => Backend::PadbMmap,
+                    "pagf" => Backend::Pagf,
                     other => {
-                        return Err(format!("--backend wants memory or padb-mmap, not {other}"))
+                        return Err(format!(
+                            "--backend wants memory, padb-mmap or pagf, not {other}"
+                        ))
                     }
                 });
             }
             "--routes" => routes = Some(take_value("--routes", &mut it)?.clone()),
+            "--pagf" => pagf = Some(take_value("--pagf", &mut it)?.clone()),
             "--map" => map_files.push(take_value("--map", &mut it)?.clone()),
             "--listen" => listen = Some(take_value("--listen", &mut it)?.clone()),
             "--unix" => unix = Some(take_value("--unix", &mut it)?.clone()),
@@ -368,10 +426,10 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
                     .to_string(),
             );
         }
-        if padb.is_some() || routes.is_some() || !map_files.is_empty() {
+        if padb.is_some() || routes.is_some() || pagf.is_some() || !map_files.is_empty() {
             return Err(
                 "serve: client mode (--connect/--query/--stats/...) conflicts with \
-                 table sources (--padb/--routes/--map)"
+                 table sources (--padb/--routes/--map/--pagf)"
                     .to_string(),
             );
         }
@@ -418,13 +476,32 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
 
     let sources = usize::from(padb.is_some())
         + usize::from(routes.is_some())
+        + usize::from(pagf.is_some())
         + usize::from(!map_files.is_empty());
     if sources != 1 {
-        return Err("serve wants exactly one of --padb/--routes/--map".to_string());
+        return Err("serve wants exactly one of --padb/--routes/--map/--pagf".to_string());
     }
-    let backend = backend.unwrap_or_default();
+    // A snapshot source *is* the pagf backend; naming any other
+    // backend for it (or the pagf backend without a snapshot) is a
+    // contradiction, not something to silently repair.
+    let backend = backend.unwrap_or(if pagf.is_some() {
+        Backend::Pagf
+    } else {
+        Backend::Memory
+    });
     if backend == Backend::PadbMmap && padb.is_none() {
         return Err("serve: --backend padb-mmap requires --padb".to_string());
+    }
+    if backend == Backend::Pagf && pagf.is_none() {
+        return Err("serve: --backend pagf requires --pagf".to_string());
+    }
+    if pagf.is_some() && backend != Backend::Pagf {
+        return Err("serve: --pagf only serves through --backend pagf".to_string());
+    }
+    if pagf.is_some() && ignore_case {
+        return Err("serve: -i is baked into the snapshot at freeze time; \
+             refreeze with `pathalias freeze -i`"
+            .to_string());
     }
     if user.is_some() {
         return Err("serve: --user only makes sense with --query".to_string());
@@ -441,6 +518,7 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
         padb,
         backend,
         routes,
+        pagf,
         map_files,
         listen,
         unix,
@@ -525,6 +603,62 @@ mod tests {
     #[test]
     fn mapgen_bad_number() {
         assert!(parse(&v(&["mapgen", "--hosts", "many"])).is_err());
+    }
+
+    #[test]
+    fn freeze_args() {
+        let Command::Freeze(fz) =
+            parse(&v(&["freeze", "-o", "world.pagf", "-i", "a.map", "b.map"])).unwrap()
+        else {
+            panic!("expected freeze");
+        };
+        assert_eq!(fz.out, "world.pagf");
+        assert!(fz.ignore_case);
+        assert_eq!(fz.files, vec!["a.map", "b.map"]);
+
+        // Stdin mode: no files.
+        let Command::Freeze(fz) = parse(&v(&["freeze", "-o", "w.pagf"])).unwrap() else {
+            panic!("expected freeze");
+        };
+        assert!(fz.files.is_empty());
+        assert!(!fz.ignore_case);
+
+        // -o is required; junk flags are rejected.
+        assert!(parse(&v(&["freeze", "a.map"])).is_err());
+        assert!(parse(&v(&["freeze", "-o"])).is_err());
+        assert!(parse(&v(&["freeze", "-o", "w", "--fast"])).is_err());
+    }
+
+    #[test]
+    fn serve_pagf_source() {
+        // --pagf alone implies the pagf backend.
+        let Command::Serve(ServeArgs::Daemon(d)) =
+            parse(&v(&["serve", "--pagf", "world.pagf", "-l", "home"])).unwrap()
+        else {
+            panic!("expected daemon");
+        };
+        assert_eq!(d.pagf.as_deref(), Some("world.pagf"));
+        assert_eq!(d.backend, Backend::Pagf);
+        assert_eq!(d.local.as_deref(), Some("home"));
+
+        // Explicitly naming the backend is accepted.
+        let Command::Serve(ServeArgs::Daemon(d)) =
+            parse(&v(&["serve", "--pagf", "world.pagf", "--backend", "pagf"])).unwrap()
+        else {
+            panic!("expected daemon");
+        };
+        assert_eq!(d.backend, Backend::Pagf);
+
+        // Contradictions are rejected: pagf backend without a
+        // snapshot, a snapshot under another backend, two sources,
+        // and client mode with a snapshot source.
+        assert!(parse(&v(&["serve", "--routes", "r", "--backend", "pagf"])).is_err());
+        assert!(parse(&v(&["serve", "--pagf", "w", "--backend", "memory"])).is_err());
+        assert!(parse(&v(&["serve", "--pagf", "w", "--backend", "padb-mmap"])).is_err());
+        assert!(parse(&v(&["serve", "--pagf", "w", "--padb", "d"])).is_err());
+        assert!(parse(&v(&["serve", "--connect", "a:1", "--stats", "--pagf", "w"])).is_err());
+        // -i cannot change a snapshot whose case folding is baked in.
+        assert!(parse(&v(&["serve", "--pagf", "w", "-i"])).is_err());
     }
 
     #[test]

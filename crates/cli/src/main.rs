@@ -15,7 +15,7 @@
 //! to standard output; warnings, unreachable hosts and statistics go to
 //! standard error.
 
-use pathalias_core::{Options, Pathalias, Sort};
+use pathalias_core::{Options, Parsed, Pathalias, Sort};
 use pathalias_mailer::RouteDb;
 use pathalias_mapgen::{generate, MapSpec};
 use pathalias_server::{Client, MapSource, Server, ServerConfig};
@@ -25,8 +25,8 @@ use std::process::ExitCode;
 mod args;
 
 use args::{
-    Backend, ClientAction, ClientArgs, Command, DaemonArgs, MapgenArgs, QueryArgs, RunArgs,
-    ServeArgs,
+    Backend, ClientAction, ClientArgs, Command, DaemonArgs, FreezeArgs, MapgenArgs, QueryArgs,
+    RunArgs, ServeArgs,
 };
 
 fn main() -> ExitCode {
@@ -34,6 +34,7 @@ fn main() -> ExitCode {
     match args::parse(&argv) {
         Ok(Command::Run(run)) => cmd_run(run),
         Ok(Command::Mapgen(mg)) => cmd_mapgen(mg),
+        Ok(Command::Freeze(fz)) => cmd_freeze(fz),
         Ok(Command::Query(q)) => cmd_query(q),
         Ok(Command::Serve(ServeArgs::Daemon(d))) => cmd_serve_daemon(d),
         Ok(Command::Serve(ServeArgs::Client(c))) => cmd_serve_client(c),
@@ -153,12 +154,70 @@ fn cmd_mapgen(mg: MapgenArgs) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `pathalias freeze`: run parse → build → freeze and write the
+/// snapshot, so later runs (and daemons) can cold-start from it.
+fn cmd_freeze(fz: FreezeArgs) -> ExitCode {
+    let options = Options {
+        ignore_case: fz.ignore_case,
+        ..Options::default()
+    };
+    let mut parsed = Parsed::new();
+    if fz.files.is_empty() {
+        let mut text = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+            eprintln!("pathalias: reading stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        parsed.push_str("<stdin>", &text);
+    } else {
+        for f in &fz.files {
+            if let Err(e) = parsed.push_file(f) {
+                eprintln!("pathalias: {f}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let built = match parsed.build(&options) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("pathalias: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let frozen = built.freeze();
+    for w in frozen.warnings() {
+        eprintln!("pathalias: warning: {w}");
+    }
+    if let Err(e) = frozen.write_snapshot(&fz.out) {
+        eprintln!("pathalias: writing {}: {e}", fz.out);
+        return ExitCode::FAILURE;
+    }
+    let bytes = std::fs::metadata(&fz.out).map(|m| m.len()).unwrap_or(0);
+    let g = frozen.graph();
+    eprintln!(
+        "pathalias: froze {} nodes, {} edges into {} ({} bytes; parse {:?}, freeze {:?})",
+        g.node_count(),
+        g.edge_count(),
+        fz.out,
+        bytes,
+        built.build_time,
+        frozen.freeze_time,
+    );
+    ExitCode::SUCCESS
+}
+
 fn cmd_serve_daemon(d: DaemonArgs) -> ExitCode {
     let source = if let Some(path) = d.padb {
         match d.backend {
             Backend::PadbMmap => MapSource::PadbMmap(path.into()),
-            Backend::Memory => MapSource::Padb(path.into()),
+            Backend::Memory | Backend::Pagf => MapSource::Padb(path.into()),
         }
+    } else if let Some(path) = d.pagf {
+        let options = Options {
+            local: d.local,
+            ..Options::default()
+        };
+        MapSource::frozen_snapshot(path.into(), options)
     } else if let Some(path) = d.routes {
         MapSource::Routes(path.into())
     } else {

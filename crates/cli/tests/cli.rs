@@ -234,3 +234,162 @@ fn serve_daemon_and_client_round_trip() {
     daemon.wait().unwrap();
     std::fs::remove_file(routes).unwrap();
 }
+
+/// Spawns a serve daemon on an ephemeral port and scrapes the bound
+/// address from its announce line.
+fn spawn_daemon(args: &[&str]) -> (std::process::Child, String) {
+    use std::io::BufRead as _;
+    let mut daemon = Command::new(BIN)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon starts");
+    let stdout = daemon.stdout.take().unwrap();
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let first = lines.next().expect("announce line").unwrap();
+    let addr = first
+        .strip_prefix("pathalias-server listening on tcp ")
+        .unwrap_or_else(|| panic!("unexpected announce line `{first}`"))
+        .to_string();
+    (daemon, addr)
+}
+
+/// The snapshot cold-start path end to end: mapgen → freeze → serve
+/// --backend pagf must answer byte-for-byte what the full-pipeline
+/// backend answers (the CI smoke job runs the same flow at paper
+/// scale against the release binary).
+#[test]
+fn freeze_then_serve_pagf_matches_full_pipeline() {
+    let dir = std::env::temp_dir();
+    let tag = std::process::id();
+    let map_path = dir.join(format!("pa-cli-pagf-{tag}.map"));
+    let pagf_path = dir.join(format!("pa-cli-pagf-{tag}.pagf"));
+
+    // A generated world with networks, domains and aliases.
+    let gen = Command::new(BIN)
+        .args(["mapgen", "--hosts", "300", "--seed", "1986"])
+        .output()
+        .unwrap();
+    assert!(gen.status.success());
+    std::fs::write(&map_path, &gen.stdout).unwrap();
+    let gen_err = String::from_utf8_lossy(&gen.stderr).into_owned();
+    let home = gen_err
+        .split("home hub: ")
+        .nth(1)
+        .expect("mapgen announces its home hub")
+        .trim()
+        .to_string();
+
+    // Freeze the world to a PAGF1 snapshot.
+    let freeze = Command::new(BIN)
+        .args(["freeze", "-o", pagf_path.to_str().unwrap()])
+        .arg(&map_path)
+        .output()
+        .unwrap();
+    assert!(freeze.status.success(), "{:?}", freeze);
+    let freeze_err = String::from_utf8_lossy(&freeze.stderr).into_owned();
+    assert!(freeze_err.contains("froze"), "{freeze_err}");
+
+    // Destinations to compare: a spread of routable hosts from the
+    // pipeline's own output, plus suffix/default-route shapes.
+    let routes = run_with_stdin(
+        &["-l", &home, map_path.to_str().unwrap()],
+        "", // input comes from the file argument
+    );
+    assert!(routes.2, "{}", routes.1);
+    let mut dests: Vec<String> = routes
+        .0
+        .lines()
+        .step_by(17)
+        .filter_map(|l| l.split('\t').next())
+        .map(str::to_string)
+        .take(40)
+        .collect();
+    dests.push(home.clone());
+    assert!(dests.len() > 20, "enough destinations to be interesting");
+
+    let (mut full, full_addr) = spawn_daemon(&[
+        "serve",
+        "--map",
+        map_path.to_str().unwrap(),
+        "-l",
+        &home,
+        "--listen",
+        "127.0.0.1:0",
+    ]);
+    let (mut cold, cold_addr) = spawn_daemon(&[
+        "serve",
+        "--pagf",
+        pagf_path.to_str().unwrap(),
+        "--backend",
+        "pagf",
+        "-l",
+        &home,
+        "--listen",
+        "127.0.0.1:0",
+    ]);
+
+    // One batched round trip per daemon, all destinations in order;
+    // the stdout streams must be byte-identical.
+    let ask = |addr: &str| {
+        let mut cmd = Command::new(BIN);
+        cmd.args(["serve", "--connect", addr, "--user", "mel"]);
+        for d in &dests {
+            cmd.args(["--query", d]);
+        }
+        let out = cmd.output().unwrap();
+        assert!(out.status.success(), "{:?}", out);
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let via_full = ask(&full_addr);
+    let via_cold = ask(&cold_addr);
+    assert_eq!(via_full, via_cold, "cold-start answers differ");
+    assert_eq!(via_full.lines().count(), dests.len());
+
+    full.kill().unwrap();
+    full.wait().unwrap();
+    cold.kill().unwrap();
+    cold.wait().unwrap();
+    std::fs::remove_file(&map_path).unwrap();
+    std::fs::remove_file(&pagf_path).unwrap();
+}
+
+#[test]
+fn serve_refuses_corrupt_snapshot() {
+    let dir = std::env::temp_dir();
+    let bad = dir.join(format!("pa-cli-bad-{}.pagf", std::process::id()));
+    std::fs::write(&bad, "PAGF1\ngarbage").unwrap();
+    let out = Command::new(BIN)
+        .args([
+            "serve",
+            "--pagf",
+            bad.to_str().unwrap(),
+            "--listen",
+            "127.0.0.1:0",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("corrupt snapshot"),
+        "{:?}",
+        out
+    );
+    std::fs::remove_file(bad).unwrap();
+}
+
+#[test]
+fn freeze_reports_errors() {
+    // A parse error in the input must fail the freeze, not write a
+    // half-baked snapshot.
+    let dir = std::env::temp_dir();
+    let out_path = dir.join(format!("pa-cli-freeze-err-{}.pagf", std::process::id()));
+    let (_, stderr, ok) = run_with_stdin(
+        &["freeze", "-o", out_path.to_str().unwrap()],
+        "host1 host2(((\n",
+    );
+    assert!(!ok);
+    assert!(stderr.contains("pathalias:"), "{stderr}");
+    assert!(!out_path.exists(), "no snapshot on failure");
+}

@@ -38,6 +38,7 @@
 
 use crate::options::Options;
 use crate::pipeline::Error;
+use pathalias_graph::snapshot::{self, SnapshotError};
 use pathalias_graph::{FrozenGraph, Graph, NodeId, Warning};
 use pathalias_mapper::{map_dual_frozen, map_frozen, DualTree, MapOptions, ShortestPathTree};
 use pathalias_parser::parse_into;
@@ -168,6 +169,33 @@ impl Frozen {
             warnings,
             freeze_time,
         }
+    }
+
+    /// Re-enters the pipeline at the frozen stage from a PAGF1
+    /// snapshot file ([`pathalias_graph::snapshot`]): parse, build and
+    /// freeze are skipped entirely — this is the daemon cold-start
+    /// path, and `freeze_time` records the (milliseconds-scale) load
+    /// instead.
+    pub fn from_snapshot(path: impl AsRef<Path>) -> Result<Frozen, SnapshotError> {
+        let t0 = Instant::now();
+        let graph = snapshot::read_snapshot(path)?;
+        // `Parsed::build` pins the default `-l` to the first node
+        // parsing ever creates, which is node 0 of a non-empty pool;
+        // node ids survive freezing and serialization, so the same
+        // node is the default here.
+        let first_host = graph.node_ids().next();
+        Ok(Frozen {
+            graph: Arc::new(graph),
+            first_host,
+            warnings: Vec::new(),
+            freeze_time: t0.elapsed(),
+        })
+    }
+
+    /// Writes the frozen graph to `path` as a PAGF1 snapshot,
+    /// [`from_snapshot`](Frozen::from_snapshot)'s counterpart.
+    pub fn write_snapshot(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        snapshot::write_snapshot(&self.graph, path)
     }
 
     /// The frozen graph.
@@ -353,6 +381,51 @@ mod tests {
         let f1 = built.freeze();
         let f2 = built.freeze();
         assert_eq!(f1.graph().node_count(), f2.graph().node_count());
+    }
+
+    #[test]
+    fn snapshot_reentry_prints_identically() {
+        let options = Options {
+            local: Some("unc".into()),
+            with_costs: true,
+            ..Options::default()
+        };
+        let frozen = parsed().build(&options).unwrap().freeze();
+        let path =
+            std::env::temp_dir().join(format!("pathalias-stages-{}.pagf", std::process::id()));
+        frozen.write_snapshot(&path).unwrap();
+        let loaded = Frozen::from_snapshot(&path).unwrap();
+        assert_eq!(
+            loaded.graph().as_ref(),
+            frozen.graph().as_ref(),
+            "loaded snapshot equals the in-memory freeze"
+        );
+        let a = frozen.map(&options).unwrap().print(&options);
+        let b = loaded.map(&options).unwrap().print(&options);
+        assert_eq!(a.rendered, b.rendered, "routes byte-identical");
+        // The default `-l` (first declared host) also survives.
+        let defaults = Options::default();
+        let da = frozen.map(&defaults).unwrap().print(&defaults);
+        let db = loaded.map(&defaults).unwrap().print(&defaults);
+        assert_eq!(da.rendered, db.rendered);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn snapshot_load_failures_report() {
+        let missing = std::env::temp_dir().join("definitely-missing.pagf");
+        assert!(matches!(
+            Frozen::from_snapshot(&missing),
+            Err(SnapshotError::Io(_))
+        ));
+        let garbage =
+            std::env::temp_dir().join(format!("pathalias-stages-bad-{}.pagf", std::process::id()));
+        std::fs::write(&garbage, "not a snapshot").unwrap();
+        assert!(matches!(
+            Frozen::from_snapshot(&garbage),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        std::fs::remove_file(garbage).unwrap();
     }
 
     #[test]

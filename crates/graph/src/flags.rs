@@ -55,6 +55,26 @@ macro_rules! flagset {
             pub const fn is_empty(self) -> bool {
                 self.0 == 0
             }
+
+            /// The raw bit representation (what the on-disk snapshot
+            /// stores).
+            #[inline]
+            pub const fn bits(self) -> $repr {
+                self.0
+            }
+
+            /// Rebuilds a flag set from raw bits. Bits outside the
+            /// defined vocabulary yield `None` — a snapshot file must
+            /// not smuggle in flags this build does not know.
+            #[inline]
+            pub const fn from_bits(bits: $repr) -> Option<Self> {
+                let known: $repr = $( (1 << $bit) )|+;
+                if bits & !known != 0 {
+                    None
+                } else {
+                    Some($name(bits))
+                }
+            }
         }
 
         impl std::ops::BitOr for $name {
@@ -176,6 +196,16 @@ mod tests {
         assert!(!LinkFlags::NET_IN.is_explicit());
         assert!(!LinkFlags::NET_OUT.is_explicit());
         assert!(!LinkFlags::BACK.is_explicit());
+    }
+
+    #[test]
+    fn bits_round_trip_and_reject_unknown() {
+        let f = LinkFlags::ALIAS | LinkFlags::BACK;
+        assert_eq!(LinkFlags::from_bits(f.bits()), Some(f));
+        assert_eq!(NodeFlags::from_bits(0), Some(NodeFlags::empty()));
+        // Bit 15 is outside both vocabularies.
+        assert_eq!(LinkFlags::from_bits(1 << 15), None);
+        assert_eq!(NodeFlags::from_bits(1 << 15), None);
     }
 
     #[test]

@@ -83,18 +83,19 @@ impl fmt::Debug for EdgeId {
 
 /// One frozen edge, packed into 16 bytes so a cache line holds four:
 /// target, cost, routing operator (char + side as bytes) and flags.
+/// Field order mirrors the [`snapshot`](crate::snapshot) record layout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrozenEdge {
-    to: u32,
-    op_ch: u8,
+    pub(crate) to: u32,
+    pub(crate) op_ch: u8,
     /// 0 = host-on-left (`!`), 1 = host-on-right (`@`).
-    op_dir: u8,
-    flags: LinkFlags,
-    cost: Cost,
+    pub(crate) op_dir: u8,
+    pub(crate) flags: LinkFlags,
+    pub(crate) cost: Cost,
 }
 
 impl FrozenEdge {
-    fn new(to: NodeId, cost: Cost, op: RouteOp, flags: LinkFlags) -> FrozenEdge {
+    pub(crate) fn new(to: NodeId, cost: Cost, op: RouteOp, flags: LinkFlags) -> FrozenEdge {
         debug_assert!(op.ch.is_ascii(), "routing operators are ASCII");
         FrozenEdge {
             to: to.raw(),
@@ -159,25 +160,25 @@ impl FrozenEdge {
 /// and after freezing. Edges get fresh dense [`EdgeId`]s in CSR order:
 /// all edges out of node 0, then node 1, and so on, each adjacency run
 /// in declaration order.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FrozenGraph {
-    ignore_case: bool,
+    pub(crate) ignore_case: bool,
     /// All node names, concatenated; `name_off` has n+1 offsets.
-    name_data: String,
-    name_off: Vec<u32>,
-    flags: Vec<NodeFlags>,
-    adjust: Vec<i64>,
+    pub(crate) name_data: String,
+    pub(crate) name_off: Vec<u32>,
+    pub(crate) flags: Vec<NodeFlags>,
+    pub(crate) adjust: Vec<i64>,
     /// CSR row starts; `row_start[n]..row_start[n+1]` indexes `edges`.
-    row_start: Vec<u32>,
+    pub(crate) row_start: Vec<u32>,
     /// All edges, packed, in CSR order; costs carry the tail's
     /// `adjust` bias (clamped at zero).
-    edges: Vec<FrozenEdge>,
+    pub(crate) edges: Vec<FrozenEdge>,
     /// Pre-`adjust` costs, kept only for edges whose tail carries a
     /// bias (rare): the bias must not apply when the tail is the
     /// mapping source.
-    raw_cost: HashMap<u32, Cost>,
+    pub(crate) raw_cost: HashMap<u32, Cost>,
     /// Global (non-`private`) name lookup, folded when `ignore_case`.
-    index: HashMap<Box<str>, u32>,
+    pub(crate) index: HashMap<Box<str>, u32>,
 }
 
 impl FrozenGraph {
@@ -422,7 +423,7 @@ impl FrozenGraph {
     }
 
     /// Iterates over all node ids.
-    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + use<> {
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
         (0..self.node_count() as u32).map(NodeId::from_raw)
     }
 
@@ -434,7 +435,7 @@ impl FrozenGraph {
 
     /// Iterates the out-edges of `id` in declaration order.
     #[inline]
-    pub fn out_edges(&self, id: NodeId) -> impl Iterator<Item = EdgeId> + use<> {
+    pub fn out_edges(&self, id: NodeId) -> impl Iterator<Item = EdgeId> {
         self.row(id.index()).map(|e| EdgeId(e as u32))
     }
 

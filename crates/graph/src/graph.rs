@@ -234,7 +234,7 @@ impl Graph {
     }
 
     /// Iterates over all node ids in creation order.
-    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + use<> {
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
         self.nodes.handles()
     }
 

@@ -12,6 +12,8 @@
 //!   `private` name resolution;
 //! * [`FrozenGraph`] — the immutable compressed-sparse-row snapshot
 //!   ([`Graph::freeze`]) the mapping and printing phases traverse;
+//! * [`snapshot`] — PAGF1, the versioned, checksummed on-disk form of
+//!   a frozen graph, for instant daemon cold starts;
 //! * [`Node`] / [`Link`] with [`NodeFlags`] / [`LinkFlags`];
 //! * networks as single nodes with paired member edges (the "clique as
 //!   star" representation that avoids the ARPANET's "millions of
@@ -51,6 +53,7 @@ pub mod frozen;
 mod graph;
 mod link;
 mod node;
+pub mod snapshot;
 pub mod stats;
 pub mod unparse;
 
@@ -61,3 +64,4 @@ pub use frozen::{EdgeId, FrozenEdge, FrozenGraph};
 pub use graph::{FileId, Graph, LinkId, NodeId};
 pub use link::{Dir, Link, RouteOp};
 pub use node::Node;
+pub use snapshot::SnapshotError;

@@ -31,15 +31,15 @@ pub fn is_prime(n: u64) -> bool {
     if n < 2 {
         return false;
     }
-    if n.is_multiple_of(2) {
+    if n % 2 == 0 {
         return n == 2;
     }
-    if n.is_multiple_of(3) {
+    if n % 3 == 0 {
         return n == 3;
     }
     let mut d = 5u64;
     while d.saturating_mul(d) <= n {
-        if n.is_multiple_of(d) || n.is_multiple_of(d + 2) {
+        if n % d == 0 || n % (d + 2) == 0 {
             return false;
         }
         d += 6;
@@ -61,7 +61,7 @@ pub fn next_prime(mut n: u64) -> u64 {
     if n <= 2 {
         return 2;
     }
-    if n.is_multiple_of(2) {
+    if n % 2 == 0 {
         n += 1;
     }
     while !is_prime(n) {

@@ -445,7 +445,7 @@ pub fn map_frozen_quadratic_readonly(
             }
             let id = NodeId::from_raw(i as u32);
             let k = run.key[i];
-            if best.is_none_or(|(bk, _)| k < bk) {
+            if best.map_or(true, |(bk, _)| k < bk) {
                 best = Some((k, id));
             }
         }

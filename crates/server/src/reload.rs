@@ -1,9 +1,11 @@
 //! Table sources and hot reload.
 //!
-//! The daemon can be pointed at any of the three shapes route data
+//! The daemon can be pointed at any of the four shapes route data
 //! takes in this project: a PADB1 disk database, a linear route file
-//! (pathalias output), or raw map files that get run through the
-//! staged parse → build → freeze → map → print pipeline. `RELOAD`
+//! (pathalias output), a PAGF1 frozen-graph snapshot (`pathalias
+//! freeze` output, re-entering the staged pipeline at the frozen
+//! stage), or raw map files that get run through the staged
+//! parse → build → freeze → map → print pipeline. `RELOAD`
 //! re-runs the same source and swaps the result in atomically; while
 //! the rebuild runs, every query keeps being served from the old
 //! snapshot, and a failed rebuild leaves the old table serving
@@ -16,7 +18,7 @@
 //! or because an operator hits reload twice — skips straight to the
 //! map stage instead of re-parsing the world.
 
-use pathalias_core::{parallel, Frozen, FrozenGraph, MapOptions, Options, Parsed};
+use pathalias_core::{parallel, Frozen, FrozenGraph, MapOptions, Options, Parsed, SnapshotError};
 use pathalias_mailer::{
     disk::DiskDb, disk::DiskError, disk::MappedDb, BoxedResolver, DbError, RouteDb, SharedRouteDb,
 };
@@ -86,6 +88,19 @@ pub enum MapSource {
     PadbMmap(PathBuf),
     /// A linear route file: pathalias output, `name\troute` lines.
     Routes(PathBuf),
+    /// A PAGF1 frozen-graph snapshot written by `pathalias freeze`:
+    /// the staged pipeline re-enters at the frozen stage, so a cold
+    /// start skips parse/build/freeze entirely and a `RELOAD` whose
+    /// snapshot file is unchanged skips even the load.
+    FrozenSnapshot {
+        /// The `.pagf` file.
+        path: PathBuf,
+        /// Mapping/printing options (`-l`, ...; the build-stage
+        /// options are baked into the snapshot).
+        options: Options,
+        /// Cached frozen stage, keyed by the file's fingerprint.
+        cache: StageCache,
+    },
     /// Map files run through the staged pipeline on every (re)load,
     /// with the parse/build/freeze stages cached across reloads.
     Map {
@@ -110,6 +125,8 @@ pub enum LoadError {
     Io(std::io::Error),
     /// The PADB1 file was corrupt.
     Disk(DiskError),
+    /// The PAGF1 snapshot was corrupt.
+    Snapshot(SnapshotError),
     /// The linear route file did not parse.
     Db(DbError),
     /// The map pipeline failed (parse or map error).
@@ -123,6 +140,7 @@ impl fmt::Display for LoadError {
         match self {
             LoadError::Io(e) => write!(f, "i/o: {e}"),
             LoadError::Disk(e) => write!(f, "{e}"),
+            LoadError::Snapshot(e) => write!(f, "{e}"),
             LoadError::Db(e) => write!(f, "route file: {e}"),
             LoadError::Pipeline(e) => write!(f, "pipeline: {e}"),
             LoadError::Validation(why) => write!(f, "validation: {why}"),
@@ -144,6 +162,12 @@ impl From<DiskError> for LoadError {
     }
 }
 
+impl From<SnapshotError> for LoadError {
+    fn from(e: SnapshotError) -> Self {
+        LoadError::Snapshot(e)
+    }
+}
+
 impl MapSource {
     /// A map-file source with validation defaults: a handful of extra
     /// mapping sources checked on the machine's cores.
@@ -159,11 +183,21 @@ impl MapSource {
         }
     }
 
+    /// A frozen-snapshot source with the default stage cache.
+    pub fn frozen_snapshot(path: PathBuf, options: Options) -> MapSource {
+        MapSource::FrozenSnapshot {
+            path,
+            options,
+            cache: StageCache::default(),
+        }
+    }
+
     /// The files whose modification should trigger a reload (what
     /// `serve --watch` polls).
     pub fn watch_paths(&self) -> Vec<PathBuf> {
         match self {
             MapSource::Padb(p) | MapSource::PadbMmap(p) | MapSource::Routes(p) => vec![p.clone()],
+            MapSource::FrozenSnapshot { path, .. } => vec![path.clone()],
             MapSource::Map { files, .. } => files.clone(),
         }
     }
@@ -194,6 +228,20 @@ impl MapSource {
             MapSource::Routes(path) => {
                 let text = std::fs::read_to_string(path)?;
                 RouteDb::from_output(&text).map_err(LoadError::Db)
+            }
+            MapSource::FrozenSnapshot {
+                path,
+                options,
+                cache,
+            } => {
+                // The snapshot was validated (checksum + structure)
+                // when it was frozen and is re-validated on load, so
+                // no multi-source mapping fan-out here — cold-start
+                // latency is the whole point of this source.
+                let frozen = snapshot_stage(path, cache)?;
+                let mapped = frozen.map(options).map_err(LoadError::Pipeline)?;
+                let printed = mapped.print(options);
+                Ok(RouteDb::from_table(&printed.routes))
             }
             MapSource::Map {
                 files,
@@ -239,6 +287,28 @@ fn frozen_stage(
     *slot = Some(CachedStages {
         fingerprint: fp,
         ignore_case: options.ignore_case,
+        frozen: frozen.clone(),
+    });
+    Ok(frozen)
+}
+
+/// The frozen stage for a snapshot source: re-read the `.pagf` file
+/// only when its fingerprint changed, so a `RELOAD` with an unchanged
+/// snapshot re-enters at the map stage just like the map-file path.
+fn snapshot_stage(path: &PathBuf, cache: &StageCache) -> Result<Frozen, LoadError> {
+    let fp = fingerprint(std::iter::once(path))?;
+    let mut slot = cache.0.lock().expect("stage cache poisoned");
+    if let Some(cached) = slot.as_ref() {
+        // `ignore_case` is baked into the snapshot file, so the
+        // fingerprint alone decides reuse.
+        if cached.fingerprint == fp {
+            return Ok(cached.frozen.clone());
+        }
+    }
+    let frozen = Frozen::from_snapshot(path)?;
+    *slot = Some(CachedStages {
+        fingerprint: fp,
+        ignore_case: frozen.graph().ignore_case(),
         frozen: frozen.clone(),
     });
     Ok(frozen)
@@ -418,6 +488,94 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_source_matches_map_pipeline_byte_for_byte() {
+        let map_path = temp("snap-src.map");
+        std::fs::write(&map_path, MAP).unwrap();
+        let options = Options {
+            local: Some("unc".into()),
+            ..Default::default()
+        };
+
+        // Freeze the world to a .pagf, as `pathalias freeze` would.
+        let mut parsed = Parsed::new();
+        parsed.push_file(&map_path).unwrap();
+        let frozen = parsed.build(&options).unwrap().freeze();
+        let pagf_path = temp("snap-src.pagf");
+        frozen.write_snapshot(&pagf_path).unwrap();
+
+        let from_map = MapSource::map_files(vec![map_path.clone()], options.clone())
+            .load()
+            .unwrap();
+        let from_snapshot = MapSource::frozen_snapshot(pagf_path.clone(), options)
+            .load()
+            .unwrap();
+        assert_eq!(from_map.len(), from_snapshot.len());
+        for e in from_map.iter() {
+            assert_eq!(
+                from_snapshot.get(&e.name).map(|s| s.route.clone()),
+                Some(e.route.clone()),
+                "route to {} differs",
+                e.name
+            );
+        }
+
+        std::fs::remove_file(map_path).unwrap();
+        std::fs::remove_file(pagf_path).unwrap();
+    }
+
+    #[test]
+    fn unchanged_snapshot_reuses_the_frozen_stage() {
+        let map_path = temp("snap-reuse.map");
+        std::fs::write(&map_path, MAP).unwrap();
+        let options = Options {
+            local: Some("unc".into()),
+            ..Default::default()
+        };
+        let mut parsed = Parsed::new();
+        parsed.push_file(&map_path).unwrap();
+        let frozen = parsed.build(&options).unwrap().freeze();
+        let pagf_path = temp("snap-reuse.pagf");
+        frozen.write_snapshot(&pagf_path).unwrap();
+
+        let source = MapSource::frozen_snapshot(pagf_path.clone(), options);
+        let MapSource::FrozenSnapshot { cache, .. } = &source else {
+            unreachable!()
+        };
+        assert!(cache.snapshot().is_none(), "cache starts cold");
+        source.load().unwrap();
+        let snap1 = cache.snapshot().expect("cache warm after first load");
+        source.load().unwrap();
+        let snap2 = cache.snapshot().unwrap();
+        assert!(
+            Arc::ptr_eq(&snap1, &snap2),
+            "unchanged .pagf skips the re-read"
+        );
+
+        // Rewriting the snapshot (newer mtime) invalidates the cache.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        frozen.write_snapshot(&pagf_path).unwrap();
+        source.load().unwrap();
+        let snap3 = cache.snapshot().unwrap();
+        assert!(!Arc::ptr_eq(&snap1, &snap3), "changed file re-loads");
+
+        std::fs::remove_file(map_path).unwrap();
+        std::fs::remove_file(pagf_path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_reports_not_panics() {
+        let bad = temp("bad.pagf");
+        std::fs::write(&bad, "PAGF1\nnot really").unwrap();
+        assert!(matches!(
+            MapSource::frozen_snapshot(bad.clone(), Options::default()).load(),
+            Err(LoadError::Snapshot(_))
+        ));
+        let missing = MapSource::frozen_snapshot(temp("missing.pagf"), Options::default());
+        assert!(matches!(missing.load(), Err(LoadError::Io(_))));
+        std::fs::remove_file(bad).unwrap();
+    }
+
+    #[test]
     fn load_failure_reports_not_panics() {
         let missing = MapSource::Routes(temp("definitely-missing"));
         assert!(matches!(missing.load(), Err(LoadError::Io(_))));
@@ -472,6 +630,10 @@ mod tests {
             vec![p.clone()]
         );
         assert_eq!(MapSource::Routes(p.clone()).watch_paths(), vec![p.clone()]);
+        assert_eq!(
+            MapSource::frozen_snapshot(p.clone(), Options::default()).watch_paths(),
+            vec![p.clone()]
+        );
         let m = MapSource::map_files(vec![p.clone(), p.clone()], Options::default());
         assert_eq!(m.watch_paths().len(), 2);
     }

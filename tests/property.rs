@@ -38,7 +38,7 @@ fn bellman_ford(n: usize, edges: &[(usize, usize, u64)], src: usize) -> Vec<Opti
         for &(u, v, c) in edges {
             if let Some(du) = dist[u] {
                 let cand = du + c;
-                if dist[v].is_none_or(|dv| cand < dv) {
+                if dist[v].map_or(true, |dv| cand < dv) {
                     dist[v] = Some(cand);
                     changed = true;
                 }
