@@ -190,6 +190,39 @@ fn bench_serve(c: &mut Criterion) {
     mmap_client.quit().unwrap();
     mmap_handle.shutdown();
 
+    // Altitude 2e: sharded multi-map serving — the same table behind
+    // three namespaces, batches rotating across them, so every round
+    // trip pays the `@name` dispatch on top of the MQUERY path. The
+    // number to compare against query-batched: the multi-map layer
+    // should cost roughly nothing.
+    let multi_handle = Server::start(ServerConfig::ephemeral_set(vec![
+        ("west".to_string(), MapSource::Routes(routes_path.clone())),
+        ("east".to_string(), MapSource::Routes(routes_path.clone())),
+        ("local".to_string(), MapSource::Routes(routes_path.clone())),
+    ]))
+    .expect("multi-map bench server starts");
+    let mut multi_client = Client::connect(multi_handle.tcp_addr().unwrap()).unwrap();
+    multi_client.negotiate().unwrap();
+    const MAPS: [&str; 3] = ["west", "east", "local"];
+    let mut i = 0usize;
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_with_input(
+        BenchmarkId::new("multi-map-batched", BATCH),
+        &BATCH,
+        |b, &batch| {
+            b.iter(|| {
+                let map = MAPS[i % MAPS.len()];
+                let queries: Vec<(&str, Option<&str>)> = (0..batch)
+                    .map(|k| (hosts[(i + k) % hosts.len()].as_str(), Some("user")))
+                    .collect();
+                i = i.wrapping_add(batch);
+                black_box(multi_client.query_batch_on(Some(map), &queries).unwrap())
+            });
+        },
+    );
+    multi_client.quit().unwrap();
+    multi_handle.shutdown();
+
     group.finish();
     std::fs::remove_file(routes_path).unwrap();
     std::fs::remove_file(padb_path).unwrap();

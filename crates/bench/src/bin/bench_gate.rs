@@ -12,8 +12,14 @@
 //! bench_gate --baseline BENCH_serve.json --baseline BENCH_map.json \
 //!            --results serve.txt --results dijkstra.txt \
 //!            --gate serve/resolve-in-memory --gate dijkstra-large-map/csr \
-//!            [--max-regress-pct 30]
+//!            [--report serve/multi-map-batched/64] [--max-regress-pct 30]
 //! ```
+//!
+//! `--report` names a benchmark to *show* without gating on it — the
+//! on-ramp for new headlines: the number appears in every CI run (and
+//! in the uploaded trend artifacts) while it accumulates enough
+//! history to justify a baseline, but cannot fail the build, even
+//! when it is missing from the output or has no baseline yet.
 //!
 //! The baselines are plain JSON written by hand alongside bench
 //! updates; rather than grow a JSON dependency, the tiny subset used
@@ -69,6 +75,7 @@ struct Args {
     baselines: Vec<String>,
     results: Vec<String>,
     gates: Vec<String>,
+    reports: Vec<String>,
     max_regress_pct: f64,
 }
 
@@ -77,6 +84,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         baselines: Vec::new(),
         results: Vec::new(),
         gates: Vec::new(),
+        reports: Vec::new(),
         max_regress_pct: 30.0,
     };
     let mut it = argv.iter();
@@ -90,6 +98,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--baseline" => args.baselines.push(value("--baseline")?),
             "--results" => args.results.push(value("--results")?),
             "--gate" => args.gates.push(value("--gate")?),
+            "--report" => args.reports.push(value("--report")?),
             "--max-regress-pct" => {
                 args.max_regress_pct = value("--max-regress-pct")?
                     .parse()
@@ -98,8 +107,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             other => return Err(format!("unknown argument {other}")),
         }
     }
-    if args.baselines.is_empty() || args.results.is_empty() || args.gates.is_empty() {
-        return Err("need at least one --baseline, --results and --gate".to_string());
+    if args.baselines.is_empty() || args.results.is_empty() {
+        return Err("need at least one --baseline and --results".to_string());
+    }
+    if args.gates.is_empty() && args.reports.is_empty() {
+        return Err("need at least one --gate or --report".to_string());
     }
     Ok(args)
 }
@@ -152,6 +164,32 @@ fn main() -> ExitCode {
             args.max_regress_pct,
         );
         failed |= !ok;
+    }
+    // Non-gating headlines: always shown, never fatal.
+    for report in &args.reports {
+        match (baseline.get(report), measured.get(report)) {
+            (Some(&base), Some(&now)) => {
+                let delta_pct = (now - base) / base * 100.0;
+                println!(
+                    "bench_gate: report {report}: baseline {base:.0} ns, measured {now:.0} ns \
+                     ({delta_pct:+.1}%, not gated)"
+                );
+            }
+            (None, Some(&now)) => {
+                println!(
+                    "bench_gate: report {report}: measured {now:.0} ns (new headline, no baseline)"
+                );
+            }
+            (Some(&base), None) => {
+                println!(
+                    "bench_gate: report {report}: baseline {base:.0} ns, missing from the bench \
+                     output (not gated)"
+                );
+            }
+            (None, None) => {
+                println!("bench_gate: report {report}: not found anywhere (not gated)");
+            }
+        }
     }
     if failed {
         ExitCode::FAILURE
@@ -212,6 +250,20 @@ benchmark not-a-real-line\n";
         assert!(parse_args(&v(&[])).is_err());
         assert!(parse_args(&v(&["--baseline", "b.json"])).is_err());
         assert!(parse_args(&v(&["--gate"])).is_err());
+        // A --report alone satisfies the "something to check" rule;
+        // neither gates nor reports is an error.
+        let r = parse_args(&v(&[
+            "--baseline",
+            "b.json",
+            "--results",
+            "r.txt",
+            "--report",
+            "serve/multi-map-batched/64",
+        ]))
+        .unwrap();
+        assert!(r.gates.is_empty());
+        assert_eq!(r.reports, vec!["serve/multi-map-batched/64"]);
+        assert!(parse_args(&v(&["--baseline", "b", "--results", "r"])).is_err());
         let a = parse_args(&v(&[
             "--baseline",
             "b.json",

@@ -7,13 +7,14 @@ usage: pathalias [-l host] [-c] [-i] [-v] [-n] [-s] [-t host]... [file ...]
        pathalias mapgen [--hosts N] [--seed N] [--paper-scale]
        pathalias freeze -o out.pagf [-i] [file ...]
        pathalias query -d route-file destination [user]
-       pathalias serve (--padb F | --routes F | --map F... | --pagf F)
+       pathalias serve (--padb F | --routes F | --map F... | --pagf F
+                        | --map-set NAME=KIND:PATHS... [--default-map NAME])
                  [--backend B]
                  [--listen addr] [--unix path] [--cache N] [--shards N]
                  [--watch [--watch-interval-ms N]] [-l host] [-i]
-       pathalias serve (--connect addr | --unix path)
+       pathalias serve (--connect addr | --unix path) [--map-name NAME]
                  (--query host... [--user u] | --stats | --reload
-                  | --health | --shutdown)
+                  | --health | --maps | --shutdown)
 
 options:
   -l host   local host (mapping source); default: first host in input
@@ -45,14 +46,25 @@ serve (daemon mode; default listen 127.0.0.1:4175):
   --cache N     lookup-cache capacity in entries (default 4096)
   --shards N    lookup-cache shard count (default 8)
   --watch       poll the source file(s) and hot-reload when they change
+                (with --map-set, each map reloads independently)
   --watch-interval-ms N   watch poll interval (default 2000)
+  --map-set NAME=KIND:PATHS   serve several named maps at once
+                (repeatable). KIND is map, routes, padb, padb-mmap or
+                pagf; PATHS is one file (comma-separated list for
+                KIND=map). Example:
+                  --map-set global=pagf:world.pagf \\
+                  --map-set regional=map:east.map,west.map
+  --default-map NAME   the map unqualified queries hit (default: the
+                first --map-set entry)
 
 serve (client mode):
   --connect A   talk to a daemon over TCP
   --unix P      talk to a daemon over a Unix socket
   --query HOST  print the route to HOST (with --user substituted);
                 repeatable: several hosts go as one batched round trip
+  --map-name N  run the verb against map namespace N (protocol v2)
   --stats | --reload | --health | --shutdown   the other protocol verbs
+  --maps        list the map namespaces the daemon serves
 ";
 
 /// Parsed command line.
@@ -159,6 +171,76 @@ pub enum Backend {
     Pagf,
 }
 
+/// The source shape of one `--map-set` member.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum SourceKind {
+    /// `map:` — map files through the full pipeline.
+    Map,
+    /// `routes:` — a linear route file.
+    Routes,
+    /// `padb:` — a PADB1 database loaded into memory.
+    Padb,
+    /// `padb-mmap:` — a PADB1 database served in place.
+    PadbMmap,
+    /// `pagf:` — a PAGF1 frozen-graph snapshot.
+    Pagf,
+}
+
+/// One `--map-set NAME=KIND:PATHS` entry.
+#[derive(Debug, PartialEq, Eq, Clone)]
+pub struct MapSetEntry {
+    /// The namespace name (`@name` on the wire).
+    pub name: String,
+    /// The source shape.
+    pub kind: SourceKind,
+    /// Source files: exactly one, except `KIND=map` which takes a
+    /// comma-separated list.
+    pub paths: Vec<String>,
+}
+
+/// Parses one `NAME=KIND:PATHS` map-set spec.
+fn parse_map_set_entry(spec: &str) -> Result<MapSetEntry, String> {
+    let (name, rest) = spec
+        .split_once('=')
+        .ok_or_else(|| format!("--map-set wants NAME=KIND:PATHS, got `{spec}`"))?;
+    // The server's wire-format rule is the single source of truth for
+    // what a namespace may be called.
+    if !pathalias_server::valid_map_name(name) {
+        return Err(format!(
+            "--map-set: map name `{name}` must be non-empty, without whitespace, `,` or `@`"
+        ));
+    }
+    let (kind, arg) = rest
+        .split_once(':')
+        .ok_or_else(|| format!("--map-set `{name}` wants KIND:PATHS after `=`"))?;
+    let kind = match kind {
+        "map" => SourceKind::Map,
+        "routes" => SourceKind::Routes,
+        "padb" => SourceKind::Padb,
+        "padb-mmap" => SourceKind::PadbMmap,
+        "pagf" => SourceKind::Pagf,
+        other => {
+            return Err(format!(
+                "--map-set `{name}`: unknown kind `{other}` (want map, routes, padb, \
+                 padb-mmap or pagf)"
+            ))
+        }
+    };
+    let paths: Vec<String> = match kind {
+        // Only the map pipeline takes several files.
+        SourceKind::Map => arg.split(',').map(str::to_string).collect(),
+        _ => vec![arg.to_string()],
+    };
+    if paths.iter().any(String::is_empty) {
+        return Err(format!("--map-set `{name}`: empty path in `{arg}`"));
+    }
+    Ok(MapSetEntry {
+        name: name.to_string(),
+        kind,
+        paths,
+    })
+}
+
 /// Daemon-mode arguments.
 #[derive(Debug, PartialEq, Eq)]
 pub struct DaemonArgs {
@@ -172,6 +254,11 @@ pub struct DaemonArgs {
     pub pagf: Option<String>,
     /// `--map`: map files for the full pipeline (repeatable).
     pub map_files: Vec<String>,
+    /// `--map-set`: named maps to serve side by side (repeatable);
+    /// exclusive with the single-source flags.
+    pub map_set: Vec<MapSetEntry>,
+    /// `--default-map`: the namespace unqualified queries hit.
+    pub default_map: Option<String>,
     /// `--listen` TCP address; `None` with a Unix socket disables TCP.
     pub listen: Option<String>,
     /// `--unix` socket path.
@@ -197,6 +284,9 @@ pub struct ClientArgs {
     pub connect: Option<String>,
     /// `--unix` socket path.
     pub unix: Option<String>,
+    /// `--map-name`: run the verb against this namespace (`@name` on
+    /// the wire; needs protocol v2 on the daemon).
+    pub map_name: Option<String>,
     /// The protocol action to run.
     pub action: ClientAction,
 }
@@ -218,6 +308,8 @@ pub enum ClientAction {
     Reload,
     /// `--health`.
     Health,
+    /// `--maps`: list the daemon's map namespaces (protocol v2).
+    Maps,
     /// `--shutdown`: ask the daemon to drain and exit (protocol v2).
     Shutdown,
 }
@@ -337,6 +429,9 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
     let mut routes = None;
     let mut pagf = None;
     let mut map_files = Vec::new();
+    let mut map_set: Vec<MapSetEntry> = Vec::new();
+    let mut default_map = None;
+    let mut map_name = None;
     let mut listen = None;
     let mut unix = None;
     let mut cache: Option<usize> = None;
@@ -351,6 +446,7 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
     let mut stats = false;
     let mut reload = false;
     let mut health = false;
+    let mut maps = false;
     let mut shutdown = false;
 
     let mut it = argv.iter();
@@ -372,6 +468,15 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
             "--routes" => routes = Some(take_value("--routes", &mut it)?.clone()),
             "--pagf" => pagf = Some(take_value("--pagf", &mut it)?.clone()),
             "--map" => map_files.push(take_value("--map", &mut it)?.clone()),
+            "--map-set" => {
+                let entry = parse_map_set_entry(take_value("--map-set", &mut it)?)?;
+                if map_set.iter().any(|e| e.name == entry.name) {
+                    return Err(format!("--map-set: duplicate map name `{}`", entry.name));
+                }
+                map_set.push(entry);
+            }
+            "--default-map" => default_map = Some(take_value("--default-map", &mut it)?.clone()),
+            "--map-name" => map_name = Some(take_value("--map-name", &mut it)?.clone()),
             "--listen" => listen = Some(take_value("--listen", &mut it)?.clone()),
             "--unix" => unix = Some(take_value("--unix", &mut it)?.clone()),
             "--cache" => {
@@ -406,6 +511,7 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
             "--stats" => stats = true,
             "--reload" => reload = true,
             "--health" => health = true,
+            "--maps" => maps = true,
             "--shutdown" => shutdown = true,
             other => return Err(format!("serve: unknown argument {other}")),
         }
@@ -415,21 +521,27 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
         + usize::from(stats)
         + usize::from(reload)
         + usize::from(health)
+        + usize::from(maps)
         + usize::from(shutdown);
-    let client_mode = verb_count > 0 || connect.is_some();
+    let client_mode = verb_count > 0 || connect.is_some() || map_name.is_some();
 
     if client_mode {
         if verb_count != 1 {
             return Err(
                 "serve client mode wants exactly one of --query/--stats/--reload/--health/\
-                 --shutdown"
+                 --maps/--shutdown"
                     .to_string(),
             );
         }
-        if padb.is_some() || routes.is_some() || pagf.is_some() || !map_files.is_empty() {
+        if padb.is_some()
+            || routes.is_some()
+            || pagf.is_some()
+            || !map_files.is_empty()
+            || !map_set.is_empty()
+        {
             return Err(
                 "serve: client mode (--connect/--query/--stats/...) conflicts with \
-                 table sources (--padb/--routes/--map/--pagf)"
+                 table sources (--padb/--routes/--map/--pagf/--map-set)"
                     .to_string(),
             );
         }
@@ -443,6 +555,7 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
             (ignore_case, "-i"),
             (watch, "--watch"),
             (watch_interval_ms.is_some(), "--watch-interval-ms"),
+            (default_map.is_some(), "--default-map"),
         ] {
             if given {
                 return Err(format!("serve: {flag} only makes sense in daemon mode"));
@@ -450,6 +563,12 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
         }
         if connect.is_some() == unix.is_some() {
             return Err("serve client mode wants exactly one of --connect/--unix".to_string());
+        }
+        if map_name.is_some() && (maps || shutdown) {
+            return Err(
+                "serve: --map-name only makes sense with --query/--stats/--reload/--health"
+                    .to_string(),
+            );
         }
         let action = if !query_hosts.is_empty() {
             ClientAction::Query {
@@ -462,6 +581,8 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
             ClientAction::Stats
         } else if reload {
             ClientAction::Reload
+        } else if maps {
+            ClientAction::Maps
         } else if shutdown {
             ClientAction::Shutdown
         } else {
@@ -470,6 +591,7 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
         return Ok(Command::Serve(ServeArgs::Client(ClientArgs {
             connect,
             unix,
+            map_name,
             action,
         })));
     }
@@ -478,8 +600,48 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
         + usize::from(routes.is_some())
         + usize::from(pagf.is_some())
         + usize::from(!map_files.is_empty());
-    if sources != 1 {
-        return Err("serve wants exactly one of --padb/--routes/--map/--pagf".to_string());
+    if !map_set.is_empty() {
+        if sources != 0 {
+            return Err("serve: --map-set conflicts with the single-source flags \
+                 (--padb/--routes/--map/--pagf)"
+                .to_string());
+        }
+        if backend.is_some() {
+            return Err(
+                "serve: --backend only applies to a single source; --map-set names \
+                 each member's kind (e.g. NAME=padb-mmap:FILE)"
+                    .to_string(),
+            );
+        }
+        if let Some(name) = &default_map {
+            if !map_set.iter().any(|e| &e.name == name) {
+                return Err(format!(
+                    "serve: --default-map `{name}` is not in the --map-set"
+                ));
+            }
+        }
+        // Same contradiction the single-source form rejects: case
+        // folding is baked into a snapshot at freeze time, so -i
+        // cannot apply to a pagf member and must not be silently
+        // ignored for it.
+        if ignore_case {
+            if let Some(entry) = map_set.iter().find(|e| e.kind == SourceKind::Pagf) {
+                return Err(format!(
+                    "serve: -i is baked into the snapshot at freeze time and cannot apply \
+                     to map-set member `{}`; refreeze with `pathalias freeze -i`",
+                    entry.name
+                ));
+            }
+        }
+    } else {
+        if default_map.is_some() {
+            return Err("serve: --default-map only makes sense with --map-set".to_string());
+        }
+        if sources != 1 {
+            return Err(
+                "serve wants exactly one of --padb/--routes/--map/--pagf/--map-set".to_string(),
+            );
+        }
     }
     // A snapshot source *is* the pagf backend; naming any other
     // backend for it (or the pagf backend without a snapshot) is a
@@ -520,6 +682,8 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
         routes,
         pagf,
         map_files,
+        map_set,
+        default_map,
         listen,
         unix,
         cache: cache.unwrap_or(4096),
@@ -768,6 +932,179 @@ mod tests {
         assert!(!d.watch);
         assert!(parse(&v(&["serve", "--routes", "r", "--watch-interval-ms", "5"])).is_err());
         assert!(parse(&v(&["serve", "--connect", "a:1", "--stats", "--watch"])).is_err());
+    }
+
+    #[test]
+    fn serve_map_set_args() {
+        let Command::Serve(ServeArgs::Daemon(d)) = parse(&v(&[
+            "serve",
+            "--map-set",
+            "global=pagf:world.pagf",
+            "--map-set",
+            "regional=map:east.map,west.map",
+            "--map-set",
+            "local=routes:overrides.txt",
+            "--default-map",
+            "regional",
+            "-l",
+            "home",
+        ]))
+        .unwrap() else {
+            panic!("expected daemon");
+        };
+        assert_eq!(d.map_set.len(), 3);
+        assert_eq!(d.map_set[0].name, "global");
+        assert_eq!(d.map_set[0].kind, SourceKind::Pagf);
+        assert_eq!(d.map_set[0].paths, vec!["world.pagf"]);
+        assert_eq!(d.map_set[1].kind, SourceKind::Map);
+        assert_eq!(d.map_set[1].paths, vec!["east.map", "west.map"]);
+        assert_eq!(d.map_set[2].kind, SourceKind::Routes);
+        assert_eq!(d.default_map.as_deref(), Some("regional"));
+        assert_eq!(d.local.as_deref(), Some("home"));
+
+        // padb and padb-mmap kinds parse too.
+        let Command::Serve(ServeArgs::Daemon(d)) = parse(&v(&[
+            "serve",
+            "--map-set",
+            "a=padb:a.padb",
+            "--map-set",
+            "b=padb-mmap:b.padb",
+        ]))
+        .unwrap() else {
+            panic!("expected daemon");
+        };
+        assert_eq!(d.map_set[0].kind, SourceKind::Padb);
+        assert_eq!(d.map_set[1].kind, SourceKind::PadbMmap);
+    }
+
+    #[test]
+    fn serve_map_set_rejects_malformed() {
+        // Bad spec grammar.
+        assert!(parse(&v(&["serve", "--map-set", "noequals"])).is_err());
+        assert!(parse(&v(&["serve", "--map-set", "a=nopaths"])).is_err());
+        assert!(parse(&v(&["serve", "--map-set", "a=turbo:f"])).is_err());
+        assert!(parse(&v(&["serve", "--map-set", "=routes:f"])).is_err());
+        assert!(parse(&v(&["serve", "--map-set", "a b=routes:f"])).is_err());
+        assert!(parse(&v(&["serve", "--map-set", "a,b=routes:f"])).is_err());
+        assert!(parse(&v(&["serve", "--map-set", "@a=routes:f"])).is_err());
+        assert!(parse(&v(&["serve", "--map-set", "a=routes:"])).is_err());
+        assert!(parse(&v(&["serve", "--map-set", "a=map:x.map,,y.map"])).is_err());
+        // Duplicate names.
+        assert!(parse(&v(&[
+            "serve",
+            "--map-set",
+            "a=routes:f",
+            "--map-set",
+            "a=routes:g"
+        ]))
+        .is_err());
+        // Conflicts with single-source flags and --backend.
+        assert!(parse(&v(&["serve", "--map-set", "a=routes:f", "--routes", "g"])).is_err());
+        assert!(parse(&v(&["serve", "--map-set", "a=routes:f", "--padb", "g"])).is_err());
+        assert!(parse(&v(&[
+            "serve",
+            "--map-set",
+            "a=routes:f",
+            "--backend",
+            "memory"
+        ]))
+        .is_err());
+        // --default-map must name a member, and needs --map-set.
+        assert!(parse(&v(&[
+            "serve",
+            "--map-set",
+            "a=routes:f",
+            "--default-map",
+            "b"
+        ]))
+        .is_err());
+        // -i cannot change a snapshot member's baked-in case folding
+        // (mirrors the single-source --pagf check); other kinds accept
+        // it.
+        assert!(parse(&v(&["serve", "--map-set", "a=pagf:w.pagf", "-i"])).is_err());
+        assert!(parse(&v(&[
+            "serve",
+            "--map-set",
+            "a=map:x.map",
+            "--map-set",
+            "b=pagf:w.pagf",
+            "-i"
+        ]))
+        .is_err());
+        assert!(parse(&v(&["serve", "--map-set", "a=map:x.map", "-i"])).is_ok());
+        assert!(parse(&v(&["serve", "--routes", "f", "--default-map", "a"])).is_err());
+        // Client mode rejects the daemon-side map flags.
+        assert!(parse(&v(&[
+            "serve",
+            "--connect",
+            "a:1",
+            "--stats",
+            "--map-set",
+            "a=routes:f"
+        ]))
+        .is_err());
+        assert!(parse(&v(&[
+            "serve",
+            "--connect",
+            "a:1",
+            "--stats",
+            "--default-map",
+            "a"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn serve_client_map_name_and_maps() {
+        let Command::Serve(ServeArgs::Client(c)) = parse(&v(&[
+            "serve",
+            "--connect",
+            "a:1",
+            "--map-name",
+            "regional",
+            "--query",
+            "seismo",
+        ]))
+        .unwrap() else {
+            panic!("expected client");
+        };
+        assert_eq!(c.map_name.as_deref(), Some("regional"));
+
+        let Command::Serve(ServeArgs::Client(c)) =
+            parse(&v(&["serve", "--connect", "a:1", "--maps"])).unwrap()
+        else {
+            panic!("expected client");
+        };
+        assert_eq!(c.action, ClientAction::Maps);
+        assert_eq!(c.map_name, None);
+
+        // --maps is a verb like the others: exclusive; takes no map
+        // name; --map-name without a verb defaults to... nothing —
+        // it needs a verb that shards.
+        assert!(parse(&v(&["serve", "--connect", "a:1", "--maps", "--stats"])).is_err());
+        assert!(parse(&v(&[
+            "serve",
+            "--connect",
+            "a:1",
+            "--maps",
+            "--map-name",
+            "a"
+        ]))
+        .is_err());
+        assert!(parse(&v(&[
+            "serve",
+            "--connect",
+            "a:1",
+            "--shutdown",
+            "--map-name",
+            "a"
+        ]))
+        .is_err());
+        // --map-name with --stats/--reload/--health is fine.
+        for verb in ["--stats", "--reload", "--health"] {
+            let parsed = parse(&v(&["serve", "--connect", "a:1", verb, "--map-name", "m"]));
+            assert!(parsed.is_ok(), "{verb} with --map-name should parse");
+        }
     }
 
     #[test]

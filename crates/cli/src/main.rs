@@ -26,7 +26,7 @@ mod args;
 
 use args::{
     Backend, ClientAction, ClientArgs, Command, DaemonArgs, FreezeArgs, MapgenArgs, QueryArgs,
-    RunArgs, ServeArgs,
+    RunArgs, ServeArgs, SourceKind,
 };
 
 fn main() -> ExitCode {
@@ -207,29 +207,54 @@ fn cmd_freeze(fz: FreezeArgs) -> ExitCode {
 }
 
 fn cmd_serve_daemon(d: DaemonArgs) -> ExitCode {
-    let source = if let Some(path) = d.padb {
-        match d.backend {
-            Backend::PadbMmap => MapSource::PadbMmap(path.into()),
-            Backend::Memory | Backend::Pagf => MapSource::Padb(path.into()),
-        }
-    } else if let Some(path) = d.pagf {
-        let options = Options {
-            local: d.local,
-            ..Options::default()
-        };
-        MapSource::frozen_snapshot(path.into(), options)
-    } else if let Some(path) = d.routes {
-        MapSource::Routes(path.into())
-    } else {
-        let options = Options {
-            local: d.local,
-            ignore_case: d.ignore_case,
-            ..Options::default()
-        };
-        MapSource::map_files(d.map_files.into_iter().map(Into::into).collect(), options)
+    let options = Options {
+        local: d.local.clone(),
+        ignore_case: d.ignore_case,
+        ..Options::default()
     };
+    let maps: Vec<(String, MapSource)> = if !d.map_set.is_empty() {
+        // Several named maps, each from its own source shape. The
+        // pipeline options (-l, -i) apply to every map/pagf member.
+        d.map_set
+            .into_iter()
+            .map(|entry| {
+                let path = || entry.paths[0].clone().into();
+                let source = match entry.kind {
+                    SourceKind::Map => MapSource::map_files(
+                        entry.paths.iter().map(Into::into).collect(),
+                        options.clone(),
+                    ),
+                    SourceKind::Routes => MapSource::Routes(path()),
+                    SourceKind::Padb => MapSource::Padb(path()),
+                    SourceKind::PadbMmap => MapSource::PadbMmap(path()),
+                    SourceKind::Pagf => MapSource::frozen_snapshot(path(), options.clone()),
+                };
+                (entry.name, source)
+            })
+            .collect()
+    } else {
+        let source = if let Some(path) = d.padb {
+            match d.backend {
+                Backend::PadbMmap => MapSource::PadbMmap(path.into()),
+                Backend::Memory | Backend::Pagf => MapSource::Padb(path.into()),
+            }
+        } else if let Some(path) = d.pagf {
+            let options = Options {
+                local: d.local,
+                ..Options::default()
+            };
+            MapSource::frozen_snapshot(path.into(), options)
+        } else if let Some(path) = d.routes {
+            MapSource::Routes(path.into())
+        } else {
+            MapSource::map_files(d.map_files.into_iter().map(Into::into).collect(), options)
+        };
+        vec![(pathalias_server::DEFAULT_MAP_NAME.to_string(), source)]
+    };
+    let multi_map = maps.len() > 1;
     let config = ServerConfig {
-        source,
+        maps,
+        default_map: d.default_map,
         tcp: d.listen,
         unix: d.unix.map(Into::into),
         cache_capacity: d.cache,
@@ -245,16 +270,43 @@ fn cmd_serve_daemon(d: DaemonArgs) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (generation, entries) = handle.table_info();
+    // Announce lines go out with write errors ignored: a consumer
+    // that reads only the address line and closes the pipe (`| head
+    // -1`, a test scraping the port) must not panic the daemon out of
+    // existence mid-startup.
+    let mut stdout = std::io::stdout();
     if let Some(addr) = handle.tcp_addr() {
-        println!("pathalias-server listening on tcp {addr}");
+        let _ = writeln!(stdout, "pathalias-server listening on tcp {addr}");
     }
     if let Some(path) = handle.unix_path() {
-        println!("pathalias-server listening on unix {}", path.display());
+        let _ = writeln!(
+            stdout,
+            "pathalias-server listening on unix {}",
+            path.display()
+        );
     }
-    println!("pathalias-server serving {entries} entries (generation {generation})");
+    if multi_map {
+        let default_name = handle.default_map_name().to_string();
+        for (name, kind, generation, entries) in handle.map_infos() {
+            let marker = if name == default_name {
+                " [default]"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                stdout,
+                "pathalias-server map {name} ({kind}): {entries} entries \
+                 (generation {generation}){marker}"
+            );
+        }
+    }
+    let (generation, entries) = handle.table_info();
+    let _ = writeln!(
+        stdout,
+        "pathalias-server serving {entries} entries (generation {generation})"
+    );
     // Scripts scrape the ephemeral port from the lines above.
-    let _ = std::io::stdout().flush();
+    let _ = stdout.flush();
     handle.wait();
     ExitCode::SUCCESS
 }
@@ -282,9 +334,10 @@ fn cmd_serve_client(c: ClientArgs) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let map = c.map_name.as_deref();
     let outcome = match &c.action {
         ClientAction::Query { hosts, user } if hosts.len() == 1 => {
-            match client.query(&hosts[0], user.as_deref()) {
+            match client.query_on(map, &hosts[0], user.as_deref()) {
                 Ok(Some(route)) => {
                     println!("{route}");
                     Ok(())
@@ -304,7 +357,7 @@ fn cmd_serve_client(c: ClientArgs) -> ExitCode {
                 .iter()
                 .map(|h| (h.as_str(), user.as_deref()))
                 .collect();
-            match client.query_batch(&queries) {
+            match client.query_batch_on(map, &queries) {
                 Ok(results) => {
                     let mut missing = false;
                     for (host, result) in hosts.iter().zip(results) {
@@ -324,9 +377,18 @@ fn cmd_serve_client(c: ClientArgs) -> ExitCode {
                 Err(e) => Err(e),
             }
         }
-        ClientAction::Stats => client.stats().map(|s| println!("{s}")),
-        ClientAction::Reload => client.reload().map(|s| println!("{s}")),
-        ClientAction::Health => client.health().map(|s| println!("{s}")),
+        ClientAction::Stats => client.stats_on(map).map(|s| println!("{s}")),
+        ClientAction::Reload => client.reload_on(map).map(|s| println!("{s}")),
+        ClientAction::Health => client.health_on(map).map(|s| println!("{s}")),
+        ClientAction::Maps => client.maps().map(|info| {
+            for name in &info.names {
+                if *name == info.default {
+                    println!("{name} (default)");
+                } else {
+                    println!("{name}");
+                }
+            }
+        }),
         ClientAction::Shutdown => {
             // shutdown() consumes the client (the server closes the
             // connection after answering).

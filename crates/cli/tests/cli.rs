@@ -393,3 +393,90 @@ fn freeze_reports_errors() {
     assert!(stderr.contains("pathalias:"), "{stderr}");
     assert!(!out_path.exists(), "no snapshot on failure");
 }
+
+#[test]
+fn serve_map_set_end_to_end() {
+    // A daemon serving three namespaces through `--map-set`, driven
+    // entirely through the CLI client: `--maps`, `--map-name`
+    // qualified queries/stats/reload, and the default-map contract.
+    let dir = std::env::temp_dir();
+    let tag = std::process::id();
+    let west = dir.join(format!("pa-cli-ms-west-{tag}.routes"));
+    let east = dir.join(format!("pa-cli-ms-east-{tag}.routes"));
+    let pipe = dir.join(format!("pa-cli-ms-pipe-{tag}.map"));
+    std::fs::write(&west, "h\twest-gw!h!%s\n").unwrap();
+    std::fs::write(&east, "h\teast-gw!h!%s\n").unwrap();
+    std::fs::write(
+        &pipe,
+        "unc\tduke(100), phs(400)\nduke\tunc(100), research(200)\n\
+         phs\tunc(400)\nresearch\tduke(200)\n",
+    )
+    .unwrap();
+
+    let (mut daemon, addr) = spawn_daemon(&[
+        "serve",
+        "--map-set",
+        &format!("west=routes:{}", west.display()),
+        "--map-set",
+        &format!("east=routes:{}", east.display()),
+        "--map-set",
+        &format!("pipe=map:{}", pipe.display()),
+        "--default-map",
+        "east",
+        "-l",
+        "unc",
+        "--listen",
+        "127.0.0.1:0",
+    ]);
+
+    let client = |args: &[&str]| -> (String, bool) {
+        let mut cmd = Command::new(BIN);
+        cmd.args(["serve", "--connect", &addr]);
+        cmd.args(args);
+        let out = cmd.output().unwrap();
+        (
+            String::from_utf8_lossy(&out.stdout).to_string(),
+            out.status.success(),
+        )
+    };
+
+    let (maps, ok) = client(&["--maps"]);
+    assert!(ok);
+    assert_eq!(maps, "west\neast (default)\npipe\n");
+
+    let (route, ok) = client(&["--query", "h", "--user", "u"]);
+    assert!(ok);
+    assert_eq!(route, "east-gw!h!u\n", "unqualified hits the default map");
+
+    let (route, ok) = client(&["--map-name", "west", "--query", "h", "--user", "u"]);
+    assert!(ok);
+    assert_eq!(route, "west-gw!h!u\n");
+
+    let (route, ok) = client(&["--map-name", "pipe", "--query", "research", "--user", "u"]);
+    assert!(ok);
+    assert_eq!(route, "duke!research!u\n");
+
+    let (stats, ok) = client(&["--map-name", "pipe", "--stats"]);
+    assert!(ok);
+    assert!(stats.starts_with("map=pipe queries="), "{stats}");
+
+    let (reloaded, ok) = client(&["--map-name", "west", "--reload"]);
+    assert!(ok);
+    assert!(
+        reloaded.starts_with("reloaded map=west generation=1"),
+        "{reloaded}"
+    );
+    let (health, ok) = client(&["--map-name", "east", "--health"]);
+    assert!(ok);
+    assert!(health.contains("generation=0"), "east untouched: {health}");
+
+    let (_, ok) = client(&["--map-name", "bogus", "--query", "h"]);
+    assert!(!ok, "unknown map must fail the exit code");
+
+    let (_, ok) = client(&["--shutdown"]);
+    assert!(ok);
+    let _ = daemon.wait();
+    for f in [west, east, pipe] {
+        std::fs::remove_file(f).unwrap();
+    }
+}

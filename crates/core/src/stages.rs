@@ -73,6 +73,19 @@ impl Parsed {
         Ok(())
     }
 
+    /// Reads and adds several input files, in order — the shape every
+    /// multi-file caller (CLI file lists, the server's map sources)
+    /// wants. Stops at the first unreadable file.
+    pub fn push_files(
+        &mut self,
+        paths: impl IntoIterator<Item = impl AsRef<Path>>,
+    ) -> std::io::Result<()> {
+        for path in paths {
+            self.push_file(path)?;
+        }
+        Ok(())
+    }
+
     /// The inputs accumulated so far.
     pub fn inputs(&self) -> &[(String, String)] {
         &self.inputs

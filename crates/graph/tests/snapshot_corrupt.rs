@@ -61,7 +61,8 @@ fn retamp(mut bytes: Vec<u8>) -> Vec<u8> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    // The CI fuzz job cranks case counts via PROPTEST_CASES.
+    #![proptest_config(ProptestConfig::with_cases_env(12))]
 
     /// Any single bit flip anywhere in the file is rejected as
     /// `Corrupt` (the checksum guarantees this), never a panic.

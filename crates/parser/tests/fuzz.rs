@@ -26,7 +26,8 @@ fn convert(t: Tok<'_>) -> slow::OwnedTok {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    // The CI fuzz job cranks case counts via PROPTEST_CASES.
+    #![proptest_config(ProptestConfig::with_cases_env(256))]
 
     /// On inputs drawn from the language's alphabet, both scanners
     /// produce the same token stream or the same rejection.

@@ -17,7 +17,16 @@
 //!
 //! Server-reported failures surface as [`ClientError::Server`] with
 //! the status code and the server's own text, not a generic I/O error.
+//!
+//! Every query/stats/reload/health verb also comes in a `*_on` form
+//! taking an optional **map namespace** (`Client::query_on(Some("regional"), …)`),
+//! which frames the v2 `@name` qualifier; [`Client::maps`] lists the
+//! namespaces a daemon serves. Qualified requests need protocol v2 —
+//! against a v1-only daemon they fail with
+//! [`ClientError::InvalidQuery`] *before* anything is sent (a v1
+//! server would silently treat `@name` as a host name).
 
+use crate::daemon::valid_map_name;
 use crate::protocol::ProtoVersion;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
@@ -130,6 +139,15 @@ pub struct Client {
 /// or a typed error.
 pub type QueryResult = Result<Option<String>, ClientError>;
 
+/// What [`Client::maps`] reports: the namespaces a daemon serves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapsInfo {
+    /// Every namespace, in the daemon's declaration order.
+    pub names: Vec<String>,
+    /// The namespace unqualified requests go to.
+    pub default: String,
+}
+
 impl Client {
     /// Connects over TCP.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
@@ -230,14 +248,83 @@ impl Client {
         Ok(proto)
     }
 
+    // ---- map namespaces --------------------------------------------
+
+    /// Validates a map name and makes sure the connection can frame a
+    /// `@name` qualifier (protocol v2). Returns the validated name.
+    /// Nothing is written on error, so the connection stays usable — a
+    /// v1 server must never receive `@name` (it would read it as a
+    /// host).
+    fn check_map(&mut self, map: Option<&str>) -> Result<Option<String>, ClientError> {
+        let Some(name) = map else { return Ok(None) };
+        if !valid_map_name(name) {
+            return Err(ClientError::InvalidQuery(format!(
+                "map name `{name}` cannot be framed on the wire"
+            )));
+        }
+        if self.negotiate()? != ProtoVersion::V2 {
+            return Err(ClientError::InvalidQuery(format!(
+                "map `{name}` needs protocol v2, but the server only speaks v1"
+            )));
+        }
+        Ok(Some(name.to_string()))
+    }
+
+    /// `MAPS` (v2) → the namespaces the daemon serves. Fails with
+    /// [`ClientError::InvalidQuery`] against a v1-only daemon.
+    pub fn maps(&mut self) -> Result<MapsInfo, ClientError> {
+        if self.negotiate()? != ProtoVersion::V2 {
+            return Err(ClientError::InvalidQuery(
+                "MAPS needs protocol v2, but the server only speaks v1".to_string(),
+            ));
+        }
+        let payload = self.expect_200("MAPS")?;
+        // "maps=a,b,c default=a"
+        let mut names = None;
+        let mut default = None;
+        for field in payload.split_whitespace() {
+            if let Some(list) = field.strip_prefix("maps=") {
+                names = Some(list.split(',').map(str::to_string).collect::<Vec<_>>());
+            } else if let Some(d) = field.strip_prefix("default=") {
+                default = Some(d.to_string());
+            }
+        }
+        match (names, default) {
+            (Some(names), Some(default)) => Ok(MapsInfo { names, default }),
+            _ => Err(ClientError::Protocol(format!(
+                "unexpected MAPS payload `{payload}`"
+            ))),
+        }
+    }
+
     // ---- typed verbs -----------------------------------------------
 
     /// `QUERY host [user]` → `Ok(Some(route))`, `Ok(None)` for 404, or
     /// a typed error (`400`/`500` carry the server's text).
     pub fn query(&mut self, host: &str, user: Option<&str>) -> QueryResult {
+        self.query_on(None, host, user)
+    }
+
+    /// [`Client::query`] against a named map namespace (`QUERY @map
+    /// host [user]`, protocol v2). `None` queries the daemon's default
+    /// map, exactly like [`Client::query`].
+    ///
+    /// Hosts may not begin with `@`: on a v2 connection the server
+    /// would read such a token as a map qualifier, silently answering
+    /// a different question. Real host names never start with `@`.
+    pub fn query_on(&mut self, map: Option<&str>, host: &str, user: Option<&str>) -> QueryResult {
+        if host.starts_with('@') {
+            return Err(ClientError::InvalidQuery(format!(
+                "host `{host}` cannot be framed (a leading `@` marks a map qualifier)"
+            )));
+        }
+        let qualifier = match self.check_map(map)? {
+            Some(name) => format!("@{name} "),
+            None => String::new(),
+        };
         let request = match user {
-            Some(u) => format!("QUERY {host} {u}"),
-            None => format!("QUERY {host}"),
+            Some(u) => format!("QUERY {qualifier}{host} {u}"),
+            None => format!("QUERY {qualifier}{host}"),
         };
         let line = self.send(&request)?;
         Self::parse_query_response(&line)
@@ -263,11 +350,32 @@ impl Client {
         &mut self,
         queries: &[(&str, Option<&str>)],
     ) -> Result<Vec<Option<String>>, ClientError> {
+        self.query_batch_on(None, queries)
+    }
+
+    /// [`Client::query_batch`] against a named map namespace (`MQUERY
+    /// @map …`). A named map needs protocol v2: against a v1-only
+    /// server the batch fails with [`ClientError::InvalidQuery`]
+    /// before anything is written (there is no v1 framing for a map
+    /// qualifier). `None` batches against the default map with the v1
+    /// pipelined fallback intact.
+    pub fn query_batch_on(
+        &mut self,
+        map: Option<&str>,
+        queries: &[(&str, Option<&str>)],
+    ) -> Result<Vec<Option<String>>, ClientError> {
         if queries.is_empty() {
             return Ok(Vec::new());
         }
         for (host, user) in queries {
-            if host.is_empty() || host.contains(char::is_whitespace) || host.contains(':') {
+            // `:` is the v2 host:user separator; a leading `@` would
+            // be read as a map qualifier by a v2 server. Neither can
+            // appear in a real host name.
+            if host.is_empty()
+                || host.contains(char::is_whitespace)
+                || host.contains(':')
+                || host.starts_with('@')
+            {
                 return Err(ClientError::InvalidQuery(format!(
                     "host `{host}` cannot be framed in a batch"
                 )));
@@ -280,9 +388,14 @@ impl Client {
                 }
             }
         }
+        let map = self.check_map(map)?;
         match self.negotiate()? {
             ProtoVersion::V2 => {
                 let mut line = String::from("MQUERY");
+                if let Some(name) = &map {
+                    line.push_str(" @");
+                    line.push_str(name);
+                }
                 for (host, user) in queries {
                     line.push(' ');
                     line.push_str(host);
@@ -316,19 +429,47 @@ impl Client {
             .collect()
     }
 
+    /// Frames `VERB` or `VERB @map` after validating the map name.
+    fn qualified(&mut self, verb: &str, map: Option<&str>) -> Result<String, ClientError> {
+        Ok(match self.check_map(map)? {
+            Some(name) => format!("{verb} @{name}"),
+            None => verb.to_string(),
+        })
+    }
+
     /// `STATS` → the key=value payload.
     pub fn stats(&mut self) -> Result<String, ClientError> {
-        self.expect_200("STATS")
+        self.stats_on(None)
+    }
+
+    /// `STATS [@map]` → one map's counters (plus the daemon-wide
+    /// connection counters). `None` reports the default map.
+    pub fn stats_on(&mut self, map: Option<&str>) -> Result<String, ClientError> {
+        let request = self.qualified("STATS", map)?;
+        self.expect_200(&request)
     }
 
     /// `RELOAD` → the `reloaded generation=N entries=N` payload.
     pub fn reload(&mut self) -> Result<String, ClientError> {
-        self.expect_200("RELOAD")
+        self.reload_on(None)
+    }
+
+    /// `RELOAD [@map]`: rebuilds one namespace from its source.
+    /// `None` reloads the default map.
+    pub fn reload_on(&mut self, map: Option<&str>) -> Result<String, ClientError> {
+        let request = self.qualified("RELOAD", map)?;
+        self.expect_200(&request)
     }
 
     /// `HEALTH` → the `ok generation=N entries=N` payload.
     pub fn health(&mut self) -> Result<String, ClientError> {
-        self.expect_200("HEALTH")
+        self.health_on(None)
+    }
+
+    /// `HEALTH [@map]` → one namespace's generation and entry count.
+    pub fn health_on(&mut self, map: Option<&str>) -> Result<String, ClientError> {
+        let request = self.qualified("HEALTH", map)?;
+        self.expect_200(&request)
     }
 
     /// `SHUTDOWN` (v2): asks the daemon to stop accepting and drain.

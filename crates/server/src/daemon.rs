@@ -6,22 +6,28 @@
 //! query rate, and each query is a probe against an immutable
 //! snapshot — microseconds of work between blocking reads.
 //!
-//! The table sits behind a [`Cached<BoxedResolver>`]: any backend that
-//! implements [`pathalias_mailer::Resolver`] — the in-memory
-//! `SharedRouteDb`, the page-cache-backed `MappedDb` — serves through
-//! the same generation-stamped cache. `RELOAD` runs on the requesting
-//! connection's thread under a lock (one rebuild at a time); every
-//! other connection keeps answering queries from the old snapshot
-//! until the atomic swap, so a reload never drops or delays in-flight
-//! traffic.
+//! The daemon serves one or more named **maps** (real sites ran many
+//! overlapping worlds: the regional UUCP map, the global map, local
+//! overrides). Each namespace gets its own [`MapSource`], its own
+//! [`Cached<BoxedResolver>`] snapshot + LRU
+//! cache, its own counters, its own reload lock. Requests carry an
+//! optional `@name` qualifier (protocol v2); unqualified requests go
+//! to the configured default map, so a single-map daemon — and any v1
+//! session — behaves byte-for-byte as it always has.
+//!
+//! `RELOAD [@name]` runs on the requesting connection's thread under
+//! that map's lock (one rebuild per map at a time; different maps may
+//! rebuild concurrently); every other connection keeps answering
+//! queries from the old snapshot until the atomic swap, so a reload
+//! never drops or delays in-flight traffic — on any map.
 //!
 //! Each connection starts in protocol v1 and may negotiate v2 with
 //! `PROTO 2`, unlocking `MQUERY` (batched queries, one flush per
-//! batch) and `SHUTDOWN` (drain and exit). A v1 session is
-//! byte-for-byte the PR-1 protocol.
+//! batch), `MAPS`/`@name` (namespaces), and `SHUTDOWN` (drain and
+//! exit). A v1 session is byte-for-byte the PR-1 protocol.
 
 use crate::index::Cached;
-use crate::metrics::{bump, drop_one, Metrics};
+use crate::metrics::{bump, drop_one, Metrics, ServerMetrics};
 use crate::protocol::{parse_request, ProtoVersion, Request, Response, MAX_LINE};
 use crate::reload::MapSource;
 use pathalias_mailer::{BoxedResolver, ResolveError, Resolver};
@@ -39,32 +45,55 @@ use std::time::{Duration, Instant};
 /// Bounds how long a drain waits on a completely quiet connection.
 const IDLE_POLL: Duration = Duration::from_millis(200);
 
+/// The namespace a single-source config serves under.
+pub const DEFAULT_MAP_NAME: &str = "default";
+
+/// A map name the wire format can carry: `@name` is one token and
+/// `maps=a,b,c` is comma-joined, so names must be non-empty and free
+/// of whitespace, `,` and `@`.
+pub fn valid_map_name(name: &str) -> bool {
+    !name.is_empty() && !name.contains(|c: char| c.is_whitespace() || c == ',' || c == '@')
+}
+
 /// What to serve and where to listen.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Where the route table comes from (initial load and `RELOAD`).
-    pub source: MapSource,
+    /// The named maps to serve, in declaration order (shown by
+    /// `MAPS`). Names must satisfy [`valid_map_name`] and be unique.
+    pub maps: Vec<(String, MapSource)>,
+    /// The namespace unqualified requests go to; `None` means the
+    /// first entry of `maps`.
+    pub default_map: Option<String>,
     /// TCP listen address, e.g. `127.0.0.1:4175` (port 0 = ephemeral).
     /// `None` disables TCP.
     pub tcp: Option<String>,
     /// Unix socket path. `None` disables the Unix listener.
     pub unix: Option<PathBuf>,
-    /// Total entries across the lookup-cache shards.
+    /// Total entries across one map's lookup-cache shards (each map
+    /// gets its own cache of this size).
     pub cache_capacity: usize,
-    /// Number of cache shards.
+    /// Number of cache shards per map.
     pub cache_shards: usize,
-    /// Poll the source files at this interval and reload when their
-    /// mtime or size changes (`serve --watch`). `None` disables the
-    /// watcher; `RELOAD` over the wire always works.
+    /// Poll every map's source files at this interval and reload a map
+    /// when its fingerprint changes (`serve --watch`). `None` disables
+    /// the watcher; `RELOAD` over the wire always works.
     pub watch: Option<Duration>,
 }
 
 impl ServerConfig {
     /// A TCP-only config on an ephemeral loopback port with default
-    /// cache sizing — what tests and examples want.
+    /// cache sizing, serving `source` as the single map
+    /// [`DEFAULT_MAP_NAME`] — what tests and examples want.
     pub fn ephemeral(source: MapSource) -> ServerConfig {
+        ServerConfig::ephemeral_set(vec![(DEFAULT_MAP_NAME.to_string(), source)])
+    }
+
+    /// A TCP-only config on an ephemeral loopback port serving a whole
+    /// map set; the first entry is the default namespace.
+    pub fn ephemeral_set(maps: Vec<(String, MapSource)>) -> ServerConfig {
         ServerConfig {
-            source,
+            maps,
+            default_map: None,
             tcp: Some("127.0.0.1:0".to_string()),
             unix: None,
             cache_capacity: 4096,
@@ -74,13 +103,25 @@ impl ServerConfig {
     }
 }
 
-/// Shared daemon state.
-pub(crate) struct State {
+/// One served namespace: a source, its serving snapshot + cache, and
+/// its counters.
+pub(crate) struct MapState {
+    name: String,
+    source: MapSource,
     cached: Cached<BoxedResolver>,
     metrics: Arc<Metrics>,
-    source: MapSource,
-    /// Serializes rebuilds; queries never take it.
+    /// Serializes rebuilds of *this* map; queries never take it, and
+    /// other maps reload independently.
     reload_lock: Mutex<()>,
+}
+
+/// Shared daemon state.
+pub(crate) struct State {
+    /// The served maps, in declaration order.
+    maps: Vec<Arc<MapState>>,
+    /// Index into `maps` of the default namespace.
+    default_map: usize,
+    server_metrics: Arc<ServerMetrics>,
     shutting_down: AtomicBool,
     /// Where to poke throwaway connections to wake blocking accepts
     /// (filled in by `Server::start` once the listeners are bound).
@@ -90,10 +131,24 @@ pub(crate) struct State {
 }
 
 impl State {
-    /// Resolves one query to its wire response.
-    fn respond_query(&self, host: &str, user: Option<&str>) -> Response {
+    /// The namespace a request targets: the default map when
+    /// unqualified, else a lookup by name. The map count is a handful,
+    /// so a linear scan beats a hash map here.
+    fn map_named(&self, name: Option<&str>) -> Result<&Arc<MapState>, Response> {
+        match name {
+            None => Ok(&self.maps[self.default_map]),
+            Some(n) => self
+                .maps
+                .iter()
+                .find(|m| m.name == n)
+                .ok_or_else(|| Response::BadRequest(format!("unknown map `{n}`"))),
+        }
+    }
+
+    /// Resolves one query against one map to its wire response.
+    fn respond_query(&self, map: &MapState, host: &str, user: Option<&str>) -> Response {
         let user = user.unwrap_or("%s");
-        match self.cached.resolve(host, user) {
+        match map.cached.resolve(host, user) {
             Ok(resolution) => Response::Route(resolution.route),
             Err(ResolveError::NoRoute) => Response::NoRoute(host.to_string()),
             Err(e) => Response::Failure(format!("resolve failed: {e}")),
@@ -105,19 +160,31 @@ impl State {
     /// transport-agnostic.
     fn respond(self: &Arc<Self>, req: Request) -> Vec<Response> {
         match req {
-            Request::Query { host, user } => {
-                vec![self.respond_query(&host, user.as_deref())]
+            Request::Query { map, host, user } => {
+                let map = match self.map_named(map.as_deref()) {
+                    Ok(m) => m,
+                    Err(resp) => return vec![resp],
+                };
+                vec![self.respond_query(map, &host, user.as_deref())]
             }
-            Request::MultiQuery { queries } => {
+            Request::MultiQuery { map, queries } => {
+                let map = match self.map_named(map.as_deref()) {
+                    Ok(m) => m,
+                    // The batch contract is one response line per
+                    // query token — a client counts on exactly N lines
+                    // coming back. An unknown map must therefore fail
+                    // every slot, not collapse the batch to one line.
+                    Err(resp) => return queries.iter().map(|_| resp.clone()).collect(),
+                };
                 // Pin one snapshot for the whole batch: a reload
                 // mid-batch must not make line 7 answer from a newer
                 // table than line 3.
-                let snapshot = self.cached.snapshot();
+                let snapshot = map.cached.snapshot();
                 queries
                     .iter()
                     .map(|(host, user)| {
                         let user = user.as_deref().unwrap_or("%s");
-                        match self.cached.resolve_at(&snapshot, host, user) {
+                        match map.cached.resolve_at(&snapshot, host, user) {
                             Ok(resolution) => Response::Route(resolution.route),
                             Err(ResolveError::NoRoute) => Response::NoRoute(host.clone()),
                             Err(e) => Response::Failure(format!("resolve failed: {e}")),
@@ -126,23 +193,55 @@ impl State {
                     .collect()
             }
             Request::Proto { version } => vec![Response::Proto { version }],
-            Request::Stats => {
-                let snapshot = self.cached.snapshot();
-                let mut body = self
-                    .metrics
-                    .render(snapshot.generation(), snapshot.entries());
+            Request::Stats { map } => {
+                let state = match self.map_named(map.as_deref()) {
+                    Ok(m) => m,
+                    Err(resp) => return vec![resp],
+                };
+                let snapshot = state.cached.snapshot();
+                let mut body = state.metrics.render(
+                    &self.server_metrics,
+                    snapshot.generation(),
+                    snapshot.entries(),
+                );
                 body.push(' ');
-                body.push_str(&self.cached.cache().render_shard_stats());
-                vec![Response::Stats(body)]
+                body.push_str(&state.cached.cache().render_shard_stats());
+                // The qualified `map=<name>` echo renders in Display,
+                // shared with Reloaded/Health; unqualified output is
+                // byte-identical to the single-map daemon's.
+                vec![Response::Stats { map, body }]
             }
-            Request::Health => {
-                let snapshot = self.cached.snapshot();
+            Request::Health { map } => {
+                let state = match self.map_named(map.as_deref()) {
+                    Ok(m) => m,
+                    Err(resp) => return vec![resp],
+                };
+                let snapshot = state.cached.snapshot();
                 vec![Response::Health {
+                    map,
                     generation: snapshot.generation(),
                     entries: snapshot.entries(),
                 }]
             }
-            Request::Reload => vec![self.reload()],
+            Request::Reload { map } => {
+                // A draining daemon refuses rebuilds: a long rebuild on
+                // this connection thread would only hold the drain open
+                // for a table the process will never serve.
+                if self.shutting_down.load(Ordering::SeqCst) {
+                    return vec![Response::Failure(
+                        "reload refused: daemon is shutting down".to_string(),
+                    )];
+                }
+                let state = match self.map_named(map.as_deref()) {
+                    Ok(m) => m.clone(),
+                    Err(resp) => return vec![resp],
+                };
+                vec![self.reload(&state, map)]
+            }
+            Request::Maps => vec![Response::Maps {
+                names: self.maps.iter().map(|m| m.name.clone()).collect(),
+                default: self.maps[self.default_map].name.clone(),
+            }],
             Request::Shutdown => {
                 self.begin_shutdown();
                 vec![Response::ShuttingDown]
@@ -151,23 +250,26 @@ impl State {
         }
     }
 
-    /// Rebuilds from the source and swaps the table in. Runs on the
-    /// requesting connection's thread; other connections keep serving
-    /// the old snapshot throughout.
-    fn reload(self: &Arc<Self>) -> Response {
-        let _guard = self.reload_lock.lock().expect("reload lock poisoned");
-        match self.source.load_resolver() {
+    /// Rebuilds one map from its source and swaps its table in. Runs
+    /// on the requesting connection's thread; every connection keeps
+    /// serving the old snapshot throughout, and other maps are
+    /// untouched. `wire_name` is echoed in the response for qualified
+    /// requests.
+    fn reload(self: &Arc<Self>, map: &MapState, wire_name: Option<String>) -> Response {
+        let _guard = map.reload_lock.lock().expect("reload lock poisoned");
+        match map.source.load_resolver() {
             Ok(resolver) => {
                 let entries = resolver.entries();
-                let generation = self.cached.replace(resolver);
-                bump(&self.metrics.reloads);
+                let generation = map.cached.replace(resolver);
+                bump(&map.metrics.reloads);
                 Response::Reloaded {
+                    map: wire_name,
                     generation,
                     entries,
                 }
             }
             Err(e) => {
-                bump(&self.metrics.reload_failures);
+                bump(&map.metrics.reload_failures);
                 Response::Failure(format!("reload failed: {e}"))
             }
         }
@@ -330,7 +432,7 @@ fn serve_connection(state: Arc<State>, stream: impl SplitStream) -> io::Result<(
                 (state.respond(req), closing)
             }
             Err(why) => {
-                bump(&state.metrics.bad_requests);
+                bump(&state.server_metrics.bad_requests);
                 (vec![Response::BadRequest(why)], false)
             }
         };
@@ -358,27 +460,71 @@ pub struct ServerHandle {
 }
 
 impl Server {
-    /// Loads the table (failing fast if the source is broken), binds
-    /// the listeners, and starts accepting.
+    /// Loads every map's table (failing fast if any source is broken),
+    /// binds the listeners, and starts accepting.
     pub fn start(config: ServerConfig) -> Result<ServerHandle, StartError> {
+        if config.maps.is_empty() {
+            return Err(StartError::Config("no maps configured".to_string()));
+        }
+        for (name, _) in &config.maps {
+            if !valid_map_name(name) {
+                return Err(StartError::Config(format!(
+                    "invalid map name `{name}` (must be non-empty, without whitespace, `,` or `@`)"
+                )));
+            }
+            if config.maps.iter().filter(|(n, _)| n == name).count() > 1 {
+                return Err(StartError::Config(format!("duplicate map name `{name}`")));
+            }
+        }
+        let default_map = match &config.default_map {
+            None => 0,
+            Some(name) => config
+                .maps
+                .iter()
+                .position(|(n, _)| n == name)
+                .ok_or_else(|| {
+                    StartError::Config(format!("default map `{name}` is not in the map set"))
+                })?,
+        };
+
         // Fingerprint the watched files *before* the initial load: a
         // rewrite racing the (possibly long) load must read as a
         // change afterwards, not be absorbed into the baseline.
-        let watch_baseline = config
-            .watch
-            .map(|_| crate::reload::fingerprint(&config.source.watch_paths()).ok());
-        let resolver = config.source.load_resolver().map_err(StartError::Load)?;
-        let metrics = Arc::new(Metrics::default());
+        let watch_baselines: Option<Vec<Option<crate::reload::Fingerprint>>> =
+            config.watch.map(|_| {
+                config
+                    .maps
+                    .iter()
+                    .map(|(_, source)| crate::reload::fingerprint(&source.watch_paths()).ok())
+                    .collect()
+            });
+
+        let server_metrics = Arc::new(ServerMetrics::default());
+        let mut maps = Vec::with_capacity(config.maps.len());
+        for (name, source) in config.maps {
+            let resolver = source.load_resolver().map_err(|error| StartError::Load {
+                map: name.clone(),
+                error,
+            })?;
+            let metrics = Arc::new(Metrics::default());
+            maps.push(Arc::new(MapState {
+                name,
+                source,
+                cached: Cached::new(
+                    resolver,
+                    config.cache_capacity,
+                    config.cache_shards,
+                    metrics.clone(),
+                ),
+                metrics,
+                reload_lock: Mutex::new(()),
+            }));
+        }
+
         let state = Arc::new(State {
-            cached: Cached::new(
-                resolver,
-                config.cache_capacity,
-                config.cache_shards,
-                metrics.clone(),
-            ),
-            metrics,
-            source: config.source,
-            reload_lock: Mutex::new(()),
+            maps,
+            default_map,
+            server_metrics,
             shutting_down: AtomicBool::new(false),
             wake_tcp: Mutex::new(None),
             #[cfg(unix)]
@@ -424,9 +570,9 @@ impl Server {
 
         if let Some(interval) = config.watch {
             let state = state.clone();
-            let baseline = watch_baseline.flatten();
+            let baselines = watch_baselines.unwrap_or_default();
             accept_threads.push(std::thread::spawn(move || {
-                watch_source(state, interval, baseline)
+                watch_sources(state, interval, baselines)
             }));
         }
 
@@ -470,22 +616,25 @@ fn accept_unix(state: Arc<State>, listener: UnixListener) {
     }
 }
 
-/// The `--watch` loop: polls the source files' (mtime, size)
-/// fingerprint and runs the ordinary reload path when it changes. A
-/// fingerprint that cannot be read (a file mid-rewrite, say) skips the
-/// tick rather than reloading a half-written source; the next tick
-/// sees the settled state. Sleeps in short slices so a drain is never
-/// stuck behind a long interval.
-fn watch_source(
+/// The `--watch` loop: polls every map's (mtime, size) fingerprint and
+/// runs the ordinary per-map reload path for each map whose
+/// fingerprint changed — one map's rewrite never re-parses the others.
+/// A fingerprint that cannot be read (a file mid-rewrite, say) skips
+/// that map for the tick rather than reloading a half-written source;
+/// the next tick sees the settled state. Sleeps in short slices so a
+/// drain is never stuck behind a long interval.
+fn watch_sources(
     state: Arc<State>,
     interval: Duration,
-    baseline: Option<crate::reload::Fingerprint>,
+    baselines: Vec<Option<crate::reload::Fingerprint>>,
 ) {
     const SLICE: Duration = Duration::from_millis(25);
     // A zero interval would busy-spin; poll no faster than the slice.
     let interval = interval.max(SLICE);
-    let paths = state.source.watch_paths();
-    let mut last = baseline;
+    let paths: Vec<Vec<PathBuf>> = state.maps.iter().map(|m| m.source.watch_paths()).collect();
+    let mut last: Vec<Option<crate::reload::Fingerprint>> = (0..state.maps.len())
+        .map(|i| baselines.get(i).cloned().flatten())
+        .collect();
     loop {
         let mut slept = Duration::ZERO;
         while slept < interval {
@@ -496,37 +645,47 @@ fn watch_source(
             std::thread::sleep(nap);
             slept += nap;
         }
-        if state.shutting_down.load(Ordering::SeqCst) {
-            return;
-        }
-        let Ok(current) = crate::reload::fingerprint(&paths) else {
-            continue;
-        };
-        if last.as_ref() != Some(&current) {
-            // The ordinary reload path: atomic swap on success, old
-            // table keeps serving on failure. Either way the new
-            // fingerprint is remembered, so a broken rewrite is
-            // retried only when the file changes again.
-            let _ = state.reload();
-            last = Some(current);
+        for (i, map) in state.maps.iter().enumerate() {
+            if state.shutting_down.load(Ordering::SeqCst) {
+                return;
+            }
+            let Ok(current) = crate::reload::fingerprint(&paths[i]) else {
+                continue;
+            };
+            if last[i].as_ref() != Some(&current) {
+                // The ordinary reload path: atomic swap on success, old
+                // table keeps serving on failure. Either way the new
+                // fingerprint is remembered, so a broken rewrite is
+                // retried only when the file changes again.
+                let _ = state.reload(map, None);
+                last[i] = Some(current);
+            }
         }
     }
 }
 
 fn spawn_connection(state: Arc<State>, stream: impl SplitStream) {
-    bump(&state.metrics.connections);
-    bump(&state.metrics.active_connections);
+    bump(&state.server_metrics.connections);
+    bump(&state.server_metrics.active_connections);
     std::thread::spawn(move || {
         let _ = serve_connection(state.clone(), stream);
-        drop_one(&state.metrics.active_connections);
+        drop_one(&state.server_metrics.active_connections);
     });
 }
 
 /// Why the daemon failed to start.
 #[derive(Debug)]
 pub enum StartError {
-    /// The initial table load failed.
-    Load(crate::reload::LoadError),
+    /// The map set itself was malformed (empty, duplicate or invalid
+    /// names, unknown default).
+    Config(String),
+    /// One map's initial table load failed.
+    Load {
+        /// The map whose source failed.
+        map: String,
+        /// What went wrong.
+        error: crate::reload::LoadError,
+    },
     /// Binding a listener failed.
     Bind(io::Error),
 }
@@ -534,7 +693,10 @@ pub enum StartError {
 impl std::fmt::Display for StartError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            StartError::Load(e) => write!(f, "loading route table: {e}"),
+            StartError::Config(why) => write!(f, "map set: {why}"),
+            StartError::Load { map, error } => {
+                write!(f, "loading route table for map `{map}`: {error}")
+            }
             StartError::Bind(e) => write!(f, "binding listener: {e}"),
         }
     }
@@ -553,10 +715,34 @@ impl ServerHandle {
         self.unix_path.as_ref()
     }
 
-    /// The serving generation and entry count, for status lines.
+    /// The default map's serving generation and entry count, for
+    /// status lines.
     pub fn table_info(&self) -> (u64, usize) {
-        let snapshot = self.state.cached.snapshot();
+        let snapshot = self.state.maps[self.state.default_map].cached.snapshot();
         (snapshot.generation(), snapshot.entries())
+    }
+
+    /// Every map's (name, source kind, generation, entries), in
+    /// declaration order — what the CLI prints on startup.
+    pub fn map_infos(&self) -> Vec<(String, &'static str, u64, usize)> {
+        self.state
+            .maps
+            .iter()
+            .map(|m| {
+                let snapshot = m.cached.snapshot();
+                (
+                    m.name.clone(),
+                    m.source.kind(),
+                    snapshot.generation(),
+                    snapshot.entries(),
+                )
+            })
+            .collect()
+    }
+
+    /// The name of the namespace unqualified requests go to.
+    pub fn default_map_name(&self) -> &str {
+        &self.state.maps[self.state.default_map].name
     }
 
     /// Blocks until the daemon stops accepting — forever in daemon
@@ -607,7 +793,7 @@ impl ServerHandle {
         loop {
             if self
                 .state
-                .metrics
+                .server_metrics
                 .active_connections
                 .load(Ordering::Relaxed)
                 == 0
@@ -634,26 +820,45 @@ mod tests {
     use super::*;
     use std::io::Cursor;
 
-    fn state_for(text: &str) -> Arc<State> {
+    fn temp_routes(tag: &str, text: &str) -> PathBuf {
         let path = std::env::temp_dir().join(format!(
-            "pathalias-daemon-test-{}-{:?}.routes",
+            "pathalias-daemon-test-{tag}-{}-{:?}.routes",
             std::process::id(),
             std::thread::current().id(),
         ));
         std::fs::write(&path, text).unwrap();
-        let source = MapSource::Routes(path);
-        let resolver = source.load_resolver().unwrap();
-        let metrics = Arc::new(Metrics::default());
+        path
+    }
+
+    fn state_of(maps: Vec<(&str, &str)>, default_map: usize) -> Arc<State> {
+        let built = maps
+            .into_iter()
+            .map(|(name, text)| {
+                let source = MapSource::Routes(temp_routes(name, text));
+                let resolver = source.load_resolver().unwrap();
+                let metrics = Arc::new(Metrics::default());
+                Arc::new(MapState {
+                    name: name.to_string(),
+                    source,
+                    cached: Cached::new(resolver, 64, 2, metrics.clone()),
+                    metrics,
+                    reload_lock: Mutex::new(()),
+                })
+            })
+            .collect();
         Arc::new(State {
-            cached: Cached::new(resolver, 64, 2, metrics.clone()),
-            metrics,
-            source,
-            reload_lock: Mutex::new(()),
+            maps: built,
+            default_map,
+            server_metrics: Arc::new(ServerMetrics::default()),
             shutting_down: AtomicBool::new(false),
             wake_tcp: Mutex::new(None),
             #[cfg(unix)]
             wake_unix: Mutex::new(None),
         })
+    }
+
+    fn state_for(text: &str) -> Arc<State> {
+        state_of(vec![(DEFAULT_MAP_NAME, text)], 0)
     }
 
     fn one(state: &Arc<State>, req: Request) -> Response {
@@ -669,6 +874,7 @@ mod tests {
             one(
                 &state,
                 Request::Query {
+                    map: None,
                     host: host.into(),
                     user: user.map(str::to_string),
                 },
@@ -684,10 +890,14 @@ mod tests {
         );
         assert_eq!(q("seismo", None), Response::Route("seismo!%s".into()));
         assert_eq!(q("nowhere", Some("u")), Response::NoRoute("nowhere".into()));
-        assert!(matches!(one(&state, Request::Stats), Response::Stats(_)));
+        assert!(matches!(
+            one(&state, Request::Stats { map: None }),
+            Response::Stats { map: None, .. }
+        ));
         assert_eq!(
-            one(&state, Request::Health),
+            one(&state, Request::Health { map: None }),
             Response::Health {
+                map: None,
                 generation: 0,
                 entries: 2
             }
@@ -703,11 +913,19 @@ mod tests {
                 version: ProtoVersion::V2
             }
         );
+        assert_eq!(
+            one(&state, Request::Maps),
+            Response::Maps {
+                names: vec![DEFAULT_MAP_NAME.to_string()],
+                default: DEFAULT_MAP_NAME.to_string()
+            }
+        );
         assert_eq!(one(&state, Request::Quit), Response::Bye);
-        let reloaded = one(&state, Request::Reload);
+        let reloaded = one(&state, Request::Reload { map: None });
         assert_eq!(
             reloaded,
             Response::Reloaded {
+                map: None,
                 generation: 1,
                 entries: 2
             }
@@ -718,6 +936,7 @@ mod tests {
     fn mquery_answers_in_order() {
         let state = state_for("a\ta!%s\nb\tb!%s\n");
         let responses = state.respond(Request::MultiQuery {
+            map: None,
             queries: vec![
                 ("b".into(), Some("u".into())),
                 ("missing".into(), None),
@@ -735,16 +954,134 @@ mod tests {
     }
 
     #[test]
+    fn qualified_requests_route_to_their_map() {
+        let state = state_of(
+            vec![("west", "h\twest-gw!h!%s\n"), ("east", "h\teast-gw!h!%s\n")],
+            0,
+        );
+        let q = |map: Option<&str>| {
+            one(
+                &state,
+                Request::Query {
+                    map: map.map(str::to_string),
+                    host: "h".into(),
+                    user: Some("u".into()),
+                },
+            )
+        };
+        // Unqualified goes to the default (first) map.
+        assert_eq!(q(None), Response::Route("west-gw!h!u".into()));
+        assert_eq!(q(Some("west")), Response::Route("west-gw!h!u".into()));
+        assert_eq!(q(Some("east")), Response::Route("east-gw!h!u".into()));
+        assert_eq!(
+            q(Some("nope")),
+            Response::BadRequest("unknown map `nope`".into())
+        );
+        assert_eq!(
+            one(&state, Request::Maps),
+            Response::Maps {
+                names: vec!["west".into(), "east".into()],
+                default: "west".into()
+            }
+        );
+        // Per-map counters: two queries hit west (one unqualified),
+        // one hit east.
+        assert_eq!(
+            state.maps[0].metrics.queries.load(Ordering::Relaxed),
+            2,
+            "west"
+        );
+        assert_eq!(
+            state.maps[1].metrics.queries.load(Ordering::Relaxed),
+            1,
+            "east"
+        );
+    }
+
+    #[test]
+    fn mquery_on_an_unknown_map_fails_every_slot() {
+        // The batch contract is one line per token: an unknown map
+        // must produce N error lines, or a batched client waiting for
+        // N responses hangs on a half-answered connection.
+        let state = state_for("a\ta!%s\n");
+        let responses = state.respond(Request::MultiQuery {
+            map: Some("nope".into()),
+            queries: vec![("a".into(), None), ("b".into(), None), ("c".into(), None)],
+        });
+        assert_eq!(responses.len(), 3, "one response per query token");
+        for resp in responses {
+            assert_eq!(resp, Response::BadRequest("unknown map `nope`".into()));
+        }
+    }
+
+    #[test]
+    fn qualified_reload_touches_only_its_map() {
+        let state = state_of(vec![("a", "x\ta!x!%s\n"), ("b", "x\tb!x!%s\n")], 0);
+        let reloaded = one(
+            &state,
+            Request::Reload {
+                map: Some("b".into()),
+            },
+        );
+        assert_eq!(
+            reloaded,
+            Response::Reloaded {
+                map: Some("b".into()),
+                generation: 1,
+                entries: 1
+            }
+        );
+        // Map a is untouched at generation 0.
+        assert_eq!(state.maps[0].cached.snapshot().generation(), 0);
+        assert_eq!(state.maps[1].cached.snapshot().generation(), 1);
+        assert_eq!(
+            one(
+                &state,
+                Request::Health {
+                    map: Some("a".into())
+                }
+            ),
+            Response::Health {
+                map: Some("a".into()),
+                generation: 0,
+                entries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn qualified_stats_lead_with_the_map_name() {
+        let state = state_of(vec![("a", "x\ta!x!%s\n"), ("b", "x\tb!x!%s\n")], 1);
+        let qualified = one(
+            &state,
+            Request::Stats {
+                map: Some("a".into()),
+            },
+        );
+        assert!(
+            matches!(&qualified, Response::Stats { map: Some(m), .. } if m == "a"),
+            "{qualified:?}"
+        );
+        let rendered = qualified.to_string();
+        assert!(rendered.starts_with("200 map=a queries="), "{rendered}");
+        // Unqualified stats (default map b here) carry no map= prefix:
+        // byte-compatible with the single-map daemon.
+        let rendered = one(&state, Request::Stats { map: None }).to_string();
+        assert!(rendered.starts_with("200 queries="), "{rendered}");
+    }
+
+    #[test]
     fn stats_includes_per_shard_counters() {
         let state = state_for("a\ta!%s\n");
         let _ = one(
             &state,
             Request::Query {
+                map: None,
                 host: "a".into(),
                 user: None,
             },
         );
-        let Response::Stats(body) = one(&state, Request::Stats) else {
+        let Response::Stats { body, .. } = one(&state, Request::Stats { map: None }) else {
             panic!("expected stats");
         };
         assert!(body.contains("cache_shard0_hits="), "{body}");
@@ -764,24 +1101,77 @@ mod tests {
     fn reload_failure_keeps_old_table() {
         let state = state_for("a\ta!%s\n");
         // Sabotage the source file.
-        if let MapSource::Routes(path) = &state.source {
+        if let MapSource::Routes(path) = &state.maps[0].source {
             std::fs::write(path, "garbage-without-a-route\n").unwrap();
         }
-        let resp = one(&state, Request::Reload);
+        let resp = one(&state, Request::Reload { map: None });
         assert_eq!(resp.code(), 500);
         // Old table still serves.
         assert_eq!(
             one(
                 &state,
                 Request::Query {
+                    map: None,
                     host: "a".into(),
                     user: Some("u".into())
                 }
             ),
             Response::Route("a!u".into())
         );
-        let snapshot = state.cached.snapshot();
+        let snapshot = state.maps[0].cached.snapshot();
         assert_eq!(snapshot.generation(), 0);
+    }
+
+    #[test]
+    fn start_rejects_bad_map_sets() {
+        let path = temp_routes("cfg", "a\ta!%s\n");
+        let source = MapSource::Routes(path.clone());
+        let empty = ServerConfig::ephemeral_set(Vec::new());
+        assert!(matches!(Server::start(empty), Err(StartError::Config(_))));
+
+        let dup = ServerConfig::ephemeral_set(vec![
+            ("m".into(), source.clone()),
+            ("m".into(), source.clone()),
+        ]);
+        assert!(matches!(Server::start(dup), Err(StartError::Config(_))));
+
+        let bad_name = ServerConfig::ephemeral_set(vec![("a b".into(), source.clone())]);
+        assert!(matches!(
+            Server::start(bad_name),
+            Err(StartError::Config(_))
+        ));
+
+        let mut unknown_default = ServerConfig::ephemeral_set(vec![("m".into(), source.clone())]);
+        unknown_default.default_map = Some("other".into());
+        assert!(matches!(
+            Server::start(unknown_default),
+            Err(StartError::Config(_))
+        ));
+
+        // A load failure names the broken map.
+        let missing = ServerConfig::ephemeral_set(vec![
+            ("ok".into(), source),
+            (
+                "broken".into(),
+                MapSource::Routes(std::env::temp_dir().join("pathalias-definitely-missing")),
+            ),
+        ]);
+        match Server::start(missing) {
+            Err(StartError::Load { map, .. }) => assert_eq!(map, "broken"),
+            Err(other) => panic!("expected a load error, got {other}"),
+            Ok(_) => panic!("expected a load error, got a running daemon"),
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn map_name_validity() {
+        assert!(valid_map_name("regional"));
+        assert!(valid_map_name("Uucp-1986.west"));
+        assert!(!valid_map_name(""));
+        assert!(!valid_map_name("two words"));
+        assert!(!valid_map_name("a,b"));
+        assert!(!valid_map_name("@a"));
     }
 
     #[test]

@@ -9,8 +9,9 @@
 //!
 //! * [`protocol`] — the line-oriented wire format, v1 (`QUERY`,
 //!   `STATS`, `RELOAD`, `HEALTH`, `QUIT`) and the negotiated v2
-//!   (`PROTO 2`, batched `MQUERY`, `SHUTDOWN`); a v1 session is
-//!   byte-for-byte what the PR-1 daemon spoke;
+//!   (`PROTO 2`, batched `MQUERY`, `SHUTDOWN`, `MAPS` and per-request
+//!   `@name` map qualifiers); a v1 session is byte-for-byte what the
+//!   PR-1 daemon spoke;
 //! * [`index`] — immutable per-generation snapshots behind an atomic
 //!   swap cell, wrapped by [`Cached`]: a generation-stamped cache
 //!   generic over any [`Resolver`](pathalias_mailer::Resolver)
@@ -22,7 +23,11 @@
 //!   linear route file, full map pipeline) and multi-source
 //!   validation of rebuilt maps;
 //! * [`daemon`] — TCP and Unix-socket listeners, a thread per client
-//!   connection, graceful [`drain`](ServerHandle::drain);
+//!   connection, graceful [`drain`](ServerHandle::drain), and
+//!   **sharded multi-map serving**: one daemon holds N named maps
+//!   (`--map-set`), each with its own snapshot, cache, counters, and
+//!   independent hot reload — unqualified requests go to the default
+//!   map, so a single-map daemon behaves exactly as before;
 //! * [`client`] — the synchronous client: one-shot queries, batched
 //!   [`query_batch`](Client::query_batch) (one round trip for N
 //!   queries), and a send/recv split for pipelining;
@@ -69,9 +74,11 @@ pub mod protocol;
 pub mod reload;
 
 pub use cache::{CachedHit, ShardStats, ShardedCache};
-pub use client::{Client, ClientError, QueryResult};
-pub use daemon::{Server, ServerConfig, ServerHandle, StartError};
+pub use client::{Client, ClientError, MapsInfo, QueryResult};
+pub use daemon::{
+    valid_map_name, Server, ServerConfig, ServerHandle, StartError, DEFAULT_MAP_NAME,
+};
 pub use index::{Cached, RouteIndex, SwapCell};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, ServerMetrics};
 pub use protocol::{parse_request, ProtoVersion, Request, Response, MAX_LINE};
 pub use reload::{LoadError, MapSource, StageCache};

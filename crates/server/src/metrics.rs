@@ -3,14 +3,25 @@
 //! Every counter is a relaxed [`AtomicU64`]: the numbers feed `STATS`
 //! output and capacity planning, where cross-counter consistency does
 //! not matter but query-path overhead does.
+//!
+//! Counters come in two scopes. [`Metrics`] is **per map**: a daemon
+//! serving several namespaces (`--map-set`) keeps one instance per
+//! map, so `STATS @name` reports that map's traffic alone.
+//! [`ServerMetrics`] is **per daemon**: connections belong to the
+//! process, not to any one map (a single connection may query every
+//! namespace). `STATS` renders one map's counters and the daemon's
+//! connection counters on one line, in the exact field order the PR-1
+//! daemon used — a single-map daemon's `STATS` output is byte-identical
+//! to what it always was.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-/// Counters shared by every connection thread.
-#[derive(Debug)]
+/// Per-map counters: one instance per served namespace, shared by
+/// every connection thread querying that map.
+#[derive(Debug, Default)]
 pub struct Metrics {
-    /// `QUERY` requests served.
+    /// `QUERY` requests served against this map.
     pub queries: AtomicU64,
     /// Queries that found a route (exact or suffix).
     pub hits: AtomicU64,
@@ -23,10 +34,16 @@ pub struct Metrics {
     /// Queries that failed with a backend error (disk I/O, corrupt
     /// table) rather than a clean hit or miss.
     pub resolve_errors: AtomicU64,
-    /// Successful `RELOAD`s.
+    /// Successful `RELOAD`s of this map.
     pub reloads: AtomicU64,
     /// Failed `RELOAD`s (old table kept serving).
     pub reload_failures: AtomicU64,
+}
+
+/// Daemon-wide counters: connection accounting and request hygiene,
+/// shared by every connection regardless of which maps it queries.
+#[derive(Debug)]
+pub struct ServerMetrics {
     /// Lines that did not parse as a request.
     pub bad_requests: AtomicU64,
     /// Connections accepted over the daemon's lifetime.
@@ -36,17 +53,9 @@ pub struct Metrics {
     started: Instant,
 }
 
-impl Default for Metrics {
+impl Default for ServerMetrics {
     fn default() -> Self {
-        Metrics {
-            queries: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
-            resolve_errors: AtomicU64::new(0),
-            reloads: AtomicU64::new(0),
-            reload_failures: AtomicU64::new(0),
+        ServerMetrics {
             bad_requests: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             active_connections: AtomicU64::new(0),
@@ -66,15 +75,19 @@ pub fn drop_one(counter: &AtomicU64) {
     counter.fetch_sub(1, Ordering::Relaxed);
 }
 
-impl Metrics {
+impl ServerMetrics {
     /// Milliseconds since the daemon started.
     pub fn uptime_ms(&self) -> u64 {
         self.started.elapsed().as_millis() as u64
     }
+}
 
+impl Metrics {
     /// One consistent-enough reading of every counter, rendered as the
-    /// `STATS` payload: sorted `key=value` pairs.
-    pub fn render(&self, generation: u64, entries: usize) -> String {
+    /// `STATS` payload: `key=value` pairs in the wire order clients
+    /// have parsed since PR 1 (the connection-scoped fields come from
+    /// `server`, everything else from this map).
+    pub fn render(&self, server: &ServerMetrics, generation: u64, entries: usize) -> String {
         let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
         format!(
             "queries={} hits={} misses={} cache_hits={} cache_misses={} resolve_errors={} \
@@ -88,10 +101,10 @@ impl Metrics {
             g(&self.resolve_errors),
             g(&self.reloads),
             g(&self.reload_failures),
-            g(&self.bad_requests),
-            g(&self.connections),
-            g(&self.active_connections),
-            self.uptime_ms(),
+            g(&server.bad_requests),
+            g(&server.connections),
+            g(&server.active_connections),
+            server.uptime_ms(),
         )
     }
 }
@@ -103,23 +116,41 @@ mod tests {
     #[test]
     fn render_contains_every_counter() {
         let m = Metrics::default();
+        let s = ServerMetrics::default();
         bump(&m.queries);
         bump(&m.queries);
         bump(&m.hits);
-        let s = m.render(7, 42);
-        assert!(s.contains("queries=2"), "{s}");
-        assert!(s.contains("hits=1"), "{s}");
-        assert!(s.contains("generation=7"), "{s}");
-        assert!(s.contains("entries=42"), "{s}");
-        assert!(s.contains("uptime_ms="), "{s}");
+        bump(&s.connections);
+        let line = m.render(&s, 7, 42);
+        assert!(line.contains("queries=2"), "{line}");
+        assert!(line.contains("hits=1"), "{line}");
+        assert!(line.contains("connections=1"), "{line}");
+        assert!(line.contains("generation=7"), "{line}");
+        assert!(line.contains("entries=42"), "{line}");
+        assert!(line.contains("uptime_ms="), "{line}");
     }
 
     #[test]
     fn gauge_up_and_down() {
         let m = Metrics::default();
-        bump(&m.active_connections);
-        bump(&m.active_connections);
-        drop_one(&m.active_connections);
-        assert!(m.render(0, 0).contains("active_connections=1"));
+        let s = ServerMetrics::default();
+        bump(&s.active_connections);
+        bump(&s.active_connections);
+        drop_one(&s.active_connections);
+        assert!(m.render(&s, 0, 0).contains("active_connections=1"));
+    }
+
+    #[test]
+    fn per_map_scopes_are_independent() {
+        // Two maps share the daemon's connection counters but keep
+        // their own query counters — the multi-map STATS contract.
+        let a = Metrics::default();
+        let b = Metrics::default();
+        let s = ServerMetrics::default();
+        bump(&a.queries);
+        bump(&s.connections);
+        assert!(a.render(&s, 0, 0).contains("queries=1"));
+        assert!(b.render(&s, 0, 0).contains("queries=0"));
+        assert!(b.render(&s, 0, 0).contains("connections=1"));
     }
 }

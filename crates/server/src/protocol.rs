@@ -15,11 +15,12 @@
 //! Version 2 is negotiated in-band: the client sends `PROTO 2`, a v2
 //! server answers `200 proto=2`, a v1 server answers `400 unknown verb
 //! …` and the client falls back — old clients and old servers keep
-//! working byte-for-byte. After negotiation two verbs unlock:
+//! working byte-for-byte. After negotiation these verbs unlock:
 //!
 //! ```text
 //! PROTO <n>              negotiate protocol version (1 or 2)
 //! MQUERY <h[:u]>...      N hosts on one line -> N ordered response lines
+//! MAPS                   list the served map namespaces
 //! SHUTDOWN               stop accepting, drain connections, exit
 //! ```
 //!
@@ -28,10 +29,30 @@
 //! response line per token, in token order, flushed once — a full
 //! round trip per *batch* instead of per query.
 //!
+//! # Map namespaces (v2)
+//!
+//! A daemon may serve several named maps at once (`--map-set`). On a
+//! v2 connection, `QUERY`, `MQUERY`, `STATS`, `RELOAD` and `HEALTH`
+//! accept an optional `@name` token directly after the verb, routing
+//! the request to that namespace:
+//!
+//! ```text
+//! QUERY @regional seismo rick
+//! MQUERY @regional seismo duke:fred
+//! STATS @regional
+//! RELOAD @regional
+//! ```
+//!
+//! Unqualified requests go to the daemon's *default* map, so a v1
+//! session (which cannot express `@name` at all — a `@...` token is an
+//! ordinary argument there) and an unqualified v2 session behave
+//! byte-identically whether the daemon serves one map or twenty.
+//! `MAPS` lists the namespaces: `200 maps=<a>,<b>,... default=<a>`.
+//!
 //! Responses are `<code> <text>`: `200` success, `404` no route, `400`
 //! bad request, `500` server-side failure. Verbs are case-insensitive;
 //! host names pass through verbatim (the table's case rules were
-//! decided at map time by `-i`).
+//! decided at map time by `-i`). Map names are case-sensitive.
 
 use std::fmt;
 
@@ -48,7 +69,7 @@ pub enum ProtoVersion {
     /// The PR-1 wire format. Every connection starts here.
     #[default]
     V1,
-    /// Adds `MQUERY` and `SHUTDOWN`.
+    /// Adds `MQUERY`, `MAPS`, `SHUTDOWN`, and `@map` qualifiers.
     V2,
 }
 
@@ -71,19 +92,25 @@ impl ProtoVersion {
     }
 }
 
-/// A parsed request line.
+/// A parsed request line. `map: None` means the connection's default
+/// namespace (always the case on a v1 connection).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
-    /// `QUERY <host> [user]`.
+    /// `QUERY [@map] <host> [user]`.
     Query {
+        /// Target namespace (`@name`, v2 only).
+        map: Option<String>,
         /// Destination host or domain name.
         host: String,
         /// Mail user; `None` leaves the `%s` marker in place.
         user: Option<String>,
     },
-    /// `MQUERY <host[:user]>...` (v2): batched queries, answered with
-    /// one response line per entry, in order.
+    /// `MQUERY [@map] <host[:user]>...` (v2): batched queries, answered
+    /// with one response line per entry, in order, all pinned to one
+    /// snapshot of one namespace.
     MultiQuery {
+        /// Target namespace (`@name`).
+        map: Option<String>,
         /// The (host, user) pairs, in wire order.
         queries: Vec<(String, Option<String>)>,
     },
@@ -92,16 +119,35 @@ pub enum Request {
         /// The requested version.
         version: ProtoVersion,
     },
-    /// `STATS`.
-    Stats,
-    /// `RELOAD`.
-    Reload,
-    /// `HEALTH`.
-    Health,
+    /// `STATS [@map]`.
+    Stats {
+        /// Target namespace (`@name`, v2 only).
+        map: Option<String>,
+    },
+    /// `RELOAD [@map]`: rebuild one namespace from its source.
+    Reload {
+        /// Target namespace (`@name`, v2 only).
+        map: Option<String>,
+    },
+    /// `HEALTH [@map]`.
+    Health {
+        /// Target namespace (`@name`, v2 only).
+        map: Option<String>,
+    },
+    /// `MAPS` (v2): list the served namespaces.
+    Maps,
     /// `SHUTDOWN` (v2): drain and stop the daemon.
     Shutdown,
     /// `QUIT`.
     Quit,
+}
+
+/// The verbs that accept an `@map` qualifier at v2.
+fn takes_map_qualifier(upper_verb: &str) -> bool {
+    matches!(
+        upper_verb,
+        "QUERY" | "MQUERY" | "STATS" | "RELOAD" | "HEALTH"
+    )
 }
 
 /// Parses one request line (without its newline) under the
@@ -109,12 +155,31 @@ pub enum Request {
 ///
 /// Version gating happens here so a v1 connection is byte-for-byte the
 /// PR-1 protocol: `MQUERY` on a v1 connection is `unknown verb
-/// \`MQUERY\``, exactly as the old daemon answered. `PROTO` itself is
-/// recognized at every version — it is how a connection leaves v1.
+/// \`MQUERY\``, exactly as the old daemon answered, and a `@...` token
+/// is an ordinary argument (`QUERY @x u` queries the host `@x`).
+/// `PROTO` itself is recognized at every version — it is how a
+/// connection leaves v1.
 pub fn parse_request(line: &str, proto: ProtoVersion) -> Result<Request, String> {
-    let mut words = line.split_whitespace();
+    let mut words = line.split_whitespace().peekable();
     let verb = words.next().ok_or_else(|| "empty request".to_string())?;
     let upper = verb.to_ascii_uppercase();
+
+    // The optional v2 `@map` qualifier sits directly after the verb.
+    // At v1 a `@...` token is not special, so old sessions replay
+    // byte-identically.
+    let mut map = None;
+    if proto >= ProtoVersion::V2 && takes_map_qualifier(&upper) {
+        if let Some(tok) = words.peek() {
+            if let Some(name) = tok.strip_prefix('@') {
+                if name.is_empty() {
+                    return Err("empty map name after `@`".to_string());
+                }
+                map = Some(name.to_string());
+                words.next();
+            }
+        }
+    }
+
     let req = match upper.as_str() {
         "QUERY" => {
             let host = words
@@ -122,7 +187,7 @@ pub fn parse_request(line: &str, proto: ProtoVersion) -> Result<Request, String>
                 .ok_or_else(|| "QUERY needs a host".to_string())?
                 .to_string();
             let user = words.next().map(str::to_string);
-            Request::Query { host, user }
+            Request::Query { map, host, user }
         }
         "MQUERY" if proto >= ProtoVersion::V2 => {
             // v1 QUERY cannot express an empty host or user; v2 must
@@ -141,7 +206,7 @@ pub fn parse_request(line: &str, proto: ProtoVersion) -> Result<Request, String>
             if queries.is_empty() {
                 return Err("MQUERY needs at least one host".to_string());
             }
-            return Ok(Request::MultiQuery { queries });
+            return Ok(Request::MultiQuery { map, queries });
         }
         "PROTO" => {
             let n = words
@@ -154,9 +219,10 @@ pub fn parse_request(line: &str, proto: ProtoVersion) -> Result<Request, String>
                 .ok_or_else(|| format!("unsupported protocol version `{n}`"))?;
             Request::Proto { version }
         }
-        "STATS" => Request::Stats,
-        "RELOAD" => Request::Reload,
-        "HEALTH" => Request::Health,
+        "STATS" => Request::Stats { map },
+        "RELOAD" => Request::Reload { map },
+        "HEALTH" => Request::Health { map },
+        "MAPS" if proto >= ProtoVersion::V2 => Request::Maps,
         "SHUTDOWN" if proto >= ProtoVersion::V2 => Request::Shutdown,
         "QUIT" => Request::Quit,
         // The uppercased form, exactly as v1 always reported it.
@@ -176,9 +242,18 @@ pub enum Response {
     /// `404` — the table has no route to the host.
     NoRoute(String),
     /// `200` — `STATS` payload.
-    Stats(String),
+    Stats {
+        /// The namespace, echoed back for qualified requests (`None`
+        /// keeps the unqualified line byte-identical to v1).
+        map: Option<String>,
+        /// The `key=value ...` counter payload.
+        body: String,
+    },
     /// `200` — `RELOAD` swapped in a new table.
     Reloaded {
+        /// The namespace, echoed back for qualified requests (`None`
+        /// keeps the unqualified line byte-identical to v1).
+        map: Option<String>,
         /// Generation now serving.
         generation: u64,
         /// Entries in the new table.
@@ -186,10 +261,20 @@ pub enum Response {
     },
     /// `200` — `HEALTH` payload.
     Health {
+        /// The namespace, echoed back for qualified requests.
+        map: Option<String>,
         /// Generation now serving.
         generation: u64,
         /// Entries in the serving table.
         entries: usize,
+    },
+    /// `200` — `MAPS` payload: the served namespaces, in declaration
+    /// order, and the default one.
+    Maps {
+        /// Every namespace name, in declaration order.
+        names: Vec<String>,
+        /// The namespace unqualified requests go to.
+        default: String,
     },
     /// `200` — `PROTO` accepted; the connection now speaks `version`.
     Proto {
@@ -200,7 +285,8 @@ pub enum Response {
     ShuttingDown,
     /// `200` — answer to `QUIT`.
     Bye,
-    /// `400` — the request line did not parse.
+    /// `400` — the request line did not parse (or named an unknown
+    /// map).
     BadRequest(String),
     /// `500` — a server-side failure (reload error, backend I/O, ...).
     Failure(String),
@@ -211,9 +297,10 @@ impl Response {
     pub fn code(&self) -> u16 {
         match self {
             Response::Route(_)
-            | Response::Stats(_)
+            | Response::Stats { .. }
             | Response::Reloaded { .. }
             | Response::Health { .. }
+            | Response::Maps { .. }
             | Response::Proto { .. }
             | Response::ShuttingDown
             | Response::Bye => 200,
@@ -234,23 +321,52 @@ fn one_line(s: &str) -> String {
     }
 }
 
+/// The `map=<name> ` prefix qualified responses carry (empty for
+/// unqualified ones, keeping them byte-identical to v1).
+fn map_prefix(map: &Option<String>) -> String {
+    match map {
+        Some(name) => format!("map={} ", one_line(name)),
+        None => String::new(),
+    }
+}
+
 impl fmt::Display for Response {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Response::Route(route) => write!(f, "200 {}", one_line(route)),
             Response::NoRoute(host) => write!(f, "404 no route to {}", one_line(host)),
-            Response::Stats(body) => write!(f, "200 {}", one_line(body)),
+            Response::Stats { map, body } => {
+                write!(f, "200 {}{}", map_prefix(map), one_line(body))
+            }
             Response::Reloaded {
+                map,
                 generation,
                 entries,
             } => {
-                write!(f, "200 reloaded generation={generation} entries={entries}")
+                write!(
+                    f,
+                    "200 reloaded {}generation={generation} entries={entries}",
+                    map_prefix(map)
+                )
             }
             Response::Health {
+                map,
                 generation,
                 entries,
             } => {
-                write!(f, "200 ok generation={generation} entries={entries}")
+                write!(
+                    f,
+                    "200 ok {}generation={generation} entries={entries}",
+                    map_prefix(map)
+                )
+            }
+            Response::Maps { names, default } => {
+                write!(
+                    f,
+                    "200 maps={} default={}",
+                    one_line(&names.join(",")),
+                    one_line(default)
+                )
             }
             Response::Proto { version } => write!(f, "200 proto={}", version.number()),
             Response::ShuttingDown => write!(f, "200 shutting down"),
@@ -278,6 +394,7 @@ mod tests {
         assert_eq!(
             v1("QUERY seismo").unwrap(),
             Request::Query {
+                map: None,
                 host: "seismo".into(),
                 user: None
             }
@@ -285,6 +402,7 @@ mod tests {
         assert_eq!(
             v1("query caip.rutgers.edu pleasant").unwrap(),
             Request::Query {
+                map: None,
                 host: "caip.rutgers.edu".into(),
                 user: Some("pleasant".into())
             }
@@ -293,6 +411,7 @@ mod tests {
         assert_eq!(
             v1("  QUERY  seismo  honey  ").unwrap(),
             Request::Query {
+                map: None,
                 host: "seismo".into(),
                 user: Some("honey".into())
             }
@@ -301,9 +420,9 @@ mod tests {
 
     #[test]
     fn bare_verbs() {
-        assert_eq!(v1("STATS").unwrap(), Request::Stats);
-        assert_eq!(v1("reload").unwrap(), Request::Reload);
-        assert_eq!(v1("Health").unwrap(), Request::Health);
+        assert_eq!(v1("STATS").unwrap(), Request::Stats { map: None });
+        assert_eq!(v1("reload").unwrap(), Request::Reload { map: None });
+        assert_eq!(v1("Health").unwrap(), Request::Health { map: None });
         assert_eq!(v1("quit").unwrap(), Request::Quit);
     }
 
@@ -348,6 +467,94 @@ mod tests {
             v1("SHUTDOWN").unwrap_err(),
             "unknown verb `SHUTDOWN`".to_string()
         );
+        assert_eq!(v1("MAPS").unwrap_err(), "unknown verb `MAPS`".to_string());
+    }
+
+    #[test]
+    fn map_qualifier_is_not_special_at_v1() {
+        // At v1 a `@...` token is an ordinary argument — the exact
+        // bytes a PR-2 daemon would have parsed.
+        assert_eq!(
+            v1("QUERY @regional seismo").unwrap(),
+            Request::Query {
+                map: None,
+                host: "@regional".into(),
+                user: Some("seismo".into())
+            }
+        );
+        assert_eq!(
+            v1("STATS @regional").unwrap_err(),
+            "trailing argument `@regional`".to_string()
+        );
+        assert_eq!(
+            v1("RELOAD @regional").unwrap_err(),
+            "trailing argument `@regional`".to_string()
+        );
+    }
+
+    #[test]
+    fn map_qualifier_at_v2() {
+        assert_eq!(
+            v2("QUERY @regional seismo rick").unwrap(),
+            Request::Query {
+                map: Some("regional".into()),
+                host: "seismo".into(),
+                user: Some("rick".into())
+            }
+        );
+        assert_eq!(
+            v2("MQUERY @regional seismo duke:fred").unwrap(),
+            Request::MultiQuery {
+                map: Some("regional".into()),
+                queries: vec![
+                    ("seismo".into(), None),
+                    ("duke".into(), Some("fred".into())),
+                ]
+            }
+        );
+        assert_eq!(
+            v2("stats @Regional").unwrap(),
+            Request::Stats {
+                map: Some("Regional".into())
+            }
+        );
+        assert_eq!(
+            v2("RELOAD @a").unwrap(),
+            Request::Reload {
+                map: Some("a".into())
+            }
+        );
+        assert_eq!(
+            v2("HEALTH @a").unwrap(),
+            Request::Health {
+                map: Some("a".into())
+            }
+        );
+        // A qualifier alone is not a host; an empty name is rejected.
+        assert!(v2("QUERY @regional").is_err());
+        assert!(v2("QUERY @ seismo").is_err());
+        assert!(v2("STATS @").is_err());
+        // Only the token right after the verb is a qualifier: later
+        // `@...` tokens are ordinary arguments (here, the user).
+        assert_eq!(
+            v2("QUERY seismo @regional").unwrap(),
+            Request::Query {
+                map: None,
+                host: "seismo".into(),
+                user: Some("@regional".into())
+            }
+        );
+        assert!(v2("STATS @a @b").is_err());
+        // MAPS and SHUTDOWN take no qualifier.
+        assert!(v2("MAPS @a").is_err());
+        assert!(v2("SHUTDOWN @a").is_err());
+    }
+
+    #[test]
+    fn maps_verb_at_v2() {
+        assert_eq!(v2("MAPS").unwrap(), Request::Maps);
+        assert_eq!(v2("maps").unwrap(), Request::Maps);
+        assert!(v2("MAPS extra").is_err());
     }
 
     #[test]
@@ -355,6 +562,7 @@ mod tests {
         assert_eq!(
             v2("MQUERY seismo duke:fred .edu").unwrap(),
             Request::MultiQuery {
+                map: None,
                 queries: vec![
                     ("seismo".into(), None),
                     ("duke".into(), Some("fred".into())),
@@ -363,6 +571,7 @@ mod tests {
             }
         );
         assert!(v2("MQUERY").is_err());
+        assert!(v2("MQUERY @regional").is_err());
         // Empty host or user tokens are rejected, matching what v1
         // QUERY can express.
         assert!(v2("MQUERY :alice").is_err());
@@ -384,6 +593,7 @@ mod tests {
         );
         assert_eq!(
             Response::Reloaded {
+                map: None,
                 generation: 3,
                 entries: 17
             }
@@ -391,12 +601,39 @@ mod tests {
             "200 reloaded generation=3 entries=17"
         );
         assert_eq!(
+            Response::Reloaded {
+                map: Some("regional".into()),
+                generation: 3,
+                entries: 17
+            }
+            .to_string(),
+            "200 reloaded map=regional generation=3 entries=17"
+        );
+        assert_eq!(
             Response::Health {
+                map: None,
                 generation: 0,
                 entries: 2
             }
             .to_string(),
             "200 ok generation=0 entries=2"
+        );
+        assert_eq!(
+            Response::Health {
+                map: Some("a".into()),
+                generation: 0,
+                entries: 2
+            }
+            .to_string(),
+            "200 ok map=a generation=0 entries=2"
+        );
+        assert_eq!(
+            Response::Maps {
+                names: vec!["a".into(), "b".into(), "c".into()],
+                default: "a".into()
+            }
+            .to_string(),
+            "200 maps=a,b,c default=a"
         );
         assert_eq!(
             Response::Proto {
@@ -416,5 +653,11 @@ mod tests {
         let r = Response::Failure("two\nlines\r\nhere".into()).to_string();
         assert!(!r.contains('\n'));
         assert!(!r.contains('\r'));
+        let m = Response::Maps {
+            names: vec!["a\nb".into()],
+            default: "a\rb".into(),
+        }
+        .to_string();
+        assert!(!m.contains('\n') && !m.contains('\r'));
     }
 }

@@ -192,6 +192,18 @@ impl MapSource {
         }
     }
 
+    /// A short label for the source shape — what the CLI startup
+    /// report and map-set listings show next to each namespace.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MapSource::Padb(_) => "padb",
+            MapSource::PadbMmap(_) => "padb-mmap",
+            MapSource::Routes(_) => "routes",
+            MapSource::FrozenSnapshot { .. } => "pagf",
+            MapSource::Map { .. } => "map",
+        }
+    }
+
     /// The files whose modification should trigger a reload (what
     /// `serve --watch` polls).
     pub fn watch_paths(&self) -> Vec<PathBuf> {
@@ -279,9 +291,7 @@ fn frozen_stage(
         }
     }
     let mut parsed = Parsed::new();
-    for f in files {
-        parsed.push_file(f)?;
-    }
+    parsed.push_files(files)?;
     let built = parsed.build(options).map_err(LoadError::Pipeline)?;
     let frozen = built.freeze();
     *slot = Some(CachedStages {

@@ -380,14 +380,11 @@ fn unix_socket_transport() {
     let routes_path = temp("unix.routes");
     std::fs::write(&routes_path, "seismo\tseismo!%s\n").unwrap();
     let sock = temp("unix.sock");
-    let config = ServerConfig {
-        source: MapSource::Routes(routes_path.clone()),
-        tcp: None,
-        unix: Some(sock.clone()),
-        cache_capacity: 64,
-        cache_shards: 2,
-        watch: None,
-    };
+    let mut config = ServerConfig::ephemeral(MapSource::Routes(routes_path.clone()));
+    config.tcp = None;
+    config.unix = Some(sock.clone());
+    config.cache_capacity = 64;
+    config.cache_shards = 2;
     let handle = Server::start(config).unwrap();
     assert!(handle.tcp_addr().is_none());
 

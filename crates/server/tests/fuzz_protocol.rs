@@ -1,0 +1,136 @@
+//! Fuzz-style robustness properties for the protocol v2 line parser:
+//! arbitrary input must never panic — only parse or error — and the
+//! v1/v2 split must stay coherent under fire. The dedicated CI fuzz
+//! job cranks `PROPTEST_CASES` well past the local default.
+
+use pathalias_server::{parse_request, ProtoVersion, Request, Response};
+use proptest::prelude::*;
+
+const BOTH: [ProtoVersion; 2] = [ProtoVersion::V1, ProtoVersion::V2];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases_env(512))]
+
+    /// Fully arbitrary printable text: the parser returns Ok or Err,
+    /// never panics, at either protocol version.
+    #[test]
+    fn parser_never_panics(line in "\\PC{0,300}") {
+        for proto in BOTH {
+            let _ = parse_request(&line, proto);
+        }
+    }
+
+    /// Fully arbitrary *bytes*, decoded lossily exactly as the daemon
+    /// decodes what `read_bounded_line` hands it: never a panic.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let line = String::from_utf8_lossy(&bytes);
+        for proto in BOTH {
+            let _ = parse_request(&line, proto);
+        }
+    }
+
+    /// Soup drawn from the protocol's own alphabet (verb fragments,
+    /// `@` qualifiers, `:` pairs, odd whitespace) — the inputs most
+    /// likely to trip the tokenizer. Also pins the v1/v2 relation: a
+    /// line without `@` that parses at v1 parses identically at v2.
+    #[test]
+    fn protocol_alphabet_soup(line in "[ \tA-Za-z0-9@:.!%,=_-]{0,160}") {
+        let v1 = parse_request(&line, ProtoVersion::V1);
+        let v2 = parse_request(&line, ProtoVersion::V2);
+        if !line.contains('@') {
+            if let Ok(req) = &v1 {
+                prop_assert_eq!(
+                    v2.as_ref().expect("v1-parseable, @-free lines parse at v2"),
+                    req
+                );
+            }
+        }
+        // Parse errors are protocol payloads (they go out in a 400
+        // line) — they must never break framing.
+        for result in [v1, v2] {
+            if let Err(why) = result {
+                prop_assert!(!why.contains('\n') && !why.contains('\r'));
+            }
+        }
+    }
+
+    /// A well-formed qualified QUERY parses to its parts at v2 — and
+    /// at v1 the `@` token is an ordinary argument, byte-compatibly.
+    #[test]
+    fn qualified_query_round_trip(
+        map in "[a-zA-Z][a-zA-Z0-9._-]{0,15}",
+        host in "[a-z][a-z0-9.-]{0,30}",
+        user in proptest::collection::vec("[a-z][a-z0-9]{0,10}", 0..2),
+    ) {
+        let user = user.first().cloned();
+        let line = match &user {
+            Some(u) => format!("QUERY @{map} {host} {u}"),
+            None => format!("QUERY @{map} {host}"),
+        };
+        prop_assert_eq!(
+            parse_request(&line, ProtoVersion::V2).unwrap(),
+            Request::Query { map: Some(map.clone()), host: host.clone(), user: user.clone() }
+        );
+        // v1: `@map` is the host, `host` the user; a third token is a
+        // trailing argument — exactly what the PR-2 parser did.
+        match user {
+            Some(u) => prop_assert_eq!(
+                parse_request(&line, ProtoVersion::V1).unwrap_err(),
+                format!("trailing argument `{u}`")
+            ),
+            None => prop_assert_eq!(
+                parse_request(&line, ProtoVersion::V1).unwrap(),
+                Request::Query {
+                    map: None,
+                    host: format!("@{map}"),
+                    user: Some(host.clone()),
+                }
+            ),
+        }
+    }
+
+    /// A qualified MQUERY pins its map and keeps token order, whatever
+    /// the mix of `host` and `host:user` tokens.
+    #[test]
+    fn qualified_mquery_round_trip(
+        map in "[a-zA-Z][a-zA-Z0-9._-]{0,15}",
+        pairs in proptest::collection::vec(
+            ("[a-z][a-z0-9.-]{0,20}", proptest::collection::vec("[a-z][a-z0-9]{0,8}", 0..2)),
+            1..12,
+        ),
+    ) {
+        let mut line = format!("MQUERY @{map}");
+        let mut expect = Vec::new();
+        for (host, user) in &pairs {
+            let user = user.first().cloned();
+            line.push(' ');
+            line.push_str(host);
+            if let Some(u) = &user {
+                line.push(':');
+                line.push_str(u);
+            }
+            expect.push((host.clone(), user));
+        }
+        prop_assert_eq!(
+            parse_request(&line, ProtoVersion::V2).unwrap(),
+            Request::MultiQuery { map: Some(map), queries: expect }
+        );
+        prop_assert_eq!(
+            parse_request(&line, ProtoVersion::V1).unwrap_err(),
+            "unknown verb `MQUERY`".to_string()
+        );
+    }
+
+    /// Whatever ends up in a `Maps` response payload, the rendered
+    /// line stays one line with its status code.
+    #[test]
+    fn maps_response_renders_one_line(
+        names in proptest::collection::vec("\\PC{0,20}", 0..6),
+        default in "\\PC{0,20}",
+    ) {
+        let rendered = Response::Maps { names, default }.to_string();
+        prop_assert!(rendered.starts_with("200 "));
+        prop_assert!(!rendered.contains('\n') && !rendered.contains('\r'));
+    }
+}

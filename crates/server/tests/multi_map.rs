@@ -1,0 +1,504 @@
+//! Sharded multi-map serving: one daemon, many worlds.
+//!
+//! The acceptance gauntlet: a daemon serving three named maps answers
+//! every query byte-identically to three single-map daemons serving
+//! the same sources, under 8 concurrent clients, while one map is
+//! RELOADed mid-load — the other two maps must not so much as bump a
+//! generation. Plus wire-level coverage of `MAPS`, `@name`
+//! qualifiers, per-map `STATS`, and the v1 byte-compat contract on a
+//! multi-map daemon.
+
+use pathalias_server::{Client, MapSource, Server, ServerConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const HOSTS: usize = 100;
+const CLIENTS: usize = 8;
+const BATCHES_PER_CLIENT: usize = 120;
+const BATCH: usize = 12;
+
+fn temp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "pathalias-multimap-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+/// One world's route file: every host routed through `relay`, plus a
+/// domain suffix, so each map (and each generation) gives visibly
+/// different answers.
+fn routes(relay: &str) -> String {
+    let mut out = String::new();
+    for i in 0..HOSTS {
+        out.push_str(&format!("h{i}\t{relay}!h{i}!%s\n"));
+    }
+    out.push_str(&format!(".edu\t{relay}!edu-gw!%s\n"));
+    out
+}
+
+struct World {
+    name: &'static str,
+    path: PathBuf,
+    single: ServerHandle,
+}
+
+#[test]
+fn multi_map_daemon_matches_single_map_daemons_across_a_per_map_reload() {
+    // Three worlds, each also served by its own single-map daemon —
+    // the equivalence oracle.
+    let worlds: Vec<World> = ["west", "east", "local"]
+        .into_iter()
+        .map(|name| {
+            let path = temp(&format!("{name}.routes"));
+            std::fs::write(&path, routes(&format!("{name}A"))).unwrap();
+            let single = Server::start(ServerConfig::ephemeral(MapSource::Routes(path.clone())))
+                .expect("single-map daemon starts");
+            World { name, path, single }
+        })
+        .collect();
+
+    let multi = Server::start(ServerConfig::ephemeral_set(
+        worlds
+            .iter()
+            .map(|w| (w.name.to_string(), MapSource::Routes(w.path.clone())))
+            .collect(),
+    ))
+    .expect("multi-map daemon starts");
+    let multi_addr = multi.tcp_addr().unwrap();
+    let single_addrs: Vec<_> = worlds
+        .iter()
+        .map(|w| w.single.tcp_addr().unwrap())
+        .collect();
+
+    // "east" (index 1) is the world that reloads mid-load. The
+    // reloader fires once a quarter of the total batches have run
+    // (not on a wall-clock timer, so the test cannot race its own
+    // load), and every client keeps batching east until it has
+    // observed the post-reload world — both generations are
+    // guaranteed to serve concurrent traffic.
+    let old_seen = Arc::new(AtomicU64::new(0));
+    let new_seen = Arc::new(AtomicU64::new(0));
+    let progress = Arc::new(AtomicU64::new(0));
+    let reloaded = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        for client_id in 0..CLIENTS {
+            let old_seen = old_seen.clone();
+            let new_seen = new_seen.clone();
+            let progress = progress.clone();
+            let reloaded = reloaded.clone();
+            let worlds = &worlds;
+            let single_addrs = &single_addrs;
+            s.spawn(move || {
+                let mut multi_client = Client::connect(multi_addr).expect("client connects");
+                let mut single_clients: Vec<Client> = single_addrs
+                    .iter()
+                    .map(|a| Client::connect(*a).expect("oracle client connects"))
+                    .collect();
+                let user = format!("u{client_id}");
+                // The main load, plus east-only overtime batches until
+                // the reload has landed (so post-reload traffic is
+                // concurrent, not an afterthought).
+                let mut b = 0;
+                loop {
+                    let in_overtime = b >= BATCHES_PER_CLIENT;
+                    if in_overtime && reloaded.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    assert!(
+                        b < BATCHES_PER_CLIENT * 1000,
+                        "reloader never fired; aborting instead of spinning forever"
+                    );
+                    let world_ix = if in_overtime {
+                        1
+                    } else {
+                        (client_id + b) % worlds.len()
+                    };
+                    let world = &worlds[world_ix];
+                    let hosts: Vec<String> = (0..BATCH)
+                        .map(|k| format!("h{}", (client_id * 37 + b * BATCH + k) % HOSTS))
+                        .collect();
+                    let queries: Vec<(&str, Option<&str>)> = hosts
+                        .iter()
+                        .map(|h| (h.as_str(), Some(user.as_str())))
+                        .collect();
+                    // Every third batch goes unqualified — it must hit
+                    // the default map (the first one, "west").
+                    let map = if b % 3 == 0 && world_ix == 0 {
+                        None
+                    } else {
+                        Some(world.name)
+                    };
+                    b += 1;
+                    progress.fetch_add(1, Ordering::SeqCst);
+                    let multi_answers = multi_client
+                        .query_batch_on(map, &queries)
+                        .expect("multi-map batch must not error across the reload");
+                    let single_answers = single_clients[world_ix]
+                        .query_batch(&queries)
+                        .expect("oracle batch must not error");
+                    let old = format!("{}A", world.name);
+                    let new = format!("{}B", world.name);
+                    for ((host, multi_ans), single_ans) in
+                        hosts.iter().zip(&multi_answers).zip(&single_answers)
+                    {
+                        let multi_ans = multi_ans.as_deref().expect("host exists");
+                        let single_ans = single_ans.as_deref().expect("host exists");
+                        let old_route = format!("{old}!{host}!{user}");
+                        let new_route = format!("{new}!{host}!{user}");
+                        // Torn/mixed answers are never acceptable.
+                        for (which, ans) in [("multi", multi_ans), ("single", single_ans)] {
+                            assert!(
+                                ans == old_route || ans == new_route,
+                                "{which} daemon, map {}: torn answer `{ans}`",
+                                world.name
+                            );
+                        }
+                        // Byte-identical, except in the reload
+                        // transition window where one daemon may have
+                        // swapped before the other — both answers must
+                        // still be valid generations of the same map.
+                        if multi_ans != single_ans {
+                            assert_eq!(
+                                world.name, "east",
+                                "maps that never reload must agree byte-for-byte"
+                            );
+                        }
+                        if world.name == "east" {
+                            if multi_ans == old_route {
+                                old_seen.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                new_seen.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                multi_client.quit().expect("clean quit");
+                for c in single_clients {
+                    c.quit().expect("clean quit");
+                }
+            });
+        }
+
+        // The reloader: rewrite east's source mid-load and reload it on
+        // both daemons — and only it.
+        let east_path = worlds[1].path.clone();
+        let east_single = single_addrs[1];
+        let reload_progress = progress.clone();
+        let reload_flag = reloaded.clone();
+        s.spawn(move || {
+            let fire_at = (CLIENTS * BATCHES_PER_CLIENT) as u64 / 4;
+            while reload_progress.load(Ordering::SeqCst) < fire_at {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            std::fs::write(&east_path, routes("eastB")).unwrap();
+            let mut multi_client = Client::connect(multi_addr).unwrap();
+            let payload = multi_client
+                .reload_on(Some("east"))
+                .expect("qualified reload succeeds");
+            assert!(
+                payload.contains("map=east generation=1"),
+                "east reload publishes generation 1: {payload}"
+            );
+            multi_client.quit().unwrap();
+            let mut oracle = Client::connect(east_single).unwrap();
+            oracle.reload().expect("oracle reload succeeds");
+            oracle.quit().unwrap();
+            reload_flag.store(true, Ordering::SeqCst);
+        });
+    });
+
+    // Both east generations must have served traffic.
+    assert!(
+        old_seen.load(Ordering::Relaxed) > 0,
+        "reload fired too early"
+    );
+    assert!(new_seen.load(Ordering::Relaxed) > 0, "reload never landed");
+
+    // Settled differential sweep: every host of every map, byte for
+    // byte against the oracles.
+    let mut multi_client = Client::connect(multi_addr).unwrap();
+    for (world_ix, world) in worlds.iter().enumerate() {
+        let mut oracle = Client::connect(single_addrs[world_ix]).unwrap();
+        let hosts: Vec<String> = (0..HOSTS)
+            .map(|i| format!("h{i}"))
+            .chain(["x.rutgers.edu".to_string(), "no.such.host".to_string()])
+            .collect();
+        let queries: Vec<(&str, Option<&str>)> =
+            hosts.iter().map(|h| (h.as_str(), Some("sweep"))).collect();
+        let multi_answers = multi_client
+            .query_batch_on(Some(world.name), &queries)
+            .unwrap();
+        let single_answers = oracle.query_batch(&queries).unwrap();
+        assert_eq!(
+            multi_answers, single_answers,
+            "settled answers for map {} must be byte-identical",
+            world.name
+        );
+        oracle.quit().unwrap();
+    }
+
+    // Per-map isolation, visible in generations and counters: only
+    // east reloaded; every map served queries.
+    for (world, expected_generation) in worlds.iter().zip([0u64, 1, 0]) {
+        let health = multi_client.health_on(Some(world.name)).unwrap();
+        assert!(
+            health.contains(&format!("generation={expected_generation}")),
+            "map {}: {health}",
+            world.name
+        );
+        let stats = multi_client.stats_on(Some(world.name)).unwrap();
+        assert!(
+            stats.starts_with(&format!("map={} ", world.name)),
+            "{stats}"
+        );
+        let field = |k: &str| -> u64 {
+            stats
+                .split_whitespace()
+                .find_map(|kv| kv.strip_prefix(&format!("{k}=")))
+                .unwrap_or_else(|| panic!("missing {k} in `{stats}`"))
+                .parse()
+                .unwrap()
+        };
+        assert!(field("queries") > 0, "map {} saw no queries", world.name);
+        assert_eq!(
+            field("reloads"),
+            u64::from(world.name == "east"),
+            "map {}",
+            world.name
+        );
+        assert_eq!(field("reload_failures"), 0);
+    }
+    multi_client.quit().unwrap();
+
+    multi.shutdown();
+    for world in worlds {
+        world.single.shutdown();
+        std::fs::remove_file(world.path).unwrap();
+    }
+}
+
+#[test]
+fn maps_verb_and_default_map_selection() {
+    let a = temp("maps-a.routes");
+    let b = temp("maps-b.routes");
+    std::fs::write(&a, "h\ta-gw!h!%s\n").unwrap();
+    std::fs::write(&b, "h\tb-gw!h!%s\n").unwrap();
+    let mut config = ServerConfig::ephemeral_set(vec![
+        ("alpha".to_string(), MapSource::Routes(a.clone())),
+        ("beta".to_string(), MapSource::Routes(b.clone())),
+    ]);
+    config.default_map = Some("beta".to_string());
+    let handle = Server::start(config).unwrap();
+    assert_eq!(handle.default_map_name(), "beta");
+    let infos = handle.map_infos();
+    assert_eq!(infos.len(), 2);
+    assert_eq!((infos[0].0.as_str(), infos[0].1), ("alpha", "routes"));
+
+    let mut client = Client::connect(handle.tcp_addr().unwrap()).unwrap();
+    let info = client.maps().unwrap();
+    assert_eq!(info.names, vec!["alpha".to_string(), "beta".to_string()]);
+    assert_eq!(info.default, "beta");
+
+    // Unqualified traffic goes to the configured default, not the
+    // first map.
+    assert_eq!(client.query("h", Some("u")).unwrap().unwrap(), "b-gw!h!u");
+    assert_eq!(
+        client
+            .query_on(Some("alpha"), "h", Some("u"))
+            .unwrap()
+            .unwrap(),
+        "a-gw!h!u"
+    );
+    // Unknown maps are a clean 400 with the server's text.
+    match client.query_on(Some("nope"), "h", None) {
+        Err(pathalias_server::ClientError::Server { code: 400, message }) => {
+            assert_eq!(message, "unknown map `nope`");
+        }
+        other => panic!("expected a 400, got {other:?}"),
+    }
+    // A *batch* against an unknown map surfaces the same 400 without
+    // desynchronizing the connection (the server must answer one line
+    // per slot, and the client must drain them all).
+    match client.query_batch_on(Some("nope"), &[("h", None), ("h", Some("u"))]) {
+        Err(pathalias_server::ClientError::Server { code: 400, message }) => {
+            assert_eq!(message, "unknown map `nope`");
+        }
+        other => panic!("expected a 400, got {other:?}"),
+    }
+    assert_eq!(
+        client
+            .query_on(Some("alpha"), "h", Some("u"))
+            .unwrap()
+            .unwrap(),
+        "a-gw!h!u",
+        "connection must stay usable after the failed batch"
+    );
+    // Hosts that could be mistaken for a map qualifier are refused
+    // client-side, before anything is written.
+    assert!(matches!(
+        client.query("@alpha", Some("u")),
+        Err(pathalias_server::ClientError::InvalidQuery(_))
+    ));
+    assert!(matches!(
+        client.query_batch(&[("@alpha", None), ("h", None)]),
+        Err(pathalias_server::ClientError::InvalidQuery(_))
+    ));
+    client.quit().unwrap();
+    handle.shutdown();
+    std::fs::remove_file(a).unwrap();
+    std::fs::remove_file(b).unwrap();
+}
+
+#[test]
+fn v1_session_replays_byte_identically_on_a_multi_map_daemon() {
+    // The PR-2 replay transcript, unchanged, against a daemon serving
+    // three maps — a v1 client cannot tell the difference as long as
+    // the default map matches.
+    let default_path = temp("replay-default.routes");
+    std::fs::write(&default_path, "seismo\tseismo!%s\n.edu\tseismo!%s\n").unwrap();
+    let other = temp("replay-other.routes");
+    std::fs::write(&other, "elsewhere\tfar!elsewhere!%s\n").unwrap();
+    let handle = Server::start(ServerConfig::ephemeral_set(vec![
+        ("main".to_string(), MapSource::Routes(default_path.clone())),
+        ("spare".to_string(), MapSource::Routes(other.clone())),
+        ("extra".to_string(), MapSource::Routes(other.clone())),
+    ]))
+    .unwrap();
+
+    let session: &[u8] = b"HEALTH\n\
+        QUERY seismo rick\n\
+        QUERY caip.rutgers.edu pleasant\n\
+        QUERY seismo\n\
+        QUERY nowhere u\n\
+        QUERY\n\
+        QUERY a b c\n\
+        ehlo example.org\n\
+        STATS now\n\
+        MAPS\n\
+        QUIT\n";
+    let expected: &[u8] = b"200 ok generation=0 entries=2\n\
+        200 seismo!rick\n\
+        200 seismo!caip.rutgers.edu!pleasant\n\
+        200 seismo!%s\n\
+        404 no route to nowhere\n\
+        400 QUERY needs a host\n\
+        400 trailing argument `c`\n\
+        400 unknown verb `EHLO`\n\
+        400 trailing argument `now`\n\
+        400 unknown verb `MAPS`\n\
+        200 bye\n";
+
+    let mut stream = TcpStream::connect(handle.tcp_addr().unwrap()).unwrap();
+    stream.write_all(session).unwrap();
+    stream.flush().unwrap();
+    let mut got = Vec::new();
+    stream.read_to_end(&mut got).unwrap();
+    assert_eq!(
+        String::from_utf8_lossy(&got),
+        String::from_utf8_lossy(expected),
+        "v1 replay must be byte-identical on a multi-map daemon"
+    );
+
+    handle.shutdown();
+    std::fs::remove_file(default_path).unwrap();
+    std::fs::remove_file(other).unwrap();
+}
+
+#[test]
+fn v2_qualified_session_over_raw_bytes() {
+    // Pin the exact v2 wire bytes for the map-qualified verbs.
+    let west = temp("raw-west.routes");
+    let east = temp("raw-east.routes");
+    std::fs::write(&west, "h\twest-gw!h!%s\n").unwrap();
+    std::fs::write(&east, "h\teast-gw!h!%s\ne1\teast!e1!%s\n").unwrap();
+    let handle = Server::start(ServerConfig::ephemeral_set(vec![
+        ("west".to_string(), MapSource::Routes(west.clone())),
+        ("east".to_string(), MapSource::Routes(east.clone())),
+    ]))
+    .unwrap();
+
+    let session: &[u8] = b"PROTO 2\n\
+        MAPS\n\
+        QUERY @east h u\n\
+        MQUERY @east h:u e1 missing\n\
+        HEALTH @east\n\
+        STATS @bogus\n\
+        RELOAD @east\n\
+        QUERY @east h u\n\
+        QUIT\n";
+    let expected: &[u8] = b"200 proto=2\n\
+        200 maps=west,east default=west\n\
+        200 east-gw!h!u\n\
+        200 east-gw!h!u\n\
+        200 east!e1!%s\n\
+        404 no route to missing\n\
+        200 ok map=east generation=0 entries=2\n\
+        400 unknown map `bogus`\n\
+        200 reloaded map=east generation=1 entries=2\n\
+        200 east-gw!h!u\n\
+        200 bye\n";
+
+    let mut stream = TcpStream::connect(handle.tcp_addr().unwrap()).unwrap();
+    stream.write_all(session).unwrap();
+    stream.flush().unwrap();
+    let mut got = Vec::new();
+    stream.read_to_end(&mut got).unwrap();
+    assert_eq!(
+        String::from_utf8_lossy(&got),
+        String::from_utf8_lossy(expected),
+        "v2 qualified session bytes"
+    );
+
+    handle.shutdown();
+    std::fs::remove_file(west).unwrap();
+    std::fs::remove_file(east).unwrap();
+}
+
+#[test]
+fn per_map_watch_reloads_only_the_changed_map() {
+    let a = temp("watch-a.routes");
+    let b = temp("watch-b.routes");
+    std::fs::write(&a, "h\ta-gw!h!%s\n").unwrap();
+    std::fs::write(&b, "h\tb-gw!h!%s\n").unwrap();
+    let mut config = ServerConfig::ephemeral_set(vec![
+        ("a".to_string(), MapSource::Routes(a.clone())),
+        ("b".to_string(), MapSource::Routes(b.clone())),
+    ]);
+    config.watch = Some(Duration::from_millis(50));
+    let handle = Server::start(config).unwrap();
+    let mut client = Client::connect(handle.tcp_addr().unwrap()).unwrap();
+
+    // Rewrite only map b; the watcher must reload b and leave a alone.
+    std::fs::write(&b, "h\tb2-gw!h!%s\n").unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let health = client.health_on(Some("b")).unwrap();
+        if health.contains("generation=1") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "map b never auto-reloaded: {health}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(
+        client.query_on(Some("b"), "h", Some("u")).unwrap().unwrap(),
+        "b2-gw!h!u"
+    );
+    let health_a = client.health_on(Some("a")).unwrap();
+    assert!(
+        health_a.contains("generation=0"),
+        "map a must not reload: {health_a}"
+    );
+    client.quit().unwrap();
+    handle.shutdown();
+    std::fs::remove_file(a).unwrap();
+    std::fs::remove_file(b).unwrap();
+}

@@ -47,7 +47,7 @@ proptest! {
             let req = parse_request(&line, proto).unwrap();
             prop_assert_eq!(
                 req,
-                Request::Query { host: host.clone(), user: user.clone() }
+                Request::Query { map: None, host: host.clone(), user: user.clone() }
             );
         }
     }
@@ -74,7 +74,7 @@ proptest! {
             expect.push((host.clone(), user));
         }
         let req = parse_request(&line, ProtoVersion::V2).unwrap();
-        prop_assert_eq!(req, Request::MultiQuery { queries: expect });
+        prop_assert_eq!(req, Request::MultiQuery { map: None, queries: expect });
         // The same line at v1 is an unknown verb, byte-compatibly.
         prop_assert_eq!(
             parse_request(&line, ProtoVersion::V1).unwrap_err(),
@@ -89,7 +89,10 @@ proptest! {
         let responses = [
             Response::Route(payload.clone()),
             Response::NoRoute(payload.clone()),
-            Response::Stats(payload.clone()),
+            Response::Stats {
+                map: None,
+                body: payload.clone(),
+            },
             Response::BadRequest(payload.clone()),
             Response::Failure(payload.clone()),
             Response::Proto { version: ProtoVersion::V2 },

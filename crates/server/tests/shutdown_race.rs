@@ -1,0 +1,176 @@
+//! `RELOAD` of one map racing `SHUTDOWN` draining: the drain must
+//! finish inside its deadline, no client may ever see a torn
+//! snapshot (an `MQUERY` batch mixing two generations), and a reload
+//! that arrives after the drain began is refused instead of holding
+//! the daemon open to rebuild a table it will never serve.
+
+use pathalias_server::{Client, ClientError, MapSource, Server, ServerConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const HOSTS: usize = 60;
+
+fn temp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "pathalias-race-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+fn routes(relay: &str) -> String {
+    let mut out = String::new();
+    for i in 0..HOSTS {
+        out.push_str(&format!("h{i}\t{relay}!h{i}!%s\n"));
+    }
+    out
+}
+
+#[test]
+fn per_map_reload_racing_shutdown_drain() {
+    let stable_path = temp("stable.routes");
+    let churn_path = temp("churn.routes");
+    std::fs::write(&stable_path, routes("stable0")).unwrap();
+    std::fs::write(&churn_path, routes("churn0")).unwrap();
+
+    let handle = Server::start(ServerConfig::ephemeral_set(vec![
+        ("stable".to_string(), MapSource::Routes(stable_path.clone())),
+        ("churn".to_string(), MapSource::Routes(churn_path.clone())),
+    ]))
+    .unwrap();
+    let addr = handle.tcp_addr().unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let progress = Arc::new(AtomicU64::new(0));
+    let refusals = Arc::new(AtomicU64::new(0));
+
+    let drained = std::thread::scope(|s| {
+        // The churner: rewrite + qualified RELOAD of one map in a hot
+        // loop, so a reload is overwhelmingly likely to be in flight
+        // when SHUTDOWN lands. After the drain begins, reloads must be
+        // refused with the server's 500, never hang.
+        {
+            let stop = stop.clone();
+            let refusals = refusals.clone();
+            let churn_path = churn_path.clone();
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("churner connects");
+                let mut generation = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    generation += 1;
+                    std::fs::write(&churn_path, routes(&format!("churn{}", generation % 2)))
+                        .unwrap();
+                    match client.reload_on(Some("churn")) {
+                        Ok(payload) => {
+                            assert!(payload.contains("map=churn"), "{payload}");
+                        }
+                        Err(ClientError::Server { code: 500, message }) => {
+                            assert!(
+                                message.contains("shutting down"),
+                                "unexpected 500: {message}"
+                            );
+                            refusals.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                        Err(ClientError::Io(_)) => break, // drain closed us
+                        Err(e) => panic!("reload failed unexpectedly: {e}"),
+                    }
+                }
+                let _ = client.quit();
+            });
+        }
+
+        // Query clients: pinned MQUERY batches over the churning map —
+        // a batch mixing relays is a torn snapshot. They stop promptly
+        // once the drain begins, like a well-behaved mailer.
+        for client_id in 0..4 {
+            let stop = stop.clone();
+            let progress = progress.clone();
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                let user = format!("u{client_id}");
+                let hosts: Vec<String> = (0..HOSTS).map(|i| format!("h{i}")).collect();
+                let queries: Vec<(&str, Option<&str>)> = hosts
+                    .iter()
+                    .map(|h| (h.as_str(), Some(user.as_str())))
+                    .collect();
+                while !stop.load(Ordering::SeqCst) {
+                    let map = if client_id % 2 == 0 {
+                        "churn"
+                    } else {
+                        "stable"
+                    };
+                    let answers = match client.query_batch_on(Some(map), &queries) {
+                        Ok(a) => a,
+                        Err(ClientError::Io(_)) => break, // drain closed us
+                        Err(e) => panic!("batch failed: {e}"),
+                    };
+                    let first = answers[0].as_deref().expect("host exists");
+                    let relay = first.split('!').next().unwrap().to_string();
+                    if map == "stable" {
+                        assert_eq!(relay, "stable0", "the stable map must never change");
+                    }
+                    for (host, answer) in hosts.iter().zip(&answers) {
+                        let answer = answer.as_deref().expect("host exists");
+                        assert_eq!(
+                            answer,
+                            format!("{relay}!{host}!{user}"),
+                            "torn batch: one MQUERY answered from two generations"
+                        );
+                    }
+                    progress.fetch_add(1, Ordering::SeqCst);
+                }
+                let _ = client.quit();
+            });
+        }
+
+        // The shutter: once real concurrent load has happened, drain.
+        while progress.load(Ordering::SeqCst) < 40 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let shutter = Client::connect(addr).expect("shutter connects");
+        assert_eq!(
+            shutter.shutdown().expect("shutdown accepted"),
+            "shutting down"
+        );
+        stop.store(true, Ordering::SeqCst);
+
+        handle.drain(Duration::from_secs(10))
+    });
+
+    assert!(drained, "drain must finish inside its deadline");
+    std::fs::remove_file(stable_path).unwrap();
+    std::fs::remove_file(churn_path).unwrap();
+}
+
+#[test]
+fn reload_after_drain_begins_is_refused() {
+    let path = temp("refused.routes");
+    std::fs::write(&path, "a\ta!%s\n").unwrap();
+    let handle = Server::start(ServerConfig::ephemeral(MapSource::Routes(path.clone()))).unwrap();
+    let addr = handle.tcp_addr().unwrap();
+
+    // Connect *before* the drain starts (accepts stop afterwards).
+    let mut bystander = Client::connect(addr).unwrap();
+    assert_eq!(bystander.query("a", Some("u")).unwrap().unwrap(), "a!u");
+
+    let shutter = Client::connect(addr).unwrap();
+    shutter.shutdown().unwrap();
+
+    match bystander.reload() {
+        Err(ClientError::Server { code: 500, message }) => {
+            assert!(message.contains("shutting down"), "{message}");
+        }
+        other => panic!("expected a refusal, got {other:?}"),
+    }
+    // Queries still answer during the drain; the table is untouched.
+    assert_eq!(bystander.query("a", Some("u")).unwrap().unwrap(), "a!u");
+    let health = bystander.health().unwrap();
+    assert!(health.contains("generation=0"), "{health}");
+    bystander.quit().unwrap();
+
+    assert!(handle.drain(Duration::from_secs(5)));
+    std::fs::remove_file(path).unwrap();
+}

@@ -21,6 +21,19 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// A config running `default_cases` cases unless the
+    /// `PROPTEST_CASES` environment variable overrides it — how the
+    /// fuzz-style harnesses let the dedicated CI job crank coverage
+    /// far past what a local `cargo test` pays for.
+    pub fn with_cases_env(default_cases: u32) -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(default_cases);
+        ProptestConfig { cases }
+    }
 }
 
 /// The random source handed to strategies. Seeded from the test name
