@@ -1,7 +1,9 @@
 //! Daemon lookup throughput against a 10k-host synthetic map.
 //!
 //! Altitudes, so a regression can be localized: the bare in-memory
-//! resolve path (snapshot + cache + metrics, no socket), the same path
+//! resolve path (snapshot + cache + metrics, no socket), the same
+//! path with per-request telemetry recording (latency histogram +
+//! slow-log probe — the daemon's added cost per QUERY), the same path
 //! over a page-cache-backed PADB1 file (`MappedDb`), one client's
 //! request/response round trip over loopback TCP (in-memory and mmap
 //! backends), the v2 batched `MQUERY` path (64 queries per round
@@ -15,7 +17,8 @@ use pathalias_mailer::disk::{write_db, MappedDb};
 use pathalias_mailer::{Resolver, RouteDb, SharedRouteDb};
 use pathalias_server::index::Cached;
 use pathalias_server::metrics::Metrics;
-use pathalias_server::{Client, MapSource, Server, ServerConfig};
+use pathalias_server::telemetry::duration_ns;
+use pathalias_server::{Client, MapSource, MapTelemetry, Server, ServerConfig};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -64,6 +67,29 @@ fn bench_serve(c: &mut Criterion) {
             let host = &hosts[i % hosts.len()];
             i = i.wrapping_add(1);
             black_box(cached.resolve(host, "user"))
+        });
+    });
+
+    // Altitude 1c: the identical resolve with telemetry recording
+    // around it — exactly what the daemon adds per QUERY: a clock
+    // read, a histogram record (three relaxed adds + a fetch_max) and
+    // the slow-log admission probe. Gated against the bare
+    // resolve-in-memory baseline: recording must stay inside the
+    // ordinary bench tolerance, i.e. cost roughly nothing.
+    let telemetry = MapTelemetry::new();
+    let mut i = 0usize;
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("resolve-in-memory-telemetry", |b| {
+        b.iter(|| {
+            let host = &hosts[i % hosts.len()];
+            i = i.wrapping_add(1);
+            let t0 = std::time::Instant::now();
+            let out = cached.resolve(host, "user");
+            let ns = duration_ns(t0.elapsed());
+            telemetry.query.record(ns);
+            let outcome = if out.is_ok() { "ok" } else { "no_route" };
+            telemetry.observe_slow("QUERY", "bench", host, ns, outcome);
+            black_box(out)
         });
     });
 

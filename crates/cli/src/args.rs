@@ -14,7 +14,8 @@ usage: pathalias [-l host] [-c] [-i] [-v] [-n] [-s] [-t host]... [file ...]
                  [--watch [--watch-interval-ms N]] [-l host] [-i]
        pathalias serve (--connect addr | --unix path) [--map-name NAME]
                  (--query host... [--user u] | --stats | --reload
-                  | --health | --maps | --shutdown)
+                  | --health | --maps | --metrics | --slowlog
+                  | --shutdown)
 
 options:
   -l host   local host (mapping source); default: first host in input
@@ -65,6 +66,10 @@ serve (client mode):
   --map-name N  run the verb against map namespace N (protocol v2)
   --stats | --reload | --health | --shutdown   the other protocol verbs
   --maps        list the map namespaces the daemon serves
+  --metrics     scrape latency histograms and counters in Prometheus
+                text format (protocol v2)
+  --slowlog     print the daemon's worst recent requests, slowest
+                first (protocol v2)
 ";
 
 /// Parsed command line.
@@ -310,6 +315,12 @@ pub enum ClientAction {
     Health,
     /// `--maps`: list the daemon's map namespaces (protocol v2).
     Maps,
+    /// `--metrics`: scrape the daemon's Prometheus text exposition
+    /// (protocol v2).
+    Metrics,
+    /// `--slowlog`: print the daemon's worst recent requests, slowest
+    /// first (protocol v2).
+    Slowlog,
     /// `--shutdown`: ask the daemon to drain and exit (protocol v2).
     Shutdown,
 }
@@ -447,6 +458,8 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
     let mut reload = false;
     let mut health = false;
     let mut maps = false;
+    let mut metrics = false;
+    let mut slowlog = false;
     let mut shutdown = false;
 
     let mut it = argv.iter();
@@ -512,6 +525,8 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
             "--reload" => reload = true,
             "--health" => health = true,
             "--maps" => maps = true,
+            "--metrics" => metrics = true,
+            "--slowlog" => slowlog = true,
             "--shutdown" => shutdown = true,
             other => return Err(format!("serve: unknown argument {other}")),
         }
@@ -522,6 +537,8 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
         + usize::from(reload)
         + usize::from(health)
         + usize::from(maps)
+        + usize::from(metrics)
+        + usize::from(slowlog)
         + usize::from(shutdown);
     let client_mode = verb_count > 0 || connect.is_some() || map_name.is_some();
 
@@ -529,7 +546,7 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
         if verb_count != 1 {
             return Err(
                 "serve client mode wants exactly one of --query/--stats/--reload/--health/\
-                 --maps/--shutdown"
+                 --maps/--metrics/--slowlog/--shutdown"
                     .to_string(),
             );
         }
@@ -566,7 +583,8 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
         }
         if map_name.is_some() && (maps || shutdown) {
             return Err(
-                "serve: --map-name only makes sense with --query/--stats/--reload/--health"
+                "serve: --map-name only makes sense with --query/--stats/--reload/--health/\
+                 --metrics/--slowlog"
                     .to_string(),
             );
         }
@@ -583,6 +601,10 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
             ClientAction::Reload
         } else if maps {
             ClientAction::Maps
+        } else if metrics {
+            ClientAction::Metrics
+        } else if slowlog {
+            ClientAction::Slowlog
         } else if shutdown {
             ClientAction::Shutdown
         } else {
@@ -1105,6 +1127,53 @@ mod tests {
             let parsed = parse(&v(&["serve", "--connect", "a:1", verb, "--map-name", "m"]));
             assert!(parsed.is_ok(), "{verb} with --map-name should parse");
         }
+    }
+
+    #[test]
+    fn serve_client_metrics_and_slowlog() {
+        let Command::Serve(ServeArgs::Client(c)) =
+            parse(&v(&["serve", "--connect", "a:1", "--metrics"])).unwrap()
+        else {
+            panic!("expected client");
+        };
+        assert_eq!(c.action, ClientAction::Metrics);
+        assert_eq!(c.map_name, None);
+
+        // Both take --map-name: METRICS @name and SLOWLOG @name are
+        // qualified verbs on the wire.
+        let Command::Serve(ServeArgs::Client(c)) = parse(&v(&[
+            "serve",
+            "--connect",
+            "a:1",
+            "--metrics",
+            "--map-name",
+            "east",
+        ]))
+        .unwrap() else {
+            panic!("expected client");
+        };
+        assert_eq!(c.action, ClientAction::Metrics);
+        assert_eq!(c.map_name.as_deref(), Some("east"));
+
+        let Command::Serve(ServeArgs::Client(c)) = parse(&v(&[
+            "serve",
+            "--unix",
+            "/tmp/s.sock",
+            "--slowlog",
+            "--map-name",
+            "west",
+        ]))
+        .unwrap() else {
+            panic!("expected client");
+        };
+        assert_eq!(c.action, ClientAction::Slowlog);
+        assert_eq!(c.map_name.as_deref(), Some("west"));
+
+        // Verbs stay exclusive, and daemon mode rejects them.
+        assert!(parse(&v(&["serve", "--connect", "a:1", "--metrics", "--stats"])).is_err());
+        assert!(parse(&v(&["serve", "--connect", "a:1", "--metrics", "--slowlog"])).is_err());
+        assert!(parse(&v(&["serve", "--routes", "r", "--metrics"])).is_err());
+        assert!(parse(&v(&["serve", "--routes", "r", "--slowlog"])).is_err());
     }
 
     #[test]

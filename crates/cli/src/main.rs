@@ -18,7 +18,7 @@
 use pathalias_core::{Options, Parsed, Pathalias, Sort};
 use pathalias_mailer::RouteDb;
 use pathalias_mapgen::{generate, MapSpec};
-use pathalias_server::{Client, MapSource, Server, ServerConfig};
+use pathalias_server::{Client, Logger, MapSource, Server, ServerConfig};
 use std::io::{Read, Write};
 use std::process::ExitCode;
 
@@ -262,6 +262,10 @@ fn cmd_serve_daemon(d: DaemonArgs) -> ExitCode {
         watch: d
             .watch
             .then(|| std::time::Duration::from_millis(d.watch_interval_ms)),
+        // Structured key=value diagnostics on stderr, at the level
+        // PATHALIAS_LOG asks for (default info). The announce lines
+        // below stay on stdout for scripts to scrape.
+        logger: Logger::from_env(),
     };
     let handle = match Server::start(config) {
         Ok(h) => h,
@@ -380,6 +384,13 @@ fn cmd_serve_client(c: ClientArgs) -> ExitCode {
         ClientAction::Stats => client.stats_on(map).map(|s| println!("{s}")),
         ClientAction::Reload => client.reload_on(map).map(|s| println!("{s}")),
         ClientAction::Health => client.health_on(map).map(|s| println!("{s}")),
+        // The exposition already ends every line with '\n'.
+        ClientAction::Metrics => client.metrics_on(map).map(|text| print!("{text}")),
+        ClientAction::Slowlog => client.slowlog_on(map).map(|lines| {
+            for line in &lines {
+                println!("{line}");
+            }
+        }),
         ClientAction::Maps => client.maps().map(|info| {
             for name in &info.names {
                 if *name == info.default {

@@ -67,11 +67,18 @@ impl From<std::io::Error> for Error {
     }
 }
 
-/// Wall-clock time spent in each phase (experiment E9 reports these).
+/// Wall-clock time spent in each phase (experiment E9 reports these;
+/// the server exports the latest reload's timings over `METRICS`).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PhaseTimings {
     /// Time spent parsing input.
     pub parse: Duration,
+    /// Time spent building the graph from parsed input. The
+    /// incremental [`Pathalias`] driver fuses building into parsing
+    /// (`parse_into` grows the graph as text arrives), so it reports
+    /// zero here; the staged `Parsed → Built` path (reloads, `freeze`)
+    /// reports the build stage separately.
+    pub build: Duration,
     /// Time spent freezing the built graph into its CSR snapshot.
     pub freeze: Duration,
     /// Time spent building the shortest-path tree.
@@ -232,6 +239,7 @@ impl Pathalias {
             unreachable: printed.unreachable,
             timings: PhaseTimings {
                 parse: parse_time,
+                build: Duration::ZERO,
                 freeze: frozen.freeze_time,
                 map: mapped.map_time,
                 print: printed.print_time,

@@ -472,6 +472,66 @@ impl Client {
         self.expect_200(&request)
     }
 
+    /// Runs a v2 multi-line verb: a `200 <header_prefix><N>` header
+    /// announces N payload lines, which are read verbatim.
+    fn multi_line(
+        &mut self,
+        verb: &str,
+        header_prefix: &str,
+        map: Option<&str>,
+    ) -> Result<Vec<String>, ClientError> {
+        if self.negotiate()? != ProtoVersion::V2 {
+            return Err(ClientError::InvalidQuery(format!(
+                "{verb} needs protocol v2, but the server only speaks v1"
+            )));
+        }
+        let request = self.qualified(verb, map)?;
+        let payload = self.expect_200(&request)?;
+        let count: usize = payload
+            .strip_prefix(header_prefix)
+            .and_then(|n| n.trim().parse().ok())
+            .ok_or_else(|| {
+                ClientError::Protocol(format!("{verb} got unexpected header `{payload}`"))
+            })?;
+        let mut lines = Vec::with_capacity(count);
+        for _ in 0..count {
+            lines.push(self.recv_response()?);
+        }
+        Ok(lines)
+    }
+
+    /// `METRICS` (v2) → the Prometheus text exposition document
+    /// covering every served map.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.metrics_on(None)
+    }
+
+    /// `METRICS [@map]` (v2) → the Prometheus text exposition
+    /// document, restricted to one namespace when `map` is given.
+    /// Fails with [`ClientError::InvalidQuery`] against a v1-only
+    /// daemon (the verb does not exist there).
+    pub fn metrics_on(&mut self, map: Option<&str>) -> Result<String, ClientError> {
+        let lines = self.multi_line("METRICS", "metrics lines=", map)?;
+        let mut text = String::new();
+        for line in lines {
+            text.push_str(&line);
+            text.push('\n');
+        }
+        Ok(text)
+    }
+
+    /// `SLOWLOG` (v2) → the worst-N slowest requests across every
+    /// map, one `key=value` line per entry, slowest first.
+    pub fn slowlog(&mut self) -> Result<Vec<String>, ClientError> {
+        self.slowlog_on(None)
+    }
+
+    /// `SLOWLOG [@map]` (v2) → one namespace's slow-query log when
+    /// `map` is given, else all maps merged.
+    pub fn slowlog_on(&mut self, map: Option<&str>) -> Result<Vec<String>, ClientError> {
+        self.multi_line("SLOWLOG", "slowlog entries=", map)
+    }
+
     /// `SHUTDOWN` (v2): asks the daemon to stop accepting and drain.
     /// Negotiates v2 first; fails with [`ClientError::Server`] against
     /// a v1-only daemon.

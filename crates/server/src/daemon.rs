@@ -30,13 +30,15 @@ use crate::index::Cached;
 use crate::metrics::{bump, drop_one, Metrics, ServerMetrics};
 use crate::protocol::{parse_request, ProtoVersion, Request, Response, MAX_LINE};
 use crate::reload::MapSource;
+use crate::telemetry::{duration_ns, render_slow_entry, MapTelemetry};
 use pathalias_mailer::{BoxedResolver, ResolveError, Resolver};
+use pathalias_telemetry::{Logger, PromText, SlowEntry};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -78,6 +80,12 @@ pub struct ServerConfig {
     /// when its fingerprint changes (`serve --watch`). `None` disables
     /// the watcher; `RELOAD` over the wire always works.
     pub watch: Option<Duration>,
+    /// Where structured log lines go and above which level they are
+    /// dropped. The `ephemeral*` constructors use [`Logger::off`] —
+    /// an embedded or test server stays silent; the CLI daemon passes
+    /// [`Logger::from_env`], which writes `key=value` lines to stderr
+    /// at the `PATHALIAS_LOG` level.
+    pub logger: Logger,
 }
 
 impl ServerConfig {
@@ -99,6 +107,7 @@ impl ServerConfig {
             cache_capacity: 4096,
             cache_shards: 8,
             watch: None,
+            logger: Logger::off(),
         }
     }
 }
@@ -110,6 +119,9 @@ pub(crate) struct MapState {
     source: MapSource,
     cached: Cached<BoxedResolver>,
     metrics: Arc<Metrics>,
+    /// Latency histograms, slow-query log, and reload phase timings
+    /// for this map (`METRICS` / `SLOWLOG`).
+    telemetry: MapTelemetry,
     /// Serializes rebuilds of *this* map; queries never take it, and
     /// other maps reload independently.
     reload_lock: Mutex<()>,
@@ -122,6 +134,10 @@ pub(crate) struct State {
     /// Index into `maps` of the default namespace.
     default_map: usize,
     server_metrics: Arc<ServerMetrics>,
+    /// Structured logger shared by every daemon thread.
+    logger: Logger,
+    /// Source of per-connection ids for log correlation.
+    next_conn_id: AtomicU64,
     shutting_down: AtomicBool,
     /// Where to poke throwaway connections to wake blocking accepts
     /// (filled in by `Server::start` once the listeners are bound).
@@ -165,7 +181,13 @@ impl State {
                     Ok(m) => m,
                     Err(resp) => return vec![resp],
                 };
-                vec![self.respond_query(map, &host, user.as_deref())]
+                let start = Instant::now();
+                let resp = self.respond_query(map, &host, user.as_deref());
+                let ns = duration_ns(start.elapsed());
+                map.telemetry.query.record(ns);
+                map.telemetry
+                    .observe_slow("QUERY", &map.name, &host, ns, outcome_of(&resp));
+                vec![resp]
             }
             Request::MultiQuery { map, queries } => {
                 let map = match self.map_named(map.as_deref()) {
@@ -179,18 +201,34 @@ impl State {
                 // Pin one snapshot for the whole batch: a reload
                 // mid-batch must not make line 7 answer from a newer
                 // table than line 3.
+                let batch_start = Instant::now();
                 let snapshot = map.cached.snapshot();
-                queries
+                let responses: Vec<Response> = queries
                     .iter()
                     .map(|(host, user)| {
                         let user = user.as_deref().unwrap_or("%s");
-                        match map.cached.resolve_at(&snapshot, host, user) {
+                        let start = Instant::now();
+                        let resp = match map.cached.resolve_at(&snapshot, host, user) {
                             Ok(resolution) => Response::Route(resolution.route),
                             Err(ResolveError::NoRoute) => Response::NoRoute(host.clone()),
                             Err(e) => Response::Failure(format!("resolve failed: {e}")),
-                        }
+                        };
+                        let ns = duration_ns(start.elapsed());
+                        map.telemetry.mquery_item.record(ns);
+                        map.telemetry.observe_slow(
+                            "MQUERY",
+                            &map.name,
+                            host,
+                            ns,
+                            outcome_of(&resp),
+                        );
+                        resp
                     })
-                    .collect()
+                    .collect();
+                map.telemetry
+                    .mquery_batch
+                    .record(duration_ns(batch_start.elapsed()));
+                responses
             }
             Request::Proto { version } => vec![Response::Proto { version }],
             Request::Stats { map } => {
@@ -242,6 +280,46 @@ impl State {
                 names: self.maps.iter().map(|m| m.name.clone()).collect(),
                 default: self.maps[self.default_map].name.clone(),
             }],
+            Request::Metrics { map } => {
+                let only = match map.as_deref() {
+                    None => None,
+                    Some(n) => match self.maps.iter().position(|m| m.name == n) {
+                        Some(i) => Some(i),
+                        None => return vec![Response::BadRequest(format!("unknown map `{n}`"))],
+                    },
+                };
+                let text = self.render_metrics(only);
+                let mut responses = vec![Response::MetricsHeader {
+                    lines: text.lines().count(),
+                }];
+                responses.extend(text.lines().map(|l| Response::Payload(l.to_string())));
+                responses
+            }
+            Request::SlowLog { map } => {
+                let selected: Vec<&Arc<MapState>> = match map.as_deref() {
+                    None => self.maps.iter().collect(),
+                    Some(n) => match self.maps.iter().find(|m| m.name == n) {
+                        Some(m) => vec![m],
+                        None => return vec![Response::BadRequest(format!("unknown map `{n}`"))],
+                    },
+                };
+                // Merge across maps, slowest first — the per-map logs
+                // are already worst-N, so this is a small sort.
+                let mut entries: Vec<SlowEntry> = selected
+                    .iter()
+                    .flat_map(|m| m.telemetry.slowlog.snapshot())
+                    .collect();
+                entries.sort_by_key(|e| std::cmp::Reverse(e.latency_ns));
+                let mut responses = vec![Response::SlowLogHeader {
+                    entries: entries.len(),
+                }];
+                responses.extend(
+                    entries
+                        .iter()
+                        .map(|e| Response::Payload(render_slow_entry(e))),
+                );
+                responses
+            }
             Request::Shutdown => {
                 self.begin_shutdown();
                 vec![Response::ShuttingDown]
@@ -257,11 +335,24 @@ impl State {
     /// requests.
     fn reload(self: &Arc<Self>, map: &MapState, wire_name: Option<String>) -> Response {
         let _guard = map.reload_lock.lock().expect("reload lock poisoned");
-        match map.source.load_resolver() {
-            Ok(resolver) => {
+        let start = Instant::now();
+        match map.source.load_resolver_timed() {
+            Ok((resolver, phases)) => {
                 let entries = resolver.entries();
                 let generation = map.cached.replace(resolver);
                 bump(&map.metrics.reloads);
+                let ns = duration_ns(start.elapsed());
+                map.telemetry.reload.record(ns);
+                map.telemetry.set_reload_phases(phases);
+                map.telemetry
+                    .observe_slow("RELOAD", &map.name, "", ns, "ok");
+                self.logger
+                    .info("reload")
+                    .field("map", &map.name)
+                    .field("generation", generation)
+                    .field("entries", entries)
+                    .field("duration_ms", ns / 1_000_000)
+                    .emit();
                 Response::Reloaded {
                     map: wire_name,
                     generation,
@@ -270,16 +361,230 @@ impl State {
             }
             Err(e) => {
                 bump(&map.metrics.reload_failures);
+                let ns = duration_ns(start.elapsed());
+                map.telemetry.reload.record(ns);
+                map.telemetry
+                    .observe_slow("RELOAD", &map.name, "", ns, "error");
+                self.logger
+                    .error("reload_failed")
+                    .field("map", &map.name)
+                    .field("error", &e)
+                    .emit();
                 Response::Failure(format!("reload failed: {e}"))
             }
         }
+    }
+
+    /// Renders the Prometheus text exposition served by `METRICS`.
+    /// `only` restricts the per-map families to one namespace
+    /// (`METRICS @name`); daemon-wide series always render.
+    fn render_metrics(&self, only: Option<usize>) -> String {
+        let maps: Vec<&Arc<MapState>> = match only {
+            Some(i) => vec![&self.maps[i]],
+            None => self.maps.iter().collect(),
+        };
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let mut out = PromText::new();
+
+        out.family(
+            "pathalias_connections_total",
+            "counter",
+            "Connections accepted over the daemon's lifetime.",
+        );
+        out.sample(
+            "pathalias_connections_total",
+            &[],
+            load(&self.server_metrics.connections),
+        );
+        out.family(
+            "pathalias_bad_requests_total",
+            "counter",
+            "Request lines that did not parse.",
+        );
+        out.sample(
+            "pathalias_bad_requests_total",
+            &[],
+            load(&self.server_metrics.bad_requests),
+        );
+        out.family(
+            "pathalias_active_connections",
+            "gauge",
+            "Connections currently open.",
+        );
+        out.sample(
+            "pathalias_active_connections",
+            &[],
+            load(&self.server_metrics.active_connections),
+        );
+        out.family(
+            "pathalias_uptime_seconds",
+            "gauge",
+            "Seconds since the daemon started.",
+        );
+        out.sample_f64(
+            "pathalias_uptime_seconds",
+            &[],
+            self.server_metrics.uptime_ms() as f64 / 1000.0,
+        );
+
+        // Per-map counter families, samples grouped under one
+        // HELP/TYPE header per family as the exposition format wants.
+        type Get = fn(&Metrics) -> u64;
+        let counters: [(&str, &str, Get); 8] = [
+            (
+                "pathalias_queries_total",
+                "Queries resolved against this map (QUERY and MQUERY items).",
+                |m| m.queries.load(Ordering::Relaxed),
+            ),
+            ("pathalias_hits_total", "Queries that found a route.", |m| {
+                m.hits.load(Ordering::Relaxed)
+            }),
+            ("pathalias_misses_total", "Queries with no route.", |m| {
+                m.misses.load(Ordering::Relaxed)
+            }),
+            (
+                "pathalias_cache_hits_total",
+                "Lookups answered from the LRU cache.",
+                |m| m.cache_hits.load(Ordering::Relaxed),
+            ),
+            (
+                "pathalias_cache_misses_total",
+                "Lookups that went to the backing table.",
+                |m| m.cache_misses.load(Ordering::Relaxed),
+            ),
+            (
+                "pathalias_resolve_errors_total",
+                "Queries that failed with a backend error.",
+                |m| m.resolve_errors.load(Ordering::Relaxed),
+            ),
+            (
+                "pathalias_reloads_total",
+                "Successful reloads of this map.",
+                |m| m.reloads.load(Ordering::Relaxed),
+            ),
+            (
+                "pathalias_reload_failures_total",
+                "Failed reloads (the old table kept serving).",
+                |m| m.reload_failures.load(Ordering::Relaxed),
+            ),
+        ];
+        for (name, help, get) in counters {
+            out.family(name, "counter", help);
+            for m in &maps {
+                out.sample(name, &[("map", &m.name)], get(&m.metrics));
+            }
+        }
+
+        out.family(
+            "pathalias_generation",
+            "gauge",
+            "Table generation now serving.",
+        );
+        for m in &maps {
+            out.sample(
+                "pathalias_generation",
+                &[("map", &m.name)],
+                m.cached.snapshot().generation(),
+            );
+        }
+        out.family(
+            "pathalias_entries",
+            "gauge",
+            "Entries in the serving table.",
+        );
+        for m in &maps {
+            out.sample(
+                "pathalias_entries",
+                &[("map", &m.name)],
+                m.cached.snapshot().entries() as u64,
+            );
+        }
+
+        type ShardGet = fn(&crate::cache::ShardStats) -> u64;
+        let shard_families: [(&str, &str, ShardGet); 3] = [
+            (
+                "pathalias_cache_shard_hits_total",
+                "Per-shard LRU cache hits.",
+                |s| s.hits,
+            ),
+            (
+                "pathalias_cache_shard_misses_total",
+                "Per-shard LRU cache misses.",
+                |s| s.misses,
+            ),
+            (
+                "pathalias_cache_shard_evictions_total",
+                "Per-shard LRU cache evictions.",
+                |s| s.evictions,
+            ),
+        ];
+        for (name, help, get) in shard_families {
+            out.family(name, "counter", help);
+            for m in &maps {
+                for (i, stats) in m.cached.cache().shard_stats().iter().enumerate() {
+                    let shard = i.to_string();
+                    out.sample(name, &[("map", &m.name), ("shard", &shard)], get(stats));
+                }
+            }
+        }
+
+        out.family(
+            "pathalias_request_latency_seconds",
+            "histogram",
+            "Request latency by verb (mquery_batch is one whole MQUERY line, \
+             mquery_item one host within it, reload a table rebuild).",
+        );
+        for m in &maps {
+            let verbs = [
+                ("query", &m.telemetry.query),
+                ("mquery_batch", &m.telemetry.mquery_batch),
+                ("mquery_item", &m.telemetry.mquery_item),
+                ("reload", &m.telemetry.reload),
+            ];
+            for (verb, histogram) in verbs {
+                out.histogram(
+                    "pathalias_request_latency_seconds",
+                    &[("map", &m.name), ("verb", verb)],
+                    &histogram.snapshot(),
+                );
+            }
+        }
+
+        out.family(
+            "pathalias_reload_phase_seconds",
+            "gauge",
+            "Pipeline phase durations of the latest reload (zero = stage-cache hit; \
+             absent until the first reload).",
+        );
+        for m in &maps {
+            if let Some(t) = m.telemetry.reload_phases() {
+                let phases = [
+                    ("parse", t.parse),
+                    ("build", t.build),
+                    ("freeze", t.freeze),
+                    ("map", t.map),
+                    ("print", t.print),
+                ];
+                for (phase, duration) in phases {
+                    out.sample_f64(
+                        "pathalias_reload_phase_seconds",
+                        &[("map", &m.name), ("phase", phase)],
+                        duration.as_secs_f64(),
+                    );
+                }
+            }
+        }
+
+        out.finish()
     }
 
     /// Flags shutdown and wakes the blocking accept loops so they can
     /// observe it. Idempotent; callable from any connection thread
     /// (the `SHUTDOWN` verb) or from the handle.
     fn begin_shutdown(&self) {
-        self.shutting_down.store(true, Ordering::SeqCst);
+        if !self.shutting_down.swap(true, Ordering::SeqCst) {
+            self.logger.info("shutdown").emit();
+        }
         if let Some(addr) = *self.wake_tcp.lock().expect("wake lock poisoned") {
             let _ = TcpStream::connect(addr);
         }
@@ -287,6 +592,16 @@ impl State {
         if let Some(path) = self.wake_unix.lock().expect("wake lock poisoned").clone() {
             let _ = UnixStream::connect(path);
         }
+    }
+}
+
+/// The slow-log outcome tag for a response: `ok` for a route, the
+/// expected `no_route` for a 404, `error` for anything else.
+fn outcome_of(resp: &Response) -> &'static str {
+    match resp {
+        Response::Route(_) => "ok",
+        Response::NoRoute(_) => "no_route",
+        _ => "error",
     }
 }
 
@@ -392,7 +707,7 @@ impl SplitStream for UnixStream {
 /// reader is buffered across requests, so pipelined lines are never
 /// dropped; responses for one request line (one for most verbs, N for
 /// `MQUERY`) are written together and flushed once.
-fn serve_connection(state: Arc<State>, stream: impl SplitStream) -> io::Result<()> {
+fn serve_connection(state: Arc<State>, stream: impl SplitStream, conn_id: u64) -> io::Result<()> {
     // Bounded reads let an idle connection notice a drain without a
     // request arriving; partial request bytes survive the poll.
     let _ = stream.set_read_timeout(Some(IDLE_POLL));
@@ -414,6 +729,12 @@ fn serve_connection(state: Arc<State>, stream: impl SplitStream) -> io::Result<(
                 continue;
             }
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                state
+                    .logger
+                    .warn("bad_request")
+                    .field("conn", conn_id)
+                    .field("reason", &e)
+                    .emit();
                 writeln!(writer, "{}", Response::BadRequest(e.to_string()))?;
                 writer.flush()?;
                 return Ok(());
@@ -433,6 +754,12 @@ fn serve_connection(state: Arc<State>, stream: impl SplitStream) -> io::Result<(
             }
             Err(why) => {
                 bump(&state.server_metrics.bad_requests);
+                state
+                    .logger
+                    .warn("bad_request")
+                    .field("conn", conn_id)
+                    .field("reason", &why)
+                    .emit();
                 (vec![Response::BadRequest(why)], false)
             }
         };
@@ -499,6 +826,7 @@ impl Server {
                     .collect()
             });
 
+        let logger = config.logger.clone();
         let server_metrics = Arc::new(ServerMetrics::default());
         let mut maps = Vec::with_capacity(config.maps.len());
         for (name, source) in config.maps {
@@ -506,6 +834,12 @@ impl Server {
                 map: name.clone(),
                 error,
             })?;
+            logger
+                .info("map_loaded")
+                .field("map", &name)
+                .field("source", source.kind())
+                .field("entries", resolver.entries())
+                .emit();
             let metrics = Arc::new(Metrics::default());
             maps.push(Arc::new(MapState {
                 name,
@@ -517,6 +851,7 @@ impl Server {
                     metrics.clone(),
                 ),
                 metrics,
+                telemetry: MapTelemetry::new(),
                 reload_lock: Mutex::new(()),
             }));
         }
@@ -525,6 +860,8 @@ impl Server {
             maps,
             default_map,
             server_metrics,
+            logger,
+            next_conn_id: AtomicU64::new(1),
             shutting_down: AtomicBool::new(false),
             wake_tcp: Mutex::new(None),
             #[cfg(unix)]
@@ -538,6 +875,12 @@ impl Server {
             let bound = listener.local_addr().map_err(StartError::Bind)?;
             tcp_addr = Some(bound);
             *state.wake_tcp.lock().expect("wake lock poisoned") = Some(bound);
+            state
+                .logger
+                .info("listening")
+                .field("transport", "tcp")
+                .field("addr", bound)
+                .emit();
             let state = state.clone();
             accept_threads.push(std::thread::spawn(move || accept_tcp(state, listener)));
         }
@@ -550,6 +893,12 @@ impl Server {
             let listener = UnixListener::bind(path).map_err(StartError::Bind)?;
             unix_path = Some(path.clone());
             *state.wake_unix.lock().expect("wake lock poisoned") = Some(path.clone());
+            state
+                .logger
+                .info("listening")
+                .field("transport", "unix")
+                .field("path", path.display())
+                .emit();
             let state = state.clone();
             accept_threads.push(std::thread::spawn(move || accept_unix(state, listener)));
         }
@@ -653,6 +1002,11 @@ fn watch_sources(
                 continue;
             };
             if last[i].as_ref() != Some(&current) {
+                state
+                    .logger
+                    .info("watch_reload")
+                    .field("map", &map.name)
+                    .emit();
                 // The ordinary reload path: atomic swap on success, old
                 // table keeps serving on failure. Either way the new
                 // fingerprint is remembered, so a broken rewrite is
@@ -667,9 +1021,20 @@ fn watch_sources(
 fn spawn_connection(state: Arc<State>, stream: impl SplitStream) {
     bump(&state.server_metrics.connections);
     bump(&state.server_metrics.active_connections);
+    let conn_id = state.next_conn_id.fetch_add(1, Ordering::Relaxed);
+    state
+        .logger
+        .debug("conn_open")
+        .field("conn", conn_id)
+        .emit();
     std::thread::spawn(move || {
-        let _ = serve_connection(state.clone(), stream);
+        let _ = serve_connection(state.clone(), stream, conn_id);
         drop_one(&state.server_metrics.active_connections);
+        state
+            .logger
+            .debug("conn_close")
+            .field("conn", conn_id)
+            .emit();
     });
 }
 
@@ -782,6 +1147,11 @@ impl ServerHandle {
             let _ = t.join();
         }
         let drained = self.await_connections(deadline);
+        self.state
+            .logger
+            .info("drain")
+            .field("complete", drained)
+            .emit();
         self.cleanup_socket();
         drained
     }
@@ -842,6 +1212,7 @@ mod tests {
                     source,
                     cached: Cached::new(resolver, 64, 2, metrics.clone()),
                     metrics,
+                    telemetry: MapTelemetry::new(),
                     reload_lock: Mutex::new(()),
                 })
             })
@@ -850,6 +1221,10 @@ mod tests {
             maps: built,
             default_map,
             server_metrics: Arc::new(ServerMetrics::default()),
+            // Captured, not stderr: unit tests stay silent and can
+            // assert on (or against) what the daemon would log.
+            logger: Logger::capture(pathalias_telemetry::Level::Debug).0,
+            next_conn_id: AtomicU64::new(1),
             shutting_down: AtomicBool::new(false),
             wake_tcp: Mutex::new(None),
             #[cfg(unix)]
@@ -1256,6 +1631,250 @@ mod tests {
             LineRead::Line
         ));
         assert_eq!(line, "QUERY seismo rick");
+    }
+
+    /// Joins a multi-line response (header + payload lines) back into
+    /// the text document, checking the header's line count on the way.
+    fn payload_text(responses: &[Response]) -> String {
+        let Response::MetricsHeader { lines } = responses[0] else {
+            panic!("expected a metrics header, got {:?}", responses[0]);
+        };
+        assert_eq!(lines, responses.len() - 1, "header line count");
+        responses[1..]
+            .iter()
+            .map(|r| {
+                let Response::Payload(line) = r else {
+                    panic!("expected a payload line, got {r:?}");
+                };
+                format!("{line}\n")
+            })
+            .collect()
+    }
+
+    /// `(le, cumulative)` pairs of one labelled histogram series.
+    fn bucket_series(text: &str, series_prefix: &str) -> Vec<(String, u64)> {
+        text.lines()
+            .filter(|l| l.starts_with(series_prefix))
+            .map(|l| {
+                let le_start = l.find("le=\"").unwrap() + 4;
+                let le_end = l[le_start..].find('"').unwrap() + le_start;
+                let value = l.rsplit(' ').next().unwrap().parse().unwrap();
+                (l[le_start..le_end].to_owned(), value)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn metrics_exposition_is_valid_prometheus() {
+        let state = state_of(vec![("east", "a\ta!%s\n"), ("west", "b\tb!%s\n")], 0);
+        for _ in 0..3 {
+            let _ = one(
+                &state,
+                Request::Query {
+                    map: Some("east".into()),
+                    host: "a".into(),
+                    user: None,
+                },
+            );
+        }
+        let _ = state.respond(Request::MultiQuery {
+            map: Some("west".into()),
+            queries: vec![("b".into(), None), ("missing".into(), None)],
+        });
+
+        let responses = state.respond(Request::Metrics { map: None });
+        let text = payload_text(&responses);
+
+        // HELP/TYPE headers precede their samples.
+        assert!(text.contains("# HELP pathalias_queries_total "), "{text}");
+        assert!(
+            text.contains("# TYPE pathalias_queries_total counter"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE pathalias_request_latency_seconds histogram"),
+            "{text}"
+        );
+        // Per-map counter series for every served namespace.
+        assert!(
+            text.contains("pathalias_queries_total{map=\"east\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pathalias_queries_total{map=\"west\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pathalias_generation{map=\"east\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pathalias_cache_shard_hits_total{map=\"east\",shard=\"0\"}"),
+            "{text}"
+        );
+
+        // The cumulative bucket series is monotone and ends in +Inf,
+        // which equals _count.
+        let east_query = bucket_series(
+            &text,
+            "pathalias_request_latency_seconds_bucket{map=\"east\",verb=\"query\"",
+        );
+        assert!(!east_query.is_empty());
+        assert_eq!(east_query.last().unwrap(), &("+Inf".to_string(), 3));
+        let mut prev = 0;
+        for (_, v) in &east_query {
+            assert!(*v >= prev, "non-monotone buckets:\n{text}");
+            prev = *v;
+        }
+        assert!(
+            text.contains("pathalias_request_latency_seconds_count{map=\"east\",verb=\"query\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pathalias_request_latency_seconds_sum{map=\"east\",verb=\"query\"} "),
+            "{text}"
+        );
+        // MQUERY records per batch and per item.
+        assert!(
+            text.contains(
+                "pathalias_request_latency_seconds_count{map=\"west\",verb=\"mquery_batch\"} 1"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "pathalias_request_latency_seconds_count{map=\"west\",verb=\"mquery_item\"} 2"
+            ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn queries_counter_matches_histogram_counts() {
+        // The cross-signal invariant the CI scrape asserts: the
+        // per-map queries counter equals the query + mquery_item
+        // histogram counts.
+        let state = state_for("a\ta!%s\n");
+        for _ in 0..4 {
+            let _ = one(
+                &state,
+                Request::Query {
+                    map: None,
+                    host: "a".into(),
+                    user: None,
+                },
+            );
+        }
+        let _ = state.respond(Request::MultiQuery {
+            map: None,
+            queries: vec![("a".into(), None), ("a".into(), Some("u".into()))],
+        });
+        let m = &state.maps[0];
+        assert_eq!(
+            m.metrics.queries.load(Ordering::Relaxed),
+            m.telemetry.query.count() + m.telemetry.mquery_item.count(),
+        );
+    }
+
+    #[test]
+    fn qualified_metrics_restrict_to_one_map() {
+        let state = state_of(vec![("east", "a\ta!%s\n"), ("west", "b\tb!%s\n")], 0);
+        let responses = state.respond(Request::Metrics {
+            map: Some("west".into()),
+        });
+        let text = payload_text(&responses);
+        assert!(text.contains("map=\"west\""), "{text}");
+        assert!(!text.contains("map=\"east\""), "{text}");
+        // Daemon-wide series still render on a qualified scrape.
+        assert!(text.contains("pathalias_uptime_seconds"), "{text}");
+
+        let responses = state.respond(Request::Metrics {
+            map: Some("nope".into()),
+        });
+        assert_eq!(
+            responses,
+            vec![Response::BadRequest("unknown map `nope`".into())]
+        );
+    }
+
+    #[test]
+    fn slowlog_reports_worst_requests() {
+        let state = state_of(vec![("east", "a\ta!%s\n"), ("west", "b\tb!%s\n")], 0);
+        let _ = one(
+            &state,
+            Request::Query {
+                map: Some("east".into()),
+                host: "a".into(),
+                user: Some("u".into()),
+            },
+        );
+        let _ = one(
+            &state,
+            Request::Query {
+                map: Some("west".into()),
+                host: "missing".into(),
+                user: None,
+            },
+        );
+        let responses = state.respond(Request::SlowLog { map: None });
+        let Response::SlowLogHeader { entries } = responses[0] else {
+            panic!("expected a slowlog header, got {:?}", responses[0]);
+        };
+        assert_eq!(entries, 2, "both maps merged");
+        assert_eq!(entries, responses.len() - 1);
+        let lines: Vec<String> = responses[1..].iter().map(|r| r.to_string()).collect();
+        assert!(
+            lines.iter().any(|l| l.contains("map=east")
+                && l.contains("verb=QUERY")
+                && l.contains("host=a")
+                && l.contains("outcome=ok")),
+            "{lines:?}"
+        );
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("map=west") && l.contains("outcome=no_route")),
+            "{lines:?}"
+        );
+
+        // Qualified: only that map's entries.
+        let responses = state.respond(Request::SlowLog {
+            map: Some("east".into()),
+        });
+        assert_eq!(
+            responses[0],
+            Response::SlowLogHeader { entries: 1 },
+            "{responses:?}"
+        );
+        assert_eq!(
+            state.respond(Request::SlowLog {
+                map: Some("nope".into())
+            }),
+            vec![Response::BadRequest("unknown map `nope`".into())]
+        );
+    }
+
+    #[test]
+    fn reload_records_duration_and_phases() {
+        let state = state_for("a\ta!%s\n");
+        assert!(state.maps[0].telemetry.reload_phases().is_none());
+        let _ = one(&state, Request::Reload { map: None });
+        let m = &state.maps[0];
+        assert_eq!(m.telemetry.reload.count(), 1);
+        assert!(m.telemetry.reload_phases().is_some());
+        // A failed reload still records its duration.
+        if let MapSource::Routes(path) = &m.source {
+            std::fs::write(path, "garbage-without-a-route\n").unwrap();
+        }
+        let resp = one(&state, Request::Reload { map: None });
+        assert_eq!(resp.code(), 500);
+        assert_eq!(m.telemetry.reload.count(), 2);
+        let slow = m.telemetry.slowlog.snapshot();
+        assert!(
+            slow.iter()
+                .any(|e| e.verb == "RELOAD" && e.outcome == "error"),
+            "{slow:?}"
+        );
     }
 
     #[test]

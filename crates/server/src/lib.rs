@@ -31,7 +31,10 @@
 //! * [`client`] — the synchronous client: one-shot queries, batched
 //!   [`query_batch`](Client::query_batch) (one round trip for N
 //!   queries), and a send/recv split for pipelining;
-//! * [`metrics`] — relaxed atomic counters rendered by `STATS`.
+//! * [`metrics`] — relaxed atomic counters rendered by `STATS`;
+//! * [`telemetry`] — per-map latency histograms, the worst-N
+//!   slow-query log, and reload phase timings, exposed over the
+//!   protocol-v2 `METRICS` (Prometheus text) and `SLOWLOG` verbs.
 //!
 //! # Examples
 //!
@@ -72,6 +75,7 @@ pub mod index;
 pub mod metrics;
 pub mod protocol;
 pub mod reload;
+pub mod telemetry;
 
 pub use cache::{CachedHit, ShardStats, ShardedCache};
 pub use client::{Client, ClientError, MapsInfo, QueryResult};
@@ -82,3 +86,7 @@ pub use index::{Cached, RouteIndex, SwapCell};
 pub use metrics::{Metrics, ServerMetrics};
 pub use protocol::{parse_request, ProtoVersion, Request, Response, MAX_LINE};
 pub use reload::{LoadError, MapSource, StageCache};
+pub use telemetry::{MapTelemetry, SLOWLOG_CAPACITY};
+// Re-exported so callers can build a [`ServerConfig`] (whose `logger`
+// field is a telemetry type) without naming the telemetry crate.
+pub use pathalias_telemetry::{Level, Logger};

@@ -21,8 +21,16 @@
 //! PROTO <n>              negotiate protocol version (1 or 2)
 //! MQUERY <h[:u]>...      N hosts on one line -> N ordered response lines
 //! MAPS                   list the served map namespaces
+//! METRICS                latency histograms + counters, Prometheus text
+//! SLOWLOG                the worst-N slowest requests, one per line
 //! SHUTDOWN               stop accepting, drain connections, exit
 //! ```
+//!
+//! `METRICS` and `SLOWLOG` are the only multi-line responses in the
+//! protocol: a `200 metrics lines=<n>` (resp. `200 slowlog
+//! entries=<n>`) header line announces exactly how many payload lines
+//! follow, so clients never need a terminator scan. `STATS` remains
+//! the v1 one-line counter dump, byte-for-byte.
 //!
 //! `MQUERY` is the batched hot path: one request line carries many
 //! hosts (each token `host` or `host:user`), and the server writes one
@@ -32,9 +40,9 @@
 //! # Map namespaces (v2)
 //!
 //! A daemon may serve several named maps at once (`--map-set`). On a
-//! v2 connection, `QUERY`, `MQUERY`, `STATS`, `RELOAD` and `HEALTH`
-//! accept an optional `@name` token directly after the verb, routing
-//! the request to that namespace:
+//! v2 connection, `QUERY`, `MQUERY`, `STATS`, `RELOAD`, `HEALTH`,
+//! `METRICS` and `SLOWLOG` accept an optional `@name` token directly
+//! after the verb, routing the request to that namespace:
 //!
 //! ```text
 //! QUERY @regional seismo rick
@@ -136,6 +144,17 @@ pub enum Request {
     },
     /// `MAPS` (v2): list the served namespaces.
     Maps,
+    /// `METRICS [@map]` (v2): Prometheus text exposition of the
+    /// latency histograms, counters, and reload phase timings.
+    Metrics {
+        /// Restrict to one namespace (`@name`); `None` exposes all.
+        map: Option<String>,
+    },
+    /// `SLOWLOG [@map]` (v2): the worst-N slowest requests.
+    SlowLog {
+        /// Restrict to one namespace (`@name`); `None` merges all.
+        map: Option<String>,
+    },
     /// `SHUTDOWN` (v2): drain and stop the daemon.
     Shutdown,
     /// `QUIT`.
@@ -146,7 +165,7 @@ pub enum Request {
 fn takes_map_qualifier(upper_verb: &str) -> bool {
     matches!(
         upper_verb,
-        "QUERY" | "MQUERY" | "STATS" | "RELOAD" | "HEALTH"
+        "QUERY" | "MQUERY" | "STATS" | "RELOAD" | "HEALTH" | "METRICS" | "SLOWLOG"
     )
 }
 
@@ -223,6 +242,8 @@ pub fn parse_request(line: &str, proto: ProtoVersion) -> Result<Request, String>
         "RELOAD" => Request::Reload { map },
         "HEALTH" => Request::Health { map },
         "MAPS" if proto >= ProtoVersion::V2 => Request::Maps,
+        "METRICS" if proto >= ProtoVersion::V2 => Request::Metrics { map },
+        "SLOWLOG" if proto >= ProtoVersion::V2 => Request::SlowLog { map },
         "SHUTDOWN" if proto >= ProtoVersion::V2 => Request::Shutdown,
         "QUIT" => Request::Quit,
         // The uppercased form, exactly as v1 always reported it.
@@ -276,6 +297,20 @@ pub enum Response {
         /// The namespace unqualified requests go to.
         default: String,
     },
+    /// `200` — `METRICS` header announcing `lines` payload lines.
+    MetricsHeader {
+        /// Number of [`Response::Payload`] lines that follow.
+        lines: usize,
+    },
+    /// `200` — `SLOWLOG` header announcing `entries` payload lines.
+    SlowLogHeader {
+        /// Number of [`Response::Payload`] lines that follow.
+        entries: usize,
+    },
+    /// `200` — one verbatim payload line of a multi-line response
+    /// (`METRICS` exposition text, one `SLOWLOG` entry). Carries no
+    /// status-code prefix on the wire; the preceding header frames it.
+    Payload(String),
     /// `200` — `PROTO` accepted; the connection now speaks `version`.
     Proto {
         /// The negotiated version.
@@ -301,6 +336,9 @@ impl Response {
             | Response::Reloaded { .. }
             | Response::Health { .. }
             | Response::Maps { .. }
+            | Response::MetricsHeader { .. }
+            | Response::SlowLogHeader { .. }
+            | Response::Payload(_)
             | Response::Proto { .. }
             | Response::ShuttingDown
             | Response::Bye => 200,
@@ -368,6 +406,11 @@ impl fmt::Display for Response {
                     one_line(default)
                 )
             }
+            Response::MetricsHeader { lines } => write!(f, "200 metrics lines={lines}"),
+            Response::SlowLogHeader { entries } => {
+                write!(f, "200 slowlog entries={entries}")
+            }
+            Response::Payload(line) => write!(f, "{}", one_line(line)),
             Response::Proto { version } => write!(f, "200 proto={}", version.number()),
             Response::ShuttingDown => write!(f, "200 shutting down"),
             Response::Bye => write!(f, "200 bye"),
@@ -468,6 +511,36 @@ mod tests {
             "unknown verb `SHUTDOWN`".to_string()
         );
         assert_eq!(v1("MAPS").unwrap_err(), "unknown verb `MAPS`".to_string());
+        assert_eq!(
+            v1("METRICS").unwrap_err(),
+            "unknown verb `METRICS`".to_string()
+        );
+        assert_eq!(
+            v1("slowlog").unwrap_err(),
+            "unknown verb `SLOWLOG`".to_string()
+        );
+    }
+
+    #[test]
+    fn metrics_and_slowlog_at_v2() {
+        assert_eq!(v2("METRICS").unwrap(), Request::Metrics { map: None });
+        assert_eq!(v2("metrics").unwrap(), Request::Metrics { map: None });
+        assert_eq!(
+            v2("METRICS @east").unwrap(),
+            Request::Metrics {
+                map: Some("east".into())
+            }
+        );
+        assert_eq!(v2("SLOWLOG").unwrap(), Request::SlowLog { map: None });
+        assert_eq!(
+            v2("slowlog @east").unwrap(),
+            Request::SlowLog {
+                map: Some("east".into())
+            }
+        );
+        assert!(v2("METRICS extra").is_err());
+        assert!(v2("METRICS @").is_err());
+        assert!(v2("SLOWLOG @a @b").is_err());
     }
 
     #[test]
@@ -642,6 +715,19 @@ mod tests {
             .to_string(),
             "200 proto=2"
         );
+        assert_eq!(
+            Response::MetricsHeader { lines: 42 }.to_string(),
+            "200 metrics lines=42"
+        );
+        assert_eq!(
+            Response::SlowLogHeader { entries: 0 }.to_string(),
+            "200 slowlog entries=0"
+        );
+        assert_eq!(
+            Response::Payload("pathalias_queries_total{map=\"a\"} 7".into()).to_string(),
+            "pathalias_queries_total{map=\"a\"} 7"
+        );
+        assert_eq!(Response::Payload(String::new()).code(), 200);
         assert_eq!(Response::ShuttingDown.to_string(), "200 shutting down");
         assert_eq!(Response::Bye.to_string(), "200 bye");
         assert_eq!(Response::BadRequest("why".into()).code(), 400);

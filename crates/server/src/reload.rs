@@ -18,14 +18,16 @@
 //! or because an operator hits reload twice — skips straight to the
 //! map stage instead of re-parsing the world.
 
-use pathalias_core::{parallel, Frozen, FrozenGraph, MapOptions, Options, Parsed, SnapshotError};
+use pathalias_core::{
+    parallel, Frozen, FrozenGraph, MapOptions, Options, Parsed, PhaseTimings, SnapshotError,
+};
 use pathalias_mailer::{
     disk::DiskDb, disk::DiskError, disk::MappedDb, BoxedResolver, DbError, RouteDb, SharedRouteDb,
 };
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
-use std::time::SystemTime;
+use std::time::{Instant, SystemTime};
 
 /// A change-detection fingerprint for a set of source files.
 pub(crate) type Fingerprint = Vec<(PathBuf, Option<SystemTime>, u64)>;
@@ -222,9 +224,29 @@ impl MapSource {
     /// in-memory table; `PadbMmap` opens the file for in-place serving
     /// without loading the blob at all.
     pub fn load_resolver(&self) -> Result<BoxedResolver, LoadError> {
+        self.load_resolver_timed().map(|(resolver, _)| resolver)
+    }
+
+    /// [`MapSource::load_resolver`] plus the pipeline's per-phase
+    /// timings for the load, so a reload can export where its time
+    /// went. Stages skipped by the fingerprint cache (an unchanged
+    /// `.pagf`, a `RELOAD` whose map files did not move) report zero —
+    /// the zeros *are* the cache working.
+    pub fn load_resolver_timed(&self) -> Result<(BoxedResolver, PhaseTimings), LoadError> {
         match self {
-            MapSource::PadbMmap(path) => Ok(Box::new(MappedDb::open(path)?)),
-            other => Ok(Box::new(SharedRouteDb::new(other.load()?))),
+            MapSource::PadbMmap(path) => {
+                let t0 = Instant::now();
+                let resolver: BoxedResolver = Box::new(MappedDb::open(path)?);
+                let timings = PhaseTimings {
+                    parse: t0.elapsed(),
+                    ..PhaseTimings::default()
+                };
+                Ok((resolver, timings))
+            }
+            other => {
+                let (db, timings) = other.load_timed()?;
+                Ok((Box::new(SharedRouteDb::new(db)), timings))
+            }
         }
     }
 
@@ -232,14 +254,34 @@ impl MapSource {
     /// [`MapSource::PadbMmap`] this reads the whole table into memory
     /// (use [`MapSource::load_resolver`] to serve in place).
     pub fn load(&self) -> Result<RouteDb, LoadError> {
+        self.load_timed().map(|(db, _)| db)
+    }
+
+    /// [`MapSource::load`] plus per-phase timings. Non-pipeline
+    /// sources (PADB1, linear route files) report their whole ingest
+    /// as the `parse` phase; pipeline sources report each stage they
+    /// actually ran.
+    pub fn load_timed(&self) -> Result<(RouteDb, PhaseTimings), LoadError> {
         match self {
             MapSource::Padb(path) | MapSource::PadbMmap(path) => {
+                let t0 = Instant::now();
                 let mut disk = DiskDb::open(path)?;
-                Ok(RouteDb::from_entries(disk.read_all()?))
+                let db = RouteDb::from_entries(disk.read_all()?);
+                let timings = PhaseTimings {
+                    parse: t0.elapsed(),
+                    ..PhaseTimings::default()
+                };
+                Ok((db, timings))
             }
             MapSource::Routes(path) => {
+                let t0 = Instant::now();
                 let text = std::fs::read_to_string(path)?;
-                RouteDb::from_output(&text).map_err(LoadError::Db)
+                let db = RouteDb::from_output(&text).map_err(LoadError::Db)?;
+                let timings = PhaseTimings {
+                    parse: t0.elapsed(),
+                    ..PhaseTimings::default()
+                };
+                Ok((db, timings))
             }
             MapSource::FrozenSnapshot {
                 path,
@@ -250,10 +292,14 @@ impl MapSource {
                 // when it was frozen and is re-validated on load, so
                 // no multi-source mapping fan-out here — cold-start
                 // latency is the whole point of this source.
-                let frozen = snapshot_stage(path, cache)?;
+                let (frozen, mut timings) = snapshot_stage(path, cache)?;
+                let t0 = Instant::now();
                 let mapped = frozen.map(options).map_err(LoadError::Pipeline)?;
+                timings.map = t0.elapsed();
+                let t0 = Instant::now();
                 let printed = mapped.print(options);
-                Ok(RouteDb::from_table(&printed.routes))
+                timings.print = t0.elapsed();
+                Ok((RouteDb::from_table(&printed.routes), timings))
             }
             MapSource::Map {
                 files,
@@ -262,13 +308,17 @@ impl MapSource {
                 validate_threads,
                 cache,
             } => {
-                let frozen = frozen_stage(files, options, cache)?;
+                let (frozen, mut timings) = frozen_stage(files, options, cache)?;
+                let t0 = Instant::now();
                 let mapped = frozen.map(options).map_err(LoadError::Pipeline)?;
+                timings.map = t0.elapsed();
+                let t0 = Instant::now();
                 let printed = mapped.print(options);
+                timings.print = t0.elapsed();
                 if *validate_sources > 0 {
                     validate(frozen.graph(), *validate_sources, *validate_threads)?;
                 }
-                Ok(RouteDb::from_table(&printed.routes))
+                Ok((RouteDb::from_table(&printed.routes), timings))
             }
         }
     }
@@ -276,52 +326,65 @@ impl MapSource {
 
 /// The parse/build/freeze stages for a map-file source, reusing the
 /// cached snapshot when the files' fingerprint is unchanged (the
-/// "reload with only mapping options changed" fast path).
+/// "reload with only mapping options changed" fast path). The
+/// returned timings cover the stages that actually ran — all zero on
+/// a cache hit.
 fn frozen_stage(
     files: &[PathBuf],
     options: &Options,
     cache: &StageCache,
-) -> Result<Frozen, LoadError> {
+) -> Result<(Frozen, PhaseTimings), LoadError> {
     let fp = fingerprint(files)?;
     let mut slot = cache.0.lock().expect("stage cache poisoned");
     if let Some(cached) = slot.as_ref() {
         // `ignore_case` is the one option the build stage depends on.
         if cached.fingerprint == fp && cached.ignore_case == options.ignore_case {
-            return Ok(cached.frozen.clone());
+            return Ok((cached.frozen.clone(), PhaseTimings::default()));
         }
     }
+    let mut timings = PhaseTimings::default();
+    let t0 = Instant::now();
     let mut parsed = Parsed::new();
     parsed.push_files(files)?;
+    timings.parse = t0.elapsed();
     let built = parsed.build(options).map_err(LoadError::Pipeline)?;
+    timings.build = built.build_time;
     let frozen = built.freeze();
+    timings.freeze = frozen.freeze_time;
     *slot = Some(CachedStages {
         fingerprint: fp,
         ignore_case: options.ignore_case,
         frozen: frozen.clone(),
     });
-    Ok(frozen)
+    Ok((frozen, timings))
 }
 
 /// The frozen stage for a snapshot source: re-read the `.pagf` file
 /// only when its fingerprint changed, so a `RELOAD` with an unchanged
 /// snapshot re-enters at the map stage just like the map-file path.
-fn snapshot_stage(path: &PathBuf, cache: &StageCache) -> Result<Frozen, LoadError> {
+/// A fresh read reports its load time as the `freeze` phase; a cache
+/// hit reports zero.
+fn snapshot_stage(path: &PathBuf, cache: &StageCache) -> Result<(Frozen, PhaseTimings), LoadError> {
     let fp = fingerprint(std::iter::once(path))?;
     let mut slot = cache.0.lock().expect("stage cache poisoned");
     if let Some(cached) = slot.as_ref() {
         // `ignore_case` is baked into the snapshot file, so the
         // fingerprint alone decides reuse.
         if cached.fingerprint == fp {
-            return Ok(cached.frozen.clone());
+            return Ok((cached.frozen.clone(), PhaseTimings::default()));
         }
     }
     let frozen = Frozen::from_snapshot(path)?;
+    let timings = PhaseTimings {
+        freeze: frozen.freeze_time,
+        ..PhaseTimings::default()
+    };
     *slot = Some(CachedStages {
         fingerprint: fp,
         ignore_case: frozen.graph().ignore_case(),
         frozen: frozen.clone(),
     });
-    Ok(frozen)
+    Ok((frozen, timings))
 }
 
 /// The rebuilt graph must be mappable from more vantage points than

@@ -1,0 +1,165 @@
+//! Per-map latency telemetry: histograms, the slow-query log, and
+//! reload phase timings.
+//!
+//! [`MapTelemetry`] is the per-namespace bundle the daemon threads
+//! through request dispatch: one log2 histogram per verb shape
+//! (`QUERY`, `MQUERY` per batch and per item, `RELOAD`), a worst-N
+//! slow-query log, and the latest reload's pipeline
+//! [`PhaseTimings`]. Everything here is exposed over the protocol-v2
+//! `METRICS` (Prometheus text exposition) and `SLOWLOG` verbs —
+//! `STATS` keeps its PR-1 byte format and knows nothing of this
+//! module.
+
+use pathalias_core::PhaseTimings;
+use pathalias_telemetry::{unix_ms, Histogram, SlowEntry, SlowLog};
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How many slow requests each map retains (worst-N by latency).
+pub const SLOWLOG_CAPACITY: usize = 32;
+
+/// A [`Duration`] as saturating nanoseconds — the unit histograms and
+/// the slow log record in.
+pub fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// One namespace's latency telemetry, shared by every connection
+/// thread serving that map (all recording is lock-free except slow
+/// enough requests entering the slow log).
+#[derive(Debug)]
+pub struct MapTelemetry {
+    /// `QUERY` latency, per request.
+    pub query: Histogram,
+    /// `MQUERY` latency, per batch (whole request line).
+    pub mquery_batch: Histogram,
+    /// `MQUERY` latency, per item within a batch.
+    pub mquery_item: Histogram,
+    /// `RELOAD` duration (wire-triggered and `--watch`-triggered).
+    pub reload: Histogram,
+    /// The worst-[`SLOWLOG_CAPACITY`] requests against this map.
+    pub slowlog: SlowLog,
+    /// Pipeline phase timings of the latest reload (`None` until the
+    /// first one). Stages skipped by the stage cache report zero.
+    reload_phases: Mutex<Option<PhaseTimings>>,
+}
+
+impl Default for MapTelemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MapTelemetry {
+    /// Fresh, empty telemetry for one map.
+    pub fn new() -> MapTelemetry {
+        MapTelemetry {
+            query: Histogram::new(),
+            mquery_batch: Histogram::new(),
+            mquery_item: Histogram::new(),
+            reload: Histogram::new(),
+            slowlog: SlowLog::new(SLOWLOG_CAPACITY),
+            reload_phases: Mutex::new(None),
+        }
+    }
+
+    /// Records the latest reload's per-phase timings.
+    pub fn set_reload_phases(&self, timings: PhaseTimings) {
+        if let Ok(mut slot) = self.reload_phases.lock() {
+            *slot = Some(timings);
+        }
+    }
+
+    /// The latest reload's per-phase timings, if any reload ran.
+    pub fn reload_phases(&self) -> Option<PhaseTimings> {
+        self.reload_phases.lock().ok().and_then(|slot| *slot)
+    }
+
+    /// Offers a finished request to the slow log. The lock-free floor
+    /// check runs first, so steady-state traffic pays one atomic load
+    /// and no allocation.
+    pub fn observe_slow(
+        &self,
+        verb: &'static str,
+        map: &str,
+        host: &str,
+        latency_ns: u64,
+        outcome: &'static str,
+    ) {
+        if !self.slowlog.would_admit(latency_ns) {
+            return;
+        }
+        self.slowlog.record(SlowEntry {
+            unix_ms: unix_ms(),
+            map: map.to_string(),
+            verb,
+            host: host.to_string(),
+            latency_ns,
+            outcome,
+        });
+    }
+}
+
+/// Renders one slow-log entry as the `SLOWLOG` payload line:
+/// whitespace-splittable `key=value` pairs, host `-` when the verb has
+/// none.
+pub fn render_slow_entry(entry: &SlowEntry) -> String {
+    let mut line = String::with_capacity(80);
+    let host: &str = if entry.host.is_empty() {
+        "-"
+    } else {
+        &entry.host
+    };
+    let _ = write!(
+        line,
+        "ts={} map={} verb={} host={} latency_ns={} outcome={}",
+        entry.unix_ms, entry.map, entry.verb, host, entry.latency_ns, entry.outcome
+    );
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_slow_keeps_the_worst_requests() {
+        let t = MapTelemetry::new();
+        for i in 0..(SLOWLOG_CAPACITY as u64 + 10) {
+            t.observe_slow("QUERY", "default", "host", 1_000 + i, "ok");
+        }
+        let snap = t.slowlog.snapshot();
+        assert_eq!(snap.len(), SLOWLOG_CAPACITY);
+        assert_eq!(snap[0].latency_ns, 1_000 + SLOWLOG_CAPACITY as u64 + 9);
+    }
+
+    #[test]
+    fn slow_entry_renders_one_splittable_line() {
+        let entry = SlowEntry {
+            unix_ms: 1_700_000_000_000,
+            map: "east".into(),
+            verb: "RELOAD",
+            host: String::new(),
+            latency_ns: 5_000_000,
+            outcome: "ok",
+        };
+        let line = render_slow_entry(&entry);
+        assert_eq!(
+            line,
+            "ts=1700000000000 map=east verb=RELOAD host=- latency_ns=5000000 outcome=ok"
+        );
+        assert_eq!(line.split_whitespace().count(), 6);
+    }
+
+    #[test]
+    fn reload_phases_round_trip() {
+        let t = MapTelemetry::new();
+        assert!(t.reload_phases().is_none());
+        t.set_reload_phases(PhaseTimings {
+            parse: Duration::from_millis(3),
+            ..PhaseTimings::default()
+        });
+        assert_eq!(t.reload_phases().unwrap().parse, Duration::from_millis(3));
+    }
+}

@@ -1,0 +1,278 @@
+//! Lock-free log2-bucketed latency histogram.
+//!
+//! Recording a sample is three relaxed atomic adds and one relaxed
+//! `fetch_max` — no locks, no allocation — so the histogram can sit
+//! directly on the resolve hot path. Buckets are powers of two over
+//! nanoseconds: bucket `i` counts samples `v` with `v <= 2^i` ns (and
+//! greater than the previous bound), so 48 buckets cover everything
+//! from 1 ns to about 3.3 days. Samples beyond the last finite bound
+//! are counted only in `count`/`sum` and surface in the `+Inf` bucket
+//! at exposition time.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// Number of finite log2 buckets; bucket `i` has upper bound `2^i` ns.
+pub const BUCKETS: usize = 48;
+
+/// A fixed-size, lock-free latency histogram over nanoseconds.
+///
+/// All fields are relaxed atomics; concurrent recorders never contend
+/// on a lock, and readers take a [`snapshot`](Histogram::snapshot)
+/// that repairs the (benign) races between `count` and the buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Index of the finite bucket covering `ns`, or `BUCKETS` when the
+    /// sample exceeds every finite bound (it then only shows in `+Inf`).
+    fn bucket_index(ns: u64) -> usize {
+        if ns <= 1 {
+            0
+        } else {
+            (u64::BITS - (ns - 1).leading_zeros()) as usize
+        }
+    }
+
+    /// Inclusive upper bound (in ns) of finite bucket `i`.
+    pub fn bucket_bound(i: usize) -> u64 {
+        1u64 << i
+    }
+
+    /// Record one sample of `ns` nanoseconds.
+    pub fn record(&self, ns: u64) {
+        let idx = Self::bucket_index(ns);
+        if idx < BUCKETS {
+            self.buckets[idx].fetch_add(1, Relaxed);
+        }
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(ns, Relaxed);
+        self.max.fetch_max(ns, Relaxed);
+    }
+
+    /// Record one sample given as a [`Duration`].
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Total samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Sum of all recorded samples in nanoseconds.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    /// Largest sample recorded so far (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Relaxed)
+    }
+
+    /// A point-in-time copy of the histogram, safe to render.
+    ///
+    /// Relaxed counters can be observed mid-update (a bucket bumped
+    /// before `count`), so the snapshot clamps `count` up to the bucket
+    /// total — this keeps the cumulative series monotone and `+Inf`
+    /// equal to `_count` no matter how the loads interleave.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: [u64; BUCKETS] = std::array::from_fn(|i| self.buckets[i].load(Relaxed));
+        let bucket_total: u64 = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Relaxed).max(bucket_total),
+            sum: self.sum.load(Relaxed),
+            max: self.max.load(Relaxed),
+        }
+    }
+
+    /// Upper-bound estimate (in ns) of the `q`-quantile, `0.0 ≤ q ≤ 1.0`.
+    ///
+    /// Returns the inclusive upper bound of the bucket holding the
+    /// target sample — the true value is guaranteed to be at most the
+    /// returned bound and more than half it (log2 buckets). Returns 0
+    /// for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// An immutable copy of a [`Histogram`] taken by [`Histogram::snapshot`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (non-cumulative) sample counts.
+    pub buckets: [u64; BUCKETS],
+    /// Total samples; never less than the sum of `buckets`.
+    pub count: u64,
+    /// Sum of all samples in nanoseconds.
+    pub sum: u64,
+    /// Largest sample in nanoseconds (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// See [`Histogram::quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return Histogram::bucket_bound(i).min(self.max.max(1));
+            }
+        }
+        // Target sample lies beyond every finite bucket: all we know is
+        // that it is at most the observed maximum.
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn bucket_index_matches_log2_bounds() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(5), 3);
+        // Every value lands in the bucket whose bound covers it.
+        for v in [1u64, 2, 3, 7, 8, 9, 1000, 123_456_789] {
+            let i = Histogram::bucket_index(v);
+            assert!(v <= Histogram::bucket_bound(i), "{v} > bound({i})");
+            if i > 0 {
+                assert!(
+                    v > Histogram::bucket_bound(i - 1),
+                    "{v} fits bucket {}",
+                    i - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn count_sum_max_track_samples() {
+        let h = Histogram::new();
+        for v in [5u64, 10, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 1_000_015);
+        assert_eq!(h.max(), 1_000_000);
+    }
+
+    #[test]
+    fn oversized_samples_only_reach_plus_inf() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 0);
+        assert_eq!(snap.quantile(0.99), u64::MAX);
+    }
+
+    #[test]
+    fn concurrent_recording_is_atomic() {
+        // N threads × M samples ⇒ _count == N·M, satellite requirement.
+        const THREADS: usize = 8;
+        const SAMPLES: u64 = 10_000;
+        let h = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..SAMPLES {
+                        h.record((t as u64).wrapping_mul(31).wrapping_add(i) % 1_000_000);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, THREADS as u64 * SAMPLES);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), THREADS as u64 * SAMPLES);
+    }
+
+    /// Oracle: exact quantile from a sorted vector. The histogram's
+    /// answer must be an upper bound on the true value and the true
+    /// value must land in the same log2 bucket.
+    fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+        let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[target - 1]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases_env(64))]
+
+        /// Satellite requirement: recorded p50/p99 must land in the
+        /// true value's bucket range, checked against a sorted-vector
+        /// oracle over arbitrary samples.
+        #[test]
+        fn quantiles_land_in_the_true_bucket(
+            samples in proptest::collection::vec(0u64..10_000_000_000, 1..400),
+        ) {
+            let h = Histogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            for q in [0.5f64, 0.9, 0.99] {
+                let truth = oracle_quantile(&sorted, q);
+                let est = h.quantile(q);
+                // The estimate is the bucket's inclusive upper bound
+                // (possibly clamped to the observed max), so the true
+                // value can never exceed it...
+                prop_assert!(truth <= est, "q={q}: truth {truth} > estimate {est}");
+                // ...and both must share a bucket: the estimate never
+                // overshoots past the bound of the truth's bucket.
+                let truth_bound = Histogram::bucket_bound(Histogram::bucket_index(truth).min(BUCKETS - 1));
+                prop_assert!(
+                    est <= truth_bound.max(truth),
+                    "q={q}: estimate {est} beyond truth's bucket bound {truth_bound}"
+                );
+            }
+        }
+    }
+}

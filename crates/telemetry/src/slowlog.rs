@@ -1,0 +1,168 @@
+//! Bounded worst-N slow-query log.
+//!
+//! Keeps the N slowest requests seen since startup under a plain
+//! mutex. A relaxed atomic **floor** — the smallest latency currently
+//! retained once the log is full — lets the hot path reject fast
+//! requests without touching the lock at all: steady-state traffic
+//! pays one atomic load per request, and only requests slow enough to
+//! qualify (rare, by definition) contend on the mutex.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+
+/// One slow request: who asked what, when, and how it went.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowEntry {
+    /// Milliseconds since the Unix epoch when the request finished.
+    pub unix_ms: u64,
+    /// Map namespace the request targeted.
+    pub map: String,
+    /// Protocol verb (`QUERY`, `MQUERY`, `RELOAD`, ...).
+    pub verb: &'static str,
+    /// Host argument, or an empty string for host-less verbs.
+    pub host: String,
+    /// Wall-clock latency in nanoseconds.
+    pub latency_ns: u64,
+    /// `ok`, `no_route`, or `error`.
+    pub outcome: &'static str,
+}
+
+/// A bounded record of the worst-latency requests.
+#[derive(Debug)]
+pub struct SlowLog {
+    capacity: usize,
+    /// Admission floor: 0 while the log has room (everything admits),
+    /// else the smallest retained latency. Kept in sync under the
+    /// entries lock; read lock-free on the hot path.
+    floor: AtomicU64,
+    entries: Mutex<Vec<SlowEntry>>,
+}
+
+impl SlowLog {
+    /// A slow log holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> SlowLog {
+        SlowLog {
+            capacity,
+            floor: AtomicU64::new(0),
+            entries: Mutex::new(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// Maximum number of retained entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lock-free admission check: would a request of `latency_ns` make
+    /// it into the log right now? One relaxed load — callers can probe
+    /// before paying to build a [`SlowEntry`].
+    pub fn would_admit(&self, latency_ns: u64) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let floor = self.floor.load(Relaxed);
+        floor == 0 || latency_ns > floor
+    }
+
+    /// Offers an entry; it is kept only while it ranks in the worst N.
+    pub fn record(&self, entry: SlowEntry) {
+        if !self.would_admit(entry.latency_ns) {
+            return;
+        }
+        let Ok(mut entries) = self.entries.lock() else {
+            return;
+        };
+        if entries.len() < self.capacity {
+            entries.push(entry);
+        } else {
+            // Full: evict the current fastest entry iff the newcomer
+            // beats it (ties keep the incumbent — it was slower first).
+            let Some((slot, fastest)) = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.latency_ns)
+                .map(|(i, e)| (i, e.latency_ns))
+            else {
+                return;
+            };
+            if entry.latency_ns <= fastest {
+                return;
+            }
+            entries[slot] = entry;
+        }
+        if entries.len() == self.capacity {
+            let min = entries.iter().map(|e| e.latency_ns).min().unwrap_or(0);
+            self.floor.store(min, Relaxed);
+        }
+    }
+
+    /// The retained entries, slowest first.
+    pub fn snapshot(&self) -> Vec<SlowEntry> {
+        let mut entries = match self.entries.lock() {
+            Ok(entries) => entries.clone(),
+            Err(_) => Vec::new(),
+        };
+        entries.sort_by_key(|e| std::cmp::Reverse(e.latency_ns));
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(latency_ns: u64, host: &str) -> SlowEntry {
+        SlowEntry {
+            unix_ms: 1_700_000_000_000,
+            map: "default".to_owned(),
+            verb: "QUERY",
+            host: host.to_owned(),
+            latency_ns,
+            outcome: "ok",
+        }
+    }
+
+    #[test]
+    fn keeps_the_worst_n_sorted_slowest_first() {
+        let log = SlowLog::new(3);
+        for (lat, host) in [(5, "a"), (50, "b"), (10, "c"), (40, "d"), (1, "e")] {
+            log.record(entry(lat, host));
+        }
+        let snap = log.snapshot();
+        let latencies: Vec<u64> = snap.iter().map(|e| e.latency_ns).collect();
+        assert_eq!(latencies, vec![50, 40, 10]);
+        assert_eq!(snap[0].host, "b");
+    }
+
+    #[test]
+    fn ties_do_not_evict() {
+        let log = SlowLog::new(1);
+        log.record(entry(10, "first"));
+        log.record(entry(10, "second"));
+        assert_eq!(log.snapshot()[0].host, "first");
+    }
+
+    #[test]
+    fn would_admit_tracks_the_floor_lock_free() {
+        let log = SlowLog::new(2);
+        assert!(log.would_admit(1));
+        log.record(entry(10, "a"));
+        assert!(log.would_admit(1), "room left admits everything");
+        log.record(entry(20, "b"));
+        assert!(!log.would_admit(5));
+        assert!(!log.would_admit(10));
+        assert!(log.would_admit(15));
+        // Evicting the floor entry raises the floor.
+        log.record(entry(30, "c"));
+        assert!(!log.would_admit(20));
+        assert!(log.would_admit(25));
+    }
+
+    #[test]
+    fn zero_capacity_discards_everything() {
+        let log = SlowLog::new(0);
+        assert!(!log.would_admit(u64::MAX));
+        log.record(entry(99, "a"));
+        assert!(log.snapshot().is_empty());
+    }
+}
