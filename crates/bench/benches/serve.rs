@@ -8,8 +8,12 @@
 //! request/response round trip over loopback TCP (in-memory and mmap
 //! backends), the v2 batched `MQUERY` path (64 queries per round
 //! trip — the number that must beat single-query by ≥ 3×), and 8
-//! concurrent clients hammering the daemon at once. Numbers are
-//! checked in to `BENCH_serve.json`.
+//! concurrent clients hammering the daemon at once. A second group
+//! measures the `PATH` verb's point-to-point searches on the
+//! paper-scale world: the bidirectional engine against its
+//! uni-directional oracle (the acceptance bar: bidirectional wins)
+//! and the verb's wire round trip. Numbers are checked in to
+//! `BENCH_serve.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pathalias_core::{Frozen, Options, Parsed, Pathalias};
@@ -254,6 +258,119 @@ fn bench_serve(c: &mut Criterion) {
     std::fs::remove_file(padb_path).unwrap();
 }
 
+/// Point-to-point searches on the paper-scale world: the bidirectional
+/// engine behind `PATH src dst` against its uni-directional oracle on
+/// the same src/dst rotation (the acceptance bar: bidirectional wins),
+/// plus the verb's full wire round trip for context. Pairs are strided
+/// across the id space and pre-filtered to routable ones, so both
+/// searches measure successful answers over a near-and-far endpoint
+/// mix.
+fn bench_path(c: &mut Criterion) {
+    use pathalias_graph::NodeId;
+    use pathalias_mapgen::{generate, MapSpec};
+    use pathalias_router::PointToPoint;
+
+    let world = generate(&MapSpec::usenet_1986(1986));
+    let options = Options {
+        local: Some(world.home.clone()),
+        ..Options::default()
+    };
+    let mut parsed = Parsed::new();
+    parsed.push_str("world", &world.concatenated());
+    let frozen = parsed.build(&options).unwrap().freeze();
+    // The serving invariant's construction: the engine answers over the
+    // same augmented snapshot the mapper printed routes from.
+    let mapped = frozen.map(&options).unwrap();
+    let aug = mapped.tree.frozen().clone();
+    let engine = PointToPoint::new(aug.clone(), options.cost_model);
+
+    let n = aug.node_count() as u32;
+    let home = aug.id_of(&world.home).expect("home survives freezing");
+    let mut sources: Vec<NodeId> = vec![home];
+    sources.extend(
+        (1..8u32)
+            .map(|k| NodeId::from_raw(k * n / 8))
+            .filter(|&s| aug.is_mappable(s)),
+    );
+    let per_source: Vec<Vec<(NodeId, NodeId)>> = sources
+        .iter()
+        .enumerate()
+        .map(|(k, &src)| {
+            aug.node_ids()
+                .skip(k * 19)
+                .step_by(101)
+                .filter(|&dst| dst != src && engine.route_ids(src, dst).is_ok())
+                .map(|dst| (src, dst))
+                .take(32)
+                .collect()
+        })
+        .collect();
+    // Interleave sources round-robin so a partial rotation round still
+    // samples cheap (home-rooted) and expensive pairs evenly.
+    let longest = per_source.iter().map(Vec::len).max().unwrap_or(0);
+    let pairs: Vec<(NodeId, NodeId)> = (0..longest)
+        .flat_map(|j| {
+            per_source
+                .iter()
+                .filter_map(move |list| list.get(j).copied())
+        })
+        .collect();
+    assert!(
+        !pairs.is_empty(),
+        "no routable pairs on the paper-scale world"
+    );
+
+    let mut group = c.benchmark_group("serve");
+    group.throughput(Throughput::Elements(1));
+    let mut i = 0usize;
+    group.bench_function("path-in-memory", |b| {
+        b.iter(|| {
+            let (src, dst) = pairs[i % pairs.len()];
+            i = i.wrapping_add(1);
+            black_box(engine.route_ids(src, dst).unwrap())
+        });
+    });
+    let mut i = 0usize;
+    group.bench_function("path-unidirectional", |b| {
+        b.iter(|| {
+            let (src, dst) = pairs[i % pairs.len()];
+            i = i.wrapping_add(1);
+            black_box(engine.route_ids_unidirectional(src, dst).unwrap())
+        });
+    });
+
+    // The verb over loopback TCP: one `PATH src dst` per round trip,
+    // against a daemon serving this same world — socket framing plus
+    // name resolution plus the search.
+    let map_path =
+        std::env::temp_dir().join(format!("pathalias-bench-path-{}.map", std::process::id()));
+    std::fs::write(&map_path, world.concatenated()).unwrap();
+    let handle = Server::start(ServerConfig::ephemeral(MapSource::map_files(
+        vec![map_path.clone()],
+        options.clone(),
+    )))
+    .expect("path bench server starts");
+    let mut client = Client::connect(handle.tcp_addr().unwrap()).unwrap();
+    let named: Vec<(String, String)> = pairs
+        .iter()
+        .map(|&(s, d)| (aug.name(s).to_string(), aug.name(d).to_string()))
+        .collect();
+    let mut i = 0usize;
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("path-round-trip", |b| {
+        b.iter(|| {
+            let (src, dst) = &named[i % named.len()];
+            i = i.wrapping_add(1);
+            black_box(client.path(src, dst).unwrap().unwrap())
+        });
+    });
+    client.quit().unwrap();
+    handle.shutdown();
+
+    group.finish();
+    std::fs::remove_file(map_path).unwrap();
+}
+
 /// Daemon cold start on the paper-scale world: reaching a servable
 /// `Frozen` stage through the full parse/build/freeze pipeline vs
 /// loading the PAGF1 snapshot (the acceptance bar: the snapshot path
@@ -305,5 +422,5 @@ fn bench_cold_start(c: &mut Criterion) {
     std::fs::remove_file(pagf_path).unwrap();
 }
 
-criterion_group!(benches, bench_serve, bench_cold_start);
+criterion_group!(benches, bench_serve, bench_path, bench_cold_start);
 criterion_main!(benches);

@@ -13,8 +13,8 @@ usage: pathalias [-l host] [-c] [-i] [-v] [-n] [-s] [-t host]... [file ...]
                  [--listen addr] [--unix path] [--cache N] [--shards N]
                  [--watch [--watch-interval-ms N]] [-l host] [-i]
        pathalias serve (--connect addr | --unix path) [--map-name NAME]
-                 (--query host... [--user u] | --stats | --reload
-                  | --health | --maps | --metrics | --slowlog
+                 (--query host... [--user u] | --path src dst | --stats
+                  | --reload | --health | --maps | --metrics | --slowlog
                   | --shutdown)
 
 options:
@@ -49,11 +49,12 @@ serve (daemon mode; default listen 127.0.0.1:4175):
   --watch       poll the source file(s) and hot-reload when they change
                 (with --map-set, each map reloads independently)
   --watch-interval-ms N   watch poll interval (default 2000)
-  --map-set NAME=KIND:PATHS   serve several named maps at once
-                (repeatable). KIND is map, routes, padb, padb-mmap or
-                pagf; PATHS is one file (comma-separated list for
-                KIND=map). Example:
-                  --map-set global=pagf:world.pagf \\
+  --map-set NAME=KIND:PATHS[:cache=N]   serve several named maps at
+                once (repeatable). KIND is map, routes, padb, padb-mmap
+                or pagf; PATHS is one file (comma-separated list for
+                KIND=map); a trailing :cache=N sizes this map's
+                lookup cache (entries; default --cache). Example:
+                  --map-set global=pagf:world.pagf:cache=65536 \\
                   --map-set regional=map:east.map,west.map
   --default-map NAME   the map unqualified queries hit (default: the
                 first --map-set entry)
@@ -63,6 +64,9 @@ serve (client mode):
   --unix P      talk to a daemon over a Unix socket
   --query HOST  print the route to HOST (with --user substituted);
                 repeatable: several hosts go as one batched round trip
+  --path SRC DST  print the cheapest route from SRC to DST (protocol
+                v2; needs a map/pagf-backed daemon). SRC `*` lists the
+                one-hop predecessors of DST with their link costs
   --map-name N  run the verb against map namespace N (protocol v2)
   --stats | --reload | --health | --shutdown   the other protocol verbs
   --maps        list the map namespaces the daemon serves
@@ -201,13 +205,16 @@ pub struct MapSetEntry {
     /// Source files: exactly one, except `KIND=map` which takes a
     /// comma-separated list.
     pub paths: Vec<String>,
+    /// `:cache=N` suffix: this map's lookup-cache capacity in entries;
+    /// `None` falls back to the daemon-wide `--cache`.
+    pub cache: Option<usize>,
 }
 
-/// Parses one `NAME=KIND:PATHS` map-set spec.
+/// Parses one `NAME=KIND:PATHS[:cache=N]` map-set spec.
 fn parse_map_set_entry(spec: &str) -> Result<MapSetEntry, String> {
     let (name, rest) = spec
         .split_once('=')
-        .ok_or_else(|| format!("--map-set wants NAME=KIND:PATHS, got `{spec}`"))?;
+        .ok_or_else(|| format!("--map-set wants NAME=KIND:PATHS[:cache=N], got `{spec}`"))?;
     // The server's wire-format rule is the single source of truth for
     // what a namespace may be called.
     if !pathalias_server::valid_map_name(name) {
@@ -215,6 +222,26 @@ fn parse_map_set_entry(spec: &str) -> Result<MapSetEntry, String> {
             "--map-set: map name `{name}` must be non-empty, without whitespace, `,` or `@`"
         ));
     }
+    // The cache suffix comes off before the kind split so a path may
+    // still contain `:` (`routes:some:odd:file` keeps working).
+    let (rest, cache) = match rest.rsplit_once(":cache=") {
+        Some((head, n)) => {
+            let n: usize = n.parse().map_err(|_| {
+                format!(
+                    "--map-set `{name}`: cache=`{n}` wants a capacity in entries \
+                     (e.g. :cache=1024)"
+                )
+            })?;
+            if n == 0 {
+                return Err(format!(
+                    "--map-set `{name}`: cache=0 would disable lookups; \
+                     omit the suffix to use the daemon-wide --cache"
+                ));
+            }
+            (head, Some(n))
+        }
+        None => (rest, None),
+    };
     let (kind, arg) = rest
         .split_once(':')
         .ok_or_else(|| format!("--map-set `{name}` wants KIND:PATHS after `=`"))?;
@@ -243,6 +270,7 @@ fn parse_map_set_entry(spec: &str) -> Result<MapSetEntry, String> {
         name: name.to_string(),
         kind,
         paths,
+        cache,
     })
 }
 
@@ -306,6 +334,14 @@ pub enum ClientAction {
         hosts: Vec<String>,
         /// `--user`; `None` keeps the `%s` marker.
         user: Option<String>,
+    },
+    /// `--path SRC DST`: the cheapest point-to-point route (protocol
+    /// v2); SRC `*` lists DST's one-hop predecessors instead.
+    Path {
+        /// The source host, or `*` for the via listing.
+        src: String,
+        /// The destination host.
+        dst: String,
     },
     /// `--stats`.
     Stats,
@@ -453,6 +489,7 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
     let mut watch_interval_ms: Option<u64> = None;
     let mut connect = None;
     let mut query_hosts: Vec<String> = Vec::new();
+    let mut path_args: Option<(String, String)> = None;
     let mut user = None;
     let mut stats = false;
     let mut reload = false;
@@ -520,6 +557,17 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
             }
             "--connect" => connect = Some(take_value("--connect", &mut it)?.clone()),
             "--query" => query_hosts.push(take_value("--query", &mut it)?.clone()),
+            "--path" => {
+                let src = take_value("--path", &mut it)?.clone();
+                let dst = it
+                    .next()
+                    .ok_or_else(|| "--path wants two values: SRC DST".to_string())?
+                    .clone();
+                if path_args.is_some() {
+                    return Err("serve: --path given twice".to_string());
+                }
+                path_args = Some((src, dst));
+            }
             "--user" => user = Some(take_value("--user", &mut it)?.clone()),
             "--stats" => stats = true,
             "--reload" => reload = true,
@@ -533,6 +581,7 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
     }
 
     let verb_count = usize::from(!query_hosts.is_empty())
+        + usize::from(path_args.is_some())
         + usize::from(stats)
         + usize::from(reload)
         + usize::from(health)
@@ -545,8 +594,8 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
     if client_mode {
         if verb_count != 1 {
             return Err(
-                "serve client mode wants exactly one of --query/--stats/--reload/--health/\
-                 --maps/--metrics/--slowlog/--shutdown"
+                "serve client mode wants exactly one of --query/--path/--stats/--reload/\
+                 --health/--maps/--metrics/--slowlog/--shutdown"
                     .to_string(),
             );
         }
@@ -583,8 +632,8 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
         }
         if map_name.is_some() && (maps || shutdown) {
             return Err(
-                "serve: --map-name only makes sense with --query/--stats/--reload/--health/\
-                 --metrics/--slowlog"
+                "serve: --map-name only makes sense with --query/--path/--stats/--reload/\
+                 --health/--metrics/--slowlog"
                     .to_string(),
             );
         }
@@ -595,6 +644,8 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
             }
         } else if user.is_some() {
             return Err("serve: --user only makes sense with --query".to_string());
+        } else if let Some((src, dst)) = path_args {
+            ClientAction::Path { src, dst }
         } else if stats {
             ClientAction::Stats
         } else if reload {
@@ -1000,6 +1051,33 @@ mod tests {
     }
 
     #[test]
+    fn serve_map_set_cache_suffix() {
+        let Command::Serve(ServeArgs::Daemon(d)) = parse(&v(&[
+            "serve",
+            "--map-set",
+            "global=pagf:world.pagf:cache=65536",
+            "--map-set",
+            "regional=map:east.map,west.map",
+        ]))
+        .unwrap() else {
+            panic!("expected daemon");
+        };
+        assert_eq!(d.map_set[0].cache, Some(65536));
+        assert_eq!(d.map_set[0].paths, vec!["world.pagf"]);
+        assert_eq!(d.map_set[1].cache, None);
+        assert_eq!(d.map_set[1].paths, vec!["east.map", "west.map"]);
+
+        // Malformed or zero capacities get a clear error, not a path
+        // named `...:cache=x`.
+        let err = parse(&v(&["serve", "--map-set", "a=routes:f:cache=x"])).unwrap_err();
+        assert!(err.contains("cache=`x` wants a capacity"), "got: {err}");
+        let err = parse(&v(&["serve", "--map-set", "a=routes:f:cache="])).unwrap_err();
+        assert!(err.contains("wants a capacity"), "got: {err}");
+        let err = parse(&v(&["serve", "--map-set", "a=routes:f:cache=0"])).unwrap_err();
+        assert!(err.contains("cache=0"), "got: {err}");
+    }
+
+    #[test]
     fn serve_map_set_rejects_malformed() {
         // Bad spec grammar.
         assert!(parse(&v(&["serve", "--map-set", "noequals"])).is_err());
@@ -1241,6 +1319,99 @@ mod tests {
         assert_eq!(c.action, ClientAction::Shutdown);
         // --shutdown is a verb like the others: exclusive.
         assert!(parse(&v(&["serve", "--connect", "a:1", "--shutdown", "--stats"])).is_err());
+    }
+
+    #[test]
+    fn serve_client_path() {
+        let Command::Serve(ServeArgs::Client(c)) = parse(&v(&[
+            "serve",
+            "--connect",
+            "a:1",
+            "--path",
+            "unc",
+            "mit-ai",
+        ]))
+        .unwrap() else {
+            panic!("expected client");
+        };
+        assert_eq!(
+            c.action,
+            ClientAction::Path {
+                src: "unc".into(),
+                dst: "mit-ai".into()
+            }
+        );
+
+        // `*` source (the via listing) and a map qualifier both frame.
+        let Command::Serve(ServeArgs::Client(c)) = parse(&v(&[
+            "serve",
+            "--connect",
+            "a:1",
+            "--map-name",
+            "east",
+            "--path",
+            "*",
+            "seismo",
+        ]))
+        .unwrap() else {
+            panic!("expected client");
+        };
+        assert_eq!(c.map_name.as_deref(), Some("east"));
+        assert_eq!(
+            c.action,
+            ClientAction::Path {
+                src: "*".into(),
+                dst: "seismo".into()
+            }
+        );
+
+        // --path wants exactly two values, once, and is exclusive with
+        // the other verbs; --user belongs to --query alone.
+        assert!(parse(&v(&["serve", "--connect", "a:1", "--path", "unc"])).is_err());
+        assert!(parse(&v(&[
+            "serve",
+            "--connect",
+            "a:1",
+            "--path",
+            "a",
+            "b",
+            "--path",
+            "c",
+            "d"
+        ]))
+        .is_err());
+        assert!(parse(&v(&[
+            "serve",
+            "--connect",
+            "a:1",
+            "--path",
+            "a",
+            "b",
+            "--stats"
+        ]))
+        .is_err());
+        assert!(parse(&v(&[
+            "serve",
+            "--connect",
+            "a:1",
+            "--path",
+            "a",
+            "b",
+            "--user",
+            "u"
+        ]))
+        .is_err());
+        assert!(parse(&v(&[
+            "serve",
+            "--connect",
+            "a:1",
+            "--path",
+            "a",
+            "b",
+            "--query",
+            "h"
+        ]))
+        .is_err());
     }
 
     #[test]

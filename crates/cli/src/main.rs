@@ -188,7 +188,9 @@ fn cmd_freeze(fz: FreezeArgs) -> ExitCode {
     for w in frozen.warnings() {
         eprintln!("pathalias: warning: {w}");
     }
-    if let Err(e) = frozen.write_snapshot(&fz.out) {
+    // The snapshot carries the reverse index too, so a daemon serving
+    // it answers `PATH * dst` without an O(n+m) transpose on startup.
+    if let Err(e) = frozen.write_snapshot_with_reverse(&fz.out) {
         eprintln!("pathalias: writing {}: {e}", fz.out);
         return ExitCode::FAILURE;
     }
@@ -212,6 +214,13 @@ fn cmd_serve_daemon(d: DaemonArgs) -> ExitCode {
         ignore_case: d.ignore_case,
         ..Options::default()
     };
+    // Per-map `:cache=N` suffixes become capacity overrides; maps
+    // without one share the daemon-wide --cache.
+    let cache_capacities: Vec<(String, usize)> = d
+        .map_set
+        .iter()
+        .filter_map(|e| e.cache.map(|c| (e.name.clone(), c)))
+        .collect();
     let maps: Vec<(String, MapSource)> = if !d.map_set.is_empty() {
         // Several named maps, each from its own source shape. The
         // pipeline options (-l, -i) apply to every map/pagf member.
@@ -258,6 +267,7 @@ fn cmd_serve_daemon(d: DaemonArgs) -> ExitCode {
         tcp: d.listen,
         unix: d.unix.map(Into::into),
         cache_capacity: d.cache,
+        cache_capacities,
         cache_shards: d.shards,
         watch: d
             .watch
@@ -381,6 +391,34 @@ fn cmd_serve_client(c: ClientArgs) -> ExitCode {
                 Err(e) => Err(e),
             }
         }
+        // `--path * dst` lists dst's one-hop predecessors; otherwise
+        // the route goes to stdout (like --query) with cost and hops
+        // on stderr for humans.
+        ClientAction::Path { src, dst } if src == "*" => match client.via_on(map, dst) {
+            Ok(Some(entries)) => {
+                for (name, cost) in &entries {
+                    println!("{name}\t{cost}");
+                }
+                Ok(())
+            }
+            Ok(None) => {
+                eprintln!("pathalias: no host {dst}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => Err(e),
+        },
+        ClientAction::Path { src, dst } => match client.path_on(map, src, dst) {
+            Ok(Some(info)) => {
+                println!("{}", info.route);
+                eprintln!("pathalias: cost {} over {} hop(s)", info.cost, info.hops);
+                Ok(())
+            }
+            Ok(None) => {
+                eprintln!("pathalias: no route from {src} to {dst}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => Err(e),
+        },
         ClientAction::Stats => client.stats_on(map).map(|s| println!("{s}")),
         ClientAction::Reload => client.reload_on(map).map(|s| println!("{s}")),
         ClientAction::Health => client.health_on(map).map(|s| println!("{s}")),

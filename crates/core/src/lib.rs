@@ -39,7 +39,8 @@ pub use stages::{Built, Frozen, Mapped, Parsed, Printed};
 // only this crate.
 pub use pathalias_graph::{
     dot, snapshot, stats, symbol_cost, symbol_table, unparse, Cost, Dir, EdgeId, FrozenGraph,
-    Graph, LinkFlags, NodeFlags, NodeId, RouteOp, SnapshotError, Warning, DEFAULT_COST, INF,
+    Graph, LinkFlags, NodeFlags, NodeId, ReverseGraph, RouteOp, SnapshotError, Warning,
+    DEFAULT_COST, INF,
 };
 pub use pathalias_mapper::{
     format_trace, map, map_dual, map_dual_frozen, map_frozen, map_frozen_quadratic_readonly,

@@ -39,7 +39,7 @@
 use crate::options::Options;
 use crate::pipeline::Error;
 use pathalias_graph::snapshot::{self, SnapshotError};
-use pathalias_graph::{FrozenGraph, Graph, NodeId, Warning};
+use pathalias_graph::{FrozenGraph, Graph, NodeId, ReverseGraph, Warning};
 use pathalias_mapper::{map_dual_frozen, map_frozen, DualTree, MapOptions, ShortestPathTree};
 use pathalias_parser::parse_into;
 use pathalias_printer::{compute_routes, render, PrintOptions, RouteTable};
@@ -150,6 +150,7 @@ impl Built {
         let t0 = Instant::now();
         Frozen {
             graph: Arc::new(self.graph.freeze()),
+            reverse: None,
             first_host: self.first_host,
             warnings: self.graph.warnings().to_vec(),
             freeze_time: t0.elapsed(),
@@ -161,6 +162,7 @@ impl Built {
 #[derive(Debug, Clone)]
 pub struct Frozen {
     graph: Arc<FrozenGraph>,
+    reverse: Option<Arc<ReverseGraph>>,
     first_host: Option<NodeId>,
     warnings: Vec<Warning>,
     /// Wall-clock time spent freezing.
@@ -178,6 +180,7 @@ impl Frozen {
     ) -> Self {
         Frozen {
             graph,
+            reverse: None,
             first_host,
             warnings,
             freeze_time,
@@ -191,7 +194,7 @@ impl Frozen {
     /// instead.
     pub fn from_snapshot(path: impl AsRef<Path>) -> Result<Frozen, SnapshotError> {
         let t0 = Instant::now();
-        let graph = snapshot::read_snapshot(path)?;
+        let (graph, reverse) = snapshot::read_snapshot_full(path)?;
         // `Parsed::build` pins the default `-l` to the first node
         // parsing ever creates, which is node 0 of a non-empty pool;
         // node ids survive freezing and serialization, so the same
@@ -199,6 +202,7 @@ impl Frozen {
         let first_host = graph.node_ids().next();
         Ok(Frozen {
             graph: Arc::new(graph),
+            reverse: reverse.map(Arc::new),
             first_host,
             warnings: Vec::new(),
             freeze_time: t0.elapsed(),
@@ -211,9 +215,27 @@ impl Frozen {
         snapshot::write_snapshot(&self.graph, path)
     }
 
+    /// Writes the snapshot with the reverse-index section included, so
+    /// a loader serving point-to-point queries skips the transpose
+    /// rebuild (`pathalias freeze` writes this form). Reuses the
+    /// stage's reverse index when it already has one.
+    pub fn write_snapshot_with_reverse(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        match &self.reverse {
+            Some(rev) => snapshot::write_snapshot_full(&self.graph, Some(rev), path),
+            None => snapshot::write_snapshot_full(&self.graph, Some(&self.graph.reverse()), path),
+        }
+    }
+
     /// The frozen graph.
     pub fn graph(&self) -> &Arc<FrozenGraph> {
         &self.graph
+    }
+
+    /// The reverse adjacency index, when the stage came from a
+    /// snapshot that stored one. `None` means callers who need the
+    /// transpose build it themselves ([`FrozenGraph::reverse`]).
+    pub fn reverse_index(&self) -> Option<&Arc<ReverseGraph>> {
+        self.reverse.as_ref()
     }
 
     /// Warnings recorded while building.

@@ -14,6 +14,9 @@
 //!   ([`Graph::freeze`]) the mapping and printing phases traverse;
 //! * [`snapshot`] — PAGF1, the versioned, checksummed on-disk form of
 //!   a frozen graph, for instant daemon cold starts;
+//! * [`reverse`] — the transpose CSR ([`FrozenGraph::reverse`])
+//!   point-to-point search runs its backward side over, optionally
+//!   persisted as a PAGF1 section;
 //! * [`Node`] / [`Link`] with [`NodeFlags`] / [`LinkFlags`];
 //! * networks as single nodes with paired member edges (the "clique as
 //!   star" representation that avoids the ARPANET's "millions of
@@ -53,6 +56,7 @@ pub mod frozen;
 mod graph;
 mod link;
 mod node;
+pub mod reverse;
 pub mod snapshot;
 pub mod stats;
 pub mod unparse;
@@ -64,4 +68,5 @@ pub use frozen::{EdgeId, FrozenEdge, FrozenGraph};
 pub use graph::{FileId, Graph, LinkId, NodeId};
 pub use link::{Dir, Link, RouteOp};
 pub use node::Node;
+pub use reverse::ReverseGraph;
 pub use snapshot::SnapshotError;

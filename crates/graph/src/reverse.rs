@@ -1,0 +1,256 @@
+//! The reverse adjacency index: who links *to* a node.
+//!
+//! A [`FrozenGraph`] is a forward CSR — `row_start` slices the edge
+//! array by tail node. Point-to-point search (bidirectional Dijkstra,
+//! and later contraction hierarchies) also needs the transpose: for a
+//! head node `v`, every `(tail, edge)` pair pointing at it. That is a
+//! [`ReverseGraph`]: a second CSR over the *same* edge ids, built once
+//! with a counting sort and immutable thereafter.
+//!
+//! The reverse index is deliberately a separate struct rather than a
+//! field of [`FrozenGraph`]: the frozen graph is persisted field-by-
+//! field (PAGF1) and compared with `Eq` in round-trip tests, and the
+//! transpose is derived data — always reconstructible, optionally
+//! stored in a snapshot section (see [`crate::snapshot`]).
+//!
+//! Within one reverse row the edge ids are ascending (the counting
+//! sort scans edges in id order), so iteration order is deterministic
+//! and independent of how the reverse index was obtained — built fresh
+//! or loaded from a snapshot, the rows are byte-identical.
+
+use crate::frozen::{EdgeId, FrozenGraph};
+use crate::graph::NodeId;
+
+/// The transpose of a [`FrozenGraph`]'s edge list: for each node, the
+/// `(tail, edge)` pairs of every edge pointing at it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReverseGraph {
+    /// CSR row starts by *head* node; `row_start[v]..row_start[v+1]`
+    /// indexes `from` / `edge`.
+    pub(crate) row_start: Vec<u32>,
+    /// The tail node of each in-edge.
+    pub(crate) from: Vec<u32>,
+    /// The forward [`EdgeId`] of each in-edge (ascending within a row).
+    pub(crate) edge: Vec<u32>,
+}
+
+impl ReverseGraph {
+    /// Builds the transpose of `f` with a counting sort over edge
+    /// heads: O(n + m), two passes, no comparison sort.
+    pub fn build(f: &FrozenGraph) -> ReverseGraph {
+        let n = f.node_count();
+        let m = f.edge_count();
+        let mut row_start = vec![0u32; n + 1];
+        for e in &f.edges {
+            row_start[e.to as usize + 1] += 1;
+        }
+        for v in 0..n {
+            row_start[v + 1] += row_start[v];
+        }
+        let mut cursor = row_start.clone();
+        let mut from = vec![0u32; m];
+        let mut edge = vec![0u32; m];
+        // Edges visited in id order, so each reverse row comes out
+        // edge-id-ascending — the determinism guarantee above.
+        for u in 0..n {
+            for e in f.row(u) {
+                let head = f.edges[e].to as usize;
+                let slot = cursor[head] as usize;
+                from[slot] = u as u32;
+                edge[slot] = e as u32;
+                cursor[head] += 1;
+            }
+        }
+        ReverseGraph {
+            row_start,
+            from,
+            edge,
+        }
+    }
+
+    /// Number of nodes the index covers.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.row_start.len() - 1
+    }
+
+    /// Number of edges (same as the forward graph's).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge.len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        let i = v.index();
+        (self.row_start[i + 1] - self.row_start[i]) as usize
+    }
+
+    /// Iterates the in-edges of `v` as `(tail, edge)` pairs, edge ids
+    /// ascending.
+    #[inline]
+    pub fn in_edges(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        let i = v.index();
+        let r = self.row_start[i] as usize..self.row_start[i + 1] as usize;
+        r.map(move |s| {
+            (
+                NodeId::from_raw(self.from[s]),
+                EdgeId::from_raw(self.edge[s]),
+            )
+        })
+    }
+
+    /// Checks that this index is structurally the transpose of `f`:
+    /// matching node/edge counts, monotone rows spanning the edge
+    /// array, and every slot's edge actually pointing at the row's
+    /// node from the recorded tail. Used when loading a persisted
+    /// reverse section — a snapshot that lies fails here rather than
+    /// corrupting a search.
+    pub fn validate_against(&self, f: &FrozenGraph) -> bool {
+        let n = f.node_count();
+        let m = f.edge_count();
+        if self.row_start.len() != n + 1
+            || self.from.len() != m
+            || self.edge.len() != m
+            || self.row_start[0] != 0
+            || self.row_start[n] as usize != m
+        {
+            return false;
+        }
+        // Monotonicity first, over the whole table: together with
+        // `row_start[n] == m` it bounds every row below `m`, so the
+        // indexing in the main loop cannot run past the arrays even
+        // on hostile input (this runs on untrusted snapshot bytes).
+        for v in 0..n {
+            if self.row_start[v] > self.row_start[v + 1] {
+                return false;
+            }
+        }
+        for v in 0..n {
+            let row = self.row_start[v] as usize..self.row_start[v + 1] as usize;
+            let mut prev: Option<u32> = None;
+            for s in row {
+                let e = self.edge[s];
+                // Ascending edge ids also guarantee each id appears at
+                // most once; with from/edge lengths == m, exactly once.
+                if prev.is_some_and(|p| p >= e) {
+                    return false;
+                }
+                prev = Some(e);
+                let Some(fe) = f.edges.get(e as usize) else {
+                    return false;
+                };
+                if fe.to as usize != v {
+                    return false;
+                }
+                // The recorded tail must own edge id `e` in the
+                // forward CSR.
+                let u = self.from[s] as usize;
+                if u >= n || !f.row(u).contains(&(e as usize)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl FrozenGraph {
+    /// Builds the reverse adjacency index (see [`ReverseGraph`]).
+    pub fn reverse(&self) -> ReverseGraph {
+        ReverseGraph::build(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::graph::Graph;
+    use crate::link::RouteOp;
+
+    #[test]
+    fn transpose_matches_forward_edges() {
+        let mut g = Graph::new();
+        let a = g.node("a");
+        let b = g.node("b");
+        let c = g.node("c");
+        g.declare_link(a, b, 10, RouteOp::UUCP);
+        g.declare_link(a, c, 20, RouteOp::ARPA);
+        g.declare_link(c, b, 5, RouteOp::UUCP);
+        let f = g.freeze();
+        let r = f.reverse();
+        assert_eq!(r.node_count(), f.node_count());
+        assert_eq!(r.edge_count(), f.edge_count());
+        assert_eq!(r.in_degree(a), 0);
+        assert_eq!(r.in_degree(b), 2);
+        let ins: Vec<_> = r.in_edges(b).collect();
+        // Edge-id order: a->b froze before c->b.
+        assert_eq!(ins[0].0, a);
+        assert_eq!(ins[1].0, c);
+        for (tail, e) in r.in_edges(b) {
+            assert_eq!(f.edge_target(e), b);
+            assert!(f.out_edges(tail).any(|oe| oe == e));
+        }
+        assert!(r.validate_against(&f));
+    }
+
+    #[test]
+    fn every_forward_edge_appears_exactly_once() {
+        let mut g = Graph::new();
+        let names: Vec<_> = (0..8).map(|i| g.node(&format!("h{i}"))).collect();
+        for i in 0..8usize {
+            for j in 0..8usize {
+                if i != j && (i + j) % 3 == 0 {
+                    g.declare_link(names[i], names[j], (i * 10 + j) as u64, RouteOp::UUCP);
+                }
+            }
+        }
+        let f = g.freeze();
+        let r = f.reverse();
+        let mut seen = vec![false; f.edge_count()];
+        for v in f.node_ids() {
+            for (_, e) in r.in_edges(v) {
+                assert!(!seen[e.index()], "edge listed twice");
+                seen[e.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every edge listed");
+        assert!(r.validate_against(&f));
+    }
+
+    #[test]
+    fn validate_rejects_mismatches() {
+        let mut g = Graph::new();
+        let a = g.node("a");
+        let b = g.node("b");
+        g.declare_link(a, b, 10, RouteOp::UUCP);
+        let f = g.freeze();
+        let good = f.reverse();
+        assert!(good.validate_against(&f));
+
+        let mut wrong_row = good.clone();
+        wrong_row.row_start[1] = 9;
+        assert!(!wrong_row.validate_against(&f));
+
+        let mut wrong_head = good.clone();
+        wrong_head.from[0] = 1; // b does not own edge 0
+        assert!(!wrong_head.validate_against(&f));
+
+        // A transpose of a different graph fails too.
+        let mut g2 = Graph::new();
+        let a2 = g2.node("a");
+        let b2 = g2.node("b");
+        g2.declare_link(b2, a2, 10, RouteOp::UUCP);
+        assert!(!g2.freeze().reverse().validate_against(&f));
+    }
+
+    #[test]
+    fn empty_graph_reverses() {
+        let g = Graph::new();
+        let f = g.freeze();
+        let r = f.reverse();
+        assert_eq!(r.node_count(), 0);
+        assert_eq!(r.edge_count(), 0);
+        assert!(r.validate_against(&f));
+    }
+}

@@ -31,7 +31,8 @@
 //! 12     4          edge count m (u32)
 //! 16     8          name blob length (u64)
 //! 24     4          raw-cost sidecar count rc (u32)
-//! 28     4          reserved (0)
+//! 28     4          section flags (bit 0: reverse index present;
+//!                   unknown bits reject — see below)
 //! 32     8          checksum (see below) of the whole file with this
 //!                   field zeroed
 //! 40     (n+1)*4    name offsets into the blob (monotone, 0-based)
@@ -44,6 +45,24 @@
 //! ...    rc*12      raw-cost sidecar: edge id u32, pre-adjust cost
 //!                   u64, ascending by edge id
 //! ```
+//!
+//! With section-flag bit 0 set, the optional **reverse index**
+//! section follows the sidecar (see [`ReverseGraph`]):
+//!
+//! ```text
+//! ...    (n+1)*4    reverse CSR row starts by head node (monotone,
+//!                   ends at m)
+//! ...    m*4        in-edge tail node ids (u32)
+//! ...    m*4        in-edge forward edge ids (u32, ascending within
+//!                   each row)
+//! ```
+//!
+//! The section-flags word was reserved-as-zero in the original PAGF1
+//! release, which is what makes the extension version-tolerant in both
+//! directions: files written before the reverse section existed carry
+//! zero and still load (the reverse side is rebuilt on the fly), while
+//! a file using a section this reader does not know about is rejected
+//! as corrupt instead of being silently misparsed.
 //!
 //! # Checksum
 //!
@@ -84,6 +103,7 @@
 use crate::cost::Cost;
 use crate::flags::{LinkFlags, NodeFlags};
 use crate::frozen::{FrozenEdge, FrozenGraph};
+use crate::reverse::ReverseGraph;
 use std::collections::HashMap;
 use std::fmt;
 use std::io;
@@ -103,6 +123,12 @@ const EDGE_LEN: usize = 16;
 
 /// Bytes per raw-cost sidecar entry.
 const RAW_COST_LEN: usize = 12;
+
+/// Section-flag bit: the reverse index section follows the sidecar.
+const SECTION_REVERSE: u32 = 1;
+
+/// Every section flag this reader understands; anything else rejects.
+const SECTION_KNOWN: u32 = SECTION_REVERSE;
 
 /// Errors from reading or writing a PAGF1 snapshot.
 #[derive(Debug)]
@@ -134,10 +160,25 @@ fn corrupt<T>(why: impl Into<String>) -> Result<T, SnapshotError> {
     Err(SnapshotError::Corrupt(why.into()))
 }
 
-/// Serializes the snapshot into its PAGF1 byte image.
+/// Serializes the snapshot into its PAGF1 byte image, without any
+/// optional sections (section-flags word zero — the original PAGF1
+/// wire image, byte for byte).
 pub fn to_bytes(g: &FrozenGraph) -> Vec<u8> {
+    to_bytes_full(g, None)
+}
+
+/// Serializes the snapshot into its PAGF1 byte image, appending the
+/// reverse index section when `reverse` is given.
+///
+/// The caller is responsible for `reverse` actually being the
+/// transpose of `g` (debug builds assert it); pass the result of
+/// [`FrozenGraph::reverse`].
+pub fn to_bytes_full(g: &FrozenGraph, reverse: Option<&ReverseGraph>) -> Vec<u8> {
     let n = g.node_count();
     let m = g.edges.len();
+    if let Some(rev) = reverse {
+        debug_assert!(rev.validate_against(g), "reverse index must match graph");
+    }
     // The sidecar is a hash map in memory; on disk it is sorted by
     // edge id so the reader can verify it with one linear pass.
     let mut raw_cost: Vec<(u32, Cost)> = g.raw_cost.iter().map(|(&e, &c)| (e, c)).collect();
@@ -150,7 +191,12 @@ pub fn to_bytes(g: &FrozenGraph) -> Vec<u8> {
         + n * 8
         + (n + 1) * 4
         + m * EDGE_LEN
-        + raw_cost.len() * RAW_COST_LEN;
+        + raw_cost.len() * RAW_COST_LEN
+        + if reverse.is_some() {
+            (n + 1) * 4 + m * 4 + m * 4
+        } else {
+            0
+        };
     let mut out = Vec::with_capacity(total);
 
     out.extend_from_slice(MAGIC);
@@ -160,7 +206,12 @@ pub fn to_bytes(g: &FrozenGraph) -> Vec<u8> {
     out.extend_from_slice(&(m as u32).to_le_bytes());
     out.extend_from_slice(&(g.name_data.len() as u64).to_le_bytes());
     out.extend_from_slice(&(raw_cost.len() as u32).to_le_bytes());
-    out.extend_from_slice(&0u32.to_le_bytes());
+    let sections = if reverse.is_some() {
+        SECTION_REVERSE
+    } else {
+        0
+    };
+    out.extend_from_slice(&sections.to_le_bytes());
     out.extend_from_slice(&0u64.to_le_bytes()); // checksum, patched below
 
     for &off in &g.name_off {
@@ -187,6 +238,17 @@ pub fn to_bytes(g: &FrozenGraph) -> Vec<u8> {
         out.extend_from_slice(&e.to_le_bytes());
         out.extend_from_slice(&c.to_le_bytes());
     }
+    if let Some(rev) = reverse {
+        for &r in &rev.row_start {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        for &t in &rev.from {
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        for &e in &rev.edge {
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+    }
     debug_assert_eq!(out.len(), total);
 
     let sum = checksum(&out);
@@ -201,11 +263,21 @@ pub fn to_bytes(g: &FrozenGraph) -> Vec<u8> {
 /// a truncated snapshot where a daemon (or `serve --watch`) expects a
 /// valid one — the old edition survives until the new one is whole.
 pub fn write_snapshot(g: &FrozenGraph, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+    write_snapshot_full(g, None, path)
+}
+
+/// Writes the snapshot plus the optional reverse index section; same
+/// atomic-rename discipline as [`write_snapshot`].
+pub fn write_snapshot_full(
+    g: &FrozenGraph,
+    reverse: Option<&ReverseGraph>,
+    path: impl AsRef<Path>,
+) -> Result<(), SnapshotError> {
     let path = path.as_ref();
     let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
     tmp_name.push(format!(".{}.tmp", std::process::id()));
     let tmp = path.with_file_name(tmp_name);
-    std::fs::write(&tmp, to_bytes(g))?;
+    std::fs::write(&tmp, to_bytes_full(g, reverse))?;
     if let Err(e) = std::fs::rename(&tmp, path) {
         let _ = std::fs::remove_file(&tmp);
         return Err(e.into());
@@ -213,9 +285,20 @@ pub fn write_snapshot(g: &FrozenGraph, path: impl AsRef<Path>) -> Result<(), Sna
     Ok(())
 }
 
-/// Reads a PAGF1 file back into a [`FrozenGraph`].
+/// Reads a PAGF1 file back into a [`FrozenGraph`], discarding any
+/// optional sections.
 pub fn read_snapshot(path: impl AsRef<Path>) -> Result<FrozenGraph, SnapshotError> {
     from_bytes(&std::fs::read(path)?)
+}
+
+/// Reads a PAGF1 file back into a [`FrozenGraph`] plus its reverse
+/// index section, when the file carries one. `None` means a legacy
+/// file (section flags zero) — callers wanting the transpose rebuild
+/// it with [`FrozenGraph::reverse`], an O(n + m) counting sort.
+pub fn read_snapshot_full(
+    path: impl AsRef<Path>,
+) -> Result<(FrozenGraph, Option<ReverseGraph>), SnapshotError> {
+    from_bytes_full(&std::fs::read(path)?)
 }
 
 /// One checksum step: the paper's shift-xor mixing, word-wide.
@@ -278,8 +361,17 @@ fn le_u64(bytes: &[u8]) -> u64 {
     u64::from_le_bytes(bytes.try_into().expect("8 bytes"))
 }
 
-/// Deserializes a PAGF1 byte image, validating structure end to end.
+/// Deserializes a PAGF1 byte image, validating structure end to end
+/// and discarding any optional sections.
 pub fn from_bytes(bytes: &[u8]) -> Result<FrozenGraph, SnapshotError> {
+    from_bytes_full(bytes).map(|(g, _)| g)
+}
+
+/// Deserializes a PAGF1 byte image plus its optional reverse index
+/// section, validating structure end to end (the reverse arrays are
+/// cross-checked against the decoded forward CSR, so a section that
+/// lies is `Corrupt`, not a wrong answer).
+pub fn from_bytes_full(bytes: &[u8]) -> Result<(FrozenGraph, Option<ReverseGraph>), SnapshotError> {
     if bytes.len() < HEADER_LEN {
         return corrupt(format!(
             "file is {} bytes, shorter than the {HEADER_LEN}-byte header",
@@ -301,9 +393,14 @@ pub fn from_bytes(bytes: &[u8]) -> Result<FrozenGraph, SnapshotError> {
     let m = le_u32(&bytes[12..16]) as usize;
     let name_len = le_u64(&bytes[16..24]);
     let rc = le_u32(&bytes[24..28]) as usize;
-    if le_u32(&bytes[28..32]) != 0 {
-        return corrupt("reserved header word is not zero");
+    let sections = le_u32(&bytes[28..32]);
+    if sections & !SECTION_KNOWN != 0 {
+        return corrupt(format!(
+            "unknown section flags {:#010x}: written by a newer pathalias",
+            sections & !SECTION_KNOWN
+        ));
     }
+    let has_reverse = sections & SECTION_REVERSE != 0;
     let stored_sum = le_u64(&bytes[CHECKSUM_RANGE]);
 
     // Every section length follows from the four header counts. The
@@ -313,6 +410,14 @@ pub fn from_bytes(bytes: &[u8]) -> Result<FrozenGraph, SnapshotError> {
     let expected: Option<u64> = (|| {
         let n = n as u64;
         let m = m as u64;
+        let rev = if has_reverse {
+            // rev_row + from + edge
+            n.checked_add(1)?
+                .checked_mul(4)?
+                .checked_add(m.checked_mul(8)?)?
+        } else {
+            0
+        };
         let mut total = HEADER_LEN as u64;
         for part in [
             n.checked_add(1)?.checked_mul(4)?, // name_off
@@ -322,6 +427,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<FrozenGraph, SnapshotError> {
             n.checked_add(1)?.checked_mul(4)?, // row_start
             m.checked_mul(EDGE_LEN as u64)?,   // edges
             (rc as u64).checked_mul(RAW_COST_LEN as u64)?,
+            rev, // reverse section
         ] {
             total = total.checked_add(part)?;
         }
@@ -356,6 +462,11 @@ pub fn from_bytes(bytes: &[u8]) -> Result<FrozenGraph, SnapshotError> {
     let row_bytes = r.take((n + 1) * 4);
     let edge_bytes = r.take(m * EDGE_LEN);
     let raw_cost_bytes = r.take(rc * RAW_COST_LEN);
+    let rev_bytes = if has_reverse {
+        Some((r.take((n + 1) * 4), r.take(m * 4), r.take(m * 4)))
+    } else {
+        None
+    };
     debug_assert_eq!(r.pos, bytes.len());
 
     // Name offsets: monotone from 0 to the blob length.
@@ -470,7 +581,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<FrozenGraph, SnapshotError> {
         }
     }
 
-    Ok(FrozenGraph {
+    let graph = FrozenGraph {
         ignore_case,
         name_data,
         name_off,
@@ -480,7 +591,28 @@ pub fn from_bytes(bytes: &[u8]) -> Result<FrozenGraph, SnapshotError> {
         edges,
         raw_cost,
         index,
-    })
+    };
+
+    // The reverse section is pure derived data, so its validation is
+    // simply "is this *the* transpose of the forward CSR we just
+    // decoded" — one structural predicate instead of piecemeal range
+    // checks.
+    let reverse = match rev_bytes {
+        None => None,
+        Some((rev_row, rev_from, rev_edge)) => {
+            let rev = ReverseGraph {
+                row_start: rev_row.chunks_exact(4).map(le_u32).collect(),
+                from: rev_from.chunks_exact(4).map(le_u32).collect(),
+                edge: rev_edge.chunks_exact(4).map(le_u32).collect(),
+            };
+            if !rev.validate_against(&graph) {
+                return corrupt("reverse section is not the transpose of the edges");
+            }
+            Some(rev)
+        }
+    };
+
+    Ok((graph, reverse))
 }
 
 #[cfg(test)]
@@ -716,6 +848,108 @@ mod tests {
             from_bytes(&retamp(bad)),
             Err(SnapshotError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn reverse_section_round_trips() {
+        for ignore_case in [false, true] {
+            let frozen = rich_graph(ignore_case);
+            let rev = frozen.reverse();
+            let bytes = to_bytes_full(&frozen, Some(&rev));
+            let (loaded, loaded_rev) = from_bytes_full(&bytes).unwrap();
+            assert_eq!(loaded, frozen);
+            assert_eq!(loaded_rev.as_ref(), Some(&rev));
+            // The plain reader accepts the extended image too, just
+            // without the transpose.
+            assert_eq!(from_bytes(&bytes).unwrap(), frozen);
+        }
+    }
+
+    #[test]
+    fn reverse_section_round_trips_through_disk() {
+        let frozen = rich_graph(true);
+        let rev = frozen.reverse();
+        let path = std::env::temp_dir().join(format!("pagf-rev-{}.pagf", std::process::id()));
+        write_snapshot_full(&frozen, Some(&rev), &path).unwrap();
+        let (loaded, loaded_rev) = read_snapshot_full(&path).unwrap();
+        assert_eq!(loaded, frozen);
+        assert_eq!(loaded_rev, Some(rev));
+        // And the legacy reader still opens the same file.
+        assert_eq!(read_snapshot(&path).unwrap(), frozen);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn legacy_image_loads_with_no_reverse() {
+        let frozen = rich_graph(false);
+        // `to_bytes` writes section flags zero — the pre-extension
+        // wire image. The full reader reports "no reverse stored".
+        let (loaded, rev) = from_bytes_full(&to_bytes(&frozen)).unwrap();
+        assert_eq!(loaded, frozen);
+        assert!(rev.is_none(), "legacy image carries no reverse section");
+        // Rebuilding on the fly still works, of course.
+        assert!(loaded.reverse().validate_against(&loaded));
+    }
+
+    #[test]
+    fn rejects_unknown_section_flags() {
+        // A section this reader does not know about must reject, not
+        // silently misparse whatever follows the sidecar.
+        let mut bytes = to_bytes(&rich_graph(false));
+        bytes[28..32].copy_from_slice(&0x8000_0002u32.to_le_bytes());
+        match from_bytes_full(&retamp(bytes)) {
+            Err(SnapshotError::Corrupt(why)) => {
+                assert!(why.contains("section flags"), "got: {why}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_tampered_reverse_section() {
+        let frozen = rich_graph(false);
+        let rev = frozen.reverse();
+        let good = to_bytes_full(&frozen, Some(&rev));
+        let n = frozen.node_count();
+        let m = frozen.edge_count();
+        let rev_at = good.len() - ((n + 1) * 4 + m * 4 + m * 4);
+
+        // Every u32 slot in the section, overwritten with a value
+        // the transpose check must notice.
+        for slot in 0..((n + 1) + m + m) {
+            let at = rev_at + slot * 4;
+            let mut bad = good.clone();
+            let old = u32::from_le_bytes(bad[at..at + 4].try_into().unwrap());
+            bad[at..at + 4].copy_from_slice(&(old ^ 1).to_le_bytes());
+            match from_bytes_full(&retamp(bad)) {
+                Err(SnapshotError::Corrupt(_)) => {}
+                other => panic!("tampered slot {slot}: expected Corrupt, got {other:?}"),
+            }
+        }
+
+        // Claiming the section without providing it is a size lie.
+        let mut bad = to_bytes(&frozen);
+        bad[28..32].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            from_bytes_full(&retamp(bad)),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_reverse_section() {
+        let frozen = rich_graph(true);
+        let bytes = to_bytes_full(&frozen, Some(&frozen.reverse()));
+        let plain = to_bytes(&frozen).len();
+        for cut in plain..bytes.len() {
+            assert!(
+                matches!(
+                    from_bytes_full(&bytes[..cut]),
+                    Err(SnapshotError::Corrupt(_))
+                ),
+                "cut to {cut} bytes accepted"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! The [`PointToPoint`] engine: a frozen graph, its reverse CSR, and a
+//! pool of reusable search state, answering `src → dst` queries.
+
+use crate::route::{format_route, PathAnswer};
+use crate::search::{search, Scratch, SearchStats, AMBIGUOUS, NO_PRED, TAINTED, VIA_BACK};
+use pathalias_graph::{Cost, EdgeId, FrozenGraph, NodeId, ReverseGraph};
+use pathalias_mapper::CostModel;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Why a point-to-point query produced no route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The source name does not resolve to a node.
+    UnknownSource(String),
+    /// The destination name does not resolve to a node.
+    UnknownDest(String),
+    /// The source has been `delete`d (or is otherwise unmappable) —
+    /// the same refusal the mapper gives for a deleted tree root.
+    DeletedSource,
+    /// No path exists from source to destination.
+    NoRoute,
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::UnknownSource(name) => write!(f, "unknown source `{name}`"),
+            RouteError::UnknownDest(name) => write!(f, "unknown destination `{name}`"),
+            RouteError::DeletedSource => write!(f, "source has been deleted"),
+            RouteError::NoRoute => write!(f, "no route"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// One entry of a `PATH * dst` answer: a node with a direct link to
+/// the destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViaEntry {
+    /// The neighboring node.
+    pub node: NodeId,
+    /// The cheapest direct edge from `node` to the destination (folded
+    /// cost, as the mapper would charge a non-source tail).
+    pub cost: Cost,
+}
+
+/// The point-to-point route engine.
+///
+/// Holds an [`Arc<FrozenGraph>`] plus the reverse CSR (built once, or
+/// loaded from a PAGF snapshot's reverse section) and a pool of
+/// generation-stamped search scratch, so concurrent queries allocate
+/// nothing in the steady state. Cloning the engine is cheap — both
+/// graphs are shared; the scratch pool is too (an `Arc`), so clones
+/// also share warmed-up buffers.
+#[derive(Clone)]
+pub struct PointToPoint {
+    graph: Arc<FrozenGraph>,
+    reverse: Arc<ReverseGraph>,
+    model: CostModel,
+    scratch: Arc<Mutex<Vec<Scratch>>>,
+}
+
+impl fmt::Debug for PointToPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PointToPoint")
+            .field("nodes", &self.graph.node_count())
+            .field("edges", &self.graph.edge_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PointToPoint {
+    /// Builds an engine over `graph`, constructing the reverse CSR
+    /// (O(n + m) counting sort).
+    pub fn new(graph: Arc<FrozenGraph>, model: CostModel) -> PointToPoint {
+        let reverse = Arc::new(graph.reverse());
+        PointToPoint::with_reverse(graph, reverse, model)
+    }
+
+    /// Builds an engine reusing an already-built (or snapshot-loaded)
+    /// reverse CSR. The reverse index must be the transpose of `graph`
+    /// — snapshot loading validates this; a mismatched pair is caught
+    /// here in debug builds.
+    pub fn with_reverse(
+        graph: Arc<FrozenGraph>,
+        reverse: Arc<ReverseGraph>,
+        model: CostModel,
+    ) -> PointToPoint {
+        debug_assert!(reverse.validate_against(&graph));
+        PointToPoint {
+            graph,
+            reverse,
+            model,
+            scratch: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// The graph this engine answers over.
+    pub fn graph(&self) -> &Arc<FrozenGraph> {
+        &self.graph
+    }
+
+    /// The reverse adjacency index.
+    pub fn reverse(&self) -> &Arc<ReverseGraph> {
+        &self.reverse
+    }
+
+    /// The cost model queries are answered under.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Resolves `src → dst` by name with the bidirectional search.
+    pub fn route(&self, src: &str, dst: &str) -> Result<PathAnswer, RouteError> {
+        let (s, d) = self.resolve(src, dst)?;
+        self.route_ids(s, d)
+    }
+
+    /// Resolves `src → dst` by id with the bidirectional search.
+    pub fn route_ids(&self, src: NodeId, dst: NodeId) -> Result<PathAnswer, RouteError> {
+        self.run(src, dst, true).map(|(a, _)| a)
+    }
+
+    /// Resolves `src → dst` by id with the plain forward oracle
+    /// (uni-directional Dijkstra, stopped at the destination). Same
+    /// answer as [`route_ids`](Self::route_ids), fewer moving parts —
+    /// the parity baseline and the benchmark's control.
+    pub fn route_ids_unidirectional(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<PathAnswer, RouteError> {
+        self.run(src, dst, false).map(|(a, _)| a)
+    }
+
+    /// [`route_ids`](Self::route_ids) plus the search counters
+    /// (settled/pushed/pruned), for tests and diagnostics.
+    pub fn route_ids_with_stats(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<(PathAnswer, SearchStats), RouteError> {
+        self.run(src, dst, true)
+    }
+
+    /// Answers `PATH * dst`: every node with a direct edge to `dst`,
+    /// one entry per neighbor (cheapest edge wins), sorted by node id.
+    /// This is a straight read of the reverse CSR — no search runs.
+    pub fn via(&self, dst: &str) -> Result<Vec<ViaEntry>, RouteError> {
+        let d = self.dst_id(dst)?;
+        let mut out: Vec<ViaEntry> = Vec::new();
+        // Reverse rows are edge-id ascending, not grouped by tail, so
+        // dedup via a sort at the end (rows are short).
+        for (tail, e) in self.reverse.in_edges(d) {
+            let cost = self.graph.edge_cost(e);
+            match out.iter_mut().find(|v| v.node == tail) {
+                Some(v) => v.cost = v.cost.min(cost),
+                None => out.push(ViaEntry { node: tail, cost }),
+            }
+        }
+        out.sort_by_key(|v| v.node);
+        Ok(out)
+    }
+
+    fn resolve(&self, src: &str, dst: &str) -> Result<(NodeId, NodeId), RouteError> {
+        let s = self
+            .resolve_name(src)
+            .ok_or_else(|| RouteError::UnknownSource(src.to_string()))?;
+        let d = self.dst_id(dst)?;
+        Ok((s, d))
+    }
+
+    fn dst_id(&self, dst: &str) -> Result<NodeId, RouteError> {
+        self.resolve_name(dst)
+            .ok_or_else(|| RouteError::UnknownDest(dst.to_string()))
+    }
+
+    /// Resolves a name to a node, accepting both literal node names
+    /// and the domain-qualified names the printer emits.
+    ///
+    /// The route table keys domain members by their fully qualified
+    /// name — `format_route` appends the enclosing domain chain, so a
+    /// node `waterlooastro` inside `.yalerelay96` inside `.edu` prints
+    /// (and is queried) as `waterlooastro.yalerelay96.edu`, and the
+    /// nested domain itself prints as `.yalerelay96.edu`. None of
+    /// those are node names, so after an exact `id_of` miss this peels
+    /// domain components off the right end: each peeled suffix must
+    /// name a domain node that is a member of the previously peeled
+    /// (outer) one, and the surviving prefix must be a member of the
+    /// innermost domain. The membership checks keep unrelated names
+    /// that merely end in `.edu` from resolving.
+    fn resolve_name(&self, name: &str) -> Option<NodeId> {
+        if let Some(id) = self.graph.id_of(name) {
+            return Some(id);
+        }
+        let mut rest = name;
+        let mut enclosing: Option<NodeId> = None;
+        loop {
+            let i = rest.rfind('.')?;
+            if i == 0 {
+                return None;
+            }
+            let peeled = self.graph.id_of(&rest[i..])?;
+            if !self.graph.is_domain(peeled) {
+                return None;
+            }
+            if let Some(outer) = enclosing {
+                if !self.member_of(outer, peeled) {
+                    return None;
+                }
+            }
+            enclosing = Some(peeled);
+            rest = &rest[..i];
+            if let Some(host) = self.graph.id_of(rest) {
+                if self.member_of(peeled, host) {
+                    return Some(host);
+                }
+            }
+        }
+    }
+
+    /// Whether `domain` has a direct (membership) edge to `node`.
+    fn member_of(&self, domain: NodeId, node: NodeId) -> bool {
+        let (_, row) = self.graph.edge_slice(domain);
+        row.iter().any(|e| e.to() == node)
+    }
+
+    fn run(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        bidirectional: bool,
+    ) -> Result<(PathAnswer, SearchStats), RouteError> {
+        if !self.graph.is_mappable(src) {
+            return Err(RouteError::DeletedSource);
+        }
+        let mut scratch = {
+            let mut pool = self.scratch.lock().expect("scratch pool poisoned");
+            pool.pop().unwrap_or_else(Scratch::new)
+        };
+        let reverse = bidirectional.then_some(&*self.reverse);
+        let mut outcome = search(&self.graph, reverse, &self.model, src, dst, &mut scratch);
+        if !outcome.certified {
+            // The pruned run could not prove it matches the oracle
+            // (greedy-vs-optimal shadowing near the query — see the
+            // search module docs). Re-run the plain forward oracle,
+            // which is exact by construction.
+            let stats = outcome.stats;
+            outcome = search(&self.graph, None, &self.model, src, dst, &mut scratch);
+            outcome.stats.pruned = stats.pruned;
+            outcome.stats.backward_settled = stats.backward_settled;
+            outcome.stats.fell_back = true;
+        }
+        let stats = outcome.stats;
+        let answer = outcome.hit.map(|hit| {
+            // Walk the predecessor chain back to the source.
+            let mut nodes: Vec<NodeId> = vec![dst];
+            let mut edges: Vec<EdgeId> = Vec::new();
+            let mut cur = dst.raw();
+            while cur != src.raw() {
+                let (p, e) = scratch.pred_of(cur as usize);
+                debug_assert_ne!((p, e), NO_PRED, "settled non-source node has a pred");
+                edges.push(EdgeId::from_raw(e));
+                nodes.push(NodeId::from_raw(p));
+                cur = p;
+            }
+            nodes.reverse();
+            edges.reverse();
+            let (route, name) = format_route(&self.graph, &nodes, &edges);
+            (
+                PathAnswer {
+                    cost: hit.cost,
+                    hops: hit.hops,
+                    nodes,
+                    edges,
+                    name,
+                    route,
+                    via_domain: hit.state & TAINTED != 0,
+                    via_backlink: hit.state & VIA_BACK != 0,
+                    ambiguous: hit.state & AMBIGUOUS != 0,
+                },
+                stats,
+            )
+        });
+        self.scratch
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(scratch);
+        answer.ok_or(RouteError::NoRoute)
+    }
+}

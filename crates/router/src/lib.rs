@@ -1,0 +1,55 @@
+//! Point-to-point route engine: bidirectional Dijkstra over the
+//! frozen CSR.
+//!
+//! The mapper (`pathalias-mapper`) answers "routes from here to
+//! everywhere" by building a whole shortest-path tree. This crate
+//! answers the other question — "the route from *src* to *dst*" —
+//! without materializing a tree: a forward Dijkstra from `src` runs
+//! until it settles `dst`, and a backward lower-bound Dijkstra from
+//! `dst` over the reverse CSR ([`pathalias_graph::ReverseGraph`])
+//! prunes the forward frontier so most of the graph is never touched.
+//!
+//! The contract is **byte-for-byte parity** with the mapper: the cost,
+//! visible-hop count, predecessor chain, and printed route of a
+//! `PATH src dst` answer are identical to what the daemon would serve
+//! from the shortest-path tree rooted at `src`. That makes the engine
+//! safe to serve next to tree-backed resolvers — two code paths, one
+//! answer. The parity is enforced three ways: the forward side reuses
+//! the mapper's relaxation arithmetic and tie-breaking verbatim; each
+//! pruned run *certifies* that no dropped candidate could have touched
+//! the answer's chain, falling back to the plain forward oracle on the
+//! rare queries where it cannot (the mapper's state-dependent
+//! penalties make it non-optimal, so a cheaper real path is not always
+//! proof of safety — see the search module docs); and property tests
+//! compare whole answer sets against `map_frozen` trees.
+//!
+//! ```
+//! use pathalias_mapper::CostModel;
+//! use pathalias_parser::parse;
+//! use pathalias_router::PointToPoint;
+//! use std::sync::Arc;
+//!
+//! let g = parse("a b(10)\nb c(20)\n").unwrap();
+//! let f = Arc::new(g.freeze());
+//! let engine = PointToPoint::new(f, CostModel::default());
+//! let answer = engine.route("a", "c").unwrap();
+//! assert_eq!(answer.cost, 30);
+//! assert_eq!(answer.route, "b!c!%s");
+//! ```
+//!
+//! For serving, build the engine over the *augmented* graph of a
+//! mapped tree (`tree.frozen()`), which includes the invented
+//! back links — then `PATH home X` agrees with the printed map
+//! exactly, and any other source on the same topology is equally
+//! well-defined.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod route;
+mod search;
+
+pub use engine::{PointToPoint, RouteError, ViaEntry};
+pub use route::PathAnswer;
+pub use search::SearchStats;

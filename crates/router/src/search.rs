@@ -1,0 +1,734 @@
+//! The point-to-point searches: the exact-forward oracle and the
+//! pruned bidirectional variant.
+//!
+//! Both produce labels **byte-identical** to the mapper's
+//! (`pathalias_mapper::map_frozen_readonly`) on the destination's
+//! predecessor chain — same cost, same visible-hop count, same path
+//! state bits, same tie-broken predecessors. That is the whole game:
+//! a `PATH src dst` answer must agree with the tree the daemon would
+//! print from `src`, so this module replicates the mapper's relaxation
+//! arithmetic exactly (adjust folding with the raw-cost source
+//! exemption, gateway exemptions, the domain relay restriction, dead
+//! host/link penalties, mixed-syntax state, and the
+//! `(cost, hops, node)` key order with the `(pred, edge)` tie break).
+//!
+//! # How the bidirectional variant stays exact
+//!
+//! Classic bidirectional Dijkstra stitches a meeting point and stops
+//! when `top_f + top_b >= mu`. That yields the optimal *cost*, but not
+//! the mapper's exact label: the path state (hops, syntax bits,
+//! tie-broken predecessors) lives only in the forward relaxation. So
+//! the bidirectional search here keeps the forward side exact and uses
+//! the backward side as a *pruner*:
+//!
+//! * A backward Dijkstra from `dst` over the reverse CSR computes
+//!   `B(v)`, a **lower bound** on the remaining forward cost from `v`
+//!   to `dst` (each penalty is included only when it provably applies
+//!   to every forward path over that edge — gate and dead penalties
+//!   are node/edge properties, the relay penalty applies whenever the
+//!   tail is a domain since every forward label at a domain is
+//!   tainted; the mixed penalty is state-dependent so it bounds to 0).
+//! * `mu` is the cost of the best *concrete* path seen so far:
+//!   whenever a forward-labelled node is backward-settled (or vice
+//!   versa), the backward chain is re-costed under full forward
+//!   semantics from that label. The destination's own tentative
+//!   forward label also feeds `mu`.
+//! * A forward candidate is dropped — no label write, no heap push —
+//!   only when `cand_cost + B(v) > mu`, strictly.
+//!
+//! # Certification (why optimism is safe)
+//!
+//! The mapper is a label-*setting* heuristic over state-dependent
+//! penalties (the mixed and relay penalties depend on how a path got
+//! there), so it is not optimal: a real path can cost less than the
+//! mapper's answer when its intermediate label is shadowed by a
+//! lower-key label with different syntax state. That means a stitched
+//! real-path `mu` may dip below the mapper's final cost `C`, and a
+//! prune against it could cut the oracle's chain.
+//!
+//! The search therefore *certifies* each run. Any candidate that could
+//! have influenced the oracle's final answer — created, improved, or
+//! tie-rewritten a label ancestral to `dst`'s chain, in either the
+//! oracle's run or this one — provably satisfies
+//! `cand_cost + B(v) <= answer cost` (its true remaining cost down the
+//! answer chain is at least `B(v)`, a global lower bound). So the loop
+//! tracks `worst_prune`, the minimum `cand_cost + B(v)` ever pruned:
+//!
+//! * `worst_prune > answer cost` — no pruned candidate could have
+//!   mattered; the labels (and their ties) are exactly the oracle's.
+//!   This is the common case: on shadow-free queries `mu` converges to
+//!   `C` itself and every prune exceeds it by construction.
+//! * otherwise the run is uncertified and the caller falls back to the
+//!   forward oracle — correct by construction, merely slower. This
+//!   fires exactly when greedy-vs-optimal shadowing is close enough to
+//!   the query to matter.
+//!
+//! The forward side still settles `dst` itself (that is what makes the
+//! answer byte-identical); the speedup comes from the frontier the
+//! pruning never materializes. The standard `top_f + top_b` bound
+//! appears as the backward side's own stopping rule: once `top_b > mu`
+//! the backward search can improve nothing and freezes, leaving its
+//! last top as the floor bound for every node it never settled.
+
+use pathalias_graph::{
+    Cost, Dir, EdgeId, FrozenEdge, FrozenGraph, LinkFlags, NodeFlags, NodeId, ReverseGraph,
+};
+use pathalias_mapper::CostModel;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Path-state bits, identical to the mapper's packed run state.
+pub(crate) const LABELLED: u8 = 1 << 0;
+pub(crate) const HAS_LEFT: u8 = 1 << 1;
+pub(crate) const HAS_RIGHT: u8 = 1 << 2;
+pub(crate) const TAINTED: u8 = 1 << 3;
+pub(crate) const VIA_BACK: u8 = 1 << 4;
+pub(crate) const AMBIGUOUS: u8 = 1 << 5;
+pub(crate) const MAPPED: u8 = 1 << 6;
+
+/// Backward-side state bits.
+const B_LABELLED: u8 = 1 << 0;
+const B_SETTLED: u8 = 1 << 1;
+
+/// The source's predecessor sentinel.
+pub(crate) const NO_PRED: (u32, u32) = (u32::MAX, u32::MAX);
+
+type Key = u128;
+
+#[inline]
+fn pack_key(cost: Cost, hops: u32, node: u32) -> Key {
+    ((cost as u128) << 64) | ((hops as u128) << 32) | node as u128
+}
+
+/// Backward heap key: cost then node id, so extraction (and therefore
+/// the backward tree) is deterministic.
+#[inline]
+fn pack_bkey(cost: Cost, node: u32) -> Key {
+    ((cost as u128) << 32) | node as u128
+}
+
+/// Counters from one point-to-point search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Forward heap extractions that settled a node.
+    pub settled: u64,
+    /// Forward heap insertions.
+    pub pushes: u64,
+    /// Forward candidates dropped by the lower-bound pruning.
+    pub pruned: u64,
+    /// Backward (lower-bound) settles.
+    pub backward_settled: u64,
+    /// The bidirectional run failed certification and the engine
+    /// re-ran the forward oracle (see the module docs).
+    pub fell_back: bool,
+}
+
+/// Reusable search state: dense struct-of-arrays sized to the graph
+/// once, then invalidated per query by bumping a generation stamp, so
+/// repeated queries allocate nothing (the heaps keep their capacity
+/// and are cheap to clear).
+pub(crate) struct Scratch {
+    generation: u32,
+    n: usize,
+    // Forward side (the mapper's SoA run state).
+    f_key: Vec<Key>,
+    f_pred: Vec<(u32, u32)>,
+    f_state: Vec<u8>,
+    f_stamp: Vec<u32>,
+    f_heap: BinaryHeap<Reverse<Key>>,
+    // Backward lower-bound side.
+    b_dist: Vec<Cost>,
+    b_pred: Vec<(u32, u32)>,
+    b_state: Vec<u8>,
+    b_stamp: Vec<u32>,
+    b_heap: BinaryHeap<Reverse<Key>>,
+}
+
+impl Scratch {
+    pub(crate) fn new() -> Self {
+        Scratch {
+            generation: 0,
+            n: 0,
+            f_key: Vec::new(),
+            f_pred: Vec::new(),
+            f_state: Vec::new(),
+            f_stamp: Vec::new(),
+            f_heap: BinaryHeap::new(),
+            b_dist: Vec::new(),
+            b_pred: Vec::new(),
+            b_state: Vec::new(),
+            b_stamp: Vec::new(),
+            b_heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Starts a new query: size the arrays to the graph (first use
+    /// only) and invalidate every slot by bumping the generation.
+    fn begin(&mut self, n: usize) {
+        if self.n < n {
+            self.f_key.resize(n, 0);
+            self.f_pred.resize(n, NO_PRED);
+            self.f_state.resize(n, 0);
+            self.f_stamp.resize(n, 0);
+            self.b_dist.resize(n, 0);
+            self.b_pred.resize(n, NO_PRED);
+            self.b_state.resize(n, 0);
+            self.b_stamp.resize(n, 0);
+            self.n = n;
+        }
+        if self.generation == u32::MAX {
+            // Generation wrap: one real clear every 2^32 queries.
+            self.f_stamp.iter_mut().for_each(|s| *s = 0);
+            self.b_stamp.iter_mut().for_each(|s| *s = 0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+        self.f_heap.clear();
+        self.b_heap.clear();
+    }
+
+    #[inline]
+    fn f_live(&self, i: usize) -> bool {
+        self.f_stamp[i] == self.generation
+    }
+
+    #[inline]
+    fn f_state_of(&self, i: usize) -> u8 {
+        if self.f_live(i) {
+            self.f_state[i]
+        } else {
+            0
+        }
+    }
+
+    #[inline]
+    fn b_state_of(&self, i: usize) -> u8 {
+        if self.b_stamp[i] == self.generation {
+            self.b_state[i]
+        } else {
+            0
+        }
+    }
+
+    /// The forward predecessor `(node, edge)` of slot `i` — only
+    /// meaningful for nodes on the settled chain after a hit.
+    #[inline]
+    pub(crate) fn pred_of(&self, i: usize) -> (u32, u32) {
+        self.f_pred[i]
+    }
+}
+
+/// Everything the relaxation needs about the tail, mirroring the
+/// mapper's `Tail`.
+struct TailView {
+    u: u32,
+    cost: Cost,
+    hops: u32,
+    state: u8,
+    pred_edge: Option<EdgeId>,
+    is_domain: bool,
+    use_raw: bool,
+    dead_extra: Cost,
+}
+
+impl TailView {
+    fn load(f: &FrozenGraph, model: &CostModel, src: NodeId, s: &Scratch, u: u32) -> TailView {
+        let i = u as usize;
+        let pred = s.f_pred[i];
+        let id = NodeId::from_raw(u);
+        let is_source = id == src;
+        let uflags = f.flags(id);
+        TailView {
+            u,
+            cost: (s.f_key[i] >> 64) as Cost,
+            hops: (s.f_key[i] >> 32) as u32,
+            state: s.f_state[i],
+            pred_edge: (pred != NO_PRED).then(|| EdgeId::from_raw(pred.1)),
+            is_domain: uflags.contains(NodeFlags::DOMAIN),
+            use_raw: is_source && f.adjust(id) != 0,
+            dead_extra: if !is_source && uflags.contains(NodeFlags::DEAD) {
+                model.dead_penalty
+            } else {
+                0
+            },
+        }
+    }
+}
+
+/// The mapper's gateway-exemption rule, verbatim.
+#[inline]
+fn gateway_exempt(tail_is_domain: bool, eflags: LinkFlags, v_is_domain: bool) -> bool {
+    eflags.contains(LinkFlags::GATEWAY)
+        || eflags.contains(LinkFlags::ALIAS)
+        || eflags.contains(LinkFlags::NET_OUT)
+        || (eflags.contains(LinkFlags::NET_IN) && v_is_domain && !tail_is_domain)
+        || (eflags.is_explicit() && !tail_is_domain)
+}
+
+/// The operator side of the visible hop this edge appends, if any
+/// (mapper's `visible_dir`).
+#[inline]
+fn visible_dir(f: &FrozenGraph, tail: &TailView, edge: FrozenEdge) -> Option<Dir> {
+    let eflags = edge.flags();
+    if eflags.intersects(LinkFlags::ALIAS | LinkFlags::NET_IN) {
+        return None;
+    }
+    if eflags.contains(LinkFlags::NET_OUT) {
+        let entering = tail
+            .pred_edge
+            .map(|pe| f.edge(pe).dir())
+            .unwrap_or_else(|| edge.dir());
+        return Some(entering);
+    }
+    Some(edge.dir())
+}
+
+/// One forward relaxation's arithmetic — the mapper's `relax` with the
+/// label bookkeeping factored out, so the search loop and the
+/// stitched-path evaluator cost a candidate identically.
+#[inline]
+fn eval_step(
+    f: &FrozenGraph,
+    model: &CostModel,
+    tail: &TailView,
+    e_raw: u32,
+    edge: FrozenEdge,
+) -> (Cost, u32, u8) {
+    let v = edge.to();
+    let vflags = f.flags(v);
+    let v_is_domain = vflags.contains(NodeFlags::DOMAIN);
+    let eflags = edge.flags();
+
+    let base = if tail.use_raw {
+        f.edge_raw_cost(EdgeId::from_raw(e_raw))
+    } else {
+        edge.cost()
+    };
+
+    let mut gate = 0;
+    let mut relay = 0;
+    let mut mixed = 0;
+    let mut extra = tail.dead_extra;
+    if eflags.contains(LinkFlags::DEAD) {
+        extra += model.dead_link_penalty;
+    }
+    if vflags.intersects(NodeFlags::DOMAIN | NodeFlags::GATED)
+        && !gateway_exempt(tail.is_domain, eflags, v_is_domain)
+    {
+        gate = model.gate_penalty;
+    }
+    if tail.state & TAINTED != 0 && !eflags.intersects(LinkFlags::ALIAS | LinkFlags::NET_OUT) {
+        relay = model.relay_penalty;
+    }
+
+    let vis = visible_dir(f, tail, edge);
+    let mut cand_state = (tail.state & !MAPPED) | LABELLED;
+    if let Some(dir) = vis {
+        match dir {
+            Dir::Left => {
+                if tail.state & HAS_RIGHT != 0 {
+                    mixed = model.mixed_penalty;
+                    cand_state |= AMBIGUOUS;
+                }
+                cand_state |= HAS_LEFT;
+            }
+            Dir::Right => {
+                if model.strict_mixed && tail.state & HAS_LEFT != 0 {
+                    mixed = model.mixed_penalty;
+                }
+                cand_state |= HAS_RIGHT;
+            }
+        }
+    }
+    if v_is_domain {
+        cand_state |= TAINTED;
+    }
+    if eflags.contains(LinkFlags::BACK) {
+        cand_state |= VIA_BACK;
+    }
+
+    let cand_cost = tail
+        .cost
+        .saturating_add(base)
+        .saturating_add(gate)
+        .saturating_add(relay)
+        .saturating_add(mixed)
+        .saturating_add(extra);
+    let cand_hops = tail.hops + u32::from(vis.is_some());
+    (cand_cost, cand_hops, cand_state)
+}
+
+/// The backward side's lower-bound weight for the forward edge
+/// `u --e--> v`. Every component is included only when it applies to
+/// *all* forward paths crossing the edge, so summing these along any
+/// `u ⤳ dst` backward path under-approximates the true remaining
+/// forward cost from any label at `u`.
+#[inline]
+fn lower_bound_weight(
+    f: &FrozenGraph,
+    model: &CostModel,
+    src: NodeId,
+    u: NodeId,
+    e_raw: u32,
+    edge: FrozenEdge,
+) -> Cost {
+    let uflags = f.flags(u);
+    let u_is_domain = uflags.contains(NodeFlags::DOMAIN);
+    let v = edge.to();
+    let vflags = f.flags(v);
+    let v_is_domain = vflags.contains(NodeFlags::DOMAIN);
+    let eflags = edge.flags();
+
+    // Exact: the raw-cost source exemption is a property of `u`.
+    let base = if u == src && f.adjust(u) != 0 {
+        f.edge_raw_cost(EdgeId::from_raw(e_raw))
+    } else {
+        edge.cost()
+    };
+    let mut w = base;
+    // Exact: dead host/link penalties are node/edge properties.
+    if u != src && uflags.contains(NodeFlags::DEAD) {
+        w = w.saturating_add(model.dead_penalty);
+    }
+    if eflags.contains(LinkFlags::DEAD) {
+        w = w.saturating_add(model.dead_link_penalty);
+    }
+    // Exact: the exemption rule only reads node/edge properties.
+    if vflags.intersects(NodeFlags::DOMAIN | NodeFlags::GATED)
+        && !gateway_exempt(u_is_domain, eflags, v_is_domain)
+    {
+        w = w.saturating_add(model.gate_penalty);
+    }
+    // Every forward label at a domain node is tainted (the source
+    // starts tainted if it is a domain; reaching a domain taints), so
+    // the relay penalty is exact when `u` is a domain — and only a
+    // lower bound (0) otherwise. The mixed penalty is path-state
+    // dependent, so it bounds to 0.
+    if u_is_domain && !eflags.intersects(LinkFlags::ALIAS | LinkFlags::NET_OUT) {
+        w = w.saturating_add(model.relay_penalty);
+    }
+    w
+}
+
+/// The destination's settled label.
+pub(crate) struct SearchHit {
+    pub cost: Cost,
+    pub hops: u32,
+    pub state: u8,
+}
+
+/// Outcome of a point-to-point search.
+pub(crate) struct SearchOutcome {
+    /// The destination's label, if reachable.
+    pub hit: Option<SearchHit>,
+    /// Whether the result is provably identical to the forward
+    /// oracle's (always true for the oracle itself). An uncertified
+    /// outcome must be discarded and the oracle re-run.
+    pub certified: bool,
+    pub stats: SearchStats,
+}
+
+/// Runs the search from `src` until `dst` is settled (or proven
+/// unreachable). With `reverse` the backward pruner runs; without it
+/// this is the plain forward oracle. On a hit the destination's
+/// predecessor chain is left in `scratch` for the caller to walk.
+pub(crate) fn search(
+    f: &FrozenGraph,
+    reverse: Option<&ReverseGraph>,
+    model: &CostModel,
+    src: NodeId,
+    dst: NodeId,
+    scratch: &mut Scratch,
+) -> SearchOutcome {
+    let n = f.node_count();
+    scratch.begin(n);
+    let gen = scratch.generation;
+    let mut stats = SearchStats::default();
+
+    // Forward init: the mapper's source label.
+    let si = src.index();
+    scratch.f_stamp[si] = gen;
+    scratch.f_key[si] = pack_key(0, 0, src.raw());
+    scratch.f_pred[si] = NO_PRED;
+    scratch.f_state[si] = LABELLED | if f.is_domain(src) { TAINTED } else { 0 };
+    scratch.f_heap.push(Reverse(pack_key(0, 0, src.raw())));
+    stats.pushes += 1;
+
+    // Backward init.
+    let bidi = reverse.is_some();
+    if bidi {
+        let di = dst.index();
+        scratch.b_stamp[di] = gen;
+        scratch.b_dist[di] = 0;
+        scratch.b_pred[di] = NO_PRED;
+        scratch.b_state[di] = B_LABELLED;
+        scratch.b_heap.push(Reverse(pack_bkey(0, dst.raw())));
+    }
+    // The best concrete path cost seen so far (stitched chains and the
+    // destination's own tentative label). Pruning against it is
+    // optimistic — the certification below is what makes it safe.
+    let mut mu = Cost::MAX;
+    // The smallest `cand_cost + B(v)` ever pruned; the run is
+    // certified exact iff the answer beats it strictly (module docs).
+    let mut worst_prune = Cost::MAX;
+    // Backward stopping state: once the backward top exceeds `mu` the
+    // search freezes and its last top bounds every unsettled node;
+    // once its heap drains, unsettled nodes cannot reach `dst` at all.
+    let mut b_active = bidi;
+    let mut b_floor: Cost = 0;
+    let mut b_exhausted = false;
+
+    loop {
+        let Some(&Reverse(fkey)) = scratch.f_heap.peek() else {
+            // Forward frontier drained: dst unreached. Only certain if
+            // no pruned candidate could have led anywhere (every prune
+            // was of a provably dst-unreachable head).
+            return SearchOutcome {
+                hit: None,
+                certified: worst_prune == Cost::MAX,
+                stats,
+            };
+        };
+        let f_top_cost = (fkey >> 64) as Cost;
+
+        // Advance the backward pruner while it is the cheaper side.
+        while b_active {
+            let Some(&Reverse(bkey)) = scratch.b_heap.peek() else {
+                b_active = false;
+                b_exhausted = true;
+                break;
+            };
+            let b_cost = (bkey >> 32) as Cost;
+            if b_cost > mu.saturating_sub(f_top_cost) {
+                // The standard `top_f + top_b >= mu` termination
+                // bound: every forward candidate from here on costs at
+                // least `top_f`, so once the backward floor alone
+                // pushes such a candidate past `mu`, settling more
+                // backward nodes can only reprove prunes the floor
+                // already delivers. Freezing here (rather than at
+                // `top_b > mu`) is what keeps the backward side from
+                // exploring `dst`'s whole `mu`-ball under its
+                // underestimated weights.
+                b_active = false;
+                b_floor = b_cost;
+                break;
+            }
+            if b_cost > f_top_cost {
+                break; // forward's turn
+            }
+            scratch.b_heap.pop();
+            let v = bkey as u32 as usize;
+            if scratch.b_state[v] & B_SETTLED != 0 {
+                continue; // stale lazy-deletion entry
+            }
+            scratch.b_state[v] |= B_SETTLED;
+            stats.backward_settled += 1;
+            // A forward-labelled, backward-settled node stitches a
+            // concrete path: re-cost the backward chain under full
+            // forward semantics to tighten `mu`.
+            if scratch.f_state_of(v) & LABELLED != 0 {
+                let lb = ((scratch.f_key[v] >> 64) as Cost).saturating_add(scratch.b_dist[v]);
+                if lb < mu {
+                    mu = mu.min(stitch(f, model, src, dst, scratch, v as u32));
+                }
+            }
+            let rev = reverse.expect("backward side requires the reverse CSR");
+            for (u, e) in rev.in_edges(NodeId::from_raw(v as u32)) {
+                let edge = f.edge(e);
+                let w = lower_bound_weight(f, model, src, u, e.raw(), edge);
+                let cand = scratch.b_dist[v].saturating_add(w);
+                let ui = u.index();
+                let known = scratch.b_stamp[ui] == gen && scratch.b_state[ui] & B_LABELLED != 0;
+                if known && scratch.b_state[ui] & B_SETTLED != 0 {
+                    continue;
+                }
+                if !known || cand < scratch.b_dist[ui] {
+                    scratch.b_stamp[ui] = gen;
+                    scratch.b_dist[ui] = cand;
+                    scratch.b_pred[ui] = (v as u32, e.raw());
+                    scratch.b_state[ui] = B_LABELLED;
+                    scratch.b_heap.push(Reverse(pack_bkey(cand, u.raw())));
+                }
+            }
+        }
+
+        // Forward extraction (the oracle's loop, verbatim).
+        let Some(Reverse(key)) = scratch.f_heap.pop() else {
+            return SearchOutcome {
+                hit: None,
+                certified: worst_prune == Cost::MAX,
+                stats,
+            };
+        };
+        let u_raw = key as u32;
+        let ui = u_raw as usize;
+        if scratch.f_state[ui] & MAPPED != 0 {
+            continue; // superseded by a later improvement
+        }
+        scratch.f_state[ui] |= MAPPED;
+        stats.settled += 1;
+        if u_raw == dst.raw() {
+            // Settled. Certified iff no pruned candidate could have
+            // produced, improved, or tie-rewritten any label on the
+            // answer's causal chain.
+            let cost = (scratch.f_key[ui] >> 64) as Cost;
+            return SearchOutcome {
+                hit: Some(SearchHit {
+                    cost,
+                    hops: (scratch.f_key[ui] >> 32) as u32,
+                    state: scratch.f_state[ui],
+                }),
+                certified: worst_prune > cost,
+                stats,
+            };
+        }
+        if bidi && scratch.b_state_of(ui) & B_SETTLED != 0 {
+            let lb = ((scratch.f_key[ui] >> 64) as Cost).saturating_add(scratch.b_dist[ui]);
+            if lb < mu {
+                mu = mu.min(stitch(f, model, src, dst, scratch, u_raw));
+            }
+        }
+
+        // Node-level prune: every candidate out of `u` costs at least
+        // `u`'s cost plus a lower-bound edge weight, and `B(u)` is at
+        // most that weight plus the head's own bound — so when
+        // `cost(u) + B(u)` already exceeds `mu`, each outgoing
+        // candidate would be pruned individually below; skip the whole
+        // expansion. The recorded `worst_prune` value under-approximates
+        // every skipped candidate's `cand + B(v)`, so certification
+        // stays conservative (it can only fall back more, never
+        // mis-certify).
+        if bidi {
+            let b_of_u = if scratch.b_state_of(ui) & B_SETTLED != 0 {
+                scratch.b_dist[ui]
+            } else if b_exhausted {
+                Cost::MAX
+            } else if b_active {
+                scratch
+                    .b_heap
+                    .peek()
+                    .map_or(Cost::MAX, |&Reverse(k)| (k >> 32) as Cost)
+            } else {
+                b_floor
+            };
+            let through = ((scratch.f_key[ui] >> 64) as Cost).saturating_add(b_of_u);
+            if through > mu || (b_of_u == Cost::MAX && mu == Cost::MAX && b_exhausted) {
+                worst_prune = worst_prune.min(through);
+                stats.pruned += 1;
+                continue;
+            }
+        }
+
+        let tail = TailView::load(f, model, src, scratch, u_raw);
+        let (base_edge, row) = f.edge_slice(NodeId::from_raw(u_raw));
+        for (i, &edge) in row.iter().enumerate() {
+            let e_raw = base_edge + i as u32;
+            let v = edge.to();
+            let vi = v.index();
+            let vstate = scratch.f_state_of(vi);
+            if vstate & MAPPED != 0 {
+                continue;
+            }
+            let (cand_cost, cand_hops, cand_state) = eval_step(f, model, &tail, e_raw, edge);
+
+            // The pruning rule. `B(v)`: exact once backward-settled;
+            // otherwise the backward top (everything unsettled costs
+            // at least that), the frozen floor, or — backward heap
+            // drained — unreachable-from-dst, prune unconditionally.
+            if bidi {
+                let b_of_v = if scratch.b_state_of(vi) & B_SETTLED != 0 {
+                    scratch.b_dist[vi]
+                } else if b_exhausted {
+                    Cost::MAX
+                } else if b_active {
+                    scratch
+                        .b_heap
+                        .peek()
+                        .map_or(Cost::MAX, |&Reverse(k)| (k >> 32) as Cost)
+                } else {
+                    b_floor
+                };
+                let through = cand_cost.saturating_add(b_of_v);
+                if through > mu || (b_of_v == Cost::MAX && mu == Cost::MAX && b_exhausted) {
+                    worst_prune = worst_prune.min(through);
+                    stats.pruned += 1;
+                    continue;
+                }
+                if v == dst {
+                    // The destination's own tentative label is a
+                    // concrete path cost — a sound `mu` contribution.
+                    mu = mu.min(cand_cost);
+                }
+            }
+
+            let cand_key = pack_key(cand_cost, cand_hops, v.raw());
+            let cand_pred = (u_raw, e_raw);
+            if vstate & LABELLED == 0 {
+                scratch.f_stamp[vi] = gen;
+                scratch.f_key[vi] = cand_key;
+                scratch.f_pred[vi] = cand_pred;
+                scratch.f_state[vi] = cand_state;
+                scratch.f_heap.push(Reverse(cand_key));
+                stats.pushes += 1;
+            } else {
+                let old = scratch.f_key[vi];
+                if cand_key < old {
+                    scratch.f_key[vi] = cand_key;
+                    scratch.f_pred[vi] = cand_pred;
+                    scratch.f_state[vi] = cand_state;
+                    scratch.f_heap.push(Reverse(cand_key));
+                    stats.pushes += 1;
+                } else if cand_key == old && cand_pred < scratch.f_pred[vi] {
+                    // The mapper's deterministic tie break.
+                    scratch.f_pred[vi] = cand_pred;
+                    scratch.f_state[vi] = cand_state;
+                }
+            }
+        }
+    }
+}
+
+/// Re-costs the backward predecessor chain from `x` to `dst` under
+/// full forward semantics, starting from `x`'s forward label. The
+/// result is the cost of a concrete `src ⤳ x ⤳ dst` path — a valid
+/// upper bound by construction.
+fn stitch(
+    f: &FrozenGraph,
+    model: &CostModel,
+    src: NodeId,
+    dst: NodeId,
+    scratch: &Scratch,
+    x: u32,
+) -> Cost {
+    let mut tail = TailView::load(f, model, src, scratch, x);
+    let mut guard = 0usize;
+    while tail.u != dst.raw() {
+        let (_, e_raw) = scratch.b_pred[tail.u as usize];
+        debug_assert_ne!(e_raw, u32::MAX, "backward chain must reach dst");
+        let edge = f.edge(EdgeId::from_raw(e_raw));
+        let (cost, hops, state) = eval_step(f, model, &tail, e_raw, edge);
+        let v = edge.to();
+        let vflags = f.flags(v);
+        let is_source = v == src;
+        tail = TailView {
+            u: v.raw(),
+            cost,
+            hops,
+            state,
+            pred_edge: Some(EdgeId::from_raw(e_raw)),
+            is_domain: vflags.contains(NodeFlags::DOMAIN),
+            use_raw: is_source && f.adjust(v) != 0,
+            dead_extra: if !is_source && vflags.contains(NodeFlags::DEAD) {
+                model.dead_penalty
+            } else {
+                0
+            },
+        };
+        guard += 1;
+        debug_assert!(guard <= f.node_count(), "backward chain cycled");
+        if guard > f.node_count() {
+            return Cost::MAX;
+        }
+    }
+    tail.cost
+}

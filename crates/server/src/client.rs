@@ -139,6 +139,18 @@ pub struct Client {
 /// or a typed error.
 pub type QueryResult = Result<Option<String>, ClientError>;
 
+/// A point-to-point `PATH` answer: the total cost, the hop count, and
+/// the route as a mailer template (`%s` marks the user slot).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathInfo {
+    /// Total path cost under the serving map's cost model.
+    pub cost: u64,
+    /// Number of links on the path.
+    pub hops: u32,
+    /// The bang-path route template, e.g. `duke!mit-ai!%s`.
+    pub route: String,
+}
+
 /// What [`Client::maps`] reports: the namespaces a daemon serves.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MapsInfo {
@@ -427,6 +439,152 @@ impl Client {
             .iter()
             .map(|line| Self::parse_query_response(line))
             .collect()
+    }
+
+    /// `PATH src dst` (v2) → the point-to-point route from `src` to
+    /// `dst`, `Ok(None)` when no route exists or `dst` is unknown.
+    pub fn path(&mut self, src: &str, dst: &str) -> Result<Option<PathInfo>, ClientError> {
+        self.path_on(None, src, dst)
+    }
+
+    /// [`Client::path`] against a named map namespace (`PATH @map src
+    /// dst`). `PATH` needs protocol v2: against a v1-only daemon this
+    /// fails with [`ClientError::InvalidQuery`] before anything is
+    /// written (the verb does not exist there). An unknown or deleted
+    /// *source* is the caller's mistake and surfaces as
+    /// [`ClientError::Server`] with code 400.
+    pub fn path_on(
+        &mut self,
+        map: Option<&str>,
+        src: &str,
+        dst: &str,
+    ) -> Result<Option<PathInfo>, ClientError> {
+        if src == "*" {
+            return Err(ClientError::InvalidQuery(
+                "source `*` asks for the via listing — use Client::via".to_string(),
+            ));
+        }
+        Self::check_path_token(src)?;
+        Self::check_path_token(dst)?;
+        let qualifier = self.check_path_request(map)?;
+        let line = self.send(&format!("PATH {qualifier}{src} {dst}"))?;
+        match line.split_once(' ') {
+            Some(("200", payload)) => Self::parse_path_payload(payload).map(Some),
+            Some(("404", _)) => Ok(None),
+            Some((code @ ("400" | "500"), message)) => Err(ClientError::Server {
+                code: code.parse().expect("literal code"),
+                message: message.to_string(),
+            }),
+            _ => Err(ClientError::Protocol(format!(
+                "PATH got unexpected response `{line}`"
+            ))),
+        }
+    }
+
+    /// `PATH * dst` (v2) → the one-hop predecessors of `dst` with
+    /// their link costs, cheapest-independent (sorted by node), or
+    /// `Ok(None)` when `dst` is unknown.
+    pub fn via(&mut self, dst: &str) -> Result<Option<Vec<(String, u64)>>, ClientError> {
+        self.via_on(None, dst)
+    }
+
+    /// [`Client::via`] against a named map namespace
+    /// (`PATH @map * dst`).
+    pub fn via_on(
+        &mut self,
+        map: Option<&str>,
+        dst: &str,
+    ) -> Result<Option<Vec<(String, u64)>>, ClientError> {
+        Self::check_path_token(dst)?;
+        let qualifier = self.check_path_request(map)?;
+        let line = self.send(&format!("PATH {qualifier}* {dst}"))?;
+        match line.split_once(' ') {
+            Some(("200", payload)) => Self::parse_via_payload(payload).map(Some),
+            Some(("404", _)) => Ok(None),
+            Some((code @ ("400" | "500"), message)) => Err(ClientError::Server {
+                code: code.parse().expect("literal code"),
+                message: message.to_string(),
+            }),
+            _ => Err(ClientError::Protocol(format!(
+                "PATH got unexpected response `{line}`"
+            ))),
+        }
+    }
+
+    /// Shared `PATH` preflight: the destination must be framable, the
+    /// connection must speak v2 (the verb does not exist at v1), and a
+    /// map qualifier must validate. Nothing is written on error.
+    fn check_path_request(&mut self, map: Option<&str>) -> Result<String, ClientError> {
+        if self.negotiate()? != ProtoVersion::V2 {
+            return Err(ClientError::InvalidQuery(
+                "PATH needs protocol v2, but the server only speaks v1".to_string(),
+            ));
+        }
+        Ok(match self.check_map(map)? {
+            Some(name) => format!("@{name} "),
+            None => String::new(),
+        })
+    }
+
+    /// A `PATH` endpoint must be one clean token: non-empty, no
+    /// whitespace, and no leading `@` (a v2 server would read that as
+    /// a map qualifier).
+    fn check_path_token(token: &str) -> Result<(), ClientError> {
+        if token.is_empty() || token.contains(char::is_whitespace) || token.starts_with('@') {
+            return Err(ClientError::InvalidQuery(format!(
+                "name `{token}` cannot be framed in a PATH request"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Parses `[map=NAME ]cost=<c> hops=<h> route=<route>`.
+    fn parse_path_payload(payload: &str) -> Result<PathInfo, ClientError> {
+        let bad = || ClientError::Protocol(format!("unexpected PATH payload `{payload}`"));
+        let mut rest = payload;
+        if rest.starts_with("map=") {
+            rest = rest.split_once(' ').ok_or_else(bad)?.1;
+        }
+        let rest = rest.strip_prefix("cost=").ok_or_else(bad)?;
+        let (cost, rest) = rest.split_once(' ').ok_or_else(bad)?;
+        let rest = rest.strip_prefix("hops=").ok_or_else(bad)?;
+        let (hops, rest) = rest.split_once(' ').ok_or_else(bad)?;
+        let route = rest.strip_prefix("route=").ok_or_else(bad)?;
+        Ok(PathInfo {
+            cost: cost.parse().map_err(|_| bad())?,
+            hops: hops.parse().map_err(|_| bad())?,
+            route: route.to_string(),
+        })
+    }
+
+    /// Parses `[map=NAME ]via dst=<dst> count=<n>[ name(cost),...]`.
+    fn parse_via_payload(payload: &str) -> Result<Vec<(String, u64)>, ClientError> {
+        let bad = || ClientError::Protocol(format!("unexpected PATH payload `{payload}`"));
+        let mut rest = payload;
+        if rest.starts_with("map=") {
+            rest = rest.split_once(' ').ok_or_else(bad)?.1;
+        }
+        let rest = rest.strip_prefix("via dst=").ok_or_else(bad)?;
+        let (_, rest) = rest.split_once(" count=").ok_or_else(bad)?;
+        let (count, list) = match rest.split_once(' ') {
+            Some((n, list)) => (n, Some(list)),
+            None => (rest, None),
+        };
+        let count: usize = count.parse().map_err(|_| bad())?;
+        let mut entries = Vec::with_capacity(count);
+        if let Some(list) = list {
+            for item in list.split(',') {
+                let (name, cost) = item
+                    .strip_suffix(')')
+                    .and_then(|i| i.split_once('('))
+                    .ok_or_else(bad)?;
+                entries.push((name.to_string(), cost.parse().map_err(|_| bad())?));
+            }
+        }
+        if entries.len() != count {
+            return Err(bad());
+        }
+        Ok(entries)
     }
 
     /// Frames `VERB` or `VERB @map` after validating the map name.

@@ -32,6 +32,7 @@ use crate::protocol::{parse_request, ProtoVersion, Request, Response, MAX_LINE};
 use crate::reload::MapSource;
 use crate::telemetry::{duration_ns, render_slow_entry, MapTelemetry};
 use pathalias_mailer::{BoxedResolver, ResolveError, Resolver};
+use pathalias_router::{PointToPoint, RouteError};
 use pathalias_telemetry::{Logger, PromText, SlowEntry};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -74,6 +75,10 @@ pub struct ServerConfig {
     /// Total entries across one map's lookup-cache shards (each map
     /// gets its own cache of this size).
     pub cache_capacity: usize,
+    /// Per-map overrides of [`ServerConfig::cache_capacity`], keyed by
+    /// map name (`--map-set NAME=KIND:PATHS:cache=N`). Every name must
+    /// be in `maps`; unnamed maps use the shared default.
+    pub cache_capacities: Vec<(String, usize)>,
     /// Number of cache shards per map.
     pub cache_shards: usize,
     /// Poll every map's source files at this interval and reload a map
@@ -105,6 +110,7 @@ impl ServerConfig {
             tcp: Some("127.0.0.1:0".to_string()),
             unix: None,
             cache_capacity: 4096,
+            cache_capacities: Vec::new(),
             cache_shards: 8,
             watch: None,
             logger: Logger::off(),
@@ -122,9 +128,23 @@ pub(crate) struct MapState {
     /// Latency histograms, slow-query log, and reload phase timings
     /// for this map (`METRICS` / `SLOWLOG`).
     telemetry: MapTelemetry,
+    /// The point-to-point engine (`PATH`), built from the *same*
+    /// mapping run as the serving table so `PATH home x` can never
+    /// disagree with `QUERY x`. `None` on table-only backends
+    /// (`routes`, `padb`, `padb-mmap`), which have no frozen graph.
+    /// Swapped together with the snapshot on reload; requests clone
+    /// the `Arc` under a brief lock and search lock-free.
+    engine: Mutex<Option<Arc<PointToPoint>>>,
     /// Serializes rebuilds of *this* map; queries never take it, and
     /// other maps reload independently.
     reload_lock: Mutex<()>,
+}
+
+impl MapState {
+    /// The current engine, if this map's backend carries one.
+    fn engine(&self) -> Option<Arc<PointToPoint>> {
+        self.engine.lock().expect("engine lock poisoned").clone()
+    }
 }
 
 /// Shared daemon state.
@@ -168,6 +188,57 @@ impl State {
             Ok(resolution) => Response::Route(resolution.route),
             Err(ResolveError::NoRoute) => Response::NoRoute(host.to_string()),
             Err(e) => Response::Failure(format!("resolve failed: {e}")),
+        }
+    }
+
+    /// Resolves one `PATH` request against one map. `src == "*"` lists
+    /// the one-hop predecessors of `dst` from the reverse index;
+    /// otherwise it is a point-to-point bidirectional Dijkstra.
+    /// `wire_name` is echoed in the response for qualified requests.
+    fn respond_path(
+        &self,
+        map: &MapState,
+        src: &str,
+        dst: &str,
+        wire_name: Option<String>,
+    ) -> Response {
+        let Some(engine) = map.engine() else {
+            return Response::Failure(format!(
+                "PATH unsupported on backend `{}`: no frozen graph",
+                map.source.kind()
+            ));
+        };
+        if src == "*" {
+            return match engine.via(dst) {
+                Ok(entries) => Response::Via {
+                    map: wire_name,
+                    dst: dst.to_string(),
+                    entries: entries
+                        .iter()
+                        .map(|v| (engine.graph().name(v.node).to_string(), v.cost))
+                        .collect(),
+                },
+                Err(RouteError::UnknownDest(_)) => Response::NoRoute(dst.to_string()),
+                Err(e) => Response::Failure(format!("via failed: {e}")),
+            };
+        }
+        match engine.route(src, dst) {
+            Ok(answer) => Response::Path {
+                map: wire_name,
+                cost: answer.cost,
+                hops: answer.hops,
+                route: answer.route,
+            },
+            // Matches QUERY: an unreachable or unknown destination is
+            // the expected negative answer, not a client error.
+            Err(RouteError::NoRoute | RouteError::UnknownDest(_)) => {
+                Response::NoRoute(dst.to_string())
+            }
+            // A bad *source* is the caller's mistake, not a missing
+            // route: 400 with the engine's own message.
+            Err(e @ (RouteError::UnknownSource(_) | RouteError::DeletedSource)) => {
+                Response::BadRequest(e.to_string())
+            }
         }
     }
 
@@ -229,6 +300,27 @@ impl State {
                     .mquery_batch
                     .record(duration_ns(batch_start.elapsed()));
                 responses
+            }
+            Request::Path { map, src, dst } => {
+                let state = match self.map_named(map.as_deref()) {
+                    Ok(m) => m,
+                    Err(resp) => return vec![resp],
+                };
+                let start = Instant::now();
+                let resp = self.respond_path(state, &src, &dst, map);
+                let ns = duration_ns(start.elapsed());
+                state.telemetry.path.record(ns);
+                // The slow-log host column carries the whole question:
+                // `src>dst` splits nowhere a key=value parser cares.
+                let endpoints = format!("{src}>{dst}");
+                state.telemetry.observe_slow(
+                    "PATH",
+                    &state.name,
+                    &endpoints,
+                    ns,
+                    outcome_of(&resp),
+                );
+                vec![resp]
             }
             Request::Proto { version } => vec![Response::Proto { version }],
             Request::Stats { map } => {
@@ -336,10 +428,14 @@ impl State {
     fn reload(self: &Arc<Self>, map: &MapState, wire_name: Option<String>) -> Response {
         let _guard = map.reload_lock.lock().expect("reload lock poisoned");
         let start = Instant::now();
-        match map.source.load_resolver_timed() {
-            Ok((resolver, phases)) => {
+        match map.source.load_serving_timed() {
+            Ok((resolver, engine, phases)) => {
                 let entries = resolver.entries();
                 let generation = map.cached.replace(resolver);
+                // The engine follows the table: swapped only on
+                // success, so a failed rebuild keeps PATH and QUERY
+                // answering from the same old mapping run.
+                *map.engine.lock().expect("engine lock poisoned") = engine;
                 bump(&map.metrics.reloads);
                 let ns = duration_ns(start.elapsed());
                 map.telemetry.reload.record(ns);
@@ -539,6 +635,7 @@ impl State {
                 ("query", &m.telemetry.query),
                 ("mquery_batch", &m.telemetry.mquery_batch),
                 ("mquery_item", &m.telemetry.mquery_item),
+                ("path", &m.telemetry.path),
                 ("reload", &m.telemetry.reload),
             ];
             for (verb, histogram) in verbs {
@@ -599,7 +696,7 @@ impl State {
 /// expected `no_route` for a 404, `error` for anything else.
 fn outcome_of(resp: &Response) -> &'static str {
     match resp {
-        Response::Route(_) => "ok",
+        Response::Route(_) | Response::Path { .. } | Response::Via { .. } => "ok",
         Response::NoRoute(_) => "no_route",
         _ => "error",
     }
@@ -803,6 +900,13 @@ impl Server {
                 return Err(StartError::Config(format!("duplicate map name `{name}`")));
             }
         }
+        for (name, _) in &config.cache_capacities {
+            if !config.maps.iter().any(|(n, _)| n == name) {
+                return Err(StartError::Config(format!(
+                    "cache capacity names unknown map `{name}`"
+                )));
+            }
+        }
         let default_map = match &config.default_map {
             None => 0,
             Some(name) => config
@@ -830,10 +934,13 @@ impl Server {
         let server_metrics = Arc::new(ServerMetrics::default());
         let mut maps = Vec::with_capacity(config.maps.len());
         for (name, source) in config.maps {
-            let resolver = source.load_resolver().map_err(|error| StartError::Load {
-                map: name.clone(),
-                error,
-            })?;
+            let (resolver, engine, _) =
+                source
+                    .load_serving_timed()
+                    .map_err(|error| StartError::Load {
+                        map: name.clone(),
+                        error,
+                    })?;
             logger
                 .info("map_loaded")
                 .field("map", &name)
@@ -841,17 +948,18 @@ impl Server {
                 .field("entries", resolver.entries())
                 .emit();
             let metrics = Arc::new(Metrics::default());
+            let capacity = config
+                .cache_capacities
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map_or(config.cache_capacity, |(_, c)| *c);
             maps.push(Arc::new(MapState {
                 name,
                 source,
-                cached: Cached::new(
-                    resolver,
-                    config.cache_capacity,
-                    config.cache_shards,
-                    metrics.clone(),
-                ),
+                cached: Cached::new(resolver, capacity, config.cache_shards, metrics.clone()),
                 metrics,
                 telemetry: MapTelemetry::new(),
+                engine: Mutex::new(engine),
                 reload_lock: Mutex::new(()),
             }));
         }
@@ -1200,23 +1308,34 @@ mod tests {
         path
     }
 
+    /// One served map from any source kind, with the engine when the
+    /// backend carries a frozen graph.
+    fn state_from_source(name: &str, source: MapSource) -> Arc<MapState> {
+        let (resolver, engine, _) = source.load_serving_timed().unwrap();
+        let metrics = Arc::new(Metrics::default());
+        Arc::new(MapState {
+            name: name.to_string(),
+            source,
+            cached: Cached::new(resolver, 64, 2, metrics.clone()),
+            metrics,
+            telemetry: MapTelemetry::new(),
+            engine: Mutex::new(engine),
+            reload_lock: Mutex::new(()),
+        })
+    }
+
     fn state_of(maps: Vec<(&str, &str)>, default_map: usize) -> Arc<State> {
         let built = maps
             .into_iter()
             .map(|(name, text)| {
                 let source = MapSource::Routes(temp_routes(name, text));
-                let resolver = source.load_resolver().unwrap();
-                let metrics = Arc::new(Metrics::default());
-                Arc::new(MapState {
-                    name: name.to_string(),
-                    source,
-                    cached: Cached::new(resolver, 64, 2, metrics.clone()),
-                    metrics,
-                    telemetry: MapTelemetry::new(),
-                    reload_lock: Mutex::new(()),
-                })
+                state_from_source(name, source)
             })
             .collect();
+        wrap_states(built, default_map)
+    }
+
+    fn wrap_states(built: Vec<Arc<MapState>>, default_map: usize) -> Arc<State> {
         Arc::new(State {
             maps: built,
             default_map,
@@ -1305,6 +1424,126 @@ mod tests {
                 entries: 2
             }
         );
+    }
+
+    /// A daemon state over the full map pipeline — a source kind whose
+    /// snapshot carries a frozen graph, so `PATH` has an engine.
+    fn path_state() -> Arc<State> {
+        let path = temp_routes(
+            "path-map",
+            "unc\tduke(100), phs(400)\nduke\tunc(100), research(200)\n\
+             phs\tunc(400)\nresearch\tduke(200)\n",
+        );
+        let options = pathalias_core::Options {
+            local: Some("unc".into()),
+            ..Default::default()
+        };
+        let source = MapSource::map_files(vec![path], options);
+        wrap_states(vec![state_from_source(DEFAULT_MAP_NAME, source)], 0)
+    }
+
+    #[test]
+    fn path_answers_point_to_point_and_via() {
+        let state = path_state();
+        let p = |src: &str, dst: &str| {
+            one(
+                &state,
+                Request::Path {
+                    map: None,
+                    src: src.into(),
+                    dst: dst.into(),
+                },
+            )
+        };
+        // Home-rooted PATH agrees with the mapper's tree: 100 + 200
+        // through duke, rendered exactly as QUERY would.
+        assert_eq!(
+            p("unc", "research"),
+            Response::Path {
+                map: None,
+                cost: 300,
+                hops: 2,
+                route: "duke!research!%s".into()
+            }
+        );
+        // Off-home source: phs has only the 400 link back to unc.
+        assert!(matches!(
+            p("phs", "research"),
+            Response::Path {
+                cost: 700,
+                hops: 3,
+                ..
+            }
+        ));
+        // `*` lists one-hop predecessors with their link costs.
+        assert_eq!(
+            p("*", "unc"),
+            Response::Via {
+                map: None,
+                dst: "unc".into(),
+                entries: vec![("duke".into(), 100), ("phs".into(), 400)]
+            }
+        );
+    }
+
+    #[test]
+    fn path_maps_errors_like_query() {
+        let state = path_state();
+        let p = |src: &str, dst: &str| {
+            one(
+                &state,
+                Request::Path {
+                    map: None,
+                    src: src.into(),
+                    dst: dst.into(),
+                },
+            )
+        };
+        // Unknown destination is the expected negative answer (404),
+        // matching QUERY on a host the map has never heard of.
+        assert_eq!(p("unc", "nowhere"), Response::NoRoute("nowhere".into()));
+        assert_eq!(p("*", "nowhere"), Response::NoRoute("nowhere".into()));
+        // Unknown *source* is the caller's mistake (400).
+        assert_eq!(
+            p("nowhere", "duke"),
+            Response::BadRequest("unknown source `nowhere`".into())
+        );
+    }
+
+    #[test]
+    fn path_refuses_table_only_backends() {
+        let state = state_for("seismo\tseismo!%s\n");
+        assert_eq!(
+            one(
+                &state,
+                Request::Path {
+                    map: None,
+                    src: "a".into(),
+                    dst: "seismo".into(),
+                },
+            ),
+            Response::Failure("PATH unsupported on backend `routes`: no frozen graph".into())
+        );
+    }
+
+    #[test]
+    fn path_records_latency_and_slowlog() {
+        let state = path_state();
+        let _ = one(
+            &state,
+            Request::Path {
+                map: None,
+                src: "unc".into(),
+                dst: "research".into(),
+            },
+        );
+        let map = &state.maps[0];
+        assert_eq!(map.telemetry.path.snapshot().count, 1);
+        let slow = map.telemetry.slowlog.snapshot();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].verb, "PATH");
+        assert_eq!(slow[0].host, "unc>research");
+        assert_eq!(slow[0].outcome, "ok");
     }
 
     #[test]

@@ -9,9 +9,9 @@
 //!
 //! * [`protocol`] — the line-oriented wire format, v1 (`QUERY`,
 //!   `STATS`, `RELOAD`, `HEALTH`, `QUIT`) and the negotiated v2
-//!   (`PROTO 2`, batched `MQUERY`, `SHUTDOWN`, `MAPS` and per-request
-//!   `@name` map qualifiers); a v1 session is byte-for-byte what the
-//!   PR-1 daemon spoke;
+//!   (`PROTO 2`, batched `MQUERY`, point-to-point `PATH`, `SHUTDOWN`,
+//!   `MAPS` and per-request `@name` map qualifiers); a v1 session is
+//!   byte-for-byte what the PR-1 daemon spoke;
 //! * [`index`] — immutable per-generation snapshots behind an atomic
 //!   swap cell, wrapped by [`Cached`]: a generation-stamped cache
 //!   generic over any [`Resolver`](pathalias_mailer::Resolver)
@@ -30,7 +30,8 @@
 //!   map, so a single-map daemon behaves exactly as before;
 //! * [`client`] — the synchronous client: one-shot queries, batched
 //!   [`query_batch`](Client::query_batch) (one round trip for N
-//!   queries), and a send/recv split for pipelining;
+//!   queries), point-to-point [`path`](Client::path) /
+//!   [`via`](Client::via), and a send/recv split for pipelining;
 //! * [`metrics`] — relaxed atomic counters rendered by `STATS`;
 //! * [`telemetry`] — per-map latency histograms, the worst-N
 //!   slow-query log, and reload phase timings, exposed over the
@@ -78,7 +79,7 @@ pub mod reload;
 pub mod telemetry;
 
 pub use cache::{CachedHit, ShardStats, ShardedCache};
-pub use client::{Client, ClientError, MapsInfo, QueryResult};
+pub use client::{Client, ClientError, MapsInfo, PathInfo, QueryResult};
 pub use daemon::{
     valid_map_name, Server, ServerConfig, ServerHandle, StartError, DEFAULT_MAP_NAME,
 };

@@ -20,11 +20,21 @@
 //! ```text
 //! PROTO <n>              negotiate protocol version (1 or 2)
 //! MQUERY <h[:u]>...      N hosts on one line -> N ordered response lines
+//! PATH <src> <dst>       point-to-point route from <src> to <dst>
+//! PATH * <dst>           the one-hop neighbors with a link to <dst>
 //! MAPS                   list the served map namespaces
 //! METRICS                latency histograms + counters, Prometheus text
 //! SLOWLOG                the worst-N slowest requests, one per line
 //! SHUTDOWN               stop accepting, drain connections, exit
 //! ```
+//!
+//! `PATH` answers from the frozen graph, not the printed tree: a
+//! bidirectional Dijkstra between the named endpoints, with the
+//! guarantee that `PATH <home> <x>` is byte-identical to `QUERY <x>`'s
+//! route. The literal source `*` flips the verb into a reverse
+//! one-hop listing — every node with a direct link to `<dst>`, read
+//! straight off the reverse index. Backends that only hold a printed
+//! table (routes, padb, padb-mmap) refuse the verb with `500`.
 //!
 //! `METRICS` and `SLOWLOG` are the only multi-line responses in the
 //! protocol: a `200 metrics lines=<n>` (resp. `200 slowlog
@@ -40,9 +50,9 @@
 //! # Map namespaces (v2)
 //!
 //! A daemon may serve several named maps at once (`--map-set`). On a
-//! v2 connection, `QUERY`, `MQUERY`, `STATS`, `RELOAD`, `HEALTH`,
-//! `METRICS` and `SLOWLOG` accept an optional `@name` token directly
-//! after the verb, routing the request to that namespace:
+//! v2 connection, `QUERY`, `MQUERY`, `PATH`, `STATS`, `RELOAD`,
+//! `HEALTH`, `METRICS` and `SLOWLOG` accept an optional `@name` token
+//! directly after the verb, routing the request to that namespace:
 //!
 //! ```text
 //! QUERY @regional seismo rick
@@ -142,6 +152,18 @@ pub enum Request {
         /// Target namespace (`@name`, v2 only).
         map: Option<String>,
     },
+    /// `PATH [@map] <src> <dst>` (v2): the point-to-point route from
+    /// `src` to `dst`. A literal `*` source asks instead for the
+    /// one-hop reverse listing — every node with a direct link to
+    /// `dst`.
+    Path {
+        /// Target namespace (`@name`).
+        map: Option<String>,
+        /// The source host, or the literal `*` for a reverse listing.
+        src: String,
+        /// The destination host.
+        dst: String,
+    },
     /// `MAPS` (v2): list the served namespaces.
     Maps,
     /// `METRICS [@map]` (v2): Prometheus text exposition of the
@@ -165,7 +187,7 @@ pub enum Request {
 fn takes_map_qualifier(upper_verb: &str) -> bool {
     matches!(
         upper_verb,
-        "QUERY" | "MQUERY" | "STATS" | "RELOAD" | "HEALTH" | "METRICS" | "SLOWLOG"
+        "QUERY" | "MQUERY" | "PATH" | "STATS" | "RELOAD" | "HEALTH" | "METRICS" | "SLOWLOG"
     )
 }
 
@@ -238,6 +260,17 @@ pub fn parse_request(line: &str, proto: ProtoVersion) -> Result<Request, String>
                 .ok_or_else(|| format!("unsupported protocol version `{n}`"))?;
             Request::Proto { version }
         }
+        "PATH" if proto >= ProtoVersion::V2 => {
+            let src = words
+                .next()
+                .ok_or_else(|| "PATH needs a source and a destination".to_string())?
+                .to_string();
+            let dst = words
+                .next()
+                .ok_or_else(|| "PATH needs a destination".to_string())?
+                .to_string();
+            Request::Path { map, src, dst }
+        }
         "STATS" => Request::Stats { map },
         "RELOAD" => Request::Reload { map },
         "HEALTH" => Request::Health { map },
@@ -289,6 +322,28 @@ pub enum Response {
         /// Entries in the serving table.
         entries: usize,
     },
+    /// `200` — a point-to-point route for a successful `PATH`.
+    Path {
+        /// The namespace, echoed back for qualified requests.
+        map: Option<String>,
+        /// Total cost of the path under the serving cost model.
+        cost: u64,
+        /// Visible hop count (networks and domains hidden).
+        hops: u32,
+        /// The printed route, `%s` marker included.
+        route: String,
+    },
+    /// `200` — a `PATH * <dst>` reverse listing: the one-hop
+    /// neighbors with a direct link to the destination, as
+    /// `name(cost)` entries sorted by node.
+    Via {
+        /// The namespace, echoed back for qualified requests.
+        map: Option<String>,
+        /// The destination the listing is about.
+        dst: String,
+        /// `(neighbor, cheapest folded edge cost)` pairs.
+        entries: Vec<(String, u64)>,
+    },
     /// `200` — `MAPS` payload: the served namespaces, in declaration
     /// order, and the default one.
     Maps {
@@ -332,6 +387,8 @@ impl Response {
     pub fn code(&self) -> u16 {
         match self {
             Response::Route(_)
+            | Response::Path { .. }
+            | Response::Via { .. }
             | Response::Stats { .. }
             | Response::Reloaded { .. }
             | Response::Health { .. }
@@ -372,6 +429,37 @@ impl fmt::Display for Response {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Response::Route(route) => write!(f, "200 {}", one_line(route)),
+            Response::Path {
+                map,
+                cost,
+                hops,
+                route,
+            } => {
+                write!(
+                    f,
+                    "200 {}cost={cost} hops={hops} route={}",
+                    map_prefix(map),
+                    one_line(route)
+                )
+            }
+            Response::Via { map, dst, entries } => {
+                write!(
+                    f,
+                    "200 {}via dst={} count={}",
+                    map_prefix(map),
+                    one_line(dst),
+                    entries.len()
+                )?;
+                if !entries.is_empty() {
+                    let list = entries
+                        .iter()
+                        .map(|(name, cost)| format!("{}({cost})", one_line(name)))
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    write!(f, " {list}")?;
+                }
+                Ok(())
+            }
             Response::NoRoute(host) => write!(f, "404 no route to {}", one_line(host)),
             Response::Stats { map, body } => {
                 write!(f, "200 {}{}", map_prefix(map), one_line(body))
@@ -621,6 +709,105 @@ mod tests {
         // MAPS and SHUTDOWN take no qualifier.
         assert!(v2("MAPS @a").is_err());
         assert!(v2("SHUTDOWN @a").is_err());
+    }
+
+    #[test]
+    fn path_verb_at_v2() {
+        assert_eq!(
+            v2("PATH unc seismo").unwrap(),
+            Request::Path {
+                map: None,
+                src: "unc".into(),
+                dst: "seismo".into()
+            }
+        );
+        assert_eq!(
+            v2("path @regional duke mit-ai").unwrap(),
+            Request::Path {
+                map: Some("regional".into()),
+                src: "duke".into(),
+                dst: "mit-ai".into()
+            }
+        );
+        // The literal `*` source is the reverse one-hop spelling; it
+        // is not special at parse time.
+        assert_eq!(
+            v2("PATH * seismo").unwrap(),
+            Request::Path {
+                map: None,
+                src: "*".into(),
+                dst: "seismo".into()
+            }
+        );
+        // Arity is exact.
+        assert!(v2("PATH").is_err());
+        assert!(v2("PATH unc").is_err());
+        assert!(v2("PATH @regional unc").is_err());
+        assert!(v2("PATH unc seismo extra").is_err());
+        assert!(v2("PATH @ unc seismo").is_err());
+        // Only the token right after the verb is a qualifier.
+        assert_eq!(
+            v2("PATH unc @regional").unwrap(),
+            Request::Path {
+                map: None,
+                src: "unc".into(),
+                dst: "@regional".into()
+            }
+        );
+    }
+
+    #[test]
+    fn path_is_unknown_at_v1() {
+        assert_eq!(
+            v1("PATH unc seismo").unwrap_err(),
+            "unknown verb `PATH`".to_string()
+        );
+        assert_eq!(
+            v1("path * seismo").unwrap_err(),
+            "unknown verb `PATH`".to_string()
+        );
+    }
+
+    #[test]
+    fn path_response_lines() {
+        assert_eq!(
+            Response::Path {
+                map: None,
+                cost: 395,
+                hops: 2,
+                route: "duke!mit-ai!%s".into()
+            }
+            .to_string(),
+            "200 cost=395 hops=2 route=duke!mit-ai!%s"
+        );
+        assert_eq!(
+            Response::Path {
+                map: Some("east".into()),
+                cost: 0,
+                hops: 0,
+                route: "%s".into()
+            }
+            .to_string(),
+            "200 map=east cost=0 hops=0 route=%s"
+        );
+        assert_eq!(
+            Response::Via {
+                map: None,
+                dst: "seismo".into(),
+                entries: vec![("duke".into(), 200), ("unc".into(), 95)]
+            }
+            .to_string(),
+            "200 via dst=seismo count=2 duke(200),unc(95)"
+        );
+        assert_eq!(
+            Response::Via {
+                map: Some("east".into()),
+                dst: "leaf".into(),
+                entries: vec![]
+            }
+            .to_string(),
+            "200 map=east via dst=leaf count=0"
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@ use pathalias_core::{
 use pathalias_mailer::{
     disk::DiskDb, disk::DiskError, disk::MappedDb, BoxedResolver, DbError, RouteDb, SharedRouteDb,
 };
+use pathalias_router::PointToPoint;
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
@@ -250,6 +251,60 @@ impl MapSource {
         }
     }
 
+    /// [`MapSource::load_resolver_timed`] plus the point-to-point
+    /// engine, for sources that hold a frozen graph. Pipeline sources
+    /// (`map`, `pagf`) build a [`PointToPoint`] over the mapped tree's
+    /// *augmented* graph — the same snapshot (back links included) the
+    /// printed table came from, so `PATH <home> <x>` and `QUERY <x>`
+    /// answer byte-identically. Table-only sources (`routes`, `padb`,
+    /// `padb-mmap`) have no graph and return `None`: the daemon
+    /// refuses `PATH` on them.
+    ///
+    /// When a `.pagf` snapshot stored its reverse-index section and
+    /// mapping invented no back links, the stored transpose is reused
+    /// instead of rebuilt.
+    pub fn load_serving_timed(
+        &self,
+    ) -> Result<(BoxedResolver, Option<Arc<PointToPoint>>, PhaseTimings), LoadError> {
+        match self {
+            MapSource::Padb(_) | MapSource::PadbMmap(_) | MapSource::Routes(_) => {
+                let (resolver, timings) = self.load_resolver_timed()?;
+                Ok((resolver, None, timings))
+            }
+            MapSource::FrozenSnapshot {
+                path,
+                options,
+                cache,
+            } => {
+                let (frozen, mut timings) = snapshot_stage(path, cache)?;
+                let (db, engine) = map_print_engine(&frozen, options, &mut timings)?;
+                Ok((
+                    Box::new(SharedRouteDb::new(db)),
+                    Some(Arc::new(engine)),
+                    timings,
+                ))
+            }
+            MapSource::Map {
+                files,
+                options,
+                validate_sources,
+                validate_threads,
+                cache,
+            } => {
+                let (frozen, mut timings) = frozen_stage(files, options, cache)?;
+                let (db, engine) = map_print_engine(&frozen, options, &mut timings)?;
+                if *validate_sources > 0 {
+                    validate(frozen.graph(), *validate_sources, *validate_threads)?;
+                }
+                Ok((
+                    Box::new(SharedRouteDb::new(db)),
+                    Some(Arc::new(engine)),
+                    timings,
+                ))
+            }
+        }
+    }
+
     /// Builds a fresh [`RouteDb`] from the source. For
     /// [`MapSource::PadbMmap`] this reads the whole table into memory
     /// (use [`MapSource::load_resolver`] to serve in place).
@@ -322,6 +377,34 @@ impl MapSource {
             }
         }
     }
+}
+
+/// The map and print stages plus the point-to-point engine over the
+/// mapped tree's augmented graph. The engine and the table come from
+/// the *same* mapping run, so they can never disagree about what the
+/// world looks like.
+fn map_print_engine(
+    frozen: &Frozen,
+    options: &Options,
+    timings: &mut PhaseTimings,
+) -> Result<(RouteDb, PointToPoint), LoadError> {
+    let t0 = Instant::now();
+    let mapped = frozen.map(options).map_err(LoadError::Pipeline)?;
+    timings.map = t0.elapsed();
+    let t0 = Instant::now();
+    let printed = mapped.print(options);
+    timings.print = t0.elapsed();
+    let aug = mapped.tree.frozen().clone();
+    let engine = match frozen.reverse_index() {
+        // Back-link invention replaces the snapshot graph; only when
+        // the tree still points at the very same graph is the stored
+        // transpose valid.
+        Some(rev) if Arc::ptr_eq(&aug, frozen.graph()) => {
+            PointToPoint::with_reverse(aug, rev.clone(), options.cost_model)
+        }
+        _ => PointToPoint::new(aug, options.cost_model),
+    };
+    Ok((RouteDb::from_table(&printed.routes), engine))
 }
 
 /// The parse/build/freeze stages for a map-file source, reusing the

@@ -3,7 +3,8 @@
 //!
 //! [`MapTelemetry`] is the per-namespace bundle the daemon threads
 //! through request dispatch: one log2 histogram per verb shape
-//! (`QUERY`, `MQUERY` per batch and per item, `RELOAD`), a worst-N
+//! (`QUERY`, `MQUERY` per batch and per item, `PATH`, `RELOAD`), a
+//! worst-N
 //! slow-query log, and the latest reload's pipeline
 //! [`PhaseTimings`]. Everything here is exposed over the protocol-v2
 //! `METRICS` (Prometheus text exposition) and `SLOWLOG` verbs —
@@ -36,6 +37,8 @@ pub struct MapTelemetry {
     pub mquery_batch: Histogram,
     /// `MQUERY` latency, per item within a batch.
     pub mquery_item: Histogram,
+    /// `PATH` latency, per request (point-to-point and `PATH *`).
+    pub path: Histogram,
     /// `RELOAD` duration (wire-triggered and `--watch`-triggered).
     pub reload: Histogram,
     /// The worst-[`SLOWLOG_CAPACITY`] requests against this map.
@@ -58,6 +61,7 @@ impl MapTelemetry {
             query: Histogram::new(),
             mquery_batch: Histogram::new(),
             mquery_item: Histogram::new(),
+            path: Histogram::new(),
             reload: Histogram::new(),
             slowlog: SlowLog::new(SLOWLOG_CAPACITY),
             reload_phases: Mutex::new(None),

@@ -435,3 +435,104 @@ fn protocol_abuse_is_survivable() {
     handle.shutdown();
     std::fs::remove_file(routes_path).unwrap();
 }
+
+/// Two worlds for the PATH/RELOAD race: the cheapest route from home
+/// to leaf goes through `mid` before the reload and through the new
+/// `direct` link after it — visibly different, never mixable.
+fn path_map(with_shortcut: bool) -> String {
+    let mut map = String::from("home\tmid(100)\nmid\thome(100), leaf(100)\nleaf\tmid(100)\n");
+    if with_shortcut {
+        map.push_str("home\tdirect(50)\ndirect\thome(50), leaf(10)\n");
+    }
+    map
+}
+
+#[test]
+fn path_stays_consistent_across_hot_reloads() {
+    // Hammer PATH from several connections while another connection
+    // reloads the map back and forth. Every answer must be a complete
+    // route from one generation — `mid!leaf!%s` (no shortcut) or
+    // `direct!leaf!%s` (shortcut) — never an error, a torn line, or a
+    // phantom mixture.
+    let path = temp("path-race.map");
+    std::fs::write(&path, path_map(false)).unwrap();
+
+    let handle = Server::start(ServerConfig::ephemeral(MapSource::map_files(
+        vec![path.clone()],
+        pathalias_core::Options {
+            local: Some("home".to_string()),
+            ..Default::default()
+        },
+    )))
+    .expect("server starts");
+    let addr = handle.tcp_addr().unwrap();
+
+    let old_seen = Arc::new(AtomicU64::new(0));
+    let new_seen = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let old_seen = old_seen.clone();
+            let new_seen = new_seen.clone();
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                for i in 0..1_500 {
+                    if i % 7 == 0 {
+                        // The via listing races the same swap: leaf's
+                        // predecessors are {mid} or {mid, direct}.
+                        let entries = client.via("leaf").unwrap().expect("leaf exists");
+                        let names: Vec<&str> = entries.iter().map(|(n, _)| n.as_str()).collect();
+                        assert!(
+                            names == ["mid"]
+                                || names == ["direct", "mid"]
+                                || names == ["mid", "direct"],
+                            "via listing from a phantom generation: {names:?}"
+                        );
+                        continue;
+                    }
+                    let info = client
+                        .path("home", "leaf")
+                        .expect("PATH must not error across a reload")
+                        .expect("leaf is always reachable");
+                    match info.route.as_str() {
+                        "mid!leaf!%s" => {
+                            assert_eq!((info.cost, info.hops), (200, 2), "old-world route");
+                            old_seen.fetch_add(1, Ordering::Relaxed);
+                        }
+                        "direct!leaf!%s" => {
+                            assert_eq!((info.cost, info.hops), (60, 2), "new-world route");
+                            new_seen.fetch_add(1, Ordering::Relaxed);
+                        }
+                        other => panic!("route from a phantom generation: {other}"),
+                    }
+                }
+                client.quit().unwrap();
+            });
+        }
+
+        // The reloader: flip the shortcut in and out while the PATH
+        // clients are loading.
+        let reload_path = path.clone();
+        s.spawn(move || {
+            let mut client = Client::connect(addr).expect("reloader connects");
+            for round in 0..6 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                std::fs::write(&reload_path, path_map(round % 2 == 0)).unwrap();
+                client.reload().expect("reload succeeds");
+            }
+            client.quit().unwrap();
+        });
+    });
+
+    assert!(
+        old_seen.load(Ordering::Relaxed) > 0,
+        "no PATH hit the shortcut-free world (reloads outran the clients)"
+    );
+    assert!(
+        new_seen.load(Ordering::Relaxed) > 0,
+        "no PATH hit the shortcut world (the reloads never landed)"
+    );
+
+    handle.shutdown();
+    std::fs::remove_file(path).unwrap();
+}

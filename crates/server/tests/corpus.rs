@@ -144,6 +144,90 @@ fn every_backend_answers_the_corpus_byte_identically() {
 }
 
 #[test]
+fn path_from_home_matches_query_on_every_graph_backend() {
+    // The serving invariant: the PATH engine is built from the same
+    // mapping run as the route table, so `PATH home X` must render the
+    // same route QUERY prints, byte for byte, on every backend that
+    // carries a frozen graph (map pipeline and PAGF snapshot — with
+    // and without the stored reverse section). Table-only backends
+    // must refuse rather than approximate.
+    for name in CORPUS {
+        let map_path = corpus_file(name, "map");
+        let golden = std::fs::read_to_string(corpus_file(name, "routes")).unwrap();
+
+        let mut parsed = Parsed::new();
+        parsed.push_file(&map_path).unwrap();
+        let frozen = parsed.build(&options()).unwrap().freeze();
+        let pagf_path = temp(&format!("path-{name}.pagf"));
+        frozen.write_snapshot(&pagf_path).unwrap();
+        let pagf_rev_path = temp(&format!("path-{name}-rev.pagf"));
+        frozen.write_snapshot_with_reverse(&pagf_rev_path).unwrap();
+
+        let backends: Vec<(&str, MapSource)> = vec![
+            ("map", MapSource::map_files(vec![map_path], options())),
+            (
+                "pagf",
+                MapSource::frozen_snapshot(pagf_path.clone(), options()),
+            ),
+            (
+                "pagf+reverse",
+                MapSource::frozen_snapshot(pagf_rev_path.clone(), options()),
+            ),
+        ];
+        for (kind, source) in backends {
+            let server = Server::start(ServerConfig::ephemeral(source)).expect("server starts");
+            let mut client = Client::connect(server.tcp_addr().unwrap()).unwrap();
+            assert_eq!(client.send("PROTO 2").unwrap(), "200 proto=2");
+            for line in golden.lines() {
+                let host = line.split('\t').next().unwrap();
+                let query = client.send(&format!("QUERY {host}")).unwrap();
+                let route = query
+                    .strip_prefix("200 ")
+                    .unwrap_or_else(|| panic!("{name}/{kind}: QUERY {host} said `{query}`"));
+                let info = client
+                    .path("home", host)
+                    .unwrap_or_else(|e| panic!("{name}/{kind}: PATH home {host}: {e}"))
+                    .unwrap_or_else(|| panic!("{name}/{kind}: PATH home {host} found no route"));
+                assert_eq!(
+                    info.route, route,
+                    "{name}/{kind}: PATH home {host} diverged from QUERY"
+                );
+            }
+            // An unknown destination is a 404 for PATH exactly as for
+            // QUERY, in both spellings.
+            assert!(client.path("home", "no.such.host.zzz").unwrap().is_none());
+            assert!(client.via("no.such.host.zzz").unwrap().is_none());
+            client.quit().unwrap();
+            server.shutdown();
+        }
+
+        // A table-only backend refuses with a 500, never a wrong path.
+        let routes_path = temp(&format!("path-{name}.routes"));
+        std::fs::write(&routes_path, &golden).unwrap();
+        let server = Server::start(ServerConfig::ephemeral(MapSource::Routes(
+            routes_path.clone(),
+        )))
+        .expect("routes server starts");
+        let mut client = Client::connect(server.tcp_addr().unwrap()).unwrap();
+        match client.path("home", "anywhere") {
+            Err(pathalias_server::ClientError::Server { code: 500, message }) => {
+                assert!(
+                    message.contains("no frozen graph"),
+                    "{name}: unexpected refusal `{message}`"
+                );
+            }
+            other => panic!("{name}: routes backend answered PATH with {other:?}"),
+        }
+        client.quit().unwrap();
+        server.shutdown();
+
+        for p in [pagf_path, pagf_rev_path, routes_path] {
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+}
+
+#[test]
 fn multi_map_daemon_answers_the_corpus_like_single_map_daemons() {
     // One daemon serving the whole corpus, each namespace through a
     // *different* backend shape, versus one single-map daemon per

@@ -122,6 +122,55 @@ proptest! {
         );
     }
 
+    /// A `PATH` line (qualified or not, `*` or named source) parses
+    /// to its parts at v2 and stays an unknown verb at v1.
+    #[test]
+    fn path_round_trip(
+        map in proptest::collection::vec("[a-zA-Z][a-zA-Z0-9._-]{0,15}", 0..2),
+        src in prop_oneof![Just("*".to_string()), "[a-z][a-z0-9.-]{0,20}"],
+        dst in "[a-z][a-z0-9.-]{0,30}",
+    ) {
+        let map = map.first().cloned();
+        let line = match &map {
+            Some(m) => format!("PATH @{m} {src} {dst}"),
+            None => format!("PATH {src} {dst}"),
+        };
+        prop_assert_eq!(
+            parse_request(&line, ProtoVersion::V2).unwrap(),
+            Request::Path { map: map.clone(), src: src.clone(), dst: dst.clone() }
+        );
+        prop_assert_eq!(
+            parse_request(&line, ProtoVersion::V1).unwrap_err(),
+            "unknown verb `PATH`".to_string()
+        );
+        // Arity is exact: a trailing token is an error, not a silent
+        // extra destination.
+        prop_assert!(parse_request(&format!("{line} extra"), ProtoVersion::V2).is_err());
+        prop_assert!(parse_request("PATH", ProtoVersion::V2).is_err());
+        prop_assert!(parse_request(&format!("PATH {src}"), ProtoVersion::V2).is_err());
+    }
+
+    /// Whatever a `Path` or `Via` response carries, the rendered wire
+    /// line stays one `200 `-prefixed line — framing never breaks.
+    #[test]
+    fn path_responses_render_one_line(
+        map in proptest::collection::vec("[a-zA-Z][a-zA-Z0-9._-]{0,15}", 0..2),
+        cost in any::<u64>(),
+        hops in any::<u32>(),
+        route in "\\PC{0,60}",
+        entries in proptest::collection::vec(("\\PC{0,20}", any::<u64>()), 0..6),
+    ) {
+        let map = map.first().cloned();
+        let dst = route.clone();
+        for rendered in [
+            Response::Path { map: map.clone(), cost, hops, route }.to_string(),
+            Response::Via { map, dst, entries }.to_string(),
+        ] {
+            prop_assert!(rendered.starts_with("200 "));
+            prop_assert!(!rendered.contains('\n') && !rendered.contains('\r'));
+        }
+    }
+
     /// Whatever ends up in a `Maps` response payload, the rendered
     /// line stays one line with its status code.
     #[test]
