@@ -422,5 +422,101 @@ fn bench_cold_start(c: &mut Criterion) {
     std::fs::remove_file(pagf_path).unwrap();
 }
 
-criterion_group!(benches, bench_serve, bench_path, bench_cold_start);
+/// C10K-style connection-scaling shape for the event-loop core: open a
+/// large herd of mostly-idle connections (default 2048; `C10K_CONNS`
+/// overrides, CI smoke uses 512), verify each answers, then measure
+/// query latency from a small hot subset while the idle herd stays
+/// registered with the pollers. The numbers to watch: accept cost per
+/// connection, and hot-path p50/p99 that must not degrade just because
+/// thousands of idle fds sit in the readiness sets.
+///
+/// This bypasses `Bencher` (latency percentiles, not best-batch means)
+/// but prints the same `bench <name> <ns> ns/iter` lines so the CI
+/// bench gate tracks the numbers like any other.
+fn bench_c10k(_c: &mut Criterion) {
+    let quick = std::env::var_os("CRITERION_QUICK").is_some();
+    let conns: usize = std::env::var("C10K_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 512 } else { 2_048 });
+    let samples: usize = if quick { 4_000 } else { 20_000 };
+    const HOT: usize = 32;
+
+    // A small table: this benchmark is about the connection layer, not
+    // the resolver.
+    let mut rendered = String::new();
+    for i in 0..200 {
+        rendered.push_str(&format!("h{i}\trelay!h{i}!%s\n"));
+    }
+    let routes_path = std::env::temp_dir().join(format!(
+        "pathalias-bench-c10k-{}.routes",
+        std::process::id()
+    ));
+    std::fs::write(&routes_path, rendered).unwrap();
+    let handle = Server::start(ServerConfig::ephemeral(MapSource::Routes(
+        routes_path.clone(),
+    )))
+    .expect("c10k bench server starts");
+    let addr = handle.tcp_addr().unwrap();
+
+    let report = |label: &str, ns: f64, iters: usize| {
+        let label = format!("serve/{label}");
+        println!("bench   {label:<44} {ns:>12.0} ns/iter   (#iters {iters})");
+    };
+
+    // Accept throughput: connect the whole herd back to back. The
+    // kernel completes handshakes from the listen backlog, so this
+    // measures how fast the daemon's accept+register path drains it.
+    let t0 = std::time::Instant::now();
+    let mut herd: Vec<Client> = (0..conns)
+        .map(|_| Client::connect(addr).expect("idle connection"))
+        .collect();
+    report(
+        "c10k-accept",
+        t0.elapsed().as_nanos() as f64 / conns as f64,
+        conns,
+    );
+
+    // Every herd member must actually be served — one round trip each
+    // proves the daemon registered all of them, and leaves the herd
+    // idle-but-open for the latency measurement below.
+    for (i, conn) in herd.iter_mut().enumerate() {
+        let host = format!("h{}", i % 200);
+        assert!(conn.query(&host, Some("u")).unwrap().is_some());
+    }
+
+    // Hot subset: fresh clients doing sequential queries while the
+    // idle herd keeps its fds registered with the event loops.
+    let mut hot: Vec<Client> = (0..HOT).map(|_| Client::connect(addr).unwrap()).collect();
+    let mut lat_ns: Vec<u64> = Vec::with_capacity(samples);
+    for q in 0..samples {
+        let client = &mut hot[q % HOT];
+        let host = format!("h{}", (q * 7) % 200);
+        let t = std::time::Instant::now();
+        black_box(client.query(&host, Some("u")).unwrap());
+        lat_ns.push(t.elapsed().as_nanos() as u64);
+    }
+    lat_ns.sort_unstable();
+    report("c10k-query-p50", lat_ns[samples / 2] as f64, samples);
+    report(
+        "c10k-query-p99",
+        lat_ns[samples - samples / 100 - 1] as f64,
+        samples,
+    );
+
+    for c in hot {
+        let _ = c.quit();
+    }
+    drop(herd);
+    handle.shutdown();
+    std::fs::remove_file(routes_path).unwrap();
+}
+
+criterion_group!(
+    benches,
+    bench_serve,
+    bench_path,
+    bench_cold_start,
+    bench_c10k
+);
 criterion_main!(benches);

@@ -10,9 +10,11 @@ usage: pathalias [-l host] [-c] [-i] [-v] [-n] [-s] [-t host]... [file ...]
        pathalias serve (--padb F | --routes F | --map F... | --pagf F
                         | --map-set NAME=KIND:PATHS... [--default-map NAME])
                  [--backend B]
-                 [--listen addr] [--unix path] [--cache N] [--shards N]
+                 [--listen addr] [--unix path] [--udp addr] [--workers N]
+                 [--cache N] [--shards N]
                  [--watch [--watch-interval-ms N]] [-l host] [-i]
-       pathalias serve (--connect addr | --unix path) [--map-name NAME]
+       pathalias serve (--connect addr | --unix path | --udp-connect addr)
+                 [--map-name NAME]
                  (--query host... [--user u] | --path src dst | --stats
                   | --reload | --health | --maps | --metrics | --slowlog
                   | --shutdown)
@@ -44,24 +46,31 @@ serve (daemon mode; default listen 127.0.0.1:4175):
                 --padb), or pagf (requires --pagf)
   --listen A    TCP listen address (port 0 = ephemeral, printed on start)
   --unix P      also (or only) listen on a Unix socket
+  --udp A       also (or only) answer single-shot datagram queries on
+                this UDP address (one request line per datagram)
+  --workers N   event-loop worker threads (default: one per core, max 8)
   --cache N     lookup-cache capacity in entries (default 4096)
   --shards N    lookup-cache shard count (default 8)
   --watch       poll the source file(s) and hot-reload when they change
                 (with --map-set, each map reloads independently)
   --watch-interval-ms N   watch poll interval (default 2000)
-  --map-set NAME=KIND:PATHS[:cache=N]   serve several named maps at
-                once (repeatable). KIND is map, routes, padb, padb-mmap
-                or pagf; PATHS is one file (comma-separated list for
-                KIND=map); a trailing :cache=N sizes this map's
-                lookup cache (entries; default --cache). Example:
+  --map-set NAME=KIND:PATHS[:cache=N][:l=HOST]   serve several named
+                maps at once (repeatable). KIND is map, routes, padb,
+                padb-mmap or pagf; PATHS is one file (comma-separated
+                list for KIND=map); a trailing :cache=N sizes this
+                map's lookup cache (entries; default --cache) and a
+                trailing :l=HOST overrides the local host for this
+                map's pipeline (KIND=map/pagf; default -l). Example:
                   --map-set global=pagf:world.pagf:cache=65536 \\
-                  --map-set regional=map:east.map,west.map
+                  --map-set regional=map:east.map,west.map:l=gateway
   --default-map NAME   the map unqualified queries hit (default: the
                 first --map-set entry)
 
 serve (client mode):
   --connect A   talk to a daemon over TCP
   --unix P      talk to a daemon over a Unix socket
+  --udp-connect A   talk to a daemon's UDP endpoint (one datagram per
+                request; only --query/--path/--stats/--health/--maps)
   --query HOST  print the route to HOST (with --user substituted);
                 repeatable: several hosts go as one batched round trip
   --path SRC DST  print the cheapest route from SRC to DST (protocol
@@ -161,9 +170,9 @@ pub struct QueryArgs {
 #[derive(Debug, PartialEq, Eq)]
 pub enum ServeArgs {
     /// Run the daemon.
-    Daemon(DaemonArgs),
+    Daemon(Box<DaemonArgs>),
     /// Talk to a running daemon.
-    Client(ClientArgs),
+    Client(Box<ClientArgs>),
 }
 
 /// How the daemon holds its table.
@@ -208,13 +217,16 @@ pub struct MapSetEntry {
     /// `:cache=N` suffix: this map's lookup-cache capacity in entries;
     /// `None` falls back to the daemon-wide `--cache`.
     pub cache: Option<usize>,
+    /// `:l=HOST` suffix: this map's local host (the pipeline's `-l`);
+    /// `None` falls back to the daemon-wide `-l`.
+    pub local: Option<String>,
 }
 
-/// Parses one `NAME=KIND:PATHS[:cache=N]` map-set spec.
+/// Parses one `NAME=KIND:PATHS[:cache=N][:l=HOST]` map-set spec.
 fn parse_map_set_entry(spec: &str) -> Result<MapSetEntry, String> {
-    let (name, rest) = spec
-        .split_once('=')
-        .ok_or_else(|| format!("--map-set wants NAME=KIND:PATHS[:cache=N], got `{spec}`"))?;
+    let (name, rest) = spec.split_once('=').ok_or_else(|| {
+        format!("--map-set wants NAME=KIND:PATHS[:cache=N][:l=HOST], got `{spec}`")
+    })?;
     // The server's wire-format rule is the single source of truth for
     // what a namespace may be called.
     if !pathalias_server::valid_map_name(name) {
@@ -222,10 +234,17 @@ fn parse_map_set_entry(spec: &str) -> Result<MapSetEntry, String> {
             "--map-set: map name `{name}` must be non-empty, without whitespace, `,` or `@`"
         ));
     }
-    // The cache suffix comes off before the kind split so a path may
-    // still contain `:` (`routes:some:odd:file` keeps working).
-    let (rest, cache) = match rest.rsplit_once(":cache=") {
-        Some((head, n)) => {
+    // The option suffixes come off the tail (in either order) before
+    // the kind split, so a path may still contain `:`
+    // (`routes:some:odd:file` keeps working).
+    let mut rest = rest;
+    let mut cache: Option<usize> = None;
+    let mut local: Option<String> = None;
+    while let Some((head, tail)) = rest.rsplit_once(':') {
+        if let Some(n) = tail.strip_prefix("cache=") {
+            if cache.is_some() {
+                return Err(format!("--map-set `{name}`: duplicate cache= suffix"));
+            }
             let n: usize = n.parse().map_err(|_| {
                 format!(
                     "--map-set `{name}`: cache=`{n}` wants a capacity in entries \
@@ -238,10 +257,22 @@ fn parse_map_set_entry(spec: &str) -> Result<MapSetEntry, String> {
                      omit the suffix to use the daemon-wide --cache"
                 ));
             }
-            (head, Some(n))
+            cache = Some(n);
+        } else if let Some(host) = tail.strip_prefix("l=") {
+            if local.is_some() {
+                return Err(format!("--map-set `{name}`: duplicate l= suffix"));
+            }
+            if host.is_empty() {
+                return Err(format!(
+                    "--map-set `{name}`: l= wants a host name (e.g. :l=gateway)"
+                ));
+            }
+            local = Some(host.to_string());
+        } else {
+            break;
         }
-        None => (rest, None),
-    };
+        rest = head;
+    }
     let (kind, arg) = rest
         .split_once(':')
         .ok_or_else(|| format!("--map-set `{name}` wants KIND:PATHS after `=`"))?;
@@ -266,11 +297,20 @@ fn parse_map_set_entry(spec: &str) -> Result<MapSetEntry, String> {
     if paths.iter().any(String::is_empty) {
         return Err(format!("--map-set `{name}`: empty path in `{arg}`"));
     }
+    // Only the pipeline kinds have a local host to name; on the rest
+    // the suffix would be silently dead, which reads like a typo.
+    if local.is_some() && !matches!(kind, SourceKind::Map | SourceKind::Pagf) {
+        return Err(format!(
+            "--map-set `{name}`: l= only applies to map/pagf members \
+             (routes/padb tables carry no local host)"
+        ));
+    }
     Ok(MapSetEntry {
         name: name.to_string(),
         kind,
         paths,
         cache,
+        local,
     })
 }
 
@@ -292,10 +332,16 @@ pub struct DaemonArgs {
     pub map_set: Vec<MapSetEntry>,
     /// `--default-map`: the namespace unqualified queries hit.
     pub default_map: Option<String>,
-    /// `--listen` TCP address; `None` with a Unix socket disables TCP.
+    /// `--listen` TCP address; `None` with another listener disables
+    /// TCP.
     pub listen: Option<String>,
     /// `--unix` socket path.
     pub unix: Option<String>,
+    /// `--udp`: single-shot datagram endpoint address.
+    pub udp: Option<String>,
+    /// `--workers`: event-loop worker threads; `None` means one per
+    /// core, capped at 8.
+    pub workers: Option<usize>,
     /// `--cache`: suffix-cache capacity.
     pub cache: usize,
     /// `--shards`: suffix-cache shards.
@@ -313,10 +359,14 @@ pub struct DaemonArgs {
 /// Client-mode arguments.
 #[derive(Debug, PartialEq, Eq)]
 pub struct ClientArgs {
-    /// `--connect` TCP address (exclusive with `unix`).
+    /// `--connect` TCP address (exclusive with `unix` and `udp`).
     pub connect: Option<String>,
     /// `--unix` socket path.
     pub unix: Option<String>,
+    /// `--udp-connect`: the daemon's UDP datagram endpoint. Only the
+    /// single-line verbs (`--query`/`--path`/`--stats`/`--health`/
+    /// `--maps`) have a datagram shape.
+    pub udp: Option<String>,
     /// `--map-name`: run the verb against this namespace (`@name` on
     /// the wire; needs protocol v2 on the daemon).
     pub map_name: Option<String>,
@@ -481,6 +531,9 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
     let mut map_name = None;
     let mut listen = None;
     let mut unix = None;
+    let mut udp = None;
+    let mut workers: Option<usize> = None;
+    let mut udp_connect = None;
     let mut cache: Option<usize> = None;
     let mut shards: Option<usize> = None;
     let mut local = None;
@@ -529,6 +582,17 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
             "--map-name" => map_name = Some(take_value("--map-name", &mut it)?.clone()),
             "--listen" => listen = Some(take_value("--listen", &mut it)?.clone()),
             "--unix" => unix = Some(take_value("--unix", &mut it)?.clone()),
+            "--udp" => udp = Some(take_value("--udp", &mut it)?.clone()),
+            "--workers" => {
+                let n: usize = take_value("--workers", &mut it)?
+                    .parse()
+                    .map_err(|_| "--workers wants a number".to_string())?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+                workers = Some(n);
+            }
+            "--udp-connect" => udp_connect = Some(take_value("--udp-connect", &mut it)?.clone()),
             "--cache" => {
                 cache = Some(
                     take_value("--cache", &mut it)?
@@ -589,7 +653,8 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
         + usize::from(metrics)
         + usize::from(slowlog)
         + usize::from(shutdown);
-    let client_mode = verb_count > 0 || connect.is_some() || map_name.is_some();
+    let client_mode =
+        verb_count > 0 || connect.is_some() || udp_connect.is_some() || map_name.is_some();
 
     if client_mode {
         if verb_count != 1 {
@@ -622,13 +687,20 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
             (watch, "--watch"),
             (watch_interval_ms.is_some(), "--watch-interval-ms"),
             (default_map.is_some(), "--default-map"),
+            (udp.is_some(), "--udp"),
+            (workers.is_some(), "--workers"),
         ] {
             if given {
                 return Err(format!("serve: {flag} only makes sense in daemon mode"));
             }
         }
-        if connect.is_some() == unix.is_some() {
-            return Err("serve client mode wants exactly one of --connect/--unix".to_string());
+        let transports = usize::from(connect.is_some())
+            + usize::from(unix.is_some())
+            + usize::from(udp_connect.is_some());
+        if transports != 1 {
+            return Err(
+                "serve client mode wants exactly one of --connect/--unix/--udp-connect".to_string(),
+            );
         }
         if map_name.is_some() && (maps || shutdown) {
             return Err(
@@ -661,12 +733,30 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
         } else {
             ClientAction::Health
         };
-        return Ok(Command::Serve(ServeArgs::Client(ClientArgs {
+        if udp_connect.is_some() {
+            // A datagram carries one request line and one response
+            // line; the session and multi-line verbs have no UDP shape
+            // (the daemon would refuse them with a 400 anyway).
+            let refused = match action {
+                ClientAction::Reload => Some("--reload"),
+                ClientAction::Metrics => Some("--metrics"),
+                ClientAction::Slowlog => Some("--slowlog"),
+                ClientAction::Shutdown => Some("--shutdown"),
+                _ => None,
+            };
+            if let Some(flag) = refused {
+                return Err(format!(
+                    "serve: {flag} has no datagram shape; use --connect or --unix"
+                ));
+            }
+        }
+        return Ok(Command::Serve(ServeArgs::Client(Box::new(ClientArgs {
             connect,
             unix,
+            udp: udp_connect,
             map_name,
             action,
-        })));
+        }))));
     }
 
     let sources = usize::from(padb.is_some())
@@ -745,11 +835,11 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
         return Err("serve: --watch-interval-ms only makes sense with --watch".to_string());
     }
     // With no listener at all, default to loopback TCP.
-    let listen = match (listen, &unix) {
-        (None, None) => Some("127.0.0.1:4175".to_string()),
-        (listen, _) => listen,
+    let listen = match (listen, &unix, &udp) {
+        (None, None, None) => Some("127.0.0.1:4175".to_string()),
+        (listen, _, _) => listen,
     };
-    Ok(Command::Serve(ServeArgs::Daemon(DaemonArgs {
+    Ok(Command::Serve(ServeArgs::Daemon(Box::new(DaemonArgs {
         padb,
         backend,
         routes,
@@ -759,13 +849,15 @@ fn parse_serve(argv: &[String]) -> Result<Command, String> {
         default_map,
         listen,
         unix,
+        udp,
+        workers,
         cache: cache.unwrap_or(4096),
         shards: shards.unwrap_or(8),
         local,
         ignore_case,
         watch,
         watch_interval_ms: watch_interval_ms.unwrap_or(2000),
-    })))
+    }))))
 }
 
 #[cfg(test)]
@@ -1075,6 +1167,167 @@ mod tests {
         assert!(err.contains("wants a capacity"), "got: {err}");
         let err = parse(&v(&["serve", "--map-set", "a=routes:f:cache=0"])).unwrap_err();
         assert!(err.contains("cache=0"), "got: {err}");
+    }
+
+    #[test]
+    fn serve_map_set_local_suffix() {
+        // :l=HOST names one map's local host; the suffixes stack in
+        // either order and neither leaks into the path list.
+        let Command::Serve(ServeArgs::Daemon(d)) = parse(&v(&[
+            "serve",
+            "--map-set",
+            "east=map:east.map:l=gateway",
+            "--map-set",
+            "west=map:west.map:l=wgw:cache=512",
+            "--map-set",
+            "south=map:south.map:cache=256:l=sgw",
+            "--map-set",
+            "north=routes:north.txt",
+            "-l",
+            "home",
+        ]))
+        .unwrap() else {
+            panic!("expected daemon");
+        };
+        assert_eq!(d.map_set[0].local.as_deref(), Some("gateway"));
+        assert_eq!(d.map_set[0].paths, vec!["east.map"]);
+        assert_eq!(d.map_set[0].cache, None);
+        assert_eq!(d.map_set[1].local.as_deref(), Some("wgw"));
+        assert_eq!(d.map_set[1].cache, Some(512));
+        assert_eq!(d.map_set[1].paths, vec!["west.map"]);
+        assert_eq!(d.map_set[2].local.as_deref(), Some("sgw"));
+        assert_eq!(d.map_set[2].cache, Some(256));
+        assert_eq!(d.map_set[2].paths, vec!["south.map"]);
+        assert_eq!(d.map_set[3].local, None, "no suffix, daemon-wide -l");
+        assert_eq!(d.local.as_deref(), Some("home"));
+
+        // An empty or duplicated host is an error, not a path.
+        let err = parse(&v(&["serve", "--map-set", "a=map:f:l="])).unwrap_err();
+        assert!(err.contains("l= wants a host"), "got: {err}");
+        let err = parse(&v(&["serve", "--map-set", "a=map:f:l=x:l=y"])).unwrap_err();
+        assert!(err.contains("duplicate l="), "got: {err}");
+        let err = parse(&v(&["serve", "--map-set", "a=map:f:cache=1:cache=2"])).unwrap_err();
+        assert!(err.contains("duplicate cache="), "got: {err}");
+        // Table kinds carry no local host: a dead l= is a typo.
+        let err = parse(&v(&["serve", "--map-set", "a=routes:f:l=x"])).unwrap_err();
+        assert!(err.contains("only applies to map/pagf"), "got: {err}");
+        let err = parse(&v(&["serve", "--map-set", "a=padb:f:l=x"])).unwrap_err();
+        assert!(err.contains("only applies to map/pagf"), "got: {err}");
+        assert!(parse(&v(&["serve", "--map-set", "a=pagf:w.pagf:l=x"])).is_ok());
+    }
+
+    #[test]
+    fn serve_udp_and_workers_flags() {
+        let Command::Serve(ServeArgs::Daemon(d)) = parse(&v(&[
+            "serve",
+            "--routes",
+            "r.txt",
+            "--listen",
+            "127.0.0.1:4175",
+            "--udp",
+            "127.0.0.1:4176",
+            "--workers",
+            "4",
+        ]))
+        .unwrap() else {
+            panic!("expected daemon");
+        };
+        assert_eq!(d.udp.as_deref(), Some("127.0.0.1:4176"));
+        assert_eq!(d.workers, Some(4));
+        assert_eq!(d.listen.as_deref(), Some("127.0.0.1:4175"));
+
+        // Like --unix, an explicit --udp suppresses the TCP default: a
+        // UDP-only daemon binds nothing else.
+        let Command::Serve(ServeArgs::Daemon(d)) =
+            parse(&v(&["serve", "--routes", "r.txt", "--udp", "127.0.0.1:0"])).unwrap()
+        else {
+            panic!("expected daemon");
+        };
+        assert_eq!(d.listen, None);
+        assert_eq!(d.udp.as_deref(), Some("127.0.0.1:0"));
+
+        // Zero or junk worker counts are rejected; both flags are
+        // daemon-only.
+        assert!(parse(&v(&["serve", "--routes", "r", "--workers", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--routes", "r", "--workers", "many"])).is_err());
+        assert!(parse(&v(&[
+            "serve",
+            "--connect",
+            "a:1",
+            "--stats",
+            "--udp",
+            "b:2"
+        ]))
+        .is_err());
+        assert!(parse(&v(&[
+            "serve",
+            "--connect",
+            "a:1",
+            "--stats",
+            "--workers",
+            "2"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn serve_client_udp_connect() {
+        let Command::Serve(ServeArgs::Client(c)) = parse(&v(&[
+            "serve",
+            "--udp-connect",
+            "127.0.0.1:4176",
+            "--query",
+            "seismo",
+            "--user",
+            "rick",
+        ]))
+        .unwrap() else {
+            panic!("expected client");
+        };
+        assert_eq!(c.udp.as_deref(), Some("127.0.0.1:4176"));
+        assert_eq!(c.connect, None);
+        assert_eq!(
+            c.action,
+            ClientAction::Query {
+                hosts: vec!["seismo".into()],
+                user: Some("rick".into())
+            }
+        );
+
+        // The other single-line verbs frame over a datagram too, with
+        // or without a map qualifier.
+        for verb in [&["--path", "a", "b"][..], &["--stats"], &["--health"]] {
+            let mut argv = vec!["serve", "--udp-connect", "a:1", "--map-name", "m"];
+            argv.extend_from_slice(verb);
+            assert!(parse(&v(&argv)).is_ok(), "{verb:?} over udp should parse");
+        }
+        assert!(parse(&v(&["serve", "--udp-connect", "a:1", "--maps"])).is_ok());
+
+        // Session and multi-line verbs have no datagram shape.
+        for verb in ["--reload", "--metrics", "--slowlog", "--shutdown"] {
+            let err = parse(&v(&["serve", "--udp-connect", "a:1", verb])).unwrap_err();
+            assert!(err.contains("no datagram shape"), "{verb}: {err}");
+        }
+
+        // Exactly one transport.
+        assert!(parse(&v(&[
+            "serve",
+            "--udp-connect",
+            "a:1",
+            "--connect",
+            "b:2",
+            "--stats"
+        ]))
+        .is_err());
+        assert!(parse(&v(&[
+            "serve",
+            "--udp-connect",
+            "a:1",
+            "--unix",
+            "/tmp/s",
+            "--stats"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use pathalias_core::{Options, Parsed, Pathalias, Sort};
 use pathalias_mailer::RouteDb;
 use pathalias_mapgen::{generate, MapSpec};
-use pathalias_server::{Client, Logger, MapSource, Server, ServerConfig};
+use pathalias_server::{Client, Logger, MapSource, Server, ServerConfig, UdpClient};
 use std::io::{Read, Write};
 use std::process::ExitCode;
 
@@ -36,8 +36,8 @@ fn main() -> ExitCode {
         Ok(Command::Mapgen(mg)) => cmd_mapgen(mg),
         Ok(Command::Freeze(fz)) => cmd_freeze(fz),
         Ok(Command::Query(q)) => cmd_query(q),
-        Ok(Command::Serve(ServeArgs::Daemon(d))) => cmd_serve_daemon(d),
-        Ok(Command::Serve(ServeArgs::Client(c))) => cmd_serve_client(c),
+        Ok(Command::Serve(ServeArgs::Daemon(d))) => cmd_serve_daemon(*d),
+        Ok(Command::Serve(ServeArgs::Client(c))) => cmd_serve_client(*c),
         Ok(Command::Help) => {
             print!("{}", args::USAGE);
             ExitCode::SUCCESS
@@ -223,20 +223,25 @@ fn cmd_serve_daemon(d: DaemonArgs) -> ExitCode {
         .collect();
     let maps: Vec<(String, MapSource)> = if !d.map_set.is_empty() {
         // Several named maps, each from its own source shape. The
-        // pipeline options (-l, -i) apply to every map/pagf member.
+        // pipeline options (-l, -i) apply to every map/pagf member; a
+        // `:l=HOST` suffix overrides the local host for that one map.
         d.map_set
             .into_iter()
             .map(|entry| {
                 let path = || entry.paths[0].clone().into();
+                let entry_options = Options {
+                    local: entry.local.clone().or_else(|| options.local.clone()),
+                    ..options.clone()
+                };
                 let source = match entry.kind {
                     SourceKind::Map => MapSource::map_files(
                         entry.paths.iter().map(Into::into).collect(),
-                        options.clone(),
+                        entry_options,
                     ),
                     SourceKind::Routes => MapSource::Routes(path()),
                     SourceKind::Padb => MapSource::Padb(path()),
                     SourceKind::PadbMmap => MapSource::PadbMmap(path()),
-                    SourceKind::Pagf => MapSource::frozen_snapshot(path(), options.clone()),
+                    SourceKind::Pagf => MapSource::frozen_snapshot(path(), entry_options),
                 };
                 (entry.name, source)
             })
@@ -266,6 +271,8 @@ fn cmd_serve_daemon(d: DaemonArgs) -> ExitCode {
         default_map: d.default_map,
         tcp: d.listen,
         unix: d.unix.map(Into::into),
+        udp: d.udp,
+        workers: d.workers,
         cache_capacity: d.cache,
         cache_capacities,
         cache_shards: d.shards,
@@ -291,6 +298,9 @@ fn cmd_serve_daemon(d: DaemonArgs) -> ExitCode {
     let mut stdout = std::io::stdout();
     if let Some(addr) = handle.tcp_addr() {
         let _ = writeln!(stdout, "pathalias-server listening on tcp {addr}");
+    }
+    if let Some(addr) = handle.udp_addr() {
+        let _ = writeln!(stdout, "pathalias-server listening on udp {addr}");
     }
     if let Some(path) = handle.unix_path() {
         let _ = writeln!(
@@ -325,7 +335,94 @@ fn cmd_serve_daemon(d: DaemonArgs) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Client verbs over the daemon's UDP endpoint: one datagram per
+/// request, output shapes identical to the TCP/Unix path so scripts
+/// can switch transports without re-parsing. The argument parser only
+/// lets the single-line verbs through; a multi-host `--query` becomes
+/// one datagram per host (there is no MQUERY framing in a datagram).
+fn cmd_serve_client_udp(c: &ClientArgs, addr: &str) -> ExitCode {
+    let mut client = match UdpClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("pathalias: serve: connecting: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let map = c.map_name.as_deref();
+    let outcome = match &c.action {
+        ClientAction::Query { hosts, user } => {
+            let mut missing = false;
+            for host in hosts {
+                match client.query_on(map, host, user.as_deref()) {
+                    Ok(Some(route)) => println!("{route}"),
+                    Ok(None) => {
+                        eprintln!("pathalias: no route to {host}");
+                        missing = true;
+                    }
+                    Err(e) => {
+                        eprintln!("pathalias: serve: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if missing {
+                return ExitCode::FAILURE;
+            }
+            Ok(())
+        }
+        ClientAction::Path { src, dst } if src == "*" => match client.via_on(map, dst) {
+            Ok(Some(entries)) => {
+                for (name, cost) in &entries {
+                    println!("{name}\t{cost}");
+                }
+                Ok(())
+            }
+            Ok(None) => {
+                eprintln!("pathalias: no host {dst}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => Err(e),
+        },
+        ClientAction::Path { src, dst } => match client.path_on(map, src, dst) {
+            Ok(Some(info)) => {
+                println!("{}", info.route);
+                eprintln!("pathalias: cost {} over {} hop(s)", info.cost, info.hops);
+                Ok(())
+            }
+            Ok(None) => {
+                eprintln!("pathalias: no route from {src} to {dst}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => Err(e),
+        },
+        ClientAction::Stats => client.stats_on(map).map(|s| println!("{s}")),
+        ClientAction::Health => client.health_on(map).map(|s| println!("{s}")),
+        ClientAction::Maps => client.maps().map(|info| {
+            for name in &info.names {
+                if *name == info.default {
+                    println!("{name} (default)");
+                } else {
+                    println!("{name}");
+                }
+            }
+        }),
+        // The parser rejects the session and multi-line verbs before
+        // we get here.
+        _ => unreachable!("parser admits only datagram-shaped verbs over --udp-connect"),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pathalias: serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn cmd_serve_client(c: ClientArgs) -> ExitCode {
+    if let Some(addr) = c.udp.clone() {
+        return cmd_serve_client_udp(&c, &addr);
+    }
     let client = if let Some(addr) = &c.connect {
         Client::connect(addr.as_str())
     } else {

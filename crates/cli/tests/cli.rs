@@ -480,3 +480,136 @@ fn serve_map_set_end_to_end() {
         std::fs::remove_file(f).unwrap();
     }
 }
+
+#[test]
+fn serve_map_set_local_override() {
+    // Two pipeline namespaces over the SAME map file, telling each a
+    // different `:l=` local host: routes must differ accordingly, and
+    // a member without the suffix falls back to the daemon-wide -l.
+    let dir = std::env::temp_dir();
+    let map = dir.join(format!("pa-cli-lo-{}.map", std::process::id()));
+    std::fs::write(
+        &map,
+        "unc\tduke(100), phs(400)\nduke\tunc(100), research(200)\n\
+         phs\tunc(400)\nresearch\tduke(200)\n",
+    )
+    .unwrap();
+
+    let (mut daemon, addr) = spawn_daemon(&[
+        "serve",
+        "--map-set",
+        &format!("from-unc=map:{}:l=unc", map.display()),
+        "--map-set",
+        &format!("from-duke=map:{}:l=duke", map.display()),
+        "--map-set",
+        &format!("fallback=map:{}", map.display()),
+        "-l",
+        "phs",
+        "--listen",
+        "127.0.0.1:0",
+    ]);
+
+    let query = |map_name: &str| -> String {
+        let out = Command::new(BIN)
+            .args([
+                "serve",
+                "--connect",
+                &addr,
+                "--map-name",
+                map_name,
+                "--query",
+                "research",
+                "--user",
+                "u",
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{:?}", out);
+        String::from_utf8_lossy(&out.stdout).trim().to_string()
+    };
+
+    assert_eq!(query("from-unc"), "duke!research!u");
+    assert_eq!(query("from-duke"), "research!u");
+    assert_eq!(
+        query("fallback"),
+        "unc!duke!research!u",
+        "no l= suffix: the daemon-wide -l (phs) applies"
+    );
+
+    daemon.kill().unwrap();
+    daemon.wait().unwrap();
+    std::fs::remove_file(map).unwrap();
+}
+
+#[cfg(unix)]
+#[test]
+fn serve_udp_endpoint_matches_tcp() {
+    use std::io::BufRead as _;
+    // One daemon, both transports; the same questions through
+    // `--udp-connect` and `--connect` must print identical bytes.
+    let dir = std::env::temp_dir();
+    let routes = dir.join(format!("pa-cli-udp-{}.routes", std::process::id()));
+    std::fs::write(&routes, "seismo\tseismo!%s\n.edu\tseismo!%s\n").unwrap();
+
+    let mut daemon = Command::new(BIN)
+        .args([
+            "serve",
+            "--routes",
+            routes.to_str().unwrap(),
+            "--listen",
+            "127.0.0.1:0",
+            "--udp",
+            "127.0.0.1:0",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon starts");
+    let stdout = daemon.stdout.take().unwrap();
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let tcp_addr = lines
+        .next()
+        .expect("tcp announce")
+        .unwrap()
+        .strip_prefix("pathalias-server listening on tcp ")
+        .expect("tcp line first")
+        .to_string();
+    let udp_addr = lines
+        .next()
+        .expect("udp announce")
+        .unwrap()
+        .strip_prefix("pathalias-server listening on udp ")
+        .expect("udp line second")
+        .to_string();
+
+    let ask = |transport: &str, addr: &str, rest: &[&str]| -> (String, bool) {
+        let mut cmd = Command::new(BIN);
+        cmd.args(["serve", transport, addr]);
+        cmd.args(rest);
+        let out = cmd.output().unwrap();
+        (
+            String::from_utf8_lossy(&out.stdout).to_string(),
+            out.status.success(),
+        )
+    };
+    for rest in [
+        &["--query", "seismo", "--user", "rick"][..],
+        &["--query", "caip.rutgers.edu"],
+        &["--query", "a.edu", "--query", "b.edu", "--user", "mel"],
+        &["--health"],
+        &["--maps"],
+    ] {
+        let (tcp_out, tcp_ok) = ask("--connect", &tcp_addr, rest);
+        let (udp_out, udp_ok) = ask("--udp-connect", &udp_addr, rest);
+        assert!(tcp_ok && udp_ok, "{rest:?}");
+        assert_eq!(tcp_out, udp_out, "transports diverge on {rest:?}");
+    }
+    // A miss fails the exit code identically on both transports.
+    let (_, tcp_ok) = ask("--connect", &tcp_addr, &["--query", "nowhere"]);
+    let (_, udp_ok) = ask("--udp-connect", &udp_addr, &["--query", "nowhere"]);
+    assert!(!tcp_ok && !udp_ok);
+
+    daemon.kill().unwrap();
+    daemon.wait().unwrap();
+    std::fs::remove_file(routes).unwrap();
+}

@@ -1,0 +1,637 @@
+//! Readiness polling and raw-socket helpers, with no dependencies.
+//!
+//! The server crate forbids `unsafe`, so the few unavoidable syscall
+//! shims live here instead: a level-triggered [`Poller`] over epoll
+//! (Linux) or kqueue (macOS/BSD), `SO_REUSEPORT` listener/socket
+//! constructors for per-core accept sharding, and an `RLIMIT_NOFILE`
+//! raiser for C10K-scale tests. Everything binds directly against the
+//! system libc that `std` already links — no `libc` crate.
+//!
+//! The API is deliberately tiny: register a file descriptor with a
+//! `u64` token and read/write interest, block in [`Poller::wait`], and
+//! get back `(token, readable, writable, hangup)` events. Closing a
+//! descriptor deregisters it from both epoll and kqueue automatically,
+//! so callers never unregister before `drop`.
+
+#![cfg(unix)]
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, UdpSocket};
+use std::os::unix::io::{FromRawFd, RawFd};
+
+/// One readiness event delivered by [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct PollEvent {
+    /// The token the descriptor was registered with.
+    pub token: u64,
+    /// The descriptor is readable (or has hung up — a read will
+    /// observe the EOF/error, so hangups are folded in here).
+    pub readable: bool,
+    /// The descriptor is writable.
+    pub writable: bool,
+    /// The peer hung up or the descriptor errored.
+    pub hangup: bool,
+}
+
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    extern "C" {
+        pub fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        pub fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            name: c_int,
+            value: *const c_void,
+            len: u32,
+        ) -> c_int;
+        pub fn bind(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+        pub fn listen(fd: c_int, backlog: c_int) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn getrlimit(resource: c_int, rlim: *mut Rlimit) -> c_int;
+        pub fn setrlimit(resource: c_int, rlim: *const Rlimit) -> c_int;
+    }
+
+    #[repr(C)]
+    pub struct Rlimit {
+        pub cur: u64,
+        pub max: u64,
+    }
+}
+
+fn last_errno() -> io::Error {
+    io::Error::last_os_error()
+}
+
+/// Closes `fd` and returns `err` — the error path of a half-built
+/// socket.
+fn fail(fd: RawFd, err: io::Error) -> io::Error {
+    unsafe {
+        sys::close(fd);
+    }
+    err
+}
+
+// ---- epoll (Linux) -------------------------------------------------
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+mod imp {
+    use super::{last_errno, PollEvent};
+    use std::io;
+    use std::os::raw::c_int;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    const EPOLLIN: u32 = 0x1;
+    const EPOLLOUT: u32 = 0x4;
+    const EPOLLERR: u32 = 0x8;
+    const EPOLLHUP: u32 = 0x10;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLL_CLOEXEC: c_int = 0x80000;
+
+    // The kernel ABI packs epoll_event on x86; other architectures use
+    // natural alignment.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(epfd: c_int, events: *mut EpollEvent, max: c_int, timeout: c_int) -> c_int;
+    }
+
+    /// A level-triggered epoll instance.
+    pub struct Poller {
+        epfd: RawFd,
+        buf: Vec<EpollEvent>,
+    }
+
+    impl Poller {
+        /// Creates the epoll instance.
+        pub fn new() -> io::Result<Poller> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(last_errno());
+            }
+            Ok(Poller {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; 1024],
+            })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: if read { EPOLLIN } else { 0 } | if write { EPOLLOUT } else { 0 },
+                data: token,
+            };
+            if unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) } < 0 {
+                return Err(last_errno());
+            }
+            Ok(())
+        }
+
+        /// Starts watching `fd` under `token`.
+        pub fn register(&self, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, read, write)
+        }
+
+        /// Changes the interest set of an already-registered `fd`.
+        pub fn modify(&self, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, read, write)
+        }
+
+        /// Blocks until readiness or `timeout`, appending events to
+        /// `out` (cleared first). A signal interruption delivers zero
+        /// events rather than an error.
+        pub fn wait(
+            &mut self,
+            out: &mut Vec<PollEvent>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            out.clear();
+            let ms: c_int = match timeout {
+                None => -1,
+                Some(d) => d.as_millis().min(c_int::MAX as u128) as c_int,
+            };
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    self.buf.as_mut_ptr(),
+                    self.buf.len() as c_int,
+                    ms,
+                )
+            };
+            if n < 0 {
+                let e = last_errno();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for ev in &self.buf[..n as usize] {
+                let events = { ev.events };
+                let data = { ev.data };
+                out.push(PollEvent {
+                    token: data,
+                    readable: events & (EPOLLIN | EPOLLHUP | EPOLLERR) != 0,
+                    writable: events & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                    hangup: events & (EPOLLHUP | EPOLLERR) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                super::sys::close(self.epfd);
+            }
+        }
+    }
+}
+
+// ---- kqueue (macOS / BSD) ------------------------------------------
+
+#[cfg(not(any(target_os = "linux", target_os = "android")))]
+mod imp {
+    use super::{last_errno, PollEvent};
+    use std::io;
+    use std::os::raw::{c_int, c_void};
+    use std::os::unix::io::RawFd;
+    use std::ptr;
+    use std::time::Duration;
+
+    const EVFILT_READ: i16 = -1;
+    const EVFILT_WRITE: i16 = -2;
+    const EV_ADD: u16 = 0x1;
+    const EV_DELETE: u16 = 0x2;
+    const EV_EOF: u16 = 0x8000;
+
+    #[repr(C)]
+    struct Kevent {
+        ident: usize,
+        filter: i16,
+        flags: u16,
+        fflags: u32,
+        data: isize,
+        udata: *mut c_void,
+    }
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    extern "C" {
+        fn kqueue() -> c_int;
+        fn kevent(
+            kq: c_int,
+            changelist: *const Kevent,
+            nchanges: c_int,
+            eventlist: *mut Kevent,
+            nevents: c_int,
+            timeout: *const Timespec,
+        ) -> c_int;
+    }
+
+    /// A level-triggered kqueue instance.
+    pub struct Poller {
+        kq: RawFd,
+        buf: Vec<Kevent>,
+        /// Read/write filters kqueue knows about, so `modify` only
+        /// issues deletes for filters that exist (a delete of a
+        /// missing filter is ENOENT, which we also tolerate).
+        _private: (),
+    }
+
+    impl Poller {
+        /// Creates the kqueue instance.
+        pub fn new() -> io::Result<Poller> {
+            let kq = unsafe { kqueue() };
+            if kq < 0 {
+                return Err(last_errno());
+            }
+            let mut buf = Vec::with_capacity(1024);
+            buf.resize_with(1024, || Kevent {
+                ident: 0,
+                filter: 0,
+                flags: 0,
+                fflags: 0,
+                data: 0,
+                udata: ptr::null_mut(),
+            });
+            Ok(Poller {
+                kq,
+                buf,
+                _private: (),
+            })
+        }
+
+        fn apply(&self, fd: RawFd, filter: i16, enable: bool, token: u64) -> io::Result<()> {
+            let change = Kevent {
+                ident: fd as usize,
+                filter,
+                flags: if enable { EV_ADD } else { EV_DELETE },
+                fflags: 0,
+                data: 0,
+                udata: token as *mut c_void,
+            };
+            let rc = unsafe { kevent(self.kq, &change, 1, ptr::null_mut(), 0, ptr::null()) };
+            if rc < 0 {
+                let e = last_errno();
+                // Deleting a filter that was never added is fine.
+                if !enable && e.raw_os_error() == Some(2) {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            Ok(())
+        }
+
+        /// Starts watching `fd` under `token`.
+        pub fn register(&self, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+            if read {
+                self.apply(fd, EVFILT_READ, true, token)?;
+            }
+            if write {
+                self.apply(fd, EVFILT_WRITE, true, token)?;
+            }
+            Ok(())
+        }
+
+        /// Changes the interest set of an already-registered `fd`.
+        pub fn modify(&self, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+            self.apply(fd, EVFILT_READ, read, token)?;
+            self.apply(fd, EVFILT_WRITE, write, token)
+        }
+
+        /// Blocks until readiness or `timeout`, appending events to
+        /// `out` (cleared first). A signal interruption delivers zero
+        /// events rather than an error.
+        pub fn wait(
+            &mut self,
+            out: &mut Vec<PollEvent>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            out.clear();
+            let ts;
+            let ts_ptr = match timeout {
+                None => ptr::null(),
+                Some(d) => {
+                    ts = Timespec {
+                        tv_sec: d.as_secs() as i64,
+                        tv_nsec: d.subsec_nanos() as i64,
+                    };
+                    &ts as *const Timespec
+                }
+            };
+            let n = unsafe {
+                kevent(
+                    self.kq,
+                    ptr::null(),
+                    0,
+                    self.buf.as_mut_ptr(),
+                    self.buf.len() as c_int,
+                    ts_ptr,
+                )
+            };
+            if n < 0 {
+                let e = last_errno();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for ev in &self.buf[..n as usize] {
+                let eof = ev.flags & EV_EOF != 0;
+                out.push(PollEvent {
+                    token: ev.udata as u64,
+                    readable: ev.filter == EVFILT_READ || eof,
+                    writable: ev.filter == EVFILT_WRITE,
+                    hangup: eof,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                super::sys::close(self.kq);
+            }
+        }
+    }
+}
+
+pub use imp::Poller;
+
+// ---- SO_REUSEPORT sockets ------------------------------------------
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+mod sockopt {
+    pub const SOL_SOCKET: i32 = 1;
+    pub const SO_REUSEADDR: i32 = 2;
+    pub const SO_REUSEPORT: i32 = 15;
+    pub const AF_INET: i32 = 2;
+    pub const AF_INET6: i32 = 10;
+}
+#[cfg(not(any(target_os = "linux", target_os = "android")))]
+mod sockopt {
+    pub const SOL_SOCKET: i32 = 0xffff;
+    pub const SO_REUSEADDR: i32 = 0x0004;
+    pub const SO_REUSEPORT: i32 = 0x0200;
+    pub const AF_INET: i32 = 2;
+    pub const AF_INET6: i32 = 30;
+}
+
+const SOCK_STREAM: i32 = 1;
+const SOCK_DGRAM: i32 = 2;
+
+/// Serializes `addr` into the platform's `sockaddr_in`/`sockaddr_in6`
+/// layout; returns the buffer and the length to pass to `bind`.
+fn sockaddr_bytes(addr: &SocketAddr) -> ([u8; 28], u32) {
+    let mut buf = [0u8; 28];
+    let (family, len) = match addr {
+        SocketAddr::V4(_) => (sockopt::AF_INET, 16u32),
+        SocketAddr::V6(_) => (sockopt::AF_INET6, 28u32),
+    };
+    // Linux: sa_family is a native-endian u16 at offset 0. BSD-family
+    // kernels put a length byte first and the family in one byte.
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    buf[0..2].copy_from_slice(&(family as u16).to_ne_bytes());
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    {
+        buf[0] = len as u8;
+        buf[1] = family as u8;
+    }
+    buf[2..4].copy_from_slice(&addr.port().to_be_bytes());
+    match addr {
+        SocketAddr::V4(v4) => {
+            buf[4..8].copy_from_slice(&v4.ip().octets());
+        }
+        SocketAddr::V6(v6) => {
+            buf[4..8].copy_from_slice(&v6.flowinfo().to_be_bytes());
+            buf[8..24].copy_from_slice(&v6.ip().octets());
+            buf[24..28].copy_from_slice(&v6.scope_id().to_ne_bytes());
+        }
+    }
+    (buf, len)
+}
+
+fn set_opt(fd: RawFd, name: i32) -> io::Result<()> {
+    let one: i32 = 1;
+    let rc = unsafe {
+        sys::setsockopt(
+            fd,
+            sockopt::SOL_SOCKET,
+            name,
+            &one as *const i32 as *const _,
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    if rc < 0 {
+        return Err(last_errno());
+    }
+    Ok(())
+}
+
+fn reuseport_socket(addr: &SocketAddr, ty: i32) -> io::Result<RawFd> {
+    let family = match addr {
+        SocketAddr::V4(_) => sockopt::AF_INET,
+        SocketAddr::V6(_) => sockopt::AF_INET6,
+    };
+    let fd = unsafe { sys::socket(family, ty, 0) };
+    if fd < 0 {
+        return Err(last_errno());
+    }
+    if ty == SOCK_STREAM {
+        // std's TcpListener::bind sets SO_REUSEADDR on unix; match it
+        // so restart-after-crash rebinding behaves identically.
+        set_opt(fd, sockopt::SO_REUSEADDR).map_err(|e| fail(fd, e))?;
+    }
+    set_opt(fd, sockopt::SO_REUSEPORT).map_err(|e| fail(fd, e))?;
+    let (sa, len) = sockaddr_bytes(addr);
+    if unsafe { sys::bind(fd, sa.as_ptr() as *const _, len) } < 0 {
+        return Err(fail(fd, last_errno()));
+    }
+    Ok(fd)
+}
+
+/// Binds a TCP listener with `SO_REUSEPORT` set **before** bind, so
+/// several listeners can share one port and the kernel load-balances
+/// incoming connections across them.
+pub fn reuseport_tcp_listener(addr: SocketAddr) -> io::Result<TcpListener> {
+    let fd = reuseport_socket(&addr, SOCK_STREAM)?;
+    if unsafe { sys::listen(fd, 1024) } < 0 {
+        return Err(fail(fd, last_errno()));
+    }
+    // From here std owns the fd: accept() on a listener built this way
+    // applies std's usual close-on-exec handling to accepted sockets.
+    Ok(unsafe { TcpListener::from_raw_fd(fd) })
+}
+
+/// Binds a UDP socket with `SO_REUSEPORT` set before bind; the kernel
+/// spreads incoming datagrams across the sharing sockets.
+pub fn reuseport_udp_socket(addr: SocketAddr) -> io::Result<UdpSocket> {
+    let fd = reuseport_socket(&addr, SOCK_DGRAM)?;
+    Ok(unsafe { UdpSocket::from_raw_fd(fd) })
+}
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+const RLIMIT_NOFILE: i32 = 7;
+#[cfg(not(any(target_os = "linux", target_os = "android")))]
+const RLIMIT_NOFILE: i32 = 8;
+
+/// Best-effort raise of the open-file limit to at least `min`
+/// descriptors (capped at the hard limit). Returns the soft limit in
+/// effect afterwards; never fails — C10K tests degrade instead.
+pub fn raise_nofile_limit(min: u64) -> u64 {
+    let mut lim = sys::Rlimit { cur: 0, max: 0 };
+    if unsafe { sys::getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return 0;
+    }
+    if lim.cur >= min {
+        return lim.cur;
+    }
+    let want = min.min(lim.max);
+    let new = sys::Rlimit {
+        cur: want,
+        max: lim.max,
+    };
+    if unsafe { sys::setrlimit(RLIMIT_NOFILE, &new) } == 0 {
+        want
+    } else {
+        lim.cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpStream, UdpSocket};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::time::Duration;
+
+    #[test]
+    fn pipe_readiness_round_trip() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.register(b.as_raw_fd(), 7, true, false).unwrap();
+
+        let mut events = Vec::new();
+        // Nothing pending: a zero timeout returns no events.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        a.write_all(b"x").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        // Level-triggered: unread data fires again.
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+
+        let mut byte = [0u8; 8];
+        let mut b2 = &b;
+        let n = b2.read(&mut byte).unwrap();
+        assert_eq!(n, 1);
+        poller
+            .wait(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn hangup_reported_as_readable() {
+        let (a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.register(b.as_raw_fd(), 3, true, false).unwrap();
+        drop(a);
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 3 && e.readable));
+    }
+
+    #[test]
+    fn modify_changes_interest() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.register(b.as_raw_fd(), 1, true, false).unwrap();
+        a.write_all(b"x").unwrap();
+        // Interest off: the pending byte no longer wakes the poll.
+        poller.modify(b.as_raw_fd(), 1, false, false).unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty(), "{events:?}");
+        poller.modify(b.as_raw_fd(), 1, true, false).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn reuseport_listeners_share_a_port() {
+        let first = reuseport_tcp_listener("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = first.local_addr().unwrap();
+        let second = reuseport_tcp_listener(addr).unwrap();
+        assert_eq!(second.local_addr().unwrap().port(), addr.port());
+        // A client reaches one of the two.
+        let _client = TcpStream::connect(addr).unwrap();
+        first.set_nonblocking(true).unwrap();
+        second.set_nonblocking(true).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let accepted = first.accept().is_ok() || second.accept().is_ok();
+        assert!(accepted, "one of the sharing listeners got the connection");
+    }
+
+    #[test]
+    fn reuseport_udp_round_trip() {
+        let sock = reuseport_udp_socket("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = sock.local_addr().unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+        client.send_to(b"ping", addr).unwrap();
+        let mut buf = [0u8; 16];
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let (n, peer) = sock.recv_from(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+        sock.send_to(b"pong", peer).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let (n, _) = client.recv_from(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"pong");
+    }
+
+    #[test]
+    fn nofile_limit_reports_a_sane_value() {
+        let lim = raise_nofile_limit(1024);
+        assert!(lim >= 256, "soft limit {lim} suspiciously low");
+    }
+}

@@ -718,3 +718,238 @@ impl Client {
         }
     }
 }
+
+/// A single-shot datagram client for the daemon's UDP endpoint.
+///
+/// One request per datagram, one response datagram back — no session,
+/// no negotiation (datagrams always parse at protocol v2, so `@map`
+/// qualifiers work directly). Only the single-line verbs exist over
+/// UDP: `QUERY`, `PATH`, `HEALTH`, `STATS`, `MAPS`. Answers are
+/// parsed exactly like the TCP [`Client`]'s, so the two transports
+/// return identical results for the same question.
+///
+/// UDP may drop either direction; every call retries a few times and
+/// surfaces a timeout as [`ClientError::Io`]. Requests are idempotent
+/// reads, so a retried datagram is harmless.
+pub struct UdpClient {
+    sock: std::net::UdpSocket,
+}
+
+impl UdpClient {
+    /// How long one attempt waits for the response datagram.
+    const ATTEMPT_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(2);
+    /// How many attempts before a call reports a timeout.
+    const ATTEMPTS: usize = 3;
+
+    /// Binds an ephemeral local socket of the matching address family
+    /// and connects it to the daemon's UDP endpoint.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<UdpClient> {
+        let mut last_err = None;
+        for remote in addr.to_socket_addrs()? {
+            let local = if remote.is_ipv4() {
+                "0.0.0.0:0"
+            } else {
+                "[::]:0"
+            };
+            let sock = match std::net::UdpSocket::bind(local) {
+                Ok(s) => s,
+                Err(e) => {
+                    last_err = Some(e);
+                    continue;
+                }
+            };
+            match sock.connect(remote) {
+                Ok(()) => {
+                    sock.set_read_timeout(Some(Self::ATTEMPT_TIMEOUT))?;
+                    return Ok(UdpClient { sock });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "no addresses to connect to")
+        }))
+    }
+
+    /// Sends one raw request line as a datagram and returns the raw
+    /// response line — the UDP counterpart of [`Client::send`].
+    pub fn send(&mut self, request: &str) -> Result<String, ClientError> {
+        let mut payload = request.as_bytes().to_vec();
+        payload.push(b'\n');
+        // The largest payload a response datagram can carry.
+        let mut buf = vec![0u8; 65507];
+        for _ in 0..Self::ATTEMPTS {
+            self.sock.send(&payload)?;
+            match self.sock.recv(&mut buf) {
+                Ok(n) => {
+                    let text = String::from_utf8_lossy(&buf[..n]);
+                    return Ok(text.trim_end_matches(['\r', '\n']).to_string());
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(ClientError::Io(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "no response datagram",
+        )))
+    }
+
+    /// Validates a map qualifier. Unlike the TCP client there is no
+    /// negotiation to check — datagrams always parse at v2.
+    fn check_map(map: Option<&str>) -> Result<String, ClientError> {
+        match map {
+            None => Ok(String::new()),
+            Some(name) if valid_map_name(name) => Ok(format!("@{name} ")),
+            Some(name) => Err(ClientError::InvalidQuery(format!(
+                "map name `{name}` cannot be framed on the wire"
+            ))),
+        }
+    }
+
+    /// `QUERY host [user]` over one datagram; answers exactly like
+    /// [`Client::query`].
+    pub fn query(&mut self, host: &str, user: Option<&str>) -> QueryResult {
+        self.query_on(None, host, user)
+    }
+
+    /// [`UdpClient::query`] against a named map namespace.
+    pub fn query_on(&mut self, map: Option<&str>, host: &str, user: Option<&str>) -> QueryResult {
+        if host.starts_with('@') {
+            return Err(ClientError::InvalidQuery(format!(
+                "host `{host}` cannot be framed (a leading `@` marks a map qualifier)"
+            )));
+        }
+        let qualifier = Self::check_map(map)?;
+        let request = match user {
+            Some(u) => format!("QUERY {qualifier}{host} {u}"),
+            None => format!("QUERY {qualifier}{host}"),
+        };
+        let line = self.send(&request)?;
+        Client::parse_query_response(&line)
+    }
+
+    /// `PATH src dst` over one datagram; answers exactly like
+    /// [`Client::path`].
+    pub fn path(&mut self, src: &str, dst: &str) -> Result<Option<PathInfo>, ClientError> {
+        self.path_on(None, src, dst)
+    }
+
+    /// [`UdpClient::path`] against a named map namespace.
+    pub fn path_on(
+        &mut self,
+        map: Option<&str>,
+        src: &str,
+        dst: &str,
+    ) -> Result<Option<PathInfo>, ClientError> {
+        if src == "*" {
+            return Err(ClientError::InvalidQuery(
+                "source `*` asks for the via listing — use UdpClient::via".to_string(),
+            ));
+        }
+        Client::check_path_token(src)?;
+        Client::check_path_token(dst)?;
+        let qualifier = Self::check_map(map)?;
+        let line = self.send(&format!("PATH {qualifier}{src} {dst}"))?;
+        match line.split_once(' ') {
+            Some(("200", payload)) => Client::parse_path_payload(payload).map(Some),
+            Some(("404", _)) => Ok(None),
+            Some((code @ ("400" | "500"), message)) => Err(ClientError::Server {
+                code: code.parse().expect("literal code"),
+                message: message.to_string(),
+            }),
+            _ => Err(ClientError::Protocol(format!(
+                "PATH got unexpected response `{line}`"
+            ))),
+        }
+    }
+
+    /// `PATH * dst` over one datagram; answers exactly like
+    /// [`Client::via`].
+    pub fn via(&mut self, dst: &str) -> Result<Option<Vec<(String, u64)>>, ClientError> {
+        self.via_on(None, dst)
+    }
+
+    /// [`UdpClient::via`] against a named map namespace.
+    pub fn via_on(
+        &mut self,
+        map: Option<&str>,
+        dst: &str,
+    ) -> Result<Option<Vec<(String, u64)>>, ClientError> {
+        Client::check_path_token(dst)?;
+        let qualifier = Self::check_map(map)?;
+        let line = self.send(&format!("PATH {qualifier}* {dst}"))?;
+        match line.split_once(' ') {
+            Some(("200", payload)) => Client::parse_via_payload(payload).map(Some),
+            Some(("404", _)) => Ok(None),
+            Some((code @ ("400" | "500"), message)) => Err(ClientError::Server {
+                code: code.parse().expect("literal code"),
+                message: message.to_string(),
+            }),
+            _ => Err(ClientError::Protocol(format!(
+                "PATH got unexpected response `{line}`"
+            ))),
+        }
+    }
+
+    /// `HEALTH [@map]` over one datagram.
+    pub fn health_on(&mut self, map: Option<&str>) -> Result<String, ClientError> {
+        let qualifier = Self::check_map(map)?;
+        self.expect_200(format!("HEALTH {qualifier}").trim_end())
+    }
+
+    /// `HEALTH` over one datagram.
+    pub fn health(&mut self) -> Result<String, ClientError> {
+        self.health_on(None)
+    }
+
+    /// `STATS [@map]` over one datagram.
+    pub fn stats_on(&mut self, map: Option<&str>) -> Result<String, ClientError> {
+        let qualifier = Self::check_map(map)?;
+        self.expect_200(format!("STATS {qualifier}").trim_end())
+    }
+
+    /// `STATS` over one datagram.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        self.stats_on(None)
+    }
+
+    /// `MAPS` over one datagram → the namespaces the daemon serves.
+    pub fn maps(&mut self) -> Result<MapsInfo, ClientError> {
+        let payload = self.expect_200("MAPS")?;
+        let mut names = None;
+        let mut default = None;
+        for field in payload.split_whitespace() {
+            if let Some(list) = field.strip_prefix("maps=") {
+                names = Some(list.split(',').map(str::to_string).collect::<Vec<_>>());
+            } else if let Some(d) = field.strip_prefix("default=") {
+                default = Some(d.to_string());
+            }
+        }
+        match (names, default) {
+            (Some(names), Some(default)) => Ok(MapsInfo { names, default }),
+            _ => Err(ClientError::Protocol(format!(
+                "unexpected MAPS payload `{payload}`"
+            ))),
+        }
+    }
+
+    fn expect_200(&mut self, verb: &str) -> Result<String, ClientError> {
+        let line = self.send(verb)?;
+        match line.split_once(' ') {
+            Some(("200", payload)) => Ok(payload.to_string()),
+            Some((code @ ("400" | "404" | "500"), message)) => Err(ClientError::Server {
+                code: code.parse().expect("literal code"),
+                message: message.to_string(),
+            }),
+            _ => Err(ClientError::Protocol(format!(
+                "{verb} got unexpected response `{line}`"
+            ))),
+        }
+    }
+}

@@ -1,10 +1,13 @@
-//! The daemon: listeners, connection threads, and request dispatch.
+//! The daemon: listeners, the serving core, and request dispatch.
 //!
-//! One thread per connection, which is the right shape for this
-//! protocol: mailers hold a connection open and stream queries down
-//! it, so the thread count tracks the number of *clients*, not the
-//! query rate, and each query is a probe against an immutable
-//! snapshot — microseconds of work between blocking reads.
+//! On unix the serving core is a fixed pool of event-loop workers
+//! (the `event` module): each worker multiplexes its connections —
+//! thousands of mostly-idle mailers, in the C10K shape — over one
+//! epoll/kqueue poller, with `SO_REUSEPORT` listener shards spreading
+//! the accept load across workers and a UDP endpoint answering
+//! single-shot queries. Other platforms keep the original
+//! thread-per-connection path; the wire behaviour is byte-identical
+//! either way.
 //!
 //! The daemon serves one or more named **maps** (real sites ran many
 //! overlapping worlds: the regional UUCP map, the global map, local
@@ -27,17 +30,29 @@
 //! exit). A v1 session is byte-for-byte the PR-1 protocol.
 
 use crate::index::Cached;
-use crate::metrics::{bump, drop_one, Metrics, ServerMetrics};
-use crate::protocol::{parse_request, ProtoVersion, Request, Response, MAX_LINE};
+#[cfg(not(unix))]
+use crate::metrics::drop_one;
+use crate::metrics::{bump, Metrics, ServerMetrics};
+#[cfg(not(unix))]
+use crate::protocol::parse_request;
+#[cfg(any(not(unix), test))]
+use crate::protocol::{ProtoVersion, MAX_LINE};
+use crate::protocol::{Request, Response};
 use crate::reload::MapSource;
 use crate::telemetry::{duration_ns, render_slow_entry, MapTelemetry};
 use pathalias_mailer::{BoxedResolver, ResolveError, Resolver};
 use pathalias_router::{PointToPoint, RouteError};
 use pathalias_telemetry::{Logger, PromText, SlowEntry};
-use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io;
+#[cfg(any(not(unix), test))]
+use std::io::{BufRead, BufReader};
+#[cfg(not(unix))]
+use std::io::{BufWriter, Read, Write};
+#[cfg(not(unix))]
+use std::net::TcpStream;
+use std::net::{SocketAddr, TcpListener};
 #[cfg(unix)]
-use std::os::unix::net::{UnixListener, UnixStream};
+use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -46,6 +61,7 @@ use std::time::{Duration, Instant};
 
 /// How often an idle connection thread wakes to check for shutdown.
 /// Bounds how long a drain waits on a completely quiet connection.
+#[cfg(not(unix))]
 const IDLE_POLL: Duration = Duration::from_millis(200);
 
 /// The namespace a single-source config serves under.
@@ -72,6 +88,12 @@ pub struct ServerConfig {
     pub tcp: Option<String>,
     /// Unix socket path. `None` disables the Unix listener.
     pub unix: Option<PathBuf>,
+    /// UDP listen address for single-shot datagram queries (port 0 =
+    /// ephemeral). `None` disables the UDP endpoint. Unix only.
+    pub udp: Option<String>,
+    /// Event-loop worker threads (unix only). `None` means one per
+    /// core, capped at 8.
+    pub workers: Option<usize>,
     /// Total entries across one map's lookup-cache shards (each map
     /// gets its own cache of this size).
     pub cache_capacity: usize,
@@ -109,6 +131,8 @@ impl ServerConfig {
             default_map: None,
             tcp: Some("127.0.0.1:0".to_string()),
             unix: None,
+            udp: None,
+            workers: None,
             cache_capacity: 4096,
             cache_capacities: Vec::new(),
             cache_shards: 8,
@@ -153,24 +177,32 @@ pub(crate) struct State {
     maps: Vec<Arc<MapState>>,
     /// Index into `maps` of the default namespace.
     default_map: usize,
-    server_metrics: Arc<ServerMetrics>,
+    pub(crate) server_metrics: Arc<ServerMetrics>,
     /// Structured logger shared by every daemon thread.
-    logger: Logger,
+    pub(crate) logger: Logger,
     /// Source of per-connection ids for log correlation.
-    next_conn_id: AtomicU64,
+    pub(crate) next_conn_id: AtomicU64,
     shutting_down: AtomicBool,
-    /// Where to poke throwaway connections to wake blocking accepts
-    /// (filled in by `Server::start` once the listeners are bound).
-    wake_tcp: Mutex<Option<SocketAddr>>,
+    /// The event-loop workers' shared handles: per-worker gauges for
+    /// `METRICS` and the wake pipes a shutdown pokes (filled in by
+    /// `Server::start` before the workers spawn).
     #[cfg(unix)]
-    wake_unix: Mutex<Option<PathBuf>>,
+    workers: Mutex<Vec<Arc<crate::event::WorkerShared>>>,
+    /// Where to poke a throwaway connection to wake the blocking
+    /// accept loop (filled in by `Server::start` once bound).
+    #[cfg(not(unix))]
+    wake_tcp: Mutex<Option<SocketAddr>>,
 }
 
 impl State {
+    /// Whether a shutdown or drain has begun.
+    pub(crate) fn shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
     /// The namespace a request targets: the default map when
     /// unqualified, else a lookup by name. The map count is a handful,
     /// so a linear scan beats a hash map here.
-    fn map_named(&self, name: Option<&str>) -> Result<&Arc<MapState>, Response> {
+    pub(crate) fn map_named(&self, name: Option<&str>) -> Result<&Arc<MapState>, Response> {
         match name {
             None => Ok(&self.maps[self.default_map]),
             Some(n) => self
@@ -245,7 +277,7 @@ impl State {
     /// Handles one parsed request, producing the ordered response
     /// lines (one for most verbs, N for `MQUERY`). Protocol-level;
     /// transport-agnostic.
-    fn respond(self: &Arc<Self>, req: Request) -> Vec<Response> {
+    pub(crate) fn respond(self: &Arc<Self>, req: Request) -> Vec<Response> {
         match req {
             Request::Query { map, host, user } => {
                 let map = match self.map_named(map.as_deref()) {
@@ -425,7 +457,7 @@ impl State {
     /// serving the old snapshot throughout, and other maps are
     /// untouched. `wire_name` is echoed in the response for qualified
     /// requests.
-    fn reload(self: &Arc<Self>, map: &MapState, wire_name: Option<String>) -> Response {
+    pub(crate) fn reload(self: &Arc<Self>, map: &MapState, wire_name: Option<String>) -> Response {
         let _guard = map.reload_lock.lock().expect("reload lock poisoned");
         let start = Instant::now();
         match map.source.load_serving_timed() {
@@ -512,6 +544,54 @@ impl State {
             &[],
             load(&self.server_metrics.active_connections),
         );
+        // Per-worker series from the event-loop core. Absent when no
+        // workers run (unit-test states, non-unix platforms), so the
+        // exposition elsewhere is unchanged.
+        #[cfg(unix)]
+        {
+            let workers = self.workers.lock().expect("workers lock poisoned").clone();
+            if !workers.is_empty() {
+                out.family(
+                    "pathalias_connections_open",
+                    "gauge",
+                    "Connections currently owned by each event-loop worker.",
+                );
+                for (i, w) in workers.iter().enumerate() {
+                    let worker = i.to_string();
+                    out.sample(
+                        "pathalias_connections_open",
+                        &[("worker", &worker)],
+                        load(&w.open_connections),
+                    );
+                }
+                out.family(
+                    "pathalias_worker_pending_events",
+                    "gauge",
+                    "Readiness events delivered by each worker's most recent poll.",
+                );
+                for (i, w) in workers.iter().enumerate() {
+                    let worker = i.to_string();
+                    out.sample(
+                        "pathalias_worker_pending_events",
+                        &[("worker", &worker)],
+                        load(&w.pending_events),
+                    );
+                }
+                out.family(
+                    "pathalias_udp_datagrams_total",
+                    "counter",
+                    "UDP request datagrams answered by each worker.",
+                );
+                for (i, w) in workers.iter().enumerate() {
+                    let worker = i.to_string();
+                    out.sample(
+                        "pathalias_udp_datagrams_total",
+                        &[("worker", &worker)],
+                        load(&w.udp_datagrams),
+                    );
+                }
+            }
+        }
         out.family(
             "pathalias_uptime_seconds",
             "gauge",
@@ -675,19 +755,20 @@ impl State {
         out.finish()
     }
 
-    /// Flags shutdown and wakes the blocking accept loops so they can
-    /// observe it. Idempotent; callable from any connection thread
-    /// (the `SHUTDOWN` verb) or from the handle.
+    /// Flags shutdown and wakes the serving loops so they can observe
+    /// it. Idempotent; callable from any serving thread (the
+    /// `SHUTDOWN` verb) or from the handle.
     fn begin_shutdown(&self) {
         if !self.shutting_down.swap(true, Ordering::SeqCst) {
             self.logger.info("shutdown").emit();
         }
+        #[cfg(unix)]
+        for worker in self.workers.lock().expect("workers lock poisoned").iter() {
+            worker.wake_up();
+        }
+        #[cfg(not(unix))]
         if let Some(addr) = *self.wake_tcp.lock().expect("wake lock poisoned") {
             let _ = TcpStream::connect(addr);
-        }
-        #[cfg(unix)]
-        if let Some(path) = self.wake_unix.lock().expect("wake lock poisoned").clone() {
-            let _ = UnixStream::connect(path);
         }
     }
 }
@@ -703,6 +784,7 @@ fn outcome_of(resp: &Response) -> &'static str {
 }
 
 /// How one attempt to read a line ended.
+#[cfg(any(not(unix), test))]
 #[derive(Debug)]
 enum LineRead {
     /// A complete line was delivered.
@@ -720,6 +802,7 @@ enum LineRead {
 /// timeouts), so a slow sender is never corrupted by the shutdown
 /// poll. `Err` with `InvalidData` means the peer sent an over-long
 /// line.
+#[cfg(any(not(unix), test))]
 fn read_bounded_line(
     reader: &mut impl BufRead,
     partial: &mut Vec<u8>,
@@ -773,7 +856,8 @@ fn read_bounded_line(
 }
 
 /// Streams that can be split into an independent reader and writer —
-/// the shape both `TcpStream` and `UnixStream` share.
+/// the shape blocking connection threads need.
+#[cfg(not(unix))]
 pub(crate) trait SplitStream: Read + Write + Send + Sized + 'static {
     /// A second handle to the same underlying socket.
     fn split(&self) -> io::Result<Self>;
@@ -781,6 +865,7 @@ pub(crate) trait SplitStream: Read + Write + Send + Sized + 'static {
     fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
 }
 
+#[cfg(not(unix))]
 impl SplitStream for TcpStream {
     fn split(&self) -> io::Result<TcpStream> {
         self.try_clone()
@@ -790,20 +875,11 @@ impl SplitStream for TcpStream {
     }
 }
 
-#[cfg(unix)]
-impl SplitStream for UnixStream {
-    fn split(&self) -> io::Result<UnixStream> {
-        self.try_clone()
-    }
-    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
-        UnixStream::set_read_timeout(self, timeout)
-    }
-}
-
 /// Serves one connection until QUIT, EOF, error, or shutdown. The
 /// reader is buffered across requests, so pipelined lines are never
 /// dropped; responses for one request line (one for most verbs, N for
 /// `MQUERY`) are written together and flushed once.
+#[cfg(not(unix))]
 fn serve_connection(state: Arc<State>, stream: impl SplitStream, conn_id: u64) -> io::Result<()> {
     // Bounded reads let an idle connection notice a drain without a
     // request arriving; partial request bytes survive the poll.
@@ -880,6 +956,7 @@ pub struct ServerHandle {
     state: Arc<State>,
     tcp_addr: Option<SocketAddr>,
     unix_path: Option<PathBuf>,
+    udp_addr: Option<SocketAddr>,
     accept_threads: Vec<JoinHandle<()>>,
 }
 
@@ -971,58 +1048,155 @@ impl Server {
             logger,
             next_conn_id: AtomicU64::new(1),
             shutting_down: AtomicBool::new(false),
-            wake_tcp: Mutex::new(None),
             #[cfg(unix)]
-            wake_unix: Mutex::new(None),
+            workers: Mutex::new(Vec::new()),
+            #[cfg(not(unix))]
+            wake_tcp: Mutex::new(None),
         });
 
         let mut accept_threads = Vec::new();
         let mut tcp_addr = None;
-        if let Some(addr) = &config.tcp {
-            let listener = TcpListener::bind(addr.as_str()).map_err(StartError::Bind)?;
-            let bound = listener.local_addr().map_err(StartError::Bind)?;
-            tcp_addr = Some(bound);
-            *state.wake_tcp.lock().expect("wake lock poisoned") = Some(bound);
-            state
-                .logger
-                .info("listening")
-                .field("transport", "tcp")
-                .field("addr", bound)
-                .emit();
-            let state = state.clone();
-            accept_threads.push(std::thread::spawn(move || accept_tcp(state, listener)));
-        }
-
         let mut unix_path = None;
+        let mut udp_addr = None;
+
         #[cfg(unix)]
-        if let Some(path) = &config.unix {
-            // A previous daemon's socket file would make bind fail.
-            let _ = std::fs::remove_file(path);
-            let listener = UnixListener::bind(path).map_err(StartError::Bind)?;
-            unix_path = Some(path.clone());
-            *state.wake_unix.lock().expect("wake lock poisoned") = Some(path.clone());
-            state
-                .logger
-                .info("listening")
-                .field("transport", "unix")
-                .field("path", path.display())
-                .emit();
-            let state = state.clone();
-            accept_threads.push(std::thread::spawn(move || accept_unix(state, listener)));
-        }
-        #[cfg(not(unix))]
-        if config.unix.is_some() {
-            return Err(StartError::Bind(io::Error::new(
-                io::ErrorKind::Unsupported,
-                "unix sockets are not available on this platform",
-            )));
+        {
+            use std::os::unix::net::UnixStream;
+
+            let workers_n = config
+                .workers
+                .unwrap_or_else(crate::event::default_workers)
+                .max(1);
+
+            // Serving more connections than the default fd soft limit
+            // allows is the whole point; raise it while we can.
+            let _ = pathalias_poll::raise_nofile_limit(65536);
+
+            let mut tcp_listeners: Vec<Option<TcpListener>> = Vec::new();
+            let mut distribute_tcp = false;
+            if let Some(addr) = &config.tcp {
+                let (listeners, bound, sharded) =
+                    crate::event::bind_tcp(addr, workers_n).map_err(StartError::Bind)?;
+                tcp_listeners = listeners;
+                // Without SO_REUSEPORT shards, worker 0 accepts alone
+                // and deals connections round-robin to the pool.
+                distribute_tcp = !sharded;
+                tcp_addr = Some(bound);
+                state
+                    .logger
+                    .info("listening")
+                    .field("transport", "tcp")
+                    .field("addr", bound)
+                    .field("shards", if sharded { workers_n } else { 1 })
+                    .emit();
+            }
+
+            let mut udp_socks: Vec<Option<std::net::UdpSocket>> = Vec::new();
+            if let Some(addr) = &config.udp {
+                let (socks, bound) =
+                    crate::event::bind_udp(addr, workers_n).map_err(StartError::Bind)?;
+                udp_socks = socks;
+                udp_addr = Some(bound);
+                state
+                    .logger
+                    .info("listening")
+                    .field("transport", "udp")
+                    .field("addr", bound)
+                    .emit();
+            }
+
+            let mut unix_listener = None;
+            if let Some(path) = &config.unix {
+                // A previous daemon's socket file would make bind fail.
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path).map_err(StartError::Bind)?;
+                unix_path = Some(path.clone());
+                state
+                    .logger
+                    .info("listening")
+                    .field("transport", "unix")
+                    .field("path", path.display())
+                    .emit();
+                unix_listener = Some(listener);
+            }
+
+            if tcp_addr.is_none() && unix_path.is_none() && udp_addr.is_none() {
+                return Err(StartError::Bind(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "no listener configured (need tcp, udp and/or unix)",
+                )));
+            }
+
+            // One self-pipe per worker: shutdown, reload completions,
+            // and connection handoffs all wake the loop through it.
+            let mut shareds = Vec::with_capacity(workers_n);
+            let mut wake_reads = Vec::with_capacity(workers_n);
+            for _ in 0..workers_n {
+                let (read_end, write_end) = UnixStream::pair().map_err(StartError::Bind)?;
+                write_end.set_nonblocking(true).map_err(StartError::Bind)?;
+                shareds.push(Arc::new(crate::event::WorkerShared::new(write_end)));
+                wake_reads.push(read_end);
+            }
+            // Registered before any worker runs, so SHUTDOWN handled
+            // by the first worker can already wake all of them.
+            *state.workers.lock().expect("workers lock poisoned") = shareds.clone();
+
+            for (index, wake_read) in wake_reads.into_iter().enumerate() {
+                let setup = crate::event::WorkerSetup {
+                    index,
+                    shared: shareds[index].clone(),
+                    all: shareds.clone(),
+                    tcp: tcp_listeners.get_mut(index).and_then(Option::take),
+                    unix: if index == 0 {
+                        unix_listener.take()
+                    } else {
+                        None
+                    },
+                    udp: udp_socks.get_mut(index).and_then(Option::take),
+                    wake_read,
+                    distribute_tcp,
+                };
+                let state = state.clone();
+                accept_threads.push(std::thread::spawn(move || {
+                    crate::event::run_worker(state, setup)
+                }));
+            }
         }
 
-        if tcp_addr.is_none() && unix_path.is_none() {
-            return Err(StartError::Bind(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                "no listener configured (need tcp and/or unix)",
-            )));
+        #[cfg(not(unix))]
+        {
+            if config.unix.is_some() {
+                return Err(StartError::Bind(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "unix sockets are not available on this platform",
+                )));
+            }
+            if config.udp.is_some() {
+                return Err(StartError::Bind(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "the udp endpoint wants the unix event loop",
+                )));
+            }
+            if let Some(addr) = &config.tcp {
+                let listener = TcpListener::bind(addr.as_str()).map_err(StartError::Bind)?;
+                let bound = listener.local_addr().map_err(StartError::Bind)?;
+                tcp_addr = Some(bound);
+                *state.wake_tcp.lock().expect("wake lock poisoned") = Some(bound);
+                state
+                    .logger
+                    .info("listening")
+                    .field("transport", "tcp")
+                    .field("addr", bound)
+                    .emit();
+                let state = state.clone();
+                accept_threads.push(std::thread::spawn(move || accept_tcp(state, listener)));
+            }
+            if tcp_addr.is_none() {
+                return Err(StartError::Bind(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "no listener configured (need tcp, udp and/or unix)",
+                )));
+            }
         }
 
         if let Some(interval) = config.watch {
@@ -1037,11 +1211,13 @@ impl Server {
             state,
             tcp_addr,
             unix_path,
+            udp_addr,
             accept_threads,
         })
     }
 }
 
+#[cfg(not(unix))]
 fn accept_tcp(state: Arc<State>, listener: TcpListener) {
     for stream in listener.incoming() {
         if state.shutting_down.load(Ordering::SeqCst) {
@@ -1055,19 +1231,6 @@ fn accept_tcp(state: Arc<State>, listener: TcpListener) {
                 let _ = stream.set_nodelay(true);
                 spawn_connection(state.clone(), stream);
             }
-            Err(_) => continue,
-        }
-    }
-}
-
-#[cfg(unix)]
-fn accept_unix(state: Arc<State>, listener: UnixListener) {
-    for stream in listener.incoming() {
-        if state.shutting_down.load(Ordering::SeqCst) {
-            return;
-        }
-        match stream {
-            Ok(stream) => spawn_connection(state.clone(), stream),
             Err(_) => continue,
         }
     }
@@ -1126,6 +1289,7 @@ fn watch_sources(
     }
 }
 
+#[cfg(not(unix))]
 fn spawn_connection(state: Arc<State>, stream: impl SplitStream) {
     bump(&state.server_metrics.connections);
     bump(&state.server_metrics.active_connections);
@@ -1186,6 +1350,11 @@ impl ServerHandle {
     /// The bound Unix socket path.
     pub fn unix_path(&self) -> Option<&PathBuf> {
         self.unix_path.as_ref()
+    }
+
+    /// The bound UDP address (the actual port when 0 was requested).
+    pub fn udp_addr(&self) -> Option<SocketAddr> {
+        self.udp_addr
     }
 
     /// The default map's serving generation and entry count, for
@@ -1296,7 +1465,7 @@ impl ServerHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Cursor;
+    use std::io::{Cursor, Read};
 
     fn temp_routes(tag: &str, text: &str) -> PathBuf {
         let path = std::env::temp_dir().join(format!(
@@ -1345,9 +1514,10 @@ mod tests {
             logger: Logger::capture(pathalias_telemetry::Level::Debug).0,
             next_conn_id: AtomicU64::new(1),
             shutting_down: AtomicBool::new(false),
-            wake_tcp: Mutex::new(None),
             #[cfg(unix)]
-            wake_unix: Mutex::new(None),
+            workers: Mutex::new(Vec::new()),
+            #[cfg(not(unix))]
+            wake_tcp: Mutex::new(None),
         })
     }
 

@@ -22,8 +22,10 @@
 //! * [`reload`] — the table sources (PADB1 in-memory or in-place,
 //!   linear route file, full map pipeline) and multi-source
 //!   validation of rebuilt maps;
-//! * [`daemon`] — TCP and Unix-socket listeners, a thread per client
-//!   connection, graceful [`drain`](ServerHandle::drain), and
+//! * [`daemon`] — TCP, Unix-socket, and UDP endpoints served by a
+//!   fixed pool of epoll/kqueue event-loop workers (`SO_REUSEPORT`
+//!   shards the accept load; non-unix platforms fall back to a thread
+//!   per connection), graceful [`drain`](ServerHandle::drain), and
 //!   **sharded multi-map serving**: one daemon holds N named maps
 //!   (`--map-set`), each with its own snapshot, cache, counters, and
 //!   independent hot reload — unqualified requests go to the default
@@ -72,6 +74,8 @@
 pub mod cache;
 pub mod client;
 pub mod daemon;
+#[cfg(unix)]
+mod event;
 pub mod index;
 pub mod metrics;
 pub mod protocol;
@@ -79,7 +83,7 @@ pub mod reload;
 pub mod telemetry;
 
 pub use cache::{CachedHit, ShardStats, ShardedCache};
-pub use client::{Client, ClientError, MapsInfo, PathInfo, QueryResult};
+pub use client::{Client, ClientError, MapsInfo, PathInfo, QueryResult, UdpClient};
 pub use daemon::{
     valid_map_name, Server, ServerConfig, ServerHandle, StartError, DEFAULT_MAP_NAME,
 };

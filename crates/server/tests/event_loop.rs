@@ -1,0 +1,239 @@
+//! Event-loop behavior that the byte-identical replay suites can't
+//! see: adversarial clients (byte dribblers, slow readers), the UDP
+//! datagram endpoint's parity with TCP, and the per-worker gauges.
+#![cfg(unix)]
+
+use pathalias_server::{Client, MapSource, Server, ServerConfig, ServerHandle, UdpClient};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, UdpSocket};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn temp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "pathalias-evloop-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+/// A single-worker daemon serving one tiny routes table — every
+/// connection lands on the same event loop, so anything that blocks
+/// the loop visibly blocks the other clients.
+fn single_worker(tag: &str, udp: bool) -> (ServerHandle, PathBuf) {
+    let path = temp(tag);
+    std::fs::write(&path, "seismo\tseismo!%s\n.edu\tseismo!%s\n").unwrap();
+    let mut config = ServerConfig::ephemeral(MapSource::Routes(path.clone()));
+    config.workers = Some(1);
+    if udp {
+        config.udp = Some("127.0.0.1:0".to_string());
+    }
+    let handle = Server::start(config).expect("server starts");
+    (handle, path)
+}
+
+#[test]
+fn dribbled_bytes_frame_correctly() {
+    // A client that writes one byte at a time must still get complete,
+    // correctly framed responses: the nonblocking read path has to
+    // buffer partial lines across many readiness events.
+    let (handle, path) = single_worker("dribble.routes", false);
+    let addr = handle.tcp_addr().unwrap();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let script = "PROTO 2\nQUERY seismo rick\nMQUERY x.mit.edu:minsky nowhere\n";
+    for byte in script.as_bytes() {
+        stream.write_all(std::slice::from_ref(byte)).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    let next = |reader: &mut BufReader<TcpStream>, line: &mut String| {
+        line.clear();
+        reader.read_line(line).unwrap();
+        line.trim_end().to_string()
+    };
+    assert_eq!(next(&mut reader, &mut line), "200 proto=2");
+    assert_eq!(next(&mut reader, &mut line), "200 seismo!rick");
+    assert_eq!(next(&mut reader, &mut line), "200 seismo!x.mit.edu!minsky");
+    assert_eq!(next(&mut reader, &mut line), "404 no route to nowhere");
+
+    // A final request with no trailing newline, then EOF: the daemon
+    // must still serve that last line (legacy parity) and close.
+    stream.write_all(b"QUERY seismo honey").unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    assert_eq!(next(&mut reader, &mut line), "200 seismo!honey");
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0, "clean EOF");
+
+    handle.shutdown();
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn slow_reader_mid_metrics_does_not_stall_the_worker() {
+    // One connection pipelines hundreds of METRICS requests and then
+    // refuses to read. The write buffer must absorb the pile-up (and
+    // backpressure must stop further parsing) WITHOUT blocking the
+    // worker — a second connection on the same single-worker loop has
+    // to keep getting answers. When the slow reader finally drains,
+    // every response must still be perfectly framed.
+    const PILED: usize = 500;
+    let (handle, path) = single_worker("slowread.routes", false);
+    let addr = handle.tcp_addr().unwrap();
+
+    let mut slow = TcpStream::connect(addr).unwrap();
+    slow.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut script = String::from("PROTO 2\n");
+    for _ in 0..PILED {
+        script.push_str("METRICS\n");
+    }
+    slow.write_all(script.as_bytes()).unwrap();
+
+    // Let the worker chew on the pile until the un-read responses jam
+    // its write buffer, then prove the loop is still alive.
+    std::thread::sleep(Duration::from_millis(150));
+    let mut live = Client::connect(addr).expect("second client connects");
+    for i in 0..50 {
+        assert_eq!(
+            live.query("seismo", Some("rick")).unwrap().unwrap(),
+            "seismo!rick",
+            "query {i} while the slow reader jams the loop"
+        );
+    }
+    live.quit().unwrap();
+
+    // Now drain: one PROTO ack, then 500 multi-line METRICS responses,
+    // each a `200 metrics lines=N` header followed by exactly N lines.
+    let mut reader = BufReader::new(slow.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "200 proto=2");
+    for batch in 0..PILED {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let count: usize = line
+            .trim_end()
+            .strip_prefix("200 metrics lines=")
+            .unwrap_or_else(|| panic!("batch {batch}: bad header `{}`", line.trim_end()))
+            .parse()
+            .unwrap();
+        assert!(count > 0, "batch {batch}: empty exposition");
+        for _ in 0..count {
+            line.clear();
+            assert!(
+                reader.read_line(&mut line).unwrap() > 0,
+                "batch {batch}: truncated payload"
+            );
+        }
+    }
+    slow.write_all(b"QUIT\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "200 bye");
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0, "clean EOF");
+
+    handle.shutdown();
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn udp_answers_match_tcp_byte_for_byte() {
+    let (handle, path) = single_worker("udp-parity.routes", true);
+    let tcp_addr = handle.tcp_addr().unwrap();
+    let udp_addr = handle.udp_addr().expect("udp endpoint bound");
+
+    let mut tcp = Client::connect(tcp_addr).unwrap();
+    assert!(tcp.send("PROTO 2").unwrap().starts_with("200 "));
+    let udp = UdpSocket::bind("127.0.0.1:0").unwrap();
+    udp.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    udp.connect(udp_addr).unwrap();
+
+    // Every single-line verb the datagram endpoint serves, plus parse
+    // errors: the reply must equal the TCP reply byte for byte.
+    let mut buf = [0u8; 65536];
+    for request in [
+        "QUERY seismo rick",
+        "QUERY caip.rutgers.edu pleasant",
+        "QUERY no.such.host",
+        "PATH seismo seismo",
+        "HEALTH",
+        "MAPS",
+        "QUERY",
+        "QUERY a b c",
+        "EHLO mail.example",
+    ] {
+        let over_tcp = tcp.send(request).unwrap();
+        udp.send(format!("{request}\n").as_bytes()).unwrap();
+        let n = udp.recv(&mut buf).unwrap();
+        let over_udp = String::from_utf8_lossy(&buf[..n]);
+        assert_eq!(
+            over_udp.strip_suffix('\n').unwrap_or(&over_udp),
+            over_tcp,
+            "transports diverge on `{request}`"
+        );
+    }
+
+    // Connection-oriented verbs have no meaning in a datagram.
+    for verb in ["RELOAD", "METRICS", "QUIT", "SHUTDOWN"] {
+        udp.send(format!("{verb}\n").as_bytes()).unwrap();
+        let n = udp.recv(&mut buf).unwrap();
+        assert_eq!(
+            String::from_utf8_lossy(&buf[..n]),
+            format!("400 {verb} unavailable over udp\n")
+        );
+    }
+
+    // The typed UDP client agrees with the typed TCP client.
+    let mut dgram = UdpClient::connect(udp_addr).unwrap();
+    assert_eq!(
+        dgram.query("x.mit.edu", Some("minsky")).unwrap().unwrap(),
+        tcp.query("x.mit.edu", Some("minsky")).unwrap().unwrap(),
+    );
+    assert_eq!(dgram.query("nowhere", None).unwrap(), None);
+    assert!(dgram.health().unwrap().contains("entries=2"));
+
+    tcp.quit().unwrap();
+    handle.shutdown();
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn metrics_expose_per_worker_gauges() {
+    let (handle, path) = single_worker("gauges.routes", true);
+    let addr = handle.tcp_addr().unwrap();
+
+    // A UDP datagram first, so the datagram counter has something on it.
+    let mut dgram = UdpClient::connect(handle.udp_addr().unwrap()).unwrap();
+    assert_eq!(
+        dgram.query("seismo", Some("rick")).unwrap().unwrap(),
+        "seismo!rick"
+    );
+
+    let mut client = Client::connect(addr).unwrap();
+    let text = client.metrics().unwrap();
+    let gauge = |name: &str| -> u64 {
+        text.lines()
+            .filter_map(|l| l.strip_prefix(&format!("{name}{{worker=\"0\"}} ")))
+            .map(|v| v.trim().parse::<u64>().unwrap())
+            .next()
+            .unwrap_or_else(|| panic!("missing {name} worker series in:\n{text}"))
+    };
+    assert!(
+        gauge("pathalias_connections_open") >= 1,
+        "the scraping connection itself is open"
+    );
+    let _ = gauge("pathalias_worker_pending_events");
+    assert!(gauge("pathalias_udp_datagrams_total") >= 1);
+
+    client.quit().unwrap();
+    handle.shutdown();
+    std::fs::remove_file(path).unwrap();
+}
