@@ -339,6 +339,24 @@ fn bench_path(c: &mut Criterion) {
         });
     });
 
+    // The contraction-hierarchy tier on the same pair rotation (the
+    // acceptance bar: CH beats path-in-memory). Built fresh here the
+    // way `serve` rebuilds it over an augmented graph; freeze-time
+    // sections skip this one-time cost at startup, not per query.
+    let ch_engine = PointToPoint::with_fresh_hierarchy(aug.clone(), options.cost_model);
+    assert!(
+        ch_engine.hierarchy().is_some(),
+        "paper-scale world must yield a hierarchy"
+    );
+    let mut i = 0usize;
+    group.bench_function("path-ch", |b| {
+        b.iter(|| {
+            let (src, dst) = pairs[i % pairs.len()];
+            i = i.wrapping_add(1);
+            black_box(ch_engine.route_ids(src, dst).unwrap())
+        });
+    });
+
     // The verb over loopback TCP: one `PATH src dst` per round trip,
     // against a daemon serving this same world — socket framing plus
     // name resolution plus the search.

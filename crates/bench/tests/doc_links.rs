@@ -1,0 +1,149 @@
+//! Validates the repo's markdown cross-references.
+//!
+//! The docs satellite grew real internal links (README ↔
+//! `docs/ARCHITECTURE.md` ↔ `docs/FORMATS.md`, plus pointers into the
+//! source tree); a rename or move must fail CI rather than quietly
+//! strand a reader. This checks every *relative* link target in the
+//! tracked markdown files — external URLs are out of scope (CI runs
+//! offline) and intra-file `#fragment` anchors are checked against the
+//! target file's headings.
+
+use std::path::{Path, PathBuf};
+
+/// Repo root, two levels up from this crate's manifest.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+/// The markdown files whose links we guarantee. Deliberately a fixed
+/// list: these are the documents that promise navigation.
+const DOCS: &[&str] = &[
+    "README.md",
+    "docs/ARCHITECTURE.md",
+    "docs/FORMATS.md",
+    "ROADMAP.md",
+];
+
+/// Extracts `](target)` link targets from one markdown text, skipping
+/// fenced code blocks (format examples contain bracketed text that is
+/// not a link).
+fn link_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(i) = rest.find("](") {
+            let after = &rest[i + 2..];
+            let Some(end) = after.find(')') else { break };
+            out.push(after[..end].trim().to_string());
+            rest = &after[end + 1..];
+        }
+    }
+    out
+}
+
+/// GitHub's heading-to-anchor slug: lowercase, spaces to dashes,
+/// punctuation dropped (backticks included; `--flags` keep dashes).
+fn slug(heading: &str) -> String {
+    heading
+        .trim()
+        .chars()
+        .filter_map(|c| match c {
+            ' ' => Some('-'),
+            '-' => Some('-'),
+            c if c.is_alphanumeric() => Some(c.to_ascii_lowercase()),
+            _ => None,
+        })
+        .collect()
+}
+
+fn anchors_of(text: &str) -> Vec<String> {
+    let mut in_fence = false;
+    text.lines()
+        .filter(|line| {
+            if line.trim_start().starts_with("```") {
+                in_fence = !in_fence;
+                return false;
+            }
+            !in_fence && line.starts_with('#')
+        })
+        .map(|line| slug(line.trim_start_matches('#')))
+        .collect()
+}
+
+#[test]
+fn relative_markdown_links_resolve() {
+    let root = repo_root();
+    let mut failures = Vec::new();
+    for doc in DOCS {
+        let doc_path = root.join(doc);
+        let text = std::fs::read_to_string(&doc_path)
+            .unwrap_or_else(|e| panic!("{doc} must exist and read: {e}"));
+        let doc_dir = doc_path.parent().expect("doc has a parent dir");
+        for target in link_targets(&text) {
+            // External and protocol links: out of scope offline.
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            let (file_part, fragment) = match target.split_once('#') {
+                Some((f, frag)) => (f, Some(frag)),
+                None => (target.as_str(), None),
+            };
+            let resolved = if file_part.is_empty() {
+                doc_path.clone()
+            } else {
+                doc_dir.join(file_part)
+            };
+            if !resolved.exists() {
+                failures.push(format!("{doc}: broken link target `{target}`"));
+                continue;
+            }
+            // Anchor check only for markdown targets (source links have
+            // no headings to check against).
+            if let Some(frag) = fragment {
+                if resolved.extension().is_some_and(|e| e == "md") {
+                    let target_text = std::fs::read_to_string(&resolved).expect("target reads");
+                    if !anchors_of(&target_text).iter().any(|a| a == frag) {
+                        failures.push(format!(
+                            "{doc}: link `{target}` names a missing anchor `#{frag}`"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "broken documentation links:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn readme_links_the_doc_set() {
+    // The README must route readers to both standalone documents —
+    // the satellite contract, pinned so a future edit cannot silently
+    // orphan them.
+    let text = std::fs::read_to_string(repo_root().join("README.md")).unwrap();
+    assert!(
+        text.contains("docs/ARCHITECTURE.md"),
+        "README must link the architecture doc"
+    );
+    assert!(
+        text.contains("docs/FORMATS.md"),
+        "README must link the formats doc"
+    );
+}

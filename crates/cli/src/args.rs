@@ -5,7 +5,7 @@
 pub const USAGE: &str = "\
 usage: pathalias [-l host] [-c] [-i] [-v] [-n] [-s] [-t host]... [file ...]
        pathalias mapgen [--hosts N] [--seed N] [--paper-scale]
-       pathalias freeze -o out.pagf [-i] [file ...]
+       pathalias freeze -o out.pagf [-i] [--ch] [file ...]
        pathalias query -d route-file destination [user]
        pathalias serve (--padb F | --routes F | --map F... | --pagf F
                         | --map-set NAME=KIND:PATHS... [--default-map NAME])
@@ -32,6 +32,9 @@ options:
 freeze (write a PAGF1 frozen-graph snapshot):
   -o F      output snapshot file (required)
   -i        ignore case in host names (baked into the snapshot)
+  --ch      also build and store the contraction-hierarchy section, so
+            a daemon serving the snapshot gets the PATH fast tier with
+            no startup work
   file ...  map files (standard input when omitted)
 
 serve (daemon mode; default listen 127.0.0.1:4175):
@@ -151,6 +154,8 @@ pub struct FreezeArgs {
     pub out: String,
     /// `-i`.
     pub ignore_case: bool,
+    /// `--ch`: build and store the contraction-hierarchy section.
+    pub ch: bool,
     /// Input map files; empty means stdin.
     pub files: Vec<String>,
 }
@@ -474,12 +479,14 @@ fn parse_mapgen(argv: &[String]) -> Result<Command, String> {
 fn parse_freeze(argv: &[String]) -> Result<Command, String> {
     let mut out: Option<String> = None;
     let mut ignore_case = false;
+    let mut ch = false;
     let mut files: Vec<String> = Vec::new();
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "-o" => out = Some(take_value("-o", &mut it)?.clone()),
             "-i" => ignore_case = true,
+            "--ch" => ch = true,
             "-h" | "--help" => return Ok(Command::Help),
             f if f.starts_with('-') && f.len() > 1 => {
                 return Err(format!("freeze: unknown flag {f}"));
@@ -491,6 +498,7 @@ fn parse_freeze(argv: &[String]) -> Result<Command, String> {
     Ok(Command::Freeze(FreezeArgs {
         out,
         ignore_case,
+        ch,
         files,
     }))
 }
@@ -943,6 +951,7 @@ mod tests {
         };
         assert_eq!(fz.out, "world.pagf");
         assert!(fz.ignore_case);
+        assert!(!fz.ch);
         assert_eq!(fz.files, vec!["a.map", "b.map"]);
 
         // Stdin mode: no files.
@@ -951,6 +960,13 @@ mod tests {
         };
         assert!(fz.files.is_empty());
         assert!(!fz.ignore_case);
+
+        // Opting into the contraction-hierarchy section.
+        let Command::Freeze(fz) = parse(&v(&["freeze", "--ch", "-o", "w.pagf", "a.map"])).unwrap()
+        else {
+            panic!("expected freeze");
+        };
+        assert!(fz.ch);
 
         // -o is required; junk flags are rejected.
         assert!(parse(&v(&["freeze", "a.map"])).is_err());

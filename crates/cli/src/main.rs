@@ -184,13 +184,22 @@ fn cmd_freeze(fz: FreezeArgs) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let frozen = built.freeze();
+    let mut frozen = built.freeze();
     for w in frozen.warnings() {
         eprintln!("pathalias: warning: {w}");
     }
     // The snapshot carries the reverse index too, so a daemon serving
     // it answers `PATH * dst` without an O(n+m) transpose on startup.
-    if let Err(e) = frozen.write_snapshot_with_reverse(&fz.out) {
+    // `--ch` additionally stores the contraction hierarchy over the
+    // default cost model's lower-bound weights, so the daemon's PATH
+    // fast tier needs no freeze-time work either.
+    if fz.ch {
+        let graph = frozen.graph().clone();
+        let weights = pathalias_router::ch_weights(&graph, &pathalias_core::CostModel::default());
+        let ch = pathalias_core::ChIndex::build(&graph, &weights);
+        frozen = frozen.with_hierarchy(std::sync::Arc::new(ch));
+    }
+    if let Err(e) = frozen.write_snapshot_all(&fz.out) {
         eprintln!("pathalias: writing {}: {e}", fz.out);
         return ExitCode::FAILURE;
     }

@@ -38,9 +38,9 @@ pub use stages::{Built, Frozen, Mapped, Parsed, Printed};
 // Re-export the component crates' vocabulary so downstream users need
 // only this crate.
 pub use pathalias_graph::{
-    dot, snapshot, stats, symbol_cost, symbol_table, unparse, Cost, Dir, EdgeId, FrozenGraph,
-    Graph, LinkFlags, NodeFlags, NodeId, ReverseGraph, RouteOp, SnapshotError, Warning,
-    DEFAULT_COST, INF,
+    dot, snapshot, stats, symbol_cost, symbol_table, unparse, ChIndex, Cost, Dir, EdgeId,
+    FrozenGraph, Graph, LinkFlags, NodeFlags, NodeId, ReverseGraph, RouteOp, SnapshotError,
+    Warning, DEFAULT_COST, INF,
 };
 pub use pathalias_mapper::{
     format_trace, map, map_dual, map_dual_frozen, map_frozen, map_frozen_quadratic_readonly,

@@ -39,7 +39,7 @@
 use crate::options::Options;
 use crate::pipeline::Error;
 use pathalias_graph::snapshot::{self, SnapshotError};
-use pathalias_graph::{FrozenGraph, Graph, NodeId, ReverseGraph, Warning};
+use pathalias_graph::{ChIndex, FrozenGraph, Graph, NodeId, ReverseGraph, Warning};
 use pathalias_mapper::{map_dual_frozen, map_frozen, DualTree, MapOptions, ShortestPathTree};
 use pathalias_parser::parse_into;
 use pathalias_printer::{compute_routes, render, PrintOptions, RouteTable};
@@ -151,6 +151,7 @@ impl Built {
         Frozen {
             graph: Arc::new(self.graph.freeze()),
             reverse: None,
+            ch: None,
             first_host: self.first_host,
             warnings: self.graph.warnings().to_vec(),
             freeze_time: t0.elapsed(),
@@ -163,6 +164,7 @@ impl Built {
 pub struct Frozen {
     graph: Arc<FrozenGraph>,
     reverse: Option<Arc<ReverseGraph>>,
+    ch: Option<Arc<ChIndex>>,
     first_host: Option<NodeId>,
     warnings: Vec<Warning>,
     /// Wall-clock time spent freezing.
@@ -181,10 +183,21 @@ impl Frozen {
         Frozen {
             graph,
             reverse: None,
+            ch: None,
             first_host,
             warnings,
             freeze_time,
         }
+    }
+
+    /// Attaches a contraction hierarchy to the stage, so it is carried
+    /// into snapshots ([`write_snapshot_all`](Frozen::write_snapshot_all))
+    /// and picked up by serving engines. The hierarchy must have been
+    /// built over this stage's graph — loaders and engines re-validate
+    /// the pairing and drop a mismatched one rather than trust it.
+    pub fn with_hierarchy(mut self, ch: Arc<ChIndex>) -> Self {
+        self.ch = Some(ch);
+        self
     }
 
     /// Re-enters the pipeline at the frozen stage from a PAGF1
@@ -194,7 +207,7 @@ impl Frozen {
     /// instead.
     pub fn from_snapshot(path: impl AsRef<Path>) -> Result<Frozen, SnapshotError> {
         let t0 = Instant::now();
-        let (graph, reverse) = snapshot::read_snapshot_full(path)?;
+        let (graph, reverse, ch) = snapshot::read_snapshot_all(path)?;
         // `Parsed::build` pins the default `-l` to the first node
         // parsing ever creates, which is node 0 of a non-empty pool;
         // node ids survive freezing and serialization, so the same
@@ -203,6 +216,7 @@ impl Frozen {
         Ok(Frozen {
             graph: Arc::new(graph),
             reverse: reverse.map(Arc::new),
+            ch: ch.map(Arc::new),
             first_host,
             warnings: Vec::new(),
             freeze_time: t0.elapsed(),
@@ -226,6 +240,21 @@ impl Frozen {
         }
     }
 
+    /// Writes the snapshot with every optional section the stage
+    /// carries: the reverse index (built here when absent) and the
+    /// contraction hierarchy when one was attached
+    /// ([`with_hierarchy`](Frozen::with_hierarchy)) or loaded
+    /// (`pathalias freeze --ch` writes this form).
+    pub fn write_snapshot_all(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        let ch = self.ch.as_deref();
+        match &self.reverse {
+            Some(rev) => snapshot::write_snapshot_all(&self.graph, Some(rev), ch, path),
+            None => {
+                snapshot::write_snapshot_all(&self.graph, Some(&self.graph.reverse()), ch, path)
+            }
+        }
+    }
+
     /// The frozen graph.
     pub fn graph(&self) -> &Arc<FrozenGraph> {
         &self.graph
@@ -236,6 +265,14 @@ impl Frozen {
     /// transpose build it themselves ([`FrozenGraph::reverse`]).
     pub fn reverse_index(&self) -> Option<&Arc<ReverseGraph>> {
         self.reverse.as_ref()
+    }
+
+    /// The contraction hierarchy, when the stage came from a snapshot
+    /// that stored one or one was attached with
+    /// [`with_hierarchy`](Frozen::with_hierarchy). `None` means the
+    /// point-to-point tier serves without the hierarchy fast path.
+    pub fn hierarchy(&self) -> Option<&Arc<ChIndex>> {
+        self.ch.as_ref()
     }
 
     /// Warnings recorded while building.

@@ -17,6 +17,9 @@
 //! * [`reverse`] — the transpose CSR ([`FrozenGraph::reverse`])
 //!   point-to-point search runs its backward side over, optionally
 //!   persisted as a PAGF1 section;
+//! * [`ch`] — the contraction hierarchy ([`ChIndex`]) built at freeze
+//!   time over a lower-bound edge metric, the shortcut graph behind the
+//!   fast `PATH` tier, also persisted as an optional PAGF1 section;
 //! * [`Node`] / [`Link`] with [`NodeFlags`] / [`LinkFlags`];
 //! * networks as single nodes with paired member edges (the "clique as
 //!   star" representation that avoids the ARPANET's "millions of
@@ -44,9 +47,10 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod boxed;
+pub mod ch;
 mod cost;
 mod diag;
 pub mod dot;
@@ -61,6 +65,7 @@ pub mod snapshot;
 pub mod stats;
 pub mod unparse;
 
+pub use ch::{ChEdge, ChIndex};
 pub use cost::{symbol_cost, symbol_table, Cost, DEFAULT_COST, INF};
 pub use diag::Warning;
 pub use flags::{LinkFlags, NodeFlags};

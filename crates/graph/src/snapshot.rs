@@ -57,12 +57,36 @@
 //!                   each row)
 //! ```
 //!
+//! With section-flag bit 1 set, the optional **contraction
+//! hierarchy** section follows (after the reverse section when both
+//! are present; see [`ChIndex`], written by `pathalias freeze --ch`).
+//! Its edge counts live in the section itself, so the reader first
+//! bounds-checks the 8-byte count prefix against the file length and
+//! only then extends the exact-length equation:
+//!
+//! ```text
+//! ...    4          upward edge count `up` (u32)
+//! ...    4          downward edge count `down` (u32)
+//! ...    n*4        contraction rank per node (a permutation)
+//! ...    (n+1)*4    upward CSR row starts by tail (monotone)
+//! ...    up*4       upward edge heads
+//! ...    up*8       upward edge weights (lower-bound metric)
+//! ...    up*4       upward first child slots
+//! ...    up*4       upward second child slots
+//! ...    (n+1)*4    downward CSR row starts by head (monotone)
+//! ...    down*4     downward edge tails
+//! ...    down*8     downward edge weights
+//! ...    down*4     downward first child slots
+//! ...    down*4     downward second child slots
+//! ```
+//!
 //! The section-flags word was reserved-as-zero in the original PAGF1
 //! release, which is what makes the extension version-tolerant in both
-//! directions: files written before the reverse section existed carry
-//! zero and still load (the reverse side is rebuilt on the fly), while
-//! a file using a section this reader does not know about is rejected
-//! as corrupt instead of being silently misparsed.
+//! directions: files written before the reverse or hierarchy sections
+//! existed carry zero and still load (derived data is rebuilt or
+//! skipped), while a file using a section this reader does not know
+//! about is rejected as corrupt instead of being silently misparsed.
+//! `docs/FORMATS.md` carries the full section-flag registry.
 //!
 //! # Checksum
 //!
@@ -100,6 +124,7 @@
 //! std::fs::remove_file(path).unwrap();
 //! ```
 
+use crate::ch::ChIndex;
 use crate::cost::Cost;
 use crate::flags::{LinkFlags, NodeFlags};
 use crate::frozen::{FrozenEdge, FrozenGraph};
@@ -127,8 +152,12 @@ const RAW_COST_LEN: usize = 12;
 /// Section-flag bit: the reverse index section follows the sidecar.
 const SECTION_REVERSE: u32 = 1;
 
+/// Section-flag bit: the contraction-hierarchy section follows (after
+/// the reverse section when both are present).
+const SECTION_CH: u32 = 2;
+
 /// Every section flag this reader understands; anything else rejects.
-const SECTION_KNOWN: u32 = SECTION_REVERSE;
+const SECTION_KNOWN: u32 = SECTION_REVERSE | SECTION_CH;
 
 /// Errors from reading or writing a PAGF1 snapshot.
 #[derive(Debug)]
@@ -174,10 +203,26 @@ pub fn to_bytes(g: &FrozenGraph) -> Vec<u8> {
 /// transpose of `g` (debug builds assert it); pass the result of
 /// [`FrozenGraph::reverse`].
 pub fn to_bytes_full(g: &FrozenGraph, reverse: Option<&ReverseGraph>) -> Vec<u8> {
+    to_bytes_all(g, reverse, None)
+}
+
+/// Serializes the snapshot with any combination of optional sections:
+/// the reverse index and/or the contraction hierarchy.
+///
+/// As with [`to_bytes_full`], the caller vouches that the sections
+/// really describe `g` (debug builds assert both).
+pub fn to_bytes_all(
+    g: &FrozenGraph,
+    reverse: Option<&ReverseGraph>,
+    ch: Option<&ChIndex>,
+) -> Vec<u8> {
     let n = g.node_count();
     let m = g.edges.len();
     if let Some(rev) = reverse {
         debug_assert!(rev.validate_against(g), "reverse index must match graph");
+    }
+    if let Some(ch) = ch {
+        debug_assert!(ch.validate_against(g), "hierarchy must match graph");
     }
     // The sidecar is a hash map in memory; on disk it is sorted by
     // edge id so the reader can verify it with one linear pass.
@@ -196,7 +241,10 @@ pub fn to_bytes_full(g: &FrozenGraph, reverse: Option<&ReverseGraph>) -> Vec<u8>
             (n + 1) * 4 + m * 4 + m * 4
         } else {
             0
-        };
+        }
+        + ch.map_or(0, |ch| {
+            8 + n * 4 + 2 * (n + 1) * 4 + (ch.up_count() + ch.down_count()) * 20
+        });
     let mut out = Vec::with_capacity(total);
 
     out.extend_from_slice(MAGIC);
@@ -206,11 +254,13 @@ pub fn to_bytes_full(g: &FrozenGraph, reverse: Option<&ReverseGraph>) -> Vec<u8>
     out.extend_from_slice(&(m as u32).to_le_bytes());
     out.extend_from_slice(&(g.name_data.len() as u64).to_le_bytes());
     out.extend_from_slice(&(raw_cost.len() as u32).to_le_bytes());
-    let sections = if reverse.is_some() {
-        SECTION_REVERSE
-    } else {
-        0
-    };
+    let mut sections = 0;
+    if reverse.is_some() {
+        sections |= SECTION_REVERSE;
+    }
+    if ch.is_some() {
+        sections |= SECTION_CH;
+    }
     out.extend_from_slice(&sections.to_le_bytes());
     out.extend_from_slice(&0u64.to_le_bytes()); // checksum, patched below
 
@@ -249,6 +299,43 @@ pub fn to_bytes_full(g: &FrozenGraph, reverse: Option<&ReverseGraph>) -> Vec<u8>
             out.extend_from_slice(&e.to_le_bytes());
         }
     }
+    if let Some(ch) = ch {
+        out.extend_from_slice(&(ch.up_count() as u32).to_le_bytes());
+        out.extend_from_slice(&(ch.down_count() as u32).to_le_bytes());
+        for &r in &ch.rank {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        for &r in &ch.up_row {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        for &t in &ch.up_to {
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        for &w in &ch.up_w {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        for &a in &ch.up_a {
+            out.extend_from_slice(&a.to_le_bytes());
+        }
+        for &b in &ch.up_b {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        for &r in &ch.down_row {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        for &f in &ch.down_from {
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        for &w in &ch.down_w {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        for &a in &ch.down_a {
+            out.extend_from_slice(&a.to_le_bytes());
+        }
+        for &b in &ch.down_b {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+    }
     debug_assert_eq!(out.len(), total);
 
     let sum = checksum(&out);
@@ -273,11 +360,22 @@ pub fn write_snapshot_full(
     reverse: Option<&ReverseGraph>,
     path: impl AsRef<Path>,
 ) -> Result<(), SnapshotError> {
+    write_snapshot_all(g, reverse, None, path)
+}
+
+/// Writes the snapshot with any combination of optional sections; same
+/// atomic-rename discipline as [`write_snapshot`].
+pub fn write_snapshot_all(
+    g: &FrozenGraph,
+    reverse: Option<&ReverseGraph>,
+    ch: Option<&ChIndex>,
+    path: impl AsRef<Path>,
+) -> Result<(), SnapshotError> {
     let path = path.as_ref();
     let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
     tmp_name.push(format!(".{}.tmp", std::process::id()));
     let tmp = path.with_file_name(tmp_name);
-    std::fs::write(&tmp, to_bytes_full(g, reverse))?;
+    std::fs::write(&tmp, to_bytes_all(g, reverse, ch))?;
     if let Err(e) = std::fs::rename(&tmp, path) {
         let _ = std::fs::remove_file(&tmp);
         return Err(e.into());
@@ -299,6 +397,15 @@ pub fn read_snapshot_full(
     path: impl AsRef<Path>,
 ) -> Result<(FrozenGraph, Option<ReverseGraph>), SnapshotError> {
     from_bytes_full(&std::fs::read(path)?)
+}
+
+/// Reads a PAGF1 file back with every optional section it carries:
+/// the reverse index and/or the contraction hierarchy. `None` in a
+/// slot means the file does not carry that section.
+pub fn read_snapshot_all(
+    path: impl AsRef<Path>,
+) -> Result<(FrozenGraph, Option<ReverseGraph>, Option<ChIndex>), SnapshotError> {
+    from_bytes_all(&std::fs::read(path)?)
 }
 
 /// One checksum step: the paper's shift-xor mixing, word-wide.
@@ -370,8 +477,20 @@ pub fn from_bytes(bytes: &[u8]) -> Result<FrozenGraph, SnapshotError> {
 /// Deserializes a PAGF1 byte image plus its optional reverse index
 /// section, validating structure end to end (the reverse arrays are
 /// cross-checked against the decoded forward CSR, so a section that
-/// lies is `Corrupt`, not a wrong answer).
+/// lies is `Corrupt`, not a wrong answer). A contraction-hierarchy
+/// section, if present, is validated and discarded.
 pub fn from_bytes_full(bytes: &[u8]) -> Result<(FrozenGraph, Option<ReverseGraph>), SnapshotError> {
+    from_bytes_all(bytes).map(|(g, rev, _)| (g, rev))
+}
+
+/// Deserializes a PAGF1 byte image with every optional section it
+/// carries. Both sections are validated against the decoded forward
+/// CSR ([`ReverseGraph::validate_against`] /
+/// [`ChIndex::validate_against`]): a section that lies is `Corrupt`,
+/// not a wrong answer.
+pub fn from_bytes_all(
+    bytes: &[u8],
+) -> Result<(FrozenGraph, Option<ReverseGraph>, Option<ChIndex>), SnapshotError> {
     if bytes.len() < HEADER_LEN {
         return corrupt(format!(
             "file is {} bytes, shorter than the {HEADER_LEN}-byte header",
@@ -401,13 +520,16 @@ pub fn from_bytes_full(bytes: &[u8]) -> Result<(FrozenGraph, Option<ReverseGraph
         ));
     }
     let has_reverse = sections & SECTION_REVERSE != 0;
+    let has_ch = sections & SECTION_CH != 0;
     let stored_sum = le_u64(&bytes[CHECKSUM_RANGE]);
 
-    // Every section length follows from the four header counts. The
-    // file must match *exactly* — a mismatch means truncation, an
-    // inflated count (which would otherwise ask for an absurd
-    // allocation below), or trailing garbage.
-    let expected: Option<u64> = (|| {
+    // Every section length follows from the four header counts — except
+    // the hierarchy's two edge counts, which live at a computable offset
+    // inside its own section and are bounds-checked before being read.
+    // The file must match the resulting total *exactly* — a mismatch
+    // means truncation, an inflated count (which would otherwise ask
+    // for an absurd allocation below), or trailing garbage.
+    let base: Option<u64> = (|| {
         let n = n as u64;
         let m = m as u64;
         let rev = if has_reverse {
@@ -433,6 +555,38 @@ pub fn from_bytes_full(bytes: &[u8]) -> Result<(FrozenGraph, Option<ReverseGraph
         }
         Some(total)
     })();
+    let Some(base) = base else {
+        return corrupt("header counts overflow");
+    };
+    let mut ch_counts: Option<(usize, usize)> = None;
+    let expected: Option<u64> = if has_ch {
+        // The hierarchy's count prefix sits right after the sections
+        // the header already sized; it must fit before anything reads
+        // through it.
+        if (bytes.len() as u64) < base.saturating_add(8) {
+            return corrupt("hierarchy section cut off before its counts");
+        }
+        let at = base as usize;
+        let up = le_u32(&bytes[at..at + 4]) as usize;
+        let down = le_u32(&bytes[at + 4..at + 8]) as usize;
+        ch_counts = Some((up, down));
+        (|| {
+            let n = n as u64;
+            let mut total = base.checked_add(8)?;
+            for part in [
+                n.checked_mul(4)?,                 // rank
+                n.checked_add(1)?.checked_mul(4)?, // up_row
+                (up as u64).checked_mul(20)?,      // up to/w/a/b
+                n.checked_add(1)?.checked_mul(4)?, // down_row
+                (down as u64).checked_mul(20)?,    // down from/w/a/b
+            ] {
+                total = total.checked_add(part)?;
+            }
+            Some(total)
+        })()
+    } else {
+        Some(base)
+    };
     match expected {
         Some(want) if want == bytes.len() as u64 => {}
         Some(want) => {
@@ -467,6 +621,22 @@ pub fn from_bytes_full(bytes: &[u8]) -> Result<(FrozenGraph, Option<ReverseGraph
     } else {
         None
     };
+    let ch_bytes = ch_counts.map(|(up, down)| {
+        r.take(8); // the count prefix, already decoded
+        (
+            r.take(n * 4),       // rank
+            r.take((n + 1) * 4), // up_row
+            r.take(up * 4),      // up_to
+            r.take(up * 8),      // up_w
+            r.take(up * 4),      // up_a
+            r.take(up * 4),      // up_b
+            r.take((n + 1) * 4), // down_row
+            r.take(down * 4),    // down_from
+            r.take(down * 8),    // down_w
+            r.take(down * 4),    // down_a
+            r.take(down * 4),    // down_b
+        )
+    });
     debug_assert_eq!(r.pos, bytes.len());
 
     // Name offsets: monotone from 0 to the blob length.
@@ -612,7 +782,45 @@ pub fn from_bytes_full(bytes: &[u8]) -> Result<(FrozenGraph, Option<ReverseGraph
         }
     };
 
-    Ok((graph, reverse))
+    // Same treatment for the hierarchy: decode the arrays, then one
+    // structural predicate against the forward CSR (see the trust-model
+    // notes in [`crate::ch`] for what that does and does not prove).
+    let ch = match ch_bytes {
+        None => None,
+        Some((
+            rank,
+            up_row,
+            up_to,
+            up_w,
+            up_a,
+            up_b,
+            down_row,
+            down_from,
+            down_w,
+            down_a,
+            down_b,
+        )) => {
+            let ch = ChIndex {
+                rank: rank.chunks_exact(4).map(le_u32).collect(),
+                up_row: up_row.chunks_exact(4).map(le_u32).collect(),
+                up_to: up_to.chunks_exact(4).map(le_u32).collect(),
+                up_w: up_w.chunks_exact(8).map(le_u64).collect(),
+                up_a: up_a.chunks_exact(4).map(le_u32).collect(),
+                up_b: up_b.chunks_exact(4).map(le_u32).collect(),
+                down_row: down_row.chunks_exact(4).map(le_u32).collect(),
+                down_from: down_from.chunks_exact(4).map(le_u32).collect(),
+                down_w: down_w.chunks_exact(8).map(le_u64).collect(),
+                down_a: down_a.chunks_exact(4).map(le_u32).collect(),
+                down_b: down_b.chunks_exact(4).map(le_u32).collect(),
+            };
+            if !ch.validate_against(&graph) {
+                return corrupt("hierarchy section is not a hierarchy over the edges");
+            }
+            Some(ch)
+        }
+    };
+
+    Ok((graph, reverse, ch))
 }
 
 #[cfg(test)]
@@ -945,6 +1153,141 @@ mod tests {
             assert!(
                 matches!(
                     from_bytes_full(&bytes[..cut]),
+                    Err(SnapshotError::Corrupt(_))
+                ),
+                "cut to {cut} bytes accepted"
+            );
+        }
+    }
+
+    /// A hierarchy over the plain folded edge costs — which weight
+    /// metric it is does not matter to the serializer.
+    fn ch_for(f: &FrozenGraph) -> ChIndex {
+        let w: Vec<Cost> = f.edges.iter().map(|e| e.cost).collect();
+        ChIndex::build(f, &w)
+    }
+
+    #[test]
+    fn ch_section_round_trips() {
+        for with_reverse in [false, true] {
+            let frozen = rich_graph(with_reverse);
+            let rev = frozen.reverse();
+            let ch = ch_for(&frozen);
+            let bytes = to_bytes_all(&frozen, with_reverse.then_some(&rev), Some(&ch));
+            let (loaded, loaded_rev, loaded_ch) = from_bytes_all(&bytes).unwrap();
+            assert_eq!(loaded, frozen);
+            assert_eq!(loaded_rev.is_some(), with_reverse);
+            assert_eq!(loaded_ch.as_ref(), Some(&ch));
+            // Readers that do not want the hierarchy accept the image
+            // and simply drop it.
+            assert_eq!(from_bytes(&bytes).unwrap(), frozen);
+            let (g2, rev2) = from_bytes_full(&bytes).unwrap();
+            assert_eq!(g2, frozen);
+            assert_eq!(rev2.is_some(), with_reverse);
+        }
+    }
+
+    #[test]
+    fn ch_section_round_trips_through_disk() {
+        let frozen = rich_graph(true);
+        let rev = frozen.reverse();
+        let ch = ch_for(&frozen);
+        let path = std::env::temp_dir().join(format!("pagf-ch-{}.pagf", std::process::id()));
+        write_snapshot_all(&frozen, Some(&rev), Some(&ch), &path).unwrap();
+        let (loaded, loaded_rev, loaded_ch) = read_snapshot_all(&path).unwrap();
+        assert_eq!(loaded, frozen);
+        assert_eq!(loaded_rev, Some(rev));
+        assert_eq!(loaded_ch, Some(ch));
+        // The reverse-only and legacy readers open the same file.
+        assert!(read_snapshot_full(&path).unwrap().1.is_some());
+        assert_eq!(read_snapshot(&path).unwrap(), frozen);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rejects_future_section_flags_cleanly() {
+        // Bit 2 is the next unassigned section bit: a file from a
+        // future pathalias using it must reject with the unknown-flag
+        // message — the forward-compat contract a reader compiled
+        // without a section relies on.
+        let mut bytes = to_bytes(&rich_graph(false));
+        bytes[28..32].copy_from_slice(&4u32.to_le_bytes());
+        match from_bytes_all(&retamp(bytes)) {
+            Err(SnapshotError::Corrupt(why)) => {
+                assert!(why.contains("section flags"), "got: {why}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_ch_section_lies() {
+        let frozen = rich_graph(false);
+        let ch = ch_for(&frozen);
+        let good = to_bytes_all(&frozen, None, Some(&ch));
+        let n = frozen.node_count();
+        let base = to_bytes(&frozen).len();
+
+        // Claiming the section without providing its bytes.
+        let mut bad = to_bytes(&frozen);
+        bad[28..32].copy_from_slice(&SECTION_CH.to_le_bytes());
+        assert!(matches!(
+            from_bytes_all(&retamp(bad)),
+            Err(SnapshotError::Corrupt(_))
+        ));
+
+        // An inflated upward-edge count must fail the length equation
+        // before anything allocates.
+        let mut bad = good.clone();
+        bad[base..base + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            from_bytes_all(&retamp(bad)),
+            Err(SnapshotError::Corrupt(_))
+        ));
+
+        // Structural lies behind a valid checksum: a duplicated rank,
+        // a row overrun, and an out-of-range head must all be caught
+        // by the hierarchy validator, not trusted.
+        let rank_at = base + 8;
+        let mut bad = good.clone();
+        let second = u32::from_le_bytes(bad[rank_at + 4..rank_at + 8].try_into().unwrap());
+        bad[rank_at..rank_at + 4].copy_from_slice(&second.to_le_bytes());
+        assert!(matches!(
+            from_bytes_all(&retamp(bad)),
+            Err(SnapshotError::Corrupt(_))
+        ));
+
+        let up_row_at = rank_at + n * 4;
+        let mut bad = good.clone();
+        let last = up_row_at + n * 4;
+        let old = u32::from_le_bytes(bad[last..last + 4].try_into().unwrap());
+        bad[last..last + 4].copy_from_slice(&(old + 1).to_le_bytes());
+        assert!(matches!(
+            from_bytes_all(&retamp(bad)),
+            Err(SnapshotError::Corrupt(_))
+        ));
+
+        if ch.up_count() > 0 {
+            let up_to_at = up_row_at + (n + 1) * 4;
+            let mut bad = good.clone();
+            bad[up_to_at..up_to_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+            assert!(matches!(
+                from_bytes_all(&retamp(bad)),
+                Err(SnapshotError::Corrupt(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_ch_section() {
+        let frozen = rich_graph(true);
+        let ch = ch_for(&frozen);
+        let bytes = to_bytes_all(&frozen, Some(&frozen.reverse()), Some(&ch));
+        let plain = to_bytes_full(&frozen, Some(&frozen.reverse())).len();
+        for cut in plain..bytes.len() {
+            assert!(
+                matches!(
+                    from_bytes_all(&bytes[..cut]),
                     Err(SnapshotError::Corrupt(_))
                 ),
                 "cut to {cut} bytes accepted"

@@ -8,8 +8,10 @@
 //! *with* a recomputed checksum must be caught by the structural
 //! validators instead.
 
-use pathalias_graph::snapshot::{from_bytes, to_bytes, SnapshotError};
-use pathalias_graph::{Graph, RouteOp};
+use pathalias_graph::snapshot::{
+    from_bytes, from_bytes_all, to_bytes, to_bytes_all, SnapshotError,
+};
+use pathalias_graph::{ChIndex, Cost, EdgeId, FrozenGraph, Graph, RouteOp};
 use proptest::prelude::*;
 
 /// Builds a deterministic graph from proptest-chosen shape values,
@@ -58,6 +60,18 @@ fn retamp(mut bytes: Vec<u8>) -> Vec<u8> {
     }
     bytes[32..40].copy_from_slice(&k.to_le_bytes());
     bytes
+}
+
+/// Serializes the graph with every optional section present — the
+/// reverse CSR and a contraction hierarchy over the folded edge
+/// costs — so the multi-section tests damage the widest layout.
+fn all_sections(f: &FrozenGraph) -> Vec<u8> {
+    let weights: Vec<Cost> = (0..f.edge_count())
+        .map(|e| f.edge_cost(EdgeId::from_raw(e as u32)))
+        .collect();
+    let rev = f.reverse();
+    let ch = ChIndex::build(f, &weights);
+    to_bytes_all(f, Some(&rev), Some(&ch))
 }
 
 proptest! {
@@ -136,6 +150,86 @@ proptest! {
                 other => panic!("count at {at} inflated by {inflate}: got {other:?}"),
             }
         }
+    }
+
+    /// Multi-section files (reverse CSR + contraction hierarchy) are
+    /// held to the same standard as the core image: any bit flip or
+    /// truncation is `Corrupt` for the full reader — and for the
+    /// legacy reader, which must reject damage even inside sections
+    /// it would otherwise skip, because the checksum covers the whole
+    /// file.
+    #[test]
+    fn multi_section_damage_is_corrupt(
+        hosts in 4usize..24,
+        links in proptest::collection::vec((0usize..24, 0usize..24, 0u64..50_000), 1..40),
+        seed in 0u64..1_000,
+        positions in proptest::collection::vec((0usize..1_000_000, 0u32..8), 1..20),
+        cuts in proptest::collection::vec(0usize..1_000_000, 1..15),
+    ) {
+        let bytes = all_sections(&build_graph(hosts, &links, seed).freeze());
+        prop_assert!(from_bytes_all(&bytes).is_ok());
+        for &(pos, bit) in &positions {
+            let mut bad = bytes.clone();
+            let pos = pos % bad.len();
+            bad[pos] ^= 1 << bit;
+            for result in [from_bytes_all(&bad).map(|_| ()), from_bytes(&bad).map(|_| ())] {
+                match result {
+                    Err(SnapshotError::Corrupt(_)) => {}
+                    other => panic!("flip at byte {pos} bit {bit}: got {other:?}"),
+                }
+            }
+        }
+        for &cut in &cuts {
+            let cut = cut % bytes.len();
+            match from_bytes_all(&bytes[..cut]) {
+                Err(SnapshotError::Corrupt(_)) => {}
+                other => panic!("truncated to {cut} bytes: got {other:?}"),
+            }
+        }
+    }
+
+    /// A file claiming a section bit this reader does not implement —
+    /// the forward-compat shape a new-format file presents to an old
+    /// binary — is a clean unknown-flag `Corrupt`, never a misparse,
+    /// no matter which future bit and which sections are present.
+    #[test]
+    fn future_section_flags_reject_cleanly(
+        hosts in 4usize..24,
+        links in proptest::collection::vec((0usize..24, 0usize..24, 0u64..50_000), 1..40),
+        seed in 0u64..1_000,
+        bit in 2u32..32,
+        with_known in any::<bool>(),
+    ) {
+        let f = build_graph(hosts, &links, seed).freeze();
+        let mut bytes = if with_known { all_sections(&f) } else { to_bytes(&f) };
+        let old = u32::from_le_bytes(bytes[28..32].try_into().unwrap());
+        bytes[28..32].copy_from_slice(&(old | 1 << bit).to_le_bytes());
+        let bytes = retamp(bytes);
+        for result in [from_bytes_all(&bytes).map(|_| ()), from_bytes(&bytes).map(|_| ())] {
+            match result {
+                Err(SnapshotError::Corrupt(why)) => {
+                    prop_assert!(why.contains("section flags"), "bit {bit}: got {why:?}")
+                }
+                other => panic!("future flag bit {bit} accepted: {other:?}"),
+            }
+        }
+    }
+
+    /// Structured tampering of a multi-section file behind a fresh
+    /// checksum never panics — the section validators reject or the
+    /// damage is semantically harmless, but nothing crashes.
+    #[test]
+    fn multi_section_tampering_never_panics(
+        tampers in proptest::collection::vec((0usize..1_000_000, any::<u8>()), 1..20),
+    ) {
+        let base = all_sections(
+            &build_graph(6, &[(0, 1, 10), (1, 2, 20), (3, 4, 30), (4, 5, 7)], 7).freeze(),
+        );
+        let mut bad = base.clone();
+        for &(pos, byte) in &tampers {
+            bad[pos % base.len()] = byte;
+        }
+        let _ = from_bytes_all(&retamp(bad));
     }
 
     /// Random garbage — raw, magic-prefixed, or a tampered valid file

@@ -12,8 +12,22 @@
 //! get back `(token, readable, writable, hangup)` events. Closing a
 //! descriptor deregisters it from both epoll and kqueue automatically,
 //! so callers never unregister before `drop`.
+//!
+//! # The unsafe-isolation rule
+//!
+//! This crate exists so that `unsafe` has exactly one home. Every
+//! other crate in the workspace carries `#![forbid(unsafe_code)]`;
+//! this one may not, because readiness syscalls have no safe
+//! wrappers in `std`. The discipline in exchange: each `unsafe` block
+//! wraps a single libc call, the raw pointers it passes are to stack
+//! or owned locals that outlive the call, and every descriptor
+//! returned crosses immediately into an owning `std` type
+//! (`TcpListener`, `UdpSocket`, `OwnedFd`-style wrappers) so lifetime
+//! and close responsibilities revert to safe code. Nothing `unsafe`
+//! leaks through the public API.
 
 #![cfg(unix)]
+#![deny(missing_docs)]
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, UdpSocket};

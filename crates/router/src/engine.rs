@@ -2,8 +2,10 @@
 //! pool of reusable search state, answering `src → dst` queries.
 
 use crate::route::{format_route, PathAnswer};
-use crate::search::{search, Scratch, SearchStats, AMBIGUOUS, NO_PRED, TAINTED, VIA_BACK};
-use pathalias_graph::{Cost, EdgeId, FrozenGraph, NodeId, ReverseGraph};
+use crate::search::{
+    ch_weights, search, search_ch, Scratch, SearchStats, AMBIGUOUS, NO_PRED, TAINTED, VIA_BACK,
+};
+use pathalias_graph::{ChIndex, Cost, EdgeId, FrozenGraph, NodeId, ReverseGraph};
 use pathalias_mapper::CostModel;
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -58,6 +60,7 @@ pub struct ViaEntry {
 pub struct PointToPoint {
     graph: Arc<FrozenGraph>,
     reverse: Arc<ReverseGraph>,
+    ch: Option<Arc<ChIndex>>,
     model: CostModel,
     scratch: Arc<Mutex<Vec<Scratch>>>,
 }
@@ -88,13 +91,42 @@ impl PointToPoint {
         reverse: Arc<ReverseGraph>,
         model: CostModel,
     ) -> PointToPoint {
+        PointToPoint::with_sections(graph, reverse, None, model)
+    }
+
+    /// Builds an engine from snapshot sections: the reverse CSR plus,
+    /// optionally, a contraction hierarchy the `PATH` tier tries
+    /// first. The hierarchy is accepted only if it is structurally a
+    /// hierarchy over `graph` *and* its edge weights match what
+    /// [`ch_weights`] derives from `model` — on any mismatch (say, a
+    /// snapshot frozen under different penalties) it is silently
+    /// dropped and queries run bidirectional, merely slower.
+    pub fn with_sections(
+        graph: Arc<FrozenGraph>,
+        reverse: Arc<ReverseGraph>,
+        ch: Option<Arc<ChIndex>>,
+        model: CostModel,
+    ) -> PointToPoint {
         debug_assert!(reverse.validate_against(&graph));
+        let ch = ch.filter(|ch| {
+            ch.validate_against(&graph) && ch.weights_consistent(&ch_weights(&graph, &model))
+        });
         PointToPoint {
             graph,
             reverse,
+            ch,
             model,
             scratch: Arc::new(Mutex::new(Vec::new())),
         }
+    }
+
+    /// Builds an engine with a freshly constructed hierarchy (reverse
+    /// CSR transpose + contraction over the [`ch_weights`] metric) —
+    /// what servers do when no snapshot section is available.
+    pub fn with_fresh_hierarchy(graph: Arc<FrozenGraph>, model: CostModel) -> PointToPoint {
+        let reverse = Arc::new(graph.reverse());
+        let ch = Arc::new(ChIndex::build(&graph, &ch_weights(&graph, &model)));
+        PointToPoint::with_sections(graph, reverse, Some(ch), model)
     }
 
     /// The graph this engine answers over.
@@ -105,6 +137,11 @@ impl PointToPoint {
     /// The reverse adjacency index.
     pub fn reverse(&self) -> &Arc<ReverseGraph> {
         &self.reverse
+    }
+
+    /// The contraction hierarchy, when the engine carries one.
+    pub fn hierarchy(&self) -> Option<&Arc<ChIndex>> {
+        self.ch.as_ref()
     }
 
     /// The cost model queries are answered under.
@@ -143,6 +180,18 @@ impl PointToPoint {
         dst: NodeId,
     ) -> Result<(PathAnswer, SearchStats), RouteError> {
         self.run(src, dst, true)
+    }
+
+    /// [`route`](Self::route) plus the search counters — the daemon
+    /// uses the `tried_ch`/`ch_certified` bits to report the CH tier's
+    /// certification rate.
+    pub fn route_with_stats(
+        &self,
+        src: &str,
+        dst: &str,
+    ) -> Result<(PathAnswer, SearchStats), RouteError> {
+        let (s, d) = self.resolve(src, dst)?;
+        self.run(s, d, true)
     }
 
     /// Answers `PATH * dst`: every node with a direct edge to `dst`,
@@ -241,7 +290,26 @@ impl PointToPoint {
             pool.pop().unwrap_or_else(Scratch::new)
         };
         let reverse = bidirectional.then_some(&*self.reverse);
-        let mut outcome = search(&self.graph, reverse, &self.model, src, dst, &mut scratch);
+        // Tier order: contraction hierarchy, bidirectional, oracle —
+        // each certified tier answers outright; an uncertified run
+        // discards its labels and drops to the next (slower, but
+        // correct by construction) tier.
+        let mut outcome = match &self.ch {
+            Some(ch) if bidirectional => {
+                let mut o = search_ch(&self.graph, ch, &self.model, src, dst, &mut scratch);
+                o.stats.tried_ch = true;
+                o.stats.ch_certified = o.certified;
+                if !o.certified {
+                    let ch_stats = o.stats;
+                    o = search(&self.graph, reverse, &self.model, src, dst, &mut scratch);
+                    o.stats.tried_ch = true;
+                    o.stats.pruned += ch_stats.pruned;
+                    o.stats.backward_settled += ch_stats.backward_settled;
+                }
+                o
+            }
+            _ => search(&self.graph, reverse, &self.model, src, dst, &mut scratch),
+        };
         if !outcome.certified {
             // The pruned run could not prove it matches the oracle
             // (greedy-vs-optimal shadowing near the query — see the
@@ -251,6 +319,7 @@ impl PointToPoint {
             outcome = search(&self.graph, None, &self.model, src, dst, &mut scratch);
             outcome.stats.pruned = stats.pruned;
             outcome.stats.backward_settled = stats.backward_settled;
+            outcome.stats.tried_ch = stats.tried_ch;
             outcome.stats.fell_back = true;
         }
         let stats = outcome.stats;

@@ -42,9 +42,27 @@
 //! back links — then `PATH home X` agrees with the printed map
 //! exactly, and any other source on the same topology is equally
 //! well-defined.
+//!
+//! # The contraction-hierarchy tier
+//!
+//! On top of the bidirectional search sits an optional fast tier: a
+//! [`pathalias_graph::ChIndex`] built (at freeze time, or by
+//! [`PointToPoint::with_fresh_hierarchy`]) over [`ch_weights`] — a
+//! *source-independent lower bound* on the mapper's per-edge charge.
+//! A query first meets in the middle over the hierarchy's shortcut
+//! halves; the meeting path is unpacked to concrete edges and
+//! re-costed under full forward semantics, and the exact forward
+//! search then runs pruned by per-node hierarchy distances. The
+//! certification rule is unchanged, so a certified CH answer is
+//! byte-identical to the oracle's; uncertified runs (including any
+//! query the hierarchy cannot meet on) drop to the bidirectional
+//! tier, then to the oracle. The hierarchy never *answers* — it only
+//! decides what the exact search may skip — so `PATH` parity survives
+//! even a hierarchy missing shortcuts; see `pathalias_graph::ch` for
+//! the trust model.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod engine;
 mod route;
@@ -52,4 +70,4 @@ mod search;
 
 pub use engine::{PointToPoint, RouteError, ViaEntry};
 pub use route::PathAnswer;
-pub use search::SearchStats;
+pub use search::{ch_weights, SearchStats};

@@ -71,7 +71,7 @@
 //! last top as the floor bound for every node it never settled.
 
 use pathalias_graph::{
-    Cost, Dir, EdgeId, FrozenEdge, FrozenGraph, LinkFlags, NodeFlags, NodeId, ReverseGraph,
+    ChIndex, Cost, Dir, EdgeId, FrozenEdge, FrozenGraph, LinkFlags, NodeFlags, NodeId, ReverseGraph,
 };
 use pathalias_mapper::CostModel;
 use std::cmp::Reverse;
@@ -116,11 +116,18 @@ pub struct SearchStats {
     pub pushes: u64,
     /// Forward candidates dropped by the lower-bound pruning.
     pub pruned: u64,
-    /// Backward (lower-bound) settles.
+    /// Backward (lower-bound) settles — reverse-CSR settles for the
+    /// bidirectional search; downward-cone settles plus memoized
+    /// `B*` evaluations for the CH tier.
     pub backward_settled: u64,
     /// The bidirectional run failed certification and the engine
     /// re-ran the forward oracle (see the module docs).
     pub fell_back: bool,
+    /// The engine had a contraction hierarchy and ran the CH tier.
+    pub tried_ch: bool,
+    /// The CH tier's run certified — its answer was returned without
+    /// falling back to the bidirectional search.
+    pub ch_certified: bool,
 }
 
 /// Reusable search state: dense struct-of-arrays sized to the graph
@@ -142,6 +149,21 @@ pub(crate) struct Scratch {
     b_state: Vec<u8>,
     b_stamp: Vec<u32>,
     b_heap: BinaryHeap<Reverse<Key>>,
+    // CH tier: the destination's downward cone (exact CH-weight
+    // distance to dst plus the (head, ref) step toward it) ...
+    d_dist: Vec<Cost>,
+    d_pred: Vec<(u32, u32)>,
+    d_stamp: Vec<u32>,
+    // ... the upward search from the source ...
+    u_dist: Vec<Cost>,
+    u_pred: Vec<(u32, u32)>,
+    u_stamp: Vec<u32>,
+    // ... and the memoized per-node lower bounds B*(v), with the
+    // explicit DFS stack the lazy evaluation walks the up-edge DAG
+    // with (kept here so repeated probes allocate nothing).
+    bb_val: Vec<Cost>,
+    bb_stamp: Vec<u32>,
+    bb_stack: Vec<(u32, bool)>,
 }
 
 impl Scratch {
@@ -159,6 +181,15 @@ impl Scratch {
             b_state: Vec::new(),
             b_stamp: Vec::new(),
             b_heap: BinaryHeap::new(),
+            d_dist: Vec::new(),
+            d_pred: Vec::new(),
+            d_stamp: Vec::new(),
+            u_dist: Vec::new(),
+            u_pred: Vec::new(),
+            u_stamp: Vec::new(),
+            bb_val: Vec::new(),
+            bb_stamp: Vec::new(),
+            bb_stack: Vec::new(),
         }
     }
 
@@ -174,12 +205,23 @@ impl Scratch {
             self.b_pred.resize(n, NO_PRED);
             self.b_state.resize(n, 0);
             self.b_stamp.resize(n, 0);
+            self.d_dist.resize(n, 0);
+            self.d_pred.resize(n, NO_PRED);
+            self.d_stamp.resize(n, 0);
+            self.u_dist.resize(n, 0);
+            self.u_pred.resize(n, NO_PRED);
+            self.u_stamp.resize(n, 0);
+            self.bb_val.resize(n, 0);
+            self.bb_stamp.resize(n, 0);
             self.n = n;
         }
         if self.generation == u32::MAX {
             // Generation wrap: one real clear every 2^32 queries.
             self.f_stamp.iter_mut().for_each(|s| *s = 0);
             self.b_stamp.iter_mut().for_each(|s| *s = 0);
+            self.d_stamp.iter_mut().for_each(|s| *s = 0);
+            self.u_stamp.iter_mut().for_each(|s| *s = 0);
+            self.bb_stamp.iter_mut().for_each(|s| *s = 0);
             self.generation = 0;
         }
         self.generation += 1;
@@ -731,4 +773,380 @@ fn stitch(
         }
     }
     tail.cost
+}
+
+/// The universal lower-bound weight vector the contraction hierarchy
+/// is built over: one entry per frozen edge, independent of the query
+/// source (unlike the private `lower_bound_weight`, which may charge the exact
+/// raw-cost and dead-host terms because it knows `src`). Every
+/// component is included only when it applies to *every* forward
+/// relaxation over the edge, from any label at any source:
+///
+/// * the base cost is the folded cost capped by the raw sidecar cost —
+///   whichever of the two the mapper charges (folded normally, raw at
+///   an adjusted source), the minimum under-approximates it;
+/// * the dead-*link* penalty (an edge property) is exact, but the
+///   dead-*host* penalty is omitted: its source-tail exemption makes
+///   it query-dependent;
+/// * the gate penalty is exact — the exemption rule reads only
+///   node/edge properties;
+/// * the relay penalty applies when the tail is a domain (every
+///   forward label at a domain is tainted); the mixed penalty is
+///   path-state dependent and bounds to zero.
+///
+/// Summing these along any path under-approximates what the mapper
+/// charges for it, so hierarchy distances over this metric are sound
+/// pruning bounds for the certified search.
+pub fn ch_weights(f: &FrozenGraph, model: &CostModel) -> Vec<Cost> {
+    let mut w = vec![0; f.edge_count()];
+    for u in f.node_ids() {
+        let u_is_domain = f.is_domain(u);
+        let (base_edge, row) = f.edge_slice(u);
+        for (i, &edge) in row.iter().enumerate() {
+            let e_raw = base_edge + i as u32;
+            let vflags = f.flags(edge.to());
+            let eflags = edge.flags();
+            let mut c = edge.cost().min(f.edge_raw_cost(EdgeId::from_raw(e_raw)));
+            if eflags.contains(LinkFlags::DEAD) {
+                c = c.saturating_add(model.dead_link_penalty);
+            }
+            if vflags.intersects(NodeFlags::DOMAIN | NodeFlags::GATED)
+                && !gateway_exempt(u_is_domain, eflags, vflags.contains(NodeFlags::DOMAIN))
+            {
+                c = c.saturating_add(model.gate_penalty);
+            }
+            if u_is_domain && !eflags.intersects(LinkFlags::ALIAS | LinkFlags::NET_OUT) {
+                c = c.saturating_add(model.relay_penalty);
+            }
+            w[e_raw as usize] = c;
+        }
+    }
+    w
+}
+
+/// Re-costs an explicit forward edge chain starting at `src` under
+/// full forward semantics — the unpacked CH meeting path becomes a
+/// concrete upper bound this way.
+fn cost_path(f: &FrozenGraph, model: &CostModel, src: NodeId, edges: &[EdgeId]) -> Cost {
+    let mut tail = TailView {
+        u: src.raw(),
+        cost: 0,
+        hops: 0,
+        state: LABELLED | if f.is_domain(src) { TAINTED } else { 0 },
+        pred_edge: None,
+        is_domain: f.is_domain(src),
+        use_raw: f.adjust(src) != 0,
+        dead_extra: 0,
+    };
+    for &e in edges {
+        let edge = f.edge(e);
+        let (cost, hops, state) = eval_step(f, model, &tail, e.raw(), edge);
+        let v = edge.to();
+        let vflags = f.flags(v);
+        let is_source = v == src;
+        tail = TailView {
+            u: v.raw(),
+            cost,
+            hops,
+            state,
+            pred_edge: Some(e),
+            is_domain: vflags.contains(NodeFlags::DOMAIN),
+            use_raw: is_source && f.adjust(v) != 0,
+            dead_extra: if !is_source && vflags.contains(NodeFlags::DEAD) {
+                model.dead_penalty
+            } else {
+                0
+            },
+        };
+    }
+    tail.cost
+}
+
+/// The CH pruning oracle: `B*(v)`, the *exact* hierarchy distance
+/// `v → dst` over the CH weights — a lower bound on the remaining
+/// forward cost from any label at `v`. `Cost::MAX` means the hierarchy
+/// sees no `v → dst` path at all.
+///
+/// Up edges strictly ascend rank, so the upward half is a DAG and the
+/// distance obeys an exact recurrence with no search at all:
+///
+/// ```text
+/// B*(v) = min( D(v),  min over up edges v → w:  weight + B*(w) )
+/// ```
+///
+/// `D` is phase 1's exhaustive downward cone (every way of descending
+/// into `dst`), and the up-edge minimization covers every way of first
+/// climbing — together every up-then-down path, which by the builder's
+/// witness guarantee realizes the true hierarchy distance. Memoized
+/// per query and evaluated lazily (post-order DFS over the DAG), each
+/// node costs amortized `O(up-degree)` across the whole forward
+/// search — the entire point of the hierarchy tier's speed.
+fn bound_to_dst(ch: &ChIndex, scratch: &mut Scratch, stats: &mut SearchStats, v: u32) -> Cost {
+    let gen = scratch.generation;
+    if scratch.bb_stamp[v as usize] == gen {
+        return scratch.bb_val[v as usize];
+    }
+    let mut stack = std::mem::take(&mut scratch.bb_stack);
+    stack.clear();
+    stack.push((v, false));
+    while let Some((x, children_done)) = stack.pop() {
+        let xi = x as usize;
+        if scratch.bb_stamp[xi] == gen {
+            continue; // memoized by an earlier probe or a DAG diamond
+        }
+        if children_done {
+            // Every up-successor is memoized now; fold the recurrence.
+            let mut best = if scratch.d_stamp[xi] == gen {
+                scratch.d_dist[xi]
+            } else {
+                Cost::MAX
+            };
+            for e in ch.up_edges(NodeId::from_raw(x)) {
+                debug_assert_eq!(scratch.bb_stamp[e.node.index()], gen);
+                best = best.min(e.weight.saturating_add(scratch.bb_val[e.node.index()]));
+            }
+            scratch.bb_stamp[xi] = gen;
+            scratch.bb_val[xi] = best;
+            stats.backward_settled += 1;
+        } else {
+            stack.push((x, true));
+            for e in ch.up_edges(NodeId::from_raw(x)) {
+                if scratch.bb_stamp[e.node.index()] != gen {
+                    stack.push((e.node.raw(), false));
+                }
+            }
+        }
+    }
+    scratch.bb_stack = stack;
+    scratch.bb_val[v as usize]
+}
+
+/// The CH-assisted point-to-point search: same contract as [`search`],
+/// with the contraction hierarchy standing in for the reverse-CSR
+/// backward side. Three phases:
+///
+/// 1. a full backward Dijkstra from `dst` over the transposed downward
+///    half computes `D(x)`, the exact CH-weight distance from each
+///    cone node down into `dst`;
+/// 2. an upward Dijkstra from `src` finds the best meeting node; its
+///    path is unpacked to concrete forward edges and re-costed under
+///    full forward semantics — a real path whose true cost seeds `mu`.
+///    No meeting ⇒ return uncertified (never conclude `NoRoute` from
+///    the hierarchy alone — the engine falls back);
+/// 3. the exact forward label-setting loop (the oracle's, verbatim)
+///    runs pruned by the memoized per-node bound `B*(v)` and certifies
+///    against `worst_prune` exactly as the bidirectional search does.
+///
+/// The answer labels come from phase 3's mapper-identical relaxation,
+/// so a certified outcome is byte-identical to the oracle's — the
+/// hierarchy only decides what *not* to explore.
+pub(crate) fn search_ch(
+    f: &FrozenGraph,
+    ch: &ChIndex,
+    model: &CostModel,
+    src: NodeId,
+    dst: NodeId,
+    scratch: &mut Scratch,
+) -> SearchOutcome {
+    let n = f.node_count();
+    scratch.begin(n);
+    let gen = scratch.generation;
+    let mut stats = SearchStats::default();
+
+    // Phase 1: the destination's downward cone, to exhaustion — `D`
+    // feeds both the meeting phase and every later B* probe.
+    scratch.d_stamp[dst.index()] = gen;
+    scratch.d_dist[dst.index()] = 0;
+    scratch.d_pred[dst.index()] = NO_PRED;
+    scratch.b_heap.push(Reverse(pack_bkey(0, dst.raw())));
+    while let Some(Reverse(k)) = scratch.b_heap.pop() {
+        let c = (k >> 32) as Cost;
+        let v = k as u32 as usize;
+        if c > scratch.d_dist[v] {
+            continue;
+        }
+        stats.backward_settled += 1;
+        for e in ch.down_into(NodeId::from_raw(v as u32)) {
+            let x = e.node.index();
+            let cand = c.saturating_add(e.weight);
+            if scratch.d_stamp[x] != gen || cand < scratch.d_dist[x] {
+                scratch.d_stamp[x] = gen;
+                scratch.d_dist[x] = cand;
+                scratch.d_pred[x] = (v as u32, e.edge);
+                scratch.b_heap.push(Reverse(pack_bkey(cand, e.node.raw())));
+            }
+        }
+    }
+
+    // Phase 2: upward from `src`; stop once the heap floor cannot beat
+    // the best meeting (every later settle only rises).
+    let mut best_meet: Cost = Cost::MAX;
+    let mut meet: Option<u32> = None;
+    scratch.u_stamp[src.index()] = gen;
+    scratch.u_dist[src.index()] = 0;
+    scratch.u_pred[src.index()] = NO_PRED;
+    scratch.b_heap.clear();
+    scratch.b_heap.push(Reverse(pack_bkey(0, src.raw())));
+    while let Some(Reverse(k)) = scratch.b_heap.pop() {
+        let c = (k >> 32) as Cost;
+        let x = k as u32 as usize;
+        if c > scratch.u_dist[x] {
+            continue;
+        }
+        if c >= best_meet {
+            break;
+        }
+        stats.backward_settled += 1;
+        if scratch.d_stamp[x] == gen {
+            let through = c.saturating_add(scratch.d_dist[x]);
+            if through < best_meet {
+                best_meet = through;
+                meet = Some(x as u32);
+            }
+        }
+        for e in ch.up_edges(NodeId::from_raw(x as u32)) {
+            let y = e.node.index();
+            let cand = c.saturating_add(e.weight);
+            if scratch.u_stamp[y] != gen || cand < scratch.u_dist[y] {
+                scratch.u_stamp[y] = gen;
+                scratch.u_dist[y] = cand;
+                scratch.u_pred[y] = (x as u32, e.edge);
+                scratch.b_heap.push(Reverse(pack_bkey(cand, e.node.raw())));
+            }
+        }
+    }
+    let Some(meet) = meet else {
+        return SearchOutcome {
+            hit: None,
+            certified: false,
+            stats,
+        };
+    };
+
+    // Unpack the meeting path (both pred chains strictly descend rank,
+    // so they terminate — the load-time validator proved the edge
+    // directions) and re-cost it to seed `mu` with a real path's cost:
+    // the CH-weight sum `best_meet` is only a lower bound.
+    let mut refs: Vec<u32> = Vec::new();
+    let mut x = meet;
+    while x != src.raw() {
+        let (p, r) = scratch.u_pred[x as usize];
+        refs.push(r);
+        x = p;
+    }
+    refs.reverse();
+    let mut x = meet;
+    while x != dst.raw() {
+        let (h, r) = scratch.d_pred[x as usize];
+        refs.push(r);
+        x = h;
+    }
+    let mut edges: Vec<EdgeId> = Vec::new();
+    for &r in &refs {
+        if !ch.unpack_into(r, &mut edges) {
+            return SearchOutcome {
+                hit: None,
+                certified: false,
+                stats,
+            };
+        }
+    }
+    let mut mu = cost_path(f, model, src, &edges);
+
+    // Phase 3: the exact forward search (the oracle's loop, verbatim),
+    // pruned by B* and certified exactly as the bidirectional variant.
+    let si = src.index();
+    scratch.f_stamp[si] = gen;
+    scratch.f_key[si] = pack_key(0, 0, src.raw());
+    scratch.f_pred[si] = NO_PRED;
+    scratch.f_state[si] = LABELLED | if f.is_domain(src) { TAINTED } else { 0 };
+    scratch.f_heap.push(Reverse(pack_key(0, 0, src.raw())));
+    stats.pushes += 1;
+    let mut worst_prune = Cost::MAX;
+
+    loop {
+        let Some(Reverse(key)) = scratch.f_heap.pop() else {
+            return SearchOutcome {
+                hit: None,
+                certified: worst_prune == Cost::MAX,
+                stats,
+            };
+        };
+        let u_raw = key as u32;
+        let ui = u_raw as usize;
+        if scratch.f_state[ui] & MAPPED != 0 {
+            continue; // superseded by a later improvement
+        }
+        scratch.f_state[ui] |= MAPPED;
+        stats.settled += 1;
+        if u_raw == dst.raw() {
+            let cost = (scratch.f_key[ui] >> 64) as Cost;
+            return SearchOutcome {
+                hit: Some(SearchHit {
+                    cost,
+                    hops: (scratch.f_key[ui] >> 32) as u32,
+                    state: scratch.f_state[ui],
+                }),
+                certified: worst_prune > cost,
+                stats,
+            };
+        }
+        // Node-level prune, same rule as the bidirectional search.
+        let b_of_u = bound_to_dst(ch, scratch, &mut stats, u_raw);
+        let through = ((scratch.f_key[ui] >> 64) as Cost).saturating_add(b_of_u);
+        if through > mu {
+            worst_prune = worst_prune.min(through);
+            stats.pruned += 1;
+            continue;
+        }
+
+        let tail = TailView::load(f, model, src, scratch, u_raw);
+        let (base_edge, row) = f.edge_slice(NodeId::from_raw(u_raw));
+        for (i, &edge) in row.iter().enumerate() {
+            let e_raw = base_edge + i as u32;
+            let v = edge.to();
+            let vi = v.index();
+            let vstate = scratch.f_state_of(vi);
+            if vstate & MAPPED != 0 {
+                continue;
+            }
+            let (cand_cost, cand_hops, cand_state) = eval_step(f, model, &tail, e_raw, edge);
+            let b_of_v = bound_to_dst(ch, scratch, &mut stats, v.raw());
+            let through = cand_cost.saturating_add(b_of_v);
+            if through > mu {
+                worst_prune = worst_prune.min(through);
+                stats.pruned += 1;
+                continue;
+            }
+            if v == dst {
+                // The destination's tentative label is a concrete
+                // path cost — a sound `mu` contribution.
+                mu = mu.min(cand_cost);
+            }
+
+            let cand_key = pack_key(cand_cost, cand_hops, v.raw());
+            let cand_pred = (u_raw, e_raw);
+            if vstate & LABELLED == 0 {
+                scratch.f_stamp[vi] = gen;
+                scratch.f_key[vi] = cand_key;
+                scratch.f_pred[vi] = cand_pred;
+                scratch.f_state[vi] = cand_state;
+                scratch.f_heap.push(Reverse(cand_key));
+                stats.pushes += 1;
+            } else {
+                let old = scratch.f_key[vi];
+                if cand_key < old {
+                    scratch.f_key[vi] = cand_key;
+                    scratch.f_pred[vi] = cand_pred;
+                    scratch.f_state[vi] = cand_state;
+                    scratch.f_heap.push(Reverse(cand_key));
+                    stats.pushes += 1;
+                } else if cand_key == old && cand_pred < scratch.f_pred[vi] {
+                    // The mapper's deterministic tie break.
+                    scratch.f_pred[vi] = cand_pred;
+                    scratch.f_state[vi] = cand_state;
+                }
+            }
+        }
+    }
 }

@@ -2,8 +2,8 @@
 //! mapper tree the daemon would print from `src` — same cost, hops,
 //! predecessor chain, state flags, and route string — for every
 //! destination, on every map, from any source. The uni-directional
-//! oracle and the pruned bidirectional search must also agree with
-//! each other exactly.
+//! oracle, the pruned bidirectional search, and the contraction-
+//! hierarchy tier must all agree with each other exactly.
 
 use pathalias_graph::{FrozenGraph, NodeId};
 use pathalias_mapgen::{generate, MapSpec};
@@ -15,16 +15,22 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Builds the serving world the daemon would hold: the home tree's
-/// augmented snapshot (invented back links included) and an engine
-/// over that same graph.
-fn serving_world(text: &str, home: &str) -> (Arc<FrozenGraph>, PointToPoint) {
+/// augmented snapshot (invented back links included), a plain
+/// bidirectional engine, and a hierarchy-carrying engine over that
+/// same graph.
+fn serving_world(text: &str, home: &str) -> (Arc<FrozenGraph>, PointToPoint, PointToPoint) {
     let g = pathalias_parser::parse(text).expect("map parses");
     let src = g.try_node(home).expect("home exists");
     let f = Arc::new(g.freeze());
     let tree = map_frozen(&f, src, &MapOptions::default()).expect("home maps");
     let aug = tree.frozen().clone();
     let engine = PointToPoint::new(aug.clone(), CostModel::default());
-    (aug, engine)
+    let ch_engine = PointToPoint::with_fresh_hierarchy(aug.clone(), CostModel::default());
+    assert!(
+        ch_engine.hierarchy().is_some(),
+        "freshly built hierarchy passes the engine's consistency gate"
+    );
+    (aug, engine, ch_engine)
 }
 
 /// Checks every destination whose id satisfies the stride filter
@@ -32,10 +38,20 @@ fn serving_world(text: &str, home: &str) -> (Arc<FrozenGraph>, PointToPoint) {
 /// mapped nodes must produce identical answers (including the printed
 /// route), unreached nodes must produce `NoRoute`, and the
 /// bidirectional and uni-directional searches must agree bit-for-bit.
-fn assert_parity_from(aug: &Arc<FrozenGraph>, engine: &PointToPoint, src: NodeId, stride: u32) {
+fn assert_parity_from(
+    aug: &Arc<FrozenGraph>,
+    engine: &PointToPoint,
+    ch_engine: &PointToPoint,
+    src: NodeId,
+    stride: u32,
+) {
     if !aug.is_mappable(src) {
         let dst = aug.node_ids().next().expect("non-empty graph");
         assert_eq!(engine.route_ids(src, dst), Err(RouteError::DeletedSource));
+        assert_eq!(
+            ch_engine.route_ids(src, dst),
+            Err(RouteError::DeletedSource)
+        );
         return;
     }
     let tree = map_frozen_readonly(aug, src, &MapOptions::default()).expect("tree maps");
@@ -49,6 +65,8 @@ fn assert_parity_from(aug: &Arc<FrozenGraph>, engine: &PointToPoint, src: NodeId
         let bidi = engine.route_ids(src, dst);
         let uni = engine.route_ids_unidirectional(src, dst);
         assert_eq!(bidi, uni, "bidirectional vs oracle for {}", aug.name(dst));
+        let ch = ch_engine.route_ids(src, dst);
+        assert_eq!(ch, bidi, "CH tier vs bidirectional for {}", aug.name(dst));
 
         match tree.label(dst) {
             None => assert_eq!(bidi, Err(RouteError::NoRoute)),
@@ -131,9 +149,9 @@ const CORPUS: &[(&str, &str)] = &[
 fn corpus_parity_from_home() {
     for (tag, text) in CORPUS {
         let home = text.split_whitespace().next().unwrap();
-        let (aug, engine) = serving_world(text, home);
+        let (aug, engine, ch_engine) = serving_world(text, home);
         let src = aug.id_of(home).expect("home survives freezing");
-        assert_parity_from(&aug, &engine, src, 1);
+        assert_parity_from(&aug, &engine, &ch_engine, src, 1);
         let _ = tag;
     }
 }
@@ -142,11 +160,11 @@ fn corpus_parity_from_home() {
 fn corpus_parity_from_every_endpoint() {
     for (_tag, text) in CORPUS {
         let home = text.split_whitespace().next().unwrap();
-        let (aug, engine) = serving_world(text, home);
+        let (aug, engine, ch_engine) = serving_world(text, home);
         // Every node takes a turn as the query source — including
         // deleted ones (refused) and nets/domains.
         for src in aug.node_ids() {
-            assert_parity_from(&aug, &engine, src, 1);
+            assert_parity_from(&aug, &engine, &ch_engine, src, 1);
         }
     }
 }
@@ -154,7 +172,7 @@ fn corpus_parity_from_every_endpoint() {
 #[test]
 fn via_lists_one_hop_predecessors() {
     let text = "h a(10)\nh b(20)\na z(5)\nb z(7)\nb z(3)\nh z(100)\n";
-    let (aug, engine) = serving_world(text, "h");
+    let (aug, engine, _ch) = serving_world(text, "h");
     let vias = engine.via("z").expect("z exists");
     // Brute force from the forward side: every tail with an edge to z,
     // cheapest folded edge cost.
@@ -181,7 +199,7 @@ fn via_lists_one_hop_predecessors() {
 
 #[test]
 fn name_resolution_errors() {
-    let (_aug, engine) = serving_world("a b(10)\n", "a");
+    let (_aug, engine, _ch) = serving_world("a b(10)\n", "a");
     assert!(matches!(
         engine.route("nope", "b"),
         Err(RouteError::UnknownSource(_))
@@ -199,7 +217,7 @@ fn qualified_domain_member_names_resolve() {
     // of `.edu` — the printer keys it as `deep.relay.edu`, so PATH
     // must accept every name QUERY serves from the printed table.
     let text = "h gw(10)\ngw .edu(5)\n.edu = {.relay}(0)\n.relay = {deep, other}(0)\n";
-    let (aug, engine) = serving_world(text, "h");
+    let (aug, engine, _ch) = serving_world(text, "h");
     let deep = aug.id_of("deep").unwrap();
     let exact = engine.route_ids(aug.id_of("h").unwrap(), deep).unwrap();
     let by_name = engine.route("h", "deep.relay.edu").unwrap();
@@ -265,14 +283,14 @@ proptest! {
     ) {
         let map = generate(&MapSpec::small(hosts, seed));
         let text = with_admin_statements(&map.concatenated(), &map.home, seed);
-        let (aug, engine) = serving_world(&text, &map.home);
+        let (aug, engine, ch_engine) = serving_world(&text, &map.home);
         let home = aug.id_of(&map.home).expect("home survives");
-        assert_parity_from(&aug, &engine, home, 1);
+        assert_parity_from(&aug, &engine, &ch_engine, home, 1);
         // Two more endpoints' perspectives, seed-chosen.
         let n = aug.node_count() as u64;
         for k in 1..3u64 {
             let src = NodeId::from_raw(((seed * 7 + k * 13) % n) as u32);
-            assert_parity_from(&aug, &engine, src, 1);
+            assert_parity_from(&aug, &engine, &ch_engine, src, 1);
         }
     }
 }
@@ -282,12 +300,12 @@ proptest! {
 #[test]
 fn paper_scale_parity_and_pruning() {
     let map = generate(&MapSpec::usenet_1986(1986));
-    let (aug, engine) = serving_world(&map.concatenated(), &map.home);
+    let (aug, engine, ch_engine) = serving_world(&map.concatenated(), &map.home);
     let home = aug.id_of(&map.home).expect("home survives");
-    assert_parity_from(&aug, &engine, home, 97);
+    assert_parity_from(&aug, &engine, &ch_engine, home, 97);
     // A second perspective from an arbitrary mid-map host.
     let other = NodeId::from_raw((aug.node_count() / 2) as u32);
-    assert_parity_from(&aug, &engine, other, 211);
+    assert_parity_from(&aug, &engine, &ch_engine, other, 211);
 
     // The bidirectional search must do strictly less forward work
     // than the oracle somewhere on a map this size.
@@ -303,5 +321,21 @@ fn paper_scale_parity_and_pruning() {
     assert!(
         saw_pruning,
         "lower-bound pruning never fired on the paper-scale map"
+    );
+
+    // The CH tier must actually answer (certify) on a map this size —
+    // if every query fell back, the hierarchy would be dead weight.
+    let mut tried = 0u32;
+    let mut certified = 0u32;
+    for dst in aug.node_ids().filter(|d| d.raw() % 631 == 5) {
+        if let Ok((_, stats)) = ch_engine.route_ids_with_stats(home, dst) {
+            assert!(stats.tried_ch, "engine carries a hierarchy");
+            tried += 1;
+            certified += u32::from(stats.ch_certified);
+        }
+    }
+    assert!(
+        tried > 0 && certified > 0,
+        "CH tier certified {certified}/{tried} sampled queries — it must win sometimes"
     );
 }

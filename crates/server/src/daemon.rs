@@ -254,13 +254,22 @@ impl State {
                 Err(e) => Response::Failure(format!("via failed: {e}")),
             };
         }
-        match engine.route(src, dst) {
-            Ok(answer) => Response::Path {
-                map: wire_name,
-                cost: answer.cost,
-                hops: answer.hops,
-                route: answer.route,
-            },
+        match engine.route_with_stats(src, dst) {
+            Ok((answer, stats)) => {
+                if stats.tried_ch {
+                    if stats.ch_certified {
+                        bump(&map.metrics.path_ch_certified);
+                    } else {
+                        bump(&map.metrics.path_ch_fallbacks);
+                    }
+                }
+                Response::Path {
+                    map: wire_name,
+                    cost: answer.cost,
+                    hops: answer.hops,
+                    route: answer.route,
+                }
+            }
             // Matches QUERY: an unreachable or unknown destination is
             // the expected negative answer, not a client error.
             Err(RouteError::NoRoute | RouteError::UnknownDest(_)) => {
@@ -606,7 +615,7 @@ impl State {
         // Per-map counter families, samples grouped under one
         // HELP/TYPE header per family as the exposition format wants.
         type Get = fn(&Metrics) -> u64;
-        let counters: [(&str, &str, Get); 8] = [
+        let counters: [(&str, &str, Get); 10] = [
             (
                 "pathalias_queries_total",
                 "Queries resolved against this map (QUERY and MQUERY items).",
@@ -642,6 +651,16 @@ impl State {
                 "pathalias_reload_failures_total",
                 "Failed reloads (the old table kept serving).",
                 |m| m.reload_failures.load(Ordering::Relaxed),
+            ),
+            (
+                "pathalias_path_ch_certified_total",
+                "PATH answers certified by the contraction-hierarchy tier.",
+                |m| m.path_ch_certified.load(Ordering::Relaxed),
+            ),
+            (
+                "pathalias_path_ch_fallbacks_total",
+                "PATH queries that tried the hierarchy tier but fell back.",
+                |m| m.path_ch_fallbacks.load(Ordering::Relaxed),
             ),
         ];
         for (name, help, get) in counters {

@@ -38,6 +38,14 @@ pub struct Metrics {
     pub reloads: AtomicU64,
     /// Failed `RELOAD`s (old table kept serving).
     pub reload_failures: AtomicU64,
+    /// `PATH` answers certified by the contraction-hierarchy tier (the
+    /// fast path won). Prometheus-only: `STATS` wire output is pinned
+    /// to its PR-1 field set, so hierarchy counters show up in
+    /// `METRICS` instead.
+    pub path_ch_certified: AtomicU64,
+    /// `PATH` queries that tried the hierarchy tier but fell back to
+    /// the bidirectional (or oracle) search.
+    pub path_ch_fallbacks: AtomicU64,
 }
 
 /// Daemon-wide counters: connection accounting and request hygiene,

@@ -395,14 +395,26 @@ fn map_print_engine(
     let printed = mapped.print(options);
     timings.print = t0.elapsed();
     let aug = mapped.tree.frozen().clone();
-    let engine = match frozen.reverse_index() {
-        // Back-link invention replaces the snapshot graph; only when
-        // the tree still points at the very same graph is the stored
-        // transpose valid.
-        Some(rev) if Arc::ptr_eq(&aug, frozen.graph()) => {
-            PointToPoint::with_reverse(aug, rev.clone(), options.cost_model)
+    // Back-link invention replaces the snapshot graph; only when the
+    // tree still points at the very same graph are the stored sections
+    // (transpose, hierarchy) valid. A stage that carried a hierarchy is
+    // an operator opt-in (`freeze --ch`), so when back links changed
+    // the graph the hierarchy is rebuilt over the augmented snapshot
+    // rather than silently lost.
+    let engine = if Arc::ptr_eq(&aug, frozen.graph()) {
+        match frozen.reverse_index() {
+            Some(rev) => PointToPoint::with_sections(
+                aug,
+                rev.clone(),
+                frozen.hierarchy().cloned(),
+                options.cost_model,
+            ),
+            None => PointToPoint::new(aug, options.cost_model),
         }
-        _ => PointToPoint::new(aug, options.cost_model),
+    } else if frozen.hierarchy().is_some() {
+        PointToPoint::with_fresh_hierarchy(aug, options.cost_model)
+    } else {
+        PointToPoint::new(aug, options.cost_model)
     };
     Ok((RouteDb::from_table(&printed.routes), engine))
 }
