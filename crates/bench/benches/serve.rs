@@ -530,11 +530,51 @@ fn bench_c10k(_c: &mut Criterion) {
     std::fs::remove_file(routes_path).unwrap();
 }
 
+fn bench_reload(c: &mut Criterion) {
+    use pathalias_bench::ReloadWorld;
+    use pathalias_mapgen::MapSpec;
+
+    // One link-cost change on the paper-scale world: the incremental
+    // path (statement diff -> CSR row patch -> tree repair -> route
+    // update) against tearing the whole pipeline down. `ReloadWorld`
+    // pre-verified that this exact edit takes the delta path, so
+    // `reload-delta` measures repair, not the fallback.
+    let world = ReloadWorld::new(&MapSpec::usenet_1986(1986), "serve-bench");
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+
+    let (source, cache) = world.delta_source();
+    source.load_serving_timed().unwrap();
+    let mut flip = false;
+    group.bench_function("reload-delta", |b| {
+        b.iter(|| {
+            flip = !flip;
+            world.toggle(flip);
+            black_box(source.load_serving_timed().unwrap());
+        });
+    });
+    assert!(
+        cache.delta_reloads() > 0,
+        "the timed reloads never took the delta path"
+    );
+
+    group.bench_function("reload-full", |b| {
+        b.iter(|| {
+            flip = !flip;
+            world.toggle(flip);
+            let (cold, _) = world.delta_source();
+            black_box(cold.load_serving_timed().unwrap());
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_serve,
     bench_path,
     bench_cold_start,
-    bench_c10k
+    bench_c10k,
+    bench_reload
 );
 criterion_main!(benches);

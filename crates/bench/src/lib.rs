@@ -130,6 +130,166 @@ pub fn host_names(n: usize) -> Vec<String> {
     (0..n).map(pathalias_mapgen::HostNamer::name_at).collect()
 }
 
+/// A mapgen world written to disk plus one known link-cost edit that
+/// the server's incremental reload path absorbs (verified during
+/// construction). Shared by the `serve/reload-*` benches and
+/// experiment E17: both need an edit that is guaranteed to take the
+/// delta path so they measure repair, not the full-pipeline fallback.
+pub struct ReloadWorld {
+    /// Temp directory holding the map files.
+    pub dir: std::path::PathBuf,
+    /// The map files, in parse order.
+    pub paths: Vec<std::path::PathBuf>,
+    /// Pipeline options (home hub set).
+    pub options: pathalias_core::Options,
+    /// The home hub.
+    pub home: String,
+    file: usize,
+    original: String,
+    edited: String,
+}
+
+fn is_plain_cost_line(line: &str) -> bool {
+    let t = line.trim();
+    !t.is_empty()
+        && !t.starts_with('#')
+        && !t.contains(['{', '}', '='])
+        && t.contains('(')
+        && t.ends_with(')')
+        && t.as_bytes()[0].is_ascii_alphanumeric()
+}
+
+fn bump_first_cost(line: &str, delta: u64) -> Option<String> {
+    let open = line.find('(')?;
+    let close = line[open..].find(')')? + open;
+    let expr = line[open + 1..close].trim();
+    if expr.is_empty() {
+        return None;
+    }
+    let bumped = match expr.parse::<u64>() {
+        Ok(n) => format!("{}", n + delta),
+        Err(_) => format!("{expr}+{delta}"),
+    };
+    Some(format!("{}({bumped}){}", &line[..open], &line[close + 1..]))
+}
+
+impl ReloadWorld {
+    /// Generates `spec`, writes it to a temp dir, and hunts for a
+    /// one-cost edit the delta reload path absorbs. Panics if no such
+    /// edit exists — every mapgen world has plenty of plain host rows,
+    /// so that would mean the delta path itself is broken.
+    pub fn new(spec: &MapSpec, tag: &str) -> ReloadWorld {
+        let map = generate(spec);
+        let dir = std::env::temp_dir().join(format!(
+            "pathalias-reload-world-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let paths: Vec<std::path::PathBuf> = map
+            .files
+            .iter()
+            .map(|(name, text)| {
+                let p = dir.join(name);
+                std::fs::write(&p, text).expect("write map file");
+                p
+            })
+            .collect();
+        let options = pathalias_core::Options {
+            local: Some(map.home.clone()),
+            ..Default::default()
+        };
+
+        let mut world = ReloadWorld {
+            dir,
+            paths,
+            options,
+            home: map.home.clone(),
+            file: 0,
+            original: String::new(),
+            edited: String::new(),
+        };
+        let (source, cache) = world.delta_source();
+        source.load_serving_timed().expect("warm load");
+
+        let mut tried = 0usize;
+        for (i, path) in world.paths.iter().enumerate() {
+            let text = std::fs::read_to_string(path).expect("read map file");
+            for line in text.lines() {
+                if !is_plain_cost_line(line) {
+                    continue;
+                }
+                // The home hub's row invalidates most of the tree, so
+                // editing it always falls back to the full pipeline —
+                // at 1M hosts each such probe costs a full remap.
+                if line.starts_with(&map.home) {
+                    continue;
+                }
+                // High-degree rows (backbone and region hubs) parent
+                // large subtrees, so a patch there blows the repair's
+                // 25% dirty-cone budget and the probe pays two full
+                // remaps for nothing. Hunt among leaf-ish rows.
+                if line.matches(',').count() >= 8 {
+                    continue;
+                }
+                let Some(edited_line) = bump_first_cost(line, 3) else {
+                    continue;
+                };
+                let before = cache.delta_reloads();
+                let edited = text.replacen(line, &edited_line, 1);
+                std::fs::write(path, &edited).expect("write edit");
+                let took_delta =
+                    source.load_serving_timed().is_ok() && cache.delta_reloads() > before;
+                if took_delta {
+                    world.file = i;
+                    world.original = text;
+                    world.edited = edited;
+                    // Leave the world in its original state (that
+                    // reload is itself a one-line delta).
+                    world.toggle(false);
+                    source.load_serving_timed().expect("restore load");
+                    return world;
+                }
+                // Roll the candidate back before trying the next one.
+                std::fs::write(path, &text).expect("restore map file");
+                source.load_serving_timed().expect("rollback load");
+                tried += 1;
+                if tried >= 200 {
+                    panic!("no one-cost edit took the delta path in 200 tries");
+                }
+            }
+        }
+        panic!("no editable plain cost line found in the generated world");
+    }
+
+    /// Writes the edited (`true`) or original (`false`) variant of the
+    /// chosen file.
+    pub fn toggle(&self, edited: bool) {
+        let text = if edited { &self.edited } else { &self.original };
+        std::fs::write(&self.paths[self.file], text).expect("toggle map file");
+    }
+
+    /// A map source with validation disabled (so `reload-full`
+    /// measures the remap itself, not the validation fan-out) plus its
+    /// stage cache, for checking the delta counter.
+    pub fn delta_source(&self) -> (pathalias_server::MapSource, pathalias_server::StageCache) {
+        let cache = pathalias_server::StageCache::default();
+        let source = pathalias_server::MapSource::Map {
+            files: self.paths.clone(),
+            options: self.options.clone(),
+            validate_sources: 0,
+            validate_threads: 1,
+            cache: cache.clone(),
+        };
+        (source, cache)
+    }
+}
+
+impl Drop for ReloadWorld {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,5 +310,19 @@ mod tests {
 
         assert_eq!(host_names(3).len(), 3);
         assert!(map_text(100, 3).contains("file {"));
+    }
+
+    #[test]
+    fn reload_world_finds_a_delta_edit() {
+        let world = ReloadWorld::new(&MapSpec::small(120, 5), "libtest");
+        let (source, cache) = world.delta_source();
+        source.load_serving_timed().unwrap();
+        world.toggle(true);
+        source.load_serving_timed().unwrap();
+        assert_eq!(
+            cache.delta_reloads(),
+            1,
+            "the recorded edit must repair in place"
+        );
     }
 }

@@ -1,0 +1,608 @@
+//! Entry-level parse diffing for incremental reload.
+//!
+//! A map edit is usually one line in one file; re-running parse, build,
+//! freeze, map and print over a million-node world to absorb it is the
+//! O(world) cost the incremental reload path exists to avoid. This
+//! module compares the previous input texts against the re-read ones at
+//! *statement* granularity and, when the edit is provably safe, emits
+//! the [`RowPatch`] set that [`FrozenGraph::with_rows_replaced`] turns
+//! into a patched snapshot — skipping the build and freeze stages
+//! entirely.
+//!
+//! "Provably safe" is the whole game. Pathalias input has non-local
+//! semantics — `private` rescopes names per file, `dead`/`delete`/
+//! `adjust` rewrite flags declared elsewhere, networks and aliases
+//! fabricate edges on *other* nodes' rows, and node ids (which every
+//! frozen structure is keyed by) are assigned in first-mention order
+//! across the whole file set. The planner therefore only accepts an
+//! edit when:
+//!
+//! * exactly one input file changed;
+//! * every removed and added statement is *plain* — a `host target,
+//!   target...` link list with no `{`, `}` or `=`;
+//! * the file's first-mention sequence of names is unchanged, so every
+//!   node keeps its id (cost expressions are skipped during this walk:
+//!   `(HOURLY*4)` mentions no host);
+//! * no name touched by the edit — and no target of any surviving
+//!   statement whose row is being rebuilt — appears anywhere in a
+//!   non-plain statement, which keeps the edit clear of `private`
+//!   scoping, network membership, aliasing, adjustments and the rest.
+//!
+//! Everything else falls back to the full pipeline, which stays the
+//! oracle: the reload path proves the patched snapshot equal to a cold
+//! rebuild before trusting it further.
+
+use pathalias_graph::{FrozenGraph, NodeId, RowPatch};
+use pathalias_parser::parse_into;
+use std::collections::HashSet;
+
+/// The planner's verdict on one re-read of the input files.
+#[derive(Debug)]
+pub enum DeltaPlan {
+    /// The inputs are byte-identical (or differ only in comments and
+    /// whitespace): nothing to do.
+    Unchanged,
+    /// The edit is safe to absorb as row replacements.
+    Patch {
+        /// Replacement rows, sorted by node id, one per dirty head.
+        patches: Vec<RowPatch>,
+    },
+    /// The edit could not be proven safe; re-run the full pipeline.
+    /// The string names the first gate that failed, for telemetry.
+    Fallback(&'static str),
+}
+
+/// Diffs `old` against `new` (parallel `(file, text)` lists) and plans
+/// the cheapest safe reload against `frozen`, the snapshot built from
+/// `old`.
+///
+/// # Examples
+///
+/// ```
+/// use pathalias_core::{plan_delta, DeltaPlan};
+///
+/// let old = vec![("m".to_string(), "a b(10)\nb c(20)\n".to_string())];
+/// let new = vec![("m".to_string(), "a b(10)\nb c(5)\n".to_string())];
+/// let frozen = pathalias_parser::parse("a b(10)\nb c(20)\n").unwrap().freeze();
+/// match plan_delta(&old, &new, &frozen) {
+///     DeltaPlan::Patch { patches } => assert_eq!(patches.len(), 1),
+///     other => panic!("expected a patch, got {other:?}"),
+/// }
+/// ```
+pub fn plan_delta(
+    old: &[(String, String)],
+    new: &[(String, String)],
+    frozen: &FrozenGraph,
+) -> DeltaPlan {
+    if old.len() != new.len() {
+        return DeltaPlan::Fallback("file set changed");
+    }
+    let mut changed: Option<usize> = None;
+    for (i, ((of, ot), (nf, nt))) in old.iter().zip(new).enumerate() {
+        if of != nf {
+            return DeltaPlan::Fallback("file set changed");
+        }
+        if ot != nt {
+            if changed.is_some() {
+                return DeltaPlan::Fallback("multiple files changed");
+            }
+            changed = Some(i);
+        }
+    }
+    let Some(ci) = changed else {
+        return DeltaPlan::Unchanged;
+    };
+
+    let Some(old_stmts) = split_statements(&old[ci].1) else {
+        return DeltaPlan::Fallback("unbalanced braces");
+    };
+    let Some(new_stmts) = split_statements(&new[ci].1) else {
+        return DeltaPlan::Fallback("unbalanced braces");
+    };
+
+    // Longest common prefix and suffix of the statement lists; the
+    // window between them is the edit.
+    let mut p = 0;
+    while p < old_stmts.len() && p < new_stmts.len() && old_stmts[p] == new_stmts[p] {
+        p += 1;
+    }
+    let mut s = 0;
+    while s < old_stmts.len() - p
+        && s < new_stmts.len() - p
+        && old_stmts[old_stmts.len() - 1 - s] == new_stmts[new_stmts.len() - 1 - s]
+    {
+        s += 1;
+    }
+    let removed = &old_stmts[p..old_stmts.len() - s];
+    let added = &new_stmts[p..new_stmts.len() - s];
+    if removed.is_empty() && added.is_empty() {
+        return DeltaPlan::Unchanged;
+    }
+    if removed.iter().chain(added).any(|st| !is_plain(st)) {
+        return DeltaPlan::Fallback("edit touches a non-plain statement");
+    }
+
+    // Node ids are assigned in first-mention order across the file
+    // set; the edited file's mention sequence must be unchanged.
+    let fold = frozen.ignore_case();
+    if mention_sequence(&old_stmts, fold) != mention_sequence(&new_stmts, fold) {
+        return DeltaPlan::Fallback("first-mention sequence changed");
+    }
+
+    // Names with non-plain semantics anywhere in the file set: private
+    // scoping, network membership, aliases, dead/delete/adjust marks,
+    // gateways. The edit must stay clear of all of them.
+    let mut complex: HashSet<String> = HashSet::new();
+    for (_, text) in new {
+        let Some(stmts) = split_statements(text) else {
+            return DeltaPlan::Fallback("unbalanced braces");
+        };
+        for st in &stmts {
+            if !is_plain(st) {
+                collect_names(st, fold, true, &mut |n| {
+                    complex.insert(n.to_string());
+                });
+            }
+        }
+    }
+
+    // The dirty heads, and the gate on every edited name.
+    let mut dirty: Vec<NodeId> = Vec::new();
+    let mut gate_failed = None;
+    for st in removed.iter().chain(added) {
+        let mut first = true;
+        collect_names(st, fold, false, &mut |n| {
+            if complex.contains(n) {
+                gate_failed = Some("edited name has non-plain semantics");
+            }
+            let Some(id) = frozen.id_of(n) else {
+                gate_failed = Some("edited name is not in the snapshot");
+                return;
+            };
+            if first {
+                first = false;
+                if !dirty.contains(&id) {
+                    dirty.push(id);
+                }
+            }
+        });
+    }
+    if let Some(why) = gate_failed {
+        return DeltaPlan::Fallback(why);
+    }
+
+    build_patches(new, frozen, &complex, &mut dirty)
+}
+
+/// Re-derives the full replacement row for every dirty head by running
+/// its surviving plain statements (from every file) through the real
+/// parser, then mapping the scratch graph's links back by name.
+fn build_patches(
+    new: &[(String, String)],
+    frozen: &FrozenGraph,
+    complex: &HashSet<String>,
+    dirty: &mut [NodeId],
+) -> DeltaPlan {
+    let fold = frozen.ignore_case();
+    // Stored names keep their declared case; the mention walk folds.
+    let dirty_names: HashSet<String> = dirty
+        .iter()
+        .map(|&id| {
+            let n = frozen.name(id);
+            if fold {
+                n.to_ascii_lowercase()
+            } else {
+                n.to_string()
+            }
+        })
+        .collect();
+
+    // Every plain statement whose head is dirty, in file order — link
+    // order and duplicate handling must match a cold parse.
+    let mut scratch_text = String::new();
+    for (_, text) in new {
+        let Some(stmts) = split_statements(text) else {
+            return DeltaPlan::Fallback("unbalanced braces");
+        };
+        for st in &stmts {
+            if !is_plain(st) {
+                continue;
+            }
+            let mut head_is_dirty = false;
+            let mut bad_target = false;
+            let mut first = true;
+            collect_names(st, fold, false, &mut |n| {
+                if first {
+                    first = false;
+                    head_is_dirty = dirty_names.contains(n);
+                } else if head_is_dirty && complex.contains(n) {
+                    // The statement resolves this target through file
+                    // scoping the scratch parse cannot reproduce.
+                    bad_target = true;
+                }
+            });
+            if bad_target {
+                return DeltaPlan::Fallback("surviving target has non-plain semantics");
+            }
+            if head_is_dirty {
+                scratch_text.push_str(st);
+                scratch_text.push('\n');
+            }
+        }
+    }
+
+    let mut scratch = pathalias_graph::Graph::with_ignore_case(fold);
+    if parse_into(&mut scratch, "<delta>", &scratch_text).is_err() {
+        return DeltaPlan::Fallback("edited statements do not parse");
+    }
+
+    dirty.sort();
+    let mut patches = Vec::with_capacity(dirty.len());
+    for &node in dirty.iter() {
+        let mut edges = Vec::new();
+        if let Some(sh) = scratch.try_node(frozen.name(node)) {
+            for (_, l) in scratch.links_from(sh) {
+                let Some(to) = frozen.id_of(scratch.name(l.to)) else {
+                    return DeltaPlan::Fallback("edited target is not in the snapshot");
+                };
+                edges.push((to, l.cost, l.op, l.flags));
+            }
+            // The adjacency list is stored newest-first; the patch,
+            // like the freeze, wants declaration order.
+            edges.reverse();
+        }
+        patches.push(RowPatch { node, edges });
+    }
+    DeltaPlan::Patch { patches }
+}
+
+/// Splits input text into statements: comment-stripped, continuation
+/// lines joined, newlines inside brace lists absorbed (the scanner
+/// skips them there), surrounding whitespace trimmed, empties dropped.
+/// Returns `None` on unbalanced braces.
+fn split_statements(text: &str) -> Option<Vec<String>> {
+    let bytes = text.as_bytes();
+    let mut stmts = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0usize;
+    let mut i = 0;
+    let flush = |cur: &mut String, stmts: &mut Vec<String>| {
+        let trimmed = cur.trim();
+        if !trimmed.is_empty() {
+            stmts.push(trimmed.to_string());
+        }
+        cur.clear();
+    };
+    while i < bytes.len() {
+        match bytes[i] {
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'\\' if bytes.get(i + 1) == Some(&b'\n') => {
+                cur.push(' ');
+                i += 2;
+            }
+            b'\n' => {
+                if depth > 0 {
+                    cur.push(' ');
+                } else {
+                    flush(&mut cur, &mut stmts);
+                }
+                i += 1;
+            }
+            b => {
+                if b == b'{' {
+                    depth += 1;
+                } else if b == b'}' {
+                    depth = depth.checked_sub(1)?;
+                }
+                cur.push(b as char);
+                i += 1;
+            }
+        }
+    }
+    if depth != 0 {
+        return None;
+    }
+    flush(&mut cur, &mut stmts);
+    Some(stmts)
+}
+
+/// Whether a (comment-stripped) statement is a plain link list: no
+/// network or alias declaration, no brace-list command.
+fn is_plain(stmt: &str) -> bool {
+    !stmt.bytes().any(|b| matches!(b, b'{' | b'}' | b'='))
+}
+
+/// Calls `f` with every name token in `stmt`, skipping parenthesized
+/// cost expressions unless `in_parens` (symbolic costs like `HOURLY`
+/// are not host mentions, but for the complex-name set, over-collecting
+/// is the conservative direction). Folds case when `fold`.
+fn collect_names(stmt: &str, fold: bool, in_parens: bool, f: &mut dyn FnMut(&str)) {
+    let bytes = stmt.as_bytes();
+    let mut depth = 0usize;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'(' {
+            depth += 1;
+            i += 1;
+        } else if b == b')' {
+            depth = depth.saturating_sub(1);
+            i += 1;
+        } else if is_name_start(b) {
+            let start = i;
+            while i < bytes.len() && is_name_byte(bytes[i]) {
+                i += 1;
+            }
+            if depth == 0 || in_parens {
+                let name = &stmt[start..i];
+                if name.bytes().all(|b| b.is_ascii_digit()) {
+                    continue; // a number, never a host
+                }
+                if fold {
+                    f(&name.to_ascii_lowercase());
+                } else {
+                    f(name);
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// The ordered sequence of distinct names across all statements — the
+/// order `Graph::node` first sees them in, which is the order node ids
+/// are assigned in.
+fn mention_sequence(stmts: &[String], fold: bool) -> Vec<String> {
+    let mut seen = HashSet::new();
+    let mut seq = Vec::new();
+    for st in stmts {
+        collect_names(st, fold, false, &mut |n| {
+            if seen.insert(n.to_string()) {
+                seq.push(n.to_string());
+            }
+        });
+    }
+    seq
+}
+
+// The scanner's name alphabet (`pathalias_parser::token` keeps its
+// classifiers crate-private).
+fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-'
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'.' || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(texts: &[(&str, &str)]) -> Vec<(String, String)> {
+        texts
+            .iter()
+            .map(|(f, t)| (f.to_string(), t.to_string()))
+            .collect()
+    }
+
+    fn frozen_of(inputs: &[(String, String)]) -> FrozenGraph {
+        let pairs: Vec<(&str, &str)> = inputs
+            .iter()
+            .map(|(f, t)| (f.as_str(), t.as_str()))
+            .collect();
+        pathalias_parser::parse_files(&pairs).unwrap().freeze()
+    }
+
+    fn expect_patch(plan: DeltaPlan) -> Vec<RowPatch> {
+        match plan {
+            DeltaPlan::Patch { patches } => patches,
+            other => panic!("expected Patch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn identical_inputs_are_unchanged() {
+        let old = inputs(&[("m", "a b(10)\n")]);
+        let frozen = frozen_of(&old);
+        assert!(matches!(
+            plan_delta(&old, &old.clone(), &frozen),
+            DeltaPlan::Unchanged
+        ));
+    }
+
+    #[test]
+    fn comment_only_edit_is_unchanged() {
+        let old = inputs(&[("m", "a b(10) # slow\n")]);
+        let new = inputs(&[("m", "a b(10) # fast now\n")]);
+        let frozen = frozen_of(&old);
+        assert!(matches!(
+            plan_delta(&old, &new, &frozen),
+            DeltaPlan::Unchanged
+        ));
+    }
+
+    #[test]
+    fn cost_edit_patches_one_row() {
+        let old = inputs(&[("m", "a b(10)\nb c(20)\nc a(30)\n")]);
+        let new = inputs(&[("m", "a b(10)\nb c(5)\nc a(30)\n")]);
+        let frozen = frozen_of(&old);
+        let patches = expect_patch(plan_delta(&old, &new, &frozen));
+        assert_eq!(patches.len(), 1);
+        let b = frozen.id_of("b").unwrap();
+        let c = frozen.id_of("c").unwrap();
+        assert_eq!(patches[0].node, b);
+        assert_eq!(patches[0].edges.len(), 1);
+        assert_eq!(patches[0].edges[0].0, c);
+        assert_eq!(patches[0].edges[0].1, 5);
+    }
+
+    #[test]
+    fn patched_snapshot_equals_cold_freeze() {
+        // The planner's output fed through with_rows_replaced must be
+        // indistinguishable from a full re-freeze of the new text.
+        let old = inputs(&[("m", "hub a(10), b(20)\na x(10)\nb x(10)\nx y(5)\n")]);
+        let new = inputs(&[("m", "hub a(10), b(20)\na x(10), y(50)\nb x(10)\nx y(5)\n")]);
+        let frozen = frozen_of(&old);
+        let patches = expect_patch(plan_delta(&old, &new, &frozen));
+        let (patched, _) = frozen.with_rows_replaced(&patches);
+        assert_eq!(patched, frozen_of(&new));
+    }
+
+    #[test]
+    fn link_removal_and_symbolic_costs() {
+        let old = inputs(&[("m", "a b(HOURLY), c(HOURLY*4)\nb c(10)\n")]);
+        let new = inputs(&[("m", "a b(HOURLY)\nb c(10)\n")]);
+        let frozen = frozen_of(&old);
+        // c vanishes from a's row but stays mentioned via b's — the
+        // mention walk must not count HOURLY as a host.
+        let patches = expect_patch(plan_delta(&old, &new, &frozen));
+        let (patched, _) = frozen.with_rows_replaced(&patches);
+        assert_eq!(patched, frozen_of(&new));
+    }
+
+    #[test]
+    fn new_name_falls_back() {
+        let old = inputs(&[("m", "a b(10)\n")]);
+        let new = inputs(&[("m", "a b(10), newhost(5)\n")]);
+        let frozen = frozen_of(&old);
+        assert!(matches!(
+            plan_delta(&old, &new, &frozen),
+            DeltaPlan::Fallback(_)
+        ));
+    }
+
+    #[test]
+    fn vanished_mention_falls_back() {
+        let old = inputs(&[("m", "a b(10)\na c(10)\n")]);
+        let new = inputs(&[("m", "a b(10)\n")]);
+        let frozen = frozen_of(&old);
+        assert!(matches!(
+            plan_delta(&old, &new, &frozen),
+            DeltaPlan::Fallback(_)
+        ));
+    }
+
+    #[test]
+    fn non_plain_edit_falls_back() {
+        let old = inputs(&[("m", "a b(10)\nN = {a, b}(5)\n")]);
+        let new = inputs(&[("m", "a b(10)\nN = {a, b}(7)\n")]);
+        let frozen = frozen_of(&old);
+        assert!(matches!(
+            plan_delta(&old, &new, &frozen),
+            DeltaPlan::Fallback(_)
+        ));
+    }
+
+    #[test]
+    fn edit_touching_network_member_falls_back() {
+        let old = inputs(&[("m", "a b(10)\nN = {b, c}(5)\nc d(1)\n")]);
+        let new = inputs(&[("m", "a b(20)\nN = {b, c}(5)\nc d(1)\n")]);
+        let frozen = frozen_of(&old);
+        // b is a network member: its row carries fabricated edges the
+        // scratch parse would lose.
+        assert!(matches!(
+            plan_delta(&old, &new, &frozen),
+            DeltaPlan::Fallback(_)
+        ));
+    }
+
+    #[test]
+    fn edit_touching_private_name_falls_back() {
+        let old = inputs(&[
+            ("one", "a b(10)\n"),
+            ("two", "private {b}\nb z(5)\nq b(9)\n"),
+        ]);
+        let mut new = old.clone();
+        new[0].1 = "a b(20)\n".to_string();
+        let frozen = frozen_of(&old);
+        assert!(matches!(
+            plan_delta(&old, &new, &frozen),
+            DeltaPlan::Fallback(_)
+        ));
+    }
+
+    #[test]
+    fn surviving_statement_with_private_target_falls_back() {
+        // The edit itself touches only clean names, but rebuilding q's
+        // row would re-resolve its other statement's target `p`, which
+        // is privately scoped in its own file.
+        let old = inputs(&[
+            ("one", "private {p}\np x(1)\nq p(5)\n"),
+            ("two", "q r(10)\n"),
+        ]);
+        let mut new = old.clone();
+        new[1].1 = "q r(20)\n".to_string();
+        let frozen = frozen_of(&old);
+        assert!(matches!(
+            plan_delta(&old, &new, &frozen),
+            DeltaPlan::Fallback(_)
+        ));
+    }
+
+    #[test]
+    fn reordered_first_mentions_fall_back() {
+        let old = inputs(&[("m", "a b(10)\nc d(10)\n")]);
+        let new = inputs(&[("m", "c d(10)\na b(10)\n")]);
+        let frozen = frozen_of(&old);
+        assert!(matches!(
+            plan_delta(&old, &new, &frozen),
+            DeltaPlan::Fallback(_)
+        ));
+    }
+
+    #[test]
+    fn multi_file_edit_patches_row_with_links_from_both_files() {
+        // b's row is fed by statements in both files; only one file
+        // changed, but the rebuilt row must include both.
+        let old = inputs(&[("one", "a b(10)\nb c(10)\n"), ("two", "b d(10)\nd a(1)\n")]);
+        let mut new = old.clone();
+        new[0].1 = "a b(10)\nb c(7)\n".to_string();
+        let frozen = frozen_of(&old);
+        let patches = expect_patch(plan_delta(&old, &new, &frozen));
+        let (patched, _) = frozen.with_rows_replaced(&patches);
+        assert_eq!(patched, frozen_of(&new));
+    }
+
+    #[test]
+    fn duplicate_links_keep_cheapest_like_cold_parse() {
+        let old = inputs(&[("m", "a b(300)\na b(100)\nb a(5)\n")]);
+        let new = inputs(&[("m", "a b(300)\na b(50)\nb a(5)\n")]);
+        let frozen = frozen_of(&old);
+        let patches = expect_patch(plan_delta(&old, &new, &frozen));
+        let (patched, _) = frozen.with_rows_replaced(&patches);
+        assert_eq!(patched, frozen_of(&new));
+    }
+
+    #[test]
+    fn continuation_and_multiline_statements_split() {
+        let stmts = split_statements("a b(5), \\\n  c(6)\nN = {x,\n y}(5)\n# note\n").unwrap();
+        assert_eq!(stmts.len(), 2);
+        assert!(stmts[0].starts_with("a b(5),"));
+        assert!(stmts[1].contains('{') && stmts[1].contains('}'));
+        assert!(split_statements("N = {a, b\n").is_none());
+    }
+
+    #[test]
+    fn ignore_case_folds_mentions() {
+        let old = inputs(&[("m", "A b(10)\nb c(5)\n")]);
+        let new = inputs(&[("m", "a B(10)\nb c(5)\n")]);
+        let pairs: Vec<(&str, &str)> = old.iter().map(|(f, t)| (f.as_str(), t.as_str())).collect();
+        let mut g = pathalias_graph::Graph::with_ignore_case(true);
+        for (f, t) in &pairs {
+            pathalias_parser::parse_into(&mut g, f, t).unwrap();
+        }
+        g.validate();
+        let frozen = g.freeze();
+        // Case-only respelling is a no-op statement change for a
+        // folding graph: the patch rebuilds a's row identically.
+        let patches = expect_patch(plan_delta(&old, &new, &frozen));
+        let (patched, _) = frozen.with_rows_replaced(&patches);
+        assert_eq!(patched, frozen);
+    }
+}

@@ -27,10 +27,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod delta;
 mod options;
 mod pipeline;
 pub mod stages;
 
+pub use delta::{plan_delta, DeltaPlan};
 pub use options::Options;
 pub use pipeline::{Error, Output, Pathalias, PhaseTimings};
 pub use stages::{Built, Frozen, Mapped, Parsed, Printed};
@@ -39,16 +41,17 @@ pub use stages::{Built, Frozen, Mapped, Parsed, Printed};
 // only this crate.
 pub use pathalias_graph::{
     dot, snapshot, stats, symbol_cost, symbol_table, unparse, ChIndex, Cost, Dir, EdgeId,
-    FrozenGraph, Graph, LinkFlags, NodeFlags, NodeId, ReverseGraph, RouteOp, SnapshotError,
-    Warning, DEFAULT_COST, INF,
+    EdgeShift, FrozenGraph, Graph, LinkFlags, NodeFlags, NodeId, ReverseGraph, RouteOp, RowPatch,
+    SnapshotError, Warning, DEFAULT_COST, INF,
 };
 pub use pathalias_mapper::{
     format_trace, map, map_dual, map_dual_frozen, map_frozen, map_frozen_quadratic_readonly,
-    map_frozen_readonly, map_quadratic_readonly, map_readonly, parallel, CostModel, DualTree,
-    Label, MapError, MapOptions, MapStats, ShortestPathTree,
+    map_frozen_readonly, map_quadratic_readonly, map_readonly, parallel, repair_frozen, CostModel,
+    DualTree, Label, MapError, MapOptions, MapStats, ShortestPathTree,
 };
 pub use pathalias_parser::{parse, parse_files, parse_into, ParseError};
 pub use pathalias_printer::diff::{diff as diff_routes, RouteChange};
 pub use pathalias_printer::{
-    compute_routes, render, write_routes, PrintOptions, Route, RouteKind, RouteTable, Sort,
+    compute_routes, render, update_routes, write_routes, PrintOptions, Route, RouteKind,
+    RouteTable, Sort,
 };

@@ -5,7 +5,7 @@ use pathalias_printer::Sort;
 
 /// Options controlling the whole pipeline, mirroring the original
 /// command line where one exists.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Options {
     /// The local host: the mapping source and the `0 ... %s` line of
     /// the output (`-l`). When unset, the first host declared in the

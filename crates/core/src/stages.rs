@@ -255,6 +255,33 @@ impl Frozen {
         }
     }
 
+    /// Re-enters the frozen stage with the given rows replaced — the
+    /// incremental-reload path, which patches the CSR in place of a
+    /// full re-parse/build/freeze ([`crate::delta`] plans the patches).
+    ///
+    /// The reverse index and the contraction hierarchy are *dropped*,
+    /// not patched: both are derived over the edge set, and serving a
+    /// stale hierarchy across a cost change answers `PATH` queries
+    /// wrongly. Callers rebuild what they need from the patched graph.
+    pub fn with_rows_replaced(
+        &self,
+        patches: &[pathalias_graph::RowPatch],
+    ) -> (Frozen, pathalias_graph::EdgeShift) {
+        let t0 = Instant::now();
+        let (graph, shift) = self.graph.with_rows_replaced(patches);
+        (
+            Frozen {
+                graph: Arc::new(graph),
+                reverse: None,
+                ch: None,
+                first_host: self.first_host,
+                warnings: self.warnings.clone(),
+                freeze_time: t0.elapsed(),
+            },
+            shift,
+        )
+    }
+
     /// The frozen graph.
     pub fn graph(&self) -> &Arc<FrozenGraph> {
         &self.graph

@@ -153,6 +153,56 @@ impl FrozenEdge {
     }
 }
 
+/// A replacement adjacency row for one node, consumed by
+/// [`FrozenGraph::with_rows_replaced`]: the node's complete new
+/// out-link list in declaration order, with raw (pre-`adjust`) costs —
+/// the same shape the freezer reads out of a built [`Graph`].
+#[derive(Debug, Clone)]
+pub struct RowPatch {
+    /// The node whose row is replaced.
+    pub node: NodeId,
+    /// The full new row: `(target, raw cost, operator, flags)`.
+    pub edges: Vec<(NodeId, Cost, RouteOp, LinkFlags)>,
+}
+
+/// Maps edge ids of a snapshot onto the delta-applied snapshot
+/// returned by [`FrozenGraph::with_rows_replaced`]. Edges before the
+/// first replaced row keep their ids; later edges shift by the
+/// cumulative row-size delta; edges *inside* a replaced row have no
+/// counterpart and map to `None`.
+#[derive(Debug, Clone)]
+pub struct EdgeShift {
+    /// Per replaced row, ascending: `(old_start, old_end, delta)`
+    /// where `delta` applies to every old edge id at or past
+    /// `old_end` (until the next span).
+    spans: Vec<(u32, u32, i64)>,
+}
+
+impl EdgeShift {
+    /// The new id of old edge `e`, or `None` when `e` sat inside a
+    /// replaced row.
+    pub fn map(&self, e: EdgeId) -> Option<EdgeId> {
+        let raw = e.raw();
+        // Rightmost span starting at or before `raw`.
+        let i = self.spans.partition_point(|&(start, _, _)| start <= raw);
+        if i == 0 {
+            return Some(e); // Before the first dirty row: identity.
+        }
+        let (_, end, delta) = self.spans[i - 1];
+        if raw < end {
+            return None; // Inside a replaced row.
+        }
+        Some(EdgeId::from_raw((raw as i64 + delta) as u32))
+    }
+
+    /// Whether the delta moved no surviving edge (every replaced row
+    /// kept its length), so old and new ids coincide outside the
+    /// replaced rows.
+    pub fn is_identity_outside_rows(&self) -> bool {
+        self.spans.iter().all(|&(_, _, delta)| delta == 0)
+    }
+}
+
 /// An immutable, cache-friendly snapshot of a built [`Graph`].
 ///
 /// Node ids are shared with the source graph (the pool indices are
@@ -346,6 +396,115 @@ impl FrozenGraph {
             raw_cost,
             index: self.index.clone(),
         }
+    }
+
+    /// Rebuilds the snapshot with the adjacency rows of the patched
+    /// nodes replaced wholesale, reusing the CSR prefix before the
+    /// first dirty row byte-for-byte (only the suffix shifts). This is
+    /// the incremental-freeze path: an entry-level map edit touches a
+    /// handful of rows, and every other node keeps its id and — up to a
+    /// uniform index shift — its edge range.
+    ///
+    /// Patch edges are given raw, in declaration order; the same
+    /// settling [`freeze`](FrozenGraph::freeze) performs is applied per
+    /// replaced row: edges to deleted nodes are dropped, exact
+    /// duplicates collapse to the cheapest, and the tail's `adjust`
+    /// bias is folded in (raw cost kept on the side). A patch for a
+    /// deleted node yields an empty row, as freezing would.
+    ///
+    /// `patches` must be sorted by node id, without duplicates. The
+    /// returned [`EdgeShift`] maps the old snapshot's edge ids into the
+    /// new one, `None` for edges inside replaced rows.
+    pub fn with_rows_replaced(&self, patches: &[RowPatch]) -> (FrozenGraph, EdgeShift) {
+        debug_assert!(
+            patches.windows(2).all(|w| w[0].node < w[1].node),
+            "patches must be sorted by node id, without duplicates"
+        );
+        if patches.is_empty() {
+            return (self.clone(), EdgeShift { spans: Vec::new() });
+        }
+        let n = self.node_count();
+        let first = patches[0].node.index();
+        assert!(
+            patches.last().unwrap().node.index() < n,
+            "patch for a node outside the snapshot"
+        );
+
+        // Reuse the untouched prefix: row starts for nodes 0..=first
+        // and every edge before the first dirty row.
+        let cut = self.row_start[first] as usize;
+        let mut row_start: Vec<u32> = self.row_start[..=first].to_vec();
+        let mut edges: Vec<FrozenEdge> = self.edges[..cut].to_vec();
+        let mut raw_cost: HashMap<u32, Cost> = HashMap::new();
+        let mut spans: Vec<(u32, u32, i64)> = Vec::with_capacity(patches.len());
+
+        let mut next_patch = 0usize;
+        for u in first..n {
+            let old = self.row(u);
+            if next_patch < patches.len() && patches[next_patch].node.index() == u {
+                let patch = &patches[next_patch];
+                next_patch += 1;
+                let base = edges.len();
+                if self.is_mappable(NodeId::from_raw(u as u32)) {
+                    'edges: for &(to, cost, op, lflags) in &patch.edges {
+                        if lflags.contains(LinkFlags::DELETED) || !self.is_mappable(to) {
+                            continue;
+                        }
+                        let cand = FrozenEdge::new(to, cost, op, lflags);
+                        for e in &mut edges[base..] {
+                            if e.to == cand.to
+                                && e.op_ch == cand.op_ch
+                                && e.op_dir == cand.op_dir
+                                && e.flags == cand.flags
+                            {
+                                if cand.cost < e.cost {
+                                    e.cost = cand.cost;
+                                }
+                                continue 'edges;
+                            }
+                        }
+                        edges.push(cand);
+                    }
+                    let bias = self.adjust[u];
+                    if bias != 0 {
+                        for (e, edge) in edges.iter_mut().enumerate().skip(base) {
+                            raw_cost.insert(e as u32, edge.cost);
+                            edge.cost = apply_adjust(edge.cost, bias);
+                        }
+                    }
+                }
+                // Cumulative shift for every old edge after this row.
+                let delta = edges.len() as i64 - old.end as i64;
+                spans.push((old.start as u32, old.end as u32, delta));
+            } else {
+                edges.extend_from_slice(&self.edges[old]);
+            }
+            row_start.push(edges.len() as u32);
+        }
+
+        let shift = EdgeShift { spans };
+        // Raw-cost sidecar entries outside the dirty rows follow their
+        // edges; entries inside were re-derived (or dropped) above.
+        for (&k, &v) in &self.raw_cost {
+            if let Some(nk) = shift.map(EdgeId::from_raw(k)) {
+                raw_cost.insert(nk.raw(), v);
+            }
+        }
+
+        (
+            FrozenGraph {
+                ignore_case: self.ignore_case,
+                name_data: self.name_data.clone(),
+                name_off: self.name_off.clone(),
+                flags: self.flags.clone(),
+                adjust: self.adjust.clone(),
+                row_start,
+                edges,
+                raw_cost,
+                index: self.index.clone(),
+            },
+            shift,
+        )
     }
 
     /// Whether name lookups fold case.
@@ -700,6 +859,116 @@ mod tests {
         let exit = f.out_edges(net).next().unwrap();
         assert!(f.edge_flags(exit).contains(LinkFlags::NET_OUT));
         assert_eq!(f.edge_cost(exit), 0);
+    }
+
+    #[test]
+    fn row_replacement_matches_cold_freeze() {
+        // Build a -> {b, c}, b -> {c}, c -> {a}; then replace b's row
+        // with {a, c} and check the patched snapshot equals freezing
+        // the same world cold.
+        let mut g = Graph::new();
+        let a = g.node("a");
+        let b = g.node("b");
+        let c = g.node("c");
+        g.declare_link(a, b, 10, RouteOp::UUCP);
+        g.declare_link(a, c, 20, RouteOp::UUCP);
+        g.declare_link(b, c, 30, RouteOp::UUCP);
+        g.declare_link(c, a, 40, RouteOp::UUCP);
+        let f = g.freeze();
+
+        let (patched, shift) = f.with_rows_replaced(&[RowPatch {
+            node: b,
+            edges: vec![
+                (a, 5, RouteOp::UUCP, LinkFlags::empty()),
+                (c, 35, RouteOp::UUCP, LinkFlags::empty()),
+            ],
+        }]);
+
+        let mut g2 = Graph::new();
+        let a2 = g2.node("a");
+        let b2 = g2.node("b");
+        let c2 = g2.node("c");
+        g2.declare_link(a2, b2, 10, RouteOp::UUCP);
+        g2.declare_link(a2, c2, 20, RouteOp::UUCP);
+        g2.declare_link(b2, a2, 5, RouteOp::UUCP);
+        g2.declare_link(b2, c2, 35, RouteOp::UUCP);
+        g2.declare_link(c2, a2, 40, RouteOp::UUCP);
+        assert_eq!(patched, g2.freeze(), "patched snapshot == cold freeze");
+
+        // Prefix edges keep their ids; b's old row maps to None; c's
+        // row shifts by the row-size delta (+1).
+        let a_edges: Vec<_> = f.out_edges(a).collect();
+        assert_eq!(shift.map(a_edges[0]), Some(a_edges[0]));
+        assert_eq!(shift.map(a_edges[1]), Some(a_edges[1]));
+        let b_edge = f.out_edges(b).next().unwrap();
+        assert_eq!(shift.map(b_edge), None);
+        let c_edge = f.out_edges(c).next().unwrap();
+        assert_eq!(shift.map(c_edge), Some(EdgeId::from_raw(c_edge.raw() + 1)));
+        assert!(!shift.is_identity_outside_rows());
+        assert_eq!(
+            patched.edge_target(shift.map(c_edge).unwrap()),
+            f.edge_target(c_edge)
+        );
+    }
+
+    #[test]
+    fn row_replacement_settles_like_freeze() {
+        // Duplicate collapse, deleted-target drop and adjust folding
+        // must all happen inside a replaced row.
+        let mut g = Graph::new();
+        let a = g.node("a");
+        let b = g.node("b");
+        let c = g.node("c");
+        let dead = g.node("gone");
+        g.declare_link(a, b, 10, RouteOp::UUCP);
+        g.adjust_node(a, 7);
+        g.delete_node(dead);
+        let f = g.freeze();
+
+        let (patched, shift) = f.with_rows_replaced(&[RowPatch {
+            node: a,
+            edges: vec![
+                (b, 30, RouteOp::UUCP, LinkFlags::empty()),
+                (b, 10, RouteOp::UUCP, LinkFlags::empty()), // dup, cheaper
+                (dead, 1, RouteOp::UUCP, LinkFlags::empty()), // dropped
+                (c, 20, RouteOp::UUCP, LinkFlags::empty()),
+            ],
+        }]);
+        let out: Vec<_> = patched.out_edges(a).collect();
+        assert_eq!(out.len(), 2, "dup collapsed, deleted target dropped");
+        assert_eq!(patched.edge_cost(out[0]), 17, "adjust folded in");
+        assert_eq!(patched.edge_raw_cost(out[0]), 10, "raw kept");
+        assert_eq!(patched.edge_cost(out[1]), 27);
+        assert_eq!(shift.map(f.out_edges(a).next().unwrap()), None);
+
+        // Patching a deleted node keeps its row empty.
+        let (patched, _) = f.with_rows_replaced(&[RowPatch {
+            node: dead,
+            edges: vec![(b, 1, RouteOp::UUCP, LinkFlags::empty())],
+        }]);
+        assert_eq!(patched.degree(dead), 0, "deleted nodes stay edgeless");
+    }
+
+    #[test]
+    fn cost_only_patch_is_identity_shift() {
+        let mut g = Graph::new();
+        let a = g.node("a");
+        let b = g.node("b");
+        g.declare_link(a, b, 10, RouteOp::UUCP);
+        g.declare_link(b, a, 10, RouteOp::UUCP);
+        let f = g.freeze();
+        let (patched, shift) = f.with_rows_replaced(&[RowPatch {
+            node: a,
+            edges: vec![(b, 99, RouteOp::UUCP, LinkFlags::empty())],
+        }]);
+        assert!(shift.is_identity_outside_rows());
+        let e = f.out_edges(b).next().unwrap();
+        assert_eq!(shift.map(e), Some(e));
+        assert_eq!(patched.edge_cost(patched.out_edges(a).next().unwrap()), 99);
+        // Empty patch set: a plain clone.
+        let (same, shift) = f.with_rows_replaced(&[]);
+        assert_eq!(same, f);
+        assert_eq!(shift.map(e), Some(e));
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub use ch::{ChEdge, ChIndex};
 pub use cost::{symbol_cost, symbol_table, Cost, DEFAULT_COST, INF};
 pub use diag::Warning;
 pub use flags::{LinkFlags, NodeFlags};
-pub use frozen::{EdgeId, FrozenEdge, FrozenGraph};
+pub use frozen::{EdgeId, EdgeShift, FrozenEdge, FrozenGraph, RowPatch};
 pub use graph::{FileId, Graph, LinkId, NodeId};
 pub use link::{Dir, Link, RouteOp};
 pub use node::Node;

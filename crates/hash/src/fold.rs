@@ -22,8 +22,25 @@
 /// ```
 #[inline]
 pub fn fold(name: &str) -> u64 {
+    fold_bytes(name.as_bytes())
+}
+
+/// Folds an arbitrary byte string into an integer key with the same
+/// shift-xor mixing as [`fold`]. Used where the input is not a host
+/// name — e.g. whole-file content fingerprints for change detection.
+///
+/// # Examples
+///
+/// ```
+/// use pathalias_hash::{fold, fold_bytes};
+///
+/// assert_eq!(fold_bytes(b"ucbvax"), fold("ucbvax"));
+/// assert_ne!(fold_bytes(b"a b(10)\n"), fold_bytes(b"a b(11)\n"));
+/// ```
+#[inline]
+pub fn fold_bytes(bytes: &[u8]) -> u64 {
     let mut k: u64 = 0;
-    for &b in name.as_bytes() {
+    for &b in bytes {
         // Rotate-style mixing: shift left, fold the high bits back in,
         // then xor the next byte — all "bit-level shifts and
         // exclusive-ors", per the paper.

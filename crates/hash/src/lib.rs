@@ -34,7 +34,7 @@ mod fold;
 pub mod primes;
 mod table;
 
-pub use fold::fold;
+pub use fold::{fold, fold_bytes};
 pub use table::{
     GrowthPolicy, HostTable, ProbeStats, SecondaryHash, TableConfig, ALPHA_HIGH, ALPHA_LOW,
 };

@@ -527,6 +527,185 @@ pub fn map_frozen(
     }
 }
 
+/// Repairs `old` — a tree mapped over a snapshot that differs from
+/// `graph` only in the adjacency rows of the `dirty` nodes — into the
+/// tree a fresh [`map_frozen_readonly`] run over `graph` would
+/// produce, in time proportional to the affected cone rather than the
+/// whole world (Ramalingam–Reps-style dynamic SSSP over the packed
+/// run state).
+///
+/// The caller must pass the `graph`/`shift` pair returned by
+/// [`FrozenGraph::with_rows_replaced`] applied to `old.frozen()`, and
+/// the same `opts` the old tree was mapped with. The repair seeds the
+/// priority queue with the dirty tails and the intact frontier around
+/// the invalidated subtrees and re-runs the ordinary relaxation; the
+/// deterministic tie break ("smaller (pred, edge) wins") is
+/// visit-order independent, so the repaired labels are bit-identical
+/// to a cold run's.
+///
+/// Returns `Ok(None)` — caller falls back to a full remap — when the
+/// repair cannot cheaply certify equivalence: tracing is on (a
+/// repair's trace log would differ from a full run's), the dirty cone
+/// exceeds `max_dirty_fraction` of the world (the worst-case guard:
+/// a delta must never cost more than the full run it replaces), the
+/// set of reached nodes changed (the back-link pass would invent a
+/// different augmentation), or an unreachable dirty node gained an
+/// edge to a mapped host (a full run would invent a new back link).
+pub fn repair_frozen(
+    old: &ShortestPathTree,
+    graph: &Arc<FrozenGraph>,
+    dirty: &[NodeId],
+    shift: &pathalias_graph::EdgeShift,
+    opts: &MapOptions,
+    max_dirty_fraction: f64,
+) -> Result<Option<ShortestPathTree>, MapError> {
+    let n = graph.node_count();
+    if !opts.trace.is_empty() || n != old.frozen().node_count() || n == 0 {
+        return Ok(None);
+    }
+    let source = old.source;
+    let mut run = Run::new(graph, source, opts)?;
+
+    // Re-load the packed run state from the old tree's labels (pred
+    // edge ids still in old-snapshot terms; remapped below).
+    for i in 0..n {
+        match &old.labels[i] {
+            Some(l) => {
+                run.key[i] = pack_key(l.cost, l.hops, i as u32);
+                run.pred[i] = match l.pred {
+                    Some((p, e)) => (p.raw(), e.raw()),
+                    None => NO_PRED,
+                };
+                run.state[i] = LABELLED
+                    | if l.has_left { HAS_LEFT } else { 0 }
+                    | if l.has_right { HAS_RIGHT } else { 0 }
+                    | if l.tainted { TAINTED } else { 0 }
+                    | if l.via_backlink { VIA_BACK } else { 0 }
+                    | if l.ambiguous { AMBIGUOUS } else { 0 };
+            }
+            None => {
+                run.key[i] = pack_key(0, 0, i as u32);
+                run.pred[i] = NO_PRED;
+                run.state[i] = 0;
+            }
+        }
+    }
+
+    let mut is_dirty = vec![false; n];
+    for &d in dirty {
+        is_dirty[d.index()] = true;
+    }
+
+    // Invalidate every strict descendant of a dirty node: its label
+    // was derived (directly or transitively) through a replaced row.
+    // The dirty nodes themselves keep their labels — the path *into*
+    // them is intact.
+    let children = old.children();
+    let mut invalid = 0usize;
+    let mut stack: Vec<NodeId> = Vec::new();
+    for &d in dirty {
+        stack.extend(children[d.index()].iter().copied());
+    }
+    while let Some(v) = stack.pop() {
+        let vi = v.index();
+        if run.state[vi] & LABELLED == 0 {
+            continue; // Already cleared via another dirty ancestor.
+        }
+        run.state[vi] = 0;
+        run.pred[vi] = NO_PRED;
+        run.key[vi] = pack_key(0, 0, vi as u32);
+        invalid += 1;
+        stack.extend(children[vi].iter().copied());
+    }
+    let budget = ((n as f64) * max_dirty_fraction) as usize;
+    if invalid + dirty.len() > budget.max(1) {
+        return Ok(None);
+    }
+
+    // Surviving labels still hold old edge ids; shift them into the
+    // new snapshot. An intact pred inside a replaced row is impossible
+    // (its head would have been invalidated above) — bail rather than
+    // trust a corrupt input.
+    for i in 0..n {
+        if run.state[i] & LABELLED != 0 && run.pred[i] != NO_PRED {
+            match shift.map(EdgeId::from_raw(run.pred[i].1)) {
+                Some(e) => run.pred[i].1 = e.raw(),
+                None => return Ok(None),
+            }
+        }
+    }
+
+    // Seed the queue: every labelled dirty tail (its row's weights
+    // changed) and every intact node on the frontier of the cleared
+    // region (an edge into an unlabelled node). Over-seeding is
+    // harmless — a pop whose relaxations all lose is just wasted work.
+    let mut heap: BinaryHeap<Reverse<Key>> = BinaryHeap::with_capacity(256);
+    for (i, &dirty) in is_dirty.iter().enumerate() {
+        if run.state[i] & LABELLED == 0 {
+            continue;
+        }
+        let seed = dirty || {
+            let (_, row) = graph.edge_slice(NodeId::from_raw(i as u32));
+            row.iter()
+                .any(|e| run.state[e.to().index()] & LABELLED == 0)
+        };
+        if seed {
+            heap.push(Reverse(run.key[i]));
+            run.stats.pushes += 1;
+        }
+    }
+
+    // The ordinary lazy-deletion loop over the seeded frontier.
+    while let Some(Reverse(key)) = heap.pop() {
+        let u_raw = key as u32;
+        if run.state[u_raw as usize] & MAPPED != 0 {
+            run.stats.stale_pops += 1;
+            continue;
+        }
+        run.stats.pops += 1;
+        let u = NodeId::from_raw(u_raw);
+        run.state[u.index()] |= MAPPED;
+        run.stats.mapped += 1;
+        let tail = run.tail(u);
+        let (base_edge, row) = graph.edge_slice(u);
+        run.stats.relaxations += row.len() as u64;
+        for (i, &edge) in row.iter().enumerate() {
+            if let Relaxed::Improved(key) = run.relax(&tail, base_edge + i as u32, edge) {
+                heap.push(Reverse(key));
+                run.stats.pushes += 1;
+            }
+        }
+    }
+
+    // The reached set must be exactly the old one: anything else means
+    // the back-link pass would run differently on a cold start.
+    for i in 0..n {
+        if (run.state[i] & LABELLED != 0) != old.labels[i].is_some() {
+            return Ok(None);
+        }
+    }
+    // An unreachable dirty node whose *new* row reaches a mapped host
+    // would make a cold run invent a back link that the old
+    // augmentation lacks.
+    if !opts.no_backlinks {
+        for &d in dirty {
+            if run.state[d.index()] & LABELLED != 0 {
+                continue;
+            }
+            let (_, row) = graph.edge_slice(d);
+            if row.iter().any(|e| {
+                !e.flags().contains(LinkFlags::BACK) && run.state[e.to().index()] & LABELLED != 0
+            }) {
+                return Ok(None);
+            }
+        }
+    }
+
+    run.stats.backlink_rounds = old.stats.backlink_rounds;
+    run.stats.invented_links = old.stats.invented_links;
+    Ok(Some(run.finish(graph.clone())))
+}
+
 /// Freezes `g` and maps it from `source` with back links (see
 /// [`map_frozen`]). Convenient for one-shot callers; anything that maps
 /// repeatedly should freeze once.
@@ -886,6 +1065,222 @@ x y(1)
         assert_eq!(t1.label(x).unwrap().pred.unwrap().0, a);
         assert_eq!(t1.label(x), t2.label(x));
         assert_eq!(t1.label(x), t3.label(x));
+    }
+
+    /// Asserts every label of `a` equals the matching label of `b`.
+    fn assert_trees_equal(a: &ShortestPathTree, b: &ShortestPathTree) {
+        for id in a.frozen().node_ids() {
+            assert_eq!(a.label(id), b.label(id), "label of node {id:?}");
+        }
+    }
+
+    #[test]
+    fn repair_matches_cold_run_on_cost_change() {
+        let text = "\
+hub a(10), b(10), c(10)
+a x(10)
+b x(10)
+c x(10)
+x y(1)
+y hub(1)
+";
+        let g = parse(text).unwrap();
+        let hub = g.try_node("hub").unwrap();
+        let a = g.try_node("a").unwrap();
+        let x = g.try_node("x").unwrap();
+        let opts = MapOptions::default();
+        let frozen = Arc::new(g.freeze());
+        let old = map_frozen_readonly(&frozen, hub, &opts).unwrap();
+
+        // Cheapen a -> x so the tie for x flips to a decisive win.
+        let (patched, shift) = frozen.with_rows_replaced(&[pathalias_graph::RowPatch {
+            node: a,
+            edges: vec![(x, 1, pathalias_graph::RouteOp::UUCP, LinkFlags::empty())],
+        }]);
+        let patched = Arc::new(patched);
+        let repaired = repair_frozen(&old, &patched, &[a], &shift, &opts, 1.0)
+            .unwrap()
+            .expect("repair applies");
+        let cold = map_frozen_readonly(&patched, hub, &opts).unwrap();
+        assert_trees_equal(&repaired, &cold);
+        assert_eq!(repaired.cost(x), Some(11));
+    }
+
+    #[test]
+    fn repair_matches_cold_run_on_link_removal() {
+        let text = "\
+hub a(10), b(50)
+a x(10)
+b x(10)
+x y(1)
+b a(70)
+";
+        let g = parse(text).unwrap();
+        let hub = g.try_node("hub").unwrap();
+        let a = g.try_node("a").unwrap();
+        let x = g.try_node("x").unwrap();
+        let opts = MapOptions::default();
+        let frozen = Arc::new(g.freeze());
+        let old = map_frozen_readonly(&frozen, hub, &opts).unwrap();
+        assert_eq!(old.cost(x), Some(20), "via a");
+
+        // Drop a -> x: x must re-route through b, and the whole x
+        // subtree repairs.
+        let (patched, shift) = frozen.with_rows_replaced(&[pathalias_graph::RowPatch {
+            node: a,
+            edges: vec![],
+        }]);
+        let patched = Arc::new(patched);
+        let repaired = repair_frozen(&old, &patched, &[a], &shift, &opts, 1.0)
+            .unwrap()
+            .expect("repair applies");
+        let cold = map_frozen_readonly(&patched, hub, &opts).unwrap();
+        assert_trees_equal(&repaired, &cold);
+        assert_eq!(repaired.cost(x), Some(60), "re-routed via b");
+    }
+
+    #[test]
+    fn repair_settles_ties_like_cold_run() {
+        // Three equal preds for x; dirtying one must leave the
+        // deterministic winner (smallest pred id) in place.
+        let text = "\
+hub a(10), b(10), c(10)
+a x(10)
+b x(10)
+c x(10)
+";
+        let g = parse(text).unwrap();
+        let hub = g.try_node("hub").unwrap();
+        let c = g.try_node("c").unwrap();
+        let x = g.try_node("x").unwrap();
+        let opts = MapOptions::default();
+        let frozen = Arc::new(g.freeze());
+        let old = map_frozen_readonly(&frozen, hub, &opts).unwrap();
+        let (patched, shift) = frozen.with_rows_replaced(&[pathalias_graph::RowPatch {
+            node: c,
+            edges: vec![(x, 10, pathalias_graph::RouteOp::UUCP, LinkFlags::empty())],
+        }]);
+        let patched = Arc::new(patched);
+        let repaired = repair_frozen(&old, &patched, &[c], &shift, &opts, 1.0)
+            .unwrap()
+            .expect("repair applies");
+        let cold = map_frozen_readonly(&patched, hub, &opts).unwrap();
+        assert_trees_equal(&repaired, &cold);
+        let a = g.try_node("a").unwrap();
+        assert_eq!(repaired.label(x).unwrap().pred.unwrap().0, a);
+    }
+
+    #[test]
+    fn repair_bails_when_reachability_changes() {
+        let g = parse("hub a(10)\na x(10)\n").unwrap();
+        let hub = g.try_node("hub").unwrap();
+        let a = g.try_node("a").unwrap();
+        let x = g.try_node("x").unwrap();
+        let opts = MapOptions {
+            no_backlinks: true,
+            ..MapOptions::default()
+        };
+        let frozen = Arc::new(g.freeze());
+        let old = map_frozen_readonly(&frozen, hub, &opts).unwrap();
+        // Cutting a -> x strands x: the reached set shrinks, so the
+        // repair must hand back to the full pipeline.
+        let (patched, shift) = frozen.with_rows_replaced(&[pathalias_graph::RowPatch {
+            node: a,
+            edges: vec![],
+        }]);
+        let patched = Arc::new(patched);
+        assert!(repair_frozen(&old, &patched, &[a], &shift, &opts, 1.0)
+            .unwrap()
+            .is_none());
+        // And a too-small dirty budget bails before doing any work.
+        let (same, shift2) = frozen.with_rows_replaced(&[pathalias_graph::RowPatch {
+            node: a,
+            edges: vec![(x, 11, pathalias_graph::RouteOp::UUCP, LinkFlags::empty())],
+        }]);
+        let same = Arc::new(same);
+        assert!(
+            repair_frozen(&old, &same, &[a], &shift2, &opts, 0.0)
+                .unwrap()
+                .is_none(),
+            "zero budget always falls back"
+        );
+    }
+
+    #[test]
+    fn repair_bails_when_unreachable_dirty_node_gains_mapped_target() {
+        // leaf is unreachable (no_backlinks run over a world where a
+        // cold full map would invent b -> leaf). Giving leaf an edge
+        // while it stays unreachable must bail under default options
+        // because a cold run's invention set would change.
+        let g = parse("hub b(10)\nleaf b(25)\n").unwrap();
+        let hub = g.try_node("hub").unwrap();
+        let b = g.try_node("b").unwrap();
+        let leaf = g.try_node("leaf").unwrap();
+        let opts = MapOptions {
+            no_backlinks: true,
+            ..MapOptions::default()
+        };
+        let frozen = Arc::new(g.freeze());
+        let old = map_frozen_readonly(&frozen, hub, &opts).unwrap();
+        assert!(!old.is_mapped(leaf));
+        let (patched, shift) = frozen.with_rows_replaced(&[pathalias_graph::RowPatch {
+            node: leaf,
+            edges: vec![(b, 30, pathalias_graph::RouteOp::UUCP, LinkFlags::empty())],
+        }]);
+        let patched = Arc::new(patched);
+        // With back links enabled a cold run would invent differently.
+        let with_backlinks = MapOptions::default();
+        assert!(
+            repair_frozen(&old, &patched, &[leaf], &shift, &with_backlinks, 1.0)
+                .unwrap()
+                .is_none(),
+            "invention-changing delta must fall back"
+        );
+        // With back links disabled the repair can stand.
+        let repaired = repair_frozen(&old, &patched, &[leaf], &shift, &opts, 1.0)
+            .unwrap()
+            .expect("no inventions to differ on");
+        let cold = map_frozen_readonly(&patched, hub, &opts).unwrap();
+        assert_trees_equal(&repaired, &cold);
+    }
+
+    #[test]
+    fn repair_over_augmented_snapshot_cost_change() {
+        // A world that needed a back link: the cached tree's graph is
+        // the augmented snapshot. A cost-only patch to a row of that
+        // snapshot (base prefix + kept BACK tail) must still repair to
+        // the cold answer over the same augmentation.
+        let g = parse("hub a(10)\na x(10)\nleaf a(25)\n").unwrap();
+        let hub = g.try_node("hub").unwrap();
+        let a = g.try_node("a").unwrap();
+        let x = g.try_node("x").unwrap();
+        let opts = MapOptions::default();
+        let frozen = Arc::new(g.freeze());
+        let old = map_frozen(&frozen, hub, &opts).unwrap();
+        assert_eq!(old.stats.invented_links, 1);
+        let aug = old.frozen().clone();
+
+        // Rebuild a's row with the same shape, only the a->x cost
+        // changed; the invented a->leaf BACK edge rides along.
+        let mut edges = Vec::new();
+        for e in aug.out_edges(a) {
+            let cost = if aug.edge_target(e) == x {
+                99
+            } else {
+                aug.edge_raw_cost(e)
+            };
+            edges.push((aug.edge_target(e), cost, aug.edge_op(e), aug.edge_flags(e)));
+        }
+        let (patched, shift) =
+            aug.with_rows_replaced(&[pathalias_graph::RowPatch { node: a, edges }]);
+        assert!(shift.is_identity_outside_rows());
+        let patched = Arc::new(patched);
+        let repaired = repair_frozen(&old, &patched, &[a], &shift, &opts, 1.0)
+            .unwrap()
+            .expect("repair applies over the augmented snapshot");
+        let cold = map_frozen_readonly(&patched, hub, &opts).unwrap();
+        assert_trees_equal(&repaired, &cold);
+        assert_eq!(repaired.cost(x), Some(109));
     }
 
     #[test]

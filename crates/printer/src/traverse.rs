@@ -24,12 +24,124 @@ pub fn compute_routes(tree: &ShortestPathTree) -> RouteTable {
 
     // Iterative preorder: (node, route, name) — the route/name strings
     // are exactly what the original passed as recursion parameters.
-    let mut stack: Vec<(NodeId, String, String)> = vec![(
+    let stack: Vec<(NodeId, String, String)> = vec![(
         tree.source,
         "%s".to_string(),
         f.name(tree.source).to_string(),
     )];
+    traverse(f, tree, &children, stack, &mut entries);
 
+    entries.sort_by_key(|r| r.node);
+    RouteTable {
+        source: tree.source,
+        entries,
+    }
+}
+
+/// Recomputes routes after an incremental remap, reusing every entry
+/// whose route cannot have moved.
+///
+/// `changed` lists the nodes whose tree labels differ from the run the
+/// old table was printed from. A node's route depends on its own label
+/// and on its ancestors' routes, so only the subtree closure of
+/// `changed` (in the *new* tree) needs re-traversal; everything else is
+/// carried over from `old` verbatim. Requires that the labelled set is
+/// unchanged (the incremental-remap contract) and that `old` was
+/// printed from the same source; returns `None` when the inputs don't
+/// line up and the caller should fall back to [`compute_routes`].
+pub fn update_routes(
+    tree: &ShortestPathTree,
+    old: &RouteTable,
+    changed: &[NodeId],
+) -> Option<RouteTable> {
+    let f: &FrozenGraph = tree.frozen();
+    if old.source != tree.source || old.entries.len() != tree.mapped_count() {
+        return None;
+    }
+    if changed.is_empty() {
+        return Some(old.clone());
+    }
+    let children = tree.children();
+
+    // The closure: every changed node plus all of its descendants in
+    // the new tree (their routes splice through it).
+    let n = f.node_count();
+    let mut needs = vec![false; n];
+    let mut dfs: Vec<NodeId> = changed
+        .iter()
+        .copied()
+        .filter(|&c| tree.label(c).is_some())
+        .collect();
+    while let Some(v) = dfs.pop() {
+        if std::mem::replace(&mut needs[v.index()], true) {
+            continue;
+        }
+        dfs.extend(children[v.index()].iter().copied());
+    }
+
+    // Entries are sorted by node id, so parents resolve by binary
+    // search.
+    let entry_of = |node: NodeId| -> Option<&Route> {
+        let i = old.entries.binary_search_by_key(&node, |r| r.node).ok()?;
+        Some(&old.entries[i])
+    };
+
+    // Re-traverse each maximal dirty subtree, seeding its root's
+    // (route, name) from the still-valid parent entry.
+    let mut stack: Vec<(NodeId, String, String)> = Vec::new();
+    for i in 0..n {
+        if !needs[i] {
+            continue;
+        }
+        let node = NodeId::from_raw(i as u32);
+        if node == tree.source {
+            stack.push((node, "%s".to_string(), f.name(node).to_string()));
+            continue;
+        }
+        let (parent, _) = tree.label(node)?.pred?;
+        if needs[parent.index()] {
+            continue; // an inner node; its subtree root seeds it
+        }
+        let pe = entry_of(parent)?;
+        let (route, name) = child_step(f, tree, parent, &pe.route, &pe.name, node)?;
+        stack.push((node, route, name));
+    }
+    let mut fresh: Vec<Route> = Vec::new();
+    traverse(f, tree, &children, stack, &mut fresh);
+    fresh.sort_by_key(|r| r.node);
+
+    // Merge: dirty entries replaced, everything else carried over.
+    let mut entries = Vec::with_capacity(old.entries.len());
+    let mut fi = 0;
+    for r in &old.entries {
+        if needs[r.node.index()] {
+            if fresh.get(fi).map(|nr| nr.node) != Some(r.node) {
+                return None;
+            }
+            entries.push(fresh[fi].clone());
+            fi += 1;
+        } else {
+            entries.push(r.clone());
+        }
+    }
+    if fi != fresh.len() {
+        return None;
+    }
+    Some(RouteTable {
+        source: tree.source,
+        entries,
+    })
+}
+
+/// Runs the preorder traversal from a pre-seeded stack, appending one
+/// [`Route`] per visited node.
+fn traverse(
+    f: &FrozenGraph,
+    tree: &ShortestPathTree,
+    children: &[Vec<NodeId>],
+    mut stack: Vec<(NodeId, String, String)>,
+    entries: &mut Vec<Route>,
+) {
     while let Some((node, route, name)) = stack.pop() {
         let label = tree.label(node).expect("traversal follows labels");
 
@@ -56,39 +168,8 @@ pub fn compute_routes(tree: &ShortestPathTree) -> RouteTable {
 
         // Children in reverse so the stack pops them in sorted order.
         for &child in children[node.index()].iter().rev() {
-            let (_, edge) = tree
-                .label(child)
-                .expect("child is labelled")
-                .pred
-                .expect("non-source labelled nodes have predecessors");
-            let eflags = f.edge_flags(edge);
-
-            // Domain-name synthesis: "the name of the domain is
-            // appended to the name of its successor".
-            let child_name = if f.is_domain(node) {
-                format!("{}{}", f.name(child), name)
-            } else {
-                f.name(child).to_string()
-            };
-
-            let child_route = if eflags.contains(LinkFlags::ALIAS) {
-                // Aliases splice nothing: the predecessor's name is the
-                // one on the wire.
-                route.clone()
-            } else if f.is_net(child) {
-                // "The route to a network is identical to the route to
-                // its parent."
-                route.clone()
-            } else {
-                let op = effective_op(
-                    f,
-                    tree,
-                    node,
-                    f.edge_op(edge),
-                    eflags.contains(LinkFlags::NET_OUT),
-                );
-                op.splice(&route, &child_name)
-            };
+            let (child_route, child_name) = child_step(f, tree, node, &route, &name, child)
+                .expect("children of labelled nodes are labelled");
             stack.push((child, child_route, child_name));
         }
 
@@ -103,12 +184,48 @@ pub fn compute_routes(tree: &ShortestPathTree) -> RouteTable {
             ambiguous: label.ambiguous,
         });
     }
+}
 
-    entries.sort_by_key(|r| r.node);
-    RouteTable {
-        source: tree.source,
-        entries,
-    }
+/// The recursion step: the (route, name) a child inherits from its tree
+/// parent's (route, name).
+fn child_step(
+    f: &FrozenGraph,
+    tree: &ShortestPathTree,
+    node: NodeId,
+    route: &str,
+    name: &str,
+    child: NodeId,
+) -> Option<(String, String)> {
+    let (_, edge) = tree.label(child)?.pred?;
+    let eflags = f.edge_flags(edge);
+
+    // Domain-name synthesis: "the name of the domain is appended to the
+    // name of its successor".
+    let child_name = if f.is_domain(node) {
+        format!("{}{}", f.name(child), name)
+    } else {
+        f.name(child).to_string()
+    };
+
+    let child_route = if eflags.contains(LinkFlags::ALIAS) {
+        // Aliases splice nothing: the predecessor's name is the one on
+        // the wire.
+        route.to_string()
+    } else if f.is_net(child) {
+        // "The route to a network is identical to the route to its
+        // parent."
+        route.to_string()
+    } else {
+        let op = effective_op(
+            f,
+            tree,
+            node,
+            f.edge_op(edge),
+            eflags.contains(LinkFlags::NET_OUT),
+        );
+        op.splice(route, &child_name)
+    };
+    Some((child_route, child_name))
 }
 
 /// "When traversing a network-to-member edge, the routing character and
@@ -256,6 +373,92 @@ host caip(200)
         let t = routes_for("a b(10)\nleaf b(25)\n", "a");
         assert!(route_of(&t, "leaf").via_backlink);
         assert!(!route_of(&t, "b").via_backlink);
+    }
+
+    /// Maps `text`, patches one node's row, cold-maps the patched
+    /// graph, and returns (old table, new tree, changed node list).
+    fn patched_world(
+        text: &str,
+        source: &str,
+        patch_node: &str,
+        edit: impl Fn(
+            &pathalias_graph::FrozenGraph,
+            NodeId,
+        ) -> Vec<(NodeId, pathalias_graph::Cost, RouteOp, LinkFlags)>,
+    ) -> (RouteTable, ShortestPathTree, Vec<NodeId>) {
+        use pathalias_mapper::map_frozen_readonly;
+        use std::sync::Arc;
+
+        let g = parse(text).unwrap();
+        let s = g.try_node(source).unwrap();
+        let p = g.try_node(patch_node).unwrap();
+        let frozen = Arc::new(g.freeze());
+        let old_tree = map_frozen_readonly(&frozen, s, &MapOptions::default()).unwrap();
+        let old_table = compute_routes(&old_tree);
+
+        let (patched, _) = frozen.with_rows_replaced(&[pathalias_graph::RowPatch {
+            node: p,
+            edges: edit(&frozen, p),
+        }]);
+        let patched = Arc::new(patched);
+        let new_tree = map_frozen_readonly(&patched, s, &MapOptions::default()).unwrap();
+        let changed: Vec<NodeId> = patched
+            .node_ids()
+            .filter(|&id| old_tree.label(id) != new_tree.label(id))
+            .collect();
+        (old_table, new_tree, changed)
+    }
+
+    #[test]
+    fn update_routes_matches_full_recompute() {
+        // The b->x cost drop moves x (and its whole subtree, including
+        // the domain chain that re-synthesizes names) under b.
+        let text = "\
+hub a(10), b(12)
+a x(20)
+b x(20)
+x y(5)
+y .edu(5)
+.edu = {.rutgers}(0)
+.rutgers = {caip}(0)
+x z(1)
+";
+        let (old_table, new_tree, changed) = patched_world(text, "hub", "b", |f, _| {
+            let x = f.id_of("x").unwrap();
+            vec![(x, 1, RouteOp::UUCP, LinkFlags::empty())]
+        });
+        assert!(!changed.is_empty());
+        let updated = update_routes(&new_tree, &old_table, &changed).expect("inputs line up");
+        let full = compute_routes(&new_tree);
+        assert_eq!(updated.entries, full.entries);
+        assert_eq!(updated.source, full.source);
+        // The moved subtree really re-routed.
+        assert_eq!(updated.find("x").unwrap().route, "b!x!%s");
+        assert_eq!(
+            updated.find("caip.rutgers.edu").unwrap().route,
+            "b!x!y!caip.rutgers.edu!%s"
+        );
+    }
+
+    #[test]
+    fn update_routes_no_changes_is_identity() {
+        let g = parse("a b(10)\nb c(20)\n").unwrap();
+        let a = g.try_node("a").unwrap();
+        let tree = map(&g, a, &MapOptions::default()).unwrap();
+        let table = compute_routes(&tree);
+        let same = update_routes(&tree, &table, &[]).unwrap();
+        assert_eq!(same.entries, table.entries);
+    }
+
+    #[test]
+    fn update_routes_rejects_mismatched_table() {
+        let g = parse("a b(10)\n").unwrap();
+        let a = g.try_node("a").unwrap();
+        let b = g.try_node("b").unwrap();
+        let tree_a = map(&g, a, &MapOptions::default()).unwrap();
+        let tree_b = map(&g, b, &MapOptions::default()).unwrap();
+        let table_b = compute_routes(&tree_b);
+        assert!(update_routes(&tree_a, &table_b, &[a]).is_none());
     }
 
     #[test]

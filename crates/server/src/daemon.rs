@@ -1255,13 +1255,16 @@ fn accept_tcp(state: Arc<State>, listener: TcpListener) {
     }
 }
 
-/// The `--watch` loop: polls every map's (mtime, size) fingerprint and
-/// runs the ordinary per-map reload path for each map whose
-/// fingerprint changed — one map's rewrite never re-parses the others.
-/// A fingerprint that cannot be read (a file mid-rewrite, say) skips
-/// that map for the tick rather than reloading a half-written source;
-/// the next tick sees the settled state. Sleeps in short slices so a
-/// drain is never stuck behind a long interval.
+/// The `--watch` loop: polls every map's fingerprint (size, mtime and,
+/// on unix, inode/ctime — see [`crate::reload`]) and runs the ordinary
+/// per-map reload path for each map whose fingerprint changed — one
+/// map's rewrite never re-parses the others. A fingerprint that cannot
+/// be read (a file mid-rewrite, say) skips that map for the tick
+/// rather than reloading a half-written source; the next tick sees the
+/// settled state. The skip is *logged*, rate-limited per map, so a map
+/// whose file vanished for good does not sit silently stale forever.
+/// Sleeps in short slices so a drain is never stuck behind a long
+/// interval.
 fn watch_sources(
     state: Arc<State>,
     interval: Duration,
@@ -1274,6 +1277,10 @@ fn watch_sources(
     let mut last: Vec<Option<crate::reload::Fingerprint>> = (0..state.maps.len())
         .map(|i| baselines.get(i).cloned().flatten())
         .collect();
+    // Consecutive fingerprint failures per map, for rate-limiting the
+    // failure log: the first failure logs immediately, then every 16th
+    // tick while the condition persists.
+    let mut fail_streak: Vec<u64> = vec![0; state.maps.len()];
     loop {
         let mut slept = Duration::ZERO;
         while slept < interval {
@@ -1288,8 +1295,24 @@ fn watch_sources(
             if state.shutting_down.load(Ordering::SeqCst) {
                 return;
             }
-            let Ok(current) = crate::reload::fingerprint(&paths[i]) else {
-                continue;
+            let current = match crate::reload::fingerprint(&paths[i]) {
+                Ok(fp) => {
+                    fail_streak[i] = 0;
+                    fp
+                }
+                Err(e) => {
+                    fail_streak[i] += 1;
+                    if fail_streak[i] == 1 || fail_streak[i] % 16 == 0 {
+                        state
+                            .logger
+                            .warn("watch_fingerprint_failed")
+                            .field("map", &map.name)
+                            .field("error", e.to_string())
+                            .field("streak", fail_streak[i])
+                            .emit();
+                    }
+                    continue;
+                }
             };
             if last[i].as_ref() != Some(&current) {
                 state

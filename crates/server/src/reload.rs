@@ -19,7 +19,9 @@
 //! map stage instead of re-parsing the world.
 
 use pathalias_core::{
-    parallel, Frozen, FrozenGraph, MapOptions, Options, Parsed, PhaseTimings, SnapshotError,
+    parallel, plan_delta, render, repair_frozen, update_routes, DeltaPlan, EdgeShift, Frozen,
+    FrozenGraph, MapOptions, Mapped, NodeId, Options, Parsed, PhaseTimings, PrintOptions, Printed,
+    RowPatch, SnapshotError,
 };
 use pathalias_mailer::{
     disk::DiskDb, disk::DiskError, disk::MappedDb, BoxedResolver, DbError, RouteDb, SharedRouteDb,
@@ -27,52 +29,134 @@ use pathalias_mailer::{
 use pathalias_router::PointToPoint;
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Instant, SystemTime};
 
-/// A change-detection fingerprint for a set of source files.
-pub(crate) type Fingerprint = Vec<(PathBuf, Option<SystemTime>, u64)>;
+/// A loaded serving bundle: the resolver, the optional point-to-point
+/// engine, and how long each pipeline phase took.
+type ServingParts = (BoxedResolver, Option<Arc<PointToPoint>>, PhaseTimings);
 
-/// Computes the (path, mtime, size) fingerprint of `paths`.
+/// When an edit dirties more than this fraction of the world, the
+/// incremental remap would approach a full run anyway — fall back.
+const DELTA_MAX_DIRTY_FRACTION: f64 = 0.25;
+
+/// A change-detection stamp for one source file.
+///
+/// Size and mtime alone miss the classic trap: a rewrite that keeps
+/// the length and lands within the filesystem's mtime granularity (or
+/// a tool that deliberately restores the mtime) is invisible. On unix
+/// the stamp adds the inode number and the ctime — the kernel bumps
+/// ctime on every write regardless of what userspace sets mtime to,
+/// and it costs one `stat`, no file read (which matters for mmap-served
+/// tables bigger than memory). Elsewhere the stamp hashes the file
+/// contents instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct FileStamp {
+    path: PathBuf,
+    size: u64,
+    mtime: Option<SystemTime>,
+    #[cfg(unix)]
+    ino: u64,
+    #[cfg(unix)]
+    ctime: (i64, i64),
+    #[cfg(not(unix))]
+    content: u64,
+}
+
+/// A change-detection fingerprint for a set of source files.
+pub(crate) type Fingerprint = Vec<FileStamp>;
+
+/// Computes the fingerprint of `paths`.
 pub(crate) fn fingerprint<'a>(
     paths: impl IntoIterator<Item = &'a PathBuf>,
 ) -> std::io::Result<Fingerprint> {
-    paths
-        .into_iter()
-        .map(|p| {
-            let meta = std::fs::metadata(p)?;
-            Ok((p.clone(), meta.modified().ok(), meta.len()))
-        })
-        .collect()
+    paths.into_iter().map(stamp).collect()
+}
+
+#[cfg(unix)]
+fn stamp(p: &PathBuf) -> std::io::Result<FileStamp> {
+    use std::os::unix::fs::MetadataExt;
+    let meta = std::fs::metadata(p)?;
+    Ok(FileStamp {
+        path: p.clone(),
+        size: meta.len(),
+        mtime: meta.modified().ok(),
+        ino: meta.ino(),
+        ctime: (meta.ctime(), meta.ctime_nsec()),
+    })
+}
+
+#[cfg(not(unix))]
+fn stamp(p: &PathBuf) -> std::io::Result<FileStamp> {
+    let meta = std::fs::metadata(p)?;
+    Ok(FileStamp {
+        path: p.clone(),
+        size: meta.len(),
+        mtime: meta.modified().ok(),
+        content: pathalias_hash::fold_bytes(&std::fs::read(p)?),
+    })
 }
 
 /// The cached expensive stages of a map-file source, shared across
 /// clones of the [`MapSource`] (the daemon clones its source into
 /// connection state).
 #[derive(Clone, Default)]
-pub struct StageCache(Arc<Mutex<Option<CachedStages>>>);
+pub struct StageCache {
+    slot: Arc<Mutex<Option<CachedStages>>>,
+    delta_reloads: Arc<AtomicU64>,
+}
 
 struct CachedStages {
     fingerprint: Fingerprint,
     ignore_case: bool,
     frozen: Frozen,
+    /// The input texts `frozen` was built from (map-file sources only)
+    /// — what the next reload diffs against.
+    parsed: Option<Parsed>,
+    /// The serving artifacts of the last successful load, kept so an
+    /// incremental reload can repair them instead of recomputing.
+    serving: Option<ServingState>,
+}
+
+/// Everything the incremental reload path repairs in place.
+struct ServingState {
+    options: Options,
+    mapped: Mapped,
+    /// `Arc`, so a repair that proves the printed table unchanged can
+    /// carry it into the next generation without cloning a
+    /// million-entry route table.
+    printed: Arc<Printed>,
+    /// The resolver handle served from `printed.routes` (an `Arc`
+    /// wrapper — cloning is a refcount bump, so a reload whose inputs
+    /// did not change at all serves the cached table directly).
+    db: SharedRouteDb,
+    /// The point-to-point engine over `mapped.tree`'s graph.
+    engine: Arc<PointToPoint>,
 }
 
 impl StageCache {
     /// The cached frozen snapshot, if any (used by tests to observe
     /// stage reuse).
     pub fn snapshot(&self) -> Option<Arc<FrozenGraph>> {
-        self.0
+        self.slot
             .lock()
             .expect("stage cache poisoned")
             .as_ref()
             .map(|c| c.frozen.graph().clone())
     }
+
+    /// How many reloads were absorbed by the incremental (delta) path
+    /// instead of the full pipeline (used by tests to prove the fast
+    /// path actually ran).
+    pub fn delta_reloads(&self) -> u64 {
+        self.delta_reloads.load(Ordering::Relaxed)
+    }
 }
 
 impl fmt::Debug for StageCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let filled = self.0.lock().map(|c| c.is_some()).unwrap_or(false);
+        let filled = self.slot.lock().map(|c| c.is_some()).unwrap_or(false);
         write!(f, "StageCache({})", if filled { "warm" } else { "empty" })
     }
 }
@@ -263,9 +347,7 @@ impl MapSource {
     /// When a `.pagf` snapshot stored its reverse-index section and
     /// mapping invented no back links, the stored transpose is reused
     /// instead of rebuilt.
-    pub fn load_serving_timed(
-        &self,
-    ) -> Result<(BoxedResolver, Option<Arc<PointToPoint>>, PhaseTimings), LoadError> {
+    pub fn load_serving_timed(&self) -> Result<ServingParts, LoadError> {
         match self {
             MapSource::Padb(_) | MapSource::PadbMmap(_) | MapSource::Routes(_) => {
                 let (resolver, timings) = self.load_resolver_timed()?;
@@ -277,7 +359,7 @@ impl MapSource {
                 cache,
             } => {
                 let (frozen, mut timings) = snapshot_stage(path, cache)?;
-                let (db, engine) = map_print_engine(&frozen, options, &mut timings)?;
+                let (db, engine, _, _) = map_print_engine(&frozen, options, &mut timings)?;
                 Ok((
                     Box::new(SharedRouteDb::new(db)),
                     Some(Arc::new(engine)),
@@ -291,16 +373,32 @@ impl MapSource {
                 validate_threads,
                 cache,
             } => {
+                // The incremental path: diff the re-read inputs against
+                // the cached ones and repair the serving artifacts in
+                // place when the edit is provably safe.
+                if let Some(out) = try_delta_reload(files, options, cache)? {
+                    return Ok(out);
+                }
                 let (frozen, mut timings) = frozen_stage(files, options, cache)?;
-                let (db, engine) = map_print_engine(&frozen, options, &mut timings)?;
+                let (db, engine, mapped, printed) =
+                    map_print_engine(&frozen, options, &mut timings)?;
                 if *validate_sources > 0 {
                     validate(frozen.graph(), *validate_sources, *validate_threads)?;
                 }
-                Ok((
-                    Box::new(SharedRouteDb::new(db)),
-                    Some(Arc::new(engine)),
-                    timings,
-                ))
+                let db = SharedRouteDb::new(db);
+                let engine = Arc::new(engine);
+                // Remember the serving artifacts so the next reload can
+                // repair them incrementally.
+                if let Some(cached) = cache.slot.lock().expect("stage cache poisoned").as_mut() {
+                    cached.serving = Some(ServingState {
+                        options: options.clone(),
+                        mapped,
+                        printed: Arc::new(printed),
+                        db: db.clone(),
+                        engine: engine.clone(),
+                    });
+                }
+                Ok((Box::new(db), Some(engine), timings))
             }
         }
     }
@@ -387,7 +485,7 @@ fn map_print_engine(
     frozen: &Frozen,
     options: &Options,
     timings: &mut PhaseTimings,
-) -> Result<(RouteDb, PointToPoint), LoadError> {
+) -> Result<(RouteDb, PointToPoint, Mapped, Printed), LoadError> {
     let t0 = Instant::now();
     let mapped = frozen.map(options).map_err(LoadError::Pipeline)?;
     timings.map = t0.elapsed();
@@ -416,7 +514,338 @@ fn map_print_engine(
     } else {
         PointToPoint::new(aug, options.cost_model)
     };
-    Ok((RouteDb::from_table(&printed.routes), engine))
+    Ok((
+        RouteDb::from_table(&printed.routes),
+        engine,
+        mapped,
+        printed,
+    ))
+}
+
+/// The O(delta) reload path: diff the re-read map files against the
+/// cached inputs, patch the frozen CSR rows the edit touched
+/// ([`pathalias_core::delta`] proves which edits are safe), repair the
+/// shortest-path tree from the patched rows outward
+/// ([`repair_frozen`]), and recompute only the route-table entries
+/// whose labels moved ([`update_routes`]). Every gate failure returns
+/// `Ok(None)` and the caller falls back to the full pipeline — the
+/// full run stays the oracle, the delta path only ever reproduces it
+/// faster.
+///
+/// Two conservative drops on this path, both because "stale index
+/// answers queries wrongly" beats "reload is slower":
+///
+/// * the point-to-point engine is rebuilt over the repaired tree's
+///   graph without a contraction hierarchy — a CH is cost-dependent
+///   and serving yesterday's hierarchy across a cost change would
+///   return wrong `PATH` answers;
+/// * the multi-source validation fan-out is skipped — it costs more
+///   than the repair itself, and the repair's own post-conditions
+///   (labelled set identical to the previous run's) already prove the
+///   patched world maps.
+fn try_delta_reload(
+    files: &[PathBuf],
+    options: &Options,
+    cache: &StageCache,
+) -> Result<Option<ServingParts>, LoadError> {
+    // Only the plain serve configuration repairs: traces print
+    // per-relaxation output a repair would truncate, and the
+    // second-best dual has no incremental form.
+    if !options.trace.is_empty() || options.second_best {
+        return Ok(None);
+    }
+    let fp = fingerprint(files)?;
+    let mut slot = cache.slot.lock().expect("stage cache poisoned");
+    let Some(cached) = slot.as_mut() else {
+        return Ok(None);
+    };
+    if cached.ignore_case != options.ignore_case {
+        return Ok(None);
+    }
+    let (Some(parsed), Some(serving)) = (&cached.parsed, &cached.serving) else {
+        return Ok(None);
+    };
+    if serving.options != *options {
+        return Ok(None);
+    }
+    if cached.fingerprint == fp {
+        // Nothing moved at all: serve the cached artifacts as-is.
+        let out = (
+            Box::new(serving.db.clone()) as BoxedResolver,
+            serving.engine.clone(),
+        );
+        drop(slot);
+        cache.delta_reloads.fetch_add(1, Ordering::Relaxed);
+        return Ok(Some((out.0, Some(out.1), PhaseTimings::default())));
+    }
+
+    let mut timings = PhaseTimings::default();
+    let t0 = Instant::now();
+    let new_parsed = reread_changed(files, parsed, &cached.fingerprint, &fp)?;
+    let plan = plan_delta(parsed.inputs(), new_parsed.inputs(), cached.frozen.graph());
+    timings.parse = t0.elapsed();
+    let patches = match plan {
+        DeltaPlan::Unchanged => {
+            // Comment/whitespace-only edit: adopt the new bytes, keep
+            // serving the unchanged world.
+            let out = (
+                Box::new(serving.db.clone()) as BoxedResolver,
+                serving.engine.clone(),
+            );
+            cached.fingerprint = fp;
+            cached.parsed = Some(new_parsed);
+            drop(slot);
+            cache.delta_reloads.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some((out.0, Some(out.1), timings)));
+        }
+        DeltaPlan::Fallback(_why) => return Ok(None),
+        DeltaPlan::Patch { patches } => patches,
+    };
+
+    // Patch the base snapshot. No build phase on this path: the
+    // patches splice straight into the CSR.
+    let t0 = Instant::now();
+    let (new_frozen, base_shift) = cached.frozen.with_rows_replaced(&patches);
+    timings.freeze = t0.elapsed();
+    let dirty: Vec<NodeId> = patches.iter().map(|p| p.node).collect();
+    let map_opts = MapOptions {
+        model: options.cost_model,
+        trace: Vec::new(),
+        exclude_domains: false,
+        no_backlinks: options.no_backlinks,
+    };
+
+    // Repair the tree over whichever graph it actually runs on. When
+    // the previous mapping invented no back links the tree points at
+    // the base snapshot itself; otherwise it runs over an augmented
+    // snapshot (base plus invented BACK rows) that has to be patched
+    // with the same care.
+    let old_tree = &serving.mapped.tree;
+    let t0 = Instant::now();
+    let (repaired, shift) = if Arc::ptr_eq(old_tree.frozen(), cached.frozen.graph()) {
+        let repaired = repair_frozen(
+            old_tree,
+            new_frozen.graph(),
+            &dirty,
+            &base_shift,
+            &map_opts,
+            DELTA_MAX_DIRTY_FRACTION,
+        )
+        .unwrap_or(None);
+        (repaired, base_shift)
+    } else {
+        match patch_augmented(old_tree.frozen(), cached.frozen.graph(), &patches) {
+            Some((aug, aug_shift)) => {
+                let repaired = repair_frozen(
+                    old_tree,
+                    &aug,
+                    &dirty,
+                    &aug_shift,
+                    &map_opts,
+                    DELTA_MAX_DIRTY_FRACTION,
+                )
+                .unwrap_or(None);
+                (repaired, aug_shift)
+            }
+            None => return Ok(None),
+        }
+    };
+    timings.map = t0.elapsed();
+    let Some(new_tree) = repaired else {
+        return Ok(None);
+    };
+
+    // Recompute routes only for nodes whose label moved. A label is
+    // unmoved when every route-relevant field matches and its
+    // predecessor is the same physical edge (old edge ids read through
+    // the shift; an edge inside a replaced row never matches).
+    let t0 = Instant::now();
+    let mut changed: Vec<NodeId> = Vec::new();
+    for id in new_tree.frozen().node_ids() {
+        let same = match (old_tree.label(id), new_tree.label(id)) {
+            (None, None) => true,
+            (Some(o), Some(n)) => {
+                o.cost == n.cost
+                    && o.hops == n.hops
+                    && o.has_left == n.has_left
+                    && o.has_right == n.has_right
+                    && o.tainted == n.tainted
+                    && o.via_backlink == n.via_backlink
+                    && o.ambiguous == n.ambiguous
+                    && match (o.pred, n.pred) {
+                        (None, None) => true,
+                        (Some((op, oe)), Some((np, ne))) => op == np && shift.map(oe) == Some(ne),
+                        _ => false,
+                    }
+            }
+            _ => false,
+        };
+        if !same {
+            changed.push(id);
+        }
+    }
+    if changed.is_empty() {
+        // The edit moved no label — a cost change on a link the tree
+        // does not use, the common retuning case. Routes, rendered
+        // output and the resolver are bit-for-bit yesterday's; only
+        // the point-to-point engine is rebuilt, because `PATH`
+        // answers read edge costs the tree never looked at.
+        timings.print = t0.elapsed();
+        let db = serving.db.clone();
+        let printed = serving.printed.clone();
+        let engine = Arc::new(PointToPoint::new(
+            new_tree.frozen().clone(),
+            options.cost_model,
+        ));
+        let mapped = Mapped {
+            tree: new_tree,
+            dual: None,
+            map_time: timings.map,
+        };
+        cached.fingerprint = fp;
+        cached.frozen = new_frozen;
+        cached.parsed = Some(new_parsed);
+        cached.serving = Some(ServingState {
+            options: options.clone(),
+            mapped,
+            printed,
+            db: db.clone(),
+            engine: engine.clone(),
+        });
+        drop(slot);
+        cache.delta_reloads.fetch_add(1, Ordering::Relaxed);
+        return Ok(Some((Box::new(db), Some(engine), timings)));
+    }
+    let Some(routes) = update_routes(&new_tree, &serving.printed.routes, &changed) else {
+        return Ok(None);
+    };
+    let rendered = render(
+        &routes,
+        &PrintOptions {
+            with_costs: options.with_costs,
+            sort: options.sort,
+            include_hidden: options.include_hidden,
+        },
+    );
+    // The repair proved the labelled set unchanged, so the hosts that
+    // stayed unreachable are exactly the previous run's.
+    let unreachable = serving.printed.unreachable.clone();
+    timings.print = t0.elapsed();
+
+    let mapped = Mapped {
+        tree: new_tree,
+        dual: None,
+        map_time: timings.map,
+    };
+    let printed = Arc::new(Printed {
+        routes,
+        rendered,
+        unreachable,
+        print_time: timings.print,
+    });
+    let db = SharedRouteDb::new(RouteDb::from_table(&printed.routes));
+    let engine = Arc::new(PointToPoint::new(
+        mapped.tree.frozen().clone(),
+        options.cost_model,
+    ));
+    cached.fingerprint = fp;
+    cached.frozen = new_frozen;
+    cached.parsed = Some(new_parsed);
+    cached.serving = Some(ServingState {
+        options: options.clone(),
+        mapped,
+        printed,
+        db: db.clone(),
+        engine: engine.clone(),
+    });
+    drop(slot);
+    cache.delta_reloads.fetch_add(1, Ordering::Relaxed);
+    Ok(Some((Box::new(db), Some(engine), timings)))
+}
+
+/// Re-reads only the files whose stamp moved, cloning the cached text
+/// for the rest. At a million hosts re-reading two hundred region
+/// files to pick up a one-line edit in one of them costs more than the
+/// repair itself; the stamps already tell us which files moved.
+fn reread_changed(
+    files: &[PathBuf],
+    parsed: &Parsed,
+    old_fp: &Fingerprint,
+    new_fp: &Fingerprint,
+) -> std::io::Result<Parsed> {
+    let mut fresh = Parsed::new();
+    if old_fp.len() != new_fp.len() || parsed.inputs().len() != files.len() {
+        // The file list itself changed shape: read everything.
+        fresh.push_files(files)?;
+        return Ok(fresh);
+    }
+    for (i, path) in files.iter().enumerate() {
+        if old_fp[i] == new_fp[i] {
+            let (name, text) = &parsed.inputs()[i];
+            fresh.push_str(name, text);
+        } else {
+            fresh.push_file(path)?;
+        }
+    }
+    Ok(fresh)
+}
+
+/// Applies `patches` (planned against the *base* snapshot) to the
+/// augmented graph `aug` the previous mapping run produced — base rows
+/// plus an invented BACK tail appended per row. Returns the patched
+/// augmented graph and its edge shift, or `None` when the edit is not
+/// provably safe there:
+///
+/// * a patch that changes a row's shape (targets, operators or flags,
+///   not just costs) could add or remove reachability the invented
+///   links were computed from;
+/// * an invented link *targeting* a dirty node had its cost derived
+///   from that node's row — stale after the edit.
+fn patch_augmented(
+    aug: &Arc<FrozenGraph>,
+    base: &Arc<FrozenGraph>,
+    patches: &[RowPatch],
+) -> Option<(Arc<FrozenGraph>, EdgeShift)> {
+    let is_dirty = |node: NodeId| patches.binary_search_by(|p| p.node.cmp(&node)).is_ok();
+    let mut aug_patches = Vec::with_capacity(patches.len());
+    for p in patches {
+        let (_, base_row) = base.edge_slice(p.node);
+        // Cost-only: the new row must keep the old shape.
+        if base_row.len() != p.edges.len() {
+            return None;
+        }
+        for (old, new) in base_row.iter().zip(&p.edges) {
+            if old.to() != new.0 || old.op() != new.2 || old.flags() != new.3 {
+                return None;
+            }
+        }
+        // Rebuild the augmented row: the patched base row, then the
+        // invented tail exactly as it stands.
+        let mut edges = p.edges.clone();
+        for e in aug.out_edges(p.node).skip(base_row.len()) {
+            edges.push((
+                aug.edge_target(e),
+                aug.edge_raw_cost(e),
+                aug.edge_op(e),
+                aug.edge_flags(e),
+            ));
+        }
+        aug_patches.push(RowPatch {
+            node: p.node,
+            edges,
+        });
+    }
+    // Any invented link pointing *at* a dirty node is stale.
+    for id in aug.node_ids() {
+        let base_len = base.degree(id);
+        for e in aug.out_edges(id).skip(base_len) {
+            if is_dirty(aug.edge_target(e)) {
+                return None;
+            }
+        }
+    }
+    let (patched, shift) = aug.with_rows_replaced(&aug_patches);
+    Some((Arc::new(patched), shift))
 }
 
 /// The parse/build/freeze stages for a map-file source, reusing the
@@ -430,7 +859,7 @@ fn frozen_stage(
     cache: &StageCache,
 ) -> Result<(Frozen, PhaseTimings), LoadError> {
     let fp = fingerprint(files)?;
-    let mut slot = cache.0.lock().expect("stage cache poisoned");
+    let mut slot = cache.slot.lock().expect("stage cache poisoned");
     if let Some(cached) = slot.as_ref() {
         // `ignore_case` is the one option the build stage depends on.
         if cached.fingerprint == fp && cached.ignore_case == options.ignore_case {
@@ -450,6 +879,8 @@ fn frozen_stage(
         fingerprint: fp,
         ignore_case: options.ignore_case,
         frozen: frozen.clone(),
+        parsed: Some(parsed),
+        serving: None,
     });
     Ok((frozen, timings))
 }
@@ -461,7 +892,7 @@ fn frozen_stage(
 /// hit reports zero.
 fn snapshot_stage(path: &PathBuf, cache: &StageCache) -> Result<(Frozen, PhaseTimings), LoadError> {
     let fp = fingerprint(std::iter::once(path))?;
-    let mut slot = cache.0.lock().expect("stage cache poisoned");
+    let mut slot = cache.slot.lock().expect("stage cache poisoned");
     if let Some(cached) = slot.as_ref() {
         // `ignore_case` is baked into the snapshot file, so the
         // fingerprint alone decides reuse.
@@ -478,6 +909,8 @@ fn snapshot_stage(path: &PathBuf, cache: &StageCache) -> Result<(Frozen, PhaseTi
         fingerprint: fp,
         ignore_case: frozen.graph().ignore_case(),
         frozen: frozen.clone(),
+        parsed: None,
+        serving: None,
     });
     Ok((frozen, timings))
 }
@@ -786,6 +1219,237 @@ mod tests {
         std::fs::write(&path, "# nothing but a comment\n").unwrap();
         let source = MapSource::map_files(vec![path.clone()], Options::default());
         assert!(source.load().is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn fingerprint_detects_same_size_rewrite_with_pinned_mtime() {
+        // The classic trap: rewrite the file to the same length, then
+        // restore the mtime. Size+mtime stamps see nothing; the ctime
+        // (which userspace cannot pin) gives it away.
+        let path = temp("fp-pinned.map");
+        std::fs::write(&path, "aaaa\tbbbb(10)\n").unwrap();
+        let fp1 = fingerprint(std::iter::once(&path)).unwrap();
+        let mtime = std::fs::metadata(&path).unwrap().modified().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+
+        std::fs::write(&path, "aaaa\tbbbb(99)\n").unwrap(); // same length
+        let f = std::fs::File::options().write(true).open(&path).unwrap();
+        f.set_modified(mtime).unwrap();
+        drop(f);
+
+        let meta = std::fs::metadata(&path).unwrap();
+        assert_eq!(
+            meta.len(),
+            "aaaa\tbbbb(10)\n".len() as u64,
+            "rewrite kept the length"
+        );
+        assert_eq!(meta.modified().unwrap(), mtime, "mtime was pinned back");
+        let fp2 = fingerprint(std::iter::once(&path)).unwrap();
+        assert_ne!(fp1, fp2, "pinned-mtime same-size rewrite must be detected");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_error_is_reported_not_defaulted() {
+        // A missing file must surface as Err — the old stamp treated
+        // an unreadable mtime as `None`, and `None == None` made two
+        // failures look like "unchanged".
+        let missing = temp("fp-missing.map");
+        assert!(fingerprint(std::iter::once(&missing)).is_err());
+    }
+
+    /// The rendered route text the cache is currently serving (delta
+    /// tests compare it byte-for-byte against a cold pipeline).
+    fn cached_rendered(cache: &StageCache) -> String {
+        let slot = cache.slot.lock().unwrap();
+        slot.as_ref()
+            .and_then(|c| c.serving.as_ref())
+            .map(|s| s.printed.rendered.clone())
+            .expect("serving state cached")
+    }
+
+    const DELTA_MAP: &str = "hub\ta(10), b(20)\na\tx(30)\nb\tx(5)\nx\ty(5)\n";
+
+    /// A world wide enough that one edit's dirty cone stays under the
+    /// 25% fallback budget: sixteen spokes off the hub, two of which
+    /// compete for `x`.
+    const WIDE_MAP: &str = "hub\tn1(10), n2(10), n3(10), n4(10), \
+                            n5(10), n6(10), n7(10), n8(10), \
+                            n9(10), n10(10), n11(10), n12(10), \
+                            n13(10), n14(10), n15(10), n16(10)\n\
+                            n1\tx(30)\nn2\tx(20)\nx\ty(5)\n";
+
+    #[test]
+    fn delta_reload_is_byte_identical_and_counted() {
+        let path = temp("delta.map");
+        std::fs::write(&path, WIDE_MAP).unwrap();
+        let options = Options {
+            local: Some("hub".into()),
+            ..Default::default()
+        };
+        let source = MapSource::map_files(vec![path.clone()], options.clone());
+        let MapSource::Map { cache, .. } = &source else {
+            unreachable!()
+        };
+        source.load_serving_timed().unwrap();
+        assert_eq!(cache.delta_reloads(), 0, "first load is the full pipeline");
+
+        // Raise one cost: `x` must reroute from n2 to n1 — a
+        // single-row patch whose cone (x, y) repairs in place.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let edited = WIDE_MAP.replace("n2\tx(20)", "n2\tx(35)");
+        std::fs::write(&path, &edited).unwrap();
+        let (resolver, engine, _) = source.load_serving_timed().unwrap();
+        assert_eq!(cache.delta_reloads(), 1, "the edit took the delta path");
+        assert_eq!(resolver.resolve("x", "u").unwrap().route, "n1!x!u");
+
+        // Byte-identical to a cold run over the edited bytes.
+        let cold = MapSource::map_files(vec![path.clone()], options);
+        let (cold_resolver, cold_engine, _) = cold.load_serving_timed().unwrap();
+        let MapSource::Map {
+            cache: cold_cache, ..
+        } = &cold
+        else {
+            unreachable!()
+        };
+        assert_eq!(
+            cached_rendered(cache),
+            cached_rendered(cold_cache),
+            "delta-repaired routes must match the cold pipeline byte for byte"
+        );
+        for host in ["n1", "n2", "n5", "x", "y"] {
+            assert_eq!(
+                resolver.resolve(host, "u").unwrap().route,
+                cold_resolver.resolve(host, "u").unwrap().route,
+                "route to {host} differs"
+            );
+        }
+        let (engine, cold_engine) = (engine.unwrap(), cold_engine.unwrap());
+        for (s, d) in [("n1", "x"), ("n2", "y"), ("hub", "y")] {
+            assert_eq!(
+                engine.route(s, d).unwrap().route,
+                cold_engine.route(s, d).unwrap().route,
+                "PATH {s} {d} differs"
+            );
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn non_tree_edge_edit_reuses_the_printed_table() {
+        // Raising the cost of the link the tree already rejected
+        // (n1->x at 30 loses to n2->x at 20) moves no label: the
+        // repair proves it, the printed table is carried over without
+        // being recomputed, and only the PATH engine sees new costs.
+        let path = temp("delta-notree.map");
+        std::fs::write(&path, WIDE_MAP).unwrap();
+        let options = Options {
+            local: Some("hub".into()),
+            ..Default::default()
+        };
+        let source = MapSource::map_files(vec![path.clone()], options.clone());
+        let MapSource::Map { cache, .. } = &source else {
+            unreachable!()
+        };
+        source.load_serving_timed().unwrap();
+        let before = cached_rendered(cache);
+
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let edited = WIDE_MAP.replace("n1\tx(30)", "n1\tx(44)");
+        std::fs::write(&path, &edited).unwrap();
+        let (resolver, engine, _) = source.load_serving_timed().unwrap();
+        assert_eq!(cache.delta_reloads(), 1, "the edit took the delta path");
+        assert_eq!(
+            cached_rendered(cache),
+            before,
+            "no label moved, so the printed table is yesterday's"
+        );
+        assert_eq!(resolver.resolve("x", "u").unwrap().route, "n2!x!u");
+
+        // The engine must see the new cost, not the cached graph's.
+        let cold = MapSource::map_files(vec![path.clone()], options);
+        let (_, cold_engine, _) = cold.load_serving_timed().unwrap();
+        let (engine, cold_engine) = (engine.unwrap(), cold_engine.unwrap());
+        for (s, d) in [("n1", "x"), ("n1", "y"), ("hub", "y")] {
+            let (a, b) = (
+                engine.route(s, d).unwrap(),
+                cold_engine.route(s, d).unwrap(),
+            );
+            assert_eq!((a.route, a.cost), (b.route, b.cost), "PATH {s} {d} differs");
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn structural_edit_falls_back_to_the_full_pipeline() {
+        let path = temp("delta-fallback.map");
+        std::fs::write(&path, DELTA_MAP).unwrap();
+        let options = Options {
+            local: Some("hub".into()),
+            ..Default::default()
+        };
+        let source = MapSource::map_files(vec![path.clone()], options);
+        let MapSource::Map { cache, .. } = &source else {
+            unreachable!()
+        };
+        source.load_serving_timed().unwrap();
+
+        // A brand-new host shifts node ids: not provably safe, so the
+        // plan falls back and the full pipeline serves it correctly.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        std::fs::write(&path, format!("{DELTA_MAP}z\thub(1)\n")).unwrap();
+        let (resolver, _, _) = source.load_serving_timed().unwrap();
+        assert_eq!(cache.delta_reloads(), 0, "structural edit must not delta");
+        assert_eq!(resolver.resolve("x", "u").unwrap().route, "b!x!u");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn unchanged_reload_serves_the_cached_artifacts() {
+        let path = temp("delta-unchanged.map");
+        std::fs::write(&path, DELTA_MAP).unwrap();
+        let options = Options {
+            local: Some("hub".into()),
+            ..Default::default()
+        };
+        let source = MapSource::map_files(vec![path.clone()], options);
+        let MapSource::Map { cache, .. } = &source else {
+            unreachable!()
+        };
+        let (r1, _, _) = source.load_serving_timed().unwrap();
+        // Nothing changed: the reload is absorbed entirely by the cache.
+        let (r2, engine, timings) = source.load_serving_timed().unwrap();
+        assert_eq!(cache.delta_reloads(), 1);
+        assert_eq!(timings.map, std::time::Duration::ZERO, "no remap ran");
+        assert!(engine.is_some(), "PATH keeps working across a no-op reload");
+        assert_eq!(
+            r1.resolve("y", "u").unwrap().route,
+            r2.resolve("y", "u").unwrap().route
+        );
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn comment_only_edit_is_absorbed_without_remap() {
+        let path = temp("delta-comment.map");
+        std::fs::write(&path, DELTA_MAP).unwrap();
+        let options = Options {
+            local: Some("hub".into()),
+            ..Default::default()
+        };
+        let source = MapSource::map_files(vec![path.clone()], options);
+        let MapSource::Map { cache, .. } = &source else {
+            unreachable!()
+        };
+        source.load_serving_timed().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        std::fs::write(&path, format!("# a comment\n{DELTA_MAP}")).unwrap();
+        let (resolver, _, timings) = source.load_serving_timed().unwrap();
+        assert_eq!(cache.delta_reloads(), 1, "comment edit absorbed as a delta");
+        assert_eq!(timings.map, std::time::Duration::ZERO, "no remap ran");
+        assert_eq!(resolver.resolve("x", "u").unwrap().route, "b!x!u");
         std::fs::remove_file(path).unwrap();
     }
 

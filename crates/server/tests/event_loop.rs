@@ -237,3 +237,48 @@ fn metrics_expose_per_worker_gauges() {
     handle.shutdown();
     std::fs::remove_file(path).unwrap();
 }
+
+#[test]
+fn udp_oversize_response_returns_framed_500() {
+    // A pathological route longer than one datagram's payload (65507
+    // bytes) cannot be sent over UDP. The endpoint must answer with a
+    // framed 500 — not truncate, not drop the reply — and the same
+    // query over TCP must serve the full route.
+    let path = temp("udp-oversize.routes");
+    let long_hop = "x".repeat(70_000);
+    std::fs::write(
+        &path,
+        format!("bighost\t{long_hop}!%s\nseismo\tseismo!%s\n"),
+    )
+    .unwrap();
+    let mut config = ServerConfig::ephemeral(MapSource::Routes(path.clone()));
+    config.workers = Some(1);
+    config.udp = Some("127.0.0.1:0".to_string());
+    let handle = Server::start(config).expect("server starts");
+
+    let udp = UdpSocket::bind("127.0.0.1:0").unwrap();
+    udp.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    udp.connect(handle.udp_addr().unwrap()).unwrap();
+    let mut buf = [0u8; 65536];
+
+    udp.send(b"QUERY bighost u\n").unwrap();
+    let n = udp.recv(&mut buf).unwrap();
+    assert_eq!(
+        String::from_utf8_lossy(&buf[..n]),
+        "500 response too large for udp\n"
+    );
+
+    // The endpoint is still healthy: small answers keep flowing.
+    udp.send(b"QUERY seismo rick\n").unwrap();
+    let n = udp.recv(&mut buf).unwrap();
+    assert_eq!(String::from_utf8_lossy(&buf[..n]), "200 seismo!rick\n");
+
+    // TCP has no datagram ceiling: the full route comes back intact.
+    let mut tcp = Client::connect(handle.tcp_addr().unwrap()).unwrap();
+    let served = tcp.query("bighost", Some("u")).unwrap().unwrap();
+    assert_eq!(served, format!("{long_hop}!u"));
+
+    tcp.quit().unwrap();
+    handle.shutdown();
+    std::fs::remove_file(path).unwrap();
+}

@@ -1,6 +1,6 @@
 //! `--watch`: the mtime-polling auto-reload thread.
 
-use pathalias_server::{Client, MapSource, Server, ServerConfig};
+use pathalias_server::{Client, Level, Logger, MapSource, Server, ServerConfig};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -94,5 +94,66 @@ fn watcher_exits_on_shutdown() {
         "watcher blocked shutdown for {:?}",
         start.elapsed()
     );
+    std::fs::remove_file(routes_path).unwrap();
+}
+
+#[test]
+fn unreadable_fingerprint_is_logged_and_recovers() {
+    // An unreadable watched file must not be silently skipped forever:
+    // the watcher logs a rate-limited `watch_fingerprint_failed` event
+    // while the failure persists, keeps serving the old table, and
+    // picks changes back up once the file reappears.
+    let routes_path = temp("fpfail.routes");
+    std::fs::write(&routes_path, "seismo\tseismo!%s\n").unwrap();
+
+    let (logger, buf) = Logger::capture(Level::Warn);
+    let mut config = ServerConfig::ephemeral(MapSource::Routes(routes_path.clone()));
+    config.watch = Some(Duration::from_millis(50));
+    config.logger = logger;
+    let handle = Server::start(config).unwrap();
+    let mut client = Client::connect(handle.tcp_addr().unwrap()).unwrap();
+
+    std::fs::remove_file(&routes_path).unwrap();
+    let start = Instant::now();
+    loop {
+        if buf.lock().unwrap().contains("watch_fingerprint_failed") {
+            break;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "no watch_fingerprint_failed event was logged"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // The old table keeps serving while the file is gone.
+    assert_eq!(
+        client.query("seismo", Some("rick")).unwrap().unwrap(),
+        "seismo!rick"
+    );
+
+    // The file returns with new content: the watcher must recover and
+    // auto-reload it.
+    let generation_before = {
+        let health = client.health().unwrap();
+        health
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix("generation="))
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    std::fs::write(
+        &routes_path,
+        "seismo\tseismo!%s\nbeehive\tseismo!beehive!%s\n",
+    )
+    .unwrap();
+    wait_for_generation(&mut client, generation_before, Duration::from_secs(10));
+    assert_eq!(
+        client.query("beehive", Some("rick")).unwrap().unwrap(),
+        "seismo!beehive!rick"
+    );
+
+    client.quit().unwrap();
+    handle.shutdown();
     std::fs::remove_file(routes_path).unwrap();
 }
